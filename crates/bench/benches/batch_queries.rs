@@ -1,0 +1,42 @@
+//! E28: the batch (data-parallel, lockstep) window-query engine against
+//! the one-query-at-a-time traversal — the object-space parallelization
+//! of query processing built on the paper's cloning/deletion primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_bench::{query_windows, roads_approx, WORLD};
+use dp_spatial::batch::batch_window_query;
+use dp_spatial::bucket_pmr::build_bucket_pmr;
+use dp_workloads::square_world;
+use scan_model::Machine;
+use std::hint::black_box;
+
+fn bench_batch(c: &mut Criterion) {
+    let machine = Machine::parallel();
+    let world = square_world(WORLD);
+    let data = roads_approx(4_000);
+    let tree = build_bucket_pmr(&machine, world, &data.segs, 8, 12);
+
+    let mut group = c.benchmark_group("batch_queries");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    for &q in &[16usize, 64, 256] {
+        let queries = query_windows(q, 0.02, 23);
+        group.bench_with_input(BenchmarkId::new("batch", q), &q, |b, _| {
+            b.iter(|| black_box(batch_window_query(&machine, &tree, &queries, &data.segs)))
+        });
+        group.bench_with_input(BenchmarkId::new("one_at_a_time", q), &q, |b, _| {
+            b.iter(|| {
+                let out: Vec<Vec<u32>> = queries
+                    .iter()
+                    .map(|w| tree.window_query(w, &data.segs))
+                    .collect();
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! E19–E21: bulk-construction scaling of the three data-parallel builds
+//! versus their sequential one-at-a-time baselines (paper Sec. 5). The
+//! shape to observe: the data-parallel builds track their baselines in
+//! total work while running a round count that grows logarithmically
+//! (printed by `exp_tables rounds`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dp_bench::{roads_approx, uniform_at, WORLD};
+use dp_spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial::pm1::build_pm1;
+use dp_spatial::rsplit::RtreeSplitAlgorithm;
+use dp_spatial::rtree::build_rtree;
+use dp_workloads::square_world;
+use scan_model::Machine;
+use seq_spatial as seq;
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [500, 2_000, 8_000];
+
+fn bench_bucket_pmr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_scaling/bucket_pmr");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let world = square_world(WORLD);
+    let machine = Machine::parallel();
+    for &n in &SIZES {
+        let data = uniform_at(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("dp", n), &n, |b, _| {
+            b.iter(|| black_box(build_bucket_pmr(&machine, world, &data.segs, 8, 12)))
+        });
+        group.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(seq::bucket_pmr::BucketPmrTree::build(
+                    world, &data.segs, 8, 12,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_scaling/pm1");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let world = square_world(WORLD);
+    let machine = Machine::parallel();
+    for &n in &SIZES {
+        // Near-planar input: PM1 is meant for polygonal maps.
+        let data = roads_approx(n);
+        group.throughput(Throughput::Elements(data.len() as u64));
+        group.bench_with_input(BenchmarkId::new("dp", n), &n, |b, _| {
+            b.iter(|| black_box(build_pm1(&machine, world, &data.segs, 12)))
+        });
+        group.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter(|| black_box(seq::pm1::Pm1Tree::build(world, &data.segs, 12)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_scaling/rtree");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let machine = Machine::parallel();
+    for &n in &SIZES {
+        let data = uniform_at(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("dp_sweep", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(build_rtree(
+                    &machine,
+                    &data.segs,
+                    2,
+                    8,
+                    RtreeSplitAlgorithm::Sweep,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dp_mean", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(build_rtree(
+                    &machine,
+                    &data.segs,
+                    2,
+                    8,
+                    RtreeSplitAlgorithm::Mean,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("seq_quadratic", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(seq::rtree::RTree::build(
+                    &data.segs,
+                    2,
+                    8,
+                    seq::rtree::SplitAlgorithm::Quadratic,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bucket_pmr, bench_pm1, bench_rtree);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E29: the scan-model k-D tree build (Blelloch's point-structure
+//! algorithm, the paper's cited starting point) — build scaling plus
+//! range/nearest query costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dp_geom::{Point, Rect};
+use dp_spatial::kdtree::build_kdtree;
+use scan_model::Machine;
+use std::hint::black_box;
+
+fn points(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|k| {
+            Point::new(
+                ((k as u64).wrapping_mul(2654435761) % 4096) as f64,
+                ((k as u64).wrapping_mul(40503) % 4096) as f64,
+            )
+        })
+        .collect()
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let machine = Machine::parallel();
+    let mut group = c.benchmark_group("kdtree");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let pts = points(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| black_box(build_kdtree(&machine, &pts, 8)))
+        });
+    }
+    let pts = points(10_000);
+    let kd = build_kdtree(&machine, &pts, 8);
+    group.bench_function("range_query", |b| {
+        let q = Rect::from_coords(1000.0, 1000.0, 1400.0, 1400.0);
+        b.iter(|| black_box(kd.range_query(&q, &pts)))
+    });
+    group.bench_function("nearest", |b| {
+        b.iter(|| black_box(kd.nearest(Point::new(2048.5, 1023.5), &pts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kdtree);
+criterion_main!(benches);

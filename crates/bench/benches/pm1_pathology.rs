@@ -1,0 +1,34 @@
+//! E12: the PM₁ close-vertices pathology of paper Fig. 2 — the cost of
+//! inserting a second segment whose vertex is close to an existing one,
+//! as a function of world resolution (the vertex separation shrinks
+//! relative to the world, deepening the forced cascade), versus the
+//! bucket PMR quadtree which is immune by design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial::pm1::build_pm1;
+use dp_workloads::pathological_close_vertices;
+use scan_model::Machine;
+use std::hint::black_box;
+
+fn bench_pathology(c: &mut Criterion) {
+    let machine = Machine::parallel();
+    let mut group = c.benchmark_group("pm1_pathology");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    for &size in &[64u32, 256, 1024, 4096] {
+        let data = pathological_close_vertices(size);
+        let depth = (size as f64).log2() as usize + 1;
+        group.bench_with_input(BenchmarkId::new("pm1", size), &size, |b, _| {
+            b.iter(|| black_box(build_pm1(&machine, data.world, &data.segs, depth)))
+        });
+        group.bench_with_input(BenchmarkId::new("bucket_pmr_b2", size), &size, |b, _| {
+            b.iter(|| black_box(build_bucket_pmr(&machine, data.world, &data.segs, 2, depth)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pathology);
+criterion_main!(benches);

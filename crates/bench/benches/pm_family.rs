@@ -1,0 +1,36 @@
+//! E26: the PM quadtree family ablation — PM1, PM2 and PM3 builds over
+//! the same planar polygonal map. Strictness costs nodes and build time;
+//! the family ordering (PM1 >= PM2 >= PM3 in nodes) is asserted by the
+//! test suite and timed here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_bench::planar_at;
+use dp_spatial::pm1::build_pm1;
+use dp_spatial::pm_family::{build_pm2, build_pm3};
+use scan_model::Machine;
+use std::hint::black_box;
+
+fn bench_family(c: &mut Criterion) {
+    let machine = Machine::parallel();
+    let mut group = c.benchmark_group("pm_family");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        let data = planar_at(n);
+        let depth = (data.world.width() as u64).ilog2() as usize;
+        group.bench_with_input(BenchmarkId::new("pm1", n), &n, |b, _| {
+            b.iter(|| black_box(build_pm1(&machine, data.world, &data.segs, depth)))
+        });
+        group.bench_with_input(BenchmarkId::new("pm2", n), &n, |b, _| {
+            b.iter(|| black_box(build_pm2(&machine, data.world, &data.segs, depth)))
+        });
+        group.bench_with_input(BenchmarkId::new("pm3", n), &n, |b, _| {
+            b.iter(|| black_box(build_pm3(&machine, data.world, &data.segs, depth)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_family);
+criterion_main!(benches);

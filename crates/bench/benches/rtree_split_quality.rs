@@ -1,0 +1,94 @@
+//! E23: the two R-tree node split selectors of paper Sec. 4.7 — the O(1)
+//! mean-of-midpoints split versus the O(log n) sorted-sweep
+//! minimal-overlap split — on build cost and query cost, against the
+//! sequential Guttman splits as reference points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_bench::{query_windows, roads_approx};
+use dp_spatial::rsplit::RtreeSplitAlgorithm;
+use dp_spatial::rtree::{build_rtree, pack_rtree_hilbert};
+use scan_model::Machine;
+use seq_spatial as seq;
+use std::hint::black_box;
+
+fn bench_split_quality(c: &mut Criterion) {
+    let machine = Machine::parallel();
+    let data = roads_approx(4_000);
+    let queries = query_windows(100, 0.02, 9);
+
+    let mut group = c.benchmark_group("rtree_split/build");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("dp_mean", |b| {
+        b.iter(|| {
+            black_box(build_rtree(
+                &machine,
+                &data.segs,
+                2,
+                8,
+                RtreeSplitAlgorithm::Mean,
+            ))
+        })
+    });
+    group.bench_function("dp_sweep", |b| {
+        b.iter(|| {
+            black_box(build_rtree(
+                &machine,
+                &data.segs,
+                2,
+                8,
+                RtreeSplitAlgorithm::Sweep,
+            ))
+        })
+    });
+    group.bench_function("hilbert_pack", |b| {
+        let world = dp_workloads::square_world(dp_bench::WORLD);
+        b.iter(|| black_box(pack_rtree_hilbert(&machine, &data.segs, world, 8)))
+    });
+    group.bench_function("seq_linear", |b| {
+        b.iter(|| {
+            black_box(seq::rtree::RTree::build(
+                &data.segs,
+                2,
+                8,
+                seq::rtree::SplitAlgorithm::Linear,
+            ))
+        })
+    });
+    group.bench_function("seq_rstar", |b| {
+        b.iter(|| {
+            black_box(seq::rtree::RTree::build(
+                &data.segs,
+                2,
+                8,
+                seq::rtree::SplitAlgorithm::RStarAxis,
+            ))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("rtree_split/query");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    for (label, algo) in [
+        ("mean", RtreeSplitAlgorithm::Mean),
+        ("sweep", RtreeSplitAlgorithm::Sweep),
+    ] {
+        let tree = build_rtree(&machine, &data.segs, 2, 8, algo);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    hits += tree.window_query(q, &data.segs).len();
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_split_quality);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E01: the raw scan-model primitives (paper Fig. 8 semantics) across
+//! vector sizes and backends — the cost floor under every spatial
+//! algorithm in the workspace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scan_model::ops::{Max, Sum};
+use scan_model::{Backend, Direction, Machine, ScanKind, Segments};
+use std::hint::black_box;
+
+fn make_input(n: usize) -> (Vec<i64>, Segments) {
+    let data: Vec<i64> = (0..n).map(|i| ((i * 2654435761) % 1000) as i64 - 500).collect();
+    // Segments of pseudo-random lengths 1..64.
+    let mut lengths = Vec::new();
+    let mut covered = 0usize;
+    let mut state = 0x9E3779B97F4A7C15u64;
+    while covered < n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let l = ((state >> 33) % 63 + 1) as usize;
+        let l = l.min(n - covered);
+        lengths.push(l);
+        covered += l;
+    }
+    (data, Segments::from_lengths(&lengths).unwrap())
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_primitives");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let (data, seg) = make_input(n);
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, backend) in [("seq", Backend::Sequential), ("par", Backend::Parallel)] {
+            let m = Machine::new(backend);
+            group.bench_with_input(
+                BenchmarkId::new(format!("up_sum_inclusive/{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(m.scan(
+                            black_box(&data),
+                            &seg,
+                            Sum,
+                            Direction::Up,
+                            ScanKind::Inclusive,
+                        ))
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("down_max_exclusive/{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(m.scan(
+                            black_box(&data),
+                            &seg,
+                            Max,
+                            Direction::Down,
+                            ScanKind::Exclusive,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_elementwise_and_permute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ew_permute");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    for &n in &[100_000usize, 1_000_000] {
+        let (data, _) = make_input(n);
+        let index: Vec<usize> = (0..n).map(|i| (i * 7919 + 13) % n).collect();
+        // Fall back to a rotation when the affine map is not a bijection
+        // for this n.
+        let index = if scan_model::permute::validate_permutation(&index, n).is_ok() {
+            index
+        } else {
+            (0..n).map(|i| (i + 1) % n).collect()
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, backend) in [("seq", Backend::Sequential), ("par", Backend::Parallel)] {
+            let m = Machine::new(backend);
+            group.bench_with_input(BenchmarkId::new(format!("ew_add/{label}"), n), &n, |b, _| {
+                b.iter(|| black_box(m.zip_map(black_box(&data), &data, |x, y| x + y)))
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("permute/{label}"), n),
+                &n,
+                |b, _| b.iter(|| black_box(m.permute(black_box(&data), &index))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scans, bench_elementwise_and_permute);
+criterion_main!(benches);

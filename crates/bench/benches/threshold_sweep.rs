@@ -1,0 +1,49 @@
+//! E22: the splitting-threshold trade-off of paper Sec. 2.2 — as the
+//! bucket capacity rises, construction gets cheaper and storage shrinks,
+//! while query work grows. Build and query timings per threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_bench::{query_windows, roads_approx, WORLD};
+use dp_spatial::bucket_pmr::build_bucket_pmr;
+use dp_workloads::square_world;
+use scan_model::Machine;
+use std::hint::black_box;
+
+fn bench_threshold(c: &mut Criterion) {
+    let machine = Machine::parallel();
+    let world = square_world(WORLD);
+    let data = roads_approx(4_000);
+    let queries = query_windows(100, 0.02, 5);
+
+    let mut group = c.benchmark_group("threshold_sweep/build");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for &cap in &[2usize, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| black_box(build_bucket_pmr(&machine, world, &data.segs, cap, 12)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("threshold_sweep/query");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    for &cap in &[2usize, 4, 8, 16, 32] {
+        let tree = build_bucket_pmr(&machine, world, &data.segs, cap, 12);
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    hits += tree.window_query(q, &data.segs).len();
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Shared helpers for the dp-bench harness: standard workload ladders,
+//! query generators, and plain-text table rendering used by both the
+//! criterion benches and the `exp_tables` binary.
+
+use dp_geom::Rect;
+use dp_workloads::{road_network, uniform_segments, Dataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The dataset-size ladder used by all scaling experiments.
+pub const SIZE_LADDER: [usize; 5] = [500, 1_000, 2_000, 4_000, 8_000];
+
+/// World side used by the scaling experiments (power of two).
+pub const WORLD: u32 = 4096;
+
+/// The standard uniform workload at size `n`.
+pub fn uniform_at(n: usize) -> Dataset {
+    uniform_segments(n, WORLD, 64, 42 + n as u64)
+}
+
+/// The standard road-network workload with roughly `n` edges.
+pub fn roads_approx(n: usize) -> Dataset {
+    // ~1.8 edges per junction cell.
+    let cells = ((n as f64 / 1.8).sqrt().ceil() as u32).max(2);
+    road_network(cells, WORLD, 7 + n as u64)
+}
+
+/// A strictly planar polygonal-map workload with roughly `n` edges at
+/// constant density: the world grows with n (cell width 32, power-of-two
+/// side), so quadtree depth tracks log n instead of saturating at the
+/// resolution bound. The ideal PM₁ input.
+pub fn planar_at(n: usize) -> Dataset {
+    let cells = (((n as f64) / 4.0).sqrt().ceil() as u32).max(1);
+    let size = (cells * 32).next_power_of_two();
+    dp_workloads::polygon_rings(cells, size, 17 + n as u64)
+}
+
+/// Deterministic query windows covering `frac` of the world per side.
+pub fn query_windows(count: usize, frac: f64, seed: u64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = WORLD as f64 * frac;
+    (0..count)
+        .map(|_| {
+            let x = rng.gen_range(0.0..(WORLD as f64 - side));
+            let y = rng.gen_range(0.0..(WORLD as f64 - side));
+            Rect::from_coords(x, y, x + side, y + side)
+        })
+        .collect()
+}
+
+/// Renders a plain-text table: header plus rows, columns padded to the
+/// widest cell. Used by `exp_tables` to print the experiment results in
+/// the same rows-and-series layout the paper's figures use.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n## {title}\n\n"));
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_are_usable() {
+        let d = uniform_at(500);
+        assert_eq!(d.len(), 500);
+        let r = roads_approx(500);
+        assert!(r.len() > 250 && r.len() < 1_000, "got {}", r.len());
+    }
+
+    #[test]
+    fn query_windows_inside_world() {
+        for q in query_windows(50, 0.05, 1) {
+            assert!(q.min.x >= 0.0 && q.max.x <= WORLD as f64);
+            assert!(q.min.y >= 0.0 && q.max.y <= WORLD as f64);
+        }
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "demo",
+            &["n", "value"],
+            &[
+                vec!["10".into(), "1.5".into()],
+                vec!["1000".into(), "12.25".into()],
+            ],
+        );
+        assert!(t.contains("## demo"));
+        assert!(t.contains("1000"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Spatial join over two quadtrees of the same world (the downstream
+//! operation the paper's primitives were built for — its conclusion cites
+//! the companion spatial-join papers [Hoel93, Hoel94a, Hoel94b]).
+//!
+//! Because both quadtrees regularly decompose the *same* space, their
+//! blocks align: a co-traversal visits matching block pairs, descending
+//! either tree wherever one is subdivided more finely, and tests segment
+//! pairs only inside the leaf×leaf blocks both sides agree on. The
+//! disjointness of the decomposition is what makes this efficient — the
+//! R-tree's overlapping nodes would force the expensive processor
+//! reorderings of paper Fig. 12.
+
+use crate::quadtree::{DpQuadtree, QtNode};
+use crate::SegId;
+use dp_geom::{segments_intersect, LineSeg};
+
+/// All intersecting pairs `(id_a, id_b)` between the segment sets indexed
+/// by `a` and `b`, sorted and deduplicated.
+///
+/// # Panics
+///
+/// Panics if the two trees cover different worlds.
+pub fn spatial_join(
+    a: &DpQuadtree,
+    segs_a: &[LineSeg],
+    b: &DpQuadtree,
+    segs_b: &[LineSeg],
+) -> Vec<(SegId, SegId)> {
+    assert_eq!(
+        a.world(),
+        b.world(),
+        "spatial join requires both quadtrees to cover the same world"
+    );
+    let mut pairs = Vec::new();
+    join_rec(a, 0, b, 0, segs_a, segs_b, &mut pairs);
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+fn join_rec(
+    a: &DpQuadtree,
+    na: usize,
+    b: &DpQuadtree,
+    nb: usize,
+    segs_a: &[LineSeg],
+    segs_b: &[LineSeg],
+    out: &mut Vec<(SegId, SegId)>,
+) {
+    match (a.node(na), b.node(nb)) {
+        (QtNode::Leaf { lines: la }, QtNode::Leaf { lines: lb }) => {
+            for &ia in la {
+                for &ib in lb {
+                    if segments_intersect(&segs_a[ia as usize], &segs_b[ib as usize]) {
+                        out.push((ia, ib));
+                    }
+                }
+            }
+        }
+        (QtNode::Internal { children }, QtNode::Leaf { lines }) => {
+            if lines.is_empty() {
+                return;
+            }
+            for &c in children {
+                join_rec(a, c, b, nb, segs_a, segs_b, out);
+            }
+        }
+        (QtNode::Leaf { lines }, QtNode::Internal { children }) => {
+            if lines.is_empty() {
+                return;
+            }
+            for &c in children {
+                join_rec(a, na, b, c, segs_a, segs_b, out);
+            }
+        }
+        (QtNode::Internal { children: ca }, QtNode::Internal { children: cb }) => {
+            for q in 0..4 {
+                join_rec(a, ca[q], b, cb[q], segs_a, segs_b, out);
+            }
+        }
+    }
+}
+
+/// Brute-force reference join (all-pairs), for validation and as the
+/// baseline in the join benchmarks.
+pub fn brute_force_join(segs_a: &[LineSeg], segs_b: &[LineSeg]) -> Vec<(SegId, SegId)> {
+    let mut out = Vec::new();
+    for (ia, sa) in segs_a.iter().enumerate() {
+        for (ib, sb) in segs_b.iter().enumerate() {
+            if segments_intersect(sa, sb) {
+                out.push((ia as SegId, ib as SegId));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket_pmr::build_bucket_pmr;
+    use dp_geom::Rect;
+    use scan_model::Machine;
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 8.0, 8.0)
+    }
+
+    #[test]
+    fn join_matches_brute_force() {
+        let m = Machine::sequential();
+        let roads = vec![
+            LineSeg::from_coords(1.0, 1.0, 6.0, 6.0),
+            LineSeg::from_coords(0.0, 3.0, 7.0, 3.0),
+            LineSeg::from_coords(5.0, 0.0, 5.0, 7.0),
+        ];
+        let rivers = vec![
+            LineSeg::from_coords(1.0, 6.0, 6.0, 1.0),
+            LineSeg::from_coords(0.0, 0.5, 7.0, 0.5),
+        ];
+        let ta = build_bucket_pmr(&m, world(), &roads, 2, 6);
+        let tb = build_bucket_pmr(&m, world(), &rivers, 2, 6);
+        let got = spatial_join(&ta, &roads, &tb, &rivers);
+        let want = brute_force_join(&roads, &rivers);
+        assert_eq!(got, want);
+        assert!(got.contains(&(0, 0)), "diagonals cross");
+    }
+
+    #[test]
+    fn join_with_empty_side_is_empty() {
+        let m = Machine::sequential();
+        let roads = vec![LineSeg::from_coords(1.0, 1.0, 6.0, 6.0)];
+        let ta = build_bucket_pmr(&m, world(), &roads, 2, 6);
+        let tb = build_bucket_pmr(&m, world(), &[], 2, 6);
+        assert!(spatial_join(&ta, &roads, &tb, &[]).is_empty());
+    }
+
+    #[test]
+    fn join_deduplicates_pairs_spanning_blocks() {
+        let m = Machine::sequential();
+        // Long segments crossing many shared blocks still yield one pair.
+        let a = vec![LineSeg::from_coords(0.0, 4.0, 7.0, 4.0)];
+        let b = vec![LineSeg::from_coords(4.0, 0.0, 4.0, 7.0)];
+        let extra_a: Vec<LineSeg> = (0..5)
+            .map(|k| LineSeg::from_coords(k as f64, 6.0, k as f64 + 1.0, 7.0))
+            .collect();
+        let mut sa = a.clone();
+        sa.extend(extra_a);
+        let ta = build_bucket_pmr(&m, world(), &sa, 1, 5);
+        let tb = build_bucket_pmr(&m, world(), &b, 1, 5);
+        let got = spatial_join(&ta, &sa, &tb, &b);
+        assert_eq!(got, brute_force_join(&sa, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "same world")]
+    fn mismatched_worlds_rejected() {
+        let m = Machine::sequential();
+        let ta = build_bucket_pmr(&m, world(), &[], 2, 6);
+        let tb = build_bucket_pmr(
+            &m,
+            Rect::from_coords(0.0, 0.0, 16.0, 16.0),
+            &[],
+            2,
+            6,
+        );
+        spatial_join(&ta, &[], &tb, &[]);
+    }
+}

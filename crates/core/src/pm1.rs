@@ -1,0 +1,340 @@
+//! Data-parallel PM₁ quadtree construction (paper Secs. 4.5 and 5.1).
+//!
+//! The split decision (Sec. 4.5, Figs. 20–22) runs entirely in segmented
+//! scans over the line processor set:
+//!
+//! 1. each lane counts its line's endpoints inside the node (`EPs`: 0, 1
+//!    or 2) — one elementwise op;
+//! 2. downward inclusive `max`/`min` scans give each node the extreme
+//!    endpoint counts among its lines (Fig. 20);
+//! 3. `max = 2`, or `max = 1 ∧ min = 0` ⇒ **split**;
+//! 4. for `max = min = 1` nodes, four more `min`/`max` scans form the
+//!    minimum bounding box of the in-node endpoints (Fig. 21); a
+//!    degenerate (point) box means all lines share one vertex ⇒ no split,
+//!    otherwise split;
+//! 5. for `max = min = 0` nodes, the node's line count (Fig. 19 capacity
+//!    scan) decides: more than one line ⇒ split (Fig. 22).
+//!
+//! The build itself (Sec. 5.1) is the generic iterative driver: decide,
+//! retire, split — O(log n) rounds of O(1) scans each.
+
+use crate::lineproc::{run_quad_build, LineProcSet};
+use crate::quadtree::DpQuadtree;
+use dp_geom::{LineSeg, Rect};
+use scan_model::ops::{Max, Min};
+use scan_model::{Machine, ScanKind};
+
+/// Per-node outcome of the PM₁ split decision, exposed for tests and the
+/// Fig. 20–22 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pm1Verdict {
+    /// `max EPs = 2`: two endpoints of one line in the node (Fig. 20).
+    SplitTwoEndpoints,
+    /// `max = 1, min = 0`: a vertex plus a passing line (Fig. 20).
+    SplitMixed,
+    /// `max = min = 1` and the endpoint MBB is not a point (Fig. 21).
+    SplitDistinctVertices,
+    /// `max = min = 0` and more than one line passes through (Fig. 22).
+    SplitNoVertexManyLines,
+    /// All lines share a single vertex (degenerate endpoint MBB).
+    KeepSharedVertex,
+    /// At most one line and no vertex conflicts.
+    KeepSimple,
+}
+
+impl Pm1Verdict {
+    /// Whether the verdict requires subdivision.
+    pub fn must_split(self) -> bool {
+        matches!(
+            self,
+            Pm1Verdict::SplitTwoEndpoints
+                | Pm1Verdict::SplitMixed
+                | Pm1Verdict::SplitDistinctVertices
+                | Pm1Verdict::SplitNoVertexManyLines
+        )
+    }
+}
+
+/// The PM₁ split decision for every active node, in scan-model ops
+/// (Sec. 4.5). Exposed so the figure-level experiments can inspect the
+/// per-node verdicts; the build uses [`pm1_decision`].
+pub fn pm1_verdicts(machine: &Machine, state: &LineProcSet, segs: &[LineSeg]) -> Vec<Pm1Verdict> {
+    let seg = &state.seg;
+    // Per-lane endpoint counts (EPs field of Fig. 20). Vertex membership
+    // is *closed*: a vertex on a block boundary counts in every touching
+    // block, matching Samet's closed-block convention — otherwise two
+    // q-edges meeting at a vertex that falls exactly on a block border
+    // would render the bordering block unsatisfiable (two vertexless
+    // q-edges) at every depth.
+    let eps: Vec<i64> = machine.zip_map(&state.line, &state.rect, |id, r| {
+        segs[id as usize].count_endpoints_where(|p| r.contains(p)) as i64
+    });
+    // Downward inclusive scans: node extremes arrive at the segment head
+    // (the "first line in each segment group" of Fig. 20).
+    let max_eps = machine.down_scan_seg(&eps, seg, Max, ScanKind::Inclusive);
+    let min_eps = machine.down_scan_seg(&eps, seg, Min, ScanKind::Inclusive);
+
+    // Endpoint minimum bounding boxes (Fig. 21): per-lane boxes of the
+    // in-node endpoints, combined with four min/max scans. Lanes with no
+    // in-node endpoint contribute the empty box (infinite identities).
+    let lane_boxes: Vec<(f64, f64, f64, f64)> =
+        machine.zip_map(&state.line, &state.rect, |id, r| {
+            let s = &segs[id as usize];
+            let mut bx = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+            for p in [s.a, s.b] {
+                if r.contains(p) {
+                    bx.0 = bx.0.min(p.x);
+                    bx.1 = bx.1.min(p.y);
+                    bx.2 = bx.2.max(p.x);
+                    bx.3 = bx.3.max(p.y);
+                }
+            }
+            bx
+        });
+    let xs_min: Vec<f64> = machine.map(&lane_boxes, |b| b.0);
+    let ys_min: Vec<f64> = machine.map(&lane_boxes, |b| b.1);
+    let xs_max: Vec<f64> = machine.map(&lane_boxes, |b| b.2);
+    let ys_max: Vec<f64> = machine.map(&lane_boxes, |b| b.3);
+    let mbb_min_x = machine.down_scan_seg(&xs_min, seg, Min, ScanKind::Inclusive);
+    let mbb_min_y = machine.down_scan_seg(&ys_min, seg, Min, ScanKind::Inclusive);
+    let mbb_max_x = machine.down_scan_seg(&xs_max, seg, Max, ScanKind::Inclusive);
+    let mbb_max_y = machine.down_scan_seg(&ys_max, seg, Max, ScanKind::Inclusive);
+
+    // Line counts (Fig. 22 / Fig. 19 capacity scan).
+    let counts = machine.segment_counts(seg);
+
+    // Elementwise verdict at each node (segment head reads).
+    machine.note_elementwise();
+    seg.starts()
+        .iter()
+        .enumerate()
+        .map(|(s, &head)| {
+            let (mx, mn) = (max_eps[head], min_eps[head]);
+            if mx == 2 {
+                Pm1Verdict::SplitTwoEndpoints
+            } else if mx == 1 && mn == 0 {
+                Pm1Verdict::SplitMixed
+            } else if mx == 1 && mn == 1 {
+                let degenerate = mbb_min_x[head] == mbb_max_x[head]
+                    && mbb_min_y[head] == mbb_max_y[head];
+                if degenerate {
+                    Pm1Verdict::KeepSharedVertex
+                } else {
+                    Pm1Verdict::SplitDistinctVertices
+                }
+            } else if counts[s] > 1 {
+                Pm1Verdict::SplitNoVertexManyLines
+            } else {
+                Pm1Verdict::KeepSimple
+            }
+        })
+        .collect()
+}
+
+/// The boolean split decision used by the build driver.
+pub fn pm1_decision(machine: &Machine, state: &LineProcSet, segs: &[LineSeg]) -> Vec<bool> {
+    pm1_verdicts(machine, state, segs)
+        .into_iter()
+        .map(Pm1Verdict::must_split)
+        .collect()
+}
+
+/// Builds a PM₁ quadtree over `segs` with all lines inserted
+/// simultaneously (paper Sec. 5.1).
+///
+/// `max_depth` bounds subdivision; blocks still invalid there are
+/// reported via [`DpQuadtree::truncated`].
+///
+/// # Panics
+///
+/// Panics if any segment endpoint lies outside the half-open `world`.
+pub fn build_pm1(
+    machine: &Machine,
+    world: Rect,
+    segs: &[LineSeg],
+    max_depth: usize,
+) -> DpQuadtree {
+    let mut decide = pm1_decision;
+    let out = run_quad_build(machine, world, segs, max_depth, &mut decide);
+    DpQuadtree::assemble(world, out.leaves, out.rounds, out.truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_geom::Point;
+    use scan_model::Backend;
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 8.0, 8.0)
+    }
+
+    fn machines() -> Vec<Machine> {
+        vec![
+            Machine::sequential(),
+            Machine::new(Backend::Parallel).with_par_threshold(1),
+        ]
+    }
+
+    /// Figs. 20–22 worked in miniature: one decision round over four
+    /// distinct node situations.
+    #[test]
+    fn fig20_22_verdicts() {
+        for m in machines() {
+            // Node layout: we hand-construct a state with four active
+            // nodes by running one split of a crafted dataset would be
+            // indirect; instead call the decision on four single-node
+            // states.
+            // Case 1 (paper node 2): a line with both endpoints inside.
+            let segs1 = vec![LineSeg::from_coords(1.0, 1.0, 6.0, 6.0)];
+            let st1 = LineProcSet::initial(world(), &segs1);
+            assert_eq!(
+                pm1_verdicts(&m, &st1, &segs1),
+                vec![Pm1Verdict::SplitTwoEndpoints]
+            );
+
+            // Case 2 (paper node 1): two lines, one endpoint each, at
+            // different positions -> split.
+            let segs2 = vec![
+                LineSeg::from_coords(1.0, 1.0, 6.0, 6.0),
+                LineSeg::from_coords(2.0, 1.0, 7.0, 5.0),
+            ];
+            // Shrink to a state where each line has exactly one endpoint
+            // inside: use the SW quadrant as the node.
+            let node = world().quadrants()[2]; // [0,4)x[0,4)
+            let st2 = LineProcSet {
+                line: vec![0, 1],
+                rect: vec![node, node],
+                seg: scan_model::Segments::single(2),
+                nodes: vec![crate::lineproc::ActiveNode {
+                    path: dp_geom::NodePath::ROOT.child(dp_geom::Quadrant::SW),
+                    rect: node,
+                }],
+            };
+            assert_eq!(
+                pm1_verdicts(&m, &st2, &segs2),
+                vec![Pm1Verdict::SplitDistinctVertices]
+            );
+
+            // Case 3 (paper node 4): all lines share the single in-node
+            // vertex -> keep.
+            let segs3 = vec![
+                LineSeg::from_coords(2.0, 2.0, 6.0, 6.0),
+                LineSeg::from_coords(2.0, 2.0, 7.0, 1.0),
+            ];
+            let st3 = LineProcSet {
+                line: vec![0, 1],
+                rect: vec![node, node],
+                seg: scan_model::Segments::single(2),
+                nodes: st2.nodes.clone(),
+            };
+            assert_eq!(
+                pm1_verdicts(&m, &st3, &segs3),
+                vec![Pm1Verdict::KeepSharedVertex]
+            );
+
+            // Case 4 (paper node 3): no vertices, single passing line ->
+            // keep; two passing lines -> split.
+            // Endpoints chosen outside the NE block so EPs = 0 for both
+            // (the state is hand-built, so the world bound is not
+            // enforced here).
+            let segs4 = vec![
+                LineSeg::from_coords(0.0, 5.0, 9.0, 5.0),
+                LineSeg::from_coords(0.0, 6.0, 9.0, 6.0),
+            ];
+            let node_ne = world().quadrants()[1]; // [4,8)x[4,8)
+            let mk = |lines: Vec<u32>| LineProcSet {
+                rect: vec![node_ne; lines.len()],
+                seg: scan_model::Segments::single(lines.len()),
+                line: lines,
+                nodes: vec![crate::lineproc::ActiveNode {
+                    path: dp_geom::NodePath::ROOT.child(dp_geom::Quadrant::NE),
+                    rect: node_ne,
+                }],
+            };
+            assert_eq!(
+                pm1_verdicts(&m, &mk(vec![0]), &segs4),
+                vec![Pm1Verdict::KeepSimple]
+            );
+            assert_eq!(
+                pm1_verdicts(&m, &mk(vec![0, 1]), &segs4),
+                vec![Pm1Verdict::SplitNoVertexManyLines]
+            );
+        }
+    }
+
+    #[test]
+    fn build_satisfies_pm1_invariant() {
+        for m in machines() {
+            let segs = vec![
+                LineSeg::from_coords(2.0, 5.0, 5.0, 6.0),
+                LineSeg::from_coords(5.0, 7.0, 7.0, 3.0),
+                LineSeg::from_coords(1.0, 6.0, 0.0, 7.0),
+                LineSeg::from_coords(1.0, 6.0, 3.0, 7.0),
+                LineSeg::from_coords(0.0, 2.0, 2.0, 1.0),
+            ];
+            let t = build_pm1(&m, world(), &segs, 8);
+            assert_eq!(t.truncated(), 0);
+            // Every leaf satisfies the PM1 criterion (checked against the
+            // independent sequential implementation's validity predicate).
+            t.for_each_leaf(|rect, _, ids| {
+                assert!(
+                    seq_spatial::pm1::pm1_block_valid(ids, &segs, rect),
+                    "invalid PM1 leaf {rect} with {ids:?}"
+                );
+            });
+            // Everything is retrievable.
+            assert_eq!(t.window_query(&world(), &segs), vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_line_builds() {
+        for m in machines() {
+            let t = build_pm1(&m, world(), &[], 6);
+            assert_eq!(t.stats().nodes, 1);
+            let segs = vec![LineSeg::from_coords(1.0, 1.0, 6.0, 5.0)];
+            let t = build_pm1(&m, world(), &segs, 6);
+            assert!(t.rounds() >= 1, "two in-block endpoints force a split");
+            assert_eq!(t.truncated(), 0);
+            assert_eq!(t.point_query(Point::new(1.0, 1.0)), vec![0]);
+        }
+    }
+
+    #[test]
+    fn close_vertices_need_depth_fig2() {
+        for m in machines() {
+            let segs = vec![
+                LineSeg::from_coords(1.0, 1.0, 6.0, 5.0),
+                LineSeg::from_coords(2.0, 1.0, 6.0, 1.0),
+            ];
+            // Depth 1 cannot separate vertices (1,1) and (2,1).
+            let shallow = build_pm1(&m, world(), &segs, 1);
+            assert!(shallow.truncated() > 0);
+            // Depth 3 (unit blocks) separates them.
+            let deep = build_pm1(&m, world(), &segs, 4);
+            assert_eq!(deep.truncated(), 0);
+            assert!(deep.stats().height >= 3);
+        }
+    }
+
+    #[test]
+    fn backends_build_identical_trees() {
+        let segs: Vec<LineSeg> = (0..30)
+            .map(|k| {
+                let x = (k % 6) as f64;
+                let y = ((k * 3) % 7) as f64;
+                LineSeg::from_coords(x, y, x + 1.0, y + 1.0)
+            })
+            .collect();
+        let a = build_pm1(&Machine::sequential(), world(), &segs, 8);
+        let b = build_pm1(
+            &Machine::new(Backend::Parallel).with_par_threshold(1),
+            world(),
+            &segs,
+            8,
+        );
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.window_query(&world(), &segs), b.window_query(&world(), &segs));
+    }
+}

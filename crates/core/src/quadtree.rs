@@ -1,0 +1,400 @@
+//! Assembly of a pointer quadtree from the leaf records of a
+//! data-parallel build, plus the query surface.
+//!
+//! The build driver ([`crate::lineproc::run_quad_build`]) emits non-empty
+//! leaf blocks identified by root-to-leaf quadrant paths. [`DpQuadtree`]
+//! materializes the full tree: every internal node has exactly four
+//! children, with children that received no lines becoming empty leaves
+//! (the PM₁ quadtree creates empty blocks eagerly — paper Sec. 2.1 and
+//! Fig. 2's "eleven of which are empty").
+
+use crate::lineproc::LeafRecord;
+use crate::SegId;
+use dp_geom::{LineSeg, Point, Rect};
+
+/// A node of the assembled quadtree.
+#[derive(Debug, Clone)]
+pub enum QtNode {
+    /// Internal node; children in NW, NE, SW, SE order.
+    Internal {
+        /// Child indices.
+        children: [usize; 4],
+    },
+    /// Leaf block with the ids of the lines passing through it.
+    Leaf {
+        /// Line ids (q-edges of the block).
+        lines: Vec<SegId>,
+    },
+}
+
+/// A quadtree assembled from data-parallel build output.
+#[derive(Debug, Clone)]
+pub struct DpQuadtree {
+    world: Rect,
+    nodes: Vec<QtNode>,
+    rounds: usize,
+    truncated: usize,
+}
+
+/// Structure statistics of an assembled quadtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QtStats {
+    /// Total nodes.
+    pub nodes: usize,
+    /// Leaf nodes.
+    pub leaves: usize,
+    /// Leaves holding no lines.
+    pub empty_leaves: usize,
+    /// Longest root-to-leaf path.
+    pub height: usize,
+    /// Total q-edge entries across leaves.
+    pub entries: usize,
+    /// Largest leaf occupancy.
+    pub max_leaf_occupancy: usize,
+}
+
+impl DpQuadtree {
+    /// Assembles the tree from build output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two leaf records overlap (one is an ancestor of another)
+    /// — that would indicate a build-driver bug.
+    pub fn assemble(world: Rect, leaves: Vec<LeafRecord>, rounds: usize, truncated: usize) -> Self {
+        let mut tree = DpQuadtree {
+            world,
+            nodes: vec![QtNode::Leaf { lines: Vec::new() }],
+            rounds,
+            truncated,
+        };
+        for leaf in leaves {
+            tree.place_leaf(leaf);
+        }
+        tree
+    }
+
+    fn place_leaf(&mut self, leaf: LeafRecord) {
+        let mut at = 0usize;
+        for q in leaf.path.quadrants() {
+            // Ensure `at` is internal, then descend.
+            let children = match &self.nodes[at] {
+                QtNode::Internal { children } => *children,
+                QtNode::Leaf { lines } => {
+                    assert!(
+                        lines.is_empty(),
+                        "leaf record descends through an occupied leaf (overlapping records)"
+                    );
+                    let base = self.nodes.len();
+                    for _ in 0..4 {
+                        self.nodes.push(QtNode::Leaf { lines: Vec::new() });
+                    }
+                    let children = [base, base + 1, base + 2, base + 3];
+                    self.nodes[at] = QtNode::Internal { children };
+                    children
+                }
+            };
+            at = children[q.index()];
+        }
+        match &mut self.nodes[at] {
+            QtNode::Leaf { lines } => {
+                assert!(
+                    lines.is_empty(),
+                    "two leaf records target the same block"
+                );
+                *lines = leaf.lines;
+            }
+            QtNode::Internal { .. } => {
+                panic!("leaf record targets an internal node (overlapping records)")
+            }
+        }
+    }
+
+    /// The world rectangle.
+    pub fn world(&self) -> Rect {
+        self.world
+    }
+
+    /// Subdivision rounds the build took (paper's O(log n) stage count).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Number of leaves cut off by the depth bound while still wanting to
+    /// split.
+    pub fn truncated(&self) -> usize {
+        self.truncated
+    }
+
+    /// Borrow a node (index 0 is the root).
+    pub fn node(&self, i: usize) -> &QtNode {
+        &self.nodes[i]
+    }
+
+    /// Ids stored in leaves intersecting `query`, deduplicated and
+    /// sorted; no exact-geometry filter.
+    pub fn window_candidates(&self, query: &Rect) -> Vec<SegId> {
+        let mut out = Vec::new();
+        let mut stack = vec![(0usize, self.world)];
+        while let Some((idx, rect)) = stack.pop() {
+            if !rect.intersects(query) {
+                continue;
+            }
+            match &self.nodes[idx] {
+                QtNode::Leaf { lines } => out.extend_from_slice(lines),
+                QtNode::Internal { children } => {
+                    let quads = rect.quadrants();
+                    for q in 0..4 {
+                        stack.push((children[q], quads[q]));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Ids of lines that truly intersect `query` (exact filter over the
+    /// candidates).
+    pub fn window_query(&self, query: &Rect, segs: &[LineSeg]) -> Vec<SegId> {
+        self.window_candidates(query)
+            .into_iter()
+            .filter(|&id| dp_geom::clip_segment_closed(&segs[id as usize], query).is_some())
+            .collect()
+    }
+
+    /// Ids in the unique leaf block containing `p` (sorted), or empty when
+    /// `p` is outside the world.
+    pub fn point_query(&self, p: Point) -> Vec<SegId> {
+        if !self.world.contains_half_open(p) {
+            return Vec::new();
+        }
+        let mut idx = 0usize;
+        let mut rect = self.world;
+        loop {
+            match &self.nodes[idx] {
+                QtNode::Leaf { lines } => {
+                    let mut v = lines.clone();
+                    v.sort_unstable();
+                    return v;
+                }
+                QtNode::Internal { children } => {
+                    let quads = rect.quadrants();
+                    let q = (0..4)
+                        .find(|&q| quads[q].contains_half_open(p))
+                        .expect("half-open quadrants partition the block");
+                    idx = children[q];
+                    rect = quads[q];
+                }
+            }
+        }
+    }
+
+    /// The nearest line to `p` by true segment distance (best-first block
+    /// search). `None` for an empty tree.
+    pub fn nearest(&self, p: Point, segs: &[LineSeg]) -> Option<(SegId, f64)> {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+        struct Item {
+            dist2: f64,
+            node: usize,
+            rect: Rect,
+        }
+        impl PartialEq for Item {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist2 == other.dist2
+            }
+        }
+        impl Eq for Item {}
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other.dist2.total_cmp(&self.dist2) // min-heap
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Item {
+            dist2: self.world.dist2_to_point(p),
+            node: 0,
+            rect: self.world,
+        });
+        let mut best: Option<(SegId, f64)> = None;
+        while let Some(item) = heap.pop() {
+            if let Some((_, d)) = best {
+                if item.dist2 > d * d {
+                    break;
+                }
+            }
+            match &self.nodes[item.node] {
+                QtNode::Leaf { lines } => {
+                    for &id in lines {
+                        let d = segs[id as usize].dist2_to_point(p).sqrt();
+                        if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                            best = Some((id, d));
+                        }
+                    }
+                }
+                QtNode::Internal { children } => {
+                    let quads = item.rect.quadrants();
+                    for q in 0..4 {
+                        heap.push(Item {
+                            dist2: quads[q].dist2_to_point(p),
+                            node: children[q],
+                            rect: quads[q],
+                        });
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Visits every leaf with its block rectangle and depth.
+    pub fn for_each_leaf<F: FnMut(&Rect, usize, &[SegId])>(&self, mut f: F) {
+        let mut stack = vec![(0usize, self.world, 0usize)];
+        while let Some((idx, rect, depth)) = stack.pop() {
+            match &self.nodes[idx] {
+                QtNode::Leaf { lines } => f(&rect, depth, lines),
+                QtNode::Internal { children } => {
+                    let quads = rect.quadrants();
+                    for q in 0..4 {
+                        stack.push((children[q], quads[q], depth + 1));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Structure statistics.
+    pub fn stats(&self) -> QtStats {
+        let mut s = QtStats {
+            nodes: self.nodes.len(),
+            ..QtStats::default()
+        };
+        self.for_each_leaf(|_, depth, lines| {
+            s.leaves += 1;
+            s.height = s.height.max(depth);
+            s.entries += lines.len();
+            s.max_leaf_occupancy = s.max_leaf_occupancy.max(lines.len());
+            if lines.is_empty() {
+                s.empty_leaves += 1;
+            }
+        });
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_geom::{NodePath, Quadrant};
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 8.0, 8.0)
+    }
+
+    fn leaf(path: NodePath, rect: Rect, lines: Vec<SegId>) -> LeafRecord {
+        LeafRecord { path, rect, lines }
+    }
+
+    #[test]
+    fn assemble_empty() {
+        let t = DpQuadtree::assemble(world(), Vec::new(), 0, 0);
+        let s = t.stats();
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.empty_leaves, 1);
+        assert!(t.point_query(Point::new(1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn assemble_fills_empty_siblings() {
+        let quads = world().quadrants();
+        let t = DpQuadtree::assemble(
+            world(),
+            vec![leaf(
+                NodePath::ROOT.child(Quadrant::NW),
+                quads[0],
+                vec![0, 1],
+            )],
+            1,
+            0,
+        );
+        let s = t.stats();
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.leaves, 4);
+        assert_eq!(s.empty_leaves, 3);
+        assert_eq!(s.height, 1);
+        assert_eq!(t.point_query(Point::new(1.0, 7.0)), vec![0, 1]);
+        assert!(t.point_query(Point::new(7.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn deep_leaf_creates_skeleton() {
+        let path = NodePath::ROOT.child(Quadrant::SE).child(Quadrant::NE);
+        let rect = world().quadrants()[3].quadrants()[1];
+        let t = DpQuadtree::assemble(world(), vec![leaf(path, rect, vec![7])], 2, 0);
+        let s = t.stats();
+        assert_eq!(s.height, 2);
+        assert_eq!(s.leaves, 7); // 3 empties at depth 1 + 4 at depth 2
+        assert_eq!(t.point_query(Point::new(7.0, 3.0)), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping records")]
+    fn overlapping_records_rejected() {
+        let quads = world().quadrants();
+        let nw = NodePath::ROOT.child(Quadrant::NW);
+        DpQuadtree::assemble(
+            world(),
+            vec![
+                leaf(nw, quads[0], vec![0]),
+                leaf(nw.child(Quadrant::NE), quads[0].quadrants()[1], vec![1]),
+            ],
+            1,
+            0,
+        );
+    }
+
+    #[test]
+    fn window_candidates_dedup_across_blocks() {
+        let quads = world().quadrants();
+        let t = DpQuadtree::assemble(
+            world(),
+            vec![
+                leaf(NodePath::ROOT.child(Quadrant::SW), quads[2], vec![3]),
+                leaf(NodePath::ROOT.child(Quadrant::SE), quads[3], vec![3, 4]),
+            ],
+            1,
+            0,
+        );
+        assert_eq!(t.window_candidates(&world()), vec![3, 4]);
+    }
+
+    #[test]
+    fn nearest_on_small_tree() {
+        let segs = vec![
+            LineSeg::from_coords(1.0, 1.0, 2.0, 1.0),
+            LineSeg::from_coords(6.0, 6.0, 7.0, 6.0),
+        ];
+        let quads = world().quadrants();
+        let t = DpQuadtree::assemble(
+            world(),
+            vec![
+                leaf(NodePath::ROOT.child(Quadrant::SW), quads[2], vec![0]),
+                leaf(NodePath::ROOT.child(Quadrant::NE), quads[1], vec![1]),
+            ],
+            1,
+            0,
+        );
+        let (id, d) = t.nearest(Point::new(1.0, 2.0), &segs).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(d, 1.0);
+        let (id2, _) = t.nearest(Point::new(7.0, 7.0), &segs).unwrap();
+        assert_eq!(id2, 1);
+    }
+}

@@ -1,0 +1,498 @@
+//! R-tree node split selection (paper Sec. 4.7).
+//!
+//! Two algorithms, both vectorized over *all* overflowing nodes at once:
+//!
+//! * [`RtreeSplitAlgorithm::Mean`] — the O(1) split: the split axis and
+//!   coordinate come from the **means of the bounding-box midpoints**,
+//!   computed with a downward addition scan, a head division, and an
+//!   upward copy-scan broadcast; the axis whose two resulting bounding
+//!   boxes overlap least wins.
+//! * [`RtreeSplitAlgorithm::Sweep`] — the O(log n) split: entries are
+//!   **sorted by the left edge** of their boxes, upward inclusive and
+//!   downward exclusive min/max scans give each position the bounding box
+//!   of everything before and after it (the `L Bbox` / `R Bbox` rows of
+//!   Fig. 29), every *legal* split position (both sides ≥ m) is scored by
+//!   overlap, and the minimum wins; ties fall to the smaller total margin
+//!   (the paper's perimeter tie-break). The same procedure runs on the
+//!   y-axis and the better axis is chosen.
+//!
+//! The selector returns a per-item class bit (`false` = left group) which
+//! the build feeds to the unshuffle primitive.
+
+use dp_geom::Rect;
+use scan_model::ops::{Max, Min, Sum};
+use scan_model::{Direction, Machine, ScanKind, Segments};
+
+/// Which node split selector the R-tree build uses (paper Sec. 4.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RtreeSplitAlgorithm {
+    /// O(1) mean-of-midpoints split (first algorithm of Sec. 4.7).
+    Mean,
+    /// O(log n) sorted-sweep minimal-overlap split (second algorithm of
+    /// Sec. 4.7, used by the paper's build in Sec. 5.3).
+    Sweep,
+}
+
+/// Per-segment minimum bounding rectangle of the masked items: 4 masked
+/// min/max scans plus a head read (the "small sequence of upward and
+/// downward inclusive scan operations" of Sec. 4.7).
+fn masked_group_rects(
+    machine: &Machine,
+    seg: &Segments,
+    mbrs: &[Rect],
+    mask: &[bool],
+) -> Vec<Rect> {
+    let lo_x: Vec<f64> = machine.zip_map(mbrs, mask, |r, m| if m { r.min.x } else { f64::INFINITY });
+    let lo_y: Vec<f64> = machine.zip_map(mbrs, mask, |r, m| if m { r.min.y } else { f64::INFINITY });
+    let hi_x: Vec<f64> =
+        machine.zip_map(mbrs, mask, |r, m| if m { r.max.x } else { f64::NEG_INFINITY });
+    let hi_y: Vec<f64> =
+        machine.zip_map(mbrs, mask, |r, m| if m { r.max.y } else { f64::NEG_INFINITY });
+    let lo_x = machine.down_scan_seg(&lo_x, seg, Min, ScanKind::Inclusive);
+    let lo_y = machine.down_scan_seg(&lo_y, seg, Min, ScanKind::Inclusive);
+    let hi_x = machine.down_scan_seg(&hi_x, seg, Max, ScanKind::Inclusive);
+    let hi_y = machine.down_scan_seg(&hi_y, seg, Max, ScanKind::Inclusive);
+    machine.note_elementwise();
+    seg.starts()
+        .iter()
+        .map(|&h| {
+            if lo_x[h] > hi_x[h] || lo_y[h] > hi_y[h] {
+                Rect::empty()
+            } else {
+                Rect::from_coords(lo_x[h], lo_y[h], hi_x[h], hi_y[h])
+            }
+        })
+        .collect()
+}
+
+/// The minimum number of items each side of a split must receive.
+///
+/// The paper's legality rule is *proportional*: "each of the two
+/// resulting nodes receives at least m/M of the lines being
+/// redistributed" (Sec. 4.7). The proportional floor is what makes the
+/// build take O(log n) rounds — every split shrinks a node geometrically,
+/// never by a constant. For a minimal overflow (`len = M + 1`) it reduces
+/// to exactly `m`, matching Guttman's node-level constraint.
+pub fn split_floor(len: usize, m_min: usize, max: usize) -> usize {
+    m_min.max(len * m_min / (max + 1))
+}
+
+/// Computes the per-item split classes for every overflowing segment.
+///
+/// `seg` groups the items (nodes' children or leaves' lines), `mbrs` are
+/// the item bounding rectangles, `overflowing` marks which segments must
+/// split, and `(m_min, max)` is the tree order — each side of a split
+/// receives at least [`split_floor`] items. Items of non-overflowing
+/// segments come back `false` (the subsequent unshuffle leaves them in
+/// place).
+///
+/// # Panics
+///
+/// Panics if an overflowing segment has fewer than `2 * m_min` items (the
+/// build guarantees `len > M >= 2m - 1`).
+pub fn select_split_classes(
+    machine: &Machine,
+    seg: &Segments,
+    mbrs: &[Rect],
+    overflowing: &[bool],
+    m_min: usize,
+    max: usize,
+    algo: RtreeSplitAlgorithm,
+) -> Vec<bool> {
+    assert_eq!(seg.num_segments(), overflowing.len());
+    assert_eq!(seg.len(), mbrs.len());
+    for (s, r) in seg.ranges().enumerate() {
+        if overflowing[s] {
+            assert!(
+                r.len() >= 2 * m_min,
+                "segment {s} has {} items, cannot give both sides {m_min}",
+                r.len()
+            );
+        }
+    }
+    match algo {
+        RtreeSplitAlgorithm::Mean => mean_split(machine, seg, mbrs, overflowing, m_min, max),
+        RtreeSplitAlgorithm::Sweep => sweep_split(machine, seg, mbrs, overflowing, m_min, max),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Mean split (O(1))
+// ----------------------------------------------------------------------
+
+fn mean_split(
+    machine: &Machine,
+    seg: &Segments,
+    mbrs: &[Rect],
+    overflowing: &[bool],
+    m_min: usize,
+    max: usize,
+) -> Vec<bool> {
+    let n = seg.len();
+    // Midpoints, per axis.
+    let mid_x: Vec<f64> = machine.map(mbrs, |r| r.center().x);
+    let mid_y: Vec<f64> = machine.map(mbrs, |r| r.center().y);
+    // Downward addition scans sum the midpoints; the head divides by the
+    // count and broadcasts back with an upward copy scan (Sec. 4.7).
+    let sum_x = machine.down_scan_seg(&mid_x, seg, Sum, ScanKind::Inclusive);
+    let sum_y = machine.down_scan_seg(&mid_y, seg, Sum, ScanKind::Inclusive);
+    let counts = machine.segment_counts(seg);
+    machine.note_elementwise();
+    let mut head_mean_x = vec![0.0f64; n];
+    let mut head_mean_y = vec![0.0f64; n];
+    for (s, &h) in seg.starts().iter().enumerate() {
+        head_mean_x[h] = sum_x[h] / counts[s] as f64;
+        head_mean_y[h] = sum_y[h] / counts[s] as f64;
+    }
+    let mean_x = machine.broadcast_first(&head_mean_x, seg);
+    let mean_y = machine.broadcast_first(&head_mean_y, seg);
+
+    // Each item decides its side per axis.
+    let side_x: Vec<bool> = machine.zip_map(&mid_x, &mean_x, |m, mu| m >= mu);
+    let side_y: Vec<bool> = machine.zip_map(&mid_y, &mean_y, |m, mu| m >= mu);
+
+    // Resulting group extents and overlaps per axis.
+    let not_x: Vec<bool> = machine.map(&side_x, |b| !b);
+    let not_y: Vec<bool> = machine.map(&side_y, |b| !b);
+    let left_x = masked_group_rects(machine, seg, mbrs, &not_x);
+    let right_x = masked_group_rects(machine, seg, mbrs, &side_x);
+    let left_y = masked_group_rects(machine, seg, mbrs, &not_y);
+    let right_y = masked_group_rects(machine, seg, mbrs, &side_y);
+
+    // Side counts per segment (legality).
+    let ones_x: Vec<u64> = machine.map(&side_x, |b| b as u64);
+    let ones_y: Vec<u64> = machine.map(&side_y, |b| b as u64);
+    let cnt_x = machine.down_scan_seg(&ones_x, seg, Sum, ScanKind::Inclusive);
+    let cnt_y = machine.down_scan_seg(&ones_y, seg, Sum, ScanKind::Inclusive);
+
+    // Per-segment axis choice.
+    #[derive(Clone, Copy)]
+    enum Choice {
+        AxisX,
+        AxisY,
+        RankFallback,
+    }
+    machine.note_elementwise();
+    let choices: Vec<Choice> = seg
+        .ranges()
+        .enumerate()
+        .map(|(s, r)| {
+            if !overflowing[s] {
+                return Choice::RankFallback; // unused
+            }
+            let len = r.len() as u64;
+            let h = r.start;
+            let floor = split_floor(r.len(), m_min, max) as u64;
+            let legal = |right: u64| right >= floor && (len - right) >= floor;
+            let (lx, ly) = (legal(cnt_x[h]), legal(cnt_y[h]));
+            let ov_x = left_x[s].overlap_area(&right_x[s]);
+            let ov_y = left_y[s].overlap_area(&right_y[s]);
+            match (lx, ly) {
+                (true, true) => {
+                    if ov_x <= ov_y {
+                        Choice::AxisX
+                    } else {
+                        Choice::AxisY
+                    }
+                }
+                (true, false) => Choice::AxisX,
+                (false, true) => Choice::AxisY,
+                (false, false) => Choice::RankFallback,
+            }
+        })
+        .collect();
+
+    // Per-item class under the chosen rule. The rank fallback splits the
+    // segment at its midpoint in lane order — degenerate data (all
+    // midpoints equal) still makes progress.
+    let ranks = machine.rank_in_segment(seg);
+    machine.note_elementwise();
+    let mut class = vec![false; n];
+    for (s, r) in seg.ranges().enumerate() {
+        if !overflowing[s] {
+            continue;
+        }
+        let half = r.len() / 2;
+        for i in r.clone() {
+            class[i] = match choices[s] {
+                Choice::AxisX => side_x[i],
+                Choice::AxisY => side_y[i],
+                Choice::RankFallback => (ranks[i] as usize) >= r.len() - half,
+            };
+        }
+    }
+    class
+}
+
+// ----------------------------------------------------------------------
+// Sweep split (O(log n), Fig. 29)
+// ----------------------------------------------------------------------
+
+/// Per-axis sweep state: for each position in the axis-sorted order, the
+/// bounding boxes of the prefix (inclusive) and suffix (exclusive), plus
+/// the item's rank.
+struct AxisSweep {
+    /// Gather order that sorts each segment along the axis.
+    order: Vec<usize>,
+    /// For each *sorted position*, overlap of the split "after this
+    /// position" (infinite when illegal).
+    score: Vec<(f64, f64)>, // (overlap, margin)
+    /// Rank of each sorted position within its segment.
+    rank: Vec<u64>,
+}
+
+fn axis_sweep(
+    machine: &Machine,
+    seg: &Segments,
+    mbrs: &[Rect],
+    m_min: usize,
+    max: usize,
+    axis_y: bool,
+) -> AxisSweep {
+    // Sort by the left edge along the axis (Fig. 29's `ls:left side`).
+    let keys: Vec<f64> = machine.map(mbrs, |r| if axis_y { r.min.y } else { r.min.x });
+    let order = machine.segmented_sort_perm(seg, &keys, |a, b| a.total_cmp(b));
+    let sorted: Vec<Rect> = machine.gather(mbrs, &order);
+
+    // L Bbox: upward inclusive min/max scans (Fig. 29 rows
+    // `L Bbox left side` / `L Bbox right side`, extended to full boxes).
+    let lo_x: Vec<f64> = machine.map(&sorted, |r| r.min.x);
+    let lo_y: Vec<f64> = machine.map(&sorted, |r| r.min.y);
+    let hi_x: Vec<f64> = machine.map(&sorted, |r| r.max.x);
+    let hi_y: Vec<f64> = machine.map(&sorted, |r| r.max.y);
+    let l_lo_x = machine.up_scan_seg(&lo_x, seg, Min, ScanKind::Inclusive);
+    let l_lo_y = machine.up_scan_seg(&lo_y, seg, Min, ScanKind::Inclusive);
+    let l_hi_x = machine.up_scan_seg(&hi_x, seg, Max, ScanKind::Inclusive);
+    let l_hi_y = machine.up_scan_seg(&hi_y, seg, Max, ScanKind::Inclusive);
+    // R Bbox: downward exclusive scans (Fig. 29's "analogous downward
+    // min/max exclusive scans").
+    let r_lo_x = machine.scan(&lo_x, seg, Min, Direction::Down, ScanKind::Exclusive);
+    let r_lo_y = machine.scan(&lo_y, seg, Min, Direction::Down, ScanKind::Exclusive);
+    let r_hi_x = machine.scan(&hi_x, seg, Max, Direction::Down, ScanKind::Exclusive);
+    let r_hi_y = machine.scan(&hi_y, seg, Max, Direction::Down, ScanKind::Exclusive);
+
+    let rank = machine.rank_in_segment(seg);
+    let lens = machine.segment_counts_broadcast(seg);
+
+    // Score every split position (split after sorted position i).
+    machine.note_elementwise();
+    let score: Vec<(f64, f64)> = (0..seg.len())
+        .map(|i| {
+            let k = rank[i] + 1; // left group size
+            let len = lens[i];
+            let floor = split_floor(len as usize, m_min, max) as u64;
+            if k < floor || len - k < floor {
+                return (f64::INFINITY, f64::INFINITY);
+            }
+            let l = Rect::from_coords(l_lo_x[i], l_lo_y[i], l_hi_x[i], l_hi_y[i]);
+            let r = Rect::from_coords(
+                r_lo_x[i].min(r_hi_x[i]),
+                r_lo_y[i].min(r_hi_y[i]),
+                r_hi_x[i],
+                r_hi_y[i],
+            );
+            (l.overlap_area(&r), l.margin() + r.margin())
+        })
+        .collect();
+
+    AxisSweep { order, score, rank }
+}
+
+fn sweep_split(
+    machine: &Machine,
+    seg: &Segments,
+    mbrs: &[Rect],
+    overflowing: &[bool],
+    m_min: usize,
+    max: usize,
+) -> Vec<bool> {
+    let x = axis_sweep(machine, seg, mbrs, m_min, max, false);
+    let y = axis_sweep(machine, seg, mbrs, m_min, max, true);
+
+    // Per-segment argmin over the legal split positions of each axis
+    // (a min-reduction; one scan-equivalent per axis).
+    machine.note_scan();
+    machine.note_scan();
+    let n = seg.len();
+    let mut class = vec![false; n];
+    for (s, r) in seg.ranges().enumerate() {
+        if !overflowing[s] {
+            continue;
+        }
+        let best_of = |sweep: &AxisSweep| -> ((f64, f64), u64) {
+            let mut best = ((f64::INFINITY, f64::INFINITY), 0u64);
+            for i in r.clone() {
+                let sc = sweep.score[i];
+                if sc < best.0 {
+                    best = (sc, sweep.rank[i]);
+                }
+            }
+            best
+        };
+        let (score_x, k_x) = best_of(&x);
+        let (score_y, k_y) = best_of(&y);
+        debug_assert!(
+            score_x.0.is_finite() || score_y.0.is_finite(),
+            "an overflowing segment must have a legal split"
+        );
+        // Minimal overlap wins; ties fall to the smaller margin sum
+        // (the paper's perimeter tie-break).
+        let (sweep, k) = if score_x <= score_y {
+            (&x, k_x)
+        } else {
+            (&y, k_y)
+        };
+        // Items at sorted rank <= k go left.
+        for j in r.clone() {
+            let item = sweep.order[j];
+            class[item] = sweep.rank[j] > k;
+        }
+    }
+    machine.note_permute();
+    class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_model::Backend;
+
+    fn machines() -> Vec<Machine> {
+        vec![
+            Machine::sequential(),
+            Machine::new(Backend::Parallel).with_par_threshold(1),
+        ]
+    }
+
+    fn rects(v: &[(f64, f64, f64, f64)]) -> Vec<Rect> {
+        v.iter()
+            .map(|&(a, b, c, d)| Rect::from_coords(a, b, c, d))
+            .collect()
+    }
+
+    /// Paper Fig. 29: four boxes A–D sorted by left x-coordinate, with
+    /// ls = [10, 20, 40, 60] and rs = [30, 50, 70, 80]. The L/R bbox scan
+    /// rows must reproduce the figure's values exactly.
+    #[test]
+    fn fig29_sweep_scan_rows() {
+        for m in machines() {
+            let seg = Segments::single(4);
+            let boxes = rects(&[
+                (10.0, 0.0, 30.0, 1.0), // A
+                (20.0, 0.0, 50.0, 1.0), // B
+                (40.0, 0.0, 70.0, 1.0), // C
+                (60.0, 0.0, 80.0, 1.0), // D
+            ]);
+            let ls: Vec<f64> = boxes.iter().map(|r| r.min.x).collect();
+            let rs: Vec<f64> = boxes.iter().map(|r| r.max.x).collect();
+            // L Bbox left side: upward min inclusive scan on ls.
+            let l_left = m.up_scan_seg(&ls, &seg, Min, ScanKind::Inclusive);
+            assert_eq!(l_left, vec![10.0, 10.0, 10.0, 10.0]);
+            // L Bbox right side: upward max inclusive scan on rs.
+            let l_right = m.up_scan_seg(&rs, &seg, Max, ScanKind::Inclusive);
+            assert_eq!(l_right, vec![30.0, 50.0, 70.0, 80.0]);
+            // R Bbox left side: downward min exclusive scan on ls.
+            let r_left = m.scan(&ls, &seg, Min, Direction::Down, ScanKind::Exclusive);
+            assert_eq!(r_left[0], 20.0);
+            assert_eq!(r_left[1], 40.0); // paper: R Bbox of B starts at C = 40
+            assert_eq!(r_left[2], 60.0);
+            // R Bbox right side: downward max exclusive scan on rs.
+            let r_right = m.scan(&rs, &seg, Max, Direction::Down, ScanKind::Exclusive);
+            assert_eq!(r_right[0], 80.0);
+            assert_eq!(r_right[1], 80.0); // paper: B's right bbox = [40, 80]
+            assert_eq!(r_right[2], 80.0);
+        }
+    }
+
+    #[test]
+    fn sweep_separates_two_clusters() {
+        for m in machines() {
+            let seg = Segments::single(6);
+            // Two clear clusters along x.
+            let boxes = rects(&[
+                (0.0, 0.0, 1.0, 1.0),
+                (50.0, 0.0, 51.0, 1.0),
+                (1.0, 1.0, 2.0, 2.0),
+                (52.0, 2.0, 53.0, 3.0),
+                (2.0, 0.0, 3.0, 1.0),
+                (54.0, 0.0, 55.0, 1.0),
+            ]);
+            let class =
+                select_split_classes(&m, &seg, &boxes, &[true], 2, 5, RtreeSplitAlgorithm::Sweep);
+            assert_eq!(class, vec![false, true, false, true, false, true]);
+        }
+    }
+
+    #[test]
+    fn mean_separates_two_clusters() {
+        for m in machines() {
+            let seg = Segments::single(6);
+            let boxes = rects(&[
+                (0.0, 0.0, 1.0, 1.0),
+                (50.0, 0.0, 51.0, 1.0),
+                (1.0, 1.0, 2.0, 2.0),
+                (52.0, 2.0, 53.0, 3.0),
+                (2.0, 0.0, 3.0, 1.0),
+                (54.0, 0.0, 55.0, 1.0),
+            ]);
+            let class =
+                select_split_classes(&m, &seg, &boxes, &[true], 2, 5, RtreeSplitAlgorithm::Mean);
+            assert_eq!(class, vec![false, true, false, true, false, true]);
+        }
+    }
+
+    #[test]
+    fn mean_fallback_on_identical_boxes() {
+        for m in machines() {
+            let seg = Segments::single(4);
+            let boxes = rects(&[(1.0, 1.0, 2.0, 2.0); 4]);
+            let class =
+                select_split_classes(&m, &seg, &boxes, &[true], 2, 5, RtreeSplitAlgorithm::Mean);
+            let left = class.iter().filter(|&&c| !c).count();
+            assert_eq!(left, 2, "rank fallback must split evenly: {class:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_identical_boxes_still_legal() {
+        for m in machines() {
+            let seg = Segments::single(5);
+            let boxes = rects(&[(1.0, 1.0, 2.0, 2.0); 5]);
+            let class =
+                select_split_classes(&m, &seg, &boxes, &[true], 2, 5, RtreeSplitAlgorithm::Sweep);
+            let left = class.iter().filter(|&&c| !c).count();
+            assert!((2..=3).contains(&left), "both sides >= m: {class:?}");
+        }
+    }
+
+    #[test]
+    fn non_overflowing_segments_untouched() {
+        for m in machines() {
+            let seg = Segments::from_lengths(&[3, 4]).unwrap();
+            let boxes = rects(&[
+                (0.0, 0.0, 1.0, 1.0),
+                (5.0, 0.0, 6.0, 1.0),
+                (9.0, 0.0, 10.0, 1.0),
+                (0.0, 0.0, 1.0, 1.0),
+                (5.0, 0.0, 6.0, 1.0),
+                (9.0, 0.0, 10.0, 1.0),
+                (12.0, 0.0, 13.0, 1.0),
+            ]);
+            for algo in [RtreeSplitAlgorithm::Mean, RtreeSplitAlgorithm::Sweep] {
+                let class = select_split_classes(&m, &seg, &boxes, &[false, true], 2, 5, algo);
+                assert_eq!(&class[..3], &[false, false, false], "{algo:?}");
+                let left = class[3..].iter().filter(|&&c| !c).count();
+                assert!((2..=5 - 2 + 1).contains(&left), "{algo:?}: {class:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot give both sides")]
+    fn undersized_overflow_rejected() {
+        let m = Machine::sequential();
+        let seg = Segments::single(3);
+        let boxes = rects(&[(0.0, 0.0, 1.0, 1.0); 3]);
+        select_split_classes(&m, &seg, &boxes, &[true], 2, 5, RtreeSplitAlgorithm::Sweep);
+    }
+}

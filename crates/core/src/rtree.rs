@@ -1,0 +1,818 @@
+//! Data-parallel R-tree construction (paper Sec. 5.3).
+//!
+//! All segments are inserted simultaneously. The tree is represented the
+//! way the paper draws it (Figs. 39–44): the **line processor set** at the
+//! bottom, plus one **node processor set per height**, each grouping the
+//! set below it into contiguous segments. Concretely, [`DpRTree`] holds a
+//! stack of [`Segments`]: `groups[0]` groups lanes into leaves, and
+//! `groups[h]` groups the height-`h` nodes under their height-`h+1`
+//! parents; the root is the single segment at the top.
+//!
+//! Per round, every node counts its children (the node capacity check,
+//! Fig. 19 / Fig. 39's `count` row); every node over `M` splits once via a
+//! split selector ([`crate::rsplit`]) and an unshuffle (Figs. 40–41);
+//! splits of height-`h` nodes add a child to their parents, which may
+//! overflow and split when the round reaches height `h+1` ("these splits
+//! possibly propagating upward"); an overflowing root splits and a new
+//! root level appears above it (Fig. 42). The build terminates when every
+//! node has at most `M` children (Fig. 44) — O(log n) rounds, each with a
+//! constant number of scans and two sorts: O(log² n) total.
+//!
+//! Because the split reorders a node's children and children are stored
+//! contiguously, a split at height `h` permutes whole blocks of every
+//! level below — the "expensive processor reordering" the paper's SAM
+//! discussion points at (Fig. 12). [`DpRTree`] performs it as a cascade of
+//! block gathers.
+
+use crate::rsplit::{select_split_classes, RtreeSplitAlgorithm};
+use crate::SegId;
+use dp_geom::{LineSeg, Point, Rect};
+use scan_model::ops::{Max, Min};
+use scan_model::{Machine, ScanKind, Segments};
+
+/// A data-parallel R-tree of order `(m, M)` over a borrowed segment slice.
+#[derive(Debug, Clone)]
+pub struct DpRTree {
+    m: usize,
+    max: usize,
+    /// Per lane: indexed segment id.
+    lane_line: Vec<SegId>,
+    /// Per lane: the segment's bounding rectangle.
+    lane_bbox: Vec<Rect>,
+    /// `groups[0]` groups lanes into leaves; `groups[h]` groups height-`h`
+    /// nodes under their parents. The top descriptor has one segment: the
+    /// root.
+    groups: Vec<Segments>,
+    /// `node_mbrs[h][s]`: MBR of node `s` at grouping level `h`.
+    node_mbrs: Vec<Vec<Rect>>,
+    rounds: usize,
+}
+
+/// Structure statistics for a [`DpRTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RtStats {
+    /// Total nodes across all levels (including the root).
+    pub nodes: usize,
+    /// Leaf nodes.
+    pub leaves: usize,
+    /// Height: number of grouping levels (single-leaf tree = 0).
+    pub height: usize,
+    /// Indexed entries (lanes).
+    pub entries: usize,
+    /// Largest leaf occupancy.
+    pub max_leaf_occupancy: usize,
+}
+
+/// Builds an order `(m, M)` R-tree over `segs` with all segments inserted
+/// simultaneously (paper Sec. 5.3).
+///
+/// # Panics
+///
+/// Panics unless `1 <= m <= (M + 1) / 2` and `M >= 2`.
+pub fn build_rtree(
+    machine: &Machine,
+    segs: &[LineSeg],
+    m: usize,
+    max: usize,
+    algo: RtreeSplitAlgorithm,
+) -> DpRTree {
+    assert!(max >= 2, "M must be at least 2");
+    assert!(
+        m >= 1 && 2 * m <= max + 1,
+        "need 1 <= m <= (M+1)/2, got m={m}, M={max}"
+    );
+    let n = segs.len();
+    let mut tree = DpRTree {
+        m,
+        max,
+        lane_line: (0..n as SegId).collect(),
+        lane_bbox: segs.iter().map(|s| s.bbox()).collect(),
+        groups: vec![Segments::single(n)],
+        node_mbrs: Vec::new(),
+        rounds: 0,
+    };
+    if n == 0 {
+        tree.node_mbrs = vec![vec![Rect::empty()]];
+        return tree;
+    }
+
+    loop {
+        let mut any_split = false;
+        let mut h = 0usize;
+        while h < tree.groups.len() {
+            any_split |= tree.split_pass(machine, h, algo);
+            h += 1;
+        }
+        if !any_split {
+            break;
+        }
+        tree.rounds += 1;
+        machine.bump_rounds();
+    }
+    tree.node_mbrs = tree.compute_all_mbrs(machine);
+    tree
+}
+
+/// Bulk loads a *packed* R-tree: segments are sorted by the Hilbert index
+/// of their bounding-box midpoints and chunked into full leaves of `max`
+/// entries, then levels of full internal nodes are stacked until a single
+/// root remains (Kamel & Faloutsos-style packing — the paper's \[Kame92\]
+/// reference; the classic bulk-load comparator for iterative builds).
+///
+/// The result is a [`DpRTree`] of order `(1, max)`: packing guarantees
+/// full nodes except the last one per level, which may hold a single
+/// entry. The sort is issued through the machine and counted as one sort
+/// plus O(1) scans — packing is a *one-round* build, trading the
+/// iterative algorithm's split-quality optimization for speed.
+///
+/// # Panics
+///
+/// Panics if `max < 2` or any segment midpoint lies outside `world`.
+pub fn pack_rtree_hilbert(
+    machine: &Machine,
+    segs: &[LineSeg],
+    world: Rect,
+    max: usize,
+) -> DpRTree {
+    assert!(max >= 2, "M must be at least 2");
+    let n = segs.len();
+    let mut tree = DpRTree {
+        m: 1,
+        max,
+        lane_line: (0..n as SegId).collect(),
+        lane_bbox: segs.iter().map(|s| s.bbox()).collect(),
+        groups: vec![Segments::single(n)],
+        node_mbrs: Vec::new(),
+        rounds: 0,
+    };
+    if n == 0 {
+        tree.node_mbrs = vec![vec![Rect::empty()]];
+        return tree;
+    }
+
+    // Hilbert keys of the bbox midpoints on a 2^16 grid over the world.
+    const ORDER: u32 = 16;
+    let side = (1u32 << ORDER) as f64;
+    let keys: Vec<u64> = machine.map(&tree.lane_bbox, |b| {
+        let c = b.center();
+        assert!(
+            world.contains(c),
+            "segment midpoint {c} outside the packing world"
+        );
+        let gx = (((c.x - world.min.x) / world.width()) * (side - 1.0)) as u32;
+        let gy = (((c.y - world.min.y) / world.height()) * (side - 1.0)) as u32;
+        dp_geom::hilbert_d(ORDER, gx, gy)
+    });
+    let order = machine.segmented_sort_perm(&tree.groups[0], &keys, |a, b| a.cmp(b));
+    tree.lane_line = machine.gather(&tree.lane_line, &order);
+    tree.lane_bbox = machine.gather(&tree.lane_bbox, &order);
+
+    // Chunk each level into full nodes.
+    let mut groups = Vec::new();
+    let mut items = n;
+    loop {
+        let mut lengths = Vec::with_capacity(items.div_ceil(max));
+        let mut left = items;
+        while left > 0 {
+            let take = left.min(max);
+            lengths.push(take);
+            left -= take;
+        }
+        let seg = Segments::from_lengths(&lengths).expect("non-empty chunks");
+        let nodes = seg.num_segments();
+        groups.push(seg);
+        if nodes == 1 {
+            break;
+        }
+        items = nodes;
+    }
+    tree.groups = groups;
+    tree.node_mbrs = tree.compute_all_mbrs(machine);
+    tree
+}
+
+impl DpRTree {
+    /// Item MBRs at grouping level `h`: lane bboxes for `h = 0`, otherwise
+    /// the per-segment MBRs of level `h - 1` (computed bottom-up with
+    /// min/max scans).
+    fn item_mbrs(&self, machine: &Machine, h: usize) -> Vec<Rect> {
+        let mut mbrs = self.lane_bbox.clone();
+        for level in 0..h {
+            mbrs = fold_mbrs(machine, &self.groups[level], &mbrs);
+        }
+        mbrs
+    }
+
+    fn compute_all_mbrs(&self, machine: &Machine) -> Vec<Vec<Rect>> {
+        let mut out = Vec::with_capacity(self.groups.len());
+        let mut items = self.lane_bbox.clone();
+        for seg in &self.groups {
+            let node = fold_mbrs(machine, seg, &items);
+            out.push(node.clone());
+            items = node;
+        }
+        out
+    }
+
+    /// One split pass over level `h`: every overflowing node splits once.
+    /// Returns whether anything split.
+    fn split_pass(&mut self, machine: &Machine, h: usize, algo: RtreeSplitAlgorithm) -> bool {
+        let counts = machine.segment_counts(&self.groups[h]);
+        machine.note_elementwise();
+        let overflowing: Vec<bool> = counts.iter().map(|&c| c as usize > self.max).collect();
+        if !overflowing.iter().any(|&b| b) {
+            return false;
+        }
+
+        let mbrs = self.item_mbrs(machine, h);
+        let class = select_split_classes(machine, &self.groups[h], &mbrs, &overflowing, self.m, self.max, algo);
+
+        // Partition the items of each overflowing segment.
+        let un = machine.unshuffle_layout(&self.groups[h], &class);
+        // Convert the scatter targets to a gather order for the cascade.
+        machine.note_permute();
+        let mut order = vec![0usize; un.target.len()];
+        for (i, &t) in un.target.iter().enumerate() {
+            order[t] = i;
+        }
+        self.apply_item_order(machine, h, &order);
+
+        // New level-h segment lengths: overflowing segments split in two.
+        let mut new_lengths = Vec::with_capacity(self.groups[h].num_segments() + 8);
+        let mut splits_per_segment = Vec::with_capacity(self.groups[h].num_segments());
+        for (s, r) in self.groups[h].ranges().enumerate() {
+            if overflowing[s] {
+                let (na, nb) = un.counts[s];
+                debug_assert!(na >= self.m && nb >= self.m);
+                new_lengths.push(na);
+                new_lengths.push(nb);
+                splits_per_segment.push(1usize);
+            } else {
+                new_lengths.push(r.len());
+                splits_per_segment.push(0);
+            }
+        }
+        self.groups[h] = Segments::from_lengths(&new_lengths)
+            .expect("split sides are non-empty (>= m >= 1)");
+
+        // Propagate the extra children to the parents.
+        if h + 1 < self.groups.len() {
+            let parent = &self.groups[h + 1];
+            let mut parent_lengths: Vec<usize> = parent.lengths();
+            for (s, &extra) in splits_per_segment.iter().enumerate() {
+                if extra > 0 {
+                    let p = parent.segment_of(s);
+                    parent_lengths[p] += extra;
+                }
+            }
+            self.groups[h + 1] = Segments::from_lengths(&parent_lengths)
+                .expect("parents keep at least their previous children");
+        } else if self.groups[h].num_segments() > 1 {
+            // The root split: grow a new root level above (Fig. 42).
+            let n_top = self.groups[h].num_segments();
+            self.groups.push(Segments::single(n_top));
+        }
+        true
+    }
+
+    /// Reorders the items at level `h` by `order` (gather indices),
+    /// cascading block permutations down to the lanes.
+    fn apply_item_order(&mut self, machine: &Machine, h: usize, order: &[usize]) {
+        if h == 0 {
+            self.lane_line = machine.gather(&self.lane_line, order);
+            self.lane_bbox = machine.gather(&self.lane_bbox, order);
+            return;
+        }
+        // Items at level h are the segments of groups[h-1]; reorder those
+        // segments and induce the item order one level down.
+        let below = &self.groups[h - 1];
+        let old_lengths = below.lengths();
+        machine.note_permute();
+        let mut new_lengths = Vec::with_capacity(old_lengths.len());
+        let mut induced = Vec::with_capacity(below.len());
+        for &item in order {
+            let r = below.range(item);
+            new_lengths.push(r.len());
+            induced.extend(r);
+        }
+        self.groups[h - 1] =
+            Segments::from_lengths(&new_lengths).expect("segment lengths are preserved");
+        self.apply_item_order(machine, h - 1, &induced);
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Minimum fanout `m`.
+    pub fn min_entries(&self) -> usize {
+        self.m
+    }
+
+    /// Maximum fanout `M`.
+    pub fn max_entries(&self) -> usize {
+        self.max
+    }
+
+    /// Tree height: number of grouping levels (a single-leaf tree has
+    /// height 0 in the paper's Fig. 39 sense — just `N₀`).
+    pub fn height(&self) -> usize {
+        self.groups.len() - 1
+    }
+
+    /// Build rounds taken (the paper's O(log n) stage count).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaves(&self) -> usize {
+        self.groups[0].num_segments()
+    }
+
+    /// Indexed ids, grouped by leaf, in linear processor order.
+    pub fn lanes(&self) -> (&[SegId], &Segments) {
+        (&self.lane_line, &self.groups[0])
+    }
+
+    /// Structure statistics.
+    pub fn stats(&self) -> RtStats {
+        RtStats {
+            nodes: self.groups.iter().map(|g| g.num_segments()).sum(),
+            leaves: self.groups[0].num_segments(),
+            height: self.height(),
+            entries: self.lane_line.len(),
+            max_leaf_occupancy: self
+                .groups[0]
+                .ranges()
+                .map(|r| r.len())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Split-quality metrics `(coverage, overlap)`: total node MBR area
+    /// and total pairwise overlap between siblings (paper Fig. 6's two
+    /// goals).
+    pub fn quality_metrics(&self) -> (f64, f64) {
+        let mut coverage = 0.0;
+        let mut overlap = 0.0;
+        for (h, seg) in self.groups.iter().enumerate() {
+            let mbrs = &self.node_mbrs[h];
+            coverage += mbrs.iter().map(|r| r.area()).sum::<f64>();
+            // Sibling overlap: nodes sharing a parent. At the top level
+            // all nodes are siblings under the root.
+            let sibling_groups: Vec<std::ops::Range<usize>> = if h + 1 < self.groups.len() {
+                self.groups[h + 1].ranges().collect()
+            } else {
+                std::iter::once(0..seg.num_segments()).collect()
+            };
+            for r in sibling_groups {
+                for i in r.clone() {
+                    for j in (i + 1)..r.end {
+                        overlap += mbrs[i].overlap_area(&mbrs[j]);
+                    }
+                }
+            }
+        }
+        (coverage, overlap)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Ids whose bounding rectangles intersect `query`, sorted.
+    pub fn window_candidates(&self, query: &Rect) -> Vec<SegId> {
+        let mut out = Vec::new();
+        // (level, node) pairs; level = index into groups.
+        let top = self.groups.len() - 1;
+        let mut stack: Vec<(usize, usize)> = (0..self.groups[top].num_segments())
+            .filter(|&s| self.node_mbrs[top][s].intersects(query))
+            .map(|s| (top, s))
+            .collect();
+        while let Some((level, node)) = stack.pop() {
+            let r = self.groups[level].range(node);
+            if level == 0 {
+                for i in r {
+                    if self.lane_bbox[i].intersects(query) {
+                        out.push(self.lane_line[i]);
+                    }
+                }
+            } else {
+                for child in r {
+                    if self.node_mbrs[level - 1][child].intersects(query) {
+                        stack.push((level - 1, child));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Ids of segments that truly intersect `query`.
+    pub fn window_query(&self, query: &Rect, segs: &[LineSeg]) -> Vec<SegId> {
+        self.window_candidates(query)
+            .into_iter()
+            .filter(|&id| dp_geom::clip_segment_closed(&segs[id as usize], query).is_some())
+            .collect()
+    }
+
+    /// Number of tree nodes visited by a window search (the paper's
+    /// non-disjointness cost: overlapping rectangles force extra visits).
+    pub fn window_nodes_visited(&self, query: &Rect) -> usize {
+        let mut visited = 1usize; // the root
+        let top = self.groups.len() - 1;
+        let mut stack: Vec<(usize, usize)> = (0..self.groups[top].num_segments())
+            .filter(|&s| self.node_mbrs[top][s].intersects(query))
+            .map(|s| (top, s))
+            .collect();
+        // Count the root's children we descend into, then below.
+        while let Some((level, node)) = stack.pop() {
+            visited += 1;
+            if level == 0 {
+                continue;
+            }
+            for child in self.groups[level].range(node) {
+                if self.node_mbrs[level - 1][child].intersects(query) {
+                    stack.push((level - 1, child));
+                }
+            }
+        }
+        visited
+    }
+
+    /// The nearest indexed segment to `p` by true distance.
+    pub fn nearest(&self, p: Point, segs: &[LineSeg]) -> Option<(SegId, f64)> {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+        #[derive(PartialEq)]
+        struct Item {
+            dist2: f64,
+            level: usize, // usize::MAX marks a lane entry
+            index: usize,
+        }
+        impl Eq for Item {}
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other.dist2.total_cmp(&self.dist2)
+            }
+        }
+        if self.lane_line.is_empty() {
+            return None;
+        }
+        let top = self.groups.len() - 1;
+        let mut heap = BinaryHeap::new();
+        for s in 0..self.groups[top].num_segments() {
+            heap.push(Item {
+                dist2: self.node_mbrs[top][s].dist2_to_point(p),
+                level: top,
+                index: s,
+            });
+        }
+        while let Some(item) = heap.pop() {
+            if item.level == usize::MAX {
+                return Some((self.lane_line[item.index], item.dist2.sqrt()));
+            }
+            let r = self.groups[item.level].range(item.index);
+            if item.level == 0 {
+                for i in r {
+                    heap.push(Item {
+                        dist2: segs[self.lane_line[i] as usize].dist2_to_point(p),
+                        level: usize::MAX,
+                        index: i,
+                    });
+                }
+            } else {
+                for child in r {
+                    heap.push(Item {
+                        dist2: self.node_mbrs[item.level - 1][child].dist2_to_point(p),
+                        level: item.level - 1,
+                        index: child,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Invariants
+    // ------------------------------------------------------------------
+
+    /// Validates the R-tree invariants; panics with a description on the
+    /// first violation.
+    pub fn check_invariants(&self, segs: &[LineSeg]) {
+        if self.lane_line.is_empty() {
+            assert_eq!(self.groups.len(), 1);
+            return;
+        }
+        // Level sizes chain correctly.
+        assert_eq!(self.groups[0].len(), self.lane_line.len());
+        for h in 1..self.groups.len() {
+            assert_eq!(
+                self.groups[h].len(),
+                self.groups[h - 1].num_segments(),
+                "level {h} must group the nodes of level {}",
+                h - 1
+            );
+        }
+        let top = self.groups.len() - 1;
+        assert_eq!(self.groups[top].num_segments(), 1, "single root");
+        // Fanout bounds: every node ≤ M; every non-root node ≥ m unless it
+        // is the never-split single leaf (tree of height 0).
+        for (h, seg) in self.groups.iter().enumerate() {
+            for (s, r) in seg.ranges().enumerate() {
+                let is_root = h == top;
+                if !is_root {
+                    assert!(
+                        r.len() >= self.m,
+                        "node {s} at level {h} has {} < m children",
+                        r.len()
+                    );
+                }
+                assert!(
+                    r.len() <= self.max,
+                    "node {s} at level {h} has {} > M children",
+                    r.len()
+                );
+                if is_root && self.groups.len() > 1 {
+                    assert!(r.len() >= 2, "a non-leaf root needs >= 2 children");
+                }
+            }
+        }
+        // Single-leaf tree may hold at most M entries only after a build
+        // (never-split) — that is exactly when n <= M.
+        if self.groups.len() == 1 {
+            assert!(self.lane_line.len() <= self.max);
+        }
+        // MBR containment and correctness.
+        let machine = Machine::sequential();
+        let recomputed = self.compute_all_mbrs(&machine);
+        for (h, level) in recomputed.iter().enumerate() {
+            assert_eq!(
+                level, &self.node_mbrs[h],
+                "cached MBRs stale at level {h}"
+            );
+        }
+        // Every lane's bbox matches its segment.
+        let mut seen = vec![false; segs.len()];
+        for (i, &id) in self.lane_line.iter().enumerate() {
+            assert_eq!(self.lane_bbox[i], segs[id as usize].bbox());
+            assert!(!seen[id as usize], "segment {id} indexed twice");
+            seen[id as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "segments missing from the tree");
+    }
+}
+
+/// Per-segment MBRs via four min/max scans and head reads.
+fn fold_mbrs(machine: &Machine, seg: &Segments, items: &[Rect]) -> Vec<Rect> {
+    if seg.is_empty() {
+        // Empty tree: a single empty root MBR.
+        return vec![Rect::empty()];
+    }
+    let lo_x: Vec<f64> = machine.map(items, |r| r.min.x);
+    let lo_y: Vec<f64> = machine.map(items, |r| r.min.y);
+    let hi_x: Vec<f64> = machine.map(items, |r| r.max.x);
+    let hi_y: Vec<f64> = machine.map(items, |r| r.max.y);
+    let lo_x = machine.down_scan_seg(&lo_x, seg, Min, ScanKind::Inclusive);
+    let lo_y = machine.down_scan_seg(&lo_y, seg, Min, ScanKind::Inclusive);
+    let hi_x = machine.down_scan_seg(&hi_x, seg, Max, ScanKind::Inclusive);
+    let hi_y = machine.down_scan_seg(&hi_y, seg, Max, ScanKind::Inclusive);
+    machine.note_elementwise();
+    seg.starts()
+        .iter()
+        .map(|&h| Rect::from_coords(lo_x[h], lo_y[h], hi_x[h], hi_y[h]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_model::Backend;
+
+    fn machines() -> Vec<Machine> {
+        vec![
+            Machine::sequential(),
+            Machine::new(Backend::Parallel).with_par_threshold(1),
+        ]
+    }
+
+    fn segments(n: usize) -> Vec<LineSeg> {
+        (0..n)
+            .map(|k| {
+                let x = ((k * 37) % 97) as f64;
+                let y = ((k * 61) % 89) as f64;
+                LineSeg::from_coords(x, y, x + 3.0, y + 2.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_empty_and_small() {
+        for m in machines() {
+            let t = build_rtree(&m, &[], 1, 3, RtreeSplitAlgorithm::Sweep);
+            assert_eq!(t.stats().entries, 0);
+            assert!(t.nearest(Point::new(0.0, 0.0), &[]).is_none());
+
+            let segs = segments(3);
+            let t = build_rtree(&m, &segs, 1, 3, RtreeSplitAlgorithm::Sweep);
+            t.check_invariants(&segs);
+            assert_eq!(t.height(), 0);
+            assert_eq!(t.rounds(), 0);
+        }
+    }
+
+    #[test]
+    fn paper_configuration_order_1_3_on_9_lines() {
+        // Sec. 5.3 / Figs. 39-44: 9 lines, order (1,3). The example ends
+        // with three levels (N0 leaves, N1, N2 root).
+        for m in machines() {
+            let segs = segments(9);
+            for algo in [RtreeSplitAlgorithm::Mean, RtreeSplitAlgorithm::Sweep] {
+                let t = build_rtree(&m, &segs, 1, 3, algo);
+                t.check_invariants(&segs);
+                assert!(t.height() >= 1, "{algo:?}");
+                assert_eq!(t.stats().entries, 9);
+            }
+        }
+    }
+
+    #[test]
+    fn build_invariants_across_sizes_and_orders() {
+        for m in machines() {
+            for &(mn, mx) in &[(1usize, 3usize), (2, 5), (3, 8)] {
+                for &n in &[0usize, 1, 5, 40, 200] {
+                    let segs = segments(n);
+                    for algo in [RtreeSplitAlgorithm::Mean, RtreeSplitAlgorithm::Sweep] {
+                        let t = build_rtree(&m, &segs, mn, mx, algo);
+                        t.check_invariants(&segs);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_query_matches_brute_force() {
+        for m in machines() {
+            let segs = segments(120);
+            for algo in [RtreeSplitAlgorithm::Mean, RtreeSplitAlgorithm::Sweep] {
+                let t = build_rtree(&m, &segs, 2, 6, algo);
+                for query in [
+                    Rect::from_coords(0.0, 0.0, 25.0, 25.0),
+                    Rect::from_coords(40.0, 30.0, 70.0, 60.0),
+                    Rect::from_coords(0.0, 0.0, 100.0, 100.0),
+                    Rect::from_coords(96.0, 90.0, 99.0, 95.0),
+                ] {
+                    let got = t.window_query(&query, &segs);
+                    let brute: Vec<SegId> = (0..segs.len() as u32)
+                        .filter(|&id| {
+                            dp_geom::clip_segment_closed(&segs[id as usize], &query).is_some()
+                        })
+                        .collect();
+                    assert_eq!(got, brute, "{algo:?} window {query}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        for m in machines() {
+            let segs = segments(60);
+            let t = build_rtree(&m, &segs, 2, 5, RtreeSplitAlgorithm::Sweep);
+            for p in [
+                Point::new(0.0, 0.0),
+                Point::new(48.0, 44.0),
+                Point::new(96.0, 2.0),
+            ] {
+                let (_, d) = t.nearest(p, &segs).unwrap();
+                let brute = (0..segs.len())
+                    .map(|k| segs[k].dist2_to_point(p).sqrt())
+                    .min_by(|a, b| a.total_cmp(b))
+                    .unwrap();
+                assert_eq!(d, brute, "at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        // O(log n) rounds: going from 64 to 512 lines must add only a few
+        // rounds, not multiply them.
+        let m = Machine::sequential();
+        let t64 = build_rtree(&m, &segments(64), 2, 4, RtreeSplitAlgorithm::Sweep);
+        let t512 = build_rtree(&m, &segments(512), 2, 4, RtreeSplitAlgorithm::Sweep);
+        assert!(t512.rounds() <= t64.rounds() + 6);
+        assert!(t512.rounds() >= t64.rounds());
+    }
+
+    #[test]
+    fn backends_build_identical_trees() {
+        let segs = segments(150);
+        let a = build_rtree(
+            &Machine::sequential(),
+            &segs,
+            2,
+            6,
+            RtreeSplitAlgorithm::Sweep,
+        );
+        let b = build_rtree(
+            &Machine::new(Backend::Parallel).with_par_threshold(1),
+            &segs,
+            2,
+            6,
+            RtreeSplitAlgorithm::Sweep,
+        );
+        assert_eq!(a.lane_line, b.lane_line);
+        assert_eq!(a.groups, b.groups);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn duplicate_geometry_allowed() {
+        for m in machines() {
+            let segs = vec![LineSeg::from_coords(1.0, 1.0, 2.0, 2.0); 11];
+            let t = build_rtree(&m, &segs, 2, 4, RtreeSplitAlgorithm::Sweep);
+            t.check_invariants(&segs);
+            assert_eq!(
+                t.window_query(&Rect::from_coords(0.0, 0.0, 3.0, 3.0), &segs)
+                    .len(),
+                11
+            );
+        }
+    }
+
+
+    #[test]
+    fn packed_tree_invariants_and_queries() {
+        let world = Rect::from_coords(0.0, 0.0, 128.0, 128.0);
+        for m in machines() {
+            for &n in &[0usize, 1, 7, 8, 9, 100] {
+                let segs: Vec<LineSeg> = (0..n)
+                    .map(|k| {
+                        let x = ((k * 37) % 120) as f64;
+                        let y = ((k * 61) % 120) as f64;
+                        LineSeg::from_coords(x, y, x + 3.0, y + 2.0)
+                    })
+                    .collect();
+                let t = pack_rtree_hilbert(&m, &segs, world, 8);
+                t.check_invariants(&segs);
+                assert_eq!(t.rounds(), 0, "packing is a one-round build");
+                if n > 0 {
+                    let q = Rect::from_coords(10.0, 10.0, 60.0, 60.0);
+                    let brute: Vec<SegId> = (0..n as u32)
+                        .filter(|&id| {
+                            dp_geom::clip_segment_closed(&segs[id as usize], &q).is_some()
+                        })
+                        .collect();
+                    assert_eq!(t.window_query(&q, &segs), brute);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_leaves_are_full_except_last() {
+        let world = Rect::from_coords(0.0, 0.0, 128.0, 128.0);
+        let m = Machine::sequential();
+        let segs = segments(27);
+        let t = pack_rtree_hilbert(&m, &segs, world, 8);
+        let (_, leaf_seg) = t.lanes();
+        let lens = leaf_seg.lengths();
+        assert_eq!(lens, vec![8, 8, 8, 3]);
+    }
+
+    #[test]
+    fn packed_tree_has_low_coverage_on_clustered_data() {
+        // Hilbert packing groups spatially close segments; on clustered
+        // data its coverage must be competitive with (well under 2x) the
+        // iterative sweep build.
+        let world = Rect::from_coords(0.0, 0.0, 128.0, 128.0);
+        let m = Machine::sequential();
+        let segs = segments(200);
+        let packed = pack_rtree_hilbert(&m, &segs, world, 8);
+        let swept = build_rtree(&m, &segs, 2, 8, RtreeSplitAlgorithm::Sweep);
+        let (cov_p, _) = packed.quality_metrics();
+        let (cov_s, _) = swept.quality_metrics();
+        assert!(cov_p < cov_s * 2.0, "packed {cov_p} vs swept {cov_s}");
+    }
+
+    #[test]
+    fn quality_metrics_finite() {
+        let m = Machine::sequential();
+        let segs = segments(100);
+        let t = build_rtree(&m, &segs, 2, 6, RtreeSplitAlgorithm::Sweep);
+        let (cov, ov) = t.quality_metrics();
+        assert!(cov.is_finite() && cov > 0.0);
+        assert!(ov.is_finite() && ov >= 0.0);
+    }
+}

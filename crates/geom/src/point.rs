@@ -1,0 +1,123 @@
+//! 2-D points.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point in the plane. Coordinates are `f64`, but the spatial index
+/// builds keep them on an integer grid inside a power-of-two world so that
+/// recursive halving stays exact (see the crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn dist2(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// The midpoint of `self` and `other`.
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// 2-D cross product of `(b - self)` and `(c - self)`; positive when
+    /// the triple turns counter-clockwise. The fundamental orientation
+    /// predicate behind segment intersection tests.
+    pub fn cross(&self, b: Point, c: Point) -> f64 {
+        (b.x - self.x) * (c.y - self.y) - (b.y - self.y) * (c.x - self.x)
+    }
+
+    /// Lexicographic ordering by `(x, y)` via `total_cmp` (usable as a sort
+    /// key even though `f64` is not `Ord`).
+    pub fn lex_cmp(&self, other: &Point) -> std::cmp::Ordering {
+        self.x
+            .total_cmp(&other.x)
+            .then_with(|| self.y.total_cmp(&other.y))
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, s: f64) -> Point {
+        Point::new(self.x * s, self.y * s)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist2(b), 25.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.midpoint(b), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn orientation_sign() {
+        let o = Point::new(0.0, 0.0);
+        let e = Point::new(1.0, 0.0);
+        assert!(o.cross(e, Point::new(0.0, 1.0)) > 0.0); // CCW
+        assert!(o.cross(e, Point::new(0.0, -1.0)) < 0.0); // CW
+        assert_eq!(o.cross(e, Point::new(2.0, 0.0)), 0.0); // collinear
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(b - a, Point::new(2.0, -3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(1.0, 6.0);
+        let c = Point::new(2.0, 0.0);
+        assert!(a.lex_cmp(&b).is_lt());
+        assert!(b.lex_cmp(&c).is_lt());
+        assert!(a.lex_cmp(&a).is_eq());
+    }
+}

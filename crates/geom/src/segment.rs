@@ -1,0 +1,145 @@
+//! Line segments — the spatial objects indexed by every structure in the
+//! paper.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use std::fmt;
+
+/// A line segment between two endpoints.
+///
+/// Degenerate (zero-length) segments are permitted by the constructor but
+/// rejected by the dataset generators; the index builds treat them as a
+/// point with two coincident endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineSeg {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl LineSeg {
+    /// Constructs a segment.
+    pub const fn new(a: Point, b: Point) -> Self {
+        LineSeg { a, b }
+    }
+
+    /// Segment from raw coordinates `(ax, ay)`–`(bx, by)`.
+    pub fn from_coords(ax: f64, ay: f64, bx: f64, by: f64) -> Self {
+        LineSeg::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    /// The segment's minimum bounding box (an R-tree leaf entry,
+    /// paper Sec. 2.3).
+    pub fn bbox(&self) -> Rect {
+        Rect::from_corners(self.a, self.b)
+    }
+
+    /// Midpoint, the key of the O(1) R-tree mean split (paper Sec. 4.7).
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Euclidean length.
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// `true` when both endpoints coincide.
+    pub fn is_degenerate(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// Number of this segment's endpoints for which `pred` holds
+    /// (0, 1 or 2) — the `EPs` field of the PM₁ split decision
+    /// (paper Fig. 20).
+    pub fn count_endpoints_where<F: Fn(Point) -> bool>(&self, pred: F) -> u8 {
+        pred(self.a) as u8 + pred(self.b) as u8
+    }
+
+    /// The point on the segment closest to `p`.
+    pub fn closest_point_to(&self, p: Point) -> Point {
+        let d = self.b - self.a;
+        let len2 = d.x * d.x + d.y * d.y;
+        if len2 == 0.0 {
+            return self.a;
+        }
+        let t = ((p.x - self.a.x) * d.x + (p.y - self.a.y) * d.y) / len2;
+        let t = t.clamp(0.0, 1.0);
+        self.a + d * t
+    }
+
+    /// Squared distance from `p` to the segment.
+    pub fn dist2_to_point(&self, p: Point) -> f64 {
+        self.closest_point_to(p).dist2(p)
+    }
+
+    /// The same segment with endpoints swapped.
+    pub fn reversed(&self) -> LineSeg {
+        LineSeg::new(self.b, self.a)
+    }
+
+    /// A canonical form with endpoints in lexicographic order, so that a
+    /// segment and its reversal compare equal after canonicalization.
+    pub fn canonical(&self) -> LineSeg {
+        if self.a.lex_cmp(&self.b).is_le() {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+}
+
+impl fmt::Display for LineSeg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}—{}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bbox_and_midpoint() {
+        let s = LineSeg::from_coords(3.0, 1.0, 1.0, 5.0);
+        assert_eq!(s.bbox(), Rect::from_coords(1.0, 1.0, 3.0, 5.0));
+        assert_eq!(s.midpoint(), Point::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn endpoint_counting() {
+        let s = LineSeg::from_coords(0.0, 0.0, 4.0, 0.0);
+        let r = Rect::from_coords(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(s.count_endpoints_where(|p| r.contains_half_open(p)), 1);
+        assert_eq!(s.count_endpoints_where(|p| r.contains(p)), 1);
+        let r2 = Rect::from_coords(0.0, 0.0, 8.0, 8.0);
+        assert_eq!(s.count_endpoints_where(|p| r2.contains_half_open(p)), 2);
+    }
+
+    #[test]
+    fn closest_point_and_distance() {
+        let s = LineSeg::from_coords(0.0, 0.0, 4.0, 0.0);
+        assert_eq!(s.closest_point_to(Point::new(2.0, 3.0)), Point::new(2.0, 0.0));
+        assert_eq!(s.dist2_to_point(Point::new(2.0, 3.0)), 9.0);
+        // Beyond the endpoint, the endpoint is closest.
+        assert_eq!(s.closest_point_to(Point::new(9.0, 0.0)), Point::new(4.0, 0.0));
+        assert_eq!(s.dist2_to_point(Point::new(9.0, 0.0)), 25.0);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = LineSeg::from_coords(1.0, 1.0, 1.0, 1.0);
+        assert!(s.is_degenerate());
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.closest_point_to(Point::new(5.0, 5.0)), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn canonical_ordering() {
+        let s = LineSeg::from_coords(5.0, 0.0, 1.0, 2.0);
+        let c = s.canonical();
+        assert_eq!(c.a, Point::new(1.0, 2.0));
+        assert_eq!(c, s.reversed().canonical());
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for fallible `scan-model` constructors and operations.
+
+use std::fmt;
+
+/// Errors produced by fallible `scan-model` operations.
+///
+/// Shape mismatches between vectors passed to the *infallible* primitive
+/// operations (e.g. an elementwise op over vectors of different lengths) are
+/// programming errors and panic instead, mirroring the slice-indexing
+/// convention of the standard library. `ScanModelError` is reserved for
+/// conditions that depend on *values* (not shapes) supplied by the caller,
+/// which a caller may legitimately want to handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanModelError {
+    /// A segment descriptor was built from a flag vector whose first element
+    /// was not a segment start, or from an empty length list containing a
+    /// zero-length segment.
+    InvalidSegments {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An index vector passed to a permutation was not one-to-one into the
+    /// target range (an index out of bounds, or two lanes mapping to the
+    /// same target).
+    InvalidPermutation {
+        /// The first offending lane.
+        lane: usize,
+        /// The offending target index.
+        target: usize,
+        /// Length of the permutation target.
+        target_len: usize,
+        /// Whether the failure was a duplicate target (`true`) or an
+        /// out-of-range target (`false`).
+        duplicate: bool,
+    },
+}
+
+impl fmt::Display for ScanModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanModelError::InvalidSegments { reason } => {
+                write!(f, "invalid segment descriptor: {reason}")
+            }
+            ScanModelError::InvalidPermutation {
+                lane,
+                target,
+                target_len,
+                duplicate,
+            } => {
+                if *duplicate {
+                    write!(
+                        f,
+                        "invalid permutation: lane {lane} maps to target {target} \
+                         already claimed by another lane"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "invalid permutation: lane {lane} maps to target {target} \
+                         outside 0..{target_len}"
+                    )
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScanModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_segments() {
+        let e = ScanModelError::InvalidSegments {
+            reason: "first flag must be set".into(),
+        };
+        assert!(e.to_string().contains("first flag"));
+    }
+
+    #[test]
+    fn display_invalid_permutation_oob() {
+        let e = ScanModelError::InvalidPermutation {
+            lane: 3,
+            target: 9,
+            target_len: 5,
+            duplicate: false,
+        };
+        let s = e.to_string();
+        assert!(s.contains("lane 3"), "{s}");
+        assert!(s.contains("outside 0..5"), "{s}");
+    }
+
+    #[test]
+    fn display_invalid_permutation_dup() {
+        let e = ScanModelError::InvalidPermutation {
+            lane: 2,
+            target: 1,
+            target_len: 5,
+            duplicate: true,
+        };
+        assert!(e.to_string().contains("already claimed"));
+    }
+}

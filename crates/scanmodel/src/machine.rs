@@ -1,0 +1,408 @@
+//! The vector machine: backend selection plus primitive-operation counters.
+//!
+//! [`Machine`] is the single entry point through which the spatial
+//! algorithms issue primitive operations. It plays the role of the CM-5 in
+//! the paper: the algorithms above it are written purely in terms of scans,
+//! elementwise operations and permutations, and the machine decides how to
+//! execute them (sequential reference backend, or rayon data-parallel
+//! blocked execution) and counts them.
+//!
+//! The counters matter for the reproduction: the paper's complexity claims
+//! are phrased in *numbers of primitive operations per construction stage*
+//! ("a constant number of scans, clonings, and un-shuffles", Sec. 5.1), so
+//! `EXPERIMENTS.md` verifies them by reading [`OpStats`] snapshots rather
+//! than wall-clock time alone.
+
+use crate::ops::{CombineOp, Element};
+use crate::par::{self, PAR_THRESHOLD};
+use crate::permute::{permute_par, permute_seq};
+use crate::scan::{scan_seq, Direction, ScanKind};
+use crate::vector::Segments;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Execution backend for primitive operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Every primitive executes on the calling thread; the reference
+    /// implementation.
+    Sequential,
+    /// Primitives over vectors longer than the machine's parallel threshold
+    /// execute on the rayon thread pool. Results are bit-identical to the
+    /// sequential backend.
+    #[default]
+    Parallel,
+}
+
+/// Monotonic counters of primitive operations issued through a [`Machine`].
+#[derive(Debug, Default)]
+pub struct OpStats {
+    scans: AtomicU64,
+    elementwise: AtomicU64,
+    permutes: AtomicU64,
+    sorts: AtomicU64,
+    rounds: AtomicU64,
+}
+
+/// A point-in-time copy of [`OpStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Segmented or unsegmented scan operations.
+    pub scans: u64,
+    /// Elementwise (map / zip-map) operations.
+    pub elementwise: u64,
+    /// Permutation / gather operations.
+    pub permutes: u64,
+    /// Segmented sort operations (each counts once, regardless of length).
+    pub sorts: u64,
+    /// Algorithm-level iteration rounds recorded via [`Machine::bump_rounds`].
+    pub rounds: u64,
+}
+
+impl StatsSnapshot {
+    /// Total primitive operations (excluding `rounds`, which is a
+    /// higher-level marker, not a machine primitive).
+    pub fn total_primitives(&self) -> u64 {
+        self.scans + self.elementwise + self.permutes + self.sorts
+    }
+
+    /// Lane-wise difference since an earlier snapshot.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            scans: self.scans - earlier.scans,
+            elementwise: self.elementwise - earlier.elementwise,
+            permutes: self.permutes - earlier.permutes,
+            sorts: self.sorts - earlier.sorts,
+            rounds: self.rounds - earlier.rounds,
+        }
+    }
+}
+
+/// The software vector machine. Cheap to share by reference; all state is
+/// interior-mutable atomics.
+#[derive(Debug, Default)]
+pub struct Machine {
+    backend: Backend,
+    par_threshold: usize,
+    stats: OpStats,
+}
+
+impl Machine {
+    /// A machine with the given backend and the default parallel threshold.
+    pub fn new(backend: Backend) -> Self {
+        Machine {
+            backend,
+            par_threshold: PAR_THRESHOLD,
+            stats: OpStats::default(),
+        }
+    }
+
+    /// A sequential reference machine.
+    pub fn sequential() -> Self {
+        Machine::new(Backend::Sequential)
+    }
+
+    /// A parallel machine using the global rayon pool.
+    pub fn parallel() -> Self {
+        Machine::new(Backend::Parallel)
+    }
+
+    /// Overrides the minimum vector length at which the parallel backend
+    /// engages (useful to force parallel paths in tests).
+    pub fn with_par_threshold(mut self, threshold: usize) -> Self {
+        self.par_threshold = threshold;
+        self
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    fn use_par(&self, n: usize) -> bool {
+        self.backend == Backend::Parallel && n >= self.par_threshold
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            scans: self.stats.scans.load(Ordering::Relaxed),
+            elementwise: self.stats.elementwise.load(Ordering::Relaxed),
+            permutes: self.stats.permutes.load(Ordering::Relaxed),
+            sorts: self.stats.sorts.load(Ordering::Relaxed),
+            rounds: self.stats.rounds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset_stats(&self) {
+        self.stats.scans.store(0, Ordering::Relaxed);
+        self.stats.elementwise.store(0, Ordering::Relaxed);
+        self.stats.permutes.store(0, Ordering::Relaxed);
+        self.stats.sorts.store(0, Ordering::Relaxed);
+        self.stats.rounds.store(0, Ordering::Relaxed);
+    }
+
+    /// Records one algorithm-level round (a subdivision stage in the build
+    /// algorithms of paper Section 5).
+    pub fn bump_rounds(&self) {
+        self.stats.rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one elementwise operation performed by composite-algorithm
+    /// code outside the machine's own `map`/`zip_map` (e.g. a fused
+    /// multi-input classification pass). Keeps the op accounting honest
+    /// when an algorithm implements a paper-level elementwise step as a
+    /// plain loop over more than two vectors.
+    pub fn note_elementwise(&self) {
+        self.count_elementwise();
+    }
+
+    /// Records one scan operation performed outside the machine (see
+    /// [`Machine::note_elementwise`]).
+    pub fn note_scan(&self) {
+        self.count_scan();
+    }
+
+    /// Records one permutation performed outside the machine (see
+    /// [`Machine::note_elementwise`]).
+    pub fn note_permute(&self) {
+        self.count_permute();
+    }
+
+    pub(crate) fn count_scan(&self) {
+        self.stats.scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_elementwise(&self) {
+        self.stats.elementwise.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_permute(&self) {
+        self.stats.permutes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_sort(&self) {
+        self.stats.sorts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Scan primitives (paper Sec. 3.2.1)
+    // ------------------------------------------------------------------
+
+    /// Segmented scan in either direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != seg.len()`.
+    pub fn scan<T, O>(
+        &self,
+        data: &[T],
+        seg: &Segments,
+        op: O,
+        dir: Direction,
+        kind: ScanKind,
+    ) -> Vec<T>
+    where
+        T: Element,
+        O: CombineOp<T>,
+    {
+        self.count_scan();
+        if self.use_par(data.len()) {
+            par::scan_par(data, seg, op, dir, kind)
+        } else {
+            scan_seq(data, seg, op, dir, kind)
+        }
+    }
+
+    /// Upward segmented scan (convenience over [`Machine::scan`]).
+    pub fn up_scan_seg<T, O>(&self, data: &[T], seg: &Segments, op: O, kind: ScanKind) -> Vec<T>
+    where
+        T: Element,
+        O: CombineOp<T>,
+    {
+        self.scan(data, seg, op, Direction::Up, kind)
+    }
+
+    /// Downward segmented scan (convenience over [`Machine::scan`]).
+    pub fn down_scan_seg<T, O>(&self, data: &[T], seg: &Segments, op: O, kind: ScanKind) -> Vec<T>
+    where
+        T: Element,
+        O: CombineOp<T>,
+    {
+        self.scan(data, seg, op, Direction::Down, kind)
+    }
+
+    /// Unsegmented upward scan over the whole vector.
+    pub fn up_scan<T, O>(&self, data: &[T], op: O, kind: ScanKind) -> Vec<T>
+    where
+        T: Element,
+        O: CombineOp<T>,
+    {
+        self.scan(data, &Segments::single(data.len()), op, Direction::Up, kind)
+    }
+
+    /// Unsegmented downward scan over the whole vector.
+    pub fn down_scan<T, O>(&self, data: &[T], op: O, kind: ScanKind) -> Vec<T>
+    where
+        T: Element,
+        O: CombineOp<T>,
+    {
+        self.scan(
+            data,
+            &Segments::single(data.len()),
+            op,
+            Direction::Down,
+            kind,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise primitives (paper Sec. 3.2.2)
+    // ------------------------------------------------------------------
+
+    /// Unary elementwise map.
+    pub fn map<T, U, F>(&self, data: &[T], f: F) -> Vec<U>
+    where
+        T: Element,
+        U: Element,
+        F: Fn(T) -> U + Send + Sync,
+    {
+        self.count_elementwise();
+        if self.use_par(data.len()) {
+            par::map_par(data, f)
+        } else {
+            data.iter().map(|&x| f(x)).collect()
+        }
+    }
+
+    /// Binary elementwise map (paper Fig. 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length.
+    pub fn zip_map<A, B, U, F>(&self, a: &[A], b: &[B], f: F) -> Vec<U>
+    where
+        A: Element,
+        B: Element,
+        U: Element,
+        F: Fn(A, B) -> U + Send + Sync,
+    {
+        self.count_elementwise();
+        if self.use_par(a.len()) {
+            par::zip_map_par(a, b, f)
+        } else {
+            assert_eq!(
+                a.len(),
+                b.len(),
+                "elementwise: vector lengths {} and {} differ",
+                a.len(),
+                b.len()
+            );
+            a.iter().zip(b.iter()).map(|(&x, &y)| f(x, y)).collect()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Permutation primitives (paper Sec. 3.2.3)
+    // ------------------------------------------------------------------
+
+    /// Scatter permutation: `out[index[i]] = data[i]` with `index` a
+    /// bijection on `0..n` (paper Fig. 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or `index` is not one-to-one.
+    pub fn permute<T: Element>(&self, data: &[T], index: &[usize]) -> Vec<T> {
+        self.count_permute();
+        if self.use_par(data.len()) {
+            permute_par(data, index)
+        } else {
+            permute_seq(data, index)
+        }
+    }
+
+    /// Gather: `out[j] = data[order[j]]`. The inverse view of a
+    /// permutation; counted as a permutation op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any order entry is out of bounds.
+    pub fn gather<T: Element>(&self, data: &[T], order: &[usize]) -> Vec<T> {
+        self.count_permute();
+        if self.use_par(order.len()) {
+            order.par_iter().map(|&i| data[i]).collect()
+        } else {
+            order.iter().map(|&i| data[i]).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Sum;
+
+    #[test]
+    fn stats_count_operations() {
+        let m = Machine::sequential();
+        let data = vec![1i64, 2, 3, 4];
+        let seg = Segments::single(4);
+        let _ = m.up_scan_seg(&data, &seg, Sum, ScanKind::Inclusive);
+        let _ = m.map(&data, |x| x + 1);
+        let _ = m.zip_map(&data, &data, |a, b| a + b);
+        let _ = m.permute(&data, &[3, 2, 1, 0]);
+        let _ = m.gather(&data, &[0, 0, 1]);
+        m.bump_rounds();
+        let s = m.stats();
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.elementwise, 2);
+        assert_eq!(s.permutes, 2);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.total_primitives(), 5);
+        m.reset_stats();
+        assert_eq!(m.stats(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let m = Machine::sequential();
+        let data = vec![1i64, 2];
+        let _ = m.up_scan(&data, Sum, ScanKind::Inclusive);
+        let before = m.stats();
+        let _ = m.up_scan(&data, Sum, ScanKind::Inclusive);
+        let _ = m.up_scan(&data, Sum, ScanKind::Inclusive);
+        let delta = m.stats().since(&before);
+        assert_eq!(delta.scans, 2);
+    }
+
+    #[test]
+    fn backends_agree_below_and_above_threshold() {
+        let seq = Machine::sequential();
+        let par = Machine::parallel().with_par_threshold(1);
+        let n = 10_000usize;
+        let data: Vec<i64> = (0..n as i64).map(|i| i % 11 - 5).collect();
+        let seg = Segments::from_lengths(&[n / 2, n / 2]).unwrap();
+        for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+            for dir in [Direction::Up, Direction::Down] {
+                assert_eq!(
+                    seq.scan(&data, &seg, Sum, dir, kind),
+                    par.scan(&data, &seg, Sum, dir, kind)
+                );
+            }
+        }
+        let idx: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+        assert_eq!(seq.permute(&data, &idx), par.permute(&data, &idx));
+        assert_eq!(
+            seq.zip_map(&data, &data, |a, b| a * b),
+            par.zip_map(&data, &data, |a, b| a * b)
+        );
+    }
+
+    #[test]
+    fn gather_basic() {
+        let m = Machine::sequential();
+        let data = vec![10u32, 20, 30];
+        assert_eq!(m.gather(&data, &[2, 0, 2]), vec![30, 10, 30]);
+    }
+}

@@ -1,0 +1,372 @@
+//! Rayon-parallel backend for scans and elementwise operations.
+//!
+//! Segmented scans are parallelized with the classic blocked two-pass
+//! scheme, generalized to segments by scanning *(reset, value)* pairs:
+//!
+//! ```text
+//! (f1, v1) ⊕ (f2, v2) = (f1 ∨ f2, if f2 { v2 } else { v1 ⊕ v2 })
+//! ```
+//!
+//! which is associative whenever the underlying operator is, so a segmented
+//! scan is just an ordinary scan of pairs. Pass 1 computes per-block
+//! summaries in parallel; a short sequential scan combines the block
+//! summaries into per-block carries; pass 2 re-scans each block in parallel
+//! seeded by its carry. The result is bit-identical to the sequential
+//! reference implementation in [`crate::scan`] (asserted by property tests),
+//! because each lane's value is combined in exactly the same order — the
+//! blocking only reassociates, which associativity licenses. (For `f64`
+//! sums, reassociation *does* change rounding; the carries are therefore
+//! folded lane-by-lane rather than tree-wise so that sequential order is
+//! preserved exactly.)
+
+use crate::ops::{CombineOp, Element};
+use crate::scan::{Direction, ScanKind};
+use crate::vector::Segments;
+use rayon::prelude::*;
+
+/// Default minimum vector length before the parallel backend engages;
+/// below this the sequential code is used even on the parallel backend.
+pub const PAR_THRESHOLD: usize = 4096;
+
+/// Block length used for the two-pass scan, chosen so pass-1/pass-2 chunks
+/// amortize rayon task overhead while leaving enough blocks for load
+/// balancing.
+fn block_len(n: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    (n / (4 * threads)).max(1024)
+}
+
+/// Per-block summary of a (reset, value) pair scan: whether the block
+/// contains a segment reset, and the pair-scan total of the block.
+#[derive(Clone, Copy)]
+struct BlockSummary<T> {
+    has_reset: bool,
+    total: Option<T>,
+}
+
+/// Parallel segmented scan; exact same semantics (and bit pattern) as
+/// [`crate::scan::scan_seq`].
+///
+/// # Panics
+///
+/// Panics if `data.len() != seg.len()`.
+pub fn scan_par<T, O>(
+    data: &[T],
+    seg: &Segments,
+    op: O,
+    dir: Direction,
+    kind: ScanKind,
+) -> Vec<T>
+where
+    T: Element,
+    O: CombineOp<T>,
+{
+    assert_eq!(
+        data.len(),
+        seg.len(),
+        "scan: data length {} does not match segment descriptor length {}",
+        data.len(),
+        seg.len()
+    );
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    match dir {
+        Direction::Up => scan_par_up(data, seg, op, kind),
+        Direction::Down => scan_par_down(data, seg, op, kind),
+    }
+}
+
+fn scan_par_up<T, O>(data: &[T], seg: &Segments, op: O, kind: ScanKind) -> Vec<T>
+where
+    T: Element,
+    O: CombineOp<T>,
+{
+    let n = data.len();
+    let flags = seg.flags();
+    let blk = block_len(n);
+    let nblocks = n.div_ceil(blk);
+
+    // Pass 1: per-block pair-scan totals, left-to-right within each block.
+    let summaries: Vec<BlockSummary<T>> = (0..nblocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * blk;
+            let hi = (lo + blk).min(n);
+            let mut state: Option<T> = None;
+            let mut has_reset = false;
+            for i in lo..hi {
+                if flags[i] {
+                    has_reset = true;
+                    state = Some(data[i]);
+                } else {
+                    state = Some(match state {
+                        Some(s) => op.combine(s, data[i]),
+                        None => data[i],
+                    });
+                }
+            }
+            BlockSummary {
+                has_reset,
+                total: state,
+            }
+        })
+        .collect();
+
+    // Sequential carry scan over block summaries.
+    let mut carries: Vec<Option<T>> = Vec::with_capacity(nblocks);
+    let mut carry: Option<T> = None;
+    for s in &summaries {
+        carries.push(carry);
+        carry = if s.has_reset {
+            s.total
+        } else {
+            match (carry, s.total) {
+                (Some(c), Some(t)) => Some(op.combine(c, t)),
+                (None, t) => t,
+                (c, None) => c,
+            }
+        };
+    }
+
+    // Pass 2: re-scan each block seeded with its carry.
+    let mut out: Vec<T> = vec![op.identity(); n];
+    out.par_chunks_mut(blk).enumerate().for_each(|(b, chunk)| {
+        let lo = b * blk;
+        let mut state: Option<T> = carries[b];
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let i = lo + j;
+            let before = state;
+            if flags[i] {
+                state = Some(data[i]);
+            } else {
+                state = Some(match state {
+                    Some(s) => op.combine(s, data[i]),
+                    None => data[i],
+                });
+            }
+            *slot = match kind {
+                ScanKind::Inclusive => state.expect("inclusive scan state must exist"),
+                ScanKind::Exclusive => {
+                    if flags[i] {
+                        op.identity()
+                    } else {
+                        before.expect("non-head lane must have a predecessor in its segment")
+                    }
+                }
+            };
+        }
+    });
+    out
+}
+
+fn scan_par_down<T, O>(data: &[T], seg: &Segments, op: O, kind: ScanKind) -> Vec<T>
+where
+    T: Element,
+    O: CombineOp<T>,
+{
+    let n = data.len();
+    // Downward resets sit at segment *ends*.
+    let ends: Vec<bool> = {
+        let flags = seg.flags();
+        (0..n).map(|i| i + 1 == n || flags[i + 1]).collect()
+    };
+    let blk = block_len(n);
+    let nblocks = n.div_ceil(blk);
+
+    // Pass 1: per-block pair-scan totals, right-to-left within each block.
+    let summaries: Vec<BlockSummary<T>> = (0..nblocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * blk;
+            let hi = (lo + blk).min(n);
+            let mut state: Option<T> = None;
+            let mut has_reset = false;
+            for i in (lo..hi).rev() {
+                if ends[i] {
+                    has_reset = true;
+                    state = Some(data[i]);
+                } else {
+                    state = Some(match state {
+                        Some(s) => op.combine(data[i], s),
+                        None => data[i],
+                    });
+                }
+            }
+            BlockSummary {
+                has_reset,
+                total: state,
+            }
+        })
+        .collect();
+
+    // Sequential carry scan over block summaries, right-to-left. The carry
+    // entering block b is the pair-scan state of everything to its right.
+    let mut carries: Vec<Option<T>> = vec![None; nblocks];
+    let mut carry: Option<T> = None;
+    for b in (0..nblocks).rev() {
+        carries[b] = carry;
+        let s = &summaries[b];
+        carry = if s.has_reset {
+            s.total
+        } else {
+            match (s.total, carry) {
+                (Some(t), Some(c)) => Some(op.combine(t, c)),
+                (t, None) => t,
+                (None, c) => c,
+            }
+        };
+    }
+
+    let mut out: Vec<T> = vec![op.identity(); n];
+    out.par_chunks_mut(blk).enumerate().for_each(|(b, chunk)| {
+        let lo = b * blk;
+        let mut state: Option<T> = carries[b];
+        for (j, slot) in chunk.iter_mut().enumerate().rev() {
+            let i = lo + j;
+            let before = state;
+            if ends[i] {
+                state = Some(data[i]);
+            } else {
+                state = Some(match state {
+                    Some(s) => op.combine(data[i], s),
+                    None => data[i],
+                });
+            }
+            *slot = match kind {
+                ScanKind::Inclusive => state.expect("inclusive scan state must exist"),
+                ScanKind::Exclusive => {
+                    if ends[i] {
+                        op.identity()
+                    } else {
+                        before.expect("non-tail lane must have a successor in its segment")
+                    }
+                }
+            };
+        }
+    });
+    out
+}
+
+/// Parallel unary elementwise map.
+pub fn map_par<T, U, F>(data: &[T], f: F) -> Vec<U>
+where
+    T: Element,
+    U: Element,
+    F: Fn(T) -> U + Send + Sync,
+{
+    data.par_iter().map(|&x| f(x)).collect()
+}
+
+/// Parallel binary elementwise map (paper Fig. 9 generalized to any `f`).
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn zip_map_par<A, B, U, F>(a: &[A], b: &[B], f: F) -> Vec<U>
+where
+    A: Element,
+    B: Element,
+    U: Element,
+    F: Fn(A, B) -> U + Send + Sync,
+{
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "elementwise: vector lengths {} and {} differ",
+        a.len(),
+        b.len()
+    );
+    a.par_iter()
+        .zip(b.par_iter())
+        .map(|(&x, &y)| f(x, y))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Max, Min, Sum};
+    use crate::scan::scan_seq;
+
+    fn compare_all_modes(data: &[i64], seg: &Segments) {
+        for dir in [Direction::Up, Direction::Down] {
+            for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                assert_eq!(
+                    scan_par(data, seg, Sum, dir, kind),
+                    scan_seq(data, seg, Sum, dir, kind),
+                    "Sum {dir:?} {kind:?}"
+                );
+                assert_eq!(
+                    scan_par(data, seg, Min, dir, kind),
+                    scan_seq(data, seg, Min, dir, kind),
+                    "Min {dir:?} {kind:?}"
+                );
+                assert_eq!(
+                    scan_par(data, seg, Max, dir, kind),
+                    scan_seq(data, seg, Max, dir, kind),
+                    "Max {dir:?} {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_fig8() {
+        let data = vec![3i64, 1, 2, 1, 0, 1, 2, 2, 1, 0, 3, 3];
+        let seg = Segments::from_lengths(&[3, 4, 2, 3]).unwrap();
+        compare_all_modes(&data, &seg);
+    }
+
+    #[test]
+    fn matches_sequential_on_large_irregular_segments() {
+        // Deterministic pseudo-random data large enough to span many blocks.
+        let n = 40_000usize;
+        let mut state = 0x243F_6A88u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let data: Vec<i64> = (0..n).map(|_| (next() % 1000) as i64 - 500).collect();
+        let mut lengths = Vec::new();
+        let mut covered = 0usize;
+        while covered < n {
+            let l = ((next() % 97) + 1) as usize;
+            let l = l.min(n - covered);
+            lengths.push(l);
+            covered += l;
+        }
+        let seg = Segments::from_lengths(&lengths).unwrap();
+        compare_all_modes(&data, &seg);
+    }
+
+    #[test]
+    fn matches_sequential_single_giant_segment() {
+        let n = 30_000usize;
+        let data: Vec<i64> = (0..n).map(|i| (i % 7) as i64 - 3).collect();
+        let seg = Segments::single(n);
+        compare_all_modes(&data, &seg);
+    }
+
+    #[test]
+    fn empty_input() {
+        let data: Vec<i64> = Vec::new();
+        let seg = Segments::single(0);
+        assert!(scan_par(&data, &seg, Sum, Direction::Up, ScanKind::Inclusive).is_empty());
+    }
+
+    #[test]
+    fn zip_map_matches_fig9() {
+        let a = vec![0i64, 1, 2, 1, 4, 3, 6, 2, 9, 5];
+        let b = vec![4i64, 7, 2, 0, 3, 6, 1, 5, 0, 4];
+        let got = zip_map_par(&a, &b, |x, y| x + y);
+        assert_eq!(got, vec![4, 8, 4, 1, 7, 9, 7, 7, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths")]
+    fn zip_map_length_mismatch_panics() {
+        zip_map_par(&[1i64], &[1i64, 2], |x, y| x + y);
+    }
+}

@@ -1,0 +1,578 @@
+//! The spatial primitive operations of the paper's Section 4, composed from
+//! scans, elementwise operations and permutations.
+//!
+//! Each primitive follows the paper's mechanics figure step by step
+//! (Figs. 14, 16 and 18), and issues its constituent operations through the
+//! owning [`Machine`] so that the operation counters reflect the paper's
+//! cost accounting.
+//!
+//! The reordering primitives are split into a *layout* computation (which
+//! runs the scans and produces target/source index vectors) and an *apply*
+//! step (a permutation), because the spatial build algorithms carry several
+//! parallel vectors per line processor (geometry, identifiers, node state)
+//! that must all be reordered the same way.
+
+use crate::machine::Machine;
+use crate::ops::{First, Last, Sum};
+use crate::scan::{Direction, ScanKind};
+use crate::vector::Segments;
+use crate::ops::Element;
+use std::cmp::Ordering as CmpOrdering;
+
+/// Result of a cloning layout computation ([`Machine::clone_layout`],
+/// paper Sec. 4.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CloneLayout {
+    /// For each output lane, the input lane it is a copy of. Originals and
+    /// their clones are adjacent: the original first, its clone immediately
+    /// after (the "small curved arrows" of paper Fig. 14).
+    pub src_lane: Vec<usize>,
+    /// `true` for output lanes that are clones (the inserted copies).
+    pub is_clone: Vec<bool>,
+    /// The segment descriptor after cloning: clones join the segment of
+    /// their original.
+    pub seg: Segments,
+}
+
+impl CloneLayout {
+    /// Number of output lanes.
+    pub fn len(&self) -> usize {
+        self.src_lane.len()
+    }
+
+    /// `true` when the layout covers zero lanes.
+    pub fn is_empty(&self) -> bool {
+        self.src_lane.is_empty()
+    }
+}
+
+/// Result of an unshuffle layout computation ([`Machine::unshuffle_layout`],
+/// paper Sec. 4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnshuffleLayout {
+    /// Scatter targets: lane `i` of the input moves to `target[i]`
+    /// (a bijection on `0..n`, fed to [`Machine::permute`]).
+    pub target: Vec<usize>,
+    /// Per input segment, the pair `(left_count, right_count)`: how many
+    /// lanes of the segment were `false`-class (packed to the left end)
+    /// and `true`-class (packed to the right end).
+    pub counts: Vec<(usize, usize)>,
+}
+
+/// Result of a deletion layout computation ([`Machine::delete_layout`],
+/// paper Sec. 4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeleteLayout {
+    /// Input lanes that survive, in order (gather indices).
+    pub src_lane: Vec<usize>,
+    /// Per input segment, the number of surviving lanes (may be zero).
+    pub kept_per_segment: Vec<usize>,
+}
+
+impl Machine {
+    // ------------------------------------------------------------------
+    // Cloning (paper Sec. 4.1, Figs. 13-14)
+    // ------------------------------------------------------------------
+
+    /// Computes the cloning layout for the flagged lanes: every lane with
+    /// `clone_flags[i] == true` is replicated, with the copy inserted
+    /// immediately after the original; all other lanes shift right to make
+    /// room.
+    ///
+    /// Mechanics (paper Fig. 14): an unsegmented upward **exclusive**
+    /// `+`-scan of the clone flags yields each lane's rightward offset
+    /// (`F1`); an elementwise add of the offset to the lane's position
+    /// yields its new index (`F2`); the permutation repositions the lanes
+    /// and each flagged lane then copies itself one slot to the right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clone_flags.len() != seg.len()`.
+    pub fn clone_layout(&self, seg: &Segments, clone_flags: &[bool]) -> CloneLayout {
+        assert_eq!(
+            clone_flags.len(),
+            seg.len(),
+            "clone: flag length {} does not match segment descriptor length {}",
+            clone_flags.len(),
+            seg.len()
+        );
+        let n = seg.len();
+        let ones: Vec<u64> = self.map(clone_flags, |f| f as u64);
+        // F1: offset each existing lane must move right (Fig. 14
+        // `up-scan(CF,+,ex)` — unsegmented: room is made globally).
+        let offsets = self.up_scan(&ones, Sum, ScanKind::Exclusive);
+        let total_clones = clone_flags.iter().filter(|&&f| f).count();
+        let out_len = n + total_clones;
+
+        // F2 = ew(+, P, F1): the new position of each original lane.
+        let positions: Vec<usize> = {
+            self.count_elementwise();
+            offsets
+                .iter()
+                .enumerate()
+                .map(|(i, &off)| i + off as usize)
+                .collect()
+        };
+
+        // The permutation plus the adjacent self-copy, fused into one
+        // scatter pass (counted as the permutation of Fig. 14).
+        self.count_permute();
+        let mut src_lane = vec![0usize; out_len];
+        let mut is_clone = vec![false; out_len];
+        let mut flags_out = vec![false; out_len];
+        let in_flags = seg.flags();
+        for i in 0..n {
+            let p = positions[i];
+            src_lane[p] = i;
+            flags_out[p] = in_flags[i];
+            if clone_flags[i] {
+                src_lane[p + 1] = i;
+                is_clone[p + 1] = true;
+                // A clone never begins a segment: it joins its original's.
+            }
+        }
+        let seg_out = Segments::from_flags(flags_out)
+            .expect("clone layout preserves the leading segment flag");
+        CloneLayout {
+            src_lane,
+            is_clone,
+            seg: seg_out,
+        }
+    }
+
+    /// Applies a cloning (or any gather-form) layout to one data vector.
+    pub fn apply_clone<T: Element>(&self, data: &[T], layout: &CloneLayout) -> Vec<T> {
+        self.gather(data, &layout.src_lane)
+    }
+
+    // ------------------------------------------------------------------
+    // Unshuffling (paper Sec. 4.2, Figs. 15-16)
+    // ------------------------------------------------------------------
+
+    /// Computes the unshuffle layout: within each segment, lanes with
+    /// `class[i] == false` (the paper's `a` elements) are stably packed to
+    /// the left end and lanes with `class[i] == true` (the `b` elements) to
+    /// the right end.
+    ///
+    /// Mechanics (paper Fig. 16): an upward **inclusive** segmented
+    /// `+`-scan over the `b`-indicator counts, for each `a`, the `b`s
+    /// between it and its segment's left end (`F1`); a downward inclusive
+    /// segmented `+`-scan over the `a`-indicator counts, for each `b`, the
+    /// `a`s between it and the right end (`F2`); two elementwise ops derive
+    /// the new position indices (`ew(-,P,F1)` for `a`s, `ew(+,P,F2)` for
+    /// `b`s), and a permutation repositions the lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class.len() != seg.len()`.
+    pub fn unshuffle_layout(&self, seg: &Segments, class: &[bool]) -> UnshuffleLayout {
+        assert_eq!(
+            class.len(),
+            seg.len(),
+            "unshuffle: class length {} does not match segment descriptor length {}",
+            class.len(),
+            seg.len()
+        );
+        let b_ind: Vec<u64> = self.map(class, |c| c as u64);
+        let a_ind: Vec<u64> = self.map(class, |c| (!c) as u64);
+        // F1: b's to my left (inclusive scan adds 0 at an `a` lane itself).
+        let f1 = self.scan(&b_ind, seg, Sum, Direction::Up, ScanKind::Inclusive);
+        // F2: a's to my right.
+        let f2 = self.scan(&a_ind, seg, Sum, Direction::Down, ScanKind::Inclusive);
+        // F3 = per-class elementwise position arithmetic.
+        self.count_elementwise();
+        let target: Vec<usize> = (0..seg.len())
+            .map(|i| {
+                if class[i] {
+                    i + f2[i] as usize
+                } else {
+                    i - f1[i] as usize
+                }
+            })
+            .collect();
+        let counts = seg
+            .ranges()
+            .map(|r| {
+                let na = r.clone().filter(|&i| !class[i]).count();
+                (na, r.len() - na)
+            })
+            .collect();
+        UnshuffleLayout { target, counts }
+    }
+
+    /// Applies an unshuffle layout to one data vector (the permutation step
+    /// of paper Fig. 16).
+    pub fn apply_unshuffle<T: Element>(&self, data: &[T], layout: &UnshuffleLayout) -> Vec<T> {
+        self.permute(data, &layout.target)
+    }
+
+    // ------------------------------------------------------------------
+    // Duplicate deletion (paper Sec. 4.3, Figs. 17-18)
+    // ------------------------------------------------------------------
+
+    /// Computes the deletion layout: lanes with `delete_flags[i] == true`
+    /// are removed and the survivors close ranks leftward.
+    ///
+    /// Mechanics (paper Fig. 18): an unsegmented upward **exclusive**
+    /// `+`-scan over the delete flags counts the doomed lanes to each
+    /// lane's left (`F1`); an elementwise subtract from the position index
+    /// gives each survivor's new index, and a permutation compacts them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delete_flags.len() != seg.len()`.
+    pub fn delete_layout(&self, seg: &Segments, delete_flags: &[bool]) -> DeleteLayout {
+        assert_eq!(
+            delete_flags.len(),
+            seg.len(),
+            "delete: flag length {} does not match segment descriptor length {}",
+            delete_flags.len(),
+            seg.len()
+        );
+        let ones: Vec<u64> = self.map(delete_flags, |f| f as u64);
+        let f1 = self.up_scan(&ones, Sum, ScanKind::Exclusive);
+        self.count_elementwise();
+        self.count_permute();
+        let mut src_lane = Vec::with_capacity(seg.len());
+        for i in 0..seg.len() {
+            if !delete_flags[i] {
+                debug_assert_eq!(i - f1[i] as usize, src_lane.len());
+                src_lane.push(i);
+            }
+        }
+        let kept_per_segment = seg
+            .ranges()
+            .map(|r| r.filter(|&i| !delete_flags[i]).count())
+            .collect();
+        DeleteLayout {
+            src_lane,
+            kept_per_segment,
+        }
+    }
+
+    /// Applies a deletion layout to one data vector.
+    pub fn apply_delete<T: Element>(&self, data: &[T], layout: &DeleteLayout) -> Vec<T> {
+        self.gather(data, &layout.src_lane)
+    }
+
+    /// Deletes duplicates from a *sorted* vector of keys: every lane equal
+    /// to its left neighbour is flagged and removed (the full duplicate-
+    /// deletion primitive of paper Sec. 4.3).
+    pub fn delete_duplicates<T: Element + PartialEq>(
+        &self,
+        data: &[T],
+        seg: &Segments,
+    ) -> (Vec<T>, DeleteLayout) {
+        self.count_elementwise();
+        let flags: Vec<bool> = (0..data.len())
+            .map(|i| i > 0 && !seg.flags()[i] && data[i] == data[i - 1])
+            .collect();
+        let layout = self.delete_layout(seg, &flags);
+        let out = self.apply_delete(data, &layout);
+        (out, layout)
+    }
+
+    // ------------------------------------------------------------------
+    // Node capacity check (paper Sec. 4.4, Fig. 19)
+    // ------------------------------------------------------------------
+
+    /// Per-lane *suffix* counts within each segment: a downward inclusive
+    /// `+`-scan of ones, exactly the vector drawn in paper Fig. 19. The
+    /// first lane of each segment holds the segment's total occupancy.
+    pub fn capacity_check_scan(&self, seg: &Segments) -> Vec<u64> {
+        let ones = vec![1u64; seg.len()];
+        self.scan(&ones, seg, Sum, Direction::Down, ScanKind::Inclusive)
+    }
+
+    /// Per-segment totals: the node capacity check read out at the first
+    /// lane of each segment (the "elementwise write to the node" of
+    /// Sec. 4.4).
+    pub fn segment_counts(&self, seg: &Segments) -> Vec<u64> {
+        let scanned = self.capacity_check_scan(seg);
+        self.count_elementwise();
+        seg.starts().iter().map(|&s| scanned[s]).collect()
+    }
+
+    /// Per-lane segment totals: the capacity check followed by a broadcast
+    /// of the head value across the segment.
+    pub fn segment_counts_broadcast(&self, seg: &Segments) -> Vec<u64> {
+        let scanned = self.capacity_check_scan(seg);
+        self.broadcast_first(&scanned, seg)
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcasts (copy scans, paper Secs. 4.5 and 4.7)
+    // ------------------------------------------------------------------
+
+    /// Broadcasts the first lane of each segment to every lane of the
+    /// segment (upward inclusive copy-scan).
+    pub fn broadcast_first<T: Element + Default>(&self, data: &[T], seg: &Segments) -> Vec<T> {
+        self.scan(data, seg, First, Direction::Up, ScanKind::Inclusive)
+    }
+
+    /// Broadcasts the last lane of each segment to every lane of the
+    /// segment (downward inclusive right-projection scan).
+    pub fn broadcast_last<T: Element + Default>(&self, data: &[T], seg: &Segments) -> Vec<T> {
+        self.scan(data, seg, Last, Direction::Down, ScanKind::Inclusive)
+    }
+
+    /// Each lane's rank within its segment (upward exclusive `+`-scan of
+    /// ones).
+    pub fn rank_in_segment(&self, seg: &Segments) -> Vec<u64> {
+        let ones = vec![1u64; seg.len()];
+        self.scan(&ones, seg, Sum, Direction::Up, ScanKind::Exclusive)
+    }
+
+    // ------------------------------------------------------------------
+    // Segmented sort (used by the R-tree sweep split, paper Sec. 4.7)
+    // ------------------------------------------------------------------
+
+    /// Stable per-segment sort. Returns gather indices `order` such that
+    /// reading lanes in `order` yields each segment's lanes sorted by
+    /// `cmp` over `keys` (ties broken by original lane, i.e. stable), with
+    /// segment boundaries unchanged.
+    ///
+    /// Counted as one sort operation — the paper treats a sort as an
+    /// `O(log n)`-time composite primitive (Sec. 3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != seg.len()`.
+    pub fn segmented_sort_perm<K, F>(&self, seg: &Segments, keys: &[K], cmp: F) -> Vec<usize>
+    where
+        K: Element,
+        F: Fn(&K, &K) -> CmpOrdering + Send + Sync,
+    {
+        assert_eq!(
+            keys.len(),
+            seg.len(),
+            "sort: key length {} does not match segment descriptor length {}",
+            keys.len(),
+            seg.len()
+        );
+        self.count_sort();
+        let mut order: Vec<usize> = (0..seg.len()).collect();
+        let seg_ids = seg.segment_ids();
+        let comparator = |&x: &usize, &y: &usize| {
+            seg_ids[x]
+                .cmp(&seg_ids[y])
+                .then_with(|| cmp(&keys[x], &keys[y]))
+                .then_with(|| x.cmp(&y))
+        };
+        if self.backend() == crate::machine::Backend::Parallel
+            && seg.len() >= crate::par::PAR_THRESHOLD
+        {
+            use rayon::prelude::*;
+            order.par_sort_unstable_by(comparator);
+        } else {
+            order.sort_unstable_by(comparator);
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Backend, Machine};
+
+    fn machines() -> Vec<Machine> {
+        vec![
+            Machine::sequential(),
+            Machine::new(Backend::Parallel).with_par_threshold(1),
+        ]
+    }
+
+    /// Paper Figs. 13-14: clone elements a, d and g of [a..g].
+    #[test]
+    fn fig13_14_cloning() {
+        for m in machines() {
+            let data: Vec<char> = "abcdefg".chars().collect();
+            let seg = Segments::single(7);
+            let flags = vec![true, false, false, true, false, false, true];
+            let layout = m.clone_layout(&seg, &flags);
+            let out = m.apply_clone(&data, &layout);
+            assert_eq!(out, "aabcddefgg".chars().collect::<Vec<_>>());
+            assert_eq!(
+                layout.is_clone,
+                vec![false, true, false, false, false, true, false, false, false, true]
+            );
+            assert_eq!(layout.seg.num_segments(), 1);
+            assert_eq!(layout.seg.len(), 10);
+        }
+    }
+
+    #[test]
+    fn cloning_respects_segments() {
+        for m in machines() {
+            let data = vec![1u32, 2, 3, 4];
+            let seg = Segments::from_lengths(&[2, 2]).unwrap();
+            // Clone the lane that starts the second segment.
+            let flags = vec![false, false, true, false];
+            let layout = m.clone_layout(&seg, &flags);
+            let out = m.apply_clone(&data, &layout);
+            assert_eq!(out, vec![1, 2, 3, 3, 4]);
+            assert_eq!(layout.seg.lengths(), vec![2, 3]);
+            // The clone joins its original's segment, not a new one.
+            assert_eq!(layout.seg.flags(), &[true, false, true, false, false]);
+        }
+    }
+
+    #[test]
+    fn cloning_nothing_is_identity() {
+        for m in machines() {
+            let data = vec![5i64, 6, 7];
+            let seg = Segments::single(3);
+            let layout = m.clone_layout(&seg, &[false, false, false]);
+            assert_eq!(m.apply_clone(&data, &layout), data);
+            assert_eq!(layout.seg, seg);
+        }
+    }
+
+    /// Paper Figs. 15-16: unshuffle [b a b a a b a] into a's then b's.
+    #[test]
+    fn fig15_16_unshuffle() {
+        for m in machines() {
+            // Types per Fig. 16: X = b a b a a b a (class true = b).
+            let class = vec![true, false, true, false, false, true, false];
+            let data = vec![10i64, 1, 20, 2, 3, 30, 4];
+            let seg = Segments::single(7);
+            let layout = m.unshuffle_layout(&seg, &class);
+            let out = m.apply_unshuffle(&data, &layout);
+            assert_eq!(out, vec![1, 2, 3, 4, 10, 20, 30]);
+            assert_eq!(layout.counts, vec![(4, 3)]);
+        }
+    }
+
+    #[test]
+    fn unshuffle_is_stable_within_each_class() {
+        for m in machines() {
+            let class = vec![false, true, false, true, false];
+            let data = vec![1u32, 100, 2, 200, 3];
+            let seg = Segments::single(5);
+            let layout = m.unshuffle_layout(&seg, &class);
+            let out = m.apply_unshuffle(&data, &layout);
+            assert_eq!(out, vec![1, 2, 3, 100, 200]);
+        }
+    }
+
+    #[test]
+    fn unshuffle_multiple_segments_stay_disjoint() {
+        for m in machines() {
+            let seg = Segments::from_lengths(&[3, 4]).unwrap();
+            let class = vec![true, false, true, true, false, false, true];
+            let data = vec![9u32, 1, 8, 7, 2, 3, 6];
+            let layout = m.unshuffle_layout(&seg, &class);
+            let out = m.apply_unshuffle(&data, &layout);
+            assert_eq!(out, vec![1, 9, 8, 2, 3, 7, 6]);
+            assert_eq!(layout.counts, vec![(1, 2), (2, 2)]);
+        }
+    }
+
+    #[test]
+    fn unshuffle_all_one_class() {
+        for m in machines() {
+            let seg = Segments::from_lengths(&[3]).unwrap();
+            let data = vec![1u32, 2, 3];
+            for class_val in [false, true] {
+                let layout = m.unshuffle_layout(&seg, &[class_val; 3]);
+                assert_eq!(m.apply_unshuffle(&data, &layout), data);
+            }
+        }
+    }
+
+    /// Paper Figs. 17-18: delete flagged duplicates from a sorted ordering.
+    #[test]
+    fn fig17_18_duplicate_deletion() {
+        for m in machines() {
+            // Sorted with duplicates: a a b c c c d e.
+            let data: Vec<char> = "aabcccde".chars().collect();
+            let seg = Segments::single(8);
+            let (out, layout) = m.delete_duplicates(&data, &seg);
+            assert_eq!(out, "abcde".chars().collect::<Vec<_>>());
+            assert_eq!(layout.kept_per_segment, vec![5]);
+        }
+    }
+
+    #[test]
+    fn delete_respects_segment_boundaries() {
+        for m in machines() {
+            // Equal keys across a segment boundary are NOT duplicates.
+            let data = vec![1u32, 1, 1, 1];
+            let seg = Segments::from_lengths(&[2, 2]).unwrap();
+            let (out, layout) = m.delete_duplicates(&data, &seg);
+            assert_eq!(out, vec![1, 1]);
+            assert_eq!(layout.kept_per_segment, vec![1, 1]);
+        }
+    }
+
+    #[test]
+    fn delete_layout_explicit_flags() {
+        for m in machines() {
+            let seg = Segments::from_lengths(&[2, 3]).unwrap();
+            let flags = vec![true, false, false, true, true];
+            let layout = m.delete_layout(&seg, &flags);
+            assert_eq!(layout.src_lane, vec![1, 2]);
+            assert_eq!(layout.kept_per_segment, vec![1, 1]);
+            let data = vec![10u32, 11, 12, 13, 14];
+            assert_eq!(m.apply_delete(&data, &layout), vec![11, 12]);
+        }
+    }
+
+    /// Paper Fig. 19: the node capacity check scan.
+    #[test]
+    fn fig19_capacity_check() {
+        for m in machines() {
+            let seg = Segments::from_lengths(&[3, 4, 2]).unwrap();
+            let scanned = m.capacity_check_scan(&seg);
+            assert_eq!(scanned, vec![3, 2, 1, 4, 3, 2, 1, 2, 1]);
+            assert_eq!(m.segment_counts(&seg), vec![3, 4, 2]);
+            assert_eq!(
+                m.segment_counts_broadcast(&seg),
+                vec![3, 3, 3, 4, 4, 4, 4, 2, 2]
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_first_and_last() {
+        for m in machines() {
+            let seg = Segments::from_lengths(&[2, 3]).unwrap();
+            let data = vec![7u64, 0, 9, 0, 4];
+            assert_eq!(m.broadcast_first(&data, &seg), vec![7, 7, 9, 9, 9]);
+            assert_eq!(m.broadcast_last(&data, &seg), vec![0, 0, 4, 4, 4]);
+        }
+    }
+
+    #[test]
+    fn rank_in_segment_counts_from_zero() {
+        for m in machines() {
+            let seg = Segments::from_lengths(&[2, 3]).unwrap();
+            assert_eq!(m.rank_in_segment(&seg), vec![0, 1, 0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn segmented_sort_is_stable_and_segment_local() {
+        for m in machines() {
+            let seg = Segments::from_lengths(&[4, 3]).unwrap();
+            let keys = vec![3u32, 1, 3, 2, 9, 0, 9];
+            let order = m.segmented_sort_perm(&seg, &keys, |a, b| a.cmp(b));
+            let sorted = m.gather(&keys, &order);
+            assert_eq!(sorted, vec![1, 2, 3, 3, 0, 9, 9]);
+            // Stability: the two 3s keep original relative order (lanes 0, 2)
+            // and the two 9s keep lanes 4, 6.
+            assert_eq!(order, vec![1, 3, 0, 2, 5, 4, 6]);
+        }
+    }
+
+    #[test]
+    fn segmented_sort_f64_keys() {
+        for m in machines() {
+            let seg = Segments::single(4);
+            let keys = vec![2.5f64, -1.0, 0.0, 2.5];
+            let order = m.segmented_sort_perm(&seg, &keys, |a, b| a.total_cmp(b));
+            assert_eq!(order, vec![1, 2, 0, 3]);
+        }
+    }
+}

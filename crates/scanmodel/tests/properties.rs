@@ -1,0 +1,255 @@
+//! Property tests for the scan-model vector machine (experiment E24):
+//! the rayon-parallel backend must be observationally identical to the
+//! sequential reference backend, and the primitives must obey their
+//! algebraic laws.
+
+use proptest::prelude::*;
+use scan_model::ops::{Max, Min, Sum};
+use scan_model::{Backend, Direction, Machine, ScanKind, Segments};
+
+/// A random segmented vector: data plus segment lengths that sum to its
+/// length.
+fn segmented_vec() -> impl Strategy<Value = (Vec<i64>, Vec<usize>)> {
+    prop::collection::vec(-1000i64..1000, 1..400).prop_flat_map(|data| {
+        let n = data.len();
+        prop::collection::vec(1usize..20, 1..n.max(2))
+            .prop_map(move |mut lens| {
+                // Trim / extend to cover exactly n lanes.
+                let mut total = 0usize;
+                let mut out = Vec::new();
+                for l in lens.drain(..) {
+                    if total + l >= n {
+                        out.push(n - total);
+                        total = n;
+                        break;
+                    }
+                    total += l;
+                    out.push(l);
+                }
+                if total < n {
+                    out.push(n - total);
+                }
+                out.retain(|&l| l > 0);
+                (out, n)
+            })
+            .prop_map(move |(lens, _)| lens)
+            .prop_map({
+                let data = data.clone();
+                move |lens| (data.clone(), lens)
+            })
+    })
+}
+
+fn machines() -> (Machine, Machine) {
+    (
+        Machine::new(Backend::Sequential),
+        Machine::new(Backend::Parallel).with_par_threshold(1),
+    )
+}
+
+proptest! {
+    /// Parallel scans are bit-identical to sequential scans for every
+    /// direction/kind/operator combination.
+    #[test]
+    fn backend_equivalence_scans((data, lens) in segmented_vec()) {
+        let seg = Segments::from_lengths(&lens).unwrap();
+        let (seq, par) = machines();
+        for dir in [Direction::Up, Direction::Down] {
+            for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                prop_assert_eq!(
+                    seq.scan(&data, &seg, Sum, dir, kind),
+                    par.scan(&data, &seg, Sum, dir, kind)
+                );
+                prop_assert_eq!(
+                    seq.scan(&data, &seg, Min, dir, kind),
+                    par.scan(&data, &seg, Min, dir, kind)
+                );
+                prop_assert_eq!(
+                    seq.scan(&data, &seg, Max, dir, kind),
+                    par.scan(&data, &seg, Max, dir, kind)
+                );
+            }
+        }
+    }
+
+    /// A segmented scan equals independent flat scans of each segment.
+    #[test]
+    fn segmented_scan_is_per_segment_scan((data, lens) in segmented_vec()) {
+        let seg = Segments::from_lengths(&lens).unwrap();
+        let (seq, _) = machines();
+        let whole = seq.up_scan_seg(&data, &seg, Sum, ScanKind::Inclusive);
+        for r in seg.ranges() {
+            let part = seq.up_scan(&data[r.clone()], Sum, ScanKind::Inclusive);
+            prop_assert_eq!(&whole[r], &part[..]);
+        }
+    }
+
+    /// Exclusive scan is the inclusive scan shifted by one lane within each
+    /// segment, with the identity at segment heads.
+    #[test]
+    fn exclusive_is_shifted_inclusive((data, lens) in segmented_vec()) {
+        let seg = Segments::from_lengths(&lens).unwrap();
+        let (seq, _) = machines();
+        let inc = seq.up_scan_seg(&data, &seg, Sum, ScanKind::Inclusive);
+        let exc = seq.up_scan_seg(&data, &seg, Sum, ScanKind::Exclusive);
+        for (i, &f) in seg.flags().iter().enumerate() {
+            if f {
+                prop_assert_eq!(exc[i], 0);
+            } else {
+                prop_assert_eq!(exc[i], inc[i - 1]);
+            }
+        }
+    }
+
+    /// Down-scan of data equals up-scan of the reversed data, reversed
+    /// (with segments reversed as well).
+    #[test]
+    fn down_scan_is_reversed_up_scan((data, lens) in segmented_vec()) {
+        let seg = Segments::from_lengths(&lens).unwrap();
+        let (seq, _) = machines();
+        let down = seq.down_scan_seg(&data, &seg, Sum, ScanKind::Inclusive);
+        let mut rev_data = data.clone();
+        rev_data.reverse();
+        let mut rev_lens = lens.clone();
+        rev_lens.reverse();
+        let rev_seg = Segments::from_lengths(&rev_lens).unwrap();
+        let mut up = seq.up_scan_seg(&rev_data, &rev_seg, Sum, ScanKind::Inclusive);
+        up.reverse();
+        prop_assert_eq!(down, up);
+    }
+
+    /// Unshuffle is a stable partition: within each segment the false-class
+    /// lanes appear first, in original order, then the true-class lanes in
+    /// original order; the multiset of lanes is preserved.
+    #[test]
+    fn unshuffle_is_stable_partition(
+        (data, lens) in segmented_vec(),
+        seed in any::<u64>(),
+    ) {
+        let seg = Segments::from_lengths(&lens).unwrap();
+        let class: Vec<bool> = (0..data.len())
+            .map(|i| (seed.wrapping_mul(i as u64 + 1).wrapping_add(i as u64 * 31)) % 3 == 0)
+            .collect();
+        for m in [machines().0, machines().1] {
+            let layout = m.unshuffle_layout(&seg, &class);
+            let out = m.apply_unshuffle(&data, &layout);
+            for (s, r) in seg.ranges().enumerate() {
+                let (na, nb) = layout.counts[s];
+                prop_assert_eq!(na + nb, r.len());
+                let expect_left: Vec<i64> =
+                    r.clone().filter(|&i| !class[i]).map(|i| data[i]).collect();
+                let expect_right: Vec<i64> =
+                    r.clone().filter(|&i| class[i]).map(|i| data[i]).collect();
+                prop_assert_eq!(&out[r.start..r.start + na], &expect_left[..]);
+                prop_assert_eq!(&out[r.start + na..r.end], &expect_right[..]);
+            }
+        }
+    }
+
+    /// Cloning preserves order and inserts each clone right after its
+    /// original.
+    #[test]
+    fn cloning_inserts_adjacent_copies(
+        (data, lens) in segmented_vec(),
+        seed in any::<u64>(),
+    ) {
+        let seg = Segments::from_lengths(&lens).unwrap();
+        let flags: Vec<bool> = (0..data.len())
+            .map(|i| (seed.wrapping_add(i as u64 * 2654435761)) % 4 == 0)
+            .collect();
+        for m in [machines().0, machines().1] {
+            let layout = m.clone_layout(&seg, &flags);
+            let out = m.apply_clone(&data, &layout);
+            // Reference: sequential expansion.
+            let mut expect = Vec::new();
+            for (i, &v) in data.iter().enumerate() {
+                expect.push(v);
+                if flags[i] {
+                    expect.push(v);
+                }
+            }
+            prop_assert_eq!(out, expect);
+            // Segment lengths grow by the number of flagged lanes inside.
+            let want_lens: Vec<usize> = seg
+                .ranges()
+                .map(|r| r.len() + r.filter(|&i| flags[i]).count())
+                .collect();
+            prop_assert_eq!(layout.seg.lengths(), want_lens);
+        }
+    }
+
+    /// Deletion keeps exactly the unflagged lanes, in order.
+    #[test]
+    fn deletion_keeps_survivors_in_order(
+        (data, lens) in segmented_vec(),
+        seed in any::<u64>(),
+    ) {
+        let seg = Segments::from_lengths(&lens).unwrap();
+        let flags: Vec<bool> = (0..data.len())
+            .map(|i| (seed ^ (i as u64 * 0x9E3779B9)) % 3 == 1)
+            .collect();
+        for m in [machines().0, machines().1] {
+            let layout = m.delete_layout(&seg, &flags);
+            let out = m.apply_delete(&data, &layout);
+            let expect: Vec<i64> = data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !flags[*i])
+                .map(|(_, &v)| v)
+                .collect();
+            prop_assert_eq!(out, expect);
+            let total_kept: usize = layout.kept_per_segment.iter().sum();
+            prop_assert_eq!(total_kept, layout.src_lane.len());
+        }
+    }
+
+    /// The segment counts primitive reports exact segment lengths.
+    #[test]
+    fn segment_counts_match_lengths((_data, lens) in segmented_vec()) {
+        let seg = Segments::from_lengths(&lens).unwrap();
+        for m in [machines().0, machines().1] {
+            let counts = m.segment_counts(&seg);
+            let want: Vec<u64> = lens.iter().map(|&l| l as u64).collect();
+            prop_assert_eq!(counts, want);
+        }
+    }
+
+    /// Segmented sort yields per-segment sorted order and is a permutation.
+    #[test]
+    fn segmented_sort_sorts_each_segment((data, lens) in segmented_vec()) {
+        let seg = Segments::from_lengths(&lens).unwrap();
+        for m in [machines().0, machines().1] {
+            let order = m.segmented_sort_perm(&seg, &data, |a, b| a.cmp(b));
+            let sorted = m.gather(&data, &order);
+            for r in seg.ranges() {
+                let window = &sorted[r.clone()];
+                prop_assert!(window.windows(2).all(|w| w[0] <= w[1]));
+                let mut orig: Vec<i64> = data[r].to_vec();
+                let mut got: Vec<i64> = window.to_vec();
+                orig.sort_unstable();
+                got.sort_unstable();
+                prop_assert_eq!(orig, got);
+            }
+        }
+    }
+
+    /// Permute then inverse-permute is the identity.
+    #[test]
+    fn permute_roundtrip(data in prop::collection::vec(any::<i32>(), 1..200), seed in any::<u64>()) {
+        let n = data.len();
+        // Build a deterministic pseudo-random permutation from the seed.
+        let mut index: Vec<usize> = (0..n).collect();
+        let mut s = seed | 1;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s % (i as u64 + 1)) as usize;
+            index.swap(i, j);
+        }
+        for m in [machines().0, machines().1] {
+            let scattered = m.permute(&data, &index);
+            // Gathering through the same index inverts the scatter.
+            let back = m.gather(&scattered, &index);
+            prop_assert_eq!(&back, &data);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Sequential bucket PMR quadtree (paper Sec. 2.2.1).
+//!
+//! The bucket PMR quadtree replaces the classic PMR's split-once rule with
+//! a *split-until-fits* rule: an overflowing bucket is split repeatedly
+//! until every sub-bucket holds at most `b` segments, or the maximal
+//! depth is reached. The resulting shape is **independent of insertion
+//! order** — the property that makes the structure suitable for
+//! simultaneous (data-parallel) insertion, and the reason the paper's
+//! parallel build algorithm targets this variant (Sec. 5.2).
+
+use crate::quad::{filter_window, QuadArena, QuadNode};
+use crate::{SegId, TreeStats};
+use dp_geom::{seg_in_block, LineSeg, Point, Rect};
+
+/// A sequentially built bucket PMR quadtree.
+#[derive(Debug, Clone)]
+pub struct BucketPmrTree {
+    arena: QuadArena,
+    capacity: usize,
+    max_depth: usize,
+}
+
+impl BucketPmrTree {
+    /// An empty tree over `world` with bucket `capacity` and a maximal
+    /// subdivision depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(world: Rect, capacity: usize, max_depth: usize) -> Self {
+        assert!(capacity >= 1, "bucket capacity must be at least 1");
+        BucketPmrTree {
+            arena: QuadArena::new(world),
+            capacity,
+            max_depth,
+        }
+    }
+
+    /// Builds by inserting `segs` in order. (Order does not affect the
+    /// final shape; see [`BucketPmrTree::shape_signature`].)
+    pub fn build(world: Rect, segs: &[LineSeg], capacity: usize, max_depth: usize) -> Self {
+        let mut t = BucketPmrTree::new(world, capacity, max_depth);
+        for id in 0..segs.len() {
+            t.insert(id as SegId, segs);
+        }
+        t
+    }
+
+    /// Inserts segment `id` into every leaf block it intersects,
+    /// splitting overflowing buckets until each sub-bucket fits (or the
+    /// depth bound is hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment lies outside the half-open world.
+    pub fn insert(&mut self, id: SegId, segs: &[LineSeg]) {
+        let world = self.arena.world();
+        let s = &segs[id as usize];
+        assert!(
+            world.contains_half_open(s.a) && world.contains_half_open(s.b),
+            "segment {id} endpoint outside the half-open world"
+        );
+        self.insert_rec(self.arena.root(), world, 0, id, segs);
+    }
+
+    fn insert_rec(&mut self, idx: usize, rect: Rect, depth: usize, id: SegId, segs: &[LineSeg]) {
+        if !seg_in_block(&segs[id as usize], &rect) {
+            return;
+        }
+        match self.arena.node(idx) {
+            QuadNode::Internal { children } => {
+                let children = *children;
+                let quads = rect.quadrants();
+                for q in 0..4 {
+                    self.insert_rec(children[q], quads[q], depth + 1, id, segs);
+                }
+            }
+            QuadNode::Leaf { .. } => {
+                self.arena.push_to_leaf(idx, id);
+                self.split_until_fits(idx, rect, depth, segs);
+            }
+        }
+    }
+
+    fn split_until_fits(&mut self, idx: usize, rect: Rect, depth: usize, segs: &[LineSeg]) {
+        let occupancy = match self.arena.node(idx) {
+            QuadNode::Leaf { segs } => segs.len(),
+            QuadNode::Internal { .. } => return,
+        };
+        if occupancy <= self.capacity || depth >= self.max_depth {
+            return;
+        }
+        let children = self.arena.subdivide(idx, &rect, segs);
+        let quads = rect.quadrants();
+        for q in 0..4 {
+            self.split_until_fits(children[q], quads[q], depth + 1, segs);
+        }
+    }
+
+    /// Deletes segment `id` from every block it intersects, merging
+    /// sibling groups whose combined distinct occupancy no longer exceeds
+    /// the capacity (recursively upward). Returns whether the segment was
+    /// present.
+    ///
+    /// Because the bucket PMR shape is determined solely by the segment
+    /// set (a block is subdivided iff its occupancy exceeds the
+    /// capacity), delete-with-merge leaves the tree in exactly the state
+    /// a fresh bulk build of the surviving segments would produce.
+    pub fn delete(&mut self, id: SegId, segs: &[LineSeg]) -> bool {
+        let world = self.arena.world();
+        let removed = self.delete_rec(self.arena.root(), world, id, segs);
+        loop {
+            if !self.merge_pass(self.arena.root()) {
+                break;
+            }
+        }
+        removed
+    }
+
+    fn delete_rec(&mut self, idx: usize, rect: Rect, id: SegId, segs: &[LineSeg]) -> bool {
+        if !seg_in_block(&segs[id as usize], &rect) {
+            return false;
+        }
+        match self.arena.node(idx) {
+            QuadNode::Internal { children } => {
+                let children = *children;
+                let quads = rect.quadrants();
+                let mut removed = false;
+                for q in 0..4 {
+                    removed |= self.delete_rec(children[q], quads[q], id, segs);
+                }
+                removed
+            }
+            QuadNode::Leaf { .. } => self.arena.remove_from_leaf(idx, id),
+        }
+    }
+
+    /// One bottom-up merge sweep; merges when the distinct occupancy of
+    /// four leaf siblings fits the capacity. Returns whether anything
+    /// changed.
+    fn merge_pass(&mut self, idx: usize) -> bool {
+        let children = match self.arena.node(idx) {
+            QuadNode::Internal { children } => *children,
+            QuadNode::Leaf { .. } => return false,
+        };
+        let mut changed = false;
+        for &c in &children {
+            changed |= self.merge_pass(c);
+        }
+        let all_leaves = children
+            .iter()
+            .all(|&c| matches!(self.arena.node(c), QuadNode::Leaf { .. }));
+        if all_leaves {
+            let mut distinct: Vec<SegId> = Vec::new();
+            for &c in &children {
+                if let QuadNode::Leaf { segs } = self.arena.node(c) {
+                    for &s in segs {
+                        if !distinct.contains(&s) {
+                            distinct.push(s);
+                        }
+                    }
+                }
+            }
+            if distinct.len() <= self.capacity {
+                self.arena.merge_children(idx);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// The bucket capacity `b`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The depth bound.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Read access to the underlying arena.
+    pub fn arena(&self) -> &QuadArena {
+        &self.arena
+    }
+
+    /// Ids of segments intersecting `query` (deduplicated, sorted, exact).
+    pub fn window_query(&self, query: &Rect, segs: &[LineSeg]) -> Vec<SegId> {
+        filter_window(self.arena.window_candidates(query), segs, query)
+    }
+
+    /// Ids in the leaf block containing `p`.
+    pub fn point_query(&self, p: Point) -> Vec<SegId> {
+        let mut v = self.arena.point_candidates(p);
+        v.sort_unstable();
+        v
+    }
+
+    /// Structure statistics.
+    pub fn stats(&self) -> TreeStats {
+        self.arena.stats()
+    }
+
+    /// Canonical shape fingerprint: sorted (depth, sorted-leaf-contents,
+    /// block corner) triples. Insertion-order independence means two
+    /// builds over permutations of the same data yield equal signatures.
+    pub fn shape_signature(&self) -> Vec<(usize, Vec<SegId>, (u64, u64))> {
+        let mut sig = Vec::new();
+        self.arena.for_each_leaf(|rect, depth, ids| {
+            let mut ids = ids.to_vec();
+            ids.sort_unstable();
+            sig.push((depth, ids, (rect.min.x.to_bits(), rect.min.y.to_bits())));
+        });
+        sig.sort();
+        sig
+    }
+
+    /// Number of leaves that exceed the capacity because the maximal depth
+    /// cut subdivision short (paper Fig. 38's node 9 situation).
+    pub fn over_capacity_leaves(&self) -> usize {
+        let mut n = 0;
+        self.arena.for_each_leaf(|_, _, ids| {
+            if ids.len() > self.capacity {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 8.0, 8.0)
+    }
+
+    fn crossing_bundle() -> Vec<LineSeg> {
+        // Five segments whose pairwise crossing points are all distinct
+        // and at least 1/2 apart, so capacity 2 is satisfiable at depth
+        // <= 4 in the 8-wide world.
+        vec![
+            LineSeg::from_coords(1.0, 1.0, 6.0, 6.0),
+            LineSeg::from_coords(1.0, 6.0, 6.0, 1.0),
+            LineSeg::from_coords(1.0, 2.0, 6.0, 2.0),
+            LineSeg::from_coords(3.0, 1.0, 3.0, 6.0),
+            LineSeg::from_coords(0.0, 7.0, 2.0, 7.0),
+        ]
+    }
+
+    #[test]
+    fn buckets_respect_capacity_below_max_depth() {
+        let segs = crossing_bundle();
+        let t = BucketPmrTree::build(world(), &segs, 2, 6);
+        t.arena().for_each_leaf(|_, depth, ids| {
+            if depth < t.max_depth() {
+                assert!(
+                    ids.len() <= t.capacity(),
+                    "bucket over capacity at depth {depth}: {ids:?}"
+                );
+            }
+        });
+        assert_eq!(t.over_capacity_leaves(), 0);
+    }
+
+    /// The defining property: shape is independent of insertion order.
+    #[test]
+    fn insertion_order_does_not_change_shape() {
+        let segs = crossing_bundle();
+        let t1 = BucketPmrTree::build(world(), &segs, 2, 6);
+        // Insert in several different orders.
+        for order in [
+            vec![4u32, 3, 2, 1, 0],
+            vec![2u32, 0, 4, 1, 3],
+            vec![1u32, 4, 0, 3, 2],
+        ] {
+            let mut t2 = BucketPmrTree::new(world(), 2, 6);
+            for &id in &order {
+                t2.insert(id, &segs);
+            }
+            assert_eq!(
+                t1.shape_signature(),
+                t2.shape_signature(),
+                "bucket PMR shape changed under order {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_depth_leaves_over_capacity_bucket() {
+        // Three segments sharing a vertex keep every enclosing block at
+        // occupancy 3 forever: with capacity 2 the shared-vertex block
+        // splits to max depth and stays over capacity (paper Fig. 4 / 38).
+        let segs = vec![
+            LineSeg::from_coords(1.0, 6.0, 0.0, 7.0),
+            LineSeg::from_coords(1.0, 6.0, 3.0, 7.0),
+            LineSeg::from_coords(1.0, 6.0, 6.0, 2.0),
+        ];
+        let t = BucketPmrTree::build(world(), &segs, 2, 3);
+        assert_eq!(t.stats().height, 3);
+        assert!(t.over_capacity_leaves() >= 1);
+    }
+
+    #[test]
+    fn window_queries_match_brute_force() {
+        let segs = crossing_bundle();
+        let t = BucketPmrTree::build(world(), &segs, 2, 6);
+        for query in [
+            Rect::from_coords(0.0, 0.0, 2.0, 2.0),
+            Rect::from_coords(2.0, 2.0, 4.0, 4.0),
+            Rect::from_coords(0.0, 0.0, 8.0, 8.0),
+            Rect::from_coords(6.5, 6.5, 7.5, 7.5),
+        ] {
+            let got = t.window_query(&query, &segs);
+            let brute: Vec<SegId> = (0..segs.len() as u32)
+                .filter(|&id| {
+                    dp_geom::clip_segment_closed(&segs[id as usize], &query).is_some()
+                })
+                .collect();
+            assert_eq!(got, brute, "window {query}");
+        }
+    }
+
+    #[test]
+    fn point_query_finds_block_contents() {
+        let segs = crossing_bundle();
+        let t = BucketPmrTree::build(world(), &segs, 2, 6);
+        // Point on segment 2 (y = 3 horizontal).
+        let hits = t.point_query(Point::new(5.0, 3.0));
+        assert!(hits.contains(&2));
+    }
+
+    #[test]
+    fn delete_restores_bulk_build_shape() {
+        // Deleting down to a subset must leave exactly the tree a fresh
+        // build of that subset produces (shape is set-determined).
+        let segs = crossing_bundle();
+        let mut t = BucketPmrTree::build(world(), &segs, 2, 6);
+        assert!(t.delete(0, &segs));
+        assert!(t.delete(3, &segs));
+        assert!(!t.delete(3, &segs), "double delete reports absence");
+        // Rebuild reference over the survivors (same ids, same geometry).
+        let mut reference = BucketPmrTree::new(world(), 2, 6);
+        for &id in &[1u32, 2, 4] {
+            reference.insert(id, &segs);
+        }
+        assert_eq!(t.shape_signature(), reference.shape_signature());
+        assert_eq!(t.window_query(&world(), &segs), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn delete_everything_collapses_to_root() {
+        let segs = crossing_bundle();
+        let mut t = BucketPmrTree::build(world(), &segs, 2, 6);
+        for id in 0..segs.len() as u32 {
+            assert!(t.delete(id, &segs));
+        }
+        assert_eq!(t.stats().leaves, 1);
+        assert_eq!(t.stats().entries, 0);
+    }
+
+    #[test]
+    fn single_segment_never_splits() {
+        let segs = vec![LineSeg::from_coords(1.0, 1.0, 6.0, 6.0)];
+        let t = BucketPmrTree::build(world(), &segs, 2, 6);
+        assert_eq!(t.stats().nodes, 1);
+        assert_eq!(t.stats().height, 0);
+    }
+}

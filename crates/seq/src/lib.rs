@@ -1,0 +1,54 @@
+//! # seq-spatial — sequential baseline spatial indexes
+//!
+//! One-segment-at-a-time insertion builds of the structures whose *bulk*
+//! data-parallel construction is the subject of Hoel & Samet (ICPP 1995).
+//! These are the baselines the reproduction compares against:
+//!
+//! * [`pm1::Pm1Tree`] — the PM₁ quadtree (Samet & Webber; paper Sec. 2.1),
+//!   with the vertex-based splitting rule and its pathological
+//!   close-vertices behaviour (paper Fig. 2);
+//! * [`pmr::PmrTree`] — the classic PMR quadtree (Nelson & Samet; paper
+//!   Sec. 2.2) with the probabilistic *split-once* rule, whose shape
+//!   depends on insertion order (paper Figs. 3 and 34), plus deletion with
+//!   sibling merging;
+//! * [`bucket_pmr::BucketPmrTree`] — the bucket PMR quadtree (paper
+//!   Sec. 2.2.1), which splits until every bucket holds at most `b` lines
+//!   and whose shape is insertion-order independent;
+//! * [`rtree::RTree`] — Guttman's R-tree (paper Sec. 2.3) with linear and
+//!   quadratic node splits plus an R\*-style axis split (paper Fig. 6 and
+//!   the \[Beck90\] discussion).
+//!
+//! All structures index immutable segment collections by integer id
+//! ([`SegId`]); the segment geometry lives in a caller-owned slice, which
+//! keeps the trees compact and mirrors the paper's "leaf nodes contain
+//! pointers to the actual geometric objects" R-tree convention for every
+//! structure.
+
+pub mod bucket_pmr;
+pub mod pm1;
+pub mod pm23;
+pub mod pmr;
+pub mod quad;
+pub mod rtree;
+
+/// Identifier of a segment within the caller's segment slice.
+pub type SegId = u32;
+
+/// Summary statistics shared by the tree implementations; used by the
+/// experiment tables in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TreeStats {
+    /// Total nodes (internal + leaf).
+    pub nodes: usize,
+    /// Leaf nodes.
+    pub leaves: usize,
+    /// Empty leaf nodes (quadtrees create them eagerly on subdivision).
+    pub empty_leaves: usize,
+    /// Height: length of the longest root-to-leaf path (root-only = 0).
+    pub height: usize,
+    /// Total q-edge entries stored across leaves (a segment spanning k
+    /// blocks counts k times).
+    pub entries: usize,
+    /// Maximum entries in any single leaf.
+    pub max_leaf_occupancy: usize,
+}

@@ -1,0 +1,294 @@
+//! Sequential PM₁ quadtree (paper Sec. 2.1).
+//!
+//! The PM₁ quadtree is the vertex-based member of the PM family: a block
+//! is valid when it contains **at most one vertex**, and if it contains a
+//! vertex, every q-edge passing through the block is incident on that
+//! vertex; a block with no vertex may hold at most one q-edge. Blocks are
+//! subdivided until every block is valid (or the maximum depth is
+//! reached — the guard that bounds the pathological close-vertices cascade
+//! of paper Fig. 2).
+
+use crate::quad::{filter_window, QuadArena, QuadNode};
+use crate::{SegId, TreeStats};
+use dp_geom::{seg_in_block, LineSeg, Point, Rect};
+
+/// A sequentially built PM₁ quadtree over a borrowed segment slice.
+#[derive(Debug, Clone)]
+pub struct Pm1Tree {
+    arena: QuadArena,
+    max_depth: usize,
+    /// Blocks at `max_depth` that still violate the PM₁ criterion
+    /// (unresolvable at this resolution).
+    unresolved: usize,
+}
+
+/// Checks the PM₁ validity criterion for a block.
+///
+/// `segs` are the q-edges of the block, `rect` its extent. Valid when:
+/// * no vertex in the block and at most one q-edge, or
+/// * exactly one distinct vertex position in the block and every q-edge
+///   has an endpoint at that position.
+///
+/// Vertices use *closed* point membership (a vertex on a block boundary
+/// counts in every touching block — Samet's closed-block convention);
+/// distinct vertices still separate once blocks shrink below their
+/// distance, it merely takes one extra level for grid-aligned pairs.
+pub fn pm1_block_valid(ids: &[SegId], segs: &[LineSeg], rect: &Rect) -> bool {
+    let mut vertex: Option<Point> = None;
+    let mut distinct = 0usize;
+    for &id in ids {
+        let s = &segs[id as usize];
+        for p in [s.a, s.b] {
+            if rect.contains(p) {
+                match vertex {
+                    None => {
+                        vertex = Some(p);
+                        distinct = 1;
+                    }
+                    Some(v) if v == p => {}
+                    Some(_) => {
+                        distinct = 2;
+                    }
+                }
+                if distinct > 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    match vertex {
+        None => ids.len() <= 1,
+        Some(v) => ids.iter().all(|&id| {
+            let s = &segs[id as usize];
+            s.a == v || s.b == v
+        }),
+    }
+}
+
+impl Pm1Tree {
+    /// Builds a PM₁ quadtree by inserting the segments one at a time (the
+    /// classical sequential algorithm the paper's parallel build
+    /// replaces).
+    ///
+    /// `max_depth` bounds subdivision; any block still invalid at that
+    /// depth is kept as-is and counted in [`Pm1Tree::unresolved_blocks`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any segment endpoint lies outside the half-open world.
+    pub fn build(world: Rect, segs: &[LineSeg], max_depth: usize) -> Self {
+        let mut tree = Pm1Tree {
+            arena: QuadArena::new(world),
+            max_depth,
+            unresolved: 0,
+        };
+        for (id, s) in segs.iter().enumerate() {
+            assert!(
+                world.contains_half_open(s.a) && world.contains_half_open(s.b),
+                "segment {id} endpoint outside the half-open world"
+            );
+            tree.insert_rec(tree.arena.root(), world, 0, id as SegId, segs);
+        }
+        tree.unresolved = tree.count_unresolved(segs);
+        tree
+    }
+
+    fn insert_rec(&mut self, idx: usize, rect: Rect, depth: usize, id: SegId, segs: &[LineSeg]) {
+        if !seg_in_block(&segs[id as usize], &rect) {
+            return;
+        }
+        match self.arena.node(idx) {
+            QuadNode::Internal { children } => {
+                let children = *children;
+                let quads = rect.quadrants();
+                for q in 0..4 {
+                    self.insert_rec(children[q], quads[q], depth + 1, id, segs);
+                }
+            }
+            QuadNode::Leaf { .. } => {
+                self.arena.push_to_leaf(idx, id);
+                self.split_while_invalid(idx, rect, depth, segs);
+            }
+        }
+    }
+
+    fn split_while_invalid(&mut self, idx: usize, rect: Rect, depth: usize, segs: &[LineSeg]) {
+        let ids = match self.arena.node(idx) {
+            QuadNode::Leaf { segs } => segs.clone(),
+            QuadNode::Internal { .. } => return,
+        };
+        if depth >= self.max_depth || pm1_block_valid(&ids, segs, &rect) {
+            return;
+        }
+        let children = self.arena.subdivide(idx, &rect, segs);
+        let quads = rect.quadrants();
+        for q in 0..4 {
+            self.split_while_invalid(children[q], quads[q], depth + 1, segs);
+        }
+    }
+
+    fn count_unresolved(&self, segs: &[LineSeg]) -> usize {
+        let mut n = 0;
+        self.arena.for_each_leaf(|rect, depth, ids| {
+            if depth >= self.max_depth && !pm1_block_valid(ids, segs, rect) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// The underlying arena (read access for inspection and tests).
+    pub fn arena(&self) -> &QuadArena {
+        &self.arena
+    }
+
+    /// The subdivision depth bound this tree was built with.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Number of max-depth blocks that violate the PM₁ criterion because
+    /// the resolution ran out (0 for well-separated data).
+    pub fn unresolved_blocks(&self) -> usize {
+        self.unresolved
+    }
+
+    /// Ids of segments intersecting `query`, deduplicated, sorted,
+    /// exact-geometry filtered.
+    pub fn window_query(&self, query: &Rect, segs: &[LineSeg]) -> Vec<SegId> {
+        filter_window(self.arena.window_candidates(query), segs, query)
+    }
+
+    /// Ids of segments in the leaf block containing `p`.
+    pub fn point_query(&self, p: Point) -> Vec<SegId> {
+        self.point_candidates_sorted(p)
+    }
+
+    fn point_candidates_sorted(&self, p: Point) -> Vec<SegId> {
+        let mut v = self.arena.point_candidates(p);
+        v.sort_unstable();
+        v
+    }
+
+    /// Structure statistics.
+    pub fn stats(&self) -> TreeStats {
+        self.arena.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 8.0, 8.0)
+    }
+
+    /// Every leaf of a finished PM₁ quadtree satisfies the vertex rule
+    /// (below the depth bound).
+    fn assert_pm1_invariant(tree: &Pm1Tree, segs: &[LineSeg]) {
+        tree.arena.for_each_leaf(|rect, depth, ids| {
+            if depth < tree.max_depth() {
+                assert!(
+                    pm1_block_valid(ids, segs, rect),
+                    "invalid PM1 block {rect} at depth {depth} with {ids:?}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn empty_build() {
+        let t = Pm1Tree::build(world(), &[], 8);
+        assert_eq!(t.stats().nodes, 1);
+        assert_eq!(t.unresolved_blocks(), 0);
+    }
+
+    #[test]
+    fn single_segment_splits_to_separate_its_endpoints() {
+        // One segment with both endpoints in the root block violates the
+        // one-vertex rule, so the root must subdivide (cf. paper Fig. 2a).
+        let segs = vec![LineSeg::from_coords(1.0, 1.0, 6.0, 5.0)];
+        let t = Pm1Tree::build(world(), &segs, 8);
+        assert!(t.stats().height >= 1);
+        assert_pm1_invariant(&t, &segs);
+        assert_eq!(t.unresolved_blocks(), 0);
+    }
+
+    #[test]
+    fn shared_vertex_does_not_split_forever() {
+        // Three segments sharing a vertex: the shared-vertex block is
+        // valid however many segments are incident (paper Sec. 2.1).
+        let segs = vec![
+            LineSeg::from_coords(2.0, 2.0, 1.0, 5.0),
+            LineSeg::from_coords(2.0, 2.0, 5.0, 1.0),
+            LineSeg::from_coords(2.0, 2.0, 6.0, 6.0),
+        ];
+        let t = Pm1Tree::build(world(), &segs, 10);
+        assert_pm1_invariant(&t, &segs);
+        assert_eq!(t.unresolved_blocks(), 0);
+    }
+
+    #[test]
+    fn close_vertices_cascade_fig2() {
+        // Paper Fig. 2: a second segment whose vertex is close to an
+        // existing vertex triggers a deep cascade of subdivisions.
+        let far_apart = vec![
+            LineSeg::from_coords(1.0, 1.0, 6.0, 5.0),
+        ];
+        let t1 = Pm1Tree::build(world(), &far_apart, 12);
+        let close = vec![
+            LineSeg::from_coords(1.0, 1.0, 6.0, 5.0),
+            LineSeg::from_coords(2.0, 1.0, 6.0, 1.0),
+        ];
+        let t2 = Pm1Tree::build(world(), &close, 12);
+        // Separating vertices (1,1) and (2,1) in an 8-wide world needs
+        // blocks of width 1: depth 3. The pair tree is strictly deeper and
+        // larger than the single-segment tree.
+        assert!(t2.stats().height >= 3);
+        assert!(t2.stats().nodes > t1.stats().nodes);
+        assert_pm1_invariant(&t2, &close);
+    }
+
+    #[test]
+    fn queries_find_segments() {
+        let segs = vec![
+            LineSeg::from_coords(1.0, 6.0, 2.0, 7.0),
+            LineSeg::from_coords(1.0, 1.0, 6.0, 1.0),
+            LineSeg::from_coords(5.0, 5.0, 6.0, 6.0),
+        ];
+        let t = Pm1Tree::build(world(), &segs, 8);
+        assert_eq!(
+            t.window_query(&Rect::from_coords(0.0, 5.0, 3.0, 8.0), &segs),
+            vec![0]
+        );
+        assert_eq!(
+            t.window_query(&Rect::from_coords(0.0, 0.0, 8.0, 8.0), &segs),
+            vec![0, 1, 2]
+        );
+        // The horizontal segment is found from a point on its block.
+        assert!(t.point_query(Point::new(3.0, 1.0)).contains(&1));
+    }
+
+    #[test]
+    fn max_depth_guard_reports_unresolved() {
+        // Two distinct vertices in the same unit cell cannot be separated
+        // at depth 3 (cells of size 1): build with a fractional vertex.
+        let segs = vec![
+            LineSeg::from_coords(1.0, 1.0, 6.0, 6.0),
+            LineSeg::from_coords(1.5, 1.25, 6.0, 2.0),
+        ];
+        let t = Pm1Tree::build(world(), &segs, 3);
+        assert!(t.unresolved_blocks() > 0);
+        // With more depth the same data resolves.
+        let t2 = Pm1Tree::build(world(), &segs, 6);
+        assert_eq!(t2.unresolved_blocks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the half-open world")]
+    fn rejects_out_of_world_segment() {
+        let segs = vec![LineSeg::from_coords(0.0, 0.0, 8.0, 8.0)];
+        Pm1Tree::build(world(), &segs, 4);
+    }
+}

@@ -1,0 +1,306 @@
+//! Sequential PM₂ and PM₃ quadtrees — the other vertex-based members of
+//! the PM quadtree family (Samet & Webber; the paper's Sec. 2.1 studies
+//! the family's strictest member, PM₁).
+//!
+//! The family shares the "at most one vertex per block" rule and relaxes
+//! the edge rule step by step:
+//!
+//! * **PM₁**: a block with a vertex holds only q-edges incident on it; a
+//!   vertexless block holds at most *one* q-edge.
+//! * **PM₂**: a block with a vertex holds only q-edges incident on it; a
+//!   vertexless block may hold *several* q-edges provided they are all
+//!   incident on one common vertex (which lies outside the block).
+//! * **PM₃**: no edge rule at all — only the one-vertex rule.
+//!
+//! Vertex membership is closed, matching [`crate::pm1`].
+
+use crate::pm1::pm1_block_valid;
+use crate::quad::{filter_window, QuadArena, QuadNode};
+use crate::{SegId, TreeStats};
+use dp_geom::{seg_in_block, LineSeg, Point, Rect};
+
+/// Which member of the PM family a [`PmTree`] enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PmVariant {
+    /// The strictest member (paper Sec. 2.1).
+    Pm1,
+    /// Vertexless blocks may share a common external vertex.
+    Pm2,
+    /// Only the one-vertex rule.
+    Pm3,
+}
+
+/// Distinct endpoint positions of the member q-edges inside the closed
+/// block: `None` for zero, `Some(Ok(v))` for exactly one, `Some(Err(()))`
+/// for two or more.
+fn block_vertex(ids: &[SegId], segs: &[LineSeg], rect: &Rect) -> Option<Result<Point, ()>> {
+    let mut vertex: Option<Point> = None;
+    for &id in ids {
+        let s = &segs[id as usize];
+        for p in [s.a, s.b] {
+            if rect.contains(p) {
+                match vertex {
+                    None => vertex = Some(p),
+                    Some(v) if v == p => {}
+                    Some(_) => return Some(Err(())),
+                }
+            }
+        }
+    }
+    vertex.map(Ok)
+}
+
+/// `true` when all edges share at least one common endpoint (anywhere).
+fn edges_share_a_vertex(ids: &[SegId], segs: &[LineSeg]) -> bool {
+    let Some(&first) = ids.first() else {
+        return true;
+    };
+    let f = &segs[first as usize];
+    for candidate in [f.a, f.b] {
+        if ids.iter().all(|&id| {
+            let s = &segs[id as usize];
+            s.a == candidate || s.b == candidate
+        }) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The block validity criterion of the given PM variant.
+pub fn pm_block_valid(variant: PmVariant, ids: &[SegId], segs: &[LineSeg], rect: &Rect) -> bool {
+    match variant {
+        PmVariant::Pm1 => pm1_block_valid(ids, segs, rect),
+        PmVariant::Pm2 => match block_vertex(ids, segs, rect) {
+            Some(Err(())) => false,
+            Some(Ok(v)) => ids.iter().all(|&id| {
+                let s = &segs[id as usize];
+                s.a == v || s.b == v
+            }),
+            None => ids.len() <= 1 || edges_share_a_vertex(ids, segs),
+        },
+        PmVariant::Pm3 => !matches!(block_vertex(ids, segs, rect), Some(Err(()))),
+    }
+}
+
+/// A sequentially built PM-family quadtree.
+#[derive(Debug, Clone)]
+pub struct PmTree {
+    arena: QuadArena,
+    variant: PmVariant,
+    max_depth: usize,
+    unresolved: usize,
+}
+
+impl PmTree {
+    /// Builds the tree by inserting segments one at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any segment endpoint lies outside the half-open world.
+    pub fn build(world: Rect, segs: &[LineSeg], variant: PmVariant, max_depth: usize) -> Self {
+        let mut tree = PmTree {
+            arena: QuadArena::new(world),
+            variant,
+            max_depth,
+            unresolved: 0,
+        };
+        for (id, s) in segs.iter().enumerate() {
+            assert!(
+                world.contains_half_open(s.a) && world.contains_half_open(s.b),
+                "segment {id} endpoint outside the half-open world"
+            );
+            tree.insert_rec(tree.arena.root(), world, 0, id as SegId, segs);
+        }
+        let mut unresolved = 0usize;
+        tree.arena.for_each_leaf(|rect, depth, ids| {
+            if depth >= max_depth && !pm_block_valid(variant, ids, segs, rect) {
+                unresolved += 1;
+            }
+        });
+        tree.unresolved = unresolved;
+        tree
+    }
+
+    fn insert_rec(&mut self, idx: usize, rect: Rect, depth: usize, id: SegId, segs: &[LineSeg]) {
+        if !seg_in_block(&segs[id as usize], &rect) {
+            return;
+        }
+        match self.arena.node(idx) {
+            QuadNode::Internal { children } => {
+                let children = *children;
+                let quads = rect.quadrants();
+                for q in 0..4 {
+                    self.insert_rec(children[q], quads[q], depth + 1, id, segs);
+                }
+            }
+            QuadNode::Leaf { .. } => {
+                self.arena.push_to_leaf(idx, id);
+                self.split_while_invalid(idx, rect, depth, segs);
+            }
+        }
+    }
+
+    fn split_while_invalid(&mut self, idx: usize, rect: Rect, depth: usize, segs: &[LineSeg]) {
+        let ids = match self.arena.node(idx) {
+            QuadNode::Leaf { segs } => segs.clone(),
+            QuadNode::Internal { .. } => return,
+        };
+        if depth >= self.max_depth || pm_block_valid(self.variant, &ids, segs, &rect) {
+            return;
+        }
+        let children = self.arena.subdivide(idx, &rect, segs);
+        let quads = rect.quadrants();
+        for q in 0..4 {
+            self.split_while_invalid(children[q], quads[q], depth + 1, segs);
+        }
+    }
+
+    /// The variant this tree enforces.
+    pub fn variant(&self) -> PmVariant {
+        self.variant
+    }
+
+    /// Blocks at the depth bound that still violate the criterion.
+    pub fn unresolved_blocks(&self) -> usize {
+        self.unresolved
+    }
+
+    /// Read access to the arena.
+    pub fn arena(&self) -> &QuadArena {
+        &self.arena
+    }
+
+    /// Window query (deduplicated, sorted, exact).
+    pub fn window_query(&self, query: &Rect, segs: &[LineSeg]) -> Vec<SegId> {
+        filter_window(self.arena.window_candidates(query), segs, query)
+    }
+
+    /// Ids in the leaf block containing `p`.
+    pub fn point_query(&self, p: Point) -> Vec<SegId> {
+        let mut v = self.arena.point_candidates(p);
+        v.sort_unstable();
+        v
+    }
+
+    /// Structure statistics.
+    pub fn stats(&self) -> TreeStats {
+        self.arena.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 8.0, 8.0)
+    }
+
+    /// A star of three segments sharing the vertex (4.5, 4.5) — not on
+    /// any split line until depth 4.
+    fn star() -> Vec<LineSeg> {
+        vec![
+            LineSeg::from_coords(4.5, 4.5, 7.0, 7.0),
+            LineSeg::from_coords(4.5, 4.5, 1.0, 7.0),
+            LineSeg::from_coords(4.5, 4.5, 4.5, 1.0),
+        ]
+    }
+
+    #[test]
+    fn family_ordering_on_star() {
+        // The family is ordered by strictness: PM1 subdivides at least as
+        // much as PM2, which subdivides at least as much as PM3.
+        let segs = star();
+        let t1 = PmTree::build(world(), &segs, PmVariant::Pm1, 10);
+        let t2 = PmTree::build(world(), &segs, PmVariant::Pm2, 10);
+        let t3 = PmTree::build(world(), &segs, PmVariant::Pm3, 10);
+        assert!(t1.stats().nodes >= t2.stats().nodes);
+        assert!(t2.stats().nodes >= t3.stats().nodes);
+        for t in [&t1, &t2, &t3] {
+            assert_eq!(t.unresolved_blocks(), 0);
+            assert_eq!(t.window_query(&world(), &segs), vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn pm2_accepts_external_shared_vertex_blocks() {
+        // Two nearly-parallel edges fanning out of one vertex pass
+        // together through mid-map blocks that contain no vertex; PM1
+        // must subdivide those blocks, PM2 must not.
+        let segs = vec![
+            LineSeg::from_coords(0.0, 1.0, 7.0, 1.5),
+            LineSeg::from_coords(0.0, 1.0, 7.0, 2.5),
+        ];
+        let t1 = PmTree::build(world(), &segs, PmVariant::Pm1, 10);
+        let t2 = PmTree::build(world(), &segs, PmVariant::Pm2, 10);
+        assert!(
+            t1.stats().nodes > t2.stats().nodes,
+            "PM1 {} vs PM2 {}",
+            t1.stats().nodes,
+            t2.stats().nodes
+        );
+        assert_eq!(t2.unresolved_blocks(), 0);
+    }
+
+    #[test]
+    fn pm3_tolerates_non_vertex_crossings() {
+        // Two edges crossing at a non-vertex point: every block around
+        // the crossing holds two q-edges with no common vertex. PM3 is
+        // satisfied (no vertices there); PM1 and PM2 subdivide to the
+        // depth bound and report unresolved blocks.
+        let segs = vec![
+            LineSeg::from_coords(1.0, 1.0, 6.0, 6.0),
+            LineSeg::from_coords(1.0, 6.0, 6.0, 1.0),
+        ];
+        let t3 = PmTree::build(world(), &segs, PmVariant::Pm3, 10);
+        let t2 = PmTree::build(world(), &segs, PmVariant::Pm2, 10);
+        let t1 = PmTree::build(world(), &segs, PmVariant::Pm1, 10);
+        assert_eq!(t3.unresolved_blocks(), 0);
+        assert!(t2.unresolved_blocks() > 0);
+        assert!(t1.unresolved_blocks() > 0);
+        assert!(t3.stats().nodes < t2.stats().nodes);
+    }
+
+    #[test]
+    fn pm1_variant_delegates_to_pm1_tree() {
+        let segs = star();
+        let family = PmTree::build(world(), &segs, PmVariant::Pm1, 10);
+        let direct = crate::pm1::Pm1Tree::build(world(), &segs, 10);
+        assert_eq!(family.stats(), direct.stats());
+    }
+
+    #[test]
+    fn validity_predicates_basics() {
+        let segs = vec![
+            LineSeg::from_coords(2.0, 2.0, 6.0, 6.0),
+            LineSeg::from_coords(2.0, 2.0, 6.0, 1.0),
+            LineSeg::from_coords(1.0, 5.0, 3.0, 7.0),
+        ];
+        let block = Rect::from_coords(0.0, 0.0, 4.0, 4.0);
+        // Block contains vertex (2,2); edges 0 and 1 incident, edge 2 not
+        // a member geometrically but pretend it were:
+        assert!(pm_block_valid(PmVariant::Pm2, &[0, 1], &segs, &block));
+        assert!(!pm_block_valid(PmVariant::Pm2, &[0, 1, 2], &segs, &block));
+        assert!(pm_block_valid(PmVariant::Pm3, &[0, 1], &segs, &block));
+        // Vertexless block with two edges sharing the (2,2) vertex.
+        let vertexless = Rect::from_coords(4.5, 0.5, 5.5, 5.5);
+        assert!(pm_block_valid(PmVariant::Pm2, &[0, 1], &segs, &vertexless));
+        assert!(!pm_block_valid(PmVariant::Pm1, &[0, 1], &segs, &vertexless));
+    }
+
+    #[test]
+    fn queries_match_brute_force() {
+        let segs = star();
+        for variant in [PmVariant::Pm1, PmVariant::Pm2, PmVariant::Pm3] {
+            let t = PmTree::build(world(), &segs, variant, 10);
+            let q = Rect::from_coords(3.0, 3.0, 5.0, 5.0);
+            let want: Vec<SegId> = (0..segs.len() as u32)
+                .filter(|&id| {
+                    dp_geom::clip_segment_closed(&segs[id as usize], &q).is_some()
+                })
+                .collect();
+            assert_eq!(t.window_query(&q, &segs), want, "{variant:?}");
+        }
+    }
+}

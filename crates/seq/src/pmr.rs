@@ -1,0 +1,317 @@
+//! Sequential (classic) PMR quadtree (paper Sec. 2.2).
+//!
+//! The PMR quadtree is edge-based with a *probabilistic* splitting rule:
+//! when inserting a segment into a block pushes the block's occupancy over
+//! the splitting threshold, the block is split **once and only once** —
+//! even if the resulting children are still over the threshold. The
+//! resulting shape depends on insertion order (paper Figs. 3 and 34),
+//! which is exactly why the data-parallel build in the companion
+//! `dp-spatial` crate uses the *bucket* PMR variant instead (paper
+//! Sec. 5.2).
+//!
+//! Deletion removes the segment from every block it intersects and then
+//! merges sibling groups whose combined distinct occupancy falls below
+//! the threshold, reapplying the merge upward (note the paper's remark on
+//! the asymmetry between the splitting and merging rules).
+
+use crate::quad::{filter_window, QuadArena, QuadNode};
+use crate::{SegId, TreeStats};
+use dp_geom::{seg_in_block, LineSeg, Point, Rect};
+
+/// A classic PMR quadtree with the split-once insertion rule.
+#[derive(Debug, Clone)]
+pub struct PmrTree {
+    arena: QuadArena,
+    threshold: usize,
+    max_depth: usize,
+}
+
+impl PmrTree {
+    /// An empty tree over `world` with the given splitting `threshold`
+    /// and subdivision depth bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`.
+    pub fn new(world: Rect, threshold: usize, max_depth: usize) -> Self {
+        assert!(threshold >= 1, "splitting threshold must be at least 1");
+        PmrTree {
+            arena: QuadArena::new(world),
+            threshold,
+            max_depth,
+        }
+    }
+
+    /// Builds a tree by inserting `segs` in slice order (the order
+    /// *matters* — see [`PmrTree::insert`]).
+    pub fn build(world: Rect, segs: &[LineSeg], threshold: usize, max_depth: usize) -> Self {
+        let mut t = PmrTree::new(world, threshold, max_depth);
+        for id in 0..segs.len() {
+            t.insert(id as SegId, segs);
+        }
+        t
+    }
+
+    /// Inserts segment `id`: it is added to every leaf block it
+    /// intersects; each such block that now exceeds the threshold is split
+    /// once (paper Sec. 2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment lies outside the half-open world.
+    pub fn insert(&mut self, id: SegId, segs: &[LineSeg]) {
+        let world = self.arena.world();
+        let s = &segs[id as usize];
+        assert!(
+            world.contains_half_open(s.a) && world.contains_half_open(s.b),
+            "segment {id} endpoint outside the half-open world"
+        );
+        self.insert_rec(self.arena.root(), world, 0, id, segs);
+    }
+
+    fn insert_rec(&mut self, idx: usize, rect: Rect, depth: usize, id: SegId, segs: &[LineSeg]) {
+        if !seg_in_block(&segs[id as usize], &rect) {
+            return;
+        }
+        match self.arena.node(idx) {
+            QuadNode::Internal { children } => {
+                let children = *children;
+                let quads = rect.quadrants();
+                for q in 0..4 {
+                    self.insert_rec(children[q], quads[q], depth + 1, id, segs);
+                }
+            }
+            QuadNode::Leaf { segs: leaf } => {
+                let occupancy = leaf.len() + 1;
+                self.arena.push_to_leaf(idx, id);
+                // Split once, and only once, when the insertion pushes the
+                // block over the threshold.
+                if occupancy > self.threshold && depth < self.max_depth {
+                    self.arena.subdivide(idx, &rect, segs);
+                }
+            }
+        }
+    }
+
+    /// Deletes segment `id` from every block it intersects, merging
+    /// sibling groups whose combined distinct occupancy drops below the
+    /// threshold (recursively upward). Returns whether the segment was
+    /// present anywhere.
+    pub fn delete(&mut self, id: SegId, segs: &[LineSeg]) -> bool {
+        let world = self.arena.world();
+        let removed = self.delete_rec(self.arena.root(), world, id, segs);
+        // Merge pass: repeatedly collapse qualifying sibling groups. A
+        // simple fixpoint loop keeps the logic obviously correct; merges
+        // are rare relative to queries.
+        loop {
+            if !self.merge_pass(self.arena.root()) {
+                break;
+            }
+        }
+        removed
+    }
+
+    fn delete_rec(&mut self, idx: usize, rect: Rect, id: SegId, segs: &[LineSeg]) -> bool {
+        if !seg_in_block(&segs[id as usize], &rect) {
+            return false;
+        }
+        match self.arena.node(idx) {
+            QuadNode::Internal { children } => {
+                let children = *children;
+                let quads = rect.quadrants();
+                let mut removed = false;
+                for q in 0..4 {
+                    removed |= self.delete_rec(children[q], quads[q], id, segs);
+                }
+                removed
+            }
+            QuadNode::Leaf { .. } => self.arena.remove_from_leaf(idx, id),
+        }
+    }
+
+    /// One bottom-up merge sweep; returns whether anything merged.
+    fn merge_pass(&mut self, idx: usize) -> bool {
+        let children = match self.arena.node(idx) {
+            QuadNode::Internal { children } => *children,
+            QuadNode::Leaf { .. } => return false,
+        };
+        let mut changed = false;
+        for &c in &children {
+            changed |= self.merge_pass(c);
+        }
+        // Merge when all four children are leaves and their combined
+        // distinct occupancy is below the threshold ("if the splitting
+        // threshold exceeds the occupancy of the block and its siblings").
+        let all_leaves = children
+            .iter()
+            .all(|&c| matches!(self.arena.node(c), QuadNode::Leaf { .. }));
+        if all_leaves {
+            let mut distinct: Vec<SegId> = Vec::new();
+            for &c in &children {
+                if let QuadNode::Leaf { segs } = self.arena.node(c) {
+                    for &s in segs {
+                        if !distinct.contains(&s) {
+                            distinct.push(s);
+                        }
+                    }
+                }
+            }
+            if distinct.len() < self.threshold {
+                self.arena.merge_children(idx);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// The splitting threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Read access to the underlying arena.
+    pub fn arena(&self) -> &QuadArena {
+        &self.arena
+    }
+
+    /// Ids of segments intersecting `query` (deduplicated, sorted, exact).
+    pub fn window_query(&self, query: &Rect, segs: &[LineSeg]) -> Vec<SegId> {
+        filter_window(self.arena.window_candidates(query), segs, query)
+    }
+
+    /// Ids in the leaf block containing `p`.
+    pub fn point_query(&self, p: Point) -> Vec<SegId> {
+        let mut v = self.arena.point_candidates(p);
+        v.sort_unstable();
+        v
+    }
+
+    /// Structure statistics.
+    pub fn stats(&self) -> TreeStats {
+        self.arena.stats()
+    }
+
+    /// A canonical shape fingerprint: the sorted list of (depth, leaf
+    /// occupancy) pairs plus the leaf block corners — used to demonstrate
+    /// insertion-order dependence (paper Fig. 34).
+    pub fn shape_signature(&self) -> Vec<(usize, usize, (u64, u64))> {
+        let mut sig = Vec::new();
+        self.arena.for_each_leaf(|rect, depth, ids| {
+            sig.push((
+                depth,
+                ids.len(),
+                (rect.min.x.to_bits(), rect.min.y.to_bits()),
+            ));
+        });
+        sig.sort_unstable();
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 8.0, 8.0)
+    }
+
+    #[test]
+    fn split_once_can_leave_overfull_children() {
+        // Four nearly-parallel segments crammed into one quadrant with
+        // threshold 1: the split-once rule leaves children over the
+        // threshold right after an insertion burst.
+        let segs = vec![
+            LineSeg::from_coords(0.0, 0.0, 1.0, 1.0),
+            LineSeg::from_coords(0.0, 1.0, 1.0, 2.0),
+            LineSeg::from_coords(0.0, 2.0, 1.0, 3.0),
+        ];
+        let t = PmrTree::build(world(), &segs, 1, 6);
+        // All three segments remain findable.
+        assert_eq!(
+            t.window_query(&world(), &segs),
+            vec![0, 1, 2]
+        );
+    }
+
+    /// Paper Fig. 34: changing the insertion order changes the shape.
+    #[test]
+    fn insertion_order_changes_shape() {
+        // Threshold 2. Three segments in the same quadrant plus one that
+        // arrives either before or after the split happens.
+        let base = vec![
+            LineSeg::from_coords(1.0, 1.0, 2.0, 2.0),
+            LineSeg::from_coords(1.0, 2.0, 2.0, 3.0),
+            LineSeg::from_coords(5.0, 5.0, 6.0, 6.0),
+            LineSeg::from_coords(1.0, 3.0, 2.0, 1.0),
+        ];
+        let t1 = PmrTree::build(world(), &base, 2, 6);
+        // Swap the last two insertions (ids keep their geometry; we build
+        // by inserting in a permuted order).
+        let mut t2 = PmrTree::new(world(), 2, 6);
+        for &id in &[0u32, 1, 3, 2] {
+            t2.insert(id, &base);
+        }
+        assert_ne!(
+            t1.shape_signature(),
+            t2.shape_signature(),
+            "PMR shape must depend on insertion order for this dataset"
+        );
+        // But both orders index the same segments.
+        assert_eq!(t1.window_query(&world(), &base), t2.window_query(&world(), &base));
+    }
+
+    #[test]
+    fn delete_merges_back() {
+        let segs = vec![
+            LineSeg::from_coords(1.0, 1.0, 2.0, 2.0),
+            LineSeg::from_coords(1.0, 2.0, 2.0, 3.0),
+            LineSeg::from_coords(2.0, 1.0, 3.0, 3.0),
+        ];
+        let mut t = PmrTree::build(world(), &segs, 2, 6);
+        let split_nodes = t.stats().nodes;
+        assert!(split_nodes > 1, "threshold 2 with 3 close segments splits");
+        assert!(t.delete(2, &segs));
+        assert!(t.delete(1, &segs));
+        // One segment left, below threshold: the tree merges to the root.
+        assert_eq!(t.stats().nodes, 1);
+        assert_eq!(t.window_query(&world(), &segs), vec![0]);
+        // Deleting something absent reports false.
+        assert!(!t.delete(2, &segs));
+    }
+
+    #[test]
+    fn queries_match_brute_force() {
+        let segs = vec![
+            LineSeg::from_coords(0.0, 0.0, 3.0, 3.0),
+            LineSeg::from_coords(4.0, 4.0, 7.0, 7.0),
+            LineSeg::from_coords(0.0, 7.0, 7.0, 0.0),
+            LineSeg::from_coords(2.0, 5.0, 5.0, 2.0),
+        ];
+        let t = PmrTree::build(world(), &segs, 2, 6);
+        let query = Rect::from_coords(1.0, 1.0, 3.0, 3.0);
+        let got = t.window_query(&query, &segs);
+        let brute: Vec<SegId> = (0..segs.len() as u32)
+            .filter(|&id| dp_geom::clip_segment_closed(&segs[id as usize], &query).is_some())
+            .collect();
+        assert_eq!(got, brute);
+    }
+
+    #[test]
+    fn max_depth_caps_subdivision() {
+        // Many overlapping segments with threshold 1 would split forever
+        // without the depth bound.
+        let segs: Vec<LineSeg> = (0..6)
+            .map(|k| LineSeg::from_coords(0.0, k as f64 * 0.0 + 1.0, 7.0, 1.0))
+            .collect();
+        let t = PmrTree::build(world(), &segs, 1, 3);
+        assert!(t.stats().height <= 3);
+        assert_eq!(t.window_query(&world(), &segs).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be at least 1")]
+    fn zero_threshold_rejected() {
+        PmrTree::new(world(), 0, 4);
+    }
+}

@@ -1,0 +1,469 @@
+//! Shared quadtree machinery for the sequential PM₁, PMR and bucket PMR
+//! baselines: an arena of quadrant nodes, block-rect bookkeeping, segment
+//! redistribution on subdivision, traversal-based queries, and statistics.
+//!
+//! The three trees differ only in their *splitting policies* (paper
+//! Secs. 2.1–2.2.1); everything else — the regular disjoint decomposition,
+//! the q-edge membership convention, the query surface — is identical and
+//! lives here.
+
+use crate::{SegId, TreeStats};
+use dp_geom::{seg_in_block, LineSeg, Point, Rect};
+
+/// Index of a node inside a [`QuadArena`].
+pub type NodeIdx = usize;
+
+/// A quadtree node: either an internal node with exactly four children
+/// (NW, NE, SW, SE) or a leaf holding segment ids.
+#[derive(Debug, Clone)]
+pub enum QuadNode {
+    /// Internal node; children in [`dp_geom::Rect::quadrants`] order.
+    Internal {
+        /// Child node indices (NW, NE, SW, SE).
+        children: [NodeIdx; 4],
+    },
+    /// Leaf node holding the ids of the segments that pass through its
+    /// block (its q-edges).
+    Leaf {
+        /// Segment ids, in insertion order.
+        segs: Vec<SegId>,
+    },
+}
+
+/// An arena-allocated quadtree over a square world.
+#[derive(Debug, Clone)]
+pub struct QuadArena {
+    world: Rect,
+    nodes: Vec<QuadNode>,
+}
+
+impl QuadArena {
+    /// A fresh tree: one empty leaf covering the world.
+    pub fn new(world: Rect) -> Self {
+        QuadArena {
+            world,
+            nodes: vec![QuadNode::Leaf { segs: Vec::new() }],
+        }
+    }
+
+    /// The world rectangle.
+    pub fn world(&self) -> Rect {
+        self.world
+    }
+
+    /// The root node index (always 0).
+    pub fn root(&self) -> NodeIdx {
+        0
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, i: NodeIdx) -> &QuadNode {
+        &self.nodes[i]
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the arena holds just the initial root leaf with no
+    /// segments.
+    pub fn is_empty(&self) -> bool {
+        matches!(&self.nodes[0], QuadNode::Leaf { segs } if segs.is_empty())
+            && self.nodes.len() == 1
+    }
+
+    /// Replaces the segment list of leaf `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a leaf.
+    pub fn replace_leaf(&mut self, idx: NodeIdx, segs: Vec<SegId>) {
+        match &mut self.nodes[idx] {
+            QuadNode::Leaf { segs: s } => *s = segs,
+            QuadNode::Internal { .. } => panic!("replace_leaf called on internal node {idx}"),
+        }
+    }
+
+    /// Appends an id to leaf `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a leaf.
+    pub fn push_to_leaf(&mut self, idx: NodeIdx, id: SegId) {
+        match &mut self.nodes[idx] {
+            QuadNode::Leaf { segs } => segs.push(id),
+            QuadNode::Internal { .. } => panic!("push_to_leaf called on internal node {idx}"),
+        }
+    }
+
+    /// Removes an id from leaf `idx`; returns whether it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a leaf.
+    pub fn remove_from_leaf(&mut self, idx: NodeIdx, id: SegId) -> bool {
+        match &mut self.nodes[idx] {
+            QuadNode::Leaf { segs } => {
+                if let Some(pos) = segs.iter().position(|&x| x == id) {
+                    segs.remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+            QuadNode::Internal { .. } => panic!("remove_from_leaf called on internal node {idx}"),
+        }
+    }
+
+    /// Replaces leaf `idx` with an internal node whose four children
+    /// receive the leaf's segments by block membership. Returns the child
+    /// indices. A segment crossing child boundaries lands in several
+    /// children (the q-edge convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a leaf.
+    pub fn subdivide(&mut self, idx: NodeIdx, rect: &Rect, all_segs: &[LineSeg]) -> [NodeIdx; 4] {
+        let segs = match std::mem::replace(
+            &mut self.nodes[idx],
+            QuadNode::Internal { children: [0; 4] },
+        ) {
+            QuadNode::Leaf { segs } => segs,
+            QuadNode::Internal { .. } => panic!("subdivide called on internal node {idx}"),
+        };
+        let quads = rect.quadrants();
+        let mut children = [0usize; 4];
+        for (q, child) in children.iter_mut().enumerate() {
+            let child_segs: Vec<SegId> = segs
+                .iter()
+                .copied()
+                .filter(|&id| seg_in_block(&all_segs[id as usize], &quads[q]))
+                .collect();
+            *child = self.nodes.len();
+            self.nodes.push(QuadNode::Leaf { segs: child_segs });
+        }
+        self.nodes[idx] = QuadNode::Internal { children };
+        children
+    }
+
+    /// Collapses internal node `idx` back into a leaf holding the distinct
+    /// segment ids of its (leaf) children — the merge step of PMR
+    /// deletion. The children must all be leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not internal or any child is not a leaf.
+    pub fn merge_children(&mut self, idx: NodeIdx) {
+        let children = match &self.nodes[idx] {
+            QuadNode::Internal { children } => *children,
+            QuadNode::Leaf { .. } => panic!("merge_children called on leaf {idx}"),
+        };
+        let mut merged: Vec<SegId> = Vec::new();
+        for &c in &children {
+            match &self.nodes[c] {
+                QuadNode::Leaf { segs } => {
+                    for &id in segs {
+                        if !merged.contains(&id) {
+                            merged.push(id);
+                        }
+                    }
+                }
+                QuadNode::Internal { .. } => {
+                    panic!("merge_children: child {c} of {idx} is not a leaf")
+                }
+            }
+            // Children become unreachable; the arena does not reclaim them
+            // (merges are rare and the ids stay valid for readers holding
+            // old indices). `stats` and traversals only follow live links.
+            self.nodes[c] = QuadNode::Leaf { segs: Vec::new() };
+        }
+        self.nodes[idx] = QuadNode::Leaf { segs: merged };
+    }
+
+    /// All ids stored in leaves whose blocks intersect `query`,
+    /// deduplicated and sorted. Callers typically post-filter by exact
+    /// geometry.
+    pub fn window_candidates(&self, query: &Rect) -> Vec<SegId> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root(), self.world)];
+        while let Some((idx, rect)) = stack.pop() {
+            if !rect.intersects(query) {
+                continue;
+            }
+            match &self.nodes[idx] {
+                QuadNode::Leaf { segs } => out.extend_from_slice(segs),
+                QuadNode::Internal { children } => {
+                    let quads = rect.quadrants();
+                    for q in 0..4 {
+                        stack.push((children[q], quads[q]));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Ids in the unique leaf block containing `p` (half-open membership),
+    /// or an empty vector when `p` is outside the world.
+    pub fn point_candidates(&self, p: Point) -> Vec<SegId> {
+        if !self.world.contains_half_open(p) {
+            return Vec::new();
+        }
+        let mut idx = self.root();
+        let mut rect = self.world;
+        loop {
+            match &self.nodes[idx] {
+                QuadNode::Leaf { segs } => return segs.clone(),
+                QuadNode::Internal { children } => {
+                    let quads = rect.quadrants();
+                    let q = (0..4)
+                        .find(|&q| quads[q].contains_half_open(p))
+                        .expect("half-open quadrants partition the block");
+                    idx = children[q];
+                    rect = quads[q];
+                }
+            }
+        }
+    }
+
+    /// The nearest stored segment to `p` by true segment distance
+    /// (best-first block search with the same contract as the
+    /// data-parallel trees' `nearest`). `None` when the tree holds no
+    /// segments.
+    pub fn nearest(&self, p: Point, segs: &[LineSeg]) -> Option<(SegId, f64)> {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+        struct Item {
+            dist2: f64,
+            node: NodeIdx,
+            rect: Rect,
+        }
+        impl PartialEq for Item {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist2 == other.dist2
+            }
+        }
+        impl Eq for Item {}
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other.dist2.total_cmp(&self.dist2) // min-heap
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Item {
+            dist2: self.world.dist2_to_point(p),
+            node: self.root(),
+            rect: self.world,
+        });
+        let mut best: Option<(SegId, f64)> = None;
+        while let Some(item) = heap.pop() {
+            if let Some((_, d)) = best {
+                if item.dist2 > d * d {
+                    break;
+                }
+            }
+            match &self.nodes[item.node] {
+                QuadNode::Leaf { segs: ids } => {
+                    for &id in ids {
+                        let d = segs[id as usize].dist2_to_point(p).sqrt();
+                        if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                            best = Some((id, d));
+                        }
+                    }
+                }
+                QuadNode::Internal { children } => {
+                    let quads = item.rect.quadrants();
+                    for q in 0..4 {
+                        heap.push(Item {
+                            dist2: quads[q].dist2_to_point(p),
+                            node: children[q],
+                            rect: quads[q],
+                        });
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Visits every leaf with its block rectangle and depth.
+    pub fn for_each_leaf<F: FnMut(&Rect, usize, &[SegId])>(&self, mut f: F) {
+        let mut stack = vec![(self.root(), self.world, 0usize)];
+        while let Some((idx, rect, depth)) = stack.pop() {
+            match &self.nodes[idx] {
+                QuadNode::Leaf { segs } => f(&rect, depth, segs),
+                QuadNode::Internal { children } => {
+                    let quads = rect.quadrants();
+                    for q in 0..4 {
+                        stack.push((children[q], quads[q], depth + 1));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Structure statistics over the live tree.
+    pub fn stats(&self) -> TreeStats {
+        let mut s = TreeStats::default();
+        let mut live_nodes = 0usize;
+        let mut stack = vec![(self.root(), 0usize)];
+        while let Some((idx, depth)) = stack.pop() {
+            live_nodes += 1;
+            s.height = s.height.max(depth);
+            match &self.nodes[idx] {
+                QuadNode::Leaf { segs } => {
+                    s.leaves += 1;
+                    s.entries += segs.len();
+                    s.max_leaf_occupancy = s.max_leaf_occupancy.max(segs.len());
+                    if segs.is_empty() {
+                        s.empty_leaves += 1;
+                    }
+                }
+                QuadNode::Internal { children } => {
+                    for &c in children {
+                        stack.push((c, depth + 1));
+                    }
+                }
+            }
+        }
+        s.nodes = live_nodes;
+        s
+    }
+}
+
+/// Exact-geometry filter for window queries: keeps the candidate ids whose
+/// segments truly intersect the query rectangle.
+pub fn filter_window(candidates: Vec<SegId>, segs: &[LineSeg], query: &Rect) -> Vec<SegId> {
+    candidates
+        .into_iter()
+        .filter(|&id| dp_geom::clip_segment_closed(&segs[id as usize], query).is_some())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 8.0, 8.0)
+    }
+
+    #[test]
+    fn new_arena_is_single_empty_leaf() {
+        let a = QuadArena::new(world());
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 1);
+        let s = a.stats();
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.empty_leaves, 1);
+        assert_eq!(s.height, 0);
+    }
+
+    #[test]
+    fn subdivide_distributes_by_membership() {
+        let segs = vec![
+            LineSeg::from_coords(1.0, 6.0, 2.0, 7.0), // NW only
+            LineSeg::from_coords(1.0, 1.0, 6.0, 1.0), // SW and SE
+        ];
+        let mut a = QuadArena::new(world());
+        if let QuadNode::Leaf { segs: s } = &mut a.nodes[0] {
+            s.extend([0, 1]);
+        }
+        let children = a.subdivide(0, &world(), &segs);
+        let leaf = |i: usize| match a.node(children[i]) {
+            QuadNode::Leaf { segs } => segs.clone(),
+            _ => panic!(),
+        };
+        assert_eq!(leaf(0), vec![0]); // NW
+        assert_eq!(leaf(1), Vec::<SegId>::new()); // NE
+        assert_eq!(leaf(2), vec![1]); // SW
+        assert_eq!(leaf(3), vec![1]); // SE
+    }
+
+    #[test]
+    fn queries_after_subdivision() {
+        let segs = vec![
+            LineSeg::from_coords(1.0, 6.0, 2.0, 7.0),
+            LineSeg::from_coords(1.0, 1.0, 6.0, 1.0),
+        ];
+        let mut a = QuadArena::new(world());
+        if let QuadNode::Leaf { segs: s } = &mut a.nodes[0] {
+            s.extend([0, 1]);
+        }
+        a.subdivide(0, &world(), &segs);
+        // Window over the SW quadrant sees only segment 1.
+        let got = a.window_candidates(&Rect::from_coords(0.0, 0.0, 3.0, 3.0));
+        assert_eq!(got, vec![1]);
+        // Point lookup in NW.
+        assert_eq!(a.point_candidates(Point::new(1.0, 6.5)), vec![0]);
+        // Point outside the world.
+        assert!(a.point_candidates(Point::new(-1.0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn merge_children_deduplicates() {
+        let segs = vec![LineSeg::from_coords(1.0, 1.0, 6.0, 1.0)];
+        let mut a = QuadArena::new(world());
+        if let QuadNode::Leaf { segs: s } = &mut a.nodes[0] {
+            s.push(0);
+        }
+        a.subdivide(0, &world(), &segs);
+        a.merge_children(0);
+        match a.node(0) {
+            QuadNode::Leaf { segs } => assert_eq!(segs, &vec![0]),
+            _ => panic!("root should be a leaf again"),
+        }
+        assert_eq!(a.stats().leaves, 1);
+    }
+
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let segs = vec![
+            LineSeg::from_coords(1.0, 1.0, 2.0, 1.0),
+            LineSeg::from_coords(6.0, 6.0, 7.0, 6.0),
+            LineSeg::from_coords(0.0, 7.0, 1.0, 7.0),
+        ];
+        let mut a = QuadArena::new(world());
+        if let QuadNode::Leaf { segs: s } = &mut a.nodes[0] {
+            s.extend([0, 1, 2]);
+        }
+        a.subdivide(0, &world(), &segs);
+        for p in [
+            Point::new(1.0, 2.0),
+            Point::new(7.0, 7.0),
+            Point::new(0.0, 5.0),
+            Point::new(4.0, 4.0),
+        ] {
+            let (_, d) = a.nearest(p, &segs).unwrap();
+            let brute = segs
+                .iter()
+                .map(|s| s.dist2_to_point(p).sqrt())
+                .min_by(|x, y| x.total_cmp(y))
+                .unwrap();
+            assert_eq!(d, brute, "probe {p}");
+        }
+        let empty = QuadArena::new(world());
+        assert!(empty.nearest(Point::new(0.0, 0.0), &segs).is_none());
+    }
+
+    #[test]
+    fn filter_window_drops_false_positives() {
+        let segs = vec![
+            LineSeg::from_coords(0.0, 0.0, 1.0, 1.0),
+            LineSeg::from_coords(7.0, 7.0, 6.0, 6.0),
+        ];
+        let cands = vec![0, 1];
+        let got = filter_window(cands, &segs, &Rect::from_coords(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(got, vec![0]);
+    }
+}

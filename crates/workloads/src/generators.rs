@@ -1,0 +1,346 @@
+//! Synthetic line-segment map generators.
+//!
+//! Stand-ins for the road-map workloads (TIGER/Line census maps) used by
+//! the authors' experimental papers. Each generator produces integer-grid
+//! coordinates strictly inside a power-of-two world, and is fully
+//! deterministic given its seed.
+
+use dp_geom::{LineSeg, Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named line-segment collection together with its world rectangle.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable generator description (appears in experiment tables).
+    pub name: String,
+    /// The world all segments live in (origin at (0,0), power-of-two side).
+    pub world: Rect,
+    /// The segments.
+    pub segs: Vec<LineSeg>,
+}
+
+impl Dataset {
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// `true` when the dataset has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+}
+
+/// A square world `[0, size] × [0, size]`.
+///
+/// # Panics
+///
+/// Panics unless `size` is a positive power of two (this keeps every
+/// quadtree split coordinate dyadic, hence exact in `f64`).
+pub fn square_world(size: u32) -> Rect {
+    assert!(
+        size.is_power_of_two(),
+        "world size {size} must be a power of two"
+    );
+    Rect::from_coords(0.0, 0.0, size as f64, size as f64)
+}
+
+fn grid_point(rng: &mut StdRng, size: u32) -> Point {
+    // Strictly inside the half-open world: coordinates in 0..size.
+    Point::new(
+        rng.gen_range(0..size) as f64,
+        rng.gen_range(0..size) as f64,
+    )
+}
+
+/// Uniform random segments: endpoints drawn uniformly from the grid, with
+/// segment length capped at `max_len` (small caps model road maps, where
+/// edges are short relative to the map).
+pub fn uniform_segments(n: usize, size: u32, max_len: u32, seed: u64) -> Dataset {
+    assert!(max_len >= 1, "max_len must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut segs = Vec::with_capacity(n);
+    while segs.len() < n {
+        let a = grid_point(&mut rng, size);
+        let dx = rng.gen_range(-(max_len as i64)..=max_len as i64);
+        let dy = rng.gen_range(-(max_len as i64)..=max_len as i64);
+        let bx = (a.x as i64 + dx).clamp(0, size as i64 - 1) as f64;
+        let by = (a.y as i64 + dy).clamp(0, size as i64 - 1) as f64;
+        let b = Point::new(bx, by);
+        if a == b {
+            continue;
+        }
+        segs.push(LineSeg::new(a, b));
+    }
+    Dataset {
+        name: format!("uniform(n={n}, size={size}, max_len={max_len})"),
+        world: square_world(size),
+        segs,
+    }
+}
+
+/// Clustered segments: `clusters` cluster centres, each receiving an equal
+/// share of short segments within a `spread`-sized neighbourhood. Models
+/// urban cores in a sparse map and stresses unbalanced decompositions.
+pub fn clustered_segments(n: usize, clusters: usize, spread: u32, size: u32, seed: u64) -> Dataset {
+    assert!(clusters >= 1, "need at least one cluster");
+    assert!(spread >= 2, "spread must be at least 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centres: Vec<Point> = (0..clusters).map(|_| grid_point(&mut rng, size)).collect();
+    let mut segs = Vec::with_capacity(n);
+    while segs.len() < n {
+        let c = centres[rng.gen_range(0..clusters)];
+        let jitter = |rng: &mut StdRng, v: f64| {
+            let lo = (v as i64 - spread as i64).max(0);
+            let hi = (v as i64 + spread as i64).min(size as i64 - 1);
+            rng.gen_range(lo..=hi) as f64
+        };
+        let a = Point::new(jitter(&mut rng, c.x), jitter(&mut rng, c.y));
+        let b = Point::new(jitter(&mut rng, c.x), jitter(&mut rng, c.y));
+        if a == b {
+            continue;
+        }
+        segs.push(LineSeg::new(a, b));
+    }
+    Dataset {
+        name: format!("clustered(n={n}, clusters={clusters}, spread={spread}, size={size})"),
+        world: square_world(size),
+        segs,
+    }
+}
+
+/// A road-network-like map: a `cells × cells` grid of junctions, each
+/// perturbed within its cell, connected to its east and north neighbours
+/// with probability 0.9. Produces short, connected, axis-dominant edges —
+/// the regime of TIGER-style street maps.
+pub fn road_network(cells: u32, size: u32, seed: u64) -> Dataset {
+    assert!(cells >= 2, "need at least a 2x2 junction grid");
+    assert!(size >= cells, "world must be at least as large as the grid");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cell = size / cells;
+    assert!(cell >= 1);
+    let jitter_max = (cell / 2).max(1);
+    let mut junctions = vec![Point::new(0.0, 0.0); (cells * cells) as usize];
+    for gy in 0..cells {
+        for gx in 0..cells {
+            let bx = gx * cell + cell / 2;
+            let by = gy * cell + cell / 2;
+            let jx = (bx as i64 + rng.gen_range(0..jitter_max) as i64 - (jitter_max / 2) as i64)
+                .clamp(0, size as i64 - 1);
+            let jy = (by as i64 + rng.gen_range(0..jitter_max) as i64 - (jitter_max / 2) as i64)
+                .clamp(0, size as i64 - 1);
+            junctions[(gy * cells + gx) as usize] = Point::new(jx as f64, jy as f64);
+        }
+    }
+    let mut segs = Vec::new();
+    for gy in 0..cells {
+        for gx in 0..cells {
+            let here = junctions[(gy * cells + gx) as usize];
+            if gx + 1 < cells && rng.gen_bool(0.9) {
+                let east = junctions[(gy * cells + gx + 1) as usize];
+                if here != east {
+                    segs.push(LineSeg::new(here, east));
+                }
+            }
+            if gy + 1 < cells && rng.gen_bool(0.9) {
+                let north = junctions[((gy + 1) * cells + gx) as usize];
+                if here != north {
+                    segs.push(LineSeg::new(here, north));
+                }
+            }
+        }
+    }
+    Dataset {
+        name: format!("road_network(cells={cells}, size={size})"),
+        world: square_world(size),
+        segs,
+    }
+}
+
+/// A strictly planar polygonal map: one axis-aligned rectangular ring per
+/// grid cell, corners jittered within the cell. Edges of different rings
+/// never touch and each ring's edges meet only at shared corners — the
+/// ideal PM quadtree input (a *polygonal map* in Samet's sense), used by
+/// the PM₁ scaling experiments where non-vertex crossings would otherwise
+/// force max-depth subdivision.
+pub fn polygon_rings(cells: u32, size: u32, seed: u64) -> Dataset {
+    assert!(cells >= 1, "need at least one cell");
+    assert!(
+        size / cells >= 8,
+        "cells must be at least 8 wide to fit a jittered ring"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cell = size / cells;
+    let mut segs = Vec::with_capacity((cells * cells * 4) as usize);
+    for gy in 0..cells {
+        for gx in 0..cells {
+            // Ring corners strictly inside the cell with a 1-unit margin,
+            // so rings in adjacent cells never touch.
+            let x0 = gx * cell + 1;
+            let y0 = gy * cell + 1;
+            let x1 = (gx + 1) * cell - 2;
+            let y1 = (gy + 1) * cell - 2;
+            // Rings are at least 2 units wide and tall: a unit-size PM
+            // block around a corner must not be ridden by the opposite
+            // (non-incident) edge, or the PM1 criterion becomes
+            // unsatisfiable at any depth.
+            let ax = rng.gen_range(x0..=x1 - 2) as f64;
+            let ay = rng.gen_range(y0..=y1 - 2) as f64;
+            let bx = rng.gen_range(ax as u32 + 2..=x1) as f64;
+            let by = rng.gen_range(ay as u32 + 2..=y1) as f64;
+            segs.push(LineSeg::from_coords(ax, ay, bx, ay));
+            segs.push(LineSeg::from_coords(bx, ay, bx, by));
+            segs.push(LineSeg::from_coords(bx, by, ax, by));
+            segs.push(LineSeg::from_coords(ax, by, ax, ay));
+        }
+    }
+    Dataset {
+        name: format!("polygon_rings(cells={cells}, size={size})"),
+        world: square_world(size),
+        segs,
+    }
+}
+
+/// The pathological pair of the paper's Fig. 2: one long segment plus a
+/// second segment with an endpoint very close (grid distance 1 at world
+/// resolution `size`) to one of the first segment's endpoints. Inserting
+/// the second segment into a PM₁ quadtree forces a deep cascade of
+/// subdivisions to separate the two vertices.
+pub fn pathological_close_vertices(size: u32) -> Dataset {
+    let world = square_world(size);
+    let s = size as f64;
+    // Line a: spans a good part of the map; one endpoint near the corner.
+    let a = LineSeg::from_coords(1.0, 1.0, s * 0.75, s * 0.5);
+    // Line b: endpoint at grid distance 1 from a's (1,1) endpoint.
+    let b = LineSeg::from_coords(2.0, 1.0, s * 0.75, 1.0);
+    Dataset {
+        name: format!("pathological_close_vertices(size={size})"),
+        world,
+        segs: vec![a, b],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid(d: &Dataset) {
+        assert!(!d.is_empty());
+        for s in &d.segs {
+            assert!(
+                d.world.contains_half_open(s.a) && d.world.contains_half_open(s.b),
+                "{}: segment {} escapes the world",
+                d.name,
+                s
+            );
+            assert!(!s.is_degenerate(), "{}: degenerate segment", d.name);
+            // Integer grid.
+            for p in [s.a, s.b] {
+                assert_eq!(p.x.fract(), 0.0);
+                assert_eq!(p.y.fract(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_valid_and_deterministic() {
+        let d1 = uniform_segments(500, 1024, 32, 42);
+        let d2 = uniform_segments(500, 1024, 32, 42);
+        assert_eq!(d1.len(), 500);
+        assert_valid(&d1);
+        assert_eq!(d1.segs, d2.segs);
+        let d3 = uniform_segments(500, 1024, 32, 43);
+        assert_ne!(d1.segs, d3.segs);
+    }
+
+    #[test]
+    fn uniform_respects_length_cap() {
+        let d = uniform_segments(300, 1024, 16, 7);
+        for s in &d.segs {
+            assert!((s.a.x - s.b.x).abs() <= 16.0);
+            assert!((s.a.y - s.b.y).abs() <= 16.0);
+        }
+    }
+
+    #[test]
+    fn clustered_is_valid() {
+        let d = clustered_segments(400, 5, 8, 1024, 11);
+        assert_eq!(d.len(), 400);
+        assert_valid(&d);
+    }
+
+    #[test]
+    fn clustered_actually_clusters() {
+        // With tight spread, the bounding boxes of segments concentrate:
+        // mean pairwise midpoint distance is far below the uniform
+        // expectation (~0.52 * size).
+        let size = 1024u32;
+        let d = clustered_segments(300, 3, 8, size, 5);
+        let mids: Vec<Point> = d.segs.iter().map(|s| s.midpoint()).collect();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for i in 0..mids.len() {
+            for j in (i + 1)..mids.len() {
+                total += mids[i].dist(mids[j]);
+                count += 1;
+            }
+        }
+        let mean = total / count as f64;
+        assert!(
+            mean < 0.45 * size as f64,
+            "mean pairwise distance {mean} not clustered"
+        );
+    }
+
+    #[test]
+    fn road_network_is_valid_and_connectedish() {
+        let d = road_network(16, 1024, 3);
+        assert_valid(&d);
+        // ~2 edges per junction at 0.9 each; allow generous slack.
+        let expected = 2.0 * 16.0 * 15.0 * 0.9;
+        assert!((d.len() as f64) > expected * 0.8);
+        assert!((d.len() as f64) <= 2.0 * 16.0 * 15.0);
+    }
+
+
+    #[test]
+    fn polygon_rings_are_planar_and_valid() {
+        let d = polygon_rings(8, 256, 3);
+        assert_eq!(d.len(), 8 * 8 * 4);
+        assert_valid(&d);
+        // No two edges from different rings intersect; within a ring,
+        // edges meet only at shared corners.
+        for i in 0..d.segs.len() {
+            for j in (i + 1)..d.segs.len() {
+                let same_ring = i / 4 == j / 4;
+                let crossing =
+                    dp_geom::segments_intersect(&d.segs[i], &d.segs[j]);
+                if !same_ring {
+                    assert!(!crossing, "rings {} and {} touch", i / 4, j / 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8 wide")]
+    fn polygon_rings_rejects_tiny_cells() {
+        polygon_rings(64, 256, 1);
+    }
+
+    #[test]
+    fn pathological_pair_has_close_vertices() {
+        let d = pathological_close_vertices(64);
+        assert_eq!(d.len(), 2);
+        assert_valid(&d);
+        let dist = d.segs[0].a.dist(d.segs[1].a);
+        assert_eq!(dist, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_world_rejected() {
+        square_world(100);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dp-workloads — datasets for the dp-spatial reproduction
+//!
+//! The paper's experiments ran over vector map data (road-map-like line
+//! segment collections; the authors' companion papers used TIGER/Line
+//! census maps, which are not available here). This crate provides:
+//!
+//! * [`paper`] — a reconstruction of the paper's running 9-segment example
+//!   dataset (its Figs. 1, 3, 4 and 5). The paper prints no coordinates, so
+//!   ours are chosen to reproduce the *described topology*: segments `c`,
+//!   `d` and `i` share a vertex, several segments cross the root split
+//!   axes, and the shared-vertex region drives the bucket PMR quadtree to
+//!   its maximum depth (paper Fig. 4).
+//! * [`generators`] — synthetic map generators spanning the structural
+//!   regimes that drive index behaviour: uniform random segments,
+//!   clustered segments, a perturbed-grid road network, and the
+//!   pathological close-vertices pair of the paper's Fig. 2.
+//!
+//! All generators emit coordinates on an integer grid strictly inside a
+//! power-of-two world, which keeps every quadtree split coordinate dyadic
+//! and therefore every `f64` comparison exact (see the `dp-geom` crate
+//! docs).
+
+pub mod generators;
+pub mod paper;
+
+pub use generators::{
+    polygon_rings,
+    clustered_segments, pathological_close_vertices, road_network, square_world,
+    uniform_segments, Dataset,
+};
+pub use paper::{paper_dataset, paper_world, PAPER_LABELS};

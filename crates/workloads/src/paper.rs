@@ -1,0 +1,136 @@
+//! The paper's running example: nine labeled line segments in an 8×8
+//! world (paper Figs. 1, 3, 4, 5).
+//!
+//! The paper never prints coordinates, so this is a *reconstruction*: the
+//! coordinates below reproduce every structural event the paper describes
+//! for its dataset:
+//!
+//! * segments `c`, `d` and `i` share a common endpoint (Fig. 1 discussion);
+//! * segment `i` spans the map diagonally, crossing both root split axes
+//!   (it is cloned during the first PM₁ subdivision round, Fig. 31, along
+//!   with `a` and `b`);
+//! * with bucket capacity 2 and maximal height 3, the region around the
+//!   shared `c`/`d`/`i` endpoint keeps three incident segments at every
+//!   depth, so it subdivides to the maximal depth and remains over
+//!   capacity there (Fig. 4's node 9 and Fig. 38);
+//! * an order (1,3) R-tree on the nine segments terminates with a
+//!   three-level structure (Figs. 39–44).
+
+use dp_geom::{LineSeg, Rect};
+
+/// Labels of the paper's nine segments, in insertion order.
+pub const PAPER_LABELS: [char; 9] = ['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i'];
+
+/// The 8×8 world of the paper's example (maximal quadtree height 3, i.e.
+/// 1×1 cells at the deepest level — Fig. 4 uses exactly this bound).
+pub fn paper_world() -> Rect {
+    Rect::from_coords(0.0, 0.0, 8.0, 8.0)
+}
+
+/// The reconstructed nine-segment dataset. Index `k` is the segment
+/// labeled `PAPER_LABELS[k]`.
+pub fn paper_dataset() -> Vec<LineSeg> {
+    vec![
+        // a: upper area, crosses the vertical centre line x = 4. Kept
+        // above segment i's descent (a polygonal map's edges may meet
+        // only at shared vertices — a non-vertex crossing would make the
+        // PM1 criterion unsatisfiable).
+        LineSeg::from_coords(2.0, 6.0, 5.0, 6.0),
+        // b: right side, crosses the horizontal centre line y = 4.
+        LineSeg::from_coords(5.0, 7.0, 7.0, 3.0),
+        // c: NW, one endpoint shared with d and i at (1, 6).
+        LineSeg::from_coords(1.0, 6.0, 0.0, 7.0),
+        // d: NW, shares the (1, 6) vertex.
+        LineSeg::from_coords(1.0, 6.0, 3.0, 7.0),
+        // e: SW.
+        LineSeg::from_coords(0.0, 2.0, 2.0, 1.0),
+        // f: SW, vertical.
+        LineSeg::from_coords(3.0, 3.0, 3.0, 1.0),
+        // g: SE, horizontal.
+        LineSeg::from_coords(5.0, 1.0, 7.0, 1.0),
+        // h: SE.
+        LineSeg::from_coords(6.0, 3.0, 7.0, 2.0),
+        // i: long diagonal from the shared (1, 6) vertex into the SE
+        // quadrant; crosses both root split axes.
+        LineSeg::from_coords(1.0, 6.0, 6.0, 2.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_geom::{seg_in_block, Point};
+
+    #[test]
+    fn nine_segments_inside_world() {
+        let world = paper_world();
+        let segs = paper_dataset();
+        assert_eq!(segs.len(), 9);
+        for (k, s) in segs.iter().enumerate() {
+            assert!(
+                world.contains_half_open(s.a) && world.contains_half_open(s.b),
+                "segment {} endpoints must be strictly inside the world",
+                PAPER_LABELS[k]
+            );
+            assert!(!s.is_degenerate());
+        }
+    }
+
+    #[test]
+    fn c_d_i_share_a_vertex() {
+        let segs = paper_dataset();
+        let shared = Point::new(1.0, 6.0);
+        for &k in &[2usize, 3, 8] {
+            let s = segs[k];
+            assert!(
+                s.a == shared || s.b == shared,
+                "segment {} must touch the shared vertex",
+                PAPER_LABELS[k]
+            );
+        }
+    }
+
+    #[test]
+    fn a_b_i_cross_root_split_axes() {
+        // The paper notes a, b and i are cloned during the root split
+        // (Fig. 31) because each crosses one of the centre axes.
+        let world = paper_world();
+        let quads = world.quadrants();
+        let segs = paper_dataset();
+        let blocks_of = |s: &LineSeg| {
+            (0..4)
+                .filter(|&q| seg_in_block(s, &quads[q]))
+                .count()
+        };
+        assert!(blocks_of(&segs[0]) >= 2, "a crosses a split axis");
+        assert!(blocks_of(&segs[1]) >= 2, "b crosses a split axis");
+        assert!(blocks_of(&segs[8]) >= 2, "i crosses a split axis");
+        // And the purely quadrant-local segments are not cloned.
+        for &k in &[2usize, 3, 4, 5, 6, 7] {
+            assert_eq!(
+                blocks_of(&segs[k]),
+                1,
+                "segment {} stays in one quadrant",
+                PAPER_LABELS[k]
+            );
+        }
+    }
+
+    #[test]
+    fn all_vertices_distinct_except_shared() {
+        // PM₁ termination requires distinct vertices to be separable; the
+        // only coincident endpoints are the deliberate shared vertex.
+        let segs = paper_dataset();
+        let mut pts: Vec<Point> = segs.iter().flat_map(|s| [s.a, s.b]).collect();
+        pts.sort_by(|p, q| p.lex_cmp(q));
+        let shared = Point::new(1.0, 6.0);
+        let mut dup_count = 0;
+        for w in pts.windows(2) {
+            if w[0] == w[1] {
+                assert_eq!(w[0], shared, "unexpected coincident vertex {}", w[0]);
+                dup_count += 1;
+            }
+        }
+        assert_eq!(dup_count, 2, "the shared vertex appears exactly 3 times");
+    }
+}

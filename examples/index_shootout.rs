@@ -1,0 +1,175 @@
+//! Index shootout: build every structure in the workspace — the three
+//! data-parallel builds and their sequential baselines — over the same
+//! road-map workload, then compare construction effort, structure shape
+//! and query behaviour (the disjoint-quadtree vs overlapping-R-tree
+//! trade-off of the paper's introduction).
+//!
+//! Run with: `cargo run --release --example index_shootout`
+
+use dp_spatial_suite::geom::Rect;
+use dp_spatial_suite::seq;
+use dp_spatial_suite::spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial_suite::spatial::pm1::build_pm1;
+use dp_spatial_suite::spatial::pm_family::{build_pm2, build_pm3};
+use dp_spatial_suite::spatial::rsplit::RtreeSplitAlgorithm;
+use dp_spatial_suite::spatial::rtree::{build_rtree, pack_rtree_hilbert};
+use dp_spatial_suite::spatial::stats::measure_build;
+use dp_spatial_suite::workloads::road_network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scan_model::Machine;
+use std::time::Instant;
+
+fn main() {
+    let machine = Machine::parallel();
+    let size = 2048u32;
+    let data = road_network(40, size, 7);
+    let n = data.len();
+    println!("== index shootout over {n} road segments ==\n");
+
+    // Random query windows (2% of the world per side).
+    let mut rng = StdRng::seed_from_u64(99);
+    let win = (size as f64) * 0.02;
+    let queries: Vec<Rect> = (0..200)
+        .map(|_| {
+            let x = rng.gen_range(0.0..(size as f64 - win));
+            let y = rng.gen_range(0.0..(size as f64 - win));
+            Rect::from_coords(x, y, x + win, y + win)
+        })
+        .collect();
+
+    println!(
+        "{:<28} {:>9} {:>8} {:>8} {:>9} {:>10}",
+        "structure", "build", "nodes", "height", "entries", "query(us)"
+    );
+
+    let time_queries = |f: &dyn Fn(&Rect) -> Vec<u32>| -> (f64, usize) {
+        let t = Instant::now();
+        let mut hits = 0usize;
+        for q in &queries {
+            hits += f(q).len();
+        }
+        (
+            t.elapsed().as_micros() as f64 / queries.len() as f64,
+            hits,
+        )
+    };
+
+    // Data-parallel builds.
+    let (pm1, r) = measure_build(&machine, || build_pm1(&machine, data.world, &data.segs, 11));
+    let (qt, hits_ref) = time_queries(&|q| pm1.window_query(q, &data.segs));
+    let s = pm1.stats();
+    println!(
+        "{:<28} {:>8.1?} {:>8} {:>8} {:>9} {:>10.1}",
+        "dp PM1 quadtree", r.elapsed, s.nodes, s.height, s.entries, qt
+    );
+
+    for (label, build) in [
+        ("dp PM2 quadtree", build_pm2 as fn(&Machine, _, &[_], _) -> _),
+        ("dp PM3 quadtree", build_pm3),
+    ] {
+        let (t, r) = measure_build(&machine, || build(&machine, data.world, &data.segs, 11));
+        let (qt, hits) = time_queries(&|q| t.window_query(q, &data.segs));
+        assert_eq!(hits, hits_ref);
+        let s = t.stats();
+        println!(
+            "{:<28} {:>8.1?} {:>8} {:>8} {:>9} {:>10.1}",
+            label, r.elapsed, s.nodes, s.height, s.entries, qt
+        );
+    }
+
+    let (bpmr, r) = measure_build(&machine, || {
+        build_bucket_pmr(&machine, data.world, &data.segs, 8, 11)
+    });
+    let (qt, hits) = time_queries(&|q| bpmr.window_query(q, &data.segs));
+    assert_eq!(hits, hits_ref);
+    let s = bpmr.stats();
+    println!(
+        "{:<28} {:>8.1?} {:>8} {:>8} {:>9} {:>10.1}",
+        "dp bucket PMR (b=8)", r.elapsed, s.nodes, s.height, s.entries, qt
+    );
+
+    for (label, algo) in [
+        ("dp R-tree (2,8) mean", RtreeSplitAlgorithm::Mean),
+        ("dp R-tree (2,8) sweep", RtreeSplitAlgorithm::Sweep),
+    ] {
+        let (rt, r) = measure_build(&machine, || build_rtree(&machine, &data.segs, 2, 8, algo));
+        let (qt, hits) = time_queries(&|q| rt.window_query(q, &data.segs));
+        assert_eq!(hits, hits_ref);
+        let s = rt.stats();
+        let (cov, ov) = rt.quality_metrics();
+        println!(
+            "{:<28} {:>8.1?} {:>8} {:>8} {:>9} {:>10.1}   (coverage {:.2e}, overlap {:.2e})",
+            label, r.elapsed, s.nodes, s.height, s.entries, qt, cov, ov
+        );
+    }
+
+    {
+        let (rt, r) = measure_build(&machine, || {
+            pack_rtree_hilbert(&machine, &data.segs, data.world, 8)
+        });
+        let (qt, hits) = time_queries(&|q| rt.window_query(q, &data.segs));
+        assert_eq!(hits, hits_ref);
+        let s = rt.stats();
+        let (cov, ov) = rt.quality_metrics();
+        println!(
+            "{:<28} {:>8.1?} {:>8} {:>8} {:>9} {:>10.1}   (coverage {:.2e}, overlap {:.2e})",
+            "dp R-tree hilbert-pack", r.elapsed, s.nodes, s.height, s.entries, qt, cov, ov
+        );
+    }
+
+    // Sequential baselines.
+    let t = Instant::now();
+    let seq_pm1 = seq::pm1::Pm1Tree::build(data.world, &data.segs, 11);
+    let b = t.elapsed();
+    let (qt, hits) = time_queries(&|q| seq_pm1.window_query(q, &data.segs));
+    assert_eq!(hits, hits_ref);
+    let s = seq_pm1.stats();
+    println!(
+        "{:<28} {:>8.1?} {:>8} {:>8} {:>9} {:>10.1}",
+        "seq PM1 quadtree", b, s.nodes, s.height, s.entries, qt
+    );
+
+    let t = Instant::now();
+    let seq_bpmr = seq::bucket_pmr::BucketPmrTree::build(data.world, &data.segs, 8, 11);
+    let b = t.elapsed();
+    let (qt, hits) = time_queries(&|q| seq_bpmr.window_query(q, &data.segs));
+    assert_eq!(hits, hits_ref);
+    let s = seq_bpmr.stats();
+    println!(
+        "{:<28} {:>8.1?} {:>8} {:>8} {:>9} {:>10.1}",
+        "seq bucket PMR (b=8)", b, s.nodes, s.height, s.entries, qt
+    );
+
+    let t = Instant::now();
+    let seq_pmr = seq::pmr::PmrTree::build(data.world, &data.segs, 8, 11);
+    let b = t.elapsed();
+    let (qt, hits) = time_queries(&|q| seq_pmr.window_query(q, &data.segs));
+    assert_eq!(hits, hits_ref);
+    let s = seq_pmr.stats();
+    println!(
+        "{:<28} {:>8.1?} {:>8} {:>8} {:>9} {:>10.1}",
+        "seq classic PMR (t=8)", b, s.nodes, s.height, s.entries, qt
+    );
+
+    for (label, split) in [
+        ("seq R-tree quadratic", seq::rtree::SplitAlgorithm::Quadratic),
+        ("seq R-tree linear", seq::rtree::SplitAlgorithm::Linear),
+        ("seq R-tree R*-axis", seq::rtree::SplitAlgorithm::RStarAxis),
+    ] {
+        let t = Instant::now();
+        let rt = seq::rtree::RTree::build(&data.segs, 2, 8, split);
+        let b = t.elapsed();
+        let (qt, hits) = time_queries(&|q| rt.window_query(q, &data.segs));
+        assert_eq!(hits, hits_ref);
+        let s = rt.stats();
+        let (cov, ov) = rt.quality_metrics();
+        println!(
+            "{:<28} {:>8.1?} {:>8} {:>8} {:>9} {:>10.1}   (coverage {:.2e}, overlap {:.2e})",
+            label, b, s.nodes, s.height, s.entries, qt, cov, ov
+        );
+    }
+
+    println!("\nall structures returned identical query answers.");
+    println!("ok.");
+}

@@ -1,0 +1,97 @@
+//! Point services: index the junctions of a road network in a
+//! data-parallel k-D tree (the scan-model point-structure build the paper
+//! cites from Blelloch as the starting point of this research line), then
+//! answer range and nearest-facility queries, cross-checked against the
+//! batch window-query engine running over a bucket PMR quadtree of the
+//! roads themselves.
+//!
+//! Run with: `cargo run --release --example point_services`
+
+use dp_spatial_suite::geom::{Point, Rect};
+use dp_spatial_suite::spatial::batch::batch_window_query;
+use dp_spatial_suite::spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial_suite::spatial::kdtree::build_kdtree;
+use dp_spatial_suite::workloads::road_network;
+use scan_model::Machine;
+use std::time::Instant;
+
+fn main() {
+    let machine = Machine::parallel();
+    let size = 1024u32;
+    let roads = road_network(28, size, 5);
+
+    // The "facilities": every distinct road junction.
+    let mut facilities: Vec<Point> = roads
+        .segs
+        .iter()
+        .flat_map(|s| [s.a, s.b])
+        .collect();
+    facilities.sort_by(|a, b| a.lex_cmp(b));
+    facilities.dedup();
+
+    println!("== point services over {} junctions ==\n", facilities.len());
+
+    let t = Instant::now();
+    let kd = build_kdtree(&machine, &facilities, 8);
+    println!(
+        "k-D tree: {} rounds, height {}, built in {:?}",
+        kd.rounds(),
+        kd.height(),
+        t.elapsed()
+    );
+
+    // Range query: facilities in a district.
+    let district = Rect::from_coords(200.0, 200.0, 420.0, 380.0);
+    let in_district = kd.range_query(&district, &facilities);
+    println!(
+        "\nfacilities in district {district}: {}",
+        in_district.len()
+    );
+
+    // Nearest facility to a few probe locations.
+    for probe in [
+        Point::new(10.0, 10.0),
+        Point::new(512.0, 512.0),
+        Point::new(1000.0, 40.0),
+    ] {
+        let (id, d) = kd.nearest(probe, &facilities).expect("non-empty index");
+        println!(
+            "nearest facility to {probe}: #{id} at {} (distance {d:.1})",
+            facilities[id as usize]
+        );
+    }
+
+    // Batch service-area queries: for each of the first 50 facilities,
+    // which road segments pass within its 24-unit service window? All 50
+    // queries run through the quadtree in data-parallel lockstep.
+    let road_index = build_bucket_pmr(&machine, roads.world, &roads.segs, 8, 10);
+    let windows: Vec<Rect> = facilities
+        .iter()
+        .take(50)
+        .map(|f| {
+            Rect::from_coords(
+                (f.x - 24.0).max(0.0),
+                (f.y - 24.0).max(0.0),
+                (f.x + 24.0).min(size as f64),
+                (f.y + 24.0).min(size as f64),
+            )
+        })
+        .collect();
+    let t = Instant::now();
+    let service = batch_window_query(&machine, &road_index, &windows, &roads.segs);
+    let batch_time = t.elapsed();
+
+    // Cross-check against one-at-a-time queries.
+    let t = Instant::now();
+    for (w, expect) in windows.iter().zip(service.iter()) {
+        assert_eq!(&road_index.window_query(w, &roads.segs), expect);
+    }
+    let single_time = t.elapsed();
+
+    let total: usize = service.iter().map(|v| v.len()).sum();
+    println!(
+        "\nbatch service-area queries: 50 windows, {total} road hits \
+         (batch {batch_time:?}, one-at-a-time {single_time:?})"
+    );
+    println!("\nok.");
+}

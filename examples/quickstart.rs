@@ -1,0 +1,117 @@
+//! Quickstart: build all three spatial indexes of Hoel & Samet (ICPP
+//! 1995) over the paper's own nine-segment example dataset, inspect the
+//! resulting structures, and run a few queries.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dp_spatial_suite::geom::{Point, Rect};
+use dp_spatial_suite::spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial_suite::spatial::pm1::build_pm1;
+use dp_spatial_suite::spatial::rsplit::RtreeSplitAlgorithm;
+use dp_spatial_suite::spatial::rtree::build_rtree;
+use dp_spatial_suite::spatial::stats::measure_build;
+use dp_spatial_suite::workloads::{paper_dataset, paper_world, PAPER_LABELS};
+use scan_model::Machine;
+
+fn main() {
+    let world = paper_world();
+    let segs = paper_dataset();
+    let machine = Machine::parallel();
+
+    println!("== dp-spatial quickstart: the paper's 9-segment dataset ==\n");
+    println!("world: {world}");
+    for (k, s) in segs.iter().enumerate() {
+        println!("  {}: {s}", PAPER_LABELS[k]);
+    }
+
+    // ------------------------------------------------------------------
+    // PM1 quadtree (paper Sec. 5.1)
+    // ------------------------------------------------------------------
+    let (pm1, rep) = measure_build(&machine, || build_pm1(&machine, world, &segs, 6));
+    let s = pm1.stats();
+    println!("\n-- PM1 quadtree --");
+    println!(
+        "rounds: {}   nodes: {}   leaves: {} ({} empty)   height: {}",
+        pm1.rounds(),
+        s.nodes,
+        s.leaves,
+        s.empty_leaves,
+        s.height
+    );
+    println!(
+        "primitive ops: {} scans, {} elementwise, {} permutes ({} per round)",
+        rep.ops.scans,
+        rep.ops.elementwise,
+        rep.ops.permutes,
+        rep.ops_per_round().map(|v| format!("{v:.1}")).unwrap_or_default()
+    );
+
+    // ------------------------------------------------------------------
+    // Bucket PMR quadtree, capacity 2, max height 3 (paper Fig. 4)
+    // ------------------------------------------------------------------
+    let (bpmr, rep) = measure_build(&machine, || build_bucket_pmr(&machine, world, &segs, 2, 3));
+    let s = bpmr.stats();
+    println!("\n-- bucket PMR quadtree (capacity 2, max height 3) --");
+    println!(
+        "rounds: {}   nodes: {}   leaves: {}   height: {}   over-capacity max-depth leaves: {}",
+        bpmr.rounds(),
+        s.nodes,
+        s.leaves,
+        s.height,
+        bpmr.truncated()
+    );
+    println!("primitive ops: {} total", rep.ops.total_primitives());
+
+    // ------------------------------------------------------------------
+    // R-tree, order (1,3) (paper Sec. 5.3)
+    // ------------------------------------------------------------------
+    let (rt, rep) = measure_build(&machine, || {
+        build_rtree(&machine, &segs, 1, 3, RtreeSplitAlgorithm::Sweep)
+    });
+    let s = rt.stats();
+    println!("\n-- R-tree, order (1,3), sweep split --");
+    println!(
+        "rounds: {}   nodes: {}   leaves: {}   height: {}",
+        rt.rounds(),
+        s.nodes,
+        s.leaves,
+        s.height
+    );
+    let (cov, ov) = rt.quality_metrics();
+    println!("coverage: {cov:.1}   sibling overlap: {ov:.2}");
+    println!(
+        "primitive ops: {} scans, {} sorts",
+        rep.ops.scans, rep.ops.sorts
+    );
+
+    // ------------------------------------------------------------------
+    // Queries: all three structures answer identically.
+    // ------------------------------------------------------------------
+    println!("\n-- queries --");
+    let window = Rect::from_coords(0.0, 4.0, 4.0, 8.0); // the NW quadrant
+    let q_pm1 = pm1.window_query(&window, &segs);
+    let q_bpmr = bpmr.window_query(&window, &segs);
+    let q_rt = rt.window_query(&window, &segs);
+    assert_eq!(q_pm1, q_bpmr);
+    assert_eq!(q_pm1, q_rt);
+    let labels: Vec<char> = q_pm1.iter().map(|&id| PAPER_LABELS[id as usize]).collect();
+    println!("window {window} -> {labels:?}");
+
+    let p = Point::new(1.0, 6.0); // the shared c/d/i vertex
+    let at_vertex: Vec<char> = bpmr
+        .point_query(p)
+        .iter()
+        .map(|&id| PAPER_LABELS[id as usize])
+        .collect();
+    println!("point  {p} block contains -> {at_vertex:?}");
+
+    let probe = Point::new(6.5, 0.5);
+    if let Some((id, d)) = rt.nearest(probe, &segs) {
+        println!(
+            "nearest segment to {probe}: {} at distance {d:.3}",
+            PAPER_LABELS[id as usize]
+        );
+    }
+
+    println!("\nok.");
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the `dp-spatial` workspace.
+//!
+//! Re-exports the public surface of every member crate so that examples and
+//! integration tests can use a single import root. See `README.md` for a
+//! tour and `DESIGN.md` for the paper-to-module map.
+
+pub use dp_geom as geom;
+pub use dp_spatial as spatial;
+pub use dp_workloads as workloads;
+pub use scan_model as scanmodel;
+pub use seq_spatial as seq;

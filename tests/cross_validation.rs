@@ -1,0 +1,229 @@
+//! Cross-crate integration: every index structure in the workspace must
+//! answer queries identically to a brute-force scan, on every workload
+//! family, and the data-parallel builds must agree with their sequential
+//! counterparts where the structure is deterministic.
+
+use dp_spatial_suite::geom::{clip_segment_closed, LineSeg, Point, Rect};
+use dp_spatial_suite::seq;
+use dp_spatial_suite::spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial_suite::spatial::pm1::build_pm1;
+use dp_spatial_suite::spatial::rsplit::RtreeSplitAlgorithm;
+use dp_spatial_suite::spatial::rtree::build_rtree;
+use dp_spatial_suite::workloads::{
+    clustered_segments, road_network, uniform_segments, Dataset,
+};
+use scan_model::Machine;
+
+fn workloads() -> Vec<Dataset> {
+    vec![
+        uniform_segments(250, 256, 24, 11),
+        clustered_segments(250, 4, 10, 256, 12),
+        road_network(12, 256, 13),
+    ]
+}
+
+fn brute_window(segs: &[LineSeg], q: &Rect) -> Vec<u32> {
+    (0..segs.len() as u32)
+        .filter(|&id| clip_segment_closed(&segs[id as usize], q).is_some())
+        .collect()
+}
+
+fn query_rects(world: &Rect) -> Vec<Rect> {
+    let w = world.width();
+    vec![
+        Rect::from_coords(0.0, 0.0, w * 0.25, w * 0.25),
+        Rect::from_coords(w * 0.4, w * 0.4, w * 0.6, w * 0.6),
+        Rect::from_coords(0.0, 0.0, w, w),
+        Rect::from_coords(w * 0.9, w * 0.05, w * 0.95, w * 0.1),
+        Rect::from_coords(w * 0.33, 0.0, w * 0.34, w),
+    ]
+}
+
+#[test]
+fn all_structures_answer_window_queries_identically() {
+    let machine = Machine::parallel();
+    for data in workloads() {
+        let segs = &data.segs;
+        let pm1 = build_pm1(&machine, data.world, segs, 10);
+        let bpmr = build_bucket_pmr(&machine, data.world, segs, 6, 10);
+        let rt_mean = build_rtree(&machine, segs, 2, 6, RtreeSplitAlgorithm::Mean);
+        let rt_sweep = build_rtree(&machine, segs, 2, 6, RtreeSplitAlgorithm::Sweep);
+        let seq_pm1 = seq::pm1::Pm1Tree::build(data.world, segs, 10);
+        let seq_bpmr = seq::bucket_pmr::BucketPmrTree::build(data.world, segs, 6, 10);
+        let seq_pmr = seq::pmr::PmrTree::build(data.world, segs, 6, 10);
+        let seq_rt = seq::rtree::RTree::build(segs, 2, 6, seq::rtree::SplitAlgorithm::Quadratic);
+
+        for q in query_rects(&data.world) {
+            let want = brute_window(segs, &q);
+            assert_eq!(pm1.window_query(&q, segs), want, "{}: dp pm1 {q}", data.name);
+            assert_eq!(bpmr.window_query(&q, segs), want, "{}: dp bpmr {q}", data.name);
+            assert_eq!(
+                rt_mean.window_query(&q, segs),
+                want,
+                "{}: dp rtree mean {q}",
+                data.name
+            );
+            assert_eq!(
+                rt_sweep.window_query(&q, segs),
+                want,
+                "{}: dp rtree sweep {q}",
+                data.name
+            );
+            assert_eq!(
+                seq_pm1.window_query(&q, segs),
+                want,
+                "{}: seq pm1 {q}",
+                data.name
+            );
+            assert_eq!(
+                seq_bpmr.window_query(&q, segs),
+                want,
+                "{}: seq bpmr {q}",
+                data.name
+            );
+            assert_eq!(
+                seq_pmr.window_query(&q, segs),
+                want,
+                "{}: seq pmr {q}",
+                data.name
+            );
+            assert_eq!(
+                seq_rt.window_query(&q, segs),
+                want,
+                "{}: seq rtree {q}",
+                data.name
+            );
+        }
+    }
+}
+
+#[test]
+fn dp_and_seq_bucket_pmr_shapes_agree_on_all_workloads() {
+    // The bucket PMR quadtree's shape depends only on the segment set, so
+    // the simultaneous-insertion build and the one-at-a-time build must
+    // produce the same decomposition.
+    let machine = Machine::parallel();
+    for data in workloads() {
+        let dp = build_bucket_pmr(&machine, data.world, &data.segs, 6, 10);
+        let sq = seq::bucket_pmr::BucketPmrTree::build(data.world, &data.segs, 6, 10);
+        let dp_stats = dp.stats();
+        let sq_stats = sq.stats();
+        assert_eq!(dp_stats.leaves, sq_stats.leaves, "{}", data.name);
+        assert_eq!(dp_stats.nodes, sq_stats.nodes, "{}", data.name);
+        assert_eq!(dp_stats.height, sq_stats.height, "{}", data.name);
+        assert_eq!(dp_stats.entries, sq_stats.entries, "{}", data.name);
+    }
+}
+
+#[test]
+fn dp_and_seq_pm1_shapes_agree_on_all_workloads() {
+    // The PM1 quadtree is also uniquely determined by the segment set
+    // (its splitting criterion is order-free).
+    let machine = Machine::parallel();
+    for data in workloads() {
+        let dp = build_pm1(&machine, data.world, &data.segs, 10);
+        let sq = seq::pm1::Pm1Tree::build(data.world, &data.segs, 10);
+        let dp_stats = dp.stats();
+        let sq_stats = sq.stats();
+        assert_eq!(dp_stats.nodes, sq_stats.nodes, "{}", data.name);
+        assert_eq!(dp_stats.leaves, sq_stats.leaves, "{}", data.name);
+        assert_eq!(dp_stats.height, sq_stats.height, "{}", data.name);
+        assert_eq!(dp_stats.entries, sq_stats.entries, "{}", data.name);
+    }
+}
+
+#[test]
+fn nearest_queries_match_brute_force_everywhere() {
+    let machine = Machine::parallel();
+    let data = uniform_segments(200, 256, 24, 21);
+    let segs = &data.segs;
+    let bpmr = build_bucket_pmr(&machine, data.world, segs, 6, 10);
+    let rt = build_rtree(&machine, segs, 2, 6, RtreeSplitAlgorithm::Sweep);
+    let seq_rt = seq::rtree::RTree::build(segs, 2, 6, seq::rtree::SplitAlgorithm::RStarAxis);
+    let probes = [
+        Point::new(0.0, 0.0),
+        Point::new(128.0, 128.0),
+        Point::new(255.0, 1.0),
+        Point::new(17.0, 200.0),
+        Point::new(100.0, 3.0),
+    ];
+    for p in probes {
+        let brute = segs
+            .iter()
+            .map(|s| s.dist2_to_point(p).sqrt())
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap();
+        assert_eq!(bpmr.nearest(p, segs).unwrap().1, brute, "bpmr at {p}");
+        assert_eq!(rt.nearest(p, segs).unwrap().1, brute, "dp rtree at {p}");
+        assert_eq!(seq_rt.nearest(p, segs).unwrap().1, brute, "seq rtree at {p}");
+    }
+}
+
+#[test]
+fn point_queries_locate_crossing_segments() {
+    let machine = Machine::parallel();
+    let data = road_network(10, 256, 31);
+    let segs = &data.segs;
+    let bpmr = build_bucket_pmr(&machine, data.world, segs, 4, 10);
+    let pm1 = build_pm1(&machine, data.world, segs, 10);
+    // Probe each segment's midpoint: the containing block must list the
+    // segment.
+    for (id, s) in segs.iter().enumerate() {
+        let mid = s.midpoint();
+        if !data.world.contains_half_open(mid) {
+            continue;
+        }
+        assert!(
+            bpmr.point_query(mid).contains(&(id as u32)),
+            "bpmr point query at {mid} misses segment {id}"
+        );
+        assert!(
+            pm1.point_query(mid).contains(&(id as u32)),
+            "pm1 point query at {mid} misses segment {id}"
+        );
+    }
+}
+
+#[test]
+fn rtree_invariants_hold_on_all_workloads_and_orders() {
+    let machine = Machine::parallel();
+    for data in workloads() {
+        for &(m, mx) in &[(1usize, 3usize), (2, 6), (4, 10)] {
+            for algo in [RtreeSplitAlgorithm::Mean, RtreeSplitAlgorithm::Sweep] {
+                let t = build_rtree(&machine, &data.segs, m, mx, algo);
+                t.check_invariants(&data.segs);
+            }
+        }
+    }
+}
+
+#[test]
+fn pm1_invariant_holds_on_all_workloads() {
+    let machine = Machine::parallel();
+    for data in workloads() {
+        let t = build_pm1(&machine, data.world, &data.segs, 12);
+        t.for_each_leaf(|rect, depth, ids| {
+            if depth < 12 {
+                assert!(
+                    seq::pm1::pm1_block_valid(ids, &data.segs, rect),
+                    "{}: invalid PM1 leaf {rect}",
+                    data.name
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn bucket_capacity_invariant_holds_on_all_workloads() {
+    let machine = Machine::parallel();
+    for data in workloads() {
+        let cap = 5usize;
+        let t = build_bucket_pmr(&machine, data.world, &data.segs, cap, 10);
+        t.for_each_leaf(|_, depth, ids| {
+            if depth < 10 {
+                assert!(ids.len() <= cap, "{}: bucket over capacity", data.name);
+            }
+        });
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-crate property tests: for arbitrary integer-grid segment sets,
+//! every structure must satisfy its defining invariant, and every
+//! structure must answer window queries identically to brute force.
+
+use dp_spatial_suite::geom::{clip_segment_closed, LineSeg, Rect};
+use dp_spatial_suite::seq;
+use dp_spatial_suite::spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial_suite::spatial::pm1::build_pm1;
+use dp_spatial_suite::spatial::rsplit::RtreeSplitAlgorithm;
+use dp_spatial_suite::spatial::rtree::build_rtree;
+use proptest::prelude::*;
+use scan_model::Machine;
+
+const WORLD_SIZE: i32 = 64;
+
+fn world() -> Rect {
+    Rect::from_coords(0.0, 0.0, WORLD_SIZE as f64, WORLD_SIZE as f64)
+}
+
+/// Arbitrary non-degenerate integer-grid segments strictly inside the
+/// half-open world.
+fn segments() -> impl Strategy<Value = Vec<LineSeg>> {
+    prop::collection::vec(
+        (0..WORLD_SIZE, 0..WORLD_SIZE, 0..WORLD_SIZE, 0..WORLD_SIZE),
+        1..40,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .filter(|&(ax, ay, bx, by)| (ax, ay) != (bx, by))
+            .map(|(ax, ay, bx, by)| {
+                LineSeg::from_coords(ax as f64, ay as f64, bx as f64, by as f64)
+            })
+            .collect::<Vec<_>>()
+    })
+    .prop_filter("need at least one segment", |v| !v.is_empty())
+}
+
+fn windows() -> impl Strategy<Value = Rect> {
+    (0..WORLD_SIZE, 0..WORLD_SIZE, 1..WORLD_SIZE, 1..WORLD_SIZE).prop_map(|(x, y, w, h)| {
+        let x0 = x.min(WORLD_SIZE - 1) as f64;
+        let y0 = y.min(WORLD_SIZE - 1) as f64;
+        Rect::from_coords(
+            x0,
+            y0,
+            (x0 + w as f64).min(WORLD_SIZE as f64),
+            (y0 + h as f64).min(WORLD_SIZE as f64),
+        )
+    })
+}
+
+fn brute(segs: &[LineSeg], q: &Rect) -> Vec<u32> {
+    (0..segs.len() as u32)
+        .filter(|&id| clip_segment_closed(&segs[id as usize], q).is_some())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bucket PMR: capacity invariant below max depth, and window queries
+    /// match brute force for arbitrary windows.
+    #[test]
+    fn bucket_pmr_invariant_and_queries(segs in segments(), q in windows(), cap in 1usize..6) {
+        let machine = Machine::parallel();
+        let t = build_bucket_pmr(&machine, world(), &segs, cap, 8);
+        t.for_each_leaf(|_, depth, ids| {
+            if depth < 8 {
+                assert!(ids.len() <= cap);
+            }
+        });
+        prop_assert_eq!(t.window_query(&q, &segs), brute(&segs, &q));
+    }
+
+    /// Bucket PMR bulk build equals incremental build (order
+    /// independence is total, not just statistical).
+    #[test]
+    fn bucket_pmr_bulk_equals_incremental(segs in segments(), cap in 1usize..5) {
+        let machine = Machine::sequential();
+        let dp = build_bucket_pmr(&machine, world(), &segs, cap, 8);
+        let sq = seq::bucket_pmr::BucketPmrTree::build(world(), &segs, cap, 8);
+        let (a, b) = (dp.stats(), sq.stats());
+        prop_assert_eq!(a.nodes, b.nodes);
+        prop_assert_eq!(a.leaves, b.leaves);
+        prop_assert_eq!(a.entries, b.entries);
+        prop_assert_eq!(a.height, b.height);
+    }
+
+    /// PM1: the vertex rule holds in every non-truncated leaf, and the
+    /// dp and sequential builds agree on structure size.
+    #[test]
+    fn pm1_invariant_and_agreement(segs in segments()) {
+        let machine = Machine::parallel();
+        let depth = 8usize;
+        let dp = build_pm1(&machine, world(), &segs, depth);
+        dp.for_each_leaf(|rect, d, ids| {
+            if d < depth {
+                assert!(seq::pm1::pm1_block_valid(ids, &segs, rect));
+            }
+        });
+        let sq = seq::pm1::Pm1Tree::build(world(), &segs, depth);
+        prop_assert_eq!(dp.stats().nodes, sq.stats().nodes);
+        prop_assert_eq!(dp.stats().entries, sq.stats().entries);
+    }
+
+    /// R-tree: order invariants hold and queries match brute force for
+    /// both split selectors and a spread of orders.
+    #[test]
+    fn rtree_invariants_and_queries(
+        segs in segments(),
+        q in windows(),
+        order in prop::sample::select(vec![(1usize, 3usize), (2, 4), (2, 6), (3, 8)]),
+    ) {
+        let machine = Machine::parallel();
+        for algo in [RtreeSplitAlgorithm::Mean, RtreeSplitAlgorithm::Sweep] {
+            let t = build_rtree(&machine, &segs, order.0, order.1, algo);
+            t.check_invariants(&segs);
+            prop_assert_eq!(t.window_query(&q, &segs), brute(&segs, &q));
+        }
+    }
+
+    /// Sequential R-tree: same contract under incremental insertion.
+    #[test]
+    fn seq_rtree_invariants_and_queries(segs in segments(), q in windows()) {
+        for split in [
+            seq::rtree::SplitAlgorithm::Linear,
+            seq::rtree::SplitAlgorithm::Quadratic,
+            seq::rtree::SplitAlgorithm::RStarAxis,
+        ] {
+            let t = seq::rtree::RTree::build(&segs, 2, 5, split);
+            t.check_invariants(&segs, segs.len());
+            prop_assert_eq!(t.window_query(&q, &segs), brute(&segs, &q));
+        }
+    }
+
+    /// Classic PMR: insert everything, delete a prefix, and the survivors
+    /// still answer queries exactly.
+    #[test]
+    fn pmr_delete_preserves_queries(segs in segments(), q in windows()) {
+        let mut t = seq::pmr::PmrTree::build(world(), &segs, 3, 8);
+        let keep_from = segs.len() / 2;
+        for id in 0..keep_from {
+            prop_assert!(t.delete(id as u32, &segs));
+        }
+        let got = t.window_query(&q, &segs);
+        let want: Vec<u32> = brute(&segs, &q)
+            .into_iter()
+            .filter(|&id| id as usize >= keep_from)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The scan-model backends produce identical quadtrees.
+    #[test]
+    fn backends_agree_on_bucket_pmr(segs in segments()) {
+        let seq_m = Machine::sequential();
+        let par_m = Machine::parallel().with_par_threshold(1);
+        let a = build_bucket_pmr(&seq_m, world(), &segs, 3, 8);
+        let b = build_bucket_pmr(&par_m, world(), &segs, 3, 8);
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// Point queries: for every segment, probing its own midpoint block
+    /// finds it (when the midpoint is inside the world).
+    #[test]
+    fn point_query_finds_own_midpoint(segs in segments()) {
+        let machine = Machine::parallel();
+        let t = build_bucket_pmr(&machine, world(), &segs, 4, 8);
+        for (id, s) in segs.iter().enumerate() {
+            let mid = s.midpoint();
+            if world().contains_half_open(mid) {
+                prop_assert!(t.point_query(mid).contains(&(id as u32)));
+            }
+        }
+    }
+}
