@@ -1,0 +1,45 @@
+//! E29: sharded service throughput — a 10k-request mixed batch against
+//! services with 1, 4 and 16 shards. More shards mean more concurrent
+//! lockstep batches over smaller trees; the bench demonstrates the
+//! scaling of batch throughput with the shard count, and reports the
+//! driver-side request rate via `Throughput::Elements`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dp_service::{QueryService, QueryServiceConfig};
+use dp_workloads::{request_stream, uniform_segments, RequestMix};
+use scan_model::Backend;
+use std::hint::black_box;
+
+const REQUESTS: usize = 10_000;
+
+fn bench_service(c: &mut Criterion) {
+    let data = uniform_segments(20_000, 1024, 16, 77);
+    let stream = request_stream(data.world, REQUESTS, RequestMix::DEFAULT, 78);
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+    for &grid in &[1u32, 2, 4] {
+        let service = QueryService::build(
+            QueryServiceConfig {
+                shard_grid: grid,
+                backend: Backend::Parallel,
+                ..QueryServiceConfig::default()
+            },
+            data.world,
+            data.segs.clone(),
+        );
+        let shards = service.num_shards();
+        group.bench_with_input(
+            BenchmarkId::new("shards", shards),
+            &shards,
+            |b, _| b.iter(|| black_box(service.execute_batch(&stream)).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -143,6 +143,13 @@ pub fn batch_window_candidates(
         lane_query = machine.apply_delete(&lane_query, &keep);
         lane_node = machine.apply_delete(&child_node, &keep);
         lane_rect = machine.apply_delete(&child_rect, &keep);
+
+        // One descent level completed: all surviving lanes stepped one
+        // node deeper in lockstep, with a constant number of primitives
+        // issued above. Recorded so `Machine::stats` exposes the paper's
+        // O(tree height) round bound for batch queries, exactly as
+        // `run_quad_build` does for builds.
+        machine.bump_rounds();
     }
 
     for ids in &mut results {

@@ -54,6 +54,7 @@ pub mod quadtree;
 pub mod region;
 pub mod rsplit;
 pub mod rtree;
+pub mod shard;
 pub mod split;
 pub mod stats;
 

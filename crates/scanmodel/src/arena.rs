@@ -1,0 +1,115 @@
+//! Reusable scratch buffers for long-lived machines.
+//!
+//! The service layer keeps one [`crate::Machine`] per index shard alive
+//! across many batches. The machine itself is trivially reusable (all of
+//! its state is atomic counters; see [`crate::Machine::reset_stats`]), but
+//! the *algorithms* above it allocate frontier vectors per batch.
+//! [`ScratchArena`] is a type-keyed pool of `Vec<T>` buffers that lets a
+//! shard recycle those allocations: a buffer returned to the arena keeps
+//! its capacity and is handed back (cleared) on the next request.
+//!
+//! The arena is deliberately not thread-safe — each shard owns one behind
+//! its own lock, which matches the one-arena-per-shard usage and keeps
+//! `take`/`put` allocation-free in the steady state.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+/// A type-keyed pool of reusable `Vec<T>` scratch buffers.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    pools: HashMap<TypeId, Vec<Box<dyn Any + Send>>>,
+    takes: u64,
+    hits: u64,
+}
+
+impl ScratchArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        ScratchArena::default()
+    }
+
+    /// Hands out an empty `Vec<T>`, reusing the capacity of a previously
+    /// returned buffer when one is pooled.
+    pub fn take<T: Send + 'static>(&mut self) -> Vec<T> {
+        self.takes += 1;
+        if let Some(pool) = self.pools.get_mut(&TypeId::of::<Vec<T>>()) {
+            if let Some(buf) = pool.pop() {
+                self.hits += 1;
+                return *buf.downcast::<Vec<T>>().expect("pool keyed by TypeId");
+            }
+        }
+        Vec::new()
+    }
+
+    /// Returns a buffer to the pool. The contents are cleared; the
+    /// capacity is retained for the next [`ScratchArena::take`].
+    pub fn put<T: Send + 'static>(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        self.pools
+            .entry(TypeId::of::<Vec<T>>())
+            .or_default()
+            .push(Box::new(buf));
+    }
+
+    /// Number of buffers currently pooled (across all types).
+    pub fn pooled(&self) -> usize {
+        self.pools.values().map(Vec::len).sum()
+    }
+
+    /// `(takes, reuse hits)` — how often [`ScratchArena::take`] was served
+    /// from the pool rather than a fresh allocation.
+    pub fn reuse_stats(&self) -> (u64, u64) {
+        (self.takes, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_recycles_capacity() {
+        let mut arena = ScratchArena::new();
+        let mut v: Vec<u32> = arena.take();
+        v.extend(0..1000);
+        let cap = v.capacity();
+        let ptr = v.as_ptr();
+        arena.put(v);
+        assert_eq!(arena.pooled(), 1);
+        let v2: Vec<u32> = arena.take();
+        assert!(v2.is_empty());
+        assert_eq!(v2.capacity(), cap);
+        assert_eq!(v2.as_ptr(), ptr);
+        assert_eq!(arena.reuse_stats(), (2, 1));
+    }
+
+    #[test]
+    fn pools_are_per_type() {
+        let mut arena = ScratchArena::new();
+        let mut ints: Vec<u64> = arena.take();
+        ints.push(7);
+        arena.put(ints);
+        // A different element type must not be served the pooled buffer.
+        let floats: Vec<f64> = arena.take();
+        assert_eq!(floats.capacity(), 0);
+        assert_eq!(arena.pooled(), 1);
+        let ints_again: Vec<u64> = arena.take();
+        assert!(ints_again.capacity() >= 1);
+        assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn many_buffers_of_one_type() {
+        let mut arena = ScratchArena::new();
+        let a: Vec<u8> = Vec::with_capacity(16);
+        let b: Vec<u8> = Vec::with_capacity(32);
+        arena.put(a);
+        arena.put(b);
+        assert_eq!(arena.pooled(), 2);
+        let _x: Vec<u8> = arena.take();
+        let _y: Vec<u8> = arena.take();
+        let z: Vec<u8> = arena.take();
+        assert_eq!(z.capacity(), 0); // pool exhausted, fresh allocation
+    }
+}

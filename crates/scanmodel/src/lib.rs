@@ -51,6 +51,7 @@
 //! assert_eq!(up_in, vec![3, 4, 6, 1, 1, 2, 4, 2, 3, 0, 3, 6]);
 //! ```
 
+pub mod arena;
 pub mod error;
 pub mod machine;
 pub mod ops;
@@ -61,6 +62,7 @@ pub mod scan;
 pub mod scatter;
 pub mod vector;
 
+pub use arena::ScratchArena;
 pub use error::ScanModelError;
 pub use machine::{Backend, Machine, OpStats, StatsSnapshot};
 pub use scan::{Direction, ScanKind};

@@ -128,7 +128,7 @@ proptest! {
     ) {
         let seg = Segments::from_lengths(&lens).unwrap();
         let class: Vec<bool> = (0..data.len())
-            .map(|i| (seed.wrapping_mul(i as u64 + 1).wrapping_add(i as u64 * 31)) % 3 == 0)
+            .map(|i| (seed.wrapping_mul(i as u64 + 1).wrapping_add(i as u64 * 31)).is_multiple_of(3))
             .collect();
         for m in [machines().0, machines().1] {
             let layout = m.unshuffle_layout(&seg, &class);
@@ -155,7 +155,7 @@ proptest! {
     ) {
         let seg = Segments::from_lengths(&lens).unwrap();
         let flags: Vec<bool> = (0..data.len())
-            .map(|i| (seed.wrapping_add(i as u64 * 2654435761)) % 4 == 0)
+            .map(|i| (seed.wrapping_add(i as u64 * 2654435761)).is_multiple_of(4))
             .collect();
         for m in [machines().0, machines().1] {
             let layout = m.clone_layout(&seg, &flags);

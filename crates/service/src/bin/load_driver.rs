@@ -1,0 +1,204 @@
+//! Load driver: replays a workload request stream against the sharded
+//! query service at configurable concurrency and reports throughput plus
+//! the service's per-shard statistics.
+//!
+//! ```text
+//! load_driver [--workload uniform|clustered|roads|rings|paper]
+//!             [--segments N] [--requests N] [--shards G] [--threads T]
+//!             [--flush N] [--batch N] [--seed S] [--sequential]
+//!             [--self-check]
+//! ```
+//!
+//! The stream is split across `T` driver threads; each thread slices its
+//! share into `--batch`-sized calls to `QueryService::execute_batch`, so
+//! the service sees concurrent mixed batches the way a front end would
+//! deliver them. `--self-check` re-runs a sample of the stream against
+//! brute force after the timed run.
+
+use dp_geom::Rect;
+use dp_service::{brute_knearest, QueryService, QueryServiceConfig, Response};
+use dp_workloads::{
+    clustered_segments, paper_dataset, paper_world, polygon_rings, request_stream,
+    road_network, uniform_segments, Dataset, Request, RequestMix,
+};
+use scan_model::Backend;
+use std::time::Instant;
+
+struct Args {
+    workload: String,
+    segments: usize,
+    requests: usize,
+    shards: u32,
+    threads: usize,
+    flush: usize,
+    batch: usize,
+    seed: u64,
+    sequential: bool,
+    self_check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: "uniform".to_string(),
+        segments: 20_000,
+        requests: 10_000,
+        shards: 4,
+        threads: 4,
+        flush: 1024,
+        batch: 512,
+        seed: 42,
+        sequential: false,
+        self_check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--workload" => args.workload = value("--workload"),
+            "--segments" => args.segments = value("--segments").parse().expect("--segments"),
+            "--requests" => args.requests = value("--requests").parse().expect("--requests"),
+            "--shards" => args.shards = value("--shards").parse().expect("--shards"),
+            "--threads" => args.threads = value("--threads").parse::<usize>().expect("--threads").max(1),
+            "--flush" => args.flush = value("--flush").parse().expect("--flush"),
+            "--batch" => args.batch = value("--batch").parse::<usize>().expect("--batch").max(1),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed"),
+            "--sequential" => args.sequential = true,
+            "--self-check" => args.self_check = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: load_driver [--workload uniform|clustered|roads|rings|paper] \
+                     [--segments N] [--requests N] [--shards G] [--threads T] \
+                     [--flush N] [--batch N] [--seed S] [--sequential] [--self-check]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+fn load_dataset(args: &Args) -> Dataset {
+    let n = args.segments;
+    match args.workload.as_str() {
+        "uniform" => uniform_segments(n, 1024, 16, args.seed),
+        "clustered" => clustered_segments(n, 32, 24, 1024, args.seed),
+        "roads" => road_network(64, 1024, args.seed),
+        "rings" => polygon_rings(48, 1024, args.seed),
+        "paper" => Dataset {
+            name: "paper 9-segment example".to_string(),
+            world: paper_world(),
+            segs: paper_dataset(),
+        },
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let data = load_dataset(&args);
+    println!(
+        "workload: {} ({} segments, world {})",
+        data.name,
+        data.segs.len(),
+        data.world
+    );
+
+    let config = QueryServiceConfig {
+        shard_grid: args.shards,
+        flush_batch: args.flush,
+        backend: if args.sequential {
+            Backend::Sequential
+        } else {
+            Backend::Parallel
+        },
+        ..QueryServiceConfig::default()
+    };
+    let t0 = Instant::now();
+    let service = QueryService::build(config, data.world, data.segs.clone());
+    println!(
+        "built {} shards in {:.1} ms",
+        service.num_shards(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    let stream = request_stream(data.world, args.requests, RequestMix::DEFAULT, args.seed ^ 1);
+    service.reset_stats();
+
+    let t1 = Instant::now();
+    std::thread::scope(|scope| {
+        let per_thread = stream.len().div_ceil(args.threads);
+        for slice in stream.chunks(per_thread.max(1)) {
+            let service = &service;
+            scope.spawn(move || {
+                for batch in slice.chunks(args.batch) {
+                    let out = service.execute_batch(batch);
+                    assert_eq!(out.len(), batch.len());
+                }
+            });
+        }
+    });
+    let elapsed = t1.elapsed().as_secs_f64();
+
+    let stats = service.stats();
+    println!(
+        "{} requests on {} threads in {:.3} s  →  {:.0} req/s",
+        stats.requests,
+        args.threads,
+        elapsed,
+        stats.requests as f64 / elapsed
+    );
+    println!(
+        "probes: {} (fan-out ×{:.2}), knn rounds: {}, scan-model primitives: {}",
+        stats.total_probes(),
+        stats.total_probes() as f64 / stats.requests.max(1) as f64,
+        stats.knn_rounds,
+        stats.total_primitives()
+    );
+    for q in [0.5, 0.9, 0.99] {
+        if let Some(us) = stats.flush_latency_quantile_micros(q) {
+            println!("flush latency p{:<4} < {} µs", (q * 100.0) as u32, us);
+        }
+    }
+    println!("per-shard (segments / probes / batches / max queue):");
+    for s in &stats.shards {
+        println!(
+            "  shard {:>3}: {:>7} / {:>7} / {:>5} / {:>6}",
+            s.shard, s.segments, s.probes, s.batches, s.max_queue_depth
+        );
+    }
+
+    if args.self_check {
+        let sample: Vec<Request> = stream.iter().step_by(97).copied().collect();
+        let out = service.execute_batch(&sample);
+        for (r, resp) in sample.iter().zip(&out) {
+            match (r, resp) {
+                (Request::Window(q), Response::Window(ids)) => {
+                    let brute: Vec<u32> = (0..data.segs.len() as u32)
+                        .filter(|&id| {
+                            dp_geom::clip_segment_closed(&data.segs[id as usize], q).is_some()
+                        })
+                        .collect();
+                    assert_eq!(*ids, brute, "window {q}");
+                }
+                (Request::PointInWindow(p), Response::PointInWindow(ids)) => {
+                    let q = Rect::point(*p);
+                    let brute: Vec<u32> = (0..data.segs.len() as u32)
+                        .filter(|&id| {
+                            dp_geom::clip_segment_closed(&data.segs[id as usize], &q).is_some()
+                        })
+                        .collect();
+                    assert_eq!(*ids, brute, "point {p:?}");
+                }
+                (Request::KNearest { p, k }, Response::KNearest(found)) => {
+                    assert_eq!(*found, brute_knearest(&data.segs, *p, *k));
+                }
+                other => panic!("response kind mismatch: {other:?}"),
+            }
+        }
+        println!("self-check OK over {} sampled requests", sample.len());
+    }
+}

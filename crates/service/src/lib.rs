@@ -1,0 +1,628 @@
+//! # dp-service — a sharded concurrent query service over the batch engine
+//!
+//! The paper's batch primitives turn *many queries* into one lockstep
+//! data-parallel descent ([`dp_spatial::batch`]). This crate wraps that
+//! engine in a service shape: the world is split into a `g × g` grid of
+//! tiles ([`dp_spatial::shard::ShardGrid`]), each tile gets its own bucket
+//! PMR quadtree over the segments touching it, and a batch of mixed
+//! requests — window queries, point-in-window probes, k-nearest-neighbour
+//! lookups — is routed to the overlapping shards, executed per shard as
+//! lockstep batches on a long-lived [`Machine`], and merged per request.
+//!
+//! ## Execution model
+//!
+//! 1. **Route.** Every request contributes one or more *window probes*
+//!    (a point probe is the degenerate window `Rect::point(p)`; a
+//!    k-nearest request contributes one probe per expansion round). Each
+//!    probe is routed to every shard whose tile it overlaps.
+//! 2. **Execute.** Shards run concurrently. A shard drains its probe
+//!    queue in chunks of at most `flush_batch`, each chunk executed as one
+//!    [`batch_window_query`] — a lockstep descent costing a constant
+//!    number of scan-model primitives per tree level regardless of the
+//!    chunk size (paper Sec. 4). The shard reuses one [`Machine`] and one
+//!    [`ScratchArena`] across its lifetime.
+//! 3. **Merge.** Per-shard hits are mapped from shard-local to global
+//!    segment ids, concatenated per request in shard order, sorted and
+//!    deduplicated — a segment spanning several tiles is reported once.
+//!
+//! K-nearest requests run as *expanding window* rounds: probe a square of
+//! half-width `r` around the query point; if fewer than `k` hits come
+//! back, or the k-th best distance exceeds `r`, double `r` and re-probe
+//! (all unfinished k-NN requests advance together, each round being one
+//! more routed probe batch). Since a segment at Euclidean distance `d`
+//! from the centre always intersects the square of half-width `d`, a
+//! k-th best distance `≤ r` proves no unseen segment can do better.
+//!
+//! Results are **byte-identical** to running the same requests through a
+//! single unsharded machine — shard outputs are merged in deterministic
+//! shard order before the final sort — which is what the differential
+//! tests in `tests/` assert, per workload family and per backend.
+
+use dp_geom::{LineSeg, Point, Rect};
+use dp_spatial::batch::batch_window_query;
+use dp_spatial::shard::{build_shard, ShardGrid, ShardIndex};
+use dp_spatial::SegId;
+use dp_workloads::Request;
+use rayon::prelude::*;
+use scan_model::{Backend, Machine, ScratchArena, StatsSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of log₂-microsecond latency buckets per shard.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Configuration of a [`QueryService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryServiceConfig {
+    /// Tiles per world side; the service runs `shard_grid²` shards. Must
+    /// be a positive power of two.
+    pub shard_grid: u32,
+    /// Maximum probes executed per per-shard lockstep batch. Larger
+    /// batches amortise the per-level primitive cost over more lanes;
+    /// smaller batches bound per-flush latency.
+    pub flush_batch: usize,
+    /// Backend of every shard's [`Machine`].
+    pub backend: Backend,
+    /// Parallel-threshold override for the shard machines (`None` keeps
+    /// the machine default).
+    pub par_threshold: Option<usize>,
+    /// Bucket capacity of the per-shard PMR quadtrees.
+    pub capacity: usize,
+    /// Maximum subdivision depth of the per-shard quadtrees.
+    pub max_depth: usize,
+}
+
+impl Default for QueryServiceConfig {
+    fn default() -> Self {
+        QueryServiceConfig {
+            shard_grid: 4,
+            flush_batch: 1024,
+            backend: Backend::Parallel,
+            par_threshold: None,
+            capacity: 8,
+            max_depth: 16,
+        }
+    }
+}
+
+impl QueryServiceConfig {
+    /// A sequential-backend configuration with the given shard grid
+    /// (handy in tests).
+    pub fn sequential(shard_grid: u32) -> Self {
+        QueryServiceConfig {
+            shard_grid,
+            backend: Backend::Sequential,
+            ..QueryServiceConfig::default()
+        }
+    }
+}
+
+/// One response, aligned with the request at the same batch position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Sorted, deduplicated ids of segments intersecting the window.
+    Window(Vec<SegId>),
+    /// Sorted, deduplicated ids of segments passing through the point.
+    PointInWindow(Vec<SegId>),
+    /// Up to `k` `(id, distance)` pairs, nearest first, ties broken by
+    /// ascending id. Shorter than `k` only when the collection itself
+    /// holds fewer segments.
+    KNearest(Vec<(SegId, f64)>),
+}
+
+/// Interior-mutable per-shard counters.
+#[derive(Debug)]
+struct ShardCounters {
+    probes: AtomicU64,
+    batches: AtomicU64,
+    max_queue_depth: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl ShardCounters {
+    fn new() -> Self {
+        ShardCounters {
+            probes: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record_flush(&self, elapsed_micros: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let bucket = (64 - elapsed_micros.leading_zeros() as usize)
+            .min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_queue(&self, depth: usize) {
+        self.probes.fetch_add(depth as u64, Ordering::Relaxed);
+        self.max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of one shard, part of [`ServiceStats`].
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index (row-major in the grid).
+    pub shard: usize,
+    /// The shard's tile.
+    pub tile: Rect,
+    /// Segments assigned to the shard.
+    pub segments: usize,
+    /// Window probes routed to the shard over its lifetime.
+    pub probes: u64,
+    /// Lockstep batches the shard has executed.
+    pub batches: u64,
+    /// Largest probe queue handed to the shard by a single
+    /// [`QueryService::execute_batch`] call.
+    pub max_queue_depth: u64,
+    /// Per-flush latency histogram: bucket `i` counts flushes that took
+    /// `[2^(i-1), 2^i)` microseconds (bucket 0: sub-microsecond).
+    pub latency_histogram: [u64; LATENCY_BUCKETS],
+    /// Scan-model primitive counters of the shard's machine — the
+    /// service-level extension of [`scan_model::OpStats`].
+    pub ops: StatsSnapshot,
+}
+
+/// Aggregated service statistics: per-shard views plus batch-level
+/// counters.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// One entry per shard.
+    pub shards: Vec<ShardStats>,
+    /// Requests accepted by [`QueryService::execute_batch`].
+    pub requests: u64,
+    /// Expanding-window rounds spent on k-nearest requests.
+    pub knn_rounds: u64,
+}
+
+impl ServiceStats {
+    /// Total window probes across shards (≥ `requests`: a request fans
+    /// out to every overlapping shard, and k-NN requests probe once per
+    /// round).
+    pub fn total_probes(&self) -> u64 {
+        self.shards.iter().map(|s| s.probes).sum()
+    }
+
+    /// Total scan-model primitives across all shard machines.
+    pub fn total_primitives(&self) -> u64 {
+        self.shards.iter().map(|s| s.ops.total_primitives()).sum()
+    }
+
+    /// Approximate latency quantile over all per-shard flushes: the upper
+    /// bound (in microseconds) of the histogram bucket containing the
+    /// `q`-quantile flush, or `None` before any flush.
+    pub fn flush_latency_quantile_micros(&self, q: f64) -> Option<u64> {
+        let mut merged = [0u64; LATENCY_BUCKETS];
+        for s in &self.shards {
+            for (m, v) in merged.iter_mut().zip(s.latency_histogram.iter()) {
+                *m += v;
+            }
+        }
+        let total: u64 = merged.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in merged.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(1u64 << i);
+            }
+        }
+        Some(1u64 << (LATENCY_BUCKETS - 1))
+    }
+}
+
+struct Shard {
+    index: ShardIndex,
+    machine: Machine,
+    scratch: Mutex<ScratchArena>,
+    counters: ShardCounters,
+}
+
+/// The sharded query service. Cheap to share by reference across threads:
+/// every query path takes `&self`.
+pub struct QueryService {
+    config: QueryServiceConfig,
+    grid: ShardGrid,
+    shards: Vec<Shard>,
+    segs: Vec<LineSeg>,
+    requests: AtomicU64,
+    knn_rounds: AtomicU64,
+}
+
+impl QueryService {
+    /// Builds the service: partitions `segs` over the shard grid and
+    /// constructs every shard's quadtree (shards build concurrently,
+    /// each through its own machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shard_grid` is not a power of two, if
+    /// `config.capacity` is zero, or if any segment endpoint lies outside
+    /// the half-open `world` (the build precondition of
+    /// [`dp_spatial::bucket_pmr::build_bucket_pmr`]).
+    pub fn build(config: QueryServiceConfig, world: Rect, segs: Vec<LineSeg>) -> Self {
+        let grid = ShardGrid::new(world, config.shard_grid);
+        let assignment = grid.assign_segments(&segs);
+        let shards: Vec<Shard> = (0..grid.num_shards())
+            .into_par_iter()
+            .map(|i| {
+                let machine = match config.par_threshold {
+                    Some(t) => Machine::new(config.backend).with_par_threshold(t),
+                    None => Machine::new(config.backend),
+                };
+                let index = build_shard(
+                    &machine,
+                    world,
+                    grid.tile_of(i),
+                    &segs,
+                    &assignment[i],
+                    config.capacity,
+                    config.max_depth,
+                );
+                Shard {
+                    index,
+                    machine,
+                    scratch: Mutex::new(ScratchArena::new()),
+                    counters: ShardCounters::new(),
+                }
+            })
+            .collect();
+        QueryService {
+            config,
+            grid,
+            shards,
+            segs,
+            requests: AtomicU64::new(0),
+            knn_rounds: AtomicU64::new(0),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &QueryServiceConfig {
+        &self.config
+    }
+
+    /// The shard grid.
+    pub fn grid(&self) -> ShardGrid {
+        self.grid
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The full segment collection (global ids index into this).
+    pub fn segments(&self) -> &[LineSeg] {
+        &self.segs
+    }
+
+    /// Executes a batch of mixed requests; `out[i]` answers
+    /// `requests[i]`. Deterministic: identical batches produce identical
+    /// responses regardless of backend, shard count or thread schedule.
+    pub fn execute_batch(&self, requests: &[Request]) -> Vec<Response> {
+        self.requests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+
+        // Window-like requests become probes immediately; k-NN requests
+        // join the expanding-window rounds afterwards.
+        let mut probes: Vec<(usize, Rect)> = Vec::new();
+        for (slot, r) in requests.iter().enumerate() {
+            match r {
+                Request::Window(q) => probes.push((slot, *q)),
+                Request::PointInWindow(p) => probes.push((slot, Rect::point(*p))),
+                Request::KNearest { .. } => {}
+            }
+        }
+        let window_hits = self.run_probes(&probes);
+        let knn_answers = self.run_knn(requests);
+
+        let mut window_hits = window_hits.into_iter();
+        requests
+            .iter()
+            .enumerate()
+            .map(|(slot, r)| match r {
+                Request::Window(_) => Response::Window(window_hits.next().expect("probe per window")),
+                Request::PointInWindow(_) => {
+                    Response::PointInWindow(window_hits.next().expect("probe per point"))
+                }
+                Request::KNearest { .. } => Response::KNearest(
+                    knn_answers[slot].clone().expect("k-NN rounds answer every slot"),
+                ),
+            })
+            .collect()
+    }
+
+    /// Routes `probes` to overlapping shards, executes every shard's
+    /// queue in `flush_batch`-sized lockstep batches, and merges the hits
+    /// back per probe (global ids, sorted, deduplicated).
+    fn run_probes(&self, probes: &[(usize, Rect)]) -> Vec<Vec<SegId>> {
+        let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for (pi, (_, rect)) in probes.iter().enumerate() {
+            for s in self.grid.shards_overlapping(rect) {
+                per_shard[s].push(pi as u32);
+            }
+        }
+        let shard_hits: Vec<Vec<(u32, Vec<SegId>)>> = (0..self.shards.len())
+            .into_par_iter()
+            .map(|s| self.run_shard(s, &per_shard[s], probes))
+            .collect();
+
+        let mut results: Vec<Vec<SegId>> = vec![Vec::new(); probes.len()];
+        for hits in shard_hits {
+            for (pi, ids) in hits {
+                results[pi as usize].extend(ids);
+            }
+        }
+        for ids in &mut results {
+            ids.sort_unstable();
+            ids.dedup();
+        }
+        results
+    }
+
+    /// Executes one shard's probe queue. Returns `(probe index, global
+    /// ids)` pairs; ids are shard-local hits translated through the
+    /// shard's id map, not yet deduplicated across shards.
+    fn run_shard(
+        &self,
+        s: usize,
+        queue: &[u32],
+        probes: &[(usize, Rect)],
+    ) -> Vec<(u32, Vec<SegId>)> {
+        let shard = &self.shards[s];
+        shard.counters.record_queue(queue.len());
+        let mut out = Vec::with_capacity(queue.len());
+        for chunk in queue.chunks(self.config.flush_batch.max(1)) {
+            let mut rects: Vec<Rect> = shard.scratch.lock().unwrap().take();
+            rects.extend(chunk.iter().map(|&pi| probes[pi as usize].1));
+            let t0 = Instant::now();
+            let hits = batch_window_query(
+                &shard.machine,
+                &shard.index.tree,
+                &rects,
+                &shard.index.segs,
+            );
+            shard
+                .counters
+                .record_flush(t0.elapsed().as_micros() as u64);
+            for (j, locals) in hits.into_iter().enumerate() {
+                let globals: Vec<SegId> = locals
+                    .into_iter()
+                    .map(|l| shard.index.global_ids[l as usize])
+                    .collect();
+                out.push((chunk[j], globals));
+            }
+            shard.scratch.lock().unwrap().put(rects);
+        }
+        out
+    }
+
+    /// Answers every k-NN request in `requests` by batched expanding
+    /// windows; other request kinds get `None`.
+    fn run_knn(&self, requests: &[Request]) -> Vec<Option<Vec<(SegId, f64)>>> {
+        let mut answers: Vec<Option<Vec<(SegId, f64)>>> = vec![None; requests.len()];
+        let world = self.grid.world();
+        // Initial half-width: a quarter tile, so round one stays local.
+        let r0 = ((world.max.x - world.min.x) / self.config.shard_grid as f64 / 4.0).max(1e-9);
+        let mut pending: Vec<(usize, Point, usize, f64)> = requests
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, r)| match r {
+                Request::KNearest { p, k } => Some((slot, *p, *k, r0)),
+                _ => None,
+            })
+            .collect();
+
+        while !pending.is_empty() {
+            self.knn_rounds.fetch_add(1, Ordering::Relaxed);
+            let probes: Vec<(usize, Rect)> = pending
+                .iter()
+                .map(|&(slot, p, _, r)| {
+                    (slot, Rect::from_coords(p.x - r, p.y - r, p.x + r, p.y + r))
+                })
+                .collect();
+            let hits = self.run_probes(&probes);
+            let mut next = Vec::new();
+            for (&(slot, p, k, r), (ids, (_, window))) in
+                pending.iter().zip(hits.into_iter().zip(probes.iter()))
+            {
+                let mut scored: Vec<(SegId, f64)> = ids
+                    .into_iter()
+                    .map(|id| (id, self.segs[id as usize].dist2_to_point(p).sqrt()))
+                    .collect();
+                scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                // Every segment at distance ≤ r intersects the window, so
+                // a k-th best ≤ r is provably final; a window covering the
+                // whole world has seen everything.
+                let world_covered = window.min.x <= world.min.x
+                    && window.min.y <= world.min.y
+                    && window.max.x >= world.max.x
+                    && window.max.y >= world.max.y;
+                let settled =
+                    world_covered || (scored.len() >= k && scored[k - 1].1 <= r);
+                if settled {
+                    scored.truncate(k);
+                    answers[slot] = Some(scored);
+                } else {
+                    next.push((slot, p, k, r * 2.0));
+                }
+            }
+            pending = next;
+        }
+        answers
+    }
+
+    /// A snapshot of the service counters, including every shard
+    /// machine's primitive-operation counts.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ShardStats {
+                    shard: i,
+                    tile: s.index.tile,
+                    segments: s.index.segs.len(),
+                    probes: s.counters.probes.load(Ordering::Relaxed),
+                    batches: s.counters.batches.load(Ordering::Relaxed),
+                    max_queue_depth: s.counters.max_queue_depth.load(Ordering::Relaxed),
+                    latency_histogram: std::array::from_fn(|b| {
+                        s.counters.latency[b].load(Ordering::Relaxed)
+                    }),
+                    ops: s.machine.stats(),
+                })
+                .collect(),
+            requests: self.requests.load(Ordering::Relaxed),
+            knn_rounds: self.knn_rounds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter (shard machines included). Index structures
+    /// are untouched.
+    pub fn reset_stats(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.knn_rounds.store(0, Ordering::Relaxed);
+        for s in &self.shards {
+            s.machine.reset_stats();
+            s.counters.probes.store(0, Ordering::Relaxed);
+            s.counters.batches.store(0, Ordering::Relaxed);
+            s.counters.max_queue_depth.store(0, Ordering::Relaxed);
+            for b in &s.counters.latency {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Reference answer for a k-NN request: brute force over all segments,
+/// sorted by `(distance, id)`. Shared by the differential tests and the
+/// load driver's self-check.
+pub fn brute_knearest(segs: &[LineSeg], p: Point, k: usize) -> Vec<(SegId, f64)> {
+    let mut scored: Vec<(SegId, f64)> = segs
+        .iter()
+        .enumerate()
+        .map(|(id, s)| (id as SegId, s.dist2_to_point(p).sqrt()))
+        .collect();
+    scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_geom::clip_segment_closed;
+    use dp_workloads::{request_stream, uniform_segments, RequestMix};
+
+    fn assert_sync<T: Sync + Send>() {}
+
+    #[test]
+    fn service_is_shareable_across_threads() {
+        assert_sync::<QueryService>();
+    }
+
+    fn brute_window(segs: &[LineSeg], q: &Rect) -> Vec<SegId> {
+        (0..segs.len() as SegId)
+            .filter(|&id| clip_segment_closed(&segs[id as usize], q).is_some())
+            .collect()
+    }
+
+    #[test]
+    fn mixed_batch_matches_brute_force() {
+        let data = uniform_segments(300, 64, 8, 11);
+        let svc = QueryService::build(
+            QueryServiceConfig::sequential(2),
+            data.world,
+            data.segs.clone(),
+        );
+        let reqs = request_stream(data.world, 150, RequestMix::DEFAULT, 5);
+        let out = svc.execute_batch(&reqs);
+        assert_eq!(out.len(), reqs.len());
+        for (r, resp) in reqs.iter().zip(&out) {
+            match (r, resp) {
+                (Request::Window(q), Response::Window(ids)) => {
+                    assert_eq!(*ids, brute_window(&data.segs, q), "window {q}");
+                }
+                (Request::PointInWindow(p), Response::PointInWindow(ids)) => {
+                    assert_eq!(*ids, brute_window(&data.segs, &Rect::point(*p)));
+                }
+                (Request::KNearest { p, k }, Response::KNearest(found)) => {
+                    assert_eq!(*found, brute_knearest(&data.segs, *p, *k));
+                }
+                other => panic!("response kind mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_collection_and_empty_batch() {
+        let world = Rect::from_coords(0.0, 0.0, 16.0, 16.0);
+        let svc = QueryService::build(QueryServiceConfig::sequential(2), world, Vec::new());
+        assert!(svc.execute_batch(&[]).is_empty());
+        let out = svc.execute_batch(&[
+            Request::Window(world),
+            Request::KNearest {
+                p: Point::new(1.0, 1.0),
+                k: 3,
+            },
+        ]);
+        assert_eq!(out[0], Response::Window(Vec::new()));
+        assert_eq!(out[1], Response::KNearest(Vec::new()));
+    }
+
+    #[test]
+    fn stats_track_probes_and_batches() {
+        let data = uniform_segments(200, 64, 6, 3);
+        let mut cfg = QueryServiceConfig::sequential(2);
+        cfg.flush_batch = 16;
+        let svc = QueryService::build(cfg, data.world, data.segs.clone());
+        let reqs = request_stream(data.world, 100, RequestMix::WINDOW_ONLY, 9);
+        svc.execute_batch(&reqs);
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 100);
+        assert!(stats.total_probes() >= 100, "probes {}", stats.total_probes());
+        let busiest = stats.shards.iter().map(|s| s.probes).max().unwrap();
+        assert!(busiest > 0);
+        // flush_batch = 16 forces multi-flush queues on busy shards.
+        assert!(stats.shards.iter().any(|s| s.batches > 1));
+        for s in &stats.shards {
+            assert!(s.max_queue_depth as usize <= reqs.len());
+            let flushes: u64 = s.latency_histogram.iter().sum();
+            assert_eq!(flushes, s.batches);
+        }
+        assert!(stats.total_primitives() > 0);
+        assert!(stats.flush_latency_quantile_micros(0.5).is_some());
+        svc.reset_stats();
+        let zeroed = svc.stats();
+        assert_eq!(zeroed.requests, 0);
+        assert_eq!(zeroed.total_probes(), 0);
+        assert_eq!(zeroed.total_primitives(), 0);
+    }
+
+    #[test]
+    fn knn_crosses_shard_boundaries() {
+        // Nearest neighbours of a point hugging a tile corner live in
+        // other tiles; expanding windows must find them.
+        let world = Rect::from_coords(0.0, 0.0, 64.0, 64.0);
+        let segs = vec![
+            LineSeg::from_coords(40.0, 40.0, 41.0, 41.0), // far, same tile as p? no: NE region
+            LineSeg::from_coords(33.0, 33.0, 34.0, 33.0), // just across the centre
+            LineSeg::from_coords(1.0, 1.0, 2.0, 2.0),     // same tile as p, far away
+        ];
+        let svc = QueryService::build(QueryServiceConfig::sequential(2), world, segs.clone());
+        let p = Point::new(31.0, 31.0);
+        let out = svc.execute_batch(&[Request::KNearest { p, k: 2 }]);
+        assert_eq!(out[0], Response::KNearest(brute_knearest(&segs, p, 2)));
+        assert!(svc.stats().knn_rounds >= 1);
+    }
+}

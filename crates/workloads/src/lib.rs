@@ -14,6 +14,9 @@
 //!   regimes that drive index behaviour: uniform random segments,
 //!   clustered segments, a perturbed-grid road network, and the
 //!   pathological close-vertices pair of the paper's Fig. 2.
+//! * [`requests`] — deterministic mixed query request streams (window,
+//!   point-in-window, k-nearest) that drive the sharded batch query
+//!   service in the `dp-service` crate.
 //!
 //! All generators emit coordinates on an integer grid strictly inside a
 //! power-of-two world, which keeps every quadtree split coordinate dyadic
@@ -22,6 +25,7 @@
 
 pub mod generators;
 pub mod paper;
+pub mod requests;
 
 pub use generators::{
     polygon_rings,
@@ -29,3 +33,4 @@ pub use generators::{
     uniform_segments, Dataset,
 };
 pub use paper::{paper_dataset, paper_world, PAPER_LABELS};
+pub use requests::{request_stream, Request, RequestMix};

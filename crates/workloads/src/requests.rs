@@ -1,0 +1,211 @@
+//! Query request streams for the sharded service.
+//!
+//! The paper's primitives exist to make *operations* data-parallel; the
+//! service layer (crate `dp-service`) batches many concurrent requests
+//! into lockstep descents. This module generates deterministic mixed
+//! request streams to drive it: window queries across a spread of sizes
+//! (including degenerate and world-spanning windows), point-in-window
+//! probes, and k-nearest requests.
+//!
+//! Like the map generators, streams are fully deterministic given their
+//! seed and use integer-grid coordinates inside a power-of-two world, so
+//! differential tests can replay the exact same stream against different
+//! engines.
+
+use dp_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One service request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// All segments intersecting the window (closed semantics, exact
+    /// geometry filter) — the batched form of
+    /// `DpQuadtree::window_query`.
+    Window(Rect),
+    /// All segments passing through the point: a window query over the
+    /// degenerate window `Rect::point(p)`.
+    PointInWindow(Point),
+    /// The `k` nearest segments to `p` by true segment distance,
+    /// nearest first (ties broken by ascending id).
+    KNearest {
+        /// Query point.
+        p: Point,
+        /// Number of neighbours requested.
+        k: usize,
+    },
+}
+
+/// Relative weights of the request kinds in a generated stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestMix {
+    /// Weight of [`Request::Window`].
+    pub window: u32,
+    /// Weight of [`Request::PointInWindow`].
+    pub point: u32,
+    /// Weight of [`Request::KNearest`].
+    pub knearest: u32,
+}
+
+impl RequestMix {
+    /// Windows only.
+    pub const WINDOW_ONLY: RequestMix = RequestMix {
+        window: 1,
+        point: 0,
+        knearest: 0,
+    };
+
+    /// The default service mix: mostly windows, some point probes, a few
+    /// k-nearest requests.
+    pub const DEFAULT: RequestMix = RequestMix {
+        window: 6,
+        point: 3,
+        knearest: 1,
+    };
+
+    fn total(&self) -> u32 {
+        self.window + self.point + self.knearest
+    }
+}
+
+impl Default for RequestMix {
+    fn default() -> Self {
+        RequestMix::DEFAULT
+    }
+}
+
+fn grid_point(rng: &mut StdRng, world: &Rect) -> Point {
+    let w = (world.max.x - world.min.x) as u32;
+    let h = (world.max.y - world.min.y) as u32;
+    Point::new(
+        world.min.x + rng.gen_range(0..w) as f64,
+        world.min.y + rng.gen_range(0..h) as f64,
+    )
+}
+
+/// A random query window over `world`: mostly small-to-medium boxes, with
+/// occasional degenerate (zero-area) and world-spanning windows so
+/// streams exercise the routing edge cases.
+fn random_window(rng: &mut StdRng, world: &Rect) -> Rect {
+    let size = (world.max.x - world.min.x) as u32;
+    match rng.gen_range(0u32..20) {
+        0 => *world,                          // world-spanning
+        1 => Rect::point(grid_point(rng, world)), // degenerate
+        _ => {
+            let a = grid_point(rng, world);
+            let wmax = (size / 4).max(1);
+            let dx = rng.gen_range(0..=wmax) as f64;
+            let dy = rng.gen_range(0..=wmax) as f64;
+            Rect::from_coords(
+                a.x,
+                a.y,
+                (a.x + dx).min(world.max.x),
+                (a.y + dy).min(world.max.y),
+            )
+        }
+    }
+}
+
+/// A deterministic stream of `n` mixed requests over `world`.
+///
+/// # Panics
+///
+/// Panics when every weight in `mix` is zero.
+pub fn request_stream(world: Rect, n: usize, mix: RequestMix, seed: u64) -> Vec<Request> {
+    assert!(mix.total() > 0, "request mix must have a positive weight");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let pick = rng.gen_range(0..mix.total());
+            if pick < mix.window {
+                Request::Window(random_window(&mut rng, &world))
+            } else if pick < mix.window + mix.point {
+                Request::PointInWindow(grid_point(&mut rng, &world))
+            } else {
+                Request::KNearest {
+                    p: grid_point(&mut rng, &world),
+                    k: rng.gen_range(1..=8),
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::square_world;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let w = square_world(64);
+        let a = request_stream(w, 200, RequestMix::DEFAULT, 7);
+        let b = request_stream(w, 200, RequestMix::DEFAULT, 7);
+        assert_eq!(a, b);
+        let c = request_stream(w, 200, RequestMix::DEFAULT, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mix_weights_are_respected() {
+        let w = square_world(128);
+        let reqs = request_stream(w, 3000, RequestMix::DEFAULT, 42);
+        let windows = reqs.iter().filter(|r| matches!(r, Request::Window(_))).count();
+        let points = reqs
+            .iter()
+            .filter(|r| matches!(r, Request::PointInWindow(_)))
+            .count();
+        let knn = reqs
+            .iter()
+            .filter(|r| matches!(r, Request::KNearest { .. }))
+            .count();
+        assert_eq!(windows + points + knn, 3000);
+        // 6:3:1 mix with generous slack.
+        assert!(windows > points && points > knn, "{windows} {points} {knn}");
+        assert!(knn > 100, "knearest starved: {knn}");
+    }
+
+    #[test]
+    fn windows_include_edge_shapes_and_stay_in_world() {
+        let w = square_world(64);
+        let reqs = request_stream(w, 2000, RequestMix::WINDOW_ONLY, 3);
+        let mut degenerate = 0;
+        let mut spanning = 0;
+        for r in &reqs {
+            let Request::Window(q) = r else { unreachable!() };
+            assert!(q.min.x >= w.min.x && q.max.x <= w.max.x);
+            assert!(q.min.y >= w.min.y && q.max.y <= w.max.y);
+            assert!(q.min.x <= q.max.x && q.min.y <= q.max.y);
+            if q.min == q.max {
+                degenerate += 1;
+            }
+            if *q == w {
+                spanning += 1;
+            }
+        }
+        assert!(degenerate > 0, "no degenerate windows generated");
+        assert!(spanning > 0, "no world-spanning windows generated");
+    }
+
+    #[test]
+    fn window_only_mix_has_no_other_kinds() {
+        let w = square_world(32);
+        let reqs = request_stream(w, 100, RequestMix::WINDOW_ONLY, 1);
+        assert!(reqs.iter().all(|r| matches!(r, Request::Window(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_mix_rejected() {
+        request_stream(
+            square_world(32),
+            1,
+            RequestMix {
+                window: 0,
+                point: 0,
+                knearest: 0,
+            },
+            0,
+        );
+    }
+}

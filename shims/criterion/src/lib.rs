@@ -1,0 +1,325 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of the criterion API the workspace's benches
+//! use: `Criterion::benchmark_group`, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `Throughput::Elements`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: after a warm-up period, the
+//! closure is timed over as many iterations as fit in the measurement
+//! window and the mean wall-clock per iteration is printed (plus
+//! element throughput when configured). There are no statistics, plots,
+//! or saved baselines. When invoked with `--test` (as `cargo test` does
+//! for `harness = false` bench targets), every benchmark runs exactly
+//! one iteration so test runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then iterating until the
+    /// measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            std::hint::black_box(routine());
+            self.iters_done = 1;
+            self.total = Duration::from_nanos(1);
+            return;
+        }
+        // Warm-up: run until the warm-up window elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+        }
+        // Measure.
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement_time {
+                self.iters_done = iters;
+                self.total = elapsed;
+                return;
+            }
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters_done == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iters_done as u32
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-driven here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            quick: self.criterion.quick,
+        };
+        routine(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Benchmarks `routine` with an input value under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            quick: self.criterion.quick,
+        };
+        routine(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        if self.criterion.quick {
+            println!("{}/{}: ok (quick mode)", self.name, id.name);
+            return;
+        }
+        let mean = b.mean();
+        let thrpt = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                let per_sec = n as f64 / mean.as_secs_f64();
+                format!("  thrpt: {} elem/s", format_si(per_sec))
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                let per_sec = n as f64 / mean.as_secs_f64();
+                format!("  thrpt: {}B/s", format_si(per_sec))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: time: [{} per iter, {} iters]{}",
+            self.name,
+            id.name,
+            format_duration(mean),
+            b.iters_done,
+            thrpt
+        );
+    }
+
+    /// Ends the group (printing happens per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test" || a == "--list");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function(BenchmarkId::from_parameter("default"), routine);
+        self
+    }
+}
+
+fn format_si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} K", v / 1e3)
+    } else {
+        format!("{v:.3} ")
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = <$crate::Criterion as ::std::default::Default>::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).name, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.bench_function("once", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}

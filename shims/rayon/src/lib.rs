@@ -1,0 +1,579 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the *subset* of rayon's API that the workspace actually
+//! uses, with the same names and the same observable semantics:
+//!
+//! * `slice.par_iter()`, `range.into_par_iter()`, `.map`, `.zip`,
+//!   `.enumerate`, `.for_each`, `.collect::<Vec<_>>()`
+//! * `slice.par_chunks_mut(n)` (+ `.enumerate().for_each(...)`)
+//! * `slice.par_sort_unstable_by(cmp)`
+//! * `join`, `scope`, `current_num_threads`
+//!
+//! Execution is genuinely parallel: terminal operations split the index
+//! space into contiguous blocks and run them on `std::thread::scope`
+//! workers (one per available core). There is no persistent pool, so
+//! per-call overhead is higher than real rayon — callers that gate
+//! parallelism behind a length threshold (as `scan_model::Machine`
+//! does) amortize this exactly as they would the real pool's task
+//! overhead.
+//!
+//! Everything here is deterministic in *values* (outputs are written to
+//! their own index slots), matching the workspace's bit-identical
+//! backend-equivalence tests.
+
+use std::cmp::Ordering;
+use std::ops::Range;
+
+/// Number of worker threads terminal operations will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon-shim: join task panicked");
+        (ra, rb)
+    })
+}
+
+/// A minimal fork-join scope: `scope(|s| { s.spawn(...); ... })` blocks
+/// until every spawned task finishes.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    })
+}
+
+/// Handle passed to [`scope`] callbacks.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that must finish before the scope returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
+/// Splits `0..n` into at most `current_num_threads()` contiguous blocks
+/// and runs `body(lo, hi)` for each block on scoped worker threads.
+fn parallel_blocks<F>(n: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let nt = current_num_threads().min(n).max(1);
+    if nt == 1 {
+        body(0, n);
+        return;
+    }
+    let blk = n.div_ceil(nt);
+    std::thread::scope(|s| {
+        let body = &body;
+        for t in 0..nt {
+            let lo = t * blk;
+            let hi = ((t + 1) * blk).min(n);
+            if lo >= hi {
+                break;
+            }
+            s.spawn(move || body(lo, hi));
+        }
+    });
+}
+
+/// Raw-pointer wrapper so disjoint writes can cross thread boundaries.
+/// Accessed through [`SendPtr::get`] so closures capture the wrapper
+/// (which is `Sync`), not the raw pointer field (which is not).
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// An indexed parallel source: random access by lane, known length.
+/// This is the shim's analogue of rayon's `IndexedParallelIterator`.
+pub trait ParallelIterator: Sized + Sync {
+    /// The per-lane item.
+    type Item: Send;
+
+    /// Number of lanes.
+    fn len(&self) -> usize;
+
+    /// `true` when the source has no lanes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item for lane `i` (`i < self.len()`).
+    fn get(&self, i: usize) -> Self::Item;
+
+    /// Lane-wise transformation.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs lanes with an equal-length source (truncates to the shorter,
+    /// as rayon does).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pairs each lane with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Runs `f` on every lane across the worker threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let n = self.len();
+        parallel_blocks(n, |lo, hi| {
+            for i in lo..hi {
+                f(self.get(i));
+            }
+        });
+    }
+
+    /// Collects all lanes into a `Vec`, each lane writing its own slot.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types constructible from a parallel source (`Vec` only).
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection by evaluating every lane.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let n = iter.len();
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        let ptr = SendPtr(out.as_mut_ptr());
+        parallel_blocks(n, |lo, hi| {
+            let base = ptr.get();
+            for i in lo..hi {
+                // SAFETY: each lane writes exactly its own slot inside the
+                // allocated capacity; blocks are disjoint.
+                unsafe { base.add(i).write(iter.get(i)) };
+            }
+        });
+        // SAFETY: all n slots were initialized above.
+        unsafe { out.set_len(n) };
+        out
+    }
+}
+
+/// Source over a `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// Source over a shared slice, yielding `&T` like rayon's `par_iter`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Lane-wise `map` adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn get(&self, i: usize) -> U {
+        (self.f)(self.base.get(i))
+    }
+}
+
+/// Lane-wise `zip` adapter.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn get(&self, i: usize) -> Self::Item {
+        (self.a.get(i), self.b.get(i))
+    }
+}
+
+/// Lane-wise `enumerate` adapter.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn get(&self, i: usize) -> Self::Item {
+        (i, self.base.get(i))
+    }
+}
+
+/// Conversion into a parallel source (`(0..n).into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// The resulting source type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The per-lane item.
+    type Item: Send;
+    /// Converts `self` into a parallel source.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator of `&T`.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `par_chunks_mut` / `par_sort_unstable_by` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Disjoint mutable chunks of length `size` (last may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+
+    /// Unstable sort by comparator, parallel over chunk pre-sorts.
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+        T: Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        assert!(size > 0, "par_chunks_mut: chunk size must be positive");
+        ChunksMut { slice: self, size }
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+        T: Sync,
+    {
+        par_merge_sort(self, &cmp);
+    }
+}
+
+/// Chunk-sorts in parallel, then merges pairs of sorted runs until one
+/// run covers the slice. `T` is moved through a scratch buffer; the
+/// result is identical to `sort_unstable_by` up to stability (which
+/// `_unstable` does not promise).
+fn par_merge_sort<T: Send + Sync, F>(slice: &mut [T], cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = slice.len();
+    let nt = current_num_threads();
+    if n < 4096 || nt <= 1 {
+        slice.sort_unstable_by(cmp);
+        return;
+    }
+    let runs = nt.next_power_of_two().min(64);
+    let blk = n.div_ceil(runs);
+
+    // Phase 1: sort each block in parallel.
+    std::thread::scope(|s| {
+        for chunk in slice.chunks_mut(blk) {
+            s.spawn(move || chunk.sort_unstable_by(cmp));
+        }
+    });
+
+    // Phase 2: merge neighbouring runs, doubling run length each pass.
+    // `buf` stays logically empty (len 0) throughout; it is used purely as
+    // spare capacity addressed through raw pointers, so no element is ever
+    // dropped from it even if a comparator panics (leak-on-panic at worst).
+    let mut width = blk;
+    let mut buf: Vec<T> = Vec::with_capacity(n);
+    while width < n {
+        {
+            let buf_ptr = SendPtr(buf.as_mut_ptr());
+            let src = &*slice;
+            std::thread::scope(|s| {
+                let mut lo = 0usize;
+                while lo < n {
+                    let mid = (lo + width).min(n);
+                    let hi = (lo + 2 * width).min(n);
+                    let base = &buf_ptr;
+                    s.spawn(move || {
+                        // SAFETY: pairs [lo, hi) are disjoint across tasks
+                        // and lie within buf's capacity.
+                        unsafe { merge_into(src, lo, mid, hi, base.get(), cmp) };
+                    });
+                    lo = hi;
+                }
+            });
+        }
+        // Move the merged pass back over the input. Each element has now
+        // been bitwise-copied slice -> buf -> slice exactly once, so the
+        // copies in `buf` are dead and must not be dropped (len is 0).
+        unsafe {
+            std::ptr::copy_nonoverlapping(buf.as_ptr(), slice.as_mut_ptr(), n);
+        }
+        width *= 2;
+    }
+}
+
+/// Merges sorted `src[lo..mid]` and `src[mid..hi]` into `dst[lo..hi]`.
+///
+/// # Safety
+///
+/// `dst` must have capacity for indices `lo..hi`, and no other task may
+/// touch that range concurrently. Elements are copied bitwise; the
+/// caller must treat the copies in `dst` as the live values afterwards.
+unsafe fn merge_into<T, F>(src: &[T], lo: usize, mid: usize, hi: usize, dst: *mut T, cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let mut a = lo;
+    let mut b = mid;
+    let mut o = lo;
+    while a < mid && b < hi {
+        let take_a = cmp(&src[a], &src[b]) != Ordering::Greater;
+        let i = if take_a { &mut a } else { &mut b };
+        unsafe { dst.add(o).write(std::ptr::read(&src[*i])) };
+        *i += 1;
+        o += 1;
+    }
+    while a < mid {
+        unsafe { dst.add(o).write(std::ptr::read(&src[a])) };
+        a += 1;
+        o += 1;
+    }
+    while b < hi {
+        unsafe { dst.add(o).write(std::ptr::read(&src[b])) };
+        b += 1;
+        o += 1;
+    }
+}
+
+/// Mutable-chunks source; only `enumerate().for_each(...)` is supported,
+/// which is the pattern the workspace uses.
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+
+    /// Runs `f` on every chunk across the worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated mutable-chunks source.
+pub struct EnumerateChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> EnumerateChunksMut<'a, T> {
+    /// Runs `f` on every `(index, chunk)` across the worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> = self.slice.chunks_mut(self.size).enumerate().collect();
+        let nt = current_num_threads().min(chunks.len()).max(1);
+        if nt <= 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        let work = std::sync::Mutex::new(chunks.into_iter());
+        std::thread::scope(|s| {
+            for _ in 0..nt {
+                s.spawn(|| loop {
+                    let item = work.lock().expect("rayon-shim: poisoned worklist").next();
+                    match item {
+                        Some(x) => f(x),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Drop-in for `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn slice_zip_map_collect() {
+        let a: Vec<i64> = (0..5000).map(|i| i as i64).collect();
+        let b: Vec<i64> = (0..5000).map(|i| 2 * i as i64).collect();
+        let got: Vec<i64> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &y)| x + y)
+            .collect();
+        let want: Vec<i64> = (0..5000).map(|i| 3 * i as i64).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_for_each() {
+        let mut v = vec![0usize; 10_000];
+        v.par_chunks_mut(128).enumerate().for_each(|(b, chunk)| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = b * 128 + j;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn for_each_runs_every_lane() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..12_345).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 12_345);
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        let mut a: Vec<u64> = (0..50_000)
+            .map(|i: u64| i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17))
+            .collect();
+        let mut b = a.clone();
+        a.par_sort_unstable_by(|x, y| x.cmp(y));
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn scope_spawns_and_waits() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+    }
+}

@@ -5,6 +5,7 @@
 //! tour and `DESIGN.md` for the paper-to-module map.
 
 pub use dp_geom as geom;
+pub use dp_service as service;
 pub use dp_spatial as spatial;
 pub use dp_workloads as workloads;
 pub use scan_model as scanmodel;

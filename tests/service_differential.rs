@@ -1,0 +1,275 @@
+//! Differential tests for the sharded query service: for every workload
+//! family and on both scan-model backends, the service must answer
+//! byte-identically to (a) one unsharded machine running
+//! `batch_window_query` over the whole collection and (b) the
+//! brute-force scan — and its routing layer must execute a request on
+//! exactly the shards whose tiles it overlaps, merging without
+//! duplicates.
+
+use dp_spatial_suite::geom::{clip_segment_closed, LineSeg, Point, Rect};
+use dp_spatial_suite::service::{
+    brute_knearest, QueryService, QueryServiceConfig, Response,
+};
+use dp_spatial_suite::spatial::batch::batch_window_query;
+use dp_spatial_suite::spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial_suite::spatial::shard::ShardGrid;
+use dp_spatial_suite::spatial::SegId;
+use dp_spatial_suite::workloads::{
+    clustered_segments, paper_dataset, paper_world, pathological_close_vertices,
+    polygon_rings, request_stream, road_network, uniform_segments, Dataset, Request,
+    RequestMix,
+};
+use proptest::prelude::*;
+use scan_model::{Backend, Machine};
+
+/// Every workload family, sized for exhaustive brute-force checking.
+fn families() -> Vec<Dataset> {
+    vec![
+        uniform_segments(250, 64, 8, 101),
+        clustered_segments(220, 8, 10, 64, 102),
+        road_network(8, 64, 103),
+        polygon_rings(6, 64, 104),
+        pathological_close_vertices(64),
+        Dataset {
+            name: "paper 9-segment example".to_string(),
+            world: paper_world(),
+            segs: paper_dataset(),
+        },
+    ]
+}
+
+fn brute_window(segs: &[LineSeg], q: &Rect) -> Vec<SegId> {
+    (0..segs.len() as SegId)
+        .filter(|&id| clip_segment_closed(&segs[id as usize], q).is_some())
+        .collect()
+}
+
+/// Service vs unsharded batch engine vs brute force over one stream.
+fn check_identity(data: &Dataset, config: QueryServiceConfig, seed: u64) {
+    let service = QueryService::build(config, data.world, data.segs.clone());
+    let reference_machine = match config.par_threshold {
+        Some(t) => Machine::new(config.backend).with_par_threshold(t),
+        None => Machine::new(config.backend),
+    };
+    let reference_tree = build_bucket_pmr(
+        &reference_machine,
+        data.world,
+        &data.segs,
+        config.capacity,
+        config.max_depth,
+    );
+
+    let requests = request_stream(data.world, 90, RequestMix::DEFAULT, seed);
+    let responses = service.execute_batch(&requests);
+    assert_eq!(responses.len(), requests.len());
+
+    // The unsharded reference answers all window-shaped requests in one
+    // lockstep batch over the global tree.
+    let probe_rects: Vec<Rect> = requests
+        .iter()
+        .filter_map(|r| match r {
+            Request::Window(q) => Some(*q),
+            Request::PointInWindow(p) => Some(Rect::point(*p)),
+            Request::KNearest { .. } => None,
+        })
+        .collect();
+    let mut unsharded = batch_window_query(
+        &reference_machine,
+        &reference_tree,
+        &probe_rects,
+        &data.segs,
+    )
+    .into_iter();
+
+    for (r, resp) in requests.iter().zip(&responses) {
+        match (r, resp) {
+            (Request::Window(q), Response::Window(ids)) => {
+                let single = unsharded.next().unwrap();
+                assert_eq!(ids, &single, "[{}] vs unsharded, window {q}", data.name);
+                assert_eq!(
+                    ids,
+                    &brute_window(&data.segs, q),
+                    "[{}] vs brute force, window {q}",
+                    data.name
+                );
+            }
+            (Request::PointInWindow(p), Response::PointInWindow(ids)) => {
+                let single = unsharded.next().unwrap();
+                assert_eq!(ids, &single, "[{}] vs unsharded, point {p:?}", data.name);
+                assert_eq!(
+                    ids,
+                    &brute_window(&data.segs, &Rect::point(*p)),
+                    "[{}] vs brute force, point {p:?}",
+                    data.name
+                );
+            }
+            (Request::KNearest { p, k }, Response::KNearest(found)) => {
+                assert_eq!(
+                    found,
+                    &brute_knearest(&data.segs, *p, *k),
+                    "[{}] k-NN p={p:?} k={k}",
+                    data.name
+                );
+            }
+            other => panic!("[{}] response kind mismatch: {other:?}", data.name),
+        }
+    }
+    assert!(unsharded.next().is_none());
+}
+
+#[test]
+fn every_family_sequential_backend() {
+    for data in families() {
+        for grid in [1u32, 2, 4] {
+            let mut config = QueryServiceConfig::sequential(grid);
+            config.flush_batch = 32; // force multi-flush queues
+            check_identity(&data, config, 7 + grid as u64);
+        }
+    }
+}
+
+#[test]
+fn every_family_parallel_backend() {
+    for data in families() {
+        for grid in [1u32, 2, 4] {
+            let config = QueryServiceConfig {
+                shard_grid: grid,
+                backend: Backend::Parallel,
+                ..QueryServiceConfig::default()
+            };
+            check_identity(&data, config, 40 + grid as u64);
+        }
+    }
+}
+
+/// The parallel backend with a forced threshold of 1 routes every
+/// primitive through the rayon code paths even on small shards.
+#[test]
+fn forced_parallel_primitives_agree() {
+    let data = uniform_segments(150, 64, 8, 105);
+    for grid in [1u32, 2] {
+        let config = QueryServiceConfig {
+            shard_grid: grid,
+            backend: Backend::Parallel,
+            par_threshold: Some(1),
+            ..QueryServiceConfig::default()
+        };
+        check_identity(&data, config, 60 + grid as u64);
+    }
+}
+
+/// Sequential and parallel services over the same data produce identical
+/// response vectors (byte-identical determinism across backends).
+#[test]
+fn backends_agree_on_full_streams() {
+    let data = uniform_segments(200, 64, 8, 106);
+    let requests = request_stream(data.world, 120, RequestMix::DEFAULT, 9);
+    let seq = QueryService::build(
+        QueryServiceConfig::sequential(2),
+        data.world,
+        data.segs.clone(),
+    );
+    let par = QueryService::build(
+        QueryServiceConfig {
+            shard_grid: 4,
+            backend: Backend::Parallel,
+            ..QueryServiceConfig::default()
+        },
+        data.world,
+        data.segs.clone(),
+    );
+    assert_eq!(seq.execute_batch(&requests), par.execute_batch(&requests));
+}
+
+const WORLD_SIZE: i32 = 64;
+
+/// Windows across the shape spectrum, degenerate and boundary-aligned
+/// included (tile boundaries of a grid-`g` world are multiples of
+/// `WORLD_SIZE / g`, so integer coordinates regularly land on them).
+fn windows() -> impl Strategy<Value = Rect> {
+    (
+        0u8..6,
+        0..WORLD_SIZE,
+        0..WORLD_SIZE,
+        1..WORLD_SIZE,
+        1..WORLD_SIZE,
+    )
+        .prop_map(|(kind, x, y, w, h)| {
+            let (x, y, w, h) = (x as f64, y as f64, w as f64, h as f64);
+            let size = WORLD_SIZE as f64;
+            match kind {
+                0 => Rect::empty(),
+                1 => Rect::point(Point::new(x, y)),
+                2 => Rect::from_coords(x, y, (x + w).min(size), y),
+                3 => Rect::from_coords(0.0, 0.0, size, size),
+                4 => Rect::from_coords(x, y, x + w, y + h), // may exceed world
+                _ => Rect::from_coords(x, y, (x + w).min(size), (y + h).min(size)),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Grid routing equals the brute-force tile filter for arbitrary
+    /// window shapes and grid sizes.
+    #[test]
+    fn routing_matches_tile_intersection(qs in prop::collection::vec(windows(), 1..16)) {
+        let world = Rect::from_coords(0.0, 0.0, WORLD_SIZE as f64, WORLD_SIZE as f64);
+        for g in [1u32, 2, 4, 8] {
+            let grid = ShardGrid::new(world, g);
+            for q in &qs {
+                let routed = grid.shards_overlapping(q);
+                let expect: Vec<usize> = (0..grid.num_shards())
+                    .filter(|&i| grid.tile_of(i).intersects(q))
+                    .collect();
+                prop_assert_eq!(&routed, &expect, "grid {} window {}", g, q);
+                // Routed lists are strictly ascending: each shard at most once.
+                prop_assert!(routed.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    /// A batch of window requests is executed on exactly the overlapping
+    /// shards — each request once per overlapped shard, nothing else —
+    /// and every merged response is duplicate-free.
+    #[test]
+    fn requests_execute_once_per_overlapping_shard(qs in prop::collection::vec(windows(), 1..24)) {
+        let data = uniform_segments(120, 64, 8, 107);
+        let service = QueryService::build(
+            QueryServiceConfig::sequential(4),
+            data.world,
+            data.segs.clone(),
+        );
+        let grid = service.grid();
+        let requests: Vec<Request> = qs.iter().map(|q| Request::Window(*q)).collect();
+        service.reset_stats();
+        let responses = service.execute_batch(&requests);
+        let stats = service.stats();
+
+        // Per shard: probes == number of requests overlapping its tile.
+        for shard_stats in &stats.shards {
+            let expect = qs
+                .iter()
+                .filter(|q| grid.tile_of(shard_stats.shard).intersects(q))
+                .count() as u64;
+            prop_assert_eq!(
+                shard_stats.probes, expect,
+                "shard {} tile {}", shard_stats.shard, shard_stats.tile
+            );
+        }
+        // Globally: total executions == sum of per-request fan-outs.
+        let fan_out: u64 = qs
+            .iter()
+            .map(|q| grid.shards_overlapping(q).len() as u64)
+            .sum();
+        prop_assert_eq!(stats.total_probes(), fan_out);
+
+        // Merged responses are sorted and duplicate-free, and correct.
+        for (q, resp) in qs.iter().zip(&responses) {
+            let Response::Window(ids) = resp else { panic!("kind") };
+            prop_assert!(ids.windows(2).all(|w| w[0] < w[1]), "duplicate ids for {}", q);
+            prop_assert_eq!(ids, &brute_window(&data.segs, q), "window {}", q);
+        }
+    }
+}
