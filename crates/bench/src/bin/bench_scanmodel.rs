@@ -1,0 +1,165 @@
+//! Machine-readable benchmark of the fused-kernel scan-model engine.
+//!
+//! Writes `BENCH_scanmodel.json` in the current directory: build
+//! throughput for the fused + arena PM₁ path versus the unfused
+//! allocating baseline, bucket-PMR build throughput with arena reuse,
+//! sharded-service request throughput, and the machine's operation
+//! counters (scan passes, fused lanes saved, allocations avoided) for
+//! each build. CI runs `--quick` as a smoke check; the full run uses
+//! the n ≥ 100k sizes the acceptance criterion names.
+//!
+//! Run with: `cargo run --release -p dp-bench --bin bench_scanmodel [-- --quick]`
+
+use dp_bench::{planar_at, uniform_at, WORLD};
+use dp_service::{QueryService, QueryServiceConfig};
+use dp_spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial::pm1::{build_pm1, build_pm1_unfused};
+use dp_workloads::{request_stream, square_world, RequestMix};
+use scan_model::{Backend, Machine, StatsSnapshot};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn ops_json(ops: &StatsSnapshot) -> String {
+    format!(
+        "{{\"scans\": {}, \"scan_passes\": {}, \"fused_lanes_saved\": {}, \"allocs_avoided\": {}, \"rounds\": {}}}",
+        ops.scans, ops.scan_passes, ops.fused_lanes_saved, ops.allocs_avoided, ops.rounds
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sizes, reps): (&[usize], usize) = if quick {
+        (&[20_000], 1)
+    } else {
+        (&[100_000, 200_000], 5)
+    };
+
+    let machine = Machine::parallel();
+    let mut entries: Vec<String> = Vec::new();
+
+    // PM₁: fused seven-lane decision + arena vs unfused composed scans.
+    for &n in sizes {
+        let data = planar_at(n);
+        let depth = (data.world.width() as u64).ilog2() as usize;
+        let n_real = data.len();
+
+        // Op counters from exactly one build (timing reps would multiply
+        // them).
+        machine.reset_stats();
+        std::hint::black_box(build_pm1(&machine, data.world, &data.segs, depth));
+        let fused_ops = machine.stats();
+        machine.reset_stats();
+        std::hint::black_box(build_pm1_unfused(&machine, data.world, &data.segs, depth));
+        let unfused_ops = machine.stats();
+
+        // Interleave the timing reps so machine-load drift hits both
+        // variants alike; keep each variant's best.
+        let (mut fused_s, mut unfused_s) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            fused_s =
+                fused_s.min(time_best(1, || build_pm1(&machine, data.world, &data.segs, depth)));
+            unfused_s = unfused_s.min(time_best(1, || {
+                build_pm1_unfused(&machine, data.world, &data.segs, depth)
+            }));
+        }
+
+        let mut e = String::new();
+        let _ = write!(
+            e,
+            "{{\"bench\": \"pm1_build\", \"backend\": \"parallel\", \"n\": {n_real}, \
+             \"fused_secs\": {fused_s:.6}, \"unfused_secs\": {unfused_s:.6}, \
+             \"speedup\": {:.4}, \"fused_elems_per_sec\": {:.1}, \
+             \"fused_ops\": {}, \"unfused_ops\": {}}}",
+            unfused_s / fused_s,
+            n_real as f64 / fused_s,
+            ops_json(&fused_ops),
+            ops_json(&unfused_ops),
+        );
+        entries.push(e);
+        println!(
+            "pm1 n={n_real}: fused {fused_s:.4}s vs unfused {unfused_s:.4}s (speedup {:.2}x, \
+             passes {} vs {})",
+            unfused_s / fused_s,
+            fused_ops.scan_passes,
+            unfused_ops.scan_passes
+        );
+    }
+
+    // Bucket PMR: arena-backed build throughput per backend.
+    for &n in sizes {
+        let data = uniform_at(n);
+        let world = square_world(WORLD);
+        for (name, m) in [
+            ("parallel", Machine::parallel()),
+            ("sequential", Machine::sequential()),
+        ] {
+            m.reset_stats();
+            std::hint::black_box(build_bucket_pmr(&m, world, &data.segs, 8, 12));
+            let ops = m.stats();
+            let secs = time_best(reps, || build_bucket_pmr(&m, world, &data.segs, 8, 12));
+            let (takes, hits) = m.arena_stats();
+            let mut e = String::new();
+            let _ = write!(
+                e,
+                "{{\"bench\": \"bucket_pmr_build\", \"backend\": \"{name}\", \"n\": {n}, \
+                 \"secs\": {secs:.6}, \"elems_per_sec\": {:.1}, \
+                 \"arena_takes\": {takes}, \"arena_hits\": {hits}, \"ops\": {}}}",
+                n as f64 / secs,
+                ops_json(&ops),
+            );
+            entries.push(e);
+            println!("bucket_pmr n={n} {name}: {secs:.4}s (arena hits {hits}/{takes})");
+        }
+    }
+
+    // Sharded service: end-to-end request throughput on the pool-backed
+    // parallel backend.
+    {
+        let (n, requests) = if quick { (10_000, 2_000) } else { (20_000, 10_000) };
+        let data = dp_workloads::uniform_segments(n, 1024, 16, 77);
+        let stream = request_stream(data.world, requests, RequestMix::DEFAULT, 78);
+        let service = QueryService::build(
+            QueryServiceConfig {
+                shard_grid: 2,
+                backend: Backend::Parallel,
+                ..QueryServiceConfig::default()
+            },
+            data.world,
+            data.segs.clone(),
+        );
+        let secs = time_best(reps, || service.execute_batch(&stream).len());
+        let mut e = String::new();
+        let _ = write!(
+            e,
+            "{{\"bench\": \"service_batch\", \"backend\": \"parallel\", \"shards\": {}, \
+             \"n\": {n}, \"requests\": {requests}, \"secs\": {secs:.6}, \
+             \"requests_per_sec\": {:.1}}}",
+            service.num_shards(),
+            requests as f64 / secs,
+        );
+        entries.push(e);
+        println!(
+            "service: {requests} requests in {secs:.4}s ({:.0} req/s)",
+            requests as f64 / secs
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"suite\": \"scanmodel_fused_kernels\",\n  \"mode\": \"{}\",\n  \"results\": [\n    {}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        entries.join(",\n    ")
+    );
+    std::fs::write("BENCH_scanmodel.json", &json).expect("write BENCH_scanmodel.json");
+    println!("wrote BENCH_scanmodel.json ({} entries)", entries.len());
+}

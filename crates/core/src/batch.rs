@@ -22,8 +22,35 @@
 use crate::quadtree::{DpQuadtree, QtNode};
 use crate::SegId;
 use dp_geom::Rect;
-use scan_model::ops::Sum;
+use scan_model::ops::{Element, Sum};
+use scan_model::primitives::{CloneLayout, DeleteLayout};
 use scan_model::{Machine, ScanKind, Segments};
+
+/// Applies a delete layout through a leased buffer and recycles the
+/// superseded source, so per-level frontier compaction stops allocating.
+fn delete_swap<T: Element>(
+    machine: &Machine,
+    src: Vec<T>,
+    layout: &DeleteLayout,
+) -> Vec<T> {
+    let mut out: Vec<T> = machine.lease();
+    machine.apply_delete_into(&src, layout, &mut out);
+    machine.recycle(src);
+    out
+}
+
+/// Applies a clone layout through a leased buffer and recycles the
+/// superseded source (the frontier-doubling analogue of [`delete_swap`]).
+fn clone_swap<T: Element>(
+    machine: &Machine,
+    src: Vec<T>,
+    layout: &CloneLayout,
+) -> Vec<T> {
+    let mut out: Vec<T> = machine.lease();
+    machine.apply_clone_into(&src, layout, &mut out);
+    machine.recycle(src);
+    out
+}
 
 /// Runs all `queries` against `tree` simultaneously; returns, per query,
 /// the deduplicated sorted ids whose segments intersect the query window
@@ -79,9 +106,12 @@ pub fn batch_window_candidates(
         let seg = Segments::single(lane_query.len());
 
         // Retire leaf lanes: their node contents join the result sets.
-        let at_leaf: Vec<bool> = machine.map(&lane_node, |n| {
-            matches!(tree.node(n as usize), QtNode::Leaf { .. })
-        });
+        let mut at_leaf: Vec<bool> = machine.lease();
+        machine.map_into(
+            &lane_node,
+            |n| matches!(tree.node(n as usize), QtNode::Leaf { .. }),
+            &mut at_leaf,
+        );
         machine.note_elementwise();
         for i in 0..lane_query.len() {
             if at_leaf[i] {
@@ -91,9 +121,10 @@ pub fn batch_window_candidates(
             }
         }
         let keep = machine.delete_layout(&seg, &at_leaf);
-        lane_query = machine.apply_delete(&lane_query, &keep);
-        lane_node = machine.apply_delete(&lane_node, &keep);
-        lane_rect = machine.apply_delete(&lane_rect, &keep);
+        machine.recycle(at_leaf);
+        lane_query = delete_swap(machine, lane_query, &keep);
+        lane_node = delete_swap(machine, lane_node, &keep);
+        lane_rect = delete_swap(machine, lane_rect, &keep);
         if lane_query.is_empty() {
             break;
         }
@@ -102,27 +133,44 @@ pub fn batch_window_candidates(
         // four adjacent copies of every lane; the copy's rank mod 4 names
         // its quadrant.
         let seg = Segments::single(lane_query.len());
-        let all = vec![true; lane_query.len()];
+        let mut all: Vec<bool> = machine.lease();
+        all.resize(lane_query.len(), true);
         let double = machine.clone_layout(&seg, &all);
-        lane_query = machine.apply_clone(&lane_query, &double);
-        lane_node = machine.apply_clone(&lane_node, &double);
-        lane_rect = machine.apply_clone(&lane_rect, &double);
+        machine.recycle(all);
+        lane_query = clone_swap(machine, lane_query, &double);
+        lane_node = clone_swap(machine, lane_node, &double);
+        lane_rect = clone_swap(machine, lane_rect, &double);
         let seg = double.seg;
-        let all = vec![true; lane_query.len()];
+        let mut all: Vec<bool> = machine.lease();
+        all.resize(lane_query.len(), true);
         let quad = machine.clone_layout(&seg, &all);
-        lane_query = machine.apply_clone(&lane_query, &quad);
-        lane_node = machine.apply_clone(&lane_node, &quad);
-        lane_rect = machine.apply_clone(&lane_rect, &quad);
+        machine.recycle(all);
+        lane_query = clone_swap(machine, lane_query, &quad);
+        lane_node = clone_swap(machine, lane_node, &quad);
+        lane_rect = clone_swap(machine, lane_rect, &quad);
 
         // Rank within each 4-group via an unsegmented exclusive scan.
-        let ones = vec![1u64; lane_query.len()];
-        let rank = machine.up_scan(&ones, Sum, ScanKind::Exclusive);
+        let mut ones: Vec<u64> = machine.lease();
+        ones.resize(lane_query.len(), 1);
+        let mut rank: Vec<u64> = machine.lease();
+        machine.scan_into(
+            &ones,
+            &Segments::single(lane_query.len()),
+            Sum,
+            scan_model::Direction::Up,
+            ScanKind::Exclusive,
+            &mut rank,
+        );
+        machine.recycle(ones);
 
         // Each copy steps to its quadrant child.
         machine.note_elementwise();
-        let mut child_node = vec![0u32; lane_query.len()];
-        let mut child_rect = vec![Rect::empty(); lane_query.len()];
-        let mut misses = vec![false; lane_query.len()];
+        let mut child_node: Vec<u32> = machine.lease();
+        child_node.resize(lane_query.len(), 0);
+        let mut child_rect: Vec<Rect> = machine.lease();
+        child_rect.resize(lane_query.len(), Rect::empty());
+        let mut misses: Vec<bool> = machine.lease();
+        misses.resize(lane_query.len(), false);
         for i in 0..lane_query.len() {
             let quadrant = (rank[i] % 4) as usize;
             match tree.node(lane_node[i] as usize) {
@@ -136,13 +184,17 @@ pub fn batch_window_candidates(
                 QtNode::Leaf { .. } => unreachable!("leaf lanes were retired"),
             }
         }
+        machine.recycle(rank);
 
         // Prune the copies whose child block misses the window.
         let seg = Segments::single(lane_query.len());
         let keep = machine.delete_layout(&seg, &misses);
-        lane_query = machine.apply_delete(&lane_query, &keep);
-        lane_node = machine.apply_delete(&child_node, &keep);
-        lane_rect = machine.apply_delete(&child_rect, &keep);
+        machine.recycle(misses);
+        machine.recycle(lane_node);
+        machine.recycle(lane_rect);
+        lane_query = delete_swap(machine, lane_query, &keep);
+        lane_node = delete_swap(machine, child_node, &keep);
+        lane_rect = delete_swap(machine, child_rect, &keep);
 
         // One descent level completed: all surviving lanes stepped one
         // node deeper in lockstep, with a constant number of primitives

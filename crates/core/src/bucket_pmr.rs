@@ -24,9 +24,14 @@ pub fn bucket_pmr_decision(
     state: &LineProcSet,
     capacity: usize,
 ) -> Vec<bool> {
-    let counts = machine.segment_counts(&state.seg);
+    // The per-round counts buffer is leased from the machine's scratch
+    // arena, so repeated decision rounds stop allocating.
+    let mut counts: Vec<u64> = machine.lease();
+    machine.segment_counts_into(&state.seg, &mut counts);
     machine.note_elementwise();
-    counts.into_iter().map(|c| c as usize > capacity).collect()
+    let out = counts.iter().map(|&c| c as usize > capacity).collect();
+    machine.recycle(counts);
+    out
 }
 
 /// Builds a bucket PMR quadtree with bucket `capacity` and maximal

@@ -202,8 +202,10 @@ pub fn run_quad_build(
             per_lane
         };
         let layout = machine.delete_layout(&state.seg, &lane_finished);
-        let line = machine.apply_delete(&state.line, &layout);
-        let rect = machine.apply_delete(&state.rect, &layout);
+        let mut line: Vec<SegId> = machine.lease();
+        machine.apply_delete_into(&state.line, &layout, &mut line);
+        let mut rect: Vec<Rect> = machine.lease();
+        machine.apply_delete_into(&state.rect, &layout, &mut rect);
         let kept_nodes: Vec<ActiveNode> = state
             .nodes
             .iter()
@@ -220,6 +222,10 @@ pub fn run_quad_build(
         debug_assert_eq!(kept_lengths.len(), kept_nodes.len());
         let seg = Segments::from_lengths(&kept_lengths)
             .expect("splitting nodes always hold at least one lane");
+        // Recycle the superseded lane vectors so the next round's leases
+        // reuse their capacity instead of allocating.
+        machine.recycle(std::mem::take(&mut state.line));
+        machine.recycle(std::mem::take(&mut state.rect));
         state = LineProcSet {
             line,
             rect,

@@ -22,7 +22,7 @@ use crate::lineproc::{run_quad_build, LineProcSet};
 use crate::quadtree::DpQuadtree;
 use dp_geom::{LineSeg, Rect};
 use scan_model::ops::{Max, Min};
-use scan_model::{Machine, ScanKind};
+use scan_model::{Direction, FusedOp, Machine, ScanKind};
 
 /// Per-node outcome of the PM₁ split decision, exposed for tests and the
 /// Fig. 20–22 experiment.
@@ -58,7 +58,111 @@ impl Pm1Verdict {
 /// The PM₁ split decision for every active node, in scan-model ops
 /// (Sec. 4.5). Exposed so the figure-level experiments can inspect the
 /// per-node verdicts; the build uses [`pm1_decision`].
+///
+/// This is the **fused** form: the seven per-lane inputs of Figs. 20–22
+/// (endpoint counts, four MBB extents, a count lane) are produced in one
+/// elementwise pass into arena-leased buffers, then all seven downward
+/// inclusive scans run as a single [`Machine::scan_lanes`] pass. The
+/// endpoint counts and line counts are carried as `f64` lanes — their
+/// values are small integers, exact in `f64` — so every lane shares one
+/// element type. Verdicts are bit-identical to [`pm1_verdicts_unfused`]
+/// (asserted by the fused-complexity differential test), which keeps the
+/// original seven-scan composition for comparison benchmarks.
 pub fn pm1_verdicts(machine: &Machine, state: &LineProcSet, segs: &[LineSeg]) -> Vec<Pm1Verdict> {
+    let seg = &state.seg;
+    let n = seg.len();
+    // One fused elementwise pass fills all six distinct scan inputs
+    // (counted as one elementwise op; the paper's Figs. 20-21 count the
+    // EPs and per-lane-box derivations as elementwise steps). Parallel on
+    // the parallel backend, like the maps of the unfused form.
+    let mut ins: [Vec<f64>; 6] = std::array::from_fn(|_| machine.lease());
+    machine.fill_lanes_into(
+        n,
+        |i| {
+            let s = &segs[state.line[i] as usize];
+            let r = &state.rect[i];
+            let mut cnt = 0u32;
+            let mut bx = (
+                f64::INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NEG_INFINITY,
+            );
+            for p in [s.a, s.b] {
+                if r.contains(p) {
+                    cnt += 1;
+                    bx.0 = bx.0.min(p.x);
+                    bx.1 = bx.1.min(p.y);
+                    bx.2 = bx.2.max(p.x);
+                    bx.3 = bx.3.max(p.y);
+                }
+            }
+            [cnt as f64, bx.0, bx.1, bx.2, bx.3, 1.0]
+        },
+        &mut ins,
+    );
+    let [eps, xs_min, ys_min, xs_max, ys_max, ones] = &ins;
+
+    // All seven downward inclusive scans in one fused pass: node extremes
+    // (Fig. 20), endpoint MBB (Fig. 21) and the capacity count (Fig. 19 /
+    // 22) arrive together at each segment head.
+    let lanes: [(&[f64], FusedOp); 7] = [
+        (eps, FusedOp::Max),
+        (eps, FusedOp::Min),
+        (xs_min, FusedOp::Min),
+        (ys_min, FusedOp::Min),
+        (xs_max, FusedOp::Max),
+        (ys_max, FusedOp::Max),
+        (ones, FusedOp::Sum),
+    ];
+    let mut outs: Vec<Vec<f64>> = (0..lanes.len()).map(|_| machine.lease()).collect();
+    machine.scan_lanes_into(&lanes, seg, Direction::Down, ScanKind::Inclusive, &mut outs);
+
+    // Elementwise verdict at each node (segment head reads). The lane
+    // values are exact small integers (EPs ∈ {0,1,2}, counts ≤ n), so the
+    // f64 equality tests below are exact.
+    machine.note_elementwise();
+    let verdicts = seg
+        .starts()
+        .iter()
+        .map(|&head| {
+            let (mx, mn) = (outs[0][head], outs[1][head]);
+            if mx == 2.0 {
+                Pm1Verdict::SplitTwoEndpoints
+            } else if mx == 1.0 && mn == 0.0 {
+                Pm1Verdict::SplitMixed
+            } else if mx == 1.0 && mn == 1.0 {
+                let degenerate = outs[2][head] == outs[4][head] && outs[3][head] == outs[5][head];
+                if degenerate {
+                    Pm1Verdict::KeepSharedVertex
+                } else {
+                    Pm1Verdict::SplitDistinctVertices
+                }
+            } else if outs[6][head] > 1.0 {
+                Pm1Verdict::SplitNoVertexManyLines
+            } else {
+                Pm1Verdict::KeepSimple
+            }
+        })
+        .collect();
+
+    for out in outs {
+        machine.recycle(out);
+    }
+    for buf in ins {
+        machine.recycle(buf);
+    }
+    verdicts
+}
+
+/// The original unfused PM₁ decision: seven independent scans composed
+/// one at a time. Retained as the baseline for the fusion benchmarks and
+/// the bit-identity differential test.
+pub fn pm1_verdicts_unfused(
+    machine: &Machine,
+    state: &LineProcSet,
+    segs: &[LineSeg],
+) -> Vec<Pm1Verdict> {
     let seg = &state.seg;
     // Per-lane endpoint counts (EPs field of Fig. 20). Vertex membership
     // is *closed*: a vertex on a block boundary counts in every touching
@@ -139,6 +243,18 @@ pub fn pm1_decision(machine: &Machine, state: &LineProcSet, segs: &[LineSeg]) ->
         .collect()
 }
 
+/// Unfused variant of [`pm1_decision`], for the fusion baseline.
+pub fn pm1_decision_unfused(
+    machine: &Machine,
+    state: &LineProcSet,
+    segs: &[LineSeg],
+) -> Vec<bool> {
+    pm1_verdicts_unfused(machine, state, segs)
+        .into_iter()
+        .map(Pm1Verdict::must_split)
+        .collect()
+}
+
 /// Builds a PM₁ quadtree over `segs` with all lines inserted
 /// simultaneously (paper Sec. 5.1).
 ///
@@ -155,6 +271,21 @@ pub fn build_pm1(
     max_depth: usize,
 ) -> DpQuadtree {
     let mut decide = pm1_decision;
+    let out = run_quad_build(machine, world, segs, max_depth, &mut decide);
+    DpQuadtree::assemble(world, out.leaves, out.rounds, out.truncated)
+}
+
+/// [`build_pm1`] driven by the unfused decision — the before-fusion
+/// baseline for the complexity test and the criterion benchmarks. Builds
+/// a tree bit-identical to the fused build; only the machine's op-count
+/// profile (scan passes, fused-lane savings) differs.
+pub fn build_pm1_unfused(
+    machine: &Machine,
+    world: Rect,
+    segs: &[LineSeg],
+    max_depth: usize,
+) -> DpQuadtree {
+    let mut decide = pm1_decision_unfused;
     let out = run_quad_build(machine, world, segs, max_depth, &mut decide);
     DpQuadtree::assemble(world, out.leaves, out.rounds, out.truncated)
 }

@@ -20,8 +20,7 @@
 //! the build feeds to the unshuffle primitive.
 
 use dp_geom::Rect;
-use scan_model::ops::{Max, Min, Sum};
-use scan_model::{Direction, Machine, ScanKind, Segments};
+use scan_model::{Direction, FusedOp, Machine, ScanKind, Segments};
 
 /// Which node split selector the R-tree build uses (paper Sec. 4.7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,27 +41,47 @@ fn masked_group_rects(
     mbrs: &[Rect],
     mask: &[bool],
 ) -> Vec<Rect> {
-    let lo_x: Vec<f64> = machine.zip_map(mbrs, mask, |r, m| if m { r.min.x } else { f64::INFINITY });
-    let lo_y: Vec<f64> = machine.zip_map(mbrs, mask, |r, m| if m { r.min.y } else { f64::INFINITY });
-    let hi_x: Vec<f64> =
-        machine.zip_map(mbrs, mask, |r, m| if m { r.max.x } else { f64::NEG_INFINITY });
-    let hi_y: Vec<f64> =
-        machine.zip_map(mbrs, mask, |r, m| if m { r.max.y } else { f64::NEG_INFINITY });
-    let lo_x = machine.down_scan_seg(&lo_x, seg, Min, ScanKind::Inclusive);
-    let lo_y = machine.down_scan_seg(&lo_y, seg, Min, ScanKind::Inclusive);
-    let hi_x = machine.down_scan_seg(&hi_x, seg, Max, ScanKind::Inclusive);
-    let hi_y = machine.down_scan_seg(&hi_y, seg, Max, ScanKind::Inclusive);
+    // One elementwise pass fills all four masked extent lanes into
+    // arena-leased buffers, then the four min/max scans run fused.
     machine.note_elementwise();
-    seg.starts()
+    let mut lo_x: Vec<f64> = machine.lease();
+    let mut lo_y: Vec<f64> = machine.lease();
+    let mut hi_x: Vec<f64> = machine.lease();
+    let mut hi_y: Vec<f64> = machine.lease();
+    for (r, &m) in mbrs.iter().zip(mask) {
+        lo_x.push(if m { r.min.x } else { f64::INFINITY });
+        lo_y.push(if m { r.min.y } else { f64::INFINITY });
+        hi_x.push(if m { r.max.x } else { f64::NEG_INFINITY });
+        hi_y.push(if m { r.max.y } else { f64::NEG_INFINITY });
+    }
+    let lanes: [(&[f64], FusedOp); 4] = [
+        (&lo_x, FusedOp::Min),
+        (&lo_y, FusedOp::Min),
+        (&hi_x, FusedOp::Max),
+        (&hi_y, FusedOp::Max),
+    ];
+    let mut outs: Vec<Vec<f64>> = (0..lanes.len()).map(|_| machine.lease()).collect();
+    machine.scan_lanes_into(&lanes, seg, Direction::Down, ScanKind::Inclusive, &mut outs);
+    machine.note_elementwise();
+    let rects = seg
+        .starts()
         .iter()
         .map(|&h| {
-            if lo_x[h] > hi_x[h] || lo_y[h] > hi_y[h] {
+            if outs[0][h] > outs[2][h] || outs[1][h] > outs[3][h] {
                 Rect::empty()
             } else {
-                Rect::from_coords(lo_x[h], lo_y[h], hi_x[h], hi_y[h])
+                Rect::from_coords(outs[0][h], outs[1][h], outs[2][h], outs[3][h])
             }
         })
-        .collect()
+        .collect();
+    for out in outs {
+        machine.recycle(out);
+    }
+    machine.recycle(lo_x);
+    machine.recycle(lo_y);
+    machine.recycle(hi_x);
+    machine.recycle(hi_y);
+    rects
 }
 
 /// The minimum number of items each side of a split must receive.
@@ -129,21 +148,39 @@ fn mean_split(
     max: usize,
 ) -> Vec<bool> {
     let n = seg.len();
-    // Midpoints, per axis.
-    let mid_x: Vec<f64> = machine.map(mbrs, |r| r.center().x);
-    let mid_y: Vec<f64> = machine.map(mbrs, |r| r.center().y);
-    // Downward addition scans sum the midpoints; the head divides by the
-    // count and broadcasts back with an upward copy scan (Sec. 4.7).
-    let sum_x = machine.down_scan_seg(&mid_x, seg, Sum, ScanKind::Inclusive);
-    let sum_y = machine.down_scan_seg(&mid_y, seg, Sum, ScanKind::Inclusive);
-    let counts = machine.segment_counts(seg);
+    // Midpoints and a count lane, filled in one elementwise pass into
+    // leased buffers.
+    machine.note_elementwise();
+    let mut mid_x: Vec<f64> = machine.lease();
+    let mut mid_y: Vec<f64> = machine.lease();
+    let mut ones: Vec<f64> = machine.lease();
+    for r in mbrs {
+        let c = r.center();
+        mid_x.push(c.x);
+        mid_y.push(c.y);
+        ones.push(1.0);
+    }
+    // Downward addition scans sum the midpoints (and the count lane rides
+    // along fused); the head divides by the count and broadcasts back
+    // with an upward copy scan (Sec. 4.7).
+    let sum_lanes: [(&[f64], FusedOp); 3] = [
+        (&mid_x, FusedOp::Sum),
+        (&mid_y, FusedOp::Sum),
+        (&ones, FusedOp::Sum),
+    ];
+    let mut sums: Vec<Vec<f64>> = (0..sum_lanes.len()).map(|_| machine.lease()).collect();
+    machine.scan_lanes_into(&sum_lanes, seg, Direction::Down, ScanKind::Inclusive, &mut sums);
     machine.note_elementwise();
     let mut head_mean_x = vec![0.0f64; n];
     let mut head_mean_y = vec![0.0f64; n];
-    for (s, &h) in seg.starts().iter().enumerate() {
-        head_mean_x[h] = sum_x[h] / counts[s] as f64;
-        head_mean_y[h] = sum_y[h] / counts[s] as f64;
+    for &h in seg.starts() {
+        head_mean_x[h] = sums[0][h] / sums[2][h];
+        head_mean_y[h] = sums[1][h] / sums[2][h];
     }
+    for s in sums {
+        machine.recycle(s);
+    }
+    machine.recycle(ones);
     let mean_x = machine.broadcast_first(&head_mean_x, seg);
     let mean_y = machine.broadcast_first(&head_mean_y, seg);
 
@@ -159,11 +196,19 @@ fn mean_split(
     let left_y = masked_group_rects(machine, seg, mbrs, &not_y);
     let right_y = masked_group_rects(machine, seg, mbrs, &side_y);
 
-    // Side counts per segment (legality).
-    let ones_x: Vec<u64> = machine.map(&side_x, |b| b as u64);
-    let ones_y: Vec<u64> = machine.map(&side_y, |b| b as u64);
-    let cnt_x = machine.down_scan_seg(&ones_x, seg, Sum, ScanKind::Inclusive);
-    let cnt_y = machine.down_scan_seg(&ones_y, seg, Sum, ScanKind::Inclusive);
+    // Side counts per segment (legality), fused into one two-lane
+    // addition scan. The counts are small integers, exact in `f64`.
+    machine.note_elementwise();
+    let mut ones_x: Vec<f64> = machine.lease();
+    let mut ones_y: Vec<f64> = machine.lease();
+    for (&sx, &sy) in side_x.iter().zip(&side_y) {
+        ones_x.push(sx as u64 as f64);
+        ones_y.push(sy as u64 as f64);
+    }
+    let cnt_lanes: [(&[f64], FusedOp); 2] =
+        [(&ones_x, FusedOp::Sum), (&ones_y, FusedOp::Sum)];
+    let mut cnts: Vec<Vec<f64>> = (0..cnt_lanes.len()).map(|_| machine.lease()).collect();
+    machine.scan_lanes_into(&cnt_lanes, seg, Direction::Down, ScanKind::Inclusive, &mut cnts);
 
     // Per-segment axis choice.
     #[derive(Clone, Copy)]
@@ -180,11 +225,11 @@ fn mean_split(
             if !overflowing[s] {
                 return Choice::RankFallback; // unused
             }
-            let len = r.len() as u64;
+            let len = r.len() as f64;
             let h = r.start;
-            let floor = split_floor(r.len(), m_min, max) as u64;
-            let legal = |right: u64| right >= floor && (len - right) >= floor;
-            let (lx, ly) = (legal(cnt_x[h]), legal(cnt_y[h]));
+            let floor = split_floor(r.len(), m_min, max) as f64;
+            let legal = |right: f64| right >= floor && (len - right) >= floor;
+            let (lx, ly) = (legal(cnts[0][h]), legal(cnts[1][h]));
             let ov_x = left_x[s].overlap_area(&right_x[s]);
             let ov_y = left_y[s].overlap_area(&right_y[s]);
             match (lx, ly) {
@@ -221,6 +266,13 @@ fn mean_split(
             };
         }
     }
+    for c in cnts {
+        machine.recycle(c);
+    }
+    machine.recycle(ones_x);
+    machine.recycle(ones_y);
+    machine.recycle(mid_x);
+    machine.recycle(mid_y);
     class
 }
 
@@ -252,24 +304,37 @@ fn axis_sweep(
     // Sort by the left edge along the axis (Fig. 29's `ls:left side`).
     let keys: Vec<f64> = machine.map(mbrs, |r| if axis_y { r.min.y } else { r.min.x });
     let order = machine.segmented_sort_perm(seg, &keys, |a, b| a.total_cmp(b));
-    let sorted: Vec<Rect> = machine.gather(mbrs, &order);
+    let mut sorted: Vec<Rect> = machine.lease();
+    machine.gather_into(mbrs, &order, &mut sorted);
 
+    // One elementwise pass fills the four extent lanes of the sorted
+    // boxes into leased buffers.
+    machine.note_elementwise();
+    let mut lo_x: Vec<f64> = machine.lease();
+    let mut lo_y: Vec<f64> = machine.lease();
+    let mut hi_x: Vec<f64> = machine.lease();
+    let mut hi_y: Vec<f64> = machine.lease();
+    for r in &sorted {
+        lo_x.push(r.min.x);
+        lo_y.push(r.min.y);
+        hi_x.push(r.max.x);
+        hi_y.push(r.max.y);
+    }
+    let lanes: [(&[f64], FusedOp); 4] = [
+        (&lo_x, FusedOp::Min),
+        (&lo_y, FusedOp::Min),
+        (&hi_x, FusedOp::Max),
+        (&hi_y, FusedOp::Max),
+    ];
     // L Bbox: upward inclusive min/max scans (Fig. 29 rows
-    // `L Bbox left side` / `L Bbox right side`, extended to full boxes).
-    let lo_x: Vec<f64> = machine.map(&sorted, |r| r.min.x);
-    let lo_y: Vec<f64> = machine.map(&sorted, |r| r.min.y);
-    let hi_x: Vec<f64> = machine.map(&sorted, |r| r.max.x);
-    let hi_y: Vec<f64> = machine.map(&sorted, |r| r.max.y);
-    let l_lo_x = machine.up_scan_seg(&lo_x, seg, Min, ScanKind::Inclusive);
-    let l_lo_y = machine.up_scan_seg(&lo_y, seg, Min, ScanKind::Inclusive);
-    let l_hi_x = machine.up_scan_seg(&hi_x, seg, Max, ScanKind::Inclusive);
-    let l_hi_y = machine.up_scan_seg(&hi_y, seg, Max, ScanKind::Inclusive);
+    // `L Bbox left side` / `L Bbox right side`, extended to full boxes),
+    // fused into one four-lane pass.
+    let mut l_outs: Vec<Vec<f64>> = (0..lanes.len()).map(|_| machine.lease()).collect();
+    machine.scan_lanes_into(&lanes, seg, Direction::Up, ScanKind::Inclusive, &mut l_outs);
     // R Bbox: downward exclusive scans (Fig. 29's "analogous downward
-    // min/max exclusive scans").
-    let r_lo_x = machine.scan(&lo_x, seg, Min, Direction::Down, ScanKind::Exclusive);
-    let r_lo_y = machine.scan(&lo_y, seg, Min, Direction::Down, ScanKind::Exclusive);
-    let r_hi_x = machine.scan(&hi_x, seg, Max, Direction::Down, ScanKind::Exclusive);
-    let r_hi_y = machine.scan(&hi_y, seg, Max, Direction::Down, ScanKind::Exclusive);
+    // min/max exclusive scans"), likewise fused.
+    let mut r_outs: Vec<Vec<f64>> = (0..lanes.len()).map(|_| machine.lease()).collect();
+    machine.scan_lanes_into(&lanes, seg, Direction::Down, ScanKind::Exclusive, &mut r_outs);
 
     let rank = machine.rank_in_segment(seg);
     let lens = machine.segment_counts_broadcast(seg);
@@ -284,16 +349,28 @@ fn axis_sweep(
             if k < floor || len - k < floor {
                 return (f64::INFINITY, f64::INFINITY);
             }
-            let l = Rect::from_coords(l_lo_x[i], l_lo_y[i], l_hi_x[i], l_hi_y[i]);
+            let l = Rect::from_coords(l_outs[0][i], l_outs[1][i], l_outs[2][i], l_outs[3][i]);
             let r = Rect::from_coords(
-                r_lo_x[i].min(r_hi_x[i]),
-                r_lo_y[i].min(r_hi_y[i]),
-                r_hi_x[i],
-                r_hi_y[i],
+                r_outs[0][i].min(r_outs[2][i]),
+                r_outs[1][i].min(r_outs[3][i]),
+                r_outs[2][i],
+                r_outs[3][i],
             );
             (l.overlap_area(&r), l.margin() + r.margin())
         })
         .collect();
+
+    for out in l_outs {
+        machine.recycle(out);
+    }
+    for out in r_outs {
+        machine.recycle(out);
+    }
+    machine.recycle(lo_x);
+    machine.recycle(lo_y);
+    machine.recycle(hi_x);
+    machine.recycle(hi_y);
+    machine.recycle(sorted);
 
     AxisSweep { order, score, rank }
 }
@@ -355,6 +432,7 @@ fn sweep_split(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scan_model::ops::{Max, Min};
     use scan_model::Backend;
 
     fn machines() -> Vec<Machine> {

@@ -69,13 +69,21 @@ fn split_stage(
     halves: fn(&Rect) -> (Rect, Rect),
 ) -> StageOut {
     // Step 1 (elementwise): membership in each half; crossing lanes are
-    // members of both (paper Fig. 24's `clone` flag).
-    let membership: Vec<(bool, bool)> = machine.zip_map(line, rect, |id, r| {
-        let (first, second) = halves(&r);
-        let s = &segs[id as usize];
-        (seg_in_block(s, &first), seg_in_block(s, &second))
-    });
-    let clone_flags: Vec<bool> = machine.map(&membership, |(a, b)| a && b);
+    // members of both (paper Fig. 24's `clone` flag). All intermediates
+    // live in arena-leased buffers recycled before the stage returns.
+    let mut membership: Vec<(bool, bool)> = machine.lease();
+    machine.zip_map_into(
+        line,
+        rect,
+        |id, r| {
+            let (first, second) = halves(&r);
+            let s = &segs[id as usize];
+            (seg_in_block(s, &first), seg_in_block(s, &second))
+        },
+        &mut membership,
+    );
+    let mut clone_flags: Vec<bool> = machine.lease();
+    machine.map_into(&membership, |(a, b)| a && b, &mut clone_flags);
     debug_assert!(
         membership.iter().all(|&(a, b)| a || b),
         "every lane must belong to at least one half of its own block"
@@ -83,47 +91,66 @@ fn split_stage(
 
     // Step 2: clone the crossing lanes (Sec. 4.1).
     let layout = machine.clone_layout(seg, &clone_flags);
-    let line = machine.apply_clone(line, &layout);
-    let rect = machine.apply_clone(rect, &layout);
-    let membership = machine.apply_clone(&membership, &layout);
-    let crossing = machine.apply_clone(&clone_flags, &layout);
+    let mut c_line: Vec<SegId> = machine.lease();
+    machine.apply_clone_into(line, &layout, &mut c_line);
+    let mut c_rect: Vec<Rect> = machine.lease();
+    machine.apply_clone_into(rect, &layout, &mut c_rect);
+    let mut c_membership: Vec<(bool, bool)> = machine.lease();
+    machine.apply_clone_into(&membership, &layout, &mut c_membership);
+    let mut crossing: Vec<bool> = machine.lease();
+    machine.apply_clone_into(&clone_flags, &layout, &mut crossing);
+    machine.recycle(membership);
+    machine.recycle(clone_flags);
 
     // Step 3: classify each lane (Fig. 25): of a cloned pair the original
     // takes the first half and the clone the second; non-crossing lanes
     // follow their membership.
-    let class: Vec<bool> = {
-        machine.note_elementwise();
-        (0..line.len())
-            .map(|i| {
-                if crossing[i] {
-                    layout.is_clone[i]
-                } else {
-                    membership[i].1
-                }
-            })
-            .collect()
-    };
+    machine.note_elementwise();
+    let mut class: Vec<bool> = machine.lease();
+    class.extend((0..c_line.len()).map(|i| {
+        if crossing[i] {
+            layout.is_clone[i]
+        } else {
+            c_membership[i].1
+        }
+    }));
 
     // Unshuffle into [first | second] within each segment (Sec. 4.2).
     let un = machine.unshuffle_layout(&layout.seg, &class);
-    let line = machine.apply_unshuffle(&line, &un);
-    let rect = machine.apply_unshuffle(&rect, &un);
-    let class = machine.apply_unshuffle(&class, &un);
+    let mut out_line: Vec<SegId> = machine.lease();
+    machine.apply_unshuffle_into(&c_line, &un, &mut out_line);
+    let mut u_rect: Vec<Rect> = machine.lease();
+    machine.apply_unshuffle_into(&c_rect, &un, &mut u_rect);
+    let mut u_class: Vec<bool> = machine.lease();
+    machine.apply_unshuffle_into(&class, &un, &mut u_class);
+    machine.recycle(c_line);
+    machine.recycle(c_rect);
+    machine.recycle(c_membership);
+    machine.recycle(crossing);
+    machine.recycle(class);
 
     // Update every lane's block to its half (elementwise — each lane
     // knows its side from the packed class bit).
-    let rect = machine.zip_map(&rect, &class, |r, c| {
-        let (first, second) = halves(&r);
-        if c {
-            second
-        } else {
-            first
-        }
-    });
+    let mut out_rect: Vec<Rect> = machine.lease();
+    machine.zip_map_into(
+        &u_rect,
+        &u_class,
+        |r, c| {
+            let (first, second) = halves(&r);
+            if c {
+                second
+            } else {
+                first
+            }
+        },
+        &mut out_rect,
+    );
+    machine.recycle(u_rect);
+    machine.recycle(u_class);
 
     StageOut {
-        line,
-        rect,
+        line: out_line,
+        rect: out_rect,
         counts: un.counts,
     }
 }
@@ -140,10 +167,20 @@ pub fn split_active_nodes(machine: &Machine, state: LineProcSet, segs: &[LineSeg
     }
 
     // ---- Stage 1: horizontal cut into top / bottom halves. ----
-    let stage1 = split_stage(machine, &state.line, &state.rect, &state.seg, segs, halves_y);
-    let mut half_nodes: Vec<HalfNode> = Vec::with_capacity(state.nodes.len() * 2);
-    let mut half_lengths: Vec<usize> = Vec::with_capacity(state.nodes.len() * 2);
-    for (node, &(n_top, n_bottom)) in state.nodes.iter().zip(stage1.counts.iter()) {
+    // The superseded lane vectors go back to the machine's arena so the
+    // next round's leases reuse their capacity.
+    let LineProcSet {
+        line: old_line,
+        rect: old_rect,
+        seg: old_seg,
+        nodes: old_nodes,
+    } = state;
+    let stage1 = split_stage(machine, &old_line, &old_rect, &old_seg, segs, halves_y);
+    machine.recycle(old_line);
+    machine.recycle(old_rect);
+    let mut half_nodes: Vec<HalfNode> = Vec::with_capacity(old_nodes.len() * 2);
+    let mut half_lengths: Vec<usize> = Vec::with_capacity(old_nodes.len() * 2);
+    for (node, &(n_top, n_bottom)) in old_nodes.iter().zip(stage1.counts.iter()) {
         let (top, bottom) = halves_y(&node.rect);
         if n_top > 0 {
             half_nodes.push(HalfNode {
@@ -174,6 +211,8 @@ pub fn split_active_nodes(machine: &Machine, state: LineProcSet, segs: &[LineSeg
         segs,
         halves_x,
     );
+    machine.recycle(stage1.line);
+    machine.recycle(stage1.rect);
     let mut nodes: Vec<ActiveNode> = Vec::with_capacity(half_nodes.len() * 2);
     let mut lengths: Vec<usize> = Vec::with_capacity(half_nodes.len() * 2);
     for (half, &(n_left, n_right)) in half_nodes.iter().zip(stage2.counts.iter()) {

@@ -53,6 +53,7 @@
 
 pub mod arena;
 pub mod error;
+pub mod fused;
 pub mod machine;
 pub mod ops;
 pub mod par;
@@ -64,6 +65,7 @@ pub mod vector;
 
 pub use arena::ScratchArena;
 pub use error::ScanModelError;
+pub use fused::{FusedElement, FusedOp};
 pub use machine::{Backend, Machine, OpStats, StatsSnapshot};
 pub use scan::{Direction, ScanKind};
 pub use vector::Segments;

@@ -13,13 +13,16 @@
 //! `EXPERIMENTS.md` verifies them by reading [`OpStats`] snapshots rather
 //! than wall-clock time alone.
 
+use crate::arena::ScratchArena;
+use crate::fused::{self, FusedElement, FusedOp};
 use crate::ops::{CombineOp, Element};
 use crate::par::{self, PAR_THRESHOLD};
-use crate::permute::{permute_par, permute_seq};
-use crate::scan::{scan_seq, Direction, ScanKind};
+use crate::permute::{permute_par_into, permute_seq_into};
+use crate::scan::{scan_seq_into, Direction, ScanKind};
 use crate::vector::Segments;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Execution backend for primitive operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -42,12 +45,16 @@ pub struct OpStats {
     permutes: AtomicU64,
     sorts: AtomicU64,
     rounds: AtomicU64,
+    scan_passes: AtomicU64,
+    fused_lanes_saved: AtomicU64,
+    allocs_avoided: AtomicU64,
 }
 
 /// A point-in-time copy of [`OpStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
-    /// Segmented or unsegmented scan operations.
+    /// Segmented or unsegmented scan operations (a fused K-lane scan counts
+    /// as K — the paper-level operation count is unchanged by fusion).
     pub scans: u64,
     /// Elementwise (map / zip-map) operations.
     pub elementwise: u64,
@@ -57,6 +64,16 @@ pub struct StatsSnapshot {
     pub sorts: u64,
     /// Algorithm-level iteration rounds recorded via [`Machine::bump_rounds`].
     pub rounds: u64,
+    /// Physical passes over the segment structure: one per unfused scan,
+    /// one per [`Machine::scan_lanes`] call regardless of lane count. This
+    /// is the quantity fusion lowers (`scan_passes <= scans` always).
+    pub scan_passes: u64,
+    /// Extra passes avoided by fusion: a K-lane fused scan adds `K - 1`.
+    /// Invariant: `scans == scan_passes + fused_lanes_saved`.
+    pub fused_lanes_saved: u64,
+    /// `_into`-variant calls served by a buffer whose capacity already
+    /// covered the output (no heap allocation took place).
+    pub allocs_avoided: u64,
 }
 
 impl StatsSnapshot {
@@ -74,17 +91,30 @@ impl StatsSnapshot {
             permutes: self.permutes - earlier.permutes,
             sorts: self.sorts - earlier.sorts,
             rounds: self.rounds - earlier.rounds,
+            scan_passes: self.scan_passes - earlier.scan_passes,
+            fused_lanes_saved: self.fused_lanes_saved - earlier.fused_lanes_saved,
+            allocs_avoided: self.allocs_avoided - earlier.allocs_avoided,
         }
     }
 }
 
-/// The software vector machine. Cheap to share by reference; all state is
-/// interior-mutable atomics.
-#[derive(Debug, Default)]
+/// The software vector machine. Cheap to share by reference; counter state
+/// is interior-mutable atomics, the scratch arena sits behind its own lock.
+#[derive(Debug)]
 pub struct Machine {
     backend: Backend,
     par_threshold: usize,
+    /// Worker-pool width, read once at construction so `block_len` does
+    /// not re-query it on every parallel primitive.
+    threads: usize,
     stats: OpStats,
+    scratch: Mutex<ScratchArena>,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new(Backend::default())
+    }
 }
 
 impl Machine {
@@ -93,7 +123,9 @@ impl Machine {
         Machine {
             backend,
             par_threshold: PAR_THRESHOLD,
+            threads: rayon::current_num_threads().max(1),
             stats: OpStats::default(),
+            scratch: Mutex::new(ScratchArena::new()),
         }
     }
 
@@ -131,6 +163,9 @@ impl Machine {
             permutes: self.stats.permutes.load(Ordering::Relaxed),
             sorts: self.stats.sorts.load(Ordering::Relaxed),
             rounds: self.stats.rounds.load(Ordering::Relaxed),
+            scan_passes: self.stats.scan_passes.load(Ordering::Relaxed),
+            fused_lanes_saved: self.stats.fused_lanes_saved.load(Ordering::Relaxed),
+            allocs_avoided: self.stats.allocs_avoided.load(Ordering::Relaxed),
         }
     }
 
@@ -141,6 +176,42 @@ impl Machine {
         self.stats.permutes.store(0, Ordering::Relaxed);
         self.stats.sorts.store(0, Ordering::Relaxed);
         self.stats.rounds.store(0, Ordering::Relaxed);
+        self.stats.scan_passes.store(0, Ordering::Relaxed);
+        self.stats.fused_lanes_saved.store(0, Ordering::Relaxed);
+        self.stats.allocs_avoided.store(0, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Scratch arena
+    // ------------------------------------------------------------------
+
+    /// Leases an empty scratch `Vec<T>` from the machine's arena, reusing
+    /// pooled capacity when available. Pair with [`Machine::recycle`].
+    pub fn lease<T: Send + 'static>(&self) -> Vec<T> {
+        self.scratch.lock().expect("machine arena poisoned").take()
+    }
+
+    /// Returns a scratch buffer to the arena for later reuse.
+    pub fn recycle<T: Send + 'static>(&self, buf: Vec<T>) {
+        self.scratch.lock().expect("machine arena poisoned").put(buf);
+    }
+
+    /// `(takes, reuse hits)` of the machine's scratch arena.
+    pub fn arena_stats(&self) -> (u64, u64) {
+        self.scratch
+            .lock()
+            .expect("machine arena poisoned")
+            .reuse_stats()
+    }
+
+    /// Records that an `_into` primitive reused a warm buffer. Counted
+    /// centrally from the output buffer's pre-call capacity, *before*
+    /// backend dispatch, so sequential and parallel machines running the
+    /// same algorithm report identical snapshots.
+    fn note_alloc_avoided(&self, capacity: usize, needed: usize) {
+        if needed > 0 && capacity >= needed {
+            self.stats.allocs_avoided.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records one algorithm-level round (a subdivision stage in the build
@@ -172,6 +243,16 @@ impl Machine {
 
     pub(crate) fn count_scan(&self) {
         self.stats.scans.fetch_add(1, Ordering::Relaxed);
+        self.stats.scan_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A K-lane fused scan is K paper-level scans in one physical pass.
+    fn count_fused_scan(&self, lanes: u64) {
+        self.stats.scans.fetch_add(lanes, Ordering::Relaxed);
+        self.stats.scan_passes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .fused_lanes_saved
+            .fetch_add(lanes.saturating_sub(1), Ordering::Relaxed);
     }
 
     pub(crate) fn count_elementwise(&self) {
@@ -207,11 +288,84 @@ impl Machine {
         T: Element,
         O: CombineOp<T>,
     {
+        let mut out = Vec::new();
+        self.scan_into(data, seg, op, dir, kind, &mut out);
+        out
+    }
+
+    /// Segmented scan into a caller-provided buffer (cleared first). Lease
+    /// the buffer from [`Machine::lease`] and the steady-state call is
+    /// allocation-free; bit-identical to [`Machine::scan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != seg.len()`.
+    pub fn scan_into<T, O>(
+        &self,
+        data: &[T],
+        seg: &Segments,
+        op: O,
+        dir: Direction,
+        kind: ScanKind,
+        out: &mut Vec<T>,
+    ) where
+        T: Element,
+        O: CombineOp<T>,
+    {
         self.count_scan();
+        self.note_alloc_avoided(out.capacity(), data.len());
         if self.use_par(data.len()) {
-            par::scan_par(data, seg, op, dir, kind)
+            par::scan_par_into(data, seg, op, dir, kind, self.threads, out);
         } else {
-            scan_seq(data, seg, op, dir, kind)
+            scan_seq_into(data, seg, op, dir, kind, out);
+        }
+    }
+
+    /// Fused multi-lane segmented scan: runs every `(data, op)` lane — all
+    /// sharing `seg`, `dir` and `kind` — in a **single pass** over the
+    /// segment structure. Counts as `lanes.len()` paper-level scans but
+    /// only one physical pass (see [`StatsSnapshot::fused_lanes_saved`]).
+    /// Each returned vector is bit-identical to the corresponding
+    /// [`Machine::scan`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane's length differs from `seg.len()`.
+    pub fn scan_lanes<T: FusedElement>(
+        &self,
+        lanes: &[(&[T], FusedOp)],
+        seg: &Segments,
+        dir: Direction,
+        kind: ScanKind,
+    ) -> Vec<Vec<T>> {
+        let mut outs: Vec<Vec<T>> = (0..lanes.len()).map(|_| Vec::new()).collect();
+        self.scan_lanes_into(lanes, seg, dir, kind, &mut outs);
+        outs
+    }
+
+    /// [`Machine::scan_lanes`] into caller-provided buffers (cleared
+    /// first); `outs.len()` must equal `lanes.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes.len() != outs.len()` or any lane's length differs
+    /// from `seg.len()`.
+    pub fn scan_lanes_into<T: FusedElement>(
+        &self,
+        lanes: &[(&[T], FusedOp)],
+        seg: &Segments,
+        dir: Direction,
+        kind: ScanKind,
+        outs: &mut [Vec<T>],
+    ) {
+        self.count_fused_scan(lanes.len() as u64);
+        for out in outs.iter_mut() {
+            self.note_alloc_avoided(out.capacity(), seg.len());
+        }
+        if self.use_par(seg.len()) {
+            fused::scan_lanes_par_into(lanes, seg, dir, kind, self.threads, outs);
+        } else {
+            fused::scan_lanes_seq_into(lanes, seg, dir, kind, outs);
         }
     }
 
@@ -268,11 +422,25 @@ impl Machine {
         U: Element,
         F: Fn(T) -> U + Send + Sync,
     {
+        let mut out = Vec::new();
+        self.map_into(data, f, &mut out);
+        out
+    }
+
+    /// Unary elementwise map into a caller-provided buffer (cleared first).
+    pub fn map_into<T, U, F>(&self, data: &[T], f: F, out: &mut Vec<U>)
+    where
+        T: Element,
+        U: Element,
+        F: Fn(T) -> U + Send + Sync,
+    {
         self.count_elementwise();
+        self.note_alloc_avoided(out.capacity(), data.len());
         if self.use_par(data.len()) {
-            par::map_par(data, f)
+            par::map_par_into(data, f, out);
         } else {
-            data.iter().map(|&x| f(x)).collect()
+            out.clear();
+            out.extend(data.iter().map(|&x| f(x)));
         }
     }
 
@@ -288,9 +456,28 @@ impl Machine {
         U: Element,
         F: Fn(A, B) -> U + Send + Sync,
     {
+        let mut out = Vec::new();
+        self.zip_map_into(a, b, f, &mut out);
+        out
+    }
+
+    /// Binary elementwise map into a caller-provided buffer (cleared
+    /// first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length.
+    pub fn zip_map_into<A, B, U, F>(&self, a: &[A], b: &[B], f: F, out: &mut Vec<U>)
+    where
+        A: Element,
+        B: Element,
+        U: Element,
+        F: Fn(A, B) -> U + Send + Sync,
+    {
         self.count_elementwise();
+        self.note_alloc_avoided(out.capacity(), a.len());
         if self.use_par(a.len()) {
-            par::zip_map_par(a, b, f)
+            par::zip_map_par_into(a, b, f, out);
         } else {
             assert_eq!(
                 a.len(),
@@ -299,7 +486,40 @@ impl Machine {
                 a.len(),
                 b.len()
             );
-            a.iter().zip(b.iter()).map(|(&x, &y)| f(x, y)).collect()
+            out.clear();
+            out.extend(a.iter().zip(b.iter()).map(|(&x, &y)| f(x, y)));
+        }
+    }
+
+    /// Fused multi-lane elementwise fill: evaluates `f(i)` once per index
+    /// and writes its K results into K caller-provided buffers (cleared
+    /// first) in a single pass — the elementwise analogue of
+    /// [`Machine::scan_lanes_into`], for steps that derive several scan
+    /// input lanes from one shared computation (e.g. the PM₁ decision's
+    /// endpoint count plus four bounding-box extents). Counts as one
+    /// elementwise operation.
+    pub fn fill_lanes_into<T, F, const K: usize>(&self, n: usize, f: F, outs: &mut [Vec<T>; K])
+    where
+        T: Element + Default,
+        F: Fn(usize) -> [T; K] + Sync,
+    {
+        self.count_elementwise();
+        for out in outs.iter() {
+            self.note_alloc_avoided(out.capacity(), n);
+        }
+        if self.use_par(n) {
+            par::fill_lanes_par_into(n, &f, self.threads, outs);
+        } else {
+            for out in outs.iter_mut() {
+                out.clear();
+                out.reserve(n);
+            }
+            for i in 0..n {
+                let vals = f(i);
+                for (out, v) in outs.iter_mut().zip(vals) {
+                    out.push(v);
+                }
+            }
         }
     }
 
@@ -314,11 +534,23 @@ impl Machine {
     ///
     /// Panics if lengths differ or `index` is not one-to-one.
     pub fn permute<T: Element>(&self, data: &[T], index: &[usize]) -> Vec<T> {
+        let mut out = Vec::new();
+        self.permute_into(data, index, &mut out);
+        out
+    }
+
+    /// Scatter permutation into a caller-provided buffer (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or `index` is not one-to-one.
+    pub fn permute_into<T: Element>(&self, data: &[T], index: &[usize], out: &mut Vec<T>) {
         self.count_permute();
+        self.note_alloc_avoided(out.capacity(), data.len());
         if self.use_par(data.len()) {
-            permute_par(data, index)
+            permute_par_into(data, index, out);
         } else {
-            permute_seq(data, index)
+            permute_seq_into(data, index, out);
         }
     }
 
@@ -329,11 +561,24 @@ impl Machine {
     ///
     /// Panics if any order entry is out of bounds.
     pub fn gather<T: Element>(&self, data: &[T], order: &[usize]) -> Vec<T> {
+        let mut out = Vec::new();
+        self.gather_into(data, order, &mut out);
+        out
+    }
+
+    /// Gather into a caller-provided buffer (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any order entry is out of bounds.
+    pub fn gather_into<T: Element>(&self, data: &[T], order: &[usize], out: &mut Vec<T>) {
         self.count_permute();
+        self.note_alloc_avoided(out.capacity(), order.len());
         if self.use_par(order.len()) {
-            order.par_iter().map(|&i| data[i]).collect()
+            order.par_iter().map(|&i| data[i]).collect_into_vec(out);
         } else {
-            order.iter().map(|&i| data[i]).collect()
+            out.clear();
+            out.extend(order.iter().map(|&i| data[i]));
         }
     }
 }

@@ -26,14 +26,17 @@ use rayon::prelude::*;
 
 /// Default minimum vector length before the parallel backend engages;
 /// below this the sequential code is used even on the parallel backend.
-pub const PAR_THRESHOLD: usize = 4096;
+/// Lowered from 4096 once the rayon shim gained a persistent worker pool:
+/// dispatch now costs a queue push instead of per-call thread spawns, so
+/// smaller vectors amortize it.
+pub const PAR_THRESHOLD: usize = 2048;
 
 /// Block length used for the two-pass scan, chosen so pass-1/pass-2 chunks
 /// amortize rayon task overhead while leaving enough blocks for load
-/// balancing.
-fn block_len(n: usize) -> usize {
-    let threads = rayon::current_num_threads().max(1);
-    (n / (4 * threads)).max(1024)
+/// balancing. `threads` is the pool width, cached by the caller
+/// ([`crate::machine::Machine`]) so it is not re-queried per primitive.
+pub(crate) fn block_len(n: usize, threads: usize) -> usize {
+    (n / (4 * threads.max(1))).max(1024)
 }
 
 /// Per-block summary of a (reset, value) pair scan: whether the block
@@ -61,6 +64,38 @@ where
     T: Element,
     O: CombineOp<T>,
 {
+    let mut out = Vec::new();
+    scan_par_into(
+        data,
+        seg,
+        op,
+        dir,
+        kind,
+        rayon::current_num_threads(),
+        &mut out,
+    );
+    out
+}
+
+/// Parallel segmented scan writing into a caller-provided buffer (cleared
+/// and resized first). `threads` is the cached pool width used for block
+/// sizing. Bit-identical to [`crate::scan::scan_seq`].
+///
+/// # Panics
+///
+/// Panics if `data.len() != seg.len()`.
+pub fn scan_par_into<T, O>(
+    data: &[T],
+    seg: &Segments,
+    op: O,
+    dir: Direction,
+    kind: ScanKind,
+    threads: usize,
+    out: &mut Vec<T>,
+) where
+    T: Element,
+    O: CombineOp<T>,
+{
     assert_eq!(
         data.len(),
         seg.len(),
@@ -70,22 +105,29 @@ where
     );
     let n = data.len();
     if n == 0 {
-        return Vec::new();
+        out.clear();
+        return;
     }
     match dir {
-        Direction::Up => scan_par_up(data, seg, op, kind),
-        Direction::Down => scan_par_down(data, seg, op, kind),
+        Direction::Up => scan_par_up(data, seg, op, kind, threads, out),
+        Direction::Down => scan_par_down(data, seg, op, kind, threads, out),
     }
 }
 
-fn scan_par_up<T, O>(data: &[T], seg: &Segments, op: O, kind: ScanKind) -> Vec<T>
-where
+fn scan_par_up<T, O>(
+    data: &[T],
+    seg: &Segments,
+    op: O,
+    kind: ScanKind,
+    threads: usize,
+    out: &mut Vec<T>,
+) where
     T: Element,
     O: CombineOp<T>,
 {
     let n = data.len();
     let flags = seg.flags();
-    let blk = block_len(n);
+    let blk = block_len(n, threads);
     let nblocks = n.div_ceil(blk);
 
     // Pass 1: per-block pair-scan totals, left-to-right within each block.
@@ -131,7 +173,8 @@ where
     }
 
     // Pass 2: re-scan each block seeded with its carry.
-    let mut out: Vec<T> = vec![op.identity(); n];
+    out.clear();
+    out.resize(n, op.identity());
     out.par_chunks_mut(blk).enumerate().for_each(|(b, chunk)| {
         let lo = b * blk;
         let mut state: Option<T> = carries[b];
@@ -158,11 +201,16 @@ where
             };
         }
     });
-    out
 }
 
-fn scan_par_down<T, O>(data: &[T], seg: &Segments, op: O, kind: ScanKind) -> Vec<T>
-where
+fn scan_par_down<T, O>(
+    data: &[T],
+    seg: &Segments,
+    op: O,
+    kind: ScanKind,
+    threads: usize,
+    out: &mut Vec<T>,
+) where
     T: Element,
     O: CombineOp<T>,
 {
@@ -172,7 +220,7 @@ where
         let flags = seg.flags();
         (0..n).map(|i| i + 1 == n || flags[i + 1]).collect()
     };
-    let blk = block_len(n);
+    let blk = block_len(n, threads);
     let nblocks = n.div_ceil(blk);
 
     // Pass 1: per-block pair-scan totals, right-to-left within each block.
@@ -219,7 +267,8 @@ where
         };
     }
 
-    let mut out: Vec<T> = vec![op.identity(); n];
+    out.clear();
+    out.resize(n, op.identity());
     out.par_chunks_mut(blk).enumerate().for_each(|(b, chunk)| {
         let lo = b * blk;
         let mut state: Option<T> = carries[b];
@@ -246,7 +295,6 @@ where
             };
         }
     });
-    out
 }
 
 /// Parallel unary elementwise map.
@@ -257,6 +305,79 @@ where
     F: Fn(T) -> U + Send + Sync,
 {
     data.par_iter().map(|&x| f(x)).collect()
+}
+
+/// Parallel unary elementwise map into a caller-provided buffer.
+pub fn map_par_into<T, U, F>(data: &[T], f: F, out: &mut Vec<U>)
+where
+    T: Element,
+    U: Element,
+    F: Fn(T) -> U + Send + Sync,
+{
+    data.par_iter().map(|&x| f(x)).collect_into_vec(out);
+}
+
+/// Parallel binary elementwise map into a caller-provided buffer.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn zip_map_par_into<A, B, U, F>(a: &[A], b: &[B], f: F, out: &mut Vec<U>)
+where
+    A: Element,
+    B: Element,
+    U: Element,
+    F: Fn(A, B) -> U + Send + Sync,
+{
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "elementwise: vector lengths {} and {} differ",
+        a.len(),
+        b.len()
+    );
+    a.par_iter()
+        .zip(b.par_iter())
+        .map(|(&x, &y)| f(x, y))
+        .collect_into_vec(out);
+}
+
+/// Parallel fused multi-lane elementwise fill: evaluates `f(i)` once per
+/// index across disjoint blocks and scatters the K results into the K
+/// output buffers through raw base pointers. One pass regardless of K.
+pub fn fill_lanes_par_into<T, F, const K: usize>(
+    n: usize,
+    f: &F,
+    threads: usize,
+    outs: &mut [Vec<T>; K],
+) where
+    T: Element + Default,
+    F: Fn(usize) -> [T; K] + Sync,
+{
+    for out in outs.iter_mut() {
+        out.clear();
+        out.resize(n, T::default());
+    }
+    if n == 0 {
+        return;
+    }
+    let bases: [crate::scatter::SyncPtr<T>; K] =
+        std::array::from_fn(|l| crate::scatter::SyncPtr(outs[l].as_mut_ptr()));
+    let blk = block_len(n, threads);
+    let nblocks = n.div_ceil(blk);
+    (0..nblocks).into_par_iter().for_each(|b| {
+        let lo = b * blk;
+        let hi = (lo + blk).min(n);
+        for i in lo..hi {
+            let vals = f(i);
+            for (l, v) in vals.into_iter().enumerate() {
+                // SAFETY: slot i of lane l is written exactly once, by the
+                // block owning index i; blocks are disjoint and i < n,
+                // within each out's resized length.
+                unsafe { bases[l].get().add(i).write(v) };
+            }
+        }
+    });
 }
 
 /// Parallel binary elementwise map (paper Fig. 9 generalized to any `f`).

@@ -9,7 +9,7 @@
 
 use crate::error::ScanModelError;
 use crate::ops::Element;
-use crate::scatter::ScatterBuf;
+use crate::scatter::SyncPtr;
 use rayon::prelude::*;
 
 /// Checks that `index` is an injective map into `0..target_len`.
@@ -50,6 +50,18 @@ pub fn validate_permutation(index: &[usize], target_len: usize) -> Result<(), Sc
 /// Panics if lengths differ or the index vector is not a permutation
 /// (the one-to-one requirement of paper Fig. 10).
 pub fn permute_seq<T: Element>(data: &[T], index: &[usize]) -> Vec<T> {
+    let mut out = Vec::new();
+    permute_seq_into(data, index, &mut out);
+    out
+}
+
+/// Sequential permutation into a caller-provided buffer (cleared first),
+/// with the same contract as [`permute_seq`].
+///
+/// # Panics
+///
+/// Panics if lengths differ or the index vector is not a permutation.
+pub fn permute_seq_into<T: Element>(data: &[T], index: &[usize], out: &mut Vec<T>) {
     assert_eq!(
         data.len(),
         index.len(),
@@ -59,24 +71,36 @@ pub fn permute_seq<T: Element>(data: &[T], index: &[usize]) -> Vec<T> {
     );
     validate_permutation(index, data.len())
         .unwrap_or_else(|e| panic!("permute: {e}"));
-    let mut out = data.to_vec();
+    out.clear();
+    out.extend_from_slice(data);
     for (i, &t) in index.iter().enumerate() {
         out[t] = data[i];
     }
-    out
 }
 
 /// Parallel permutation with the same contract as [`permute_seq`].
-///
-/// Validation runs first (sequentially — it is a cheap O(n) pass), then the
-/// scatter writes proceed in parallel through a [`ScatterBuf`], which is
-/// sound because validation has proven the targets pairwise distinct and
-/// complete.
 ///
 /// # Panics
 ///
 /// Panics if lengths differ or the index vector is not a permutation.
 pub fn permute_par<T: Element>(data: &[T], index: &[usize]) -> Vec<T> {
+    let mut out = Vec::new();
+    permute_par_into(data, index, &mut out);
+    out
+}
+
+/// Parallel permutation into a caller-provided buffer (cleared first).
+///
+/// Validation runs first (sequentially — it is a cheap O(n) pass), then
+/// the scatter writes proceed in parallel into the buffer's spare
+/// capacity through raw pointers, which is sound because validation has
+/// proven the targets pairwise distinct and (since `data.len()` equals
+/// the target length) complete.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the index vector is not a permutation.
+pub fn permute_par_into<T: Element>(data: &[T], index: &[usize], out: &mut Vec<T>) {
     assert_eq!(
         data.len(),
         index.len(),
@@ -86,11 +110,17 @@ pub fn permute_par<T: Element>(data: &[T], index: &[usize]) -> Vec<T> {
     );
     validate_permutation(index, data.len())
         .unwrap_or_else(|e| panic!("permute: {e}"));
-    let buf = ScatterBuf::new(data.len());
+    let n = data.len();
+    out.clear();
+    out.reserve(n);
+    let base = SyncPtr(out.as_mut_ptr());
     data.par_iter().zip(index.par_iter()).for_each(|(&v, &t)| {
-        buf.write(t, v);
+        // SAFETY: `index` is a validated bijection on 0..n, so each slot
+        // t < n is written exactly once, within the reserved capacity.
+        unsafe { base.get().add(t).write(v) };
     });
-    buf.into_vec()
+    // SAFETY: the bijection covered every slot in 0..n.
+    unsafe { out.set_len(n) };
 }
 
 #[cfg(test)]

@@ -145,6 +145,17 @@ impl Machine {
         self.gather(data, &layout.src_lane)
     }
 
+    /// Applies a cloning layout into a caller-provided buffer (cleared
+    /// first).
+    pub fn apply_clone_into<T: Element>(
+        &self,
+        data: &[T],
+        layout: &CloneLayout,
+        out: &mut Vec<T>,
+    ) {
+        self.gather_into(data, &layout.src_lane, out);
+    }
+
     // ------------------------------------------------------------------
     // Unshuffling (paper Sec. 4.2, Figs. 15-16)
     // ------------------------------------------------------------------
@@ -206,6 +217,17 @@ impl Machine {
         self.permute(data, &layout.target)
     }
 
+    /// Applies an unshuffle layout into a caller-provided buffer (cleared
+    /// first).
+    pub fn apply_unshuffle_into<T: Element>(
+        &self,
+        data: &[T],
+        layout: &UnshuffleLayout,
+        out: &mut Vec<T>,
+    ) {
+        self.permute_into(data, &layout.target, out);
+    }
+
     // ------------------------------------------------------------------
     // Duplicate deletion (paper Sec. 4.3, Figs. 17-18)
     // ------------------------------------------------------------------
@@ -255,6 +277,17 @@ impl Machine {
         self.gather(data, &layout.src_lane)
     }
 
+    /// Applies a deletion layout into a caller-provided buffer (cleared
+    /// first).
+    pub fn apply_delete_into<T: Element>(
+        &self,
+        data: &[T],
+        layout: &DeleteLayout,
+        out: &mut Vec<T>,
+    ) {
+        self.gather_into(data, &layout.src_lane, out);
+    }
+
     /// Deletes duplicates from a *sorted* vector of keys: every lane equal
     /// to its left neighbour is flagged and removed (the full duplicate-
     /// deletion primitive of paper Sec. 4.3).
@@ -288,9 +321,33 @@ impl Machine {
     /// lane of each segment (the "elementwise write to the node" of
     /// Sec. 4.4).
     pub fn segment_counts(&self, seg: &Segments) -> Vec<u64> {
-        let scanned = self.capacity_check_scan(seg);
+        let mut out = Vec::new();
+        self.segment_counts_into(seg, &mut out);
+        out
+    }
+
+    /// [`Machine::segment_counts`] into a caller-provided buffer (cleared
+    /// first). The internal ones/scan vectors are leased from the
+    /// machine's scratch arena, so a warm call performs no allocation —
+    /// this is the per-round capacity check of the build loops (paper
+    /// Sec. 4.4), issued once per segment structure per round.
+    pub fn segment_counts_into(&self, seg: &Segments, out: &mut Vec<u64>) {
+        let mut ones: Vec<u64> = self.lease();
+        ones.resize(seg.len(), 1);
+        let mut scanned: Vec<u64> = self.lease();
+        self.scan_into(
+            &ones,
+            seg,
+            Sum,
+            Direction::Down,
+            ScanKind::Inclusive,
+            &mut scanned,
+        );
         self.count_elementwise();
-        seg.starts().iter().map(|&s| scanned[s]).collect()
+        out.clear();
+        out.extend(seg.starts().iter().map(|&s| scanned[s]));
+        self.recycle(ones);
+        self.recycle(scanned);
     }
 
     /// Per-lane segment totals: the capacity check followed by a broadcast

@@ -51,6 +51,29 @@ where
     T: Element,
     O: CombineOp<T>,
 {
+    let mut out = Vec::new();
+    scan_seq_into(data, seg, op, dir, kind, &mut out);
+    out
+}
+
+/// Sequential segmented scan writing into a caller-provided buffer, which
+/// is cleared and resized first; an arena-leased buffer therefore incurs
+/// no allocation once warm. Bit-identical to [`scan_seq`].
+///
+/// # Panics
+///
+/// Panics if `data.len() != seg.len()`.
+pub fn scan_seq_into<T, O>(
+    data: &[T],
+    seg: &Segments,
+    op: O,
+    dir: Direction,
+    kind: ScanKind,
+    out: &mut Vec<T>,
+) where
+    T: Element,
+    O: CombineOp<T>,
+{
     assert_eq!(
         data.len(),
         seg.len(),
@@ -58,7 +81,8 @@ where
         data.len(),
         seg.len()
     );
-    let mut out = vec![op.identity(); data.len()];
+    out.clear();
+    out.resize(data.len(), op.identity());
     match dir {
         Direction::Up => {
             for r in seg.ranges() {
@@ -99,7 +123,6 @@ where
             }
         }
     }
-    out
 }
 
 /// Sequential unsegmented scan: a single segment covering the whole vector.

@@ -11,6 +11,21 @@
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 
+/// Raw-pointer wrapper for disjoint parallel writes into a `Vec`'s spare
+/// capacity (used by the `_into` permutation and fused-scan kernels,
+/// where callers prove the written slots pairwise disjoint).
+pub(crate) struct SyncPtr<T>(pub(crate) *mut T);
+unsafe impl<T: Send> Send for SyncPtr<T> {}
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// Accessor so closures capture the `Sync` wrapper, not the raw
+    /// pointer field (which is not `Sync`).
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
 #[cfg(debug_assertions)]
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use scan_model::ops::{Max, Min, Sum};
-use scan_model::{Backend, Direction, Machine, ScanKind, Segments};
+use scan_model::{Backend, Direction, FusedOp, Machine, ScanKind, Segments};
 
 /// A random segmented vector: data plus segment lengths that sum to its
 /// length.
@@ -251,5 +251,175 @@ proptest! {
             let back = m.gather(&scattered, &index);
             prop_assert_eq!(&back, &data);
         }
+    }
+
+    /// A fused multi-lane scan is bit-identical to composing the
+    /// corresponding single-lane scans, on both backends, for every
+    /// direction/kind combination.
+    #[test]
+    fn fused_scan_lanes_match_composed_scans((data, lens) in segmented_vec()) {
+        let seg = Segments::from_lengths(&lens).unwrap();
+        let b: Vec<i64> = data.iter().map(|&v| v.wrapping_mul(3) - 7).collect();
+        let c: Vec<i64> = data.iter().rev().copied().collect();
+        for m in [machines().0, machines().1] {
+            for dir in [Direction::Up, Direction::Down] {
+                for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                    let outs = m.scan_lanes(
+                        &[(&data, FusedOp::Sum), (&b, FusedOp::Min), (&c, FusedOp::Max)],
+                        &seg,
+                        dir,
+                        kind,
+                    );
+                    prop_assert_eq!(&outs[0], &m.scan(&data, &seg, Sum, dir, kind));
+                    prop_assert_eq!(&outs[1], &m.scan(&b, &seg, Min, dir, kind));
+                    prop_assert_eq!(&outs[2], &m.scan(&c, &seg, Max, dir, kind));
+                }
+            }
+        }
+    }
+
+    /// Every `_into` variant writes exactly what its allocating form
+    /// returns, including when the output buffer is a recycled lease that
+    /// arrives with stale capacity.
+    #[test]
+    fn into_variants_match_allocating_forms(
+        (data, lens) in segmented_vec(),
+        seed in any::<u64>(),
+    ) {
+        let seg = Segments::from_lengths(&lens).unwrap();
+        for m in [machines().0, machines().1] {
+            // Pre-populate the arena with a dirty buffer so the `_into`
+            // paths exercise capacity reuse, not just fresh vectors.
+            let mut dirty: Vec<i64> = m.lease();
+            dirty.resize(data.len() / 2 + 1, 42);
+            m.recycle(dirty);
+
+            let mut out: Vec<i64> = m.lease();
+            m.scan_into(&data, &seg, Sum, Direction::Down, ScanKind::Inclusive, &mut out);
+            prop_assert_eq!(&out, &m.scan(&data, &seg, Sum, Direction::Down, ScanKind::Inclusive));
+            m.recycle(out);
+
+            let mut out: Vec<i64> = m.lease();
+            m.map_into(&data, |v| v ^ 1, &mut out);
+            prop_assert_eq!(&out, &m.map(&data, |v| v ^ 1));
+            m.recycle(out);
+
+            let b: Vec<i64> = data.iter().map(|&v| v.wrapping_add(5)).collect();
+            let mut out: Vec<i64> = m.lease();
+            m.zip_map_into(&data, &b, |x, y| x.min(y), &mut out);
+            prop_assert_eq!(&out, &m.zip_map(&data, &b, |x, y| x.min(y)));
+            m.recycle(out);
+
+            // Fused multi-lane elementwise fill: each lane equals the
+            // corresponding plain map.
+            let mut lanes: [Vec<i64>; 3] = [m.lease(), m.lease(), m.lease()];
+            m.fill_lanes_into(
+                data.len(),
+                |i| [data[i].wrapping_mul(3), data[i] ^ 7, data[i].wrapping_sub(b[i])],
+                &mut lanes,
+            );
+            prop_assert_eq!(&lanes[0], &m.map(&data, |v| v.wrapping_mul(3)));
+            prop_assert_eq!(&lanes[1], &m.map(&data, |v| v ^ 7));
+            prop_assert_eq!(&lanes[2], &m.zip_map(&data, &b, |x, y| x.wrapping_sub(y)));
+            for lane in lanes {
+                m.recycle(lane);
+            }
+
+            // Pseudo-random permutation for permute/gather.
+            let n = data.len();
+            let mut index: Vec<usize> = (0..n).collect();
+            let mut s = seed | 1;
+            for i in (1..n).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (s % (i as u64 + 1)) as usize;
+                index.swap(i, j);
+            }
+            let mut out: Vec<i64> = m.lease();
+            m.permute_into(&data, &index, &mut out);
+            prop_assert_eq!(&out, &m.permute(&data, &index));
+            m.recycle(out);
+
+            let mut out: Vec<i64> = m.lease();
+            m.gather_into(&data, &index, &mut out);
+            prop_assert_eq!(&out, &m.gather(&data, &index));
+            m.recycle(out);
+
+            // Structural primitives through the same layouts.
+            let flags: Vec<bool> = (0..n)
+                .map(|i| (seed ^ (i as u64 * 0x9E3779B9)).is_multiple_of(3))
+                .collect();
+            let cl = m.clone_layout(&seg, &flags);
+            let mut out: Vec<i64> = m.lease();
+            m.apply_clone_into(&data, &cl, &mut out);
+            prop_assert_eq!(&out, &m.apply_clone(&data, &cl));
+            m.recycle(out);
+
+            let un = m.unshuffle_layout(&seg, &flags);
+            let mut out: Vec<i64> = m.lease();
+            m.apply_unshuffle_into(&data, &un, &mut out);
+            prop_assert_eq!(&out, &m.apply_unshuffle(&data, &un));
+            m.recycle(out);
+
+            let dl = m.delete_layout(&seg, &flags);
+            let mut out: Vec<i64> = m.lease();
+            m.apply_delete_into(&data, &dl, &mut out);
+            prop_assert_eq!(&out, &m.apply_delete(&data, &dl));
+            m.recycle(out);
+        }
+    }
+}
+
+/// Fused scans on the degenerate segment shapes: empty input, all-singleton
+/// segments, and a single world-spanning segment — both backends, checked
+/// against the composed single-lane scans, plus the fused-pass stats
+/// invariant `scans == scan_passes + fused_lanes_saved`.
+#[test]
+fn fused_scan_lanes_edge_shapes() {
+    for m in [machines().0, machines().1] {
+        // Empty input.
+        let empty: Vec<i64> = Vec::new();
+        let seg = Segments::single(0);
+        let outs = m.scan_lanes(
+            &[(&empty, FusedOp::Sum), (&empty, FusedOp::Max)],
+            &seg,
+            Direction::Up,
+            ScanKind::Inclusive,
+        );
+        assert!(outs.iter().all(|o| o.is_empty()));
+
+        // All-singleton segments and one giant segment.
+        let shapes: Vec<(Vec<i64>, Segments)> = vec![
+            (
+                vec![7, -3, 11],
+                Segments::from_lengths(&[1, 1, 1]).unwrap(),
+            ),
+            (
+                (0..10_000).map(|i| (i * i) % 97 - 48).collect(),
+                Segments::single(10_000),
+            ),
+        ];
+        for (data, seg) in shapes {
+            for dir in [Direction::Up, Direction::Down] {
+                for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                    let outs = m.scan_lanes(
+                        &[(&data, FusedOp::Sum), (&data, FusedOp::Min), (&data, FusedOp::Max)],
+                        &seg,
+                        dir,
+                        kind,
+                    );
+                    assert_eq!(outs[0], m.scan(&data, &seg, Sum, dir, kind));
+                    assert_eq!(outs[1], m.scan(&data, &seg, Min, dir, kind));
+                    assert_eq!(outs[2], m.scan(&data, &seg, Max, dir, kind));
+                }
+            }
+        }
+
+        let stats = m.stats();
+        assert_eq!(
+            stats.scans,
+            stats.scan_passes + stats.fused_lanes_saved,
+            "fused-pass invariant violated: {stats:?}"
+        );
+        assert!(stats.fused_lanes_saved > 0);
     }
 }

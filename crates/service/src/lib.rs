@@ -44,9 +44,8 @@ use dp_spatial::shard::{build_shard, ShardGrid, ShardIndex};
 use dp_spatial::SegId;
 use dp_workloads::Request;
 use rayon::prelude::*;
-use scan_model::{Backend, Machine, ScratchArena, StatsSnapshot};
+use scan_model::{Backend, Machine, StatsSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Number of log₂-microsecond latency buckets per shard.
@@ -166,6 +165,12 @@ pub struct ShardStats {
     /// Scan-model primitive counters of the shard's machine — the
     /// service-level extension of [`scan_model::OpStats`].
     pub ops: StatsSnapshot,
+    /// Scratch-arena buffer leases taken by the shard's machine over its
+    /// lifetime (not reset by [`QueryService::reset_stats`]).
+    pub arena_takes: u64,
+    /// Of [`ShardStats::arena_takes`], leases served from the pool
+    /// without allocating.
+    pub arena_hits: u64,
 }
 
 /// Aggregated service statistics: per-shard views plus batch-level
@@ -222,7 +227,6 @@ impl ServiceStats {
 struct Shard {
     index: ShardIndex,
     machine: Machine,
-    scratch: Mutex<ScratchArena>,
     counters: ShardCounters,
 }
 
@@ -270,7 +274,6 @@ impl QueryService {
                 Shard {
                     index,
                     machine,
-                    scratch: Mutex::new(ScratchArena::new()),
                     counters: ShardCounters::new(),
                 }
             })
@@ -382,7 +385,10 @@ impl QueryService {
         shard.counters.record_queue(queue.len());
         let mut out = Vec::with_capacity(queue.len());
         for chunk in queue.chunks(self.config.flush_batch.max(1)) {
-            let mut rects: Vec<Rect> = shard.scratch.lock().unwrap().take();
+            // The probe-window buffer leases from the shard machine's own
+            // scratch arena — the same pool the batch engine's `_into`
+            // primitives recycle through.
+            let mut rects: Vec<Rect> = shard.machine.lease();
             rects.extend(chunk.iter().map(|&pi| probes[pi as usize].1));
             let t0 = Instant::now();
             let hits = batch_window_query(
@@ -401,7 +407,7 @@ impl QueryService {
                     .collect();
                 out.push((chunk[j], globals));
             }
-            shard.scratch.lock().unwrap().put(rects);
+            shard.machine.recycle(rects);
         }
         out
     }
@@ -480,6 +486,8 @@ impl QueryService {
                         s.counters.latency[b].load(Ordering::Relaxed)
                     }),
                     ops: s.machine.stats(),
+                    arena_takes: s.machine.arena_stats().0,
+                    arena_hits: s.machine.arena_stats().1,
                 })
                 .collect(),
             requests: self.requests.load(Ordering::Relaxed),

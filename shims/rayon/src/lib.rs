@@ -11,25 +11,33 @@
 //! * `join`, `scope`, `current_num_threads`
 //!
 //! Execution is genuinely parallel: terminal operations split the index
-//! space into contiguous blocks and run them on `std::thread::scope`
-//! workers (one per available core). There is no persistent pool, so
-//! per-call overhead is higher than real rayon — callers that gate
-//! parallelism behind a length threshold (as `scan_model::Machine`
-//! does) amortize this exactly as they would the real pool's task
-//! overhead.
+//! space into contiguous blocks and run them on a **persistent worker
+//! pool** (see [`pool`]) — long-lived threads draining a shared job
+//! queue, spawned once on first use. A parallel call therefore costs a
+//! queue push plus a condvar wake rather than per-call thread spawns,
+//! which is what lets `scan_model::Machine` run a lower `par_threshold`
+//! than the earlier `std::thread::scope`-per-call design.
 //!
 //! Everything here is deterministic in *values* (outputs are written to
 //! their own index slots), matching the workspace's bit-identical
 //! backend-equivalence tests.
 
+pub mod pool;
+
 use std::cmp::Ordering;
 use std::ops::Range;
+use std::sync::OnceLock;
 
-/// Number of worker threads terminal operations will use.
+/// Number of worker threads terminal operations will use. Cached after
+/// the first call — querying `available_parallelism` costs a syscall on
+/// some platforms, and the pool size is fixed for the process lifetime.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Runs both closures, potentially in parallel, returning both results.
@@ -76,7 +84,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
 }
 
 /// Splits `0..n` into at most `current_num_threads()` contiguous blocks
-/// and runs `body(lo, hi)` for each block on scoped worker threads.
+/// and runs `body(lo, hi)` for each block on the persistent pool.
 fn parallel_blocks<F>(n: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
@@ -90,16 +98,11 @@ where
         return;
     }
     let blk = n.div_ceil(nt);
-    std::thread::scope(|s| {
-        let body = &body;
-        for t in 0..nt {
-            let lo = t * blk;
-            let hi = ((t + 1) * blk).min(n);
-            if lo >= hi {
-                break;
-            }
-            s.spawn(move || body(lo, hi));
-        }
+    let nblocks = n.div_ceil(blk);
+    pool::run_indexed(nblocks, &|t| {
+        let lo = t * blk;
+        let hi = ((t + 1) * blk).min(n);
+        body(lo, hi);
     });
 }
 
@@ -169,6 +172,26 @@ pub trait ParallelIterator: Sized + Sync {
     /// Collects all lanes into a `Vec`, each lane writing its own slot.
     fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
         C::from_par_iter(self)
+    }
+
+    /// Collects all lanes into an existing `Vec`, reusing its allocation
+    /// when the capacity suffices (rayon's `collect_into_vec`).
+    fn collect_into_vec(self, target: &mut Vec<Self::Item>) {
+        let n = self.len();
+        target.clear();
+        target.reserve(n);
+        let ptr = SendPtr(target.as_mut_ptr());
+        parallel_blocks(n, |lo, hi| {
+            let base = ptr.get();
+            for i in lo..hi {
+                // SAFETY: each lane writes exactly its own slot inside the
+                // reserved capacity; blocks are disjoint; the vec was
+                // cleared so no live element is overwritten.
+                unsafe { base.add(i).write(self.get(i)) };
+            }
+        });
+        // SAFETY: all n slots were initialized above.
+        unsafe { target.set_len(n) };
     }
 }
 
@@ -357,12 +380,21 @@ where
     let runs = nt.next_power_of_two().min(64);
     let blk = n.div_ceil(runs);
 
-    // Phase 1: sort each block in parallel.
-    std::thread::scope(|s| {
-        for chunk in slice.chunks_mut(blk) {
-            s.spawn(move || chunk.sort_unstable_by(cmp));
-        }
-    });
+    // Phase 1: sort each block in parallel on the pool. Blocks are
+    // addressed through a raw base pointer because the pool's `Fn`
+    // closures cannot each own a disjoint `&mut` chunk.
+    {
+        let base = SendPtr(slice.as_mut_ptr());
+        let nblocks = n.div_ceil(blk);
+        pool::run_indexed(nblocks, &|t| {
+            let lo = t * blk;
+            let hi = ((t + 1) * blk).min(n);
+            // SAFETY: [lo, hi) ranges are disjoint across jobs and within
+            // the slice bounds.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+            chunk.sort_unstable_by(cmp);
+        });
+    }
 
     // Phase 2: merge neighbouring runs, doubling run length each pass.
     // `buf` stays logically empty (len 0) throughout; it is used purely as
@@ -374,19 +406,14 @@ where
         {
             let buf_ptr = SendPtr(buf.as_mut_ptr());
             let src = &*slice;
-            std::thread::scope(|s| {
-                let mut lo = 0usize;
-                while lo < n {
-                    let mid = (lo + width).min(n);
-                    let hi = (lo + 2 * width).min(n);
-                    let base = &buf_ptr;
-                    s.spawn(move || {
-                        // SAFETY: pairs [lo, hi) are disjoint across tasks
-                        // and lie within buf's capacity.
-                        unsafe { merge_into(src, lo, mid, hi, base.get(), cmp) };
-                    });
-                    lo = hi;
-                }
+            let pairs = n.div_ceil(2 * width);
+            pool::run_indexed(pairs, &|p| {
+                let lo = p * 2 * width;
+                let mid = (lo + width).min(n);
+                let hi = (lo + 2 * width).min(n);
+                // SAFETY: pairs [lo, hi) are disjoint across jobs and lie
+                // within buf's capacity.
+                unsafe { merge_into(src, lo, mid, hi, buf_ptr.get(), cmp) };
             });
         }
         // Move the merged pass back over the input. Each element has now
@@ -464,30 +491,27 @@ pub struct EnumerateChunksMut<'a, T> {
 }
 
 impl<'a, T: Send> EnumerateChunksMut<'a, T> {
-    /// Runs `f` on every `(index, chunk)` across the worker threads.
+    /// Runs `f` on every `(index, chunk)` across the pool workers. Each
+    /// job reconstitutes its disjoint chunk from a raw base pointer, so
+    /// no worklist mutex or chunk pre-collection is needed.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn((usize, &mut [T])) + Sync,
     {
-        let chunks: Vec<(usize, &mut [T])> = self.slice.chunks_mut(self.size).enumerate().collect();
-        let nt = current_num_threads().min(chunks.len()).max(1);
-        if nt <= 1 {
-            for item in chunks {
-                f(item);
-            }
+        let n = self.slice.len();
+        if n == 0 {
             return;
         }
-        let work = std::sync::Mutex::new(chunks.into_iter());
-        std::thread::scope(|s| {
-            for _ in 0..nt {
-                s.spawn(|| loop {
-                    let item = work.lock().expect("rayon-shim: poisoned worklist").next();
-                    match item {
-                        Some(x) => f(x),
-                        None => break,
-                    }
-                });
-            }
+        let size = self.size;
+        let nchunks = n.div_ceil(size);
+        let base = SendPtr(self.slice.as_mut_ptr());
+        pool::run_indexed(nchunks, &|c| {
+            let lo = c * size;
+            let hi = (lo + size).min(n);
+            // SAFETY: chunk ranges are disjoint across jobs and within the
+            // slice bounds; the slice outlives `run_indexed`.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+            f((c, chunk));
         });
     }
 }
@@ -533,6 +557,17 @@ mod tests {
             }
         });
         assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn collect_into_vec_reuses_allocation() {
+        let mut out: Vec<usize> = Vec::with_capacity(10_000);
+        out.push(7); // stale content must be discarded
+        let cap_before = out.capacity();
+        (0..10_000usize).into_par_iter().map(|i| i + 1).collect_into_vec(&mut out);
+        assert_eq!(out.capacity(), cap_before);
+        assert_eq!(out.len(), 10_000);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i + 1));
     }
 
     #[test]

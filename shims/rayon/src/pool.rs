@@ -1,0 +1,244 @@
+//! The persistent worker pool behind every terminal operation.
+//!
+//! Earlier revisions of the shim spawned `std::thread::scope` workers on
+//! every parallel call, which cost a `clone(2)`/`join` pair per worker per
+//! primitive — the dominant overhead for the scan-model machine, whose
+//! primitives run for tens of microseconds. This module keeps one set of
+//! long-lived workers (spawned lazily on first use) that drain a shared
+//! queue of indexed jobs, so a parallel call is two mutex operations and a
+//! condvar wake instead of `n` thread spawns.
+//!
+//! The public surface is [`run_indexed`]: run `f(0..jobs)` across the
+//! workers and block until every index completed. Lifetimes are erased by
+//! passing the closure through a raw pointer plus a monomorphized
+//! trampoline; soundness comes from the latch — `run_indexed` does not
+//! return until every job referencing the closure has finished, so the
+//! borrow outlives all uses.
+//!
+//! Nested parallelism cannot deadlock: a submitter never parks while the
+//! queue is non-empty — it *helps*, draining jobs (its own or another
+//! submitter's) until its latch opens. Worker panics are caught per job,
+//! carried through the latch, and resumed on the submitting thread, which
+//! matches `std::thread::scope` semantics closely enough for the
+//! workspace's `should_panic` tests.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// One indexed unit of work: call `call(ctx, index)`, then open the latch.
+struct Job {
+    call: unsafe fn(*const (), usize),
+    ctx: *const (),
+    index: usize,
+    latch: *const Latch,
+}
+
+// SAFETY: `ctx` points at a `Sync` closure and `latch` at a latch that the
+// submitting thread keeps alive until `remaining` reaches zero; both are
+// only dereferenced while the submitter is blocked in `run_indexed`.
+unsafe impl Send for Job {}
+
+/// Completion latch shared by one `run_indexed` call's jobs.
+struct Latch {
+    state: Mutex<LatchState>,
+    cvar: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// Monomorphized trampoline: recover the closure type and run one index.
+unsafe fn call_one<F: Fn(usize) + Sync>(ctx: *const (), index: usize) {
+    (*(ctx as *const F))(index);
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    cvar: Condvar,
+    threads: usize,
+}
+
+impl Pool {
+    fn execute(&self, job: Job) {
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+            (job.call)(job.ctx, job.index)
+        }));
+        // SAFETY: the submitter keeps the latch alive until `remaining`
+        // hits zero; we hold a not-yet-counted-down reference.
+        let latch = unsafe { &*job.latch };
+        let mut st = latch.state.lock().expect("pool latch poisoned");
+        if let Err(p) = result {
+            if st.panic.is_none() {
+                st.panic = Some(p);
+            }
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            // Notify while holding the lock: the submitter cannot observe
+            // `remaining == 0` (and free the latch) before we are done
+            // touching it.
+            latch.cvar.notify_all();
+        }
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().expect("pool queue poisoned").pop_front()
+    }
+
+    fn worker(&'static self) {
+        let mut queue = self.queue.lock().expect("pool queue poisoned");
+        loop {
+            match queue.pop_front() {
+                Some(job) => {
+                    drop(queue);
+                    self.execute(job);
+                    queue = self.queue.lock().expect("pool queue poisoned");
+                }
+                None => {
+                    queue = self
+                        .cvar
+                        .wait(queue)
+                        .expect("pool queue poisoned");
+                }
+            }
+        }
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    static SPAWN: OnceLock<()> = OnceLock::new();
+    let p = POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        cvar: Condvar::new(),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    });
+    // Spawn workers outside the OnceLock initializer (a worker touching
+    // POOL while it is still initializing would deadlock).
+    SPAWN.get_or_init(|| {
+        for i in 0..p.threads {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || pool().worker())
+                .expect("rayon-shim: failed to spawn pool worker");
+        }
+    });
+    p
+}
+
+/// Number of threads the persistent pool runs.
+pub fn pool_threads() -> usize {
+    pool().threads
+}
+
+/// Runs `f(i)` for every `i in 0..jobs` across the persistent pool and
+/// returns when all of them finished. The submitting thread helps drain
+/// the queue, so nested `run_indexed` calls cannot deadlock. If any job
+/// panics, the (first) panic is resumed here after all jobs complete.
+pub fn run_indexed<F: Fn(usize) + Sync>(jobs: usize, f: &F) {
+    if jobs == 0 {
+        return;
+    }
+    let p = pool();
+    if jobs == 1 || p.threads <= 1 {
+        for i in 0..jobs {
+            f(i);
+        }
+        return;
+    }
+    let latch = Latch {
+        state: Mutex::new(LatchState {
+            remaining: jobs,
+            panic: None,
+        }),
+        cvar: Condvar::new(),
+    };
+    {
+        let mut queue = p.queue.lock().expect("pool queue poisoned");
+        for index in 0..jobs {
+            queue.push_back(Job {
+                call: call_one::<F>,
+                ctx: f as *const F as *const (),
+                index,
+                latch: &latch as *const Latch,
+            });
+        }
+        p.cvar.notify_all();
+    }
+    // Help: drain queued jobs (ours or anyone's) while waiting.
+    while let Some(job) = p.try_pop() {
+        p.execute(job);
+    }
+    let mut st = latch.state.lock().expect("pool latch poisoned");
+    while st.remaining > 0 {
+        st = latch.cvar.wait(st).expect("pool latch poisoned");
+    }
+    if let Some(panic) = st.panic.take() {
+        drop(st);
+        resume_unwind(panic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(1000, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_calls_do_not_deadlock() {
+        let total = AtomicUsize::new(0);
+        run_indexed(8, &|_| {
+            run_indexed(8, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn repeated_use_reuses_workers() {
+        // Smoke test that thousands of rounds through the pool work; the
+        // per-call overhead being pool-bound (not spawn-bound) is what the
+        // scan-model threshold benchmarks measure.
+        let total = AtomicUsize::new(0);
+        for _ in 0..2000 {
+            run_indexed(4, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 8000);
+    }
+
+    #[test]
+    fn panic_in_job_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            run_indexed(4, &|i| {
+                if i == 2 {
+                    panic!("boom in job");
+                }
+            });
+        });
+        assert!(caught.is_err());
+        // The pool stays usable afterwards.
+        let n = AtomicUsize::new(0);
+        run_indexed(3, &|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 3);
+    }
+}
