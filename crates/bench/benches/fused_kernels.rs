@@ -31,11 +31,7 @@ fn bench_pm1_fusion(c: &mut Criterion) {
             b.iter(|| black_box(build_pm1(&machine, data.world, &data.segs, depth)))
         });
         group.bench_with_input(BenchmarkId::new("unfused", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(build_pm1_unfused(
-                    &machine, data.world, &data.segs, depth,
-                ))
-            })
+            b.iter(|| black_box(build_pm1_unfused(&machine, data.world, &data.segs, depth)))
         });
     }
     group.finish();

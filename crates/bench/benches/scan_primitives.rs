@@ -8,7 +8,9 @@ use scan_model::{Backend, Direction, Machine, ScanKind, Segments};
 use std::hint::black_box;
 
 fn make_input(n: usize) -> (Vec<i64>, Segments) {
-    let data: Vec<i64> = (0..n).map(|i| ((i * 2654435761) % 1000) as i64 - 500).collect();
+    let data: Vec<i64> = (0..n)
+        .map(|i| ((i * 2654435761) % 1000) as i64 - 500)
+        .collect();
     // Segments of pseudo-random lengths 1..64.
     let mut lengths = Vec::new();
     let mut covered = 0usize;
@@ -86,9 +88,11 @@ fn bench_elementwise_and_permute(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         for (label, backend) in [("seq", Backend::Sequential), ("par", Backend::Parallel)] {
             let m = Machine::new(backend);
-            group.bench_with_input(BenchmarkId::new(format!("ew_add/{label}"), n), &n, |b, _| {
-                b.iter(|| black_box(m.zip_map(black_box(&data), &data, |x, y| x + y)))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("ew_add/{label}"), n),
+                &n,
+                |b, _| b.iter(|| black_box(m.zip_map(black_box(&data), &data, |x, y| x + y))),
+            );
             group.bench_with_input(
                 BenchmarkId::new(format!("permute/{label}"), n),
                 &n,

@@ -32,11 +32,9 @@ fn bench_service(c: &mut Criterion) {
             data.segs.clone(),
         );
         let shards = service.num_shards();
-        group.bench_with_input(
-            BenchmarkId::new("shards", shards),
-            &shards,
-            |b, _| b.iter(|| black_box(service.execute_batch(&stream)).len()),
-        );
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            b.iter(|| black_box(service.execute_batch(&stream)).len())
+        });
     }
     group.finish();
 }

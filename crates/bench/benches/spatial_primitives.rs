@@ -11,7 +11,9 @@ fn make_segmented(n: usize) -> Segments {
     let mut covered = 0usize;
     let mut state = 0xA5A5_A5A5_DEAD_BEEFu64;
     while covered < n {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let l = ((state >> 40) % 31 + 1) as usize;
         let l = l.min(n - covered);
         lengths.push(l);

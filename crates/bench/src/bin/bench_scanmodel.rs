@@ -8,14 +8,24 @@
 //! each build. CI runs `--quick` as a smoke check; the full run uses
 //! the n ≥ 100k sizes the acceptance criterion names.
 //!
-//! Run with: `cargo run --release -p dp-bench --bin bench_scanmodel [-- --quick]`
+//! Flags:
+//!
+//! * `--quick` — small sizes, one rep (the CI smoke configuration);
+//! * `--trace` — attach the round driver's per-round table
+//!   (`RoundTrace`) to each build entry in the JSON;
+//! * `--check-baseline <path>` — read the committed benchmark JSON
+//!   *before* writing anything and exit non-zero if the fused PM₁
+//!   per-round physical scan-pass cost regressed against it.
+//!
+//! Run with: `cargo run --release -p dp-bench --bin bench_scanmodel
+//! [-- --quick --trace --check-baseline BENCH_scanmodel.json]`
 
 use dp_bench::{planar_at, uniform_at, WORLD};
 use dp_service::{QueryService, QueryServiceConfig};
 use dp_spatial::bucket_pmr::build_bucket_pmr;
 use dp_spatial::pm1::{build_pm1, build_pm1_unfused};
 use dp_workloads::{request_stream, square_world, RequestMix};
-use scan_model::{Backend, Machine, StatsSnapshot};
+use scan_model::{Backend, Machine, RoundTrace, StatsSnapshot};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -37,8 +47,98 @@ fn ops_json(ops: &StatsSnapshot) -> String {
     )
 }
 
+/// The round table as a JSON array (attached under `"round_trace"` when
+/// `--trace` is given).
+fn trace_json(trace: &[RoundTrace]) -> String {
+    let rows: Vec<String> = trace
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"round\": {}, \"active_elements\": {}, \"active_nodes\": {}, \
+                 \"nodes_split\": {}, \"scans\": {}, \"scan_passes\": {}, \
+                 \"elementwise\": {}, \"permutes\": {}, \"arena_high_water_bytes\": {}, \
+                 \"wall_nanos\": {}}}",
+                t.round,
+                t.active_elements,
+                t.active_nodes,
+                t.nodes_split,
+                t.scans,
+                t.scan_passes,
+                t.elementwise,
+                t.permutes,
+                t.arena_high_water_bytes,
+                t.wall_nanos
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+/// Extracts `(scan_passes, rounds)` of the first PM₁ `fused_ops` object in
+/// a committed `BENCH_scanmodel.json` (hand-rolled like the writer — the
+/// workspace deliberately carries no JSON dependency).
+fn baseline_pm1_profile(path: &str) -> (u64, u64) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let at = text
+        .find("\"fused_ops\"")
+        .expect("baseline has no pm1 fused_ops entry");
+    let start = text[at..].find('{').expect("fused_ops object opens") + at;
+    let end = text[start..].find('}').expect("fused_ops object closes") + start;
+    let obj = &text[start..end];
+    let grab = |key: &str| -> u64 {
+        let marker = format!("\"{key}\": ");
+        let p = obj
+            .find(&marker)
+            .unwrap_or_else(|| panic!("baseline fused_ops lacks {key}"))
+            + marker.len();
+        obj[p..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .expect("numeric baseline field")
+    };
+    (grab("scan_passes"), grab("rounds"))
+}
+
+/// Fails (exit 1) if the fused PM₁ build's physical scan passes *per
+/// split round* regressed versus the committed baseline. The total pass
+/// count is `passes = per_round * rounds + 1` (one trailing decision-only
+/// pass), and `rounds` depends on n, so the comparison normalizes:
+/// regress iff `(cur_passes - 1) / cur_rounds > (base_passes - 1) /
+/// base_rounds`, evaluated by integer cross-multiplication.
+fn check_baseline(path: &str, cur: &StatsSnapshot) {
+    let (base_passes, base_rounds) = baseline_pm1_profile(path);
+    if cur.rounds == 0 || base_rounds == 0 {
+        println!("baseline check skipped (zero rounds)");
+        return;
+    }
+    let lhs = (cur.scan_passes - 1) * base_rounds;
+    let rhs = (base_passes - 1) * cur.rounds;
+    if lhs > rhs {
+        eprintln!(
+            "scan-pass regression vs {path}: {} passes / {} rounds now, \
+             {base_passes} passes / {base_rounds} rounds at baseline",
+            cur.scan_passes, cur.rounds
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "baseline check OK: {} passes / {} rounds (baseline {base_passes} / {base_rounds})",
+        cur.scan_passes, cur.rounds
+    );
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace = args.iter().any(|a| a == "--trace");
+    let baseline: Option<String> = args.iter().position(|a| a == "--check-baseline").map(|i| {
+        args.get(i + 1)
+            .expect("--check-baseline needs a path")
+            .clone()
+    });
     let (sizes, reps): (&[usize], usize) = if quick {
         (&[20_000], 1)
     } else {
@@ -59,16 +159,22 @@ fn main() {
         machine.reset_stats();
         std::hint::black_box(build_pm1(&machine, data.world, &data.segs, depth));
         let fused_ops = machine.stats();
+        let fused_trace = machine.take_round_traces();
         machine.reset_stats();
         std::hint::black_box(build_pm1_unfused(&machine, data.world, &data.segs, depth));
         let unfused_ops = machine.stats();
+
+        if let Some(path) = &baseline {
+            check_baseline(path, &fused_ops);
+        }
 
         // Interleave the timing reps so machine-load drift hits both
         // variants alike; keep each variant's best.
         let (mut fused_s, mut unfused_s) = (f64::INFINITY, f64::INFINITY);
         for _ in 0..reps {
-            fused_s =
-                fused_s.min(time_best(1, || build_pm1(&machine, data.world, &data.segs, depth)));
+            fused_s = fused_s.min(time_best(1, || {
+                build_pm1(&machine, data.world, &data.segs, depth)
+            }));
             unfused_s = unfused_s.min(time_best(1, || {
                 build_pm1_unfused(&machine, data.world, &data.segs, depth)
             }));
@@ -80,12 +186,16 @@ fn main() {
             "{{\"bench\": \"pm1_build\", \"backend\": \"parallel\", \"n\": {n_real}, \
              \"fused_secs\": {fused_s:.6}, \"unfused_secs\": {unfused_s:.6}, \
              \"speedup\": {:.4}, \"fused_elems_per_sec\": {:.1}, \
-             \"fused_ops\": {}, \"unfused_ops\": {}}}",
+             \"fused_ops\": {}, \"unfused_ops\": {}",
             unfused_s / fused_s,
             n_real as f64 / fused_s,
             ops_json(&fused_ops),
             ops_json(&unfused_ops),
         );
+        if trace {
+            let _ = write!(e, ", \"round_trace\": {}", trace_json(&fused_trace));
+        }
+        e.push('}');
         entries.push(e);
         println!(
             "pm1 n={n_real}: fused {fused_s:.4}s vs unfused {unfused_s:.4}s (speedup {:.2}x, \
@@ -107,6 +217,7 @@ fn main() {
             m.reset_stats();
             std::hint::black_box(build_bucket_pmr(&m, world, &data.segs, 8, 12));
             let ops = m.stats();
+            let build_trace = m.take_round_traces();
             let secs = time_best(reps, || build_bucket_pmr(&m, world, &data.segs, 8, 12));
             let (takes, hits) = m.arena_stats();
             let mut e = String::new();
@@ -114,10 +225,14 @@ fn main() {
                 e,
                 "{{\"bench\": \"bucket_pmr_build\", \"backend\": \"{name}\", \"n\": {n}, \
                  \"secs\": {secs:.6}, \"elems_per_sec\": {:.1}, \
-                 \"arena_takes\": {takes}, \"arena_hits\": {hits}, \"ops\": {}}}",
+                 \"arena_takes\": {takes}, \"arena_hits\": {hits}, \"ops\": {}",
                 n as f64 / secs,
                 ops_json(&ops),
             );
+            if trace {
+                let _ = write!(e, ", \"round_trace\": {}", trace_json(&build_trace));
+            }
+            e.push('}');
             entries.push(e);
             println!("bucket_pmr n={n} {name}: {secs:.4}s (arena hits {hits}/{takes})");
         }
@@ -126,7 +241,11 @@ fn main() {
     // Sharded service: end-to-end request throughput on the pool-backed
     // parallel backend.
     {
-        let (n, requests) = if quick { (10_000, 2_000) } else { (20_000, 10_000) };
+        let (n, requests) = if quick {
+            (10_000, 2_000)
+        } else {
+            (20_000, 10_000)
+        };
         let data = dp_workloads::uniform_segments(n, 1024, 16, 77);
         let stream = request_stream(data.world, requests, RequestMix::DEFAULT, 78);
         let service = QueryService::build(

@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release -p dp-bench --bin exp_tables [all|rounds|threshold|rtree|query|backend]`
 
-use dp_bench::{planar_at, query_windows, render_table, roads_approx, uniform_at, SIZE_LADDER, WORLD};
+use dp_bench::{
+    planar_at, query_windows, render_table, roads_approx, uniform_at, SIZE_LADDER, WORLD,
+};
 use dp_spatial::bucket_pmr::build_bucket_pmr;
 use dp_spatial::pm1::build_pm1;
 use dp_spatial::rsplit::RtreeSplitAlgorithm;
@@ -301,7 +303,13 @@ fn query_table() {
         "{}",
         render_table(
             "E25: disjoint vs non-disjoint decomposition under 400 window queries (paper Sec. 1)",
-            &["structure", "candidates", "exact hits", "precision", "query(us)"],
+            &[
+                "structure",
+                "candidates",
+                "exact hits",
+                "precision",
+                "query(us)"
+            ],
             &rows
         )
     );
@@ -339,7 +347,13 @@ fn backend_table() {
                 "E24: backend equivalence at n=8000 ({} rayon threads)",
                 rayon::current_num_threads()
             ),
-            &["backend", "bpmr build", "bpmr nodes", "rtree build", "rtree nodes"],
+            &[
+                "backend",
+                "bpmr build",
+                "bpmr nodes",
+                "rtree build",
+                "rtree nodes"
+            ],
             &rows
         )
     );

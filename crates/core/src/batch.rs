@@ -28,11 +28,7 @@ use scan_model::{Machine, ScanKind, Segments};
 
 /// Applies a delete layout through a leased buffer and recycles the
 /// superseded source, so per-level frontier compaction stops allocating.
-fn delete_swap<T: Element>(
-    machine: &Machine,
-    src: Vec<T>,
-    layout: &DeleteLayout,
-) -> Vec<T> {
+fn delete_swap<T: Element>(machine: &Machine, src: Vec<T>, layout: &DeleteLayout) -> Vec<T> {
     let mut out: Vec<T> = machine.lease();
     machine.apply_delete_into(&src, layout, &mut out);
     machine.recycle(src);
@@ -41,11 +37,7 @@ fn delete_swap<T: Element>(
 
 /// Applies a clone layout through a leased buffer and recycles the
 /// superseded source (the frontier-doubling analogue of [`delete_swap`]).
-fn clone_swap<T: Element>(
-    machine: &Machine,
-    src: Vec<T>,
-    layout: &CloneLayout,
-) -> Vec<T> {
+fn clone_swap<T: Element>(machine: &Machine, src: Vec<T>, layout: &CloneLayout) -> Vec<T> {
     let mut out: Vec<T> = machine.lease();
     machine.apply_clone_into(&src, layout, &mut out);
     machine.recycle(src);
@@ -178,8 +170,7 @@ pub fn batch_window_candidates(
                     let rects = lane_rect[i].quadrants();
                     child_node[i] = children[quadrant] as u32;
                     child_rect[i] = rects[quadrant];
-                    misses[i] =
-                        !child_rect[i].intersects(&queries[lane_query[i] as usize]);
+                    misses[i] = !child_rect[i].intersects(&queries[lane_query[i] as usize]);
                 }
                 QtNode::Leaf { .. } => unreachable!("leaf lanes were retired"),
             }
@@ -284,12 +275,8 @@ mod tests {
         for m in machines() {
             let segs = vec![LineSeg::from_coords(1.0, 1.0, 5.0, 5.0)];
             let tree = build_bucket_pmr(&m, world(), &segs, 8, 8);
-            let out = batch_window_query(
-                &m,
-                &tree,
-                &[Rect::from_coords(0.0, 0.0, 2.0, 2.0)],
-                &segs,
-            );
+            let out =
+                batch_window_query(&m, &tree, &[Rect::from_coords(0.0, 0.0, 2.0, 2.0)], &segs);
             assert_eq!(out, vec![vec![0]]);
         }
     }

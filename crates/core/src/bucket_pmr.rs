@@ -19,11 +19,7 @@ use scan_model::Machine;
 
 /// The bucket PMR split decision: node line count exceeds the capacity
 /// (Sec. 4.4's capacity check).
-pub fn bucket_pmr_decision(
-    machine: &Machine,
-    state: &LineProcSet,
-    capacity: usize,
-) -> Vec<bool> {
+pub fn bucket_pmr_decision(machine: &Machine, state: &LineProcSet, capacity: usize) -> Vec<bool> {
     // The per-round counts buffer is leased from the machine's scratch
     // arena, so repeated decision rounds stop allocating.
     let mut counts: Vec<u64> = machine.lease();
@@ -49,11 +45,10 @@ pub fn build_bucket_pmr(
     max_depth: usize,
 ) -> DpQuadtree {
     assert!(capacity >= 1, "bucket capacity must be at least 1");
-    let mut decide = |m: &Machine, st: &LineProcSet, _segs: &[LineSeg]| {
-        bucket_pmr_decision(m, st, capacity)
-    };
+    let mut decide =
+        |m: &Machine, st: &LineProcSet, _segs: &[LineSeg]| bucket_pmr_decision(m, st, capacity);
     let out = run_quad_build(machine, world, segs, max_depth, &mut decide);
-    DpQuadtree::assemble(world, out.leaves, out.rounds, out.truncated)
+    DpQuadtree::from_outcome(world, out)
 }
 
 #[cfg(test)]

@@ -157,13 +157,7 @@ mod tests {
     fn mismatched_worlds_rejected() {
         let m = Machine::sequential();
         let ta = build_bucket_pmr(&m, world(), &[], 2, 6);
-        let tb = build_bucket_pmr(
-            &m,
-            Rect::from_coords(0.0, 0.0, 16.0, 16.0),
-            &[],
-            2,
-            6,
-        );
+        let tb = build_bucket_pmr(&m, Rect::from_coords(0.0, 0.0, 16.0, 16.0), &[], 2, 6);
         spatial_join(&ta, &[], &tb, &[]);
     }
 }

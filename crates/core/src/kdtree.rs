@@ -83,10 +83,7 @@ pub fn build_kdtree(machine: &Machine, points: &[Point], leaf_capacity: usize) -
     loop {
         let counts = machine.segment_counts(&seg);
         machine.note_elementwise();
-        let split: Vec<bool> = counts
-            .iter()
-            .map(|&c| c as usize > leaf_capacity)
-            .collect();
+        let split: Vec<bool> = counts.iter().map(|&c| c as usize > leaf_capacity).collect();
         // Retire finished nodes as leaf buckets before (possibly)
         // terminating.
         for (s, r) in seg.ranges().enumerate() {
@@ -223,7 +220,10 @@ impl KdTree {
                     );
                 }
                 KdNode::Internal {
-                    axis, value, left, right,
+                    axis,
+                    value,
+                    left,
+                    right,
                 } => {
                     let (lo, hi) = match axis {
                         Axis::X => (query.min.x, query.max.x),
@@ -253,13 +253,7 @@ impl KdTree {
         best.map(|(id, d2)| (id, d2.sqrt()))
     }
 
-    fn nearest_rec(
-        &self,
-        at: usize,
-        p: Point,
-        points: &[Point],
-        best: &mut Option<(SegId, f64)>,
-    ) {
+    fn nearest_rec(&self, at: usize, p: Point, points: &[Point], best: &mut Option<(SegId, f64)>) {
         match &self.nodes[at] {
             KdNode::Leaf { points: ids } => {
                 for &id in ids {
@@ -270,7 +264,10 @@ impl KdTree {
                 }
             }
             KdNode::Internal {
-                axis, value, left, right,
+                axis,
+                value,
+                left,
+                right,
             } => {
                 let diff = match axis {
                     Axis::X => p.x - value,
@@ -304,12 +301,7 @@ mod tests {
 
     fn points(n: usize) -> Vec<Point> {
         (0..n)
-            .map(|k| {
-                Point::new(
-                    ((k * 37) % 101) as f64,
-                    ((k * 59) % 97) as f64,
-                )
-            })
+            .map(|k| Point::new(((k * 37) % 101) as f64, ((k * 59) % 97) as f64))
             .collect()
     }
 
@@ -318,7 +310,11 @@ mod tests {
         for m in machines() {
             let pts = points(256);
             let t = build_kdtree(&m, &pts, 4);
-            assert!(t.height() <= 8, "median splits stay balanced: {}", t.height());
+            assert!(
+                t.height() <= 8,
+                "median splits stay balanced: {}",
+                t.height()
+            );
             assert!(t.rounds() <= 8);
             assert_eq!(t.len(), 256);
         }
@@ -375,7 +371,11 @@ mod tests {
             let pts = points(3);
             let t = build_kdtree(&m, &pts, 4);
             assert_eq!(t.height(), 0);
-            assert_eq!(t.range_query(&Rect::from_coords(0.0, 0.0, 200.0, 200.0), &pts).len(), 3);
+            assert_eq!(
+                t.range_query(&Rect::from_coords(0.0, 0.0, 200.0, 200.0), &pts)
+                    .len(),
+                3
+            );
         }
     }
 

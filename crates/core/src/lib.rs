@@ -52,6 +52,7 @@ pub mod pm1;
 pub mod pm_family;
 pub mod quadtree;
 pub mod region;
+pub mod round_driver;
 pub mod rsplit;
 pub mod rtree;
 pub mod shard;

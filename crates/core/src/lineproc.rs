@@ -8,12 +8,17 @@
 //! a [`Segments`] descriptor plus the per-node bookkeeping (block path and
 //! rectangle) that the final tree assembly needs.
 //!
-//! [`run_quad_build`] is the generic iterative build driver of Sections
-//! 5.1–5.2: per round, a structure-specific *split decision* marks nodes,
-//! finished nodes retire their lanes into leaf records, and the remaining
-//! nodes subdivide via the two-stage node split of Section 4.6
-//! ([`crate::split`]).
+//! [`run_quad_build`] is the generic iterative build entry point of
+//! Sections 5.1–5.2. The round loop itself lives in the unified
+//! [`crate::round_driver::RoundDriver`]; this module contributes
+//! [`QuadSplitPolicy`] — the quadtree-family
+//! [`crate::round_driver::SplitPolicy`] shared by PM₁, PM₂, PM₃ and the
+//! bucket PMR quadtree, which differ only in their *split decision*
+//! closure. Per round: the decision marks nodes, finished nodes retire
+//! their lanes into leaf records, and the remaining nodes subdivide via
+//! the two-stage node split of Section 4.6 ([`crate::split`]).
 
+use crate::round_driver::{RoundAdvance, RoundDriver, SplitPolicy};
 use crate::split::split_active_nodes;
 use crate::SegId;
 use dp_geom::{LineSeg, NodePath, Rect};
@@ -131,82 +136,117 @@ pub struct QuadBuildOutcome {
 /// The driver overrides the flag to `false` at the depth bound.
 pub type SplitDecision<'a> = dyn FnMut(&Machine, &LineProcSet, &[LineSeg]) -> Vec<bool> + 'a;
 
-/// Generic iterative quadtree build (paper Secs. 5.1–5.2).
-///
-/// Each round: decide which nodes split; retire the rest as leaves; apply
-/// the two-stage node split (Sec. 4.6) to the remainder. `max_depth`
-/// bounds subdivision.
-pub fn run_quad_build(
-    machine: &Machine,
-    world: Rect,
-    segs: &[LineSeg],
+/// The quadtree-family [`SplitPolicy`]: owns the frontier [`LineProcSet`]
+/// and the emitted leaves, defers the per-node split verdict to a
+/// structure-specific [`SplitDecision`] closure (PM₁ vertex test, bucket
+/// PMR capacity test, ...), and partitions via the two-stage node split of
+/// paper Sec. 4.6. One driver step is one subdivision round.
+pub struct QuadSplitPolicy<'d, 'c, 's> {
+    segs: &'s [LineSeg],
     max_depth: usize,
-    decide: &mut SplitDecision<'_>,
-) -> QuadBuildOutcome {
-    let mut state = LineProcSet::initial(world, segs);
-    let mut leaves = Vec::new();
-    let mut rounds = 0usize;
-    let mut truncated = 0usize;
+    decide: &'d mut SplitDecision<'c>,
+    state: LineProcSet,
+    leaves: Vec<LeafRecord>,
+    truncated: usize,
+}
 
-    if state.nodes.is_empty() {
-        return QuadBuildOutcome {
-            leaves,
-            rounds,
-            truncated,
-        };
+impl<'d, 'c, 's> QuadSplitPolicy<'d, 'c, 's> {
+    /// A policy over the initial single-root frontier. Returns `None` for
+    /// empty input, where there is no frontier to drive (the build is
+    /// trivially zero leaves, zero rounds).
+    pub fn new(
+        world: Rect,
+        segs: &'s [LineSeg],
+        max_depth: usize,
+        decide: &'d mut SplitDecision<'c>,
+    ) -> Option<Self> {
+        let state = LineProcSet::initial(world, segs);
+        if state.nodes.is_empty() {
+            return None;
+        }
+        Some(QuadSplitPolicy {
+            segs,
+            max_depth,
+            decide,
+            state,
+            leaves: Vec::new(),
+            truncated: 0,
+        })
     }
 
-    loop {
-        let mut want = decide(machine, &state, segs);
+    /// Consumes the policy into the build outcome (`rounds` comes from the
+    /// driver).
+    pub fn into_outcome(self, rounds: usize) -> QuadBuildOutcome {
+        QuadBuildOutcome {
+            leaves: self.leaves,
+            rounds,
+            truncated: self.truncated,
+        }
+    }
+}
+
+impl SplitPolicy for QuadSplitPolicy<'_, '_, '_> {
+    fn active_elements(&self) -> usize {
+        self.state.len()
+    }
+
+    fn active_nodes(&self) -> usize {
+        self.state.nodes.len()
+    }
+
+    fn decide(&mut self, machine: &Machine) -> Vec<bool> {
+        let mut want = (self.decide)(machine, &self.state, self.segs);
         assert_eq!(
             want.len(),
-            state.nodes.len(),
+            self.state.nodes.len(),
             "split decision must return one flag per active node"
         );
         // Depth guard: nodes at the bound never split; count the ones that
         // wanted to.
         for (s, w) in want.iter_mut().enumerate() {
-            if *w && state.nodes[s].path.depth() as usize >= max_depth {
+            if *w && self.state.nodes[s].path.depth() as usize >= self.max_depth {
                 *w = false;
-                truncated += 1;
+                self.truncated += 1;
             }
         }
+        want
+    }
 
+    fn emit(&mut self, _machine: &Machine, want: &[bool]) {
         // Retire finished nodes as leaves.
-        let keep_any = want.iter().any(|&w| w);
-        for (s, r) in state.seg.ranges().enumerate() {
+        for (s, r) in self.state.seg.ranges().enumerate() {
             if !want[s] {
-                leaves.push(LeafRecord {
-                    path: state.nodes[s].path,
-                    rect: state.nodes[s].rect,
-                    lines: state.line[r].to_vec(),
+                self.leaves.push(LeafRecord {
+                    path: self.state.nodes[s].path,
+                    rect: self.state.nodes[s].rect,
+                    lines: self.state.line[r].to_vec(),
                 });
             }
         }
-        if !keep_any {
-            break;
-        }
+    }
 
+    fn partition(&mut self, machine: &Machine, want: &[bool]) {
         // Remove retired lanes in-model: flag lanes of finished segments
         // and compact with the deletion primitive (Sec. 4.3 mechanics).
         let lane_finished: Vec<bool> = {
             // Broadcast the per-node flag across its lanes (the paper
             // would place the flag at the segment head and copy-scan it;
             // the per-node loop is the same one-op broadcast).
-            let mut per_lane = vec![false; state.seg.len()];
-            for (s, r) in state.seg.ranges().enumerate() {
+            let mut per_lane = vec![false; self.state.seg.len()];
+            for (s, r) in self.state.seg.ranges().enumerate() {
                 if !want[s] {
                     per_lane[r].fill(true);
                 }
             }
             per_lane
         };
-        let layout = machine.delete_layout(&state.seg, &lane_finished);
+        let layout = machine.delete_layout(&self.state.seg, &lane_finished);
         let mut line: Vec<SegId> = machine.lease();
-        machine.apply_delete_into(&state.line, &layout, &mut line);
+        machine.apply_delete_into(&self.state.line, &layout, &mut line);
         let mut rect: Vec<Rect> = machine.lease();
-        machine.apply_delete_into(&state.rect, &layout, &mut rect);
-        let kept_nodes: Vec<ActiveNode> = state
+        machine.apply_delete_into(&self.state.rect, &layout, &mut rect);
+        let kept_nodes: Vec<ActiveNode> = self
+            .state
             .nodes
             .iter()
             .zip(want.iter())
@@ -224,9 +264,9 @@ pub fn run_quad_build(
             .expect("splitting nodes always hold at least one lane");
         // Recycle the superseded lane vectors so the next round's leases
         // reuse their capacity instead of allocating.
-        machine.recycle(std::mem::take(&mut state.line));
-        machine.recycle(std::mem::take(&mut state.rect));
-        state = LineProcSet {
+        machine.recycle(std::mem::take(&mut self.state.line));
+        machine.recycle(std::mem::take(&mut self.state.rect));
+        let compacted = LineProcSet {
             line,
             rect,
             seg,
@@ -234,19 +274,40 @@ pub fn run_quad_build(
         };
 
         // Subdivide every remaining node (Sec. 4.6, two stages).
-        state = split_active_nodes(machine, state, segs);
-        rounds += 1;
-        machine.bump_rounds();
-
-        if state.nodes.is_empty() {
-            break;
-        }
+        self.state = split_active_nodes(machine, compacted, self.segs);
     }
 
-    QuadBuildOutcome {
-        leaves,
-        rounds,
-        truncated,
+    fn advance(&mut self, _machine: &Machine, split_any: bool) -> RoundAdvance {
+        RoundAdvance {
+            round_completed: split_any,
+            finished: !split_any || self.state.nodes.is_empty(),
+        }
+    }
+}
+
+/// Generic iterative quadtree build (paper Secs. 5.1–5.2): a
+/// [`QuadSplitPolicy`] run to completion by the unified [`RoundDriver`].
+///
+/// Each round: decide which nodes split; retire the rest as leaves; apply
+/// the two-stage node split (Sec. 4.6) to the remainder. `max_depth`
+/// bounds subdivision.
+pub fn run_quad_build(
+    machine: &Machine,
+    world: Rect,
+    segs: &[LineSeg],
+    max_depth: usize,
+    decide: &mut SplitDecision<'_>,
+) -> QuadBuildOutcome {
+    match QuadSplitPolicy::new(world, segs, max_depth, decide) {
+        Some(mut policy) => {
+            let rounds = RoundDriver::run(machine, &mut policy);
+            policy.into_outcome(rounds)
+        }
+        None => QuadBuildOutcome {
+            leaves: Vec::new(),
+            rounds: 0,
+            truncated: 0,
+        },
     }
 }
 
@@ -285,8 +346,7 @@ mod tests {
     fn never_split_yields_single_root_leaf() {
         let segs = vec![LineSeg::from_coords(1.0, 1.0, 6.0, 6.0)];
         let m = Machine::sequential();
-        let mut decide =
-            |_: &Machine, st: &LineProcSet, _: &[LineSeg]| vec![false; st.nodes.len()];
+        let mut decide = |_: &Machine, st: &LineProcSet, _: &[LineSeg]| vec![false; st.nodes.len()];
         let out = run_quad_build(&m, world(), &segs, 5, &mut decide);
         assert_eq!(out.leaves.len(), 1);
         assert_eq!(out.leaves[0].path, NodePath::ROOT);
@@ -304,10 +364,7 @@ mod tests {
         let mut decide = |_: &Machine, st: &LineProcSet, _: &[LineSeg]| vec![true; st.nodes.len()];
         let out = run_quad_build(&m, world(), &segs, 3, &mut decide);
         assert!(out.truncated > 0);
-        assert!(out
-            .leaves
-            .iter()
-            .all(|l| l.path.depth() as usize <= 3));
+        assert!(out.leaves.iter().all(|l| l.path.depth() as usize <= 3));
         assert_eq!(out.rounds, 3);
         // Every leaf's lines actually pass through the leaf's block.
         for leaf in &out.leaves {

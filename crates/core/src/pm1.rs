@@ -53,6 +53,31 @@ impl Pm1Verdict {
                 | Pm1Verdict::SplitNoVertexManyLines
         )
     }
+
+    /// Classifies one node from the Figs. 20–22 quantities arriving at its
+    /// segment head: the extreme per-lane endpoint counts, whether the
+    /// in-node endpoint MBB is degenerate (a point), and the node's line
+    /// count. This is the single verdict chain shared by the fused
+    /// ([`pm1_verdicts`]) and unfused ([`pm1_verdicts_unfused`]) decision
+    /// paths — they differ only in how the quantities are produced, so the
+    /// two paths cannot drift.
+    pub fn classify(max_eps: i64, min_eps: i64, mbb_degenerate: bool, lines: u64) -> Pm1Verdict {
+        if max_eps == 2 {
+            Pm1Verdict::SplitTwoEndpoints
+        } else if max_eps == 1 && min_eps == 0 {
+            Pm1Verdict::SplitMixed
+        } else if max_eps == 1 && min_eps == 1 {
+            if mbb_degenerate {
+                Pm1Verdict::KeepSharedVertex
+            } else {
+                Pm1Verdict::SplitDistinctVertices
+            }
+        } else if lines > 1 {
+            Pm1Verdict::SplitNoVertexManyLines
+        } else {
+            Pm1Verdict::KeepSimple
+        }
+    }
 }
 
 /// The PM₁ split decision for every active node, in scan-model ops
@@ -126,23 +151,15 @@ pub fn pm1_verdicts(machine: &Machine, state: &LineProcSet, segs: &[LineSeg]) ->
         .starts()
         .iter()
         .map(|&head| {
-            let (mx, mn) = (outs[0][head], outs[1][head]);
-            if mx == 2.0 {
-                Pm1Verdict::SplitTwoEndpoints
-            } else if mx == 1.0 && mn == 0.0 {
-                Pm1Verdict::SplitMixed
-            } else if mx == 1.0 && mn == 1.0 {
-                let degenerate = outs[2][head] == outs[4][head] && outs[3][head] == outs[5][head];
-                if degenerate {
-                    Pm1Verdict::KeepSharedVertex
-                } else {
-                    Pm1Verdict::SplitDistinctVertices
-                }
-            } else if outs[6][head] > 1.0 {
-                Pm1Verdict::SplitNoVertexManyLines
-            } else {
-                Pm1Verdict::KeepSimple
-            }
+            // The lane values are exact small integers in f64, so the
+            // conversions below are lossless.
+            let degenerate = outs[2][head] == outs[4][head] && outs[3][head] == outs[5][head];
+            Pm1Verdict::classify(
+                outs[0][head] as i64,
+                outs[1][head] as i64,
+                degenerate,
+                outs[6][head] as u64,
+            )
         })
         .collect();
 
@@ -184,7 +201,12 @@ pub fn pm1_verdicts_unfused(
     let lane_boxes: Vec<(f64, f64, f64, f64)> =
         machine.zip_map(&state.line, &state.rect, |id, r| {
             let s = &segs[id as usize];
-            let mut bx = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+            let mut bx = (
+                f64::INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NEG_INFINITY,
+            );
             for p in [s.a, s.b] {
                 if r.contains(p) {
                     bx.0 = bx.0.min(p.x);
@@ -213,24 +235,9 @@ pub fn pm1_verdicts_unfused(
         .iter()
         .enumerate()
         .map(|(s, &head)| {
-            let (mx, mn) = (max_eps[head], min_eps[head]);
-            if mx == 2 {
-                Pm1Verdict::SplitTwoEndpoints
-            } else if mx == 1 && mn == 0 {
-                Pm1Verdict::SplitMixed
-            } else if mx == 1 && mn == 1 {
-                let degenerate = mbb_min_x[head] == mbb_max_x[head]
-                    && mbb_min_y[head] == mbb_max_y[head];
-                if degenerate {
-                    Pm1Verdict::KeepSharedVertex
-                } else {
-                    Pm1Verdict::SplitDistinctVertices
-                }
-            } else if counts[s] > 1 {
-                Pm1Verdict::SplitNoVertexManyLines
-            } else {
-                Pm1Verdict::KeepSimple
-            }
+            let degenerate =
+                mbb_min_x[head] == mbb_max_x[head] && mbb_min_y[head] == mbb_max_y[head];
+            Pm1Verdict::classify(max_eps[head], min_eps[head], degenerate, counts[s])
         })
         .collect()
 }
@@ -244,11 +251,7 @@ pub fn pm1_decision(machine: &Machine, state: &LineProcSet, segs: &[LineSeg]) ->
 }
 
 /// Unfused variant of [`pm1_decision`], for the fusion baseline.
-pub fn pm1_decision_unfused(
-    machine: &Machine,
-    state: &LineProcSet,
-    segs: &[LineSeg],
-) -> Vec<bool> {
+pub fn pm1_decision_unfused(machine: &Machine, state: &LineProcSet, segs: &[LineSeg]) -> Vec<bool> {
     pm1_verdicts_unfused(machine, state, segs)
         .into_iter()
         .map(Pm1Verdict::must_split)
@@ -264,15 +267,10 @@ pub fn pm1_decision_unfused(
 /// # Panics
 ///
 /// Panics if any segment endpoint lies outside the half-open `world`.
-pub fn build_pm1(
-    machine: &Machine,
-    world: Rect,
-    segs: &[LineSeg],
-    max_depth: usize,
-) -> DpQuadtree {
+pub fn build_pm1(machine: &Machine, world: Rect, segs: &[LineSeg], max_depth: usize) -> DpQuadtree {
     let mut decide = pm1_decision;
     let out = run_quad_build(machine, world, segs, max_depth, &mut decide);
-    DpQuadtree::assemble(world, out.leaves, out.rounds, out.truncated)
+    DpQuadtree::from_outcome(world, out)
 }
 
 /// [`build_pm1`] driven by the unfused decision — the before-fusion
@@ -287,7 +285,7 @@ pub fn build_pm1_unfused(
 ) -> DpQuadtree {
     let mut decide = pm1_decision_unfused;
     let out = run_quad_build(machine, world, segs, max_depth, &mut decide);
-    DpQuadtree::assemble(world, out.leaves, out.rounds, out.truncated)
+    DpQuadtree::from_outcome(world, out)
 }
 
 #[cfg(test)]
@@ -466,6 +464,9 @@ mod tests {
             8,
         );
         assert_eq!(a.stats(), b.stats());
-        assert_eq!(a.window_query(&world(), &segs), b.window_query(&world(), &segs));
+        assert_eq!(
+            a.window_query(&world(), &segs),
+            b.window_query(&world(), &segs)
+        );
     }
 }

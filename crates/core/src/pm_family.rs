@@ -121,7 +121,7 @@ pub fn pm3_decision(machine: &Machine, state: &LineProcSet, segs: &[LineSeg]) ->
 pub fn build_pm2(machine: &Machine, world: Rect, segs: &[LineSeg], max_depth: usize) -> DpQuadtree {
     let mut decide = pm2_decision;
     let out = run_quad_build(machine, world, segs, max_depth, &mut decide);
-    DpQuadtree::assemble(world, out.leaves, out.rounds, out.truncated)
+    DpQuadtree::from_outcome(world, out)
 }
 
 /// Builds a PM₃ quadtree with all lines inserted simultaneously.
@@ -132,7 +132,7 @@ pub fn build_pm2(machine: &Machine, world: Rect, segs: &[LineSeg], max_depth: us
 pub fn build_pm3(machine: &Machine, world: Rect, segs: &[LineSeg], max_depth: usize) -> DpQuadtree {
     let mut decide = pm3_decision;
     let out = run_quad_build(machine, world, segs, max_depth, &mut decide);
-    DpQuadtree::assemble(world, out.leaves, out.rounds, out.truncated)
+    DpQuadtree::from_outcome(world, out)
 }
 
 #[cfg(test)]

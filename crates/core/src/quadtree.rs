@@ -73,6 +73,13 @@ impl DpQuadtree {
         tree
     }
 
+    /// Assembles the tree from a [`crate::lineproc::run_quad_build`]
+    /// outcome — the one emission path shared by every quadtree-family
+    /// builder (PM₁ fused and unfused, PM₂, PM₃, bucket PMR).
+    pub fn from_outcome(world: Rect, outcome: crate::lineproc::QuadBuildOutcome) -> Self {
+        DpQuadtree::assemble(world, outcome.leaves, outcome.rounds, outcome.truncated)
+    }
+
     fn place_leaf(&mut self, leaf: LeafRecord) {
         let mut at = 0usize;
         for q in leaf.path.quadrants() {
@@ -97,10 +104,7 @@ impl DpQuadtree {
         }
         match &mut self.nodes[at] {
             QtNode::Leaf { lines } => {
-                assert!(
-                    lines.is_empty(),
-                    "two leaf records target the same block"
-                );
+                assert!(lines.is_empty(), "two leaf records target the same block");
                 *lines = leaf.lines;
             }
             QtNode::Internal { .. } => {

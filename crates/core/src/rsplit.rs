@@ -169,7 +169,13 @@ fn mean_split(
         (&ones, FusedOp::Sum),
     ];
     let mut sums: Vec<Vec<f64>> = (0..sum_lanes.len()).map(|_| machine.lease()).collect();
-    machine.scan_lanes_into(&sum_lanes, seg, Direction::Down, ScanKind::Inclusive, &mut sums);
+    machine.scan_lanes_into(
+        &sum_lanes,
+        seg,
+        Direction::Down,
+        ScanKind::Inclusive,
+        &mut sums,
+    );
     machine.note_elementwise();
     let mut head_mean_x = vec![0.0f64; n];
     let mut head_mean_y = vec![0.0f64; n];
@@ -205,10 +211,15 @@ fn mean_split(
         ones_x.push(sx as u64 as f64);
         ones_y.push(sy as u64 as f64);
     }
-    let cnt_lanes: [(&[f64], FusedOp); 2] =
-        [(&ones_x, FusedOp::Sum), (&ones_y, FusedOp::Sum)];
+    let cnt_lanes: [(&[f64], FusedOp); 2] = [(&ones_x, FusedOp::Sum), (&ones_y, FusedOp::Sum)];
     let mut cnts: Vec<Vec<f64>> = (0..cnt_lanes.len()).map(|_| machine.lease()).collect();
-    machine.scan_lanes_into(&cnt_lanes, seg, Direction::Down, ScanKind::Inclusive, &mut cnts);
+    machine.scan_lanes_into(
+        &cnt_lanes,
+        seg,
+        Direction::Down,
+        ScanKind::Inclusive,
+        &mut cnts,
+    );
 
     // Per-segment axis choice.
     #[derive(Clone, Copy)]
@@ -334,7 +345,13 @@ fn axis_sweep(
     // R Bbox: downward exclusive scans (Fig. 29's "analogous downward
     // min/max exclusive scans"), likewise fused.
     let mut r_outs: Vec<Vec<f64>> = (0..lanes.len()).map(|_| machine.lease()).collect();
-    machine.scan_lanes_into(&lanes, seg, Direction::Down, ScanKind::Exclusive, &mut r_outs);
+    machine.scan_lanes_into(
+        &lanes,
+        seg,
+        Direction::Down,
+        ScanKind::Exclusive,
+        &mut r_outs,
+    );
 
     let rank = machine.rank_in_segment(seg);
     let lens = machine.segment_counts_broadcast(seg);

@@ -24,6 +24,7 @@
 //! discussion points at (Fig. 12). [`DpRTree`] performs it as a cascade of
 //! block gathers.
 
+use crate::round_driver::{RoundAdvance, RoundDriver, SplitPolicy};
 use crate::rsplit::{select_split_classes, RtreeSplitAlgorithm};
 use crate::SegId;
 use dp_geom::{LineSeg, Point, Rect};
@@ -96,21 +97,78 @@ pub fn build_rtree(
         return tree;
     }
 
-    loop {
-        let mut any_split = false;
-        let mut h = 0usize;
-        while h < tree.groups.len() {
-            any_split |= tree.split_pass(machine, h, algo);
-            h += 1;
-        }
-        if !any_split {
-            break;
-        }
-        tree.rounds += 1;
-        machine.bump_rounds();
-    }
+    let mut policy = RtreeSplitPolicy {
+        tree: &mut tree,
+        algo,
+        h: 0,
+        sweep_split_any: false,
+    };
+    let rounds = RoundDriver::run(machine, &mut policy);
+    tree.rounds = rounds;
     tree.node_mbrs = tree.compute_all_mbrs(machine);
     tree
+}
+
+/// The R-tree [`SplitPolicy`]: the bottom-up overflow sweep of paper
+/// Sec. 5.3 expressed as driver steps. One step visits one grouping level
+/// `h` (counts → overflow decision → split + unshuffle + upward
+/// propagation); a *round* completes only when a full bottom-to-top sweep
+/// ends, matching the paper's "splits possibly propagating upward" —
+/// `advance` therefore carries a height cursor instead of equating steps
+/// with rounds. A mid-sweep root split grows a new level that the same
+/// sweep still visits (Fig. 42).
+struct RtreeSplitPolicy<'t> {
+    tree: &'t mut DpRTree,
+    algo: RtreeSplitAlgorithm,
+    /// Height cursor: the grouping level this step examines.
+    h: usize,
+    /// Whether any node split since the current sweep began.
+    sweep_split_any: bool,
+}
+
+impl SplitPolicy for RtreeSplitPolicy<'_> {
+    fn active_elements(&self) -> usize {
+        self.tree.groups[self.h].len()
+    }
+
+    fn active_nodes(&self) -> usize {
+        self.tree.groups[self.h].num_segments()
+    }
+
+    fn decide(&mut self, machine: &Machine) -> Vec<bool> {
+        self.tree.overflow_flags(machine, self.h)
+    }
+
+    fn emit(&mut self, _machine: &Machine, _want: &[bool]) {
+        // Nothing retires: R-tree nodes stay in the level stack; only the
+        // overflowing ones move (split) this step.
+    }
+
+    fn partition(&mut self, machine: &Machine, want: &[bool]) {
+        self.tree.split_level(machine, self.h, want, self.algo);
+    }
+
+    fn advance(&mut self, _machine: &Machine, split_any: bool) -> RoundAdvance {
+        self.sweep_split_any |= split_any;
+        self.h += 1;
+        if self.h < self.tree.groups.len() {
+            // Sweep continues upward (possibly into a level a root split
+            // just created).
+            return RoundAdvance {
+                round_completed: false,
+                finished: false,
+            };
+        }
+        // Sweep finished: a round completed iff anything split; the build
+        // is done once a full sweep finds nothing over capacity.
+        let completed = self.sweep_split_any;
+        self.h = 0;
+        self.sweep_split_any = false;
+        RoundAdvance {
+            round_completed: completed,
+            finished: !completed,
+        }
+    }
 }
 
 /// Bulk loads a *packed* R-tree: segments are sorted by the Hilbert index
@@ -128,12 +186,7 @@ pub fn build_rtree(
 /// # Panics
 ///
 /// Panics if `max < 2` or any segment midpoint lies outside `world`.
-pub fn pack_rtree_hilbert(
-    machine: &Machine,
-    segs: &[LineSeg],
-    world: Rect,
-    max: usize,
-) -> DpRTree {
+pub fn pack_rtree_hilbert(machine: &Machine, segs: &[LineSeg], world: Rect, max: usize) -> DpRTree {
     assert!(max >= 2, "M must be at least 2");
     let n = segs.len();
     let mut tree = DpRTree {
@@ -214,18 +267,35 @@ impl DpRTree {
         out
     }
 
-    /// One split pass over level `h`: every overflowing node splits once.
-    /// Returns whether anything split.
-    fn split_pass(&mut self, machine: &Machine, h: usize, algo: RtreeSplitAlgorithm) -> bool {
+    /// The node capacity check at level `h` (Fig. 19 / Fig. 39's `count`
+    /// row): one flag per node, `true` when it holds more than `M` items.
+    fn overflow_flags(&self, machine: &Machine, h: usize) -> Vec<bool> {
         let counts = machine.segment_counts(&self.groups[h]);
         machine.note_elementwise();
-        let overflowing: Vec<bool> = counts.iter().map(|&c| c as usize > self.max).collect();
-        if !overflowing.iter().any(|&b| b) {
-            return false;
-        }
+        counts.iter().map(|&c| c as usize > self.max).collect()
+    }
 
+    /// Splits every overflowing node of level `h` once: split-class
+    /// selection, unshuffle cascade, new segment lengths, and upward
+    /// propagation of the extra children (root growth included). Requires
+    /// at least one `overflowing` flag set.
+    fn split_level(
+        &mut self,
+        machine: &Machine,
+        h: usize,
+        overflowing: &[bool],
+        algo: RtreeSplitAlgorithm,
+    ) {
         let mbrs = self.item_mbrs(machine, h);
-        let class = select_split_classes(machine, &self.groups[h], &mbrs, &overflowing, self.m, self.max, algo);
+        let class = select_split_classes(
+            machine,
+            &self.groups[h],
+            &mbrs,
+            overflowing,
+            self.m,
+            self.max,
+            algo,
+        );
 
         // Partition the items of each overflowing segment.
         let un = machine.unshuffle_layout(&self.groups[h], &class);
@@ -252,8 +322,8 @@ impl DpRTree {
                 splits_per_segment.push(0);
             }
         }
-        self.groups[h] = Segments::from_lengths(&new_lengths)
-            .expect("split sides are non-empty (>= m >= 1)");
+        self.groups[h] =
+            Segments::from_lengths(&new_lengths).expect("split sides are non-empty (>= m >= 1)");
 
         // Propagate the extra children to the parents.
         if h + 1 < self.groups.len() {
@@ -272,7 +342,6 @@ impl DpRTree {
             let n_top = self.groups[h].num_segments();
             self.groups.push(Segments::single(n_top));
         }
-        true
     }
 
     /// Reorders the items at level `h` by `order` (gather indices),
@@ -342,12 +411,7 @@ impl DpRTree {
             leaves: self.groups[0].num_segments(),
             height: self.height(),
             entries: self.lane_line.len(),
-            max_leaf_occupancy: self
-                .groups[0]
-                .ranges()
-                .map(|r| r.len())
-                .max()
-                .unwrap_or(0),
+            max_leaf_occupancy: self.groups[0].ranges().map(|r| r.len()).max().unwrap_or(0),
         }
     }
 
@@ -556,10 +620,7 @@ impl DpRTree {
         let machine = Machine::sequential();
         let recomputed = self.compute_all_mbrs(&machine);
         for (h, level) in recomputed.iter().enumerate() {
-            assert_eq!(
-                level, &self.node_mbrs[h],
-                "cached MBRs stale at level {h}"
-            );
+            assert_eq!(level, &self.node_mbrs[h], "cached MBRs stale at level {h}");
         }
         // Every lane's bbox matches its segment.
         let mut seen = vec![false; segs.len()];
@@ -750,7 +811,6 @@ mod tests {
             );
         }
     }
-
 
     #[test]
     fn packed_tree_invariants_and_queries() {

@@ -110,8 +110,16 @@ impl ShardGrid {
         }
         let raw_lo = ((lo - wmin) / tile).floor();
         let raw_hi = ((hi - wmin) / tile).floor();
-        let a = if raw_lo <= 1.0 { 0 } else { (raw_lo as u32 - 1).min(g - 1) };
-        let b = if raw_hi < 0.0 { 0 } else { (raw_hi as u32).saturating_add(1).min(g - 1) };
+        let a = if raw_lo <= 1.0 {
+            0
+        } else {
+            (raw_lo as u32 - 1).min(g - 1)
+        };
+        let b = if raw_hi < 0.0 {
+            0
+        } else {
+            (raw_hi as u32).saturating_add(1).min(g - 1)
+        };
         Some((a, b))
     }
 
@@ -122,13 +130,11 @@ impl ShardGrid {
     /// [`Rect::intersects`].
     pub fn shards_overlapping(&self, query: &Rect) -> Vec<usize> {
         let (tw, th) = self.tile_size();
-        let Some((x0, x1)) =
-            self.axis_candidates(query.min.x, query.max.x, self.world.min.x, tw)
+        let Some((x0, x1)) = self.axis_candidates(query.min.x, query.max.x, self.world.min.x, tw)
         else {
             return Vec::new();
         };
-        let Some((y0, y1)) =
-            self.axis_candidates(query.min.y, query.max.y, self.world.min.y, th)
+        let Some((y0, y1)) = self.axis_candidates(query.min.y, query.max.y, self.world.min.y, th)
         else {
             return Vec::new();
         };
@@ -253,7 +259,13 @@ mod tests {
         assert_eq!(area, 64.0 * 64.0);
         // Every in-world point is owned by exactly one shard, and that
         // shard's tile half-open-contains it.
-        for &(x, y) in &[(0.0, 0.0), (15.9, 16.0), (16.0, 16.0), (63.9, 63.9), (32.0, 0.0)] {
+        for &(x, y) in &[
+            (0.0, 0.0),
+            (15.9, 16.0),
+            (16.0, 16.0),
+            (63.9, 63.9),
+            (32.0, 0.0),
+        ] {
             let p = Point::new(x, y);
             let s = g.shard_of_point(p).unwrap();
             assert!(g.tile_of(s).contains_half_open(p), "point {p:?} shard {s}");
@@ -282,7 +294,11 @@ mod tests {
                 Rect::empty(),
             ];
             for q in &queries {
-                assert_eq!(g.shards_overlapping(q), brute_overlap(&g, q), "grid {grid} query {q}");
+                assert_eq!(
+                    g.shards_overlapping(q),
+                    brute_overlap(&g, q),
+                    "grid {grid} query {q}"
+                );
             }
         }
     }
@@ -299,8 +315,8 @@ mod tests {
     fn assignment_covers_every_segment() {
         let g = ShardGrid::new(world(), 4);
         let segs = vec![
-            LineSeg::from_coords(1.0, 1.0, 2.0, 2.0),   // inside tile 0
-            LineSeg::from_coords(1.0, 1.0, 60.0, 60.0), // diagonal across many
+            LineSeg::from_coords(1.0, 1.0, 2.0, 2.0),    // inside tile 0
+            LineSeg::from_coords(1.0, 1.0, 60.0, 60.0),  // diagonal across many
             LineSeg::from_coords(0.0, 16.0, 63.0, 16.0), // along a tile boundary
         ];
         let assignment = g.assign_segments(&segs);
@@ -316,7 +332,11 @@ mod tests {
         }
         assert!(seen.iter().all(|&c| c >= 1), "unassigned segment: {seen:?}");
         // The boundary-following segment belongs to the tiles on both sides.
-        assert!(seen[2] >= 8, "boundary segment rides both rows: {}", seen[2]);
+        assert!(
+            seen[2] >= 8,
+            "boundary segment rides both rows: {}",
+            seen[2]
+        );
     }
 
     #[test]

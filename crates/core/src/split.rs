@@ -199,8 +199,7 @@ pub fn split_active_nodes(machine: &Machine, state: LineProcSet, segs: &[LineSeg
             half_lengths.push(n_bottom);
         }
     }
-    let half_seg = Segments::from_lengths(&half_lengths)
-        .expect("non-empty halves only");
+    let half_seg = Segments::from_lengths(&half_lengths).expect("non-empty halves only");
 
     // ---- Stage 2: vertical cut of each half into left / right. ----
     let stage2 = split_stage(
@@ -308,10 +307,7 @@ mod tests {
             let state = LineProcSet::initial(world(), &segs);
             let out = split_active_nodes(&m, state, &segs);
             assert_eq!(out.nodes.len(), 1);
-            assert_eq!(
-                out.nodes[0].path.quadrant_in_parent(),
-                Some(Quadrant::NW)
-            );
+            assert_eq!(out.nodes[0].path.quadrant_in_parent(), Some(Quadrant::NW));
             assert_eq!(out.line, vec![0, 1]);
         }
     }

@@ -120,9 +120,8 @@ pub fn seg_seg_dist2(s1: &LineSeg, s2: &LineSeg) -> f64 {
     if segments_intersect(s1, s2) {
         return 0.0;
     }
-    
-    s1
-        .dist2_to_point(s2.a)
+
+    s1.dist2_to_point(s2.a)
         .min(s1.dist2_to_point(s2.b))
         .min(s2.dist2_to_point(s1.a))
         .min(s2.dist2_to_point(s1.b))

@@ -121,8 +121,7 @@ impl NodePath {
 
     /// `true` when `self` is an ancestor of `other` (or equal to it).
     pub fn is_ancestor_of(&self, other: &NodePath) -> bool {
-        other.depth >= self.depth
-            && (other.bits >> (2 * (other.depth - self.depth))) == self.bits
+        other.depth >= self.depth && (other.bits >> (2 * (other.depth - self.depth))) == self.bits
     }
 
     /// Left-aligned key whose natural order is the depth-first pre-order

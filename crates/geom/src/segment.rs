@@ -120,10 +120,16 @@ mod tests {
     #[test]
     fn closest_point_and_distance() {
         let s = LineSeg::from_coords(0.0, 0.0, 4.0, 0.0);
-        assert_eq!(s.closest_point_to(Point::new(2.0, 3.0)), Point::new(2.0, 0.0));
+        assert_eq!(
+            s.closest_point_to(Point::new(2.0, 3.0)),
+            Point::new(2.0, 0.0)
+        );
         assert_eq!(s.dist2_to_point(Point::new(2.0, 3.0)), 9.0);
         // Beyond the endpoint, the endpoint is closest.
-        assert_eq!(s.closest_point_to(Point::new(9.0, 0.0)), Point::new(4.0, 0.0));
+        assert_eq!(
+            s.closest_point_to(Point::new(9.0, 0.0)),
+            Point::new(4.0, 0.0)
+        );
         assert_eq!(s.dist2_to_point(Point::new(9.0, 0.0)), 25.0);
     }
 
@@ -132,7 +138,10 @@ mod tests {
         let s = LineSeg::from_coords(1.0, 1.0, 1.0, 1.0);
         assert!(s.is_degenerate());
         assert_eq!(s.length(), 0.0);
-        assert_eq!(s.closest_point_to(Point::new(5.0, 5.0)), Point::new(1.0, 1.0));
+        assert_eq!(
+            s.closest_point_to(Point::new(5.0, 5.0)),
+            Point::new(1.0, 1.0)
+        );
     }
 
     #[test]

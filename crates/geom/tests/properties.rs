@@ -2,9 +2,7 @@
 //! arithmetic, clipping/membership coherence on the integer grid, and
 //! symmetry of the intersection predicates.
 
-use dp_geom::{
-    clip_segment_closed, seg_in_block, segments_intersect, LineSeg, Point, Rect,
-};
+use dp_geom::{clip_segment_closed, seg_in_block, segments_intersect, LineSeg, Point, Rect};
 use proptest::prelude::*;
 
 const W: i32 = 64;

@@ -8,6 +8,19 @@
 //! shard recycle those allocations: a buffer returned to the arena keeps
 //! its capacity and is handed back (cleared) on the next request.
 //!
+//! ## Retained-byte cap and decay
+//!
+//! A pathological round (one huge clone cascade early in a build) would
+//! otherwise pin its peak buffers in the pool forever. The arena therefore
+//! tracks the bytes it retains and enforces a cap: buffers returned while
+//! the pool is at capacity are dropped instead of pooled, and
+//! [`ScratchArena::decay`] — called once per algorithm round via
+//! [`crate::Machine::bump_rounds`] — halves the cap toward twice the bytes
+//! actually reused in the elapsed round (never below [`MIN_CAP_BYTES`]),
+//! evicting the coldest pooled buffers to fit. Steady-state workloads keep
+//! their working set (the cap floors at 2× observed demand); one-off
+//! spikes are forgotten within a few rounds.
+//!
 //! The arena is deliberately not thread-safe — each shard owns one behind
 //! its own lock, which matches the one-arena-per-shard usage and keeps
 //! `take`/`put` allocation-free in the steady state.
@@ -15,12 +28,53 @@
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
 
-/// A type-keyed pool of reusable `Vec<T>` scratch buffers.
-#[derive(Debug, Default)]
+/// Floor for the retained-byte cap: [`ScratchArena::decay`] never shrinks
+/// the cap below this, so small workloads always keep their buffers.
+pub const MIN_CAP_BYTES: usize = 1 << 20; // 1 MiB
+
+/// Initial retained-byte cap for a fresh arena.
+pub const DEFAULT_CAP_BYTES: usize = 256 << 20; // 256 MiB
+
+/// One pooled buffer plus the bytes its capacity pins.
+#[derive(Debug)]
+struct Pooled {
+    buf: Box<dyn Any + Send>,
+    bytes: usize,
+}
+
+/// A type-keyed pool of reusable `Vec<T>` scratch buffers with a decaying
+/// retained-byte cap.
+#[derive(Debug)]
 pub struct ScratchArena {
-    pools: HashMap<TypeId, Vec<Box<dyn Any + Send>>>,
+    pools: HashMap<TypeId, Vec<Pooled>>,
     takes: u64,
     hits: u64,
+    /// Bytes currently pinned by pooled (idle) buffers.
+    retained_bytes: usize,
+    /// Lifetime maximum of `retained_bytes`.
+    high_water_bytes: usize,
+    /// Bytes of pooled capacity handed back out since the last decay —
+    /// the demand signal the cap floors against.
+    epoch_used_bytes: usize,
+    /// Current retained-byte cap.
+    cap_bytes: usize,
+    /// Buffers dropped (on put) or evicted (on decay) to honour the cap.
+    evictions: u64,
+}
+
+impl Default for ScratchArena {
+    fn default() -> Self {
+        ScratchArena {
+            pools: HashMap::new(),
+            takes: 0,
+            hits: 0,
+            retained_bytes: 0,
+            high_water_bytes: 0,
+            epoch_used_bytes: 0,
+            cap_bytes: DEFAULT_CAP_BYTES,
+            evictions: 0,
+        }
+    }
 }
 
 impl ScratchArena {
@@ -34,27 +88,99 @@ impl ScratchArena {
     pub fn take<T: Send + 'static>(&mut self) -> Vec<T> {
         self.takes += 1;
         if let Some(pool) = self.pools.get_mut(&TypeId::of::<Vec<T>>()) {
-            if let Some(buf) = pool.pop() {
+            if let Some(entry) = pool.pop() {
                 self.hits += 1;
-                return *buf.downcast::<Vec<T>>().expect("pool keyed by TypeId");
+                self.retained_bytes -= entry.bytes;
+                self.epoch_used_bytes += entry.bytes;
+                return *entry
+                    .buf
+                    .downcast::<Vec<T>>()
+                    .expect("pool keyed by TypeId");
             }
         }
         Vec::new()
     }
 
     /// Returns a buffer to the pool. The contents are cleared; the
-    /// capacity is retained for the next [`ScratchArena::take`].
+    /// capacity is retained for the next [`ScratchArena::take`]. If
+    /// pooling it would exceed the retained-byte cap, the coldest pooled
+    /// buffers are evicted to make room (the incoming buffer is the warm
+    /// one — it was just in use); a buffer larger than the whole cap is
+    /// dropped outright.
     pub fn put<T: Send + 'static>(&mut self, mut buf: Vec<T>) {
         buf.clear();
+        let bytes = buf.capacity() * std::mem::size_of::<T>();
+        if bytes > self.cap_bytes {
+            self.evictions += 1;
+            return; // dropping `buf` frees it
+        }
+        self.evict_until(self.cap_bytes - bytes);
+        self.retained_bytes += bytes;
+        self.high_water_bytes = self.high_water_bytes.max(self.retained_bytes);
         self.pools
             .entry(TypeId::of::<Vec<T>>())
             .or_default()
-            .push(Box::new(buf));
+            .push(Pooled {
+                buf: Box::new(buf),
+                bytes,
+            });
+    }
+
+    /// End-of-round maintenance: relax the retained-byte cap toward twice
+    /// the capacity actually reused since the previous decay (halving at
+    /// most per call, flooring at [`MIN_CAP_BYTES`]), then evict the
+    /// coldest pooled buffers until the retained bytes fit the new cap.
+    ///
+    /// "Coldest" is the least-recently-pooled entry of the pool whose
+    /// oldest entry pins the most bytes — pools serve as LIFO stacks, so
+    /// the front of each stack has sat idle longest.
+    pub fn decay(&mut self) {
+        let demand = self.epoch_used_bytes.saturating_mul(2).max(MIN_CAP_BYTES);
+        self.cap_bytes = demand.max(self.cap_bytes / 2);
+        self.epoch_used_bytes = 0;
+        self.evict_until(self.cap_bytes);
+    }
+
+    /// Evicts coldest-first until at most `target` retained bytes remain.
+    fn evict_until(&mut self, target: usize) {
+        while self.retained_bytes > target {
+            let victim = self
+                .pools
+                .iter()
+                .filter(|(_, pool)| !pool.is_empty())
+                .max_by_key(|(_, pool)| pool[0].bytes)
+                .map(|(key, _)| *key);
+            let Some(key) = victim else { break };
+            let pool = self.pools.get_mut(&key).expect("victim pool exists");
+            let entry = pool.remove(0);
+            self.retained_bytes -= entry.bytes;
+            self.evictions += 1;
+        }
     }
 
     /// Number of buffers currently pooled (across all types).
     pub fn pooled(&self) -> usize {
         self.pools.values().map(Vec::len).sum()
+    }
+
+    /// Bytes currently pinned by pooled buffers.
+    pub fn retained_bytes(&self) -> usize {
+        self.retained_bytes
+    }
+
+    /// Lifetime maximum of [`ScratchArena::retained_bytes`].
+    pub fn high_water_bytes(&self) -> usize {
+        self.high_water_bytes
+    }
+
+    /// Current retained-byte cap (see [`ScratchArena::decay`]).
+    pub fn cap_bytes(&self) -> usize {
+        self.cap_bytes
+    }
+
+    /// Buffers dropped or evicted to honour the cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// `(takes, reuse hits)` — how often [`ScratchArena::take`] was served
@@ -77,11 +203,13 @@ mod tests {
         let ptr = v.as_ptr();
         arena.put(v);
         assert_eq!(arena.pooled(), 1);
+        assert_eq!(arena.retained_bytes(), cap * std::mem::size_of::<u32>());
         let v2: Vec<u32> = arena.take();
         assert!(v2.is_empty());
         assert_eq!(v2.capacity(), cap);
         assert_eq!(v2.as_ptr(), ptr);
         assert_eq!(arena.reuse_stats(), (2, 1));
+        assert_eq!(arena.retained_bytes(), 0);
     }
 
     #[test]
@@ -111,5 +239,50 @@ mod tests {
         let _y: Vec<u8> = arena.take();
         let z: Vec<u8> = arena.take();
         assert_eq!(z.capacity(), 0); // pool exhausted, fresh allocation
+    }
+
+    #[test]
+    fn pathological_round_decays_back_to_working_set() {
+        let mut arena = ScratchArena::new();
+
+        // A pathological round pools one 8 MiB spike buffer.
+        let spike: Vec<u8> = Vec::with_capacity(8 << 20);
+        arena.put(spike);
+        assert!(arena.high_water_bytes() >= 8 << 20);
+
+        // Steady state afterwards: a small buffer cycles every round.
+        let mut small: Vec<u64> = Vec::with_capacity(1024);
+        for _ in 0..12 {
+            arena.put(std::mem::take(&mut small));
+            small = arena.take();
+            assert!(small.capacity() >= 1024, "working set must stay pooled");
+            arena.decay();
+        }
+
+        // The spike has been evicted (cap halved toward 2x observed
+        // demand, floored at MIN_CAP_BYTES < 8 MiB)...
+        assert!(arena.retained_bytes() < 8 << 20);
+        assert!(arena.cap_bytes() >= MIN_CAP_BYTES);
+        assert!(arena.evictions() >= 1);
+        // ...while the high-water mark still records the spike and the
+        // small working-set buffer keeps being reused.
+        assert!(arena.high_water_bytes() >= 8 << 20);
+        let (takes, hits) = arena.reuse_stats();
+        assert_eq!(takes, hits, "every take after the spike was a pool hit");
+    }
+
+    #[test]
+    fn put_over_cap_drops_instead_of_pooling() {
+        let mut arena = ScratchArena::new();
+        // Force the cap down to the floor.
+        for _ in 0..20 {
+            arena.decay();
+        }
+        assert_eq!(arena.cap_bytes(), MIN_CAP_BYTES);
+        let big: Vec<u8> = Vec::with_capacity(2 * MIN_CAP_BYTES);
+        arena.put(big);
+        assert_eq!(arena.pooled(), 0);
+        assert_eq!(arena.retained_bytes(), 0);
+        assert_eq!(arena.evictions(), 1);
     }
 }

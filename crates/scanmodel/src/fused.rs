@@ -173,9 +173,7 @@ fn seq_kernel<T: FusedElement, const K: usize>(
     let bases: [SyncPtr<T>; K] = std::array::from_fn(|l| SyncPtr(outs[l].as_mut_ptr()));
     for r in seg.ranges() {
         match dir {
-            Direction::Up => {
-                seq_segment::<T, K>(r, &datas, &ops, &idents, dir, kind, &bases)
-            }
+            Direction::Up => seq_segment::<T, K>(r, &datas, &ops, &idents, dir, kind, &bases),
             Direction::Down => {
                 seq_segment::<T, K>(r.rev(), &datas, &ops, &idents, dir, kind, &bases)
             }
@@ -203,7 +201,11 @@ fn seq_segment<T: FusedElement, const K: usize>(
     for i in walk {
         for l in 0..K {
             let d = datas[l][i];
-            let next = if first { d } else { combine_dir(ops[l], dir, acc[l], d) };
+            let next = if first {
+                d
+            } else {
+                combine_dir(ops[l], dir, acc[l], d)
+            };
             let value = match kind {
                 ScanKind::Inclusive => next,
                 ScanKind::Exclusive => {
@@ -310,7 +312,10 @@ fn par_kernel<T: FusedElement, const K: usize>(
 
     // Sequential carry scan over block summaries, folded lane-by-lane in
     // the same order as the unfused kernel.
-    let empty = LaneState { valid: false, state: idents };
+    let empty = LaneState {
+        valid: false,
+        state: idents,
+    };
     let mut carries: Vec<LaneState<T, K>> = vec![empty; nblocks];
     let mut carry = empty;
     let order: Box<dyn Iterator<Item = usize>> = match dir {
@@ -323,7 +328,12 @@ fn par_kernel<T: FusedElement, const K: usize>(
         if *has_reset || !carry.valid {
             carry = *total;
         } else if total.valid {
-            for ((c, &op), &t) in carry.state.iter_mut().zip(ops.iter()).zip(total.state.iter()) {
+            for ((c, &op), &t) in carry
+                .state
+                .iter_mut()
+                .zip(ops.iter())
+                .zip(total.state.iter())
+            {
                 *c = combine_dir(op, dir, *c, t);
             }
         }
@@ -342,7 +352,15 @@ fn par_kernel<T: FusedElement, const K: usize>(
         let hi = (lo + blk).min(n);
         match dir {
             Direction::Up => block_rescan::<T, K>(
-                lo..hi, carries[b], resets, &datas, &ops, &idents, dir, kind, &bases,
+                lo..hi,
+                carries[b],
+                resets,
+                &datas,
+                &ops,
+                &idents,
+                dir,
+                kind,
+                &bases,
             ),
             Direction::Down => block_rescan::<T, K>(
                 (lo..hi).rev(),
@@ -370,7 +388,10 @@ fn block_summary<T: FusedElement, const K: usize>(
     dir: Direction,
     idents: &[T; K],
 ) -> (bool, LaneState<T, K>) {
-    let mut s = LaneState { valid: false, state: *idents };
+    let mut s = LaneState {
+        valid: false,
+        state: *idents,
+    };
     let mut has_reset = false;
     for i in walk {
         if resets[i] || !s.valid {
@@ -413,7 +434,11 @@ fn block_rescan<T: FusedElement, const K: usize>(
         for l in 0..K {
             let d = datas[l][i];
             let before = seed.state[l];
-            let next = if fresh { d } else { combine_dir(ops[l], dir, before, d) };
+            let next = if fresh {
+                d
+            } else {
+                combine_dir(ops[l], dir, before, d)
+            };
             let value = match kind {
                 ScanKind::Inclusive => next,
                 ScanKind::Exclusive => {
@@ -476,7 +501,14 @@ mod tests {
                 scan_lanes_seq_into(lanes, seg, dir, kind, &mut seq);
                 assert_eq!(seq, want, "seq {dir:?} {kind:?}");
                 let mut par: Vec<Vec<T>> = vec![Vec::new(); lanes.len()];
-                scan_lanes_par_into(lanes, seg, dir, kind, rayon::current_num_threads(), &mut par);
+                scan_lanes_par_into(
+                    lanes,
+                    seg,
+                    dir,
+                    kind,
+                    rayon::current_num_threads(),
+                    &mut par,
+                );
                 assert_eq!(par, want, "par {dir:?} {kind:?}");
             }
         }
@@ -506,7 +538,9 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             state
         };
-        let a: Vec<f64> = (0..n).map(|_| (next() % 2000) as f64 / 7.0 - 140.0).collect();
+        let a: Vec<f64> = (0..n)
+            .map(|_| (next() % 2000) as f64 / 7.0 - 140.0)
+            .collect();
         let b: Vec<f64> = (0..n).map(|_| (next() % 999) as f64 * 0.31).collect();
         let mut lengths = Vec::new();
         let mut covered = 0usize;
@@ -563,7 +597,14 @@ mod tests {
         let seg0 = Segments::single(0);
         let lanes: Vec<(&[i64], FusedOp)> = vec![(&empty, FusedOp::Sum)];
         let mut outs = vec![vec![1i64, 2]];
-        scan_lanes_par_into(&lanes, &seg0, Direction::Up, ScanKind::Inclusive, 4, &mut outs);
+        scan_lanes_par_into(
+            &lanes,
+            &seg0,
+            Direction::Up,
+            ScanKind::Inclusive,
+            4,
+            &mut outs,
+        );
         assert!(outs[0].is_empty());
         let one = vec![5i64];
         let seg1 = Segments::single(1);

@@ -66,6 +66,6 @@ pub mod vector;
 pub use arena::ScratchArena;
 pub use error::ScanModelError;
 pub use fused::{FusedElement, FusedOp};
-pub use machine::{Backend, Machine, OpStats, StatsSnapshot};
+pub use machine::{Backend, Machine, OpStats, RoundTrace, StatsSnapshot, MAX_ROUND_TRACES};
 pub use scan::{Direction, ScanKind};
 pub use vector::Segments;

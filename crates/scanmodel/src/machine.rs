@@ -98,8 +98,50 @@ impl StatsSnapshot {
     }
 }
 
+/// Structured telemetry for one step of a round-driven build loop.
+///
+/// Recorded by the `RoundDriver` in `dp-core` via
+/// [`Machine::record_round_trace`]: each step captures the frontier shape
+/// before the step, how many nodes split, the *delta* of the machine's
+/// physical counters across the step, the arena high-water mark, and wall
+/// time. Consumers (the service's per-shard build logs, `bench_scanmodel
+/// --trace`) read the buffer back with [`Machine::round_traces`] /
+/// [`Machine::take_round_traces`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundTrace {
+    /// Driver step index within one build (for the quadtree builders one
+    /// step is one subdivision round; for the R-tree one step is one
+    /// height-level pass of the bottom-up overflow sweep).
+    pub round: usize,
+    /// Active (segment, node)-pair elements entering the step.
+    pub active_elements: usize,
+    /// Active frontier nodes entering the step.
+    pub active_nodes: usize,
+    /// Nodes the policy decided to split this step.
+    pub nodes_split: usize,
+    /// Paper-level scan operations issued during the step.
+    pub scans: u64,
+    /// Physical scan passes issued during the step (`<= scans` with
+    /// fusion).
+    pub scan_passes: u64,
+    /// Elementwise operations issued during the step.
+    pub elementwise: u64,
+    /// Permutation / gather operations issued during the step.
+    pub permutes: u64,
+    /// Arena high-water mark (bytes retained at peak) after the step.
+    pub arena_high_water_bytes: usize,
+    /// Wall time of the step in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// Upper bound on buffered [`RoundTrace`] records per machine; steps past
+/// the cap are silently dropped (builds are O(log n) rounds, so the cap is
+/// only a runaway backstop).
+pub const MAX_ROUND_TRACES: usize = 4096;
+
 /// The software vector machine. Cheap to share by reference; counter state
-/// is interior-mutable atomics, the scratch arena sits behind its own lock.
+/// is interior-mutable atomics, the scratch arena and round-trace buffer
+/// sit behind their own locks.
 #[derive(Debug)]
 pub struct Machine {
     backend: Backend,
@@ -109,6 +151,7 @@ pub struct Machine {
     threads: usize,
     stats: OpStats,
     scratch: Mutex<ScratchArena>,
+    traces: Mutex<Vec<RoundTrace>>,
 }
 
 impl Default for Machine {
@@ -126,6 +169,7 @@ impl Machine {
             threads: rayon::current_num_threads().max(1),
             stats: OpStats::default(),
             scratch: Mutex::new(ScratchArena::new()),
+            traces: Mutex::new(Vec::new()),
         }
     }
 
@@ -169,7 +213,7 @@ impl Machine {
         }
     }
 
-    /// Resets all counters to zero.
+    /// Resets all counters to zero and clears the round-trace buffer.
     pub fn reset_stats(&self) {
         self.stats.scans.store(0, Ordering::Relaxed);
         self.stats.elementwise.store(0, Ordering::Relaxed);
@@ -179,6 +223,31 @@ impl Machine {
         self.stats.scan_passes.store(0, Ordering::Relaxed);
         self.stats.fused_lanes_saved.store(0, Ordering::Relaxed);
         self.stats.allocs_avoided.store(0, Ordering::Relaxed);
+        self.traces.lock().expect("machine traces poisoned").clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Round traces
+    // ------------------------------------------------------------------
+
+    /// Appends one [`RoundTrace`] record (drops it silently once
+    /// [`MAX_ROUND_TRACES`] records are buffered). Purely observational:
+    /// no operation counter changes.
+    pub fn record_round_trace(&self, trace: RoundTrace) {
+        let mut traces = self.traces.lock().expect("machine traces poisoned");
+        if traces.len() < MAX_ROUND_TRACES {
+            traces.push(trace);
+        }
+    }
+
+    /// A copy of the buffered round traces.
+    pub fn round_traces(&self) -> Vec<RoundTrace> {
+        self.traces.lock().expect("machine traces poisoned").clone()
+    }
+
+    /// Drains and returns the buffered round traces.
+    pub fn take_round_traces(&self) -> Vec<RoundTrace> {
+        std::mem::take(&mut *self.traces.lock().expect("machine traces poisoned"))
     }
 
     // ------------------------------------------------------------------
@@ -193,7 +262,10 @@ impl Machine {
 
     /// Returns a scratch buffer to the arena for later reuse.
     pub fn recycle<T: Send + 'static>(&self, buf: Vec<T>) {
-        self.scratch.lock().expect("machine arena poisoned").put(buf);
+        self.scratch
+            .lock()
+            .expect("machine arena poisoned")
+            .put(buf);
     }
 
     /// `(takes, reuse hits)` of the machine's scratch arena.
@@ -202,6 +274,22 @@ impl Machine {
             .lock()
             .expect("machine arena poisoned")
             .reuse_stats()
+    }
+
+    /// Lifetime peak of bytes retained by the machine's scratch arena.
+    pub fn arena_high_water_bytes(&self) -> usize {
+        self.scratch
+            .lock()
+            .expect("machine arena poisoned")
+            .high_water_bytes()
+    }
+
+    /// Bytes currently retained (pooled) by the machine's scratch arena.
+    pub fn arena_retained_bytes(&self) -> usize {
+        self.scratch
+            .lock()
+            .expect("machine arena poisoned")
+            .retained_bytes()
     }
 
     /// Records that an `_into` primitive reused a warm buffer. Counted
@@ -215,9 +303,12 @@ impl Machine {
     }
 
     /// Records one algorithm-level round (a subdivision stage in the build
-    /// algorithms of paper Section 5).
+    /// algorithms of paper Section 5) and runs the scratch arena's
+    /// end-of-round decay (see [`ScratchArena::decay`]), so a pathological
+    /// round's peak buffers are released within a few subsequent rounds.
     pub fn bump_rounds(&self) {
         self.stats.rounds.fetch_add(1, Ordering::Relaxed);
+        self.scratch.lock().expect("machine arena poisoned").decay();
     }
 
     /// Records one elementwise operation performed by composite-algorithm

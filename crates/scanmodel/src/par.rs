@@ -53,13 +53,7 @@ struct BlockSummary<T> {
 /// # Panics
 ///
 /// Panics if `data.len() != seg.len()`.
-pub fn scan_par<T, O>(
-    data: &[T],
-    seg: &Segments,
-    op: O,
-    dir: Direction,
-    kind: ScanKind,
-) -> Vec<T>
+pub fn scan_par<T, O>(data: &[T], seg: &Segments, op: O, dir: Direction, kind: ScanKind) -> Vec<T>
 where
     T: Element,
     O: CombineOp<T>,
@@ -446,7 +440,9 @@ mod tests {
         let n = 40_000usize;
         let mut state = 0x243F_6A88u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         let data: Vec<i64> = (0..n).map(|_| (next() % 1000) as i64 - 500).collect();

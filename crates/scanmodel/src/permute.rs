@@ -69,8 +69,7 @@ pub fn permute_seq_into<T: Element>(data: &[T], index: &[usize], out: &mut Vec<T
         data.len(),
         index.len()
     );
-    validate_permutation(index, data.len())
-        .unwrap_or_else(|e| panic!("permute: {e}"));
+    validate_permutation(index, data.len()).unwrap_or_else(|e| panic!("permute: {e}"));
     out.clear();
     out.extend_from_slice(data);
     for (i, &t) in index.iter().enumerate() {
@@ -108,8 +107,7 @@ pub fn permute_par_into<T: Element>(data: &[T], index: &[usize], out: &mut Vec<T
         data.len(),
         index.len()
     );
-    validate_permutation(index, data.len())
-        .unwrap_or_else(|e| panic!("permute: {e}"));
+    validate_permutation(index, data.len()).unwrap_or_else(|e| panic!("permute: {e}"));
     let n = data.len();
     out.clear();
     out.reserve(n);

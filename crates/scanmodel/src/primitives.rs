@@ -13,10 +13,10 @@
 //! that must all be reordered the same way.
 
 use crate::machine::Machine;
+use crate::ops::Element;
 use crate::ops::{First, Last, Sum};
 use crate::scan::{Direction, ScanKind};
 use crate::vector::Segments;
-use crate::ops::Element;
 use std::cmp::Ordering as CmpOrdering;
 
 /// Result of a cloning layout computation ([`Machine::clone_layout`],
@@ -147,12 +147,7 @@ impl Machine {
 
     /// Applies a cloning layout into a caller-provided buffer (cleared
     /// first).
-    pub fn apply_clone_into<T: Element>(
-        &self,
-        data: &[T],
-        layout: &CloneLayout,
-        out: &mut Vec<T>,
-    ) {
+    pub fn apply_clone_into<T: Element>(&self, data: &[T], layout: &CloneLayout, out: &mut Vec<T>) {
         self.gather_into(data, &layout.src_lane, out);
     }
 

@@ -40,13 +40,7 @@ pub enum ScanKind {
 /// # Panics
 ///
 /// Panics if `data.len() != seg.len()`.
-pub fn scan_seq<T, O>(
-    data: &[T],
-    seg: &Segments,
-    op: O,
-    dir: Direction,
-    kind: ScanKind,
-) -> Vec<T>
+pub fn scan_seq<T, O>(data: &[T], seg: &Segments, op: O, dir: Direction, kind: ScanKind) -> Vec<T>
 where
     T: Element,
     O: CombineOp<T>,
@@ -91,12 +85,20 @@ pub fn scan_seq_into<T, O>(
                 for i in r {
                     match kind {
                         ScanKind::Inclusive => {
-                            acc = if first { data[i] } else { op.combine(acc, data[i]) };
+                            acc = if first {
+                                data[i]
+                            } else {
+                                op.combine(acc, data[i])
+                            };
                             out[i] = acc;
                         }
                         ScanKind::Exclusive => {
                             out[i] = acc;
-                            acc = if first { data[i] } else { op.combine(acc, data[i]) };
+                            acc = if first {
+                                data[i]
+                            } else {
+                                op.combine(acc, data[i])
+                            };
                         }
                     }
                     first = false;
@@ -110,12 +112,20 @@ pub fn scan_seq_into<T, O>(
                 for i in r.rev() {
                     match kind {
                         ScanKind::Inclusive => {
-                            acc = if first { data[i] } else { op.combine(data[i], acc) };
+                            acc = if first {
+                                data[i]
+                            } else {
+                                op.combine(data[i], acc)
+                            };
                             out[i] = acc;
                         }
                         ScanKind::Exclusive => {
                             out[i] = acc;
-                            acc = if first { data[i] } else { op.combine(data[i], acc) };
+                            acc = if first {
+                                data[i]
+                            } else {
+                                op.combine(data[i], acc)
+                            };
                         }
                     }
                     first = false;

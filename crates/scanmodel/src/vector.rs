@@ -132,11 +132,7 @@ impl Segments {
     /// Panics if `s >= self.num_segments()`.
     pub fn range(&self, s: usize) -> Range<usize> {
         let start = self.starts[s];
-        let end = self
-            .starts
-            .get(s + 1)
-            .copied()
-            .unwrap_or(self.flags.len());
+        let end = self.starts.get(s + 1).copied().unwrap_or(self.flags.len());
         start..end
     }
 
@@ -156,7 +152,11 @@ impl Segments {
     ///
     /// Panics if `i >= self.len()`.
     pub fn segment_of(&self, i: usize) -> usize {
-        assert!(i < self.len(), "lane {i} out of bounds (len {})", self.len());
+        assert!(
+            i < self.len(),
+            "lane {i} out of bounds (len {})",
+            self.len()
+        );
         match self.starts.binary_search(&i) {
             Ok(s) => s,
             Err(ins) => ins - 1,
@@ -180,7 +180,11 @@ impl Segments {
     ///
     /// Panics if `i >= self.len()`.
     pub fn is_segment_end(&self, i: usize) -> bool {
-        assert!(i < self.len(), "lane {i} out of bounds (len {})", self.len());
+        assert!(
+            i < self.len(),
+            "lane {i} out of bounds (len {})",
+            self.len()
+        );
         i + 1 == self.len() || self.flags[i + 1]
     }
 }

@@ -389,10 +389,7 @@ fn fused_scan_lanes_edge_shapes() {
 
         // All-singleton segments and one giant segment.
         let shapes: Vec<(Vec<i64>, Segments)> = vec![
-            (
-                vec![7, -3, 11],
-                Segments::from_lengths(&[1, 1, 1]).unwrap(),
-            ),
+            (vec![7, -3, 11], Segments::from_lengths(&[1, 1, 1]).unwrap()),
             (
                 (0..10_000).map(|i| (i * i) % 97 - 48).collect(),
                 Segments::single(10_000),
@@ -402,7 +399,11 @@ fn fused_scan_lanes_edge_shapes() {
             for dir in [Direction::Up, Direction::Down] {
                 for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
                     let outs = m.scan_lanes(
-                        &[(&data, FusedOp::Sum), (&data, FusedOp::Min), (&data, FusedOp::Max)],
+                        &[
+                            (&data, FusedOp::Sum),
+                            (&data, FusedOp::Min),
+                            (&data, FusedOp::Max),
+                        ],
                         &seg,
                         dir,
                         kind,
@@ -421,5 +422,95 @@ fn fused_scan_lanes_edge_shapes() {
             "fused-pass invariant violated: {stats:?}"
         );
         assert!(stats.fused_lanes_saved > 0);
+    }
+}
+
+/// Clone/unshuffle `_into` variants on the degenerate shapes a build loop
+/// can reach: the empty frontier (zero segments, zero lanes) and the
+/// one-lane frontier — both backends, with warm arena buffers so the
+/// `_into` reuse path is the one exercised.
+#[test]
+fn clone_unshuffle_into_empty_and_single_lane() {
+    for m in [machines().0, machines().1] {
+        // Warm the arena with dirty buffers of a mismatched length.
+        let mut dirty: Vec<i64> = m.lease();
+        dirty.resize(17, 99);
+        m.recycle(dirty);
+
+        // Empty frontier: no segments, no lanes.
+        let empty: Vec<i64> = Vec::new();
+        let seg = Segments::single(0);
+        let flags: Vec<bool> = Vec::new();
+
+        let cl = m.clone_layout(&seg, &flags);
+        let mut out: Vec<i64> = m.lease();
+        m.apply_clone_into(&empty, &cl, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(out, m.apply_clone(&empty, &cl));
+        m.recycle(out);
+
+        let un = m.unshuffle_layout(&seg, &flags);
+        let mut out: Vec<i64> = m.lease();
+        m.apply_unshuffle_into(&empty, &un, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(out, m.apply_unshuffle(&empty, &un));
+        m.recycle(out);
+
+        // One lane in one segment, both flag polarities.
+        for flag in [false, true] {
+            let data = vec![42i64];
+            let seg = Segments::single(1);
+
+            let cl = m.clone_layout(&seg, &[flag]);
+            let mut out: Vec<i64> = m.lease();
+            m.apply_clone_into(&data, &cl, &mut out);
+            assert_eq!(out, m.apply_clone(&data, &cl));
+            assert_eq!(out.len(), if flag { 2 } else { 1 });
+            m.recycle(out);
+
+            let un = m.unshuffle_layout(&seg, &[flag]);
+            let mut out: Vec<i64> = m.lease();
+            m.apply_unshuffle_into(&data, &un, &mut out);
+            assert_eq!(out, m.apply_unshuffle(&data, &un));
+            assert_eq!(out, data);
+            m.recycle(out);
+        }
+    }
+}
+
+proptest! {
+    /// All-singleton segments (every node holds exactly one lane — the
+    /// deepest-frontier shape of a quadtree build) through the clone and
+    /// unshuffle layouts: `_into` variants must match the allocating
+    /// forms on both backends, and the shapes must be what singletons
+    /// force (clone doubles flagged lanes; unshuffle of a singleton is
+    /// the identity).
+    #[test]
+    fn clone_unshuffle_into_all_singleton_segments(
+        flags in prop::collection::vec(any::<bool>(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let n = flags.len();
+        let data: Vec<i64> = (0..n)
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9E3779B9)) as i64)
+            .collect();
+        let seg = Segments::from_lengths(&vec![1; n]).unwrap();
+        for m in [machines().0, machines().1] {
+            let cl = m.clone_layout(&seg, &flags);
+            let mut out: Vec<i64> = m.lease();
+            m.apply_clone_into(&data, &cl, &mut out);
+            prop_assert_eq!(&out, &m.apply_clone(&data, &cl));
+            let doubled = n + flags.iter().filter(|&&f| f).count();
+            prop_assert_eq!(out.len(), doubled);
+            m.recycle(out);
+
+            let un = m.unshuffle_layout(&seg, &flags);
+            let mut out: Vec<i64> = m.lease();
+            m.apply_unshuffle_into(&data, &un, &mut out);
+            prop_assert_eq!(&out, &m.apply_unshuffle(&data, &un));
+            // A one-lane segment cannot reorder: unshuffle is identity.
+            prop_assert_eq!(&out, &data);
+            m.recycle(out);
+        }
     }
 }

@@ -314,9 +314,7 @@ mod tests {
         ] {
             let got = t.window_query(&query, &segs);
             let brute: Vec<SegId> = (0..segs.len() as u32)
-                .filter(|&id| {
-                    dp_geom::clip_segment_closed(&segs[id as usize], &query).is_some()
-                })
+                .filter(|&id| dp_geom::clip_segment_closed(&segs[id as usize], &query).is_some())
                 .collect();
             assert_eq!(got, brute, "window {query}");
         }

@@ -233,9 +233,7 @@ mod tests {
     fn close_vertices_cascade_fig2() {
         // Paper Fig. 2: a second segment whose vertex is close to an
         // existing vertex triggers a deep cascade of subdivisions.
-        let far_apart = vec![
-            LineSeg::from_coords(1.0, 1.0, 6.0, 5.0),
-        ];
+        let far_apart = vec![LineSeg::from_coords(1.0, 1.0, 6.0, 5.0)];
         let t1 = Pm1Tree::build(world(), &far_apart, 12);
         let close = vec![
             LineSeg::from_coords(1.0, 1.0, 6.0, 5.0),

@@ -296,9 +296,7 @@ mod tests {
             let t = PmTree::build(world(), &segs, variant, 10);
             let q = Rect::from_coords(3.0, 3.0, 5.0, 5.0);
             let want: Vec<SegId> = (0..segs.len() as u32)
-                .filter(|&id| {
-                    dp_geom::clip_segment_closed(&segs[id as usize], &q).is_some()
-                })
+                .filter(|&id| dp_geom::clip_segment_closed(&segs[id as usize], &q).is_some())
                 .collect();
             assert_eq!(t.window_query(&q, &segs), want, "{variant:?}");
         }

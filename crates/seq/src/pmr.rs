@@ -228,10 +228,7 @@ mod tests {
         ];
         let t = PmrTree::build(world(), &segs, 1, 6);
         // All three segments remain findable.
-        assert_eq!(
-            t.window_query(&world(), &segs),
-            vec![0, 1, 2]
-        );
+        assert_eq!(t.window_query(&world(), &segs), vec![0, 1, 2]);
     }
 
     /// Paper Fig. 34: changing the insertion order changes the shape.
@@ -258,7 +255,10 @@ mod tests {
             "PMR shape must depend on insertion order for this dataset"
         );
         // But both orders index the same segments.
-        assert_eq!(t1.window_query(&world(), &base), t2.window_query(&world(), &base));
+        assert_eq!(
+            t1.window_query(&world(), &base),
+            t2.window_query(&world(), &base)
+        );
     }
 
     #[test]

@@ -425,7 +425,6 @@ mod tests {
         assert_eq!(a.stats().leaves, 1);
     }
 
-
     #[test]
     fn nearest_matches_brute_force() {
         let segs = vec![

@@ -784,7 +784,9 @@ mod tests {
     fn empty_and_tiny_trees() {
         let t = RTree::new(1, 3, SplitAlgorithm::Quadratic);
         assert_eq!(t.height(), 0);
-        assert!(t.window_candidates(&Rect::from_coords(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(t
+            .window_candidates(&Rect::from_coords(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
         assert!(t.nearest(Point::new(0.0, 0.0), &[]).is_none());
 
         let segs = segments(2);
@@ -805,9 +807,7 @@ mod tests {
         ] {
             let got = t.window_query(&query, &segs);
             let brute: Vec<SegId> = (0..segs.len() as u32)
-                .filter(|&id| {
-                    dp_geom::clip_segment_closed(&segs[id as usize], &query).is_some()
-                })
+                .filter(|&id| dp_geom::clip_segment_closed(&segs[id as usize], &query).is_some())
                 .collect();
             assert_eq!(got, brute, "window {query}");
         }
@@ -844,7 +844,6 @@ mod tests {
         assert_eq!(t.stats().entries, 9);
     }
 
-
     #[test]
     fn delete_removes_and_preserves_invariants() {
         let segs = segments(60);
@@ -853,7 +852,10 @@ mod tests {
         for id in (0..60u32).step_by(2) {
             assert!(t.delete(id, segs[id as usize].bbox()), "delete {id}");
         }
-        assert!(!t.delete(0, segs[0].bbox()), "double delete reports absence");
+        assert!(
+            !t.delete(0, segs[0].bbox()),
+            "double delete reports absence"
+        );
         // Remaining entries answer queries exactly.
         let q = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
         let got = t.window_query(&q, &segs);
@@ -942,7 +944,8 @@ mod tests {
         let t = RTree::build(&segs, 2, 4, SplitAlgorithm::Quadratic);
         t.check_invariants(&segs, 10);
         assert_eq!(
-            t.window_query(&Rect::from_coords(0.0, 0.0, 3.0, 3.0), &segs).len(),
+            t.window_query(&Rect::from_coords(0.0, 0.0, 3.0, 3.0), &segs)
+                .len(),
             10
         );
     }

@@ -18,8 +18,8 @@
 use dp_geom::Rect;
 use dp_service::{brute_knearest, QueryService, QueryServiceConfig, Response};
 use dp_workloads::{
-    clustered_segments, paper_dataset, paper_world, polygon_rings, request_stream,
-    road_network, uniform_segments, Dataset, Request, RequestMix,
+    clustered_segments, paper_dataset, paper_world, polygon_rings, request_stream, road_network,
+    uniform_segments, Dataset, Request, RequestMix,
 };
 use scan_model::Backend;
 use std::time::Instant;
@@ -61,7 +61,12 @@ fn parse_args() -> Args {
             "--segments" => args.segments = value("--segments").parse().expect("--segments"),
             "--requests" => args.requests = value("--requests").parse().expect("--requests"),
             "--shards" => args.shards = value("--shards").parse().expect("--shards"),
-            "--threads" => args.threads = value("--threads").parse::<usize>().expect("--threads").max(1),
+            "--threads" => {
+                args.threads = value("--threads")
+                    .parse::<usize>()
+                    .expect("--threads")
+                    .max(1)
+            }
             "--flush" => args.flush = value("--flush").parse().expect("--flush"),
             "--batch" => args.batch = value("--batch").parse::<usize>().expect("--batch").max(1),
             "--seed" => args.seed = value("--seed").parse().expect("--seed"),
@@ -124,8 +129,34 @@ fn main() {
         service.num_shards(),
         t0.elapsed().as_secs_f64() * 1e3
     );
+    println!("per-shard build trace (rounds / scan passes / peak lanes / arena high water):");
+    for s in &service.stats().shards {
+        let trace = &s.build_trace;
+        let passes: u64 = trace.iter().map(|t| t.scan_passes).sum();
+        let peak_lanes = trace.iter().map(|t| t.active_elements).max().unwrap_or(0);
+        let arena_hw = trace
+            .iter()
+            .map(|t| t.arena_high_water_bytes)
+            .max()
+            .unwrap_or(0);
+        let wall: u64 = trace.iter().map(|t| t.wall_nanos).sum();
+        println!(
+            "  shard {:>3}: {:>3} / {:>5} / {:>8} / {:>7} KiB  ({:.2} ms)",
+            s.shard,
+            trace.len(),
+            passes,
+            peak_lanes,
+            arena_hw / 1024,
+            wall as f64 / 1e6
+        );
+    }
 
-    let stream = request_stream(data.world, args.requests, RequestMix::DEFAULT, args.seed ^ 1);
+    let stream = request_stream(
+        data.world,
+        args.requests,
+        RequestMix::DEFAULT,
+        args.seed ^ 1,
+    );
     service.reset_stats();
 
     let t1 = Instant::now();

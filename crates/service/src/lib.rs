@@ -44,7 +44,7 @@ use dp_spatial::shard::{build_shard, ShardGrid, ShardIndex};
 use dp_spatial::SegId;
 use dp_workloads::Request;
 use rayon::prelude::*;
-use scan_model::{Backend, Machine, StatsSnapshot};
+use scan_model::{Backend, Machine, RoundTrace, StatsSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -131,8 +131,7 @@ impl ShardCounters {
 
     fn record_flush(&self, elapsed_micros: u64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
-        let bucket = (64 - elapsed_micros.leading_zeros() as usize)
-            .min(LATENCY_BUCKETS - 1);
+        let bucket = (64 - elapsed_micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
         self.latency[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -171,6 +170,10 @@ pub struct ShardStats {
     /// Of [`ShardStats::arena_takes`], leases served from the pool
     /// without allocating.
     pub arena_hits: u64,
+    /// Per-round telemetry of the shard's index build, captured at
+    /// construction time (one [`RoundTrace`] per subdivision round; not
+    /// affected by [`QueryService::reset_stats`]).
+    pub build_trace: Vec<RoundTrace>,
 }
 
 /// Aggregated service statistics: per-shard views plus batch-level
@@ -228,6 +231,10 @@ struct Shard {
     index: ShardIndex,
     machine: Machine,
     counters: ShardCounters,
+    /// Round-driver telemetry of this shard's build, drained from the
+    /// machine right after construction (so later batch work and stat
+    /// resets cannot disturb it).
+    build_trace: Vec<RoundTrace>,
 }
 
 /// The sharded query service. Cheap to share by reference across threads:
@@ -271,10 +278,12 @@ impl QueryService {
                     config.capacity,
                     config.max_depth,
                 );
+                let build_trace = machine.take_round_traces();
                 Shard {
                     index,
                     machine,
                     counters: ShardCounters::new(),
+                    build_trace,
                 }
             })
             .collect();
@@ -333,12 +342,16 @@ impl QueryService {
             .iter()
             .enumerate()
             .map(|(slot, r)| match r {
-                Request::Window(_) => Response::Window(window_hits.next().expect("probe per window")),
+                Request::Window(_) => {
+                    Response::Window(window_hits.next().expect("probe per window"))
+                }
                 Request::PointInWindow(_) => {
                     Response::PointInWindow(window_hits.next().expect("probe per point"))
                 }
                 Request::KNearest { .. } => Response::KNearest(
-                    knn_answers[slot].clone().expect("k-NN rounds answer every slot"),
+                    knn_answers[slot]
+                        .clone()
+                        .expect("k-NN rounds answer every slot"),
                 ),
             })
             .collect()
@@ -391,15 +404,9 @@ impl QueryService {
             let mut rects: Vec<Rect> = shard.machine.lease();
             rects.extend(chunk.iter().map(|&pi| probes[pi as usize].1));
             let t0 = Instant::now();
-            let hits = batch_window_query(
-                &shard.machine,
-                &shard.index.tree,
-                &rects,
-                &shard.index.segs,
-            );
-            shard
-                .counters
-                .record_flush(t0.elapsed().as_micros() as u64);
+            let hits =
+                batch_window_query(&shard.machine, &shard.index.tree, &rects, &shard.index.segs);
+            shard.counters.record_flush(t0.elapsed().as_micros() as u64);
             for (j, locals) in hits.into_iter().enumerate() {
                 let globals: Vec<SegId> = locals
                     .into_iter()
@@ -453,8 +460,7 @@ impl QueryService {
                     && window.min.y <= world.min.y
                     && window.max.x >= world.max.x
                     && window.max.y >= world.max.y;
-                let settled =
-                    world_covered || (scored.len() >= k && scored[k - 1].1 <= r);
+                let settled = world_covered || (scored.len() >= k && scored[k - 1].1 <= r);
                 if settled {
                     scored.truncate(k);
                     answers[slot] = Some(scored);
@@ -488,6 +494,7 @@ impl QueryService {
                     ops: s.machine.stats(),
                     arena_takes: s.machine.arena_stats().0,
                     arena_hits: s.machine.arena_stats().1,
+                    build_trace: s.build_trace.clone(),
                 })
                 .collect(),
             requests: self.requests.load(Ordering::Relaxed),
@@ -598,7 +605,11 @@ mod tests {
         svc.execute_batch(&reqs);
         let stats = svc.stats();
         assert_eq!(stats.requests, 100);
-        assert!(stats.total_probes() >= 100, "probes {}", stats.total_probes());
+        assert!(
+            stats.total_probes() >= 100,
+            "probes {}",
+            stats.total_probes()
+        );
         let busiest = stats.shards.iter().map(|s| s.probes).max().unwrap();
         assert!(busiest > 0);
         // flush_batch = 16 forces multi-flush queues on busy shards.

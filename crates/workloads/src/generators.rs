@@ -48,10 +48,7 @@ pub fn square_world(size: u32) -> Rect {
 
 fn grid_point(rng: &mut StdRng, size: u32) -> Point {
     // Strictly inside the half-open world: coordinates in 0..size.
-    Point::new(
-        rng.gen_range(0..size) as f64,
-        rng.gen_range(0..size) as f64,
-    )
+    Point::new(rng.gen_range(0..size) as f64, rng.gen_range(0..size) as f64)
 }
 
 /// Uniform random segments: endpoints drawn uniformly from the grid, with
@@ -303,7 +300,6 @@ mod tests {
         assert!((d.len() as f64) <= 2.0 * 16.0 * 15.0);
     }
 
-
     #[test]
     fn polygon_rings_are_planar_and_valid() {
         let d = polygon_rings(8, 256, 3);
@@ -314,8 +310,7 @@ mod tests {
         for i in 0..d.segs.len() {
             for j in (i + 1)..d.segs.len() {
                 let same_ring = i / 4 == j / 4;
-                let crossing =
-                    dp_geom::segments_intersect(&d.segs[i], &d.segs[j]);
+                let crossing = dp_geom::segments_intersect(&d.segs[i], &d.segs[j]);
                 if !same_ring {
                     assert!(!crossing, "rings {} and {} touch", i / 4, j / 4);
                 }

@@ -28,8 +28,7 @@ pub mod paper;
 pub mod requests;
 
 pub use generators::{
-    polygon_rings,
-    clustered_segments, pathological_close_vertices, road_network, square_world,
+    clustered_segments, pathological_close_vertices, polygon_rings, road_network, square_world,
     uniform_segments, Dataset,
 };
 pub use paper::{paper_dataset, paper_world, PAPER_LABELS};

@@ -97,11 +97,7 @@ mod tests {
         let world = paper_world();
         let quads = world.quadrants();
         let segs = paper_dataset();
-        let blocks_of = |s: &LineSeg| {
-            (0..4)
-                .filter(|&q| seg_in_block(s, &quads[q]))
-                .count()
-        };
+        let blocks_of = |s: &LineSeg| (0..4).filter(|&q| seg_in_block(s, &quads[q])).count();
         assert!(blocks_of(&segs[0]) >= 2, "a crosses a split axis");
         assert!(blocks_of(&segs[1]) >= 2, "b crosses a split axis");
         assert!(blocks_of(&segs[8]) >= 2, "i crosses a split axis");

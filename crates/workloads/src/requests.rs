@@ -89,7 +89,7 @@ fn grid_point(rng: &mut StdRng, world: &Rect) -> Point {
 fn random_window(rng: &mut StdRng, world: &Rect) -> Rect {
     let size = (world.max.x - world.min.x) as u32;
     match rng.gen_range(0u32..20) {
-        0 => *world,                          // world-spanning
+        0 => *world,                              // world-spanning
         1 => Rect::point(grid_point(rng, world)), // degenerate
         _ => {
             let a = grid_point(rng, world);
@@ -150,7 +150,10 @@ mod tests {
     fn mix_weights_are_respected() {
         let w = square_world(128);
         let reqs = request_stream(w, 3000, RequestMix::DEFAULT, 42);
-        let windows = reqs.iter().filter(|r| matches!(r, Request::Window(_))).count();
+        let windows = reqs
+            .iter()
+            .filter(|r| matches!(r, Request::Window(_)))
+            .count();
         let points = reqs
             .iter()
             .filter(|r| matches!(r, Request::PointInWindow(_)))
@@ -172,7 +175,9 @@ mod tests {
         let mut degenerate = 0;
         let mut spanning = 0;
         for r in &reqs {
-            let Request::Window(q) = r else { unreachable!() };
+            let Request::Window(q) = r else {
+                unreachable!()
+            };
             assert!(q.min.x >= w.min.x && q.max.x <= w.max.x);
             assert!(q.min.y >= w.min.y && q.max.y <= w.max.y);
             assert!(q.min.x <= q.max.x && q.min.y <= q.max.y);

@@ -49,10 +49,7 @@ fn main() {
         for q in &queries {
             hits += f(q).len();
         }
-        (
-            t.elapsed().as_micros() as f64 / queries.len() as f64,
-            hits,
-        )
+        (t.elapsed().as_micros() as f64 / queries.len() as f64, hits)
     };
 
     // Data-parallel builds.
@@ -65,7 +62,10 @@ fn main() {
     );
 
     for (label, build) in [
-        ("dp PM2 quadtree", build_pm2 as fn(&Machine, _, &[_], _) -> _),
+        (
+            "dp PM2 quadtree",
+            build_pm2 as fn(&Machine, _, &[_], _) -> _,
+        ),
         ("dp PM3 quadtree", build_pm3),
     ] {
         let (t, r) = measure_build(&machine, || build(&machine, data.world, &data.segs, 11));
@@ -153,7 +153,10 @@ fn main() {
     );
 
     for (label, split) in [
-        ("seq R-tree quadratic", seq::rtree::SplitAlgorithm::Quadratic),
+        (
+            "seq R-tree quadratic",
+            seq::rtree::SplitAlgorithm::Quadratic,
+        ),
         ("seq R-tree linear", seq::rtree::SplitAlgorithm::Linear),
         ("seq R-tree R*-axis", seq::rtree::SplitAlgorithm::RStarAxis),
     ] {

@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example map_overlay`
 
 use dp_spatial_suite::geom::LineSeg;
-use dp_spatial_suite::spatial::join::{brute_force_join, spatial_join};
 use dp_spatial_suite::spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial_suite::spatial::join::{brute_force_join, spatial_join};
 use dp_spatial_suite::spatial::stats::measure_build;
 use dp_spatial_suite::workloads::{road_network, uniform_segments};
 use scan_model::Machine;

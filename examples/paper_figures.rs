@@ -70,9 +70,17 @@ fn main() {
     let seg1 = Segments::single(7);
     row("X", &x);
     row_b("CF:clone flag", &cf);
-    let f1 = m.up_scan(&cf.iter().map(|&b| b as i64).collect::<Vec<_>>(), Sum, ScanKind::Exclusive);
+    let f1 = m.up_scan(
+        &cf.iter().map(|&b| b as i64).collect::<Vec<_>>(),
+        Sum,
+        ScanKind::Exclusive,
+    );
     row("F1=up-scan(CF,+,ex)", &f1);
-    let f2: Vec<usize> = f1.iter().enumerate().map(|(i, &o)| i + o as usize).collect();
+    let f2: Vec<usize> = f1
+        .iter()
+        .enumerate()
+        .map(|(i, &o)| i + o as usize)
+        .collect();
     row("F2=ew(+,P,F1)", &f2);
     let layout = m.clone_layout(&seg1, &cf);
     row("result", &m.apply_clone(&x, &layout));

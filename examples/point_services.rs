@@ -21,11 +21,7 @@ fn main() {
     let roads = road_network(28, size, 5);
 
     // The "facilities": every distinct road junction.
-    let mut facilities: Vec<Point> = roads
-        .segs
-        .iter()
-        .flat_map(|s| [s.a, s.b])
-        .collect();
+    let mut facilities: Vec<Point> = roads.segs.iter().flat_map(|s| [s.a, s.b]).collect();
     facilities.sort_by(|a, b| a.lex_cmp(b));
     facilities.dedup();
 
@@ -43,10 +39,7 @@ fn main() {
     // Range query: facilities in a district.
     let district = Rect::from_coords(200.0, 200.0, 420.0, 380.0);
     let in_district = kd.range_query(&district, &facilities);
-    println!(
-        "\nfacilities in district {district}: {}",
-        in_district.len()
-    );
+    println!("\nfacilities in district {district}: {}", in_district.len());
 
     // Nearest facility to a few probe locations.
     for probe in [

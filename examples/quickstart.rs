@@ -43,7 +43,9 @@ fn main() {
         rep.ops.scans,
         rep.ops.elementwise,
         rep.ops.permutes,
-        rep.ops_per_round().map(|v| format!("{v:.1}")).unwrap_or_default()
+        rep.ops_per_round()
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_default()
     );
 
     // ------------------------------------------------------------------

@@ -564,7 +564,10 @@ mod tests {
         let mut out: Vec<usize> = Vec::with_capacity(10_000);
         out.push(7); // stale content must be discarded
         let cap_before = out.capacity();
-        (0..10_000usize).into_par_iter().map(|i| i + 1).collect_into_vec(&mut out);
+        (0..10_000usize)
+            .into_par_iter()
+            .map(|i| i + 1)
+            .collect_into_vec(&mut out);
         assert_eq!(out.capacity(), cap_before);
         assert_eq!(out.len(), 10_000);
         assert!(out.iter().enumerate().all(|(i, &x)| x == i + 1));

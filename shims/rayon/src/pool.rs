@@ -99,10 +99,7 @@ impl Pool {
                     queue = self.queue.lock().expect("pool queue poisoned");
                 }
                 None => {
-                    queue = self
-                        .cvar
-                        .wait(queue)
-                        .expect("pool queue poisoned");
+                    queue = self.cvar.wait(queue).expect("pool queue poisoned");
                 }
             }
         }

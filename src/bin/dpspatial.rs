@@ -325,7 +325,10 @@ fn cmd_nearest(flags: &HashMap<String, String>) -> Result<(), String> {
     let machine = Machine::parallel();
     let tree = build_rtree(&machine, &segs, 2, 8, RtreeSplitAlgorithm::Sweep);
     match tree.nearest(p, &segs) {
-        Some((id, d)) => println!("nearest to {p}: segment {id} {} (distance {d:.3})", segs[id as usize]),
+        Some((id, d)) => println!(
+            "nearest to {p}: segment {id} {} (distance {d:.3})",
+            segs[id as usize]
+        ),
         None => println!("the map is empty"),
     }
     Ok(())

@@ -194,10 +194,7 @@ fn missing_windows_cost_no_rounds() {
     let out = batch_window_query(
         &machine,
         &tree,
-        &[
-            Rect::from_coords(100.0, 100.0, 120.0, 120.0),
-            Rect::empty(),
-        ],
+        &[Rect::from_coords(100.0, 100.0, 120.0, 120.0), Rect::empty()],
         &segs,
     );
     assert_eq!(out, vec![Vec::<u32>::new(), Vec::new()]);

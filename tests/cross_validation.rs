@@ -9,9 +9,7 @@ use dp_spatial_suite::spatial::bucket_pmr::build_bucket_pmr;
 use dp_spatial_suite::spatial::pm1::build_pm1;
 use dp_spatial_suite::spatial::rsplit::RtreeSplitAlgorithm;
 use dp_spatial_suite::spatial::rtree::build_rtree;
-use dp_spatial_suite::workloads::{
-    clustered_segments, road_network, uniform_segments, Dataset,
-};
+use dp_spatial_suite::workloads::{clustered_segments, road_network, uniform_segments, Dataset};
 use scan_model::Machine;
 
 fn workloads() -> Vec<Dataset> {
@@ -55,8 +53,18 @@ fn all_structures_answer_window_queries_identically() {
 
         for q in query_rects(&data.world) {
             let want = brute_window(segs, &q);
-            assert_eq!(pm1.window_query(&q, segs), want, "{}: dp pm1 {q}", data.name);
-            assert_eq!(bpmr.window_query(&q, segs), want, "{}: dp bpmr {q}", data.name);
+            assert_eq!(
+                pm1.window_query(&q, segs),
+                want,
+                "{}: dp pm1 {q}",
+                data.name
+            );
+            assert_eq!(
+                bpmr.window_query(&q, segs),
+                want,
+                "{}: dp bpmr {q}",
+                data.name
+            );
             assert_eq!(
                 rt_mean.window_query(&q, segs),
                 want,
@@ -155,7 +163,11 @@ fn nearest_queries_match_brute_force_everywhere() {
             .unwrap();
         assert_eq!(bpmr.nearest(p, segs).unwrap().1, brute, "bpmr at {p}");
         assert_eq!(rt.nearest(p, segs).unwrap().1, brute, "dp rtree at {p}");
-        assert_eq!(seq_rt.nearest(p, segs).unwrap().1, brute, "seq rtree at {p}");
+        assert_eq!(
+            seq_rt.nearest(p, segs).unwrap().1,
+            brute,
+            "seq rtree at {p}"
+        );
     }
 }
 

@@ -9,8 +9,8 @@ use dp_spatial_suite::seq;
 use dp_spatial_suite::spatial::batch::batch_window_query;
 use dp_spatial_suite::spatial::bucket_pmr::build_bucket_pmr;
 use dp_spatial_suite::spatial::kdtree::build_kdtree;
-use dp_spatial_suite::spatial::pm_family::{build_pm2, build_pm3};
 use dp_spatial_suite::spatial::pm1::build_pm1;
+use dp_spatial_suite::spatial::pm_family::{build_pm2, build_pm3};
 use dp_spatial_suite::spatial::rtree::pack_rtree_hilbert;
 use dp_spatial_suite::workloads::{polygon_rings, road_network, uniform_segments};
 use scan_model::Machine;
@@ -72,10 +72,7 @@ fn pm_family_validity_predicates_hold_leafwise() {
 #[test]
 fn packed_rtree_exact_on_workloads() {
     let machine = Machine::parallel();
-    for data in [
-        uniform_segments(400, 512, 40, 3),
-        road_network(14, 512, 4),
-    ] {
+    for data in [uniform_segments(400, 512, 40, 3), road_network(14, 512, 4)] {
         let t = pack_rtree_hilbert(&machine, &data.segs, data.world, 8);
         t.check_invariants(&data.segs);
         for q in [

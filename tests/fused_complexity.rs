@@ -7,7 +7,10 @@
 
 use dp_geom::{LineSeg, Rect};
 use dp_spatial::bucket_pmr::build_bucket_pmr;
-use dp_spatial::pm1::{build_pm1, build_pm1_unfused};
+use dp_spatial::lineproc::{run_quad_build, LineProcSet};
+use dp_spatial::pm1::{
+    build_pm1, build_pm1_unfused, pm1_verdicts, pm1_verdicts_unfused, Pm1Verdict,
+};
 use scan_model::{Backend, Machine};
 
 fn world() -> Rect {
@@ -52,11 +55,21 @@ fn fused_pm1_matches_unfused_with_fewer_scan_passes() {
         );
         let mut sig_fused = Vec::new();
         fused.for_each_leaf(|rect, depth, ids| {
-            sig_fused.push((depth, ids.to_vec(), rect.min.x.to_bits(), rect.min.y.to_bits()));
+            sig_fused.push((
+                depth,
+                ids.to_vec(),
+                rect.min.x.to_bits(),
+                rect.min.y.to_bits(),
+            ));
         });
         let mut sig_unfused = Vec::new();
         unfused.for_each_leaf(|rect, depth, ids| {
-            sig_unfused.push((depth, ids.to_vec(), rect.min.x.to_bits(), rect.min.y.to_bits()));
+            sig_unfused.push((
+                depth,
+                ids.to_vec(),
+                rect.min.x.to_bits(),
+                rect.min.y.to_bits(),
+            ));
         });
         assert_eq!(sig_fused, sig_unfused);
 
@@ -92,6 +105,36 @@ fn fused_pm1_matches_unfused_with_fewer_scan_passes() {
         // Arena plumbing is live: `_into` primitives found usable leased
         // capacity.
         assert!(fused_ops.allocs_avoided > 0, "{fused_ops:?}");
+    }
+}
+
+/// Both decision paths funnel into `Pm1Verdict::classify`, so they cannot
+/// drift structurally — but the fused path also carries its quantities as
+/// `f64` lanes. This test runs a real build through the round driver with
+/// a decide hook that recomputes the verdicts both ways on every live
+/// frontier state and demands exact equality, round by round.
+#[test]
+fn fused_and_unfused_verdicts_agree_on_every_round() {
+    let segs = dataset(140);
+    for m in machines() {
+        let mut checked = 0usize;
+        let mut decide = |machine: &Machine, state: &LineProcSet, segs: &[LineSeg]| {
+            let fused = pm1_verdicts(machine, state, segs);
+            let unfused = pm1_verdicts_unfused(machine, state, segs);
+            assert_eq!(fused, unfused, "verdict drift on a live frontier");
+            checked += fused.len();
+            fused.into_iter().map(Pm1Verdict::must_split).collect()
+        };
+        let out = run_quad_build(&m, world(), &segs, 8, &mut decide);
+        assert!(
+            out.rounds >= 2,
+            "need a multi-round build, got {}",
+            out.rounds
+        );
+        assert!(
+            checked > segs.len(),
+            "only {checked} verdicts checked across the whole build"
+        );
     }
 }
 

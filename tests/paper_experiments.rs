@@ -89,10 +89,16 @@ fn fig04_bucket_pmr_paper_dataset() {
     let segs = paper_dataset();
     let t = build_bucket_pmr(&machine, paper_world(), &segs, 2, 3);
     assert_eq!(t.stats().height, 3, "subdivides to the maximal height");
-    assert!(t.truncated() >= 1, "an over-capacity bucket survives at max depth");
+    assert!(
+        t.truncated() >= 1,
+        "an over-capacity bucket survives at max depth"
+    );
     // The surviving over-capacity bucket is the shared-vertex block.
     let over = t.point_query(Point::new(1.0, 6.0));
-    assert!(over.len() > 2, "shared vertex block holds c, d, i: {over:?}");
+    assert!(
+        over.len() > 2,
+        "shared vertex block holds c, d, i: {over:?}"
+    );
     // Everything is retrievable.
     assert_eq!(
         t.window_query(&paper_world(), &segs),
@@ -121,10 +127,8 @@ fn fig05_rtree_paper_dataset() {
 #[test]
 fn fig06_split_goals() {
     let data = dp_spatial_suite::workloads::road_network(20, 512, 3);
-    let quad =
-        seq::rtree::RTree::build(&data.segs, 2, 6, seq::rtree::SplitAlgorithm::Quadratic);
-    let rstar =
-        seq::rtree::RTree::build(&data.segs, 2, 6, seq::rtree::SplitAlgorithm::RStarAxis);
+    let quad = seq::rtree::RTree::build(&data.segs, 2, 6, seq::rtree::SplitAlgorithm::Quadratic);
+    let rstar = seq::rtree::RTree::build(&data.segs, 2, 6, seq::rtree::SplitAlgorithm::RStarAxis);
     let (_, ov_quad) = quad.quality_metrics();
     let (_, ov_rstar) = rstar.quality_metrics();
     assert!(
@@ -152,11 +156,7 @@ fn fig30_33_pm1_rounds() {
     for &cloned in &[0u32, 1, 8] {
         let mut appearances = 0;
         for q in &quads {
-            if !t
-                .window_candidates(q)
-                .iter()
-                .all(|&id| id != cloned)
-            {
+            if !t.window_candidates(q).iter().all(|&id| id != cloned) {
                 appearances += 1;
             }
         }

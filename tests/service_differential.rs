@@ -7,17 +7,14 @@
 //! duplicates.
 
 use dp_spatial_suite::geom::{clip_segment_closed, LineSeg, Point, Rect};
-use dp_spatial_suite::service::{
-    brute_knearest, QueryService, QueryServiceConfig, Response,
-};
+use dp_spatial_suite::service::{brute_knearest, QueryService, QueryServiceConfig, Response};
 use dp_spatial_suite::spatial::batch::batch_window_query;
 use dp_spatial_suite::spatial::bucket_pmr::build_bucket_pmr;
 use dp_spatial_suite::spatial::shard::ShardGrid;
 use dp_spatial_suite::spatial::SegId;
 use dp_spatial_suite::workloads::{
-    clustered_segments, paper_dataset, paper_world, pathological_close_vertices,
-    polygon_rings, request_stream, road_network, uniform_segments, Dataset, Request,
-    RequestMix,
+    clustered_segments, paper_dataset, paper_world, pathological_close_vertices, polygon_rings,
+    request_stream, road_network, uniform_segments, Dataset, Request, RequestMix,
 };
 use proptest::prelude::*;
 use scan_model::{Backend, Machine};
