@@ -13,16 +13,19 @@
 //! * `--quick` — small sizes, one rep (the CI smoke configuration);
 //! * `--trace` — attach the round driver's per-round table
 //!   (`RoundTrace`) to each build entry in the JSON;
+//! * `--join` — add the data-parallel frontier spatial join over two
+//!   layers, per backend, with its per-round table always attached;
 //! * `--check-baseline <path>` — read the committed benchmark JSON
 //!   *before* writing anything and exit non-zero if the fused PM₁
 //!   per-round physical scan-pass cost regressed against it.
 //!
 //! Run with: `cargo run --release -p dp-bench --bin bench_scanmodel
-//! [-- --quick --trace --check-baseline BENCH_scanmodel.json]`
+//! [-- --quick --trace --join --check-baseline BENCH_scanmodel.json]`
 
 use dp_bench::{planar_at, uniform_at, WORLD};
 use dp_service::{QueryService, QueryServiceConfig};
 use dp_spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial::join::{frontier_join, spatial_join};
 use dp_spatial::pm1::{build_pm1, build_pm1_unfused};
 use dp_workloads::{request_stream, square_world, RequestMix};
 use scan_model::{Backend, Machine, RoundTrace, StatsSnapshot};
@@ -134,6 +137,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let trace = args.iter().any(|a| a == "--trace");
+    let join = args.iter().any(|a| a == "--join");
     let baseline: Option<String> = args.iter().position(|a| a == "--check-baseline").map(|i| {
         args.get(i + 1)
             .expect("--check-baseline needs a path")
@@ -272,6 +276,62 @@ fn main() {
             "service: {requests} requests in {secs:.4}s ({:.0} req/s)",
             requests as f64 / secs
         );
+    }
+
+    // Frontier spatial join: parallel frontier vs recursive oracle over
+    // two independently generated layers of the same world, with the
+    // join's own round table (`--join`).
+    if join {
+        let n = if quick { 5_000 } else { 50_000 };
+        let base = dp_workloads::uniform_segments(n, 1024, 16, 501);
+        let overlay = dp_workloads::uniform_segments(n, 1024, 16, 502);
+        let builder = Machine::sequential();
+        let ta = build_bucket_pmr(&builder, base.world, &base.segs, 8, 12);
+        let tb = build_bucket_pmr(&builder, overlay.world, &overlay.segs, 8, 12);
+        let recursive_secs = time_best(reps, || {
+            spatial_join(&ta, &base.segs, &tb, &overlay.segs).len()
+        });
+        for (name, m) in [
+            ("parallel", Machine::parallel()),
+            ("sequential", Machine::sequential()),
+        ] {
+            m.reset_stats();
+            m.take_round_traces();
+            let outcome = frontier_join(&m, &ta, &base.segs, &tb, &overlay.segs)
+                .expect("bench layers share one world");
+            let ops = m.stats();
+            let join_trace = m.take_round_traces();
+            let secs = time_best(reps, || {
+                frontier_join(&m, &ta, &base.segs, &tb, &overlay.segs)
+                    .unwrap()
+                    .pairs
+                    .len()
+            });
+            let mut e = String::new();
+            let _ = write!(
+                e,
+                "{{\"bench\": \"frontier_join\", \"backend\": \"{name}\", \"n\": {n}, \
+                 \"secs\": {secs:.6}, \"recursive_secs\": {recursive_secs:.6}, \
+                 \"speedup_vs_recursive\": {:.4}, \"pairs\": {}, \"rounds\": {}, \
+                 \"frontier_peak\": {}, \"pairs_tested\": {}, \"ops\": {}, \
+                 \"round_trace\": {}}}",
+                recursive_secs / secs,
+                outcome.pairs.len(),
+                outcome.rounds,
+                outcome.frontier_peak,
+                outcome.pairs_tested,
+                ops_json(&ops),
+                trace_json(&join_trace),
+            );
+            entries.push(e);
+            println!(
+                "join n={n} {name}: {secs:.4}s vs recursive {recursive_secs:.4}s \
+                 ({} pairs, {} rounds, peak frontier {})",
+                outcome.pairs.len(),
+                outcome.rounds,
+                outcome.frontier_peak
+            );
+        }
     }
 
     let json = format!(

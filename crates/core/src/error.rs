@@ -1,0 +1,85 @@
+//! Error surface of the checked query/join entry points.
+//!
+//! The bulk operations historically disagreed about precondition
+//! violations: `spatial_join` panicked on mismatched worlds while
+//! `batch_window_query` silently clipped out-of-world windows. The
+//! checked entry points ([`crate::join::frontier_join`],
+//! [`crate::join::try_spatial_join`],
+//! [`crate::batch::try_batch_window_query`]) unify both behind one
+//! `Result`-returning surface with this error type; the panicking and
+//! clipping variants remain for callers that have already validated
+//! their inputs.
+
+use dp_geom::Rect;
+use std::fmt;
+
+/// A precondition violation detected by a checked bulk operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpatialError {
+    /// Two indexes that must cover the same world cover different ones
+    /// (the aligned-decomposition precondition of the spatial join).
+    WorldMismatch {
+        /// World of the left-hand index.
+        left: Rect,
+        /// World of the right-hand index.
+        right: Rect,
+    },
+    /// A query window reaches outside the index's world, so silently
+    /// clipping it would hide misrouted traffic.
+    WindowOutsideWorld {
+        /// Position of the offending window in the request batch.
+        index: usize,
+        /// The offending window.
+        window: Rect,
+        /// The index's world rectangle.
+        world: Rect,
+    },
+}
+
+impl fmt::Display for SpatialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialError::WorldMismatch { left, right } => write!(
+                f,
+                "operands cover different worlds: {left} vs {right} \
+                 (aligned decompositions require identical worlds)"
+            ),
+            SpatialError::WindowOutsideWorld {
+                index,
+                window,
+                world,
+            } => write!(
+                f,
+                "query window {index} ({window}) reaches outside the index world {world}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpatialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_worlds() {
+        let e = SpatialError::WorldMismatch {
+            left: Rect::from_coords(0.0, 0.0, 8.0, 8.0),
+            right: Rect::from_coords(0.0, 0.0, 16.0, 16.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("different worlds"), "{s}");
+    }
+
+    #[test]
+    fn display_names_the_window_slot() {
+        let e = SpatialError::WindowOutsideWorld {
+            index: 3,
+            window: Rect::from_coords(9.0, 9.0, 10.0, 10.0),
+            world: Rect::from_coords(0.0, 0.0, 8.0, 8.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("window 3"), "{s}");
+    }
+}

@@ -3,39 +3,87 @@
 //! the companion spatial-join papers [Hoel93, Hoel94a, Hoel94b]).
 //!
 //! Because both quadtrees regularly decompose the *same* space, their
-//! blocks align: a co-traversal visits matching block pairs, descending
-//! either tree wherever one is subdivided more finely, and tests segment
-//! pairs only inside the leaf×leaf blocks both sides agree on. The
-//! disjointness of the decomposition is what makes this efficient — the
-//! R-tree's overlapping nodes would force the expensive processor
-//! reorderings of paper Fig. 12.
+//! blocks align: matching block pairs either coincide or nest, so a join
+//! never needs the expensive processor reorderings that the R-tree's
+//! overlapping nodes would force (paper Fig. 12). Two implementations
+//! share that observation:
+//!
+//! * [`spatial_join`] / [`try_spatial_join`] — the sequential recursive
+//!   co-traversal, kept as the oracle;
+//! * [`frontier_join`] — the **breadth-first, data-parallel frontier
+//!   join**: the frontier is a flat vector of candidate block pairs
+//!   `(node_a, node_b)`, and each round — one [`JoinPolicy`] step on the
+//!   shared [`RoundDriver`] — advances *every* pair one level in lockstep
+//!   using the paper's own primitives:
+//!
+//!   1. retiring leaf×leaf pairs test their segment cross-products with
+//!      one elementwise pass, count per-pair hits and tests with a single
+//!      **fused two-lane segmented down-scan**, and *concentrate* the
+//!      intersecting pairs with the deletion primitive (Figs. 17–18);
+//!   2. surviving ambiguous pairs fan out ×4 against the finer side's
+//!      children via [`Machine::fanout_layout`] — the generalized
+//!      *cloning* of Figs. 13–14 (a coarser leaf block is cloned
+//!      unchanged against each child of the finer internal block);
+//!   3. dead children (an empty-leaf side) are deleted, and one
+//!      *unshuffle* (Figs. 15–16) packs still-ambiguous pairs apart from
+//!      the ready leaf×leaf pairs entering the next round.
+//!
+//!   Every frontier vector moves through arena-backed `_into` variants
+//!   ([`Machine::lease`] / [`Machine::recycle`]), so rounds reuse scratch
+//!   instead of reallocating, and every round records a
+//!   [`scan_model::RoundTrace`] with its op-counter deltas. Each round
+//!   issues a *constant* number of primitive operations and strictly
+//!   deepens every non-leaf side, so rounds ≤ max(height(a), height(b)) —
+//!   the paper's O(tree height) bound with O(1) primitives per round.
 
+use crate::error::SpatialError;
 use crate::quadtree::{DpQuadtree, QtNode};
+use crate::round_driver::{RoundAdvance, RoundDriver, SplitPolicy};
 use crate::SegId;
-use dp_geom::{segments_intersect, LineSeg};
+use dp_geom::{clip_segment_closed, segments_intersect, LineSeg, Rect};
+use scan_model::ops::Element;
+use scan_model::primitives::{DeleteLayout, UnshuffleLayout};
+use scan_model::{Direction, FanoutLayout, FusedOp, Machine, ScanKind, Segments};
 
 /// All intersecting pairs `(id_a, id_b)` between the segment sets indexed
 /// by `a` and `b`, sorted and deduplicated.
 ///
 /// # Panics
 ///
-/// Panics if the two trees cover different worlds.
+/// Panics if the two trees cover different worlds; see
+/// [`try_spatial_join`] for the checked variant.
 pub fn spatial_join(
     a: &DpQuadtree,
     segs_a: &[LineSeg],
     b: &DpQuadtree,
     segs_b: &[LineSeg],
 ) -> Vec<(SegId, SegId)> {
-    assert_eq!(
-        a.world(),
-        b.world(),
-        "spatial join requires both quadtrees to cover the same world"
-    );
+    match try_spatial_join(a, segs_a, b, segs_b) {
+        Ok(pairs) => pairs,
+        Err(e) => panic!("spatial join requires both quadtrees to cover the same world: {e}"),
+    }
+}
+
+/// Checked [`spatial_join`]: the sequential recursive co-traversal,
+/// returning [`SpatialError::WorldMismatch`] instead of panicking when
+/// the trees cover different worlds.
+pub fn try_spatial_join(
+    a: &DpQuadtree,
+    segs_a: &[LineSeg],
+    b: &DpQuadtree,
+    segs_b: &[LineSeg],
+) -> Result<Vec<(SegId, SegId)>, SpatialError> {
+    if a.world() != b.world() {
+        return Err(SpatialError::WorldMismatch {
+            left: a.world(),
+            right: b.world(),
+        });
+    }
     let mut pairs = Vec::new();
     join_rec(a, 0, b, 0, segs_a, segs_b, &mut pairs);
     pairs.sort_unstable();
     pairs.dedup();
-    pairs
+    Ok(pairs)
 }
 
 fn join_rec(
@@ -95,15 +143,409 @@ pub fn brute_force_join(segs_a: &[LineSeg], segs_b: &[LineSeg]) -> Vec<(SegId, S
     out
 }
 
+/// `true` when `a` and `b` intersect somewhere *inside* `window` (closed
+/// semantics throughout): both segments are clipped to the window and the
+/// clipped parts are tested, which is equivalent to asking for an
+/// intersection point within the window.
+pub fn pair_intersects_in(a: &LineSeg, b: &LineSeg, window: &Rect) -> bool {
+    match (
+        clip_segment_closed(a, window),
+        clip_segment_closed(b, window),
+    ) {
+        (Some(ca), Some(cb)) => segments_intersect(&ca, &cb),
+        _ => false,
+    }
+}
+
+/// Brute-force *windowed* join: all pairs intersecting inside `window`.
+/// The oracle for the sharded service's `Join` request family, where each
+/// shard joins its overlap world and the router filters per window.
+pub fn brute_force_join_in(
+    segs_a: &[LineSeg],
+    segs_b: &[LineSeg],
+    window: &Rect,
+) -> Vec<(SegId, SegId)> {
+    let mut out = Vec::new();
+    for (ia, sa) in segs_a.iter().enumerate() {
+        for (ib, sb) in segs_b.iter().enumerate() {
+            if pair_intersects_in(sa, sb, window) {
+                out.push((ia as SegId, ib as SegId));
+            }
+        }
+    }
+    out
+}
+
+/// Result of a [`frontier_join`] run: the pairs plus the round-level
+/// telemetry the complexity tests and benches assert on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinOutcome {
+    /// Intersecting pairs `(id_a, id_b)`, sorted and deduplicated —
+    /// bit-identical to [`spatial_join`] on the same inputs.
+    pub pairs: Vec<(SegId, SegId)>,
+    /// Frontier-expansion rounds the driver completed (≤ max tree
+    /// height).
+    pub rounds: usize,
+    /// Largest candidate-pair frontier seen after any expansion.
+    pub frontier_peak: usize,
+    /// Segment pairs exactly tested in leaf×leaf blocks (before
+    /// deduplication).
+    pub pairs_tested: u64,
+    /// Tests that hit (before deduplication); `pairs.len()` after.
+    pub pairs_matched: u64,
+}
+
+/// How a candidate block pair relates to the next round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneClass {
+    /// One side is an empty leaf: no output can come from this pair.
+    Dead,
+    /// Leaf×leaf with segments on both sides: ready for exact tests.
+    Ready,
+    /// At least one internal side: must expand another level.
+    Ambiguous,
+}
+
+/// The [`SplitPolicy`] of the data-parallel frontier join. "Splitting" a
+/// frontier lane means expanding the block pair one level; "retiring" it
+/// means either exact-testing a ready leaf×leaf pair or dropping a dead
+/// one. See the module docs for the round anatomy.
+pub struct JoinPolicy<'t> {
+    a: &'t DpQuadtree,
+    b: &'t DpQuadtree,
+    segs_a: &'t [LineSeg],
+    segs_b: &'t [LineSeg],
+    /// Frontier lanes: node index into `a` / `b` per candidate pair.
+    na: Vec<u32>,
+    nb: Vec<u32>,
+    pairs: Vec<(SegId, SegId)>,
+    frontier_peak: usize,
+    pairs_tested: u64,
+    pairs_matched: u64,
+}
+
+impl<'t> JoinPolicy<'t> {
+    /// A fresh policy with the root×root pair as its only frontier lane.
+    pub fn new(
+        a: &'t DpQuadtree,
+        segs_a: &'t [LineSeg],
+        b: &'t DpQuadtree,
+        segs_b: &'t [LineSeg],
+    ) -> Self {
+        JoinPolicy {
+            a,
+            b,
+            segs_a,
+            segs_b,
+            na: vec![0],
+            nb: vec![0],
+            pairs: Vec::new(),
+            frontier_peak: 1,
+            pairs_tested: 0,
+            pairs_matched: 0,
+        }
+    }
+
+    fn classify(&self, na: u32, nb: u32) -> LaneClass {
+        match (self.a.node(na as usize), self.b.node(nb as usize)) {
+            (QtNode::Leaf { lines: la }, QtNode::Leaf { lines: lb }) => {
+                if la.is_empty() || lb.is_empty() {
+                    LaneClass::Dead
+                } else {
+                    LaneClass::Ready
+                }
+            }
+            (QtNode::Internal { .. }, QtNode::Leaf { lines })
+            | (QtNode::Leaf { lines }, QtNode::Internal { .. }) => {
+                if lines.is_empty() {
+                    LaneClass::Dead
+                } else {
+                    LaneClass::Ambiguous
+                }
+            }
+            (QtNode::Internal { .. }, QtNode::Internal { .. }) => LaneClass::Ambiguous,
+        }
+    }
+}
+
+/// Applies a delete layout through a leased buffer and recycles the
+/// superseded source (same idiom as the batch-query descent).
+fn delete_swap<T: Element>(machine: &Machine, src: Vec<T>, layout: &DeleteLayout) -> Vec<T> {
+    let mut out: Vec<T> = machine.lease();
+    machine.apply_delete_into(&src, layout, &mut out);
+    machine.recycle(src);
+    out
+}
+
+/// Applies a fan-out layout through a leased buffer and recycles the
+/// superseded source.
+fn fanout_swap<T: Element>(machine: &Machine, src: Vec<T>, layout: &FanoutLayout) -> Vec<T> {
+    let mut out: Vec<T> = machine.lease();
+    machine.apply_fanout_into(&src, layout, &mut out);
+    machine.recycle(src);
+    out
+}
+
+/// Applies an unshuffle layout through a leased buffer and recycles the
+/// superseded source.
+fn unshuffle_swap<T: Element>(machine: &Machine, src: Vec<T>, layout: &UnshuffleLayout) -> Vec<T> {
+    let mut out: Vec<T> = machine.lease();
+    machine.apply_unshuffle_into(&src, layout, &mut out);
+    machine.recycle(src);
+    out
+}
+
+impl SplitPolicy for JoinPolicy<'_> {
+    fn active_elements(&self) -> usize {
+        self.na.len()
+    }
+
+    fn active_nodes(&self) -> usize {
+        self.na.len()
+    }
+
+    fn decide(&mut self, machine: &Machine) -> Vec<bool> {
+        // One elementwise classification pass over the frontier.
+        machine.note_elementwise();
+        self.na
+            .iter()
+            .zip(&self.nb)
+            .map(|(&x, &y)| self.classify(x, y) == LaneClass::Ambiguous)
+            .collect()
+    }
+
+    fn emit(&mut self, machine: &Machine, want: &[bool]) {
+        // Lay out the segment cross-product of every retiring leaf×leaf
+        // pair as flat test lanes, one segment per pair block.
+        machine.note_elementwise();
+        let mut ia: Vec<SegId> = machine.lease();
+        let mut ib: Vec<SegId> = machine.lease();
+        let mut lens: Vec<usize> = Vec::new();
+        for (i, &w) in want.iter().enumerate() {
+            if w {
+                continue;
+            }
+            if let (QtNode::Leaf { lines: la }, QtNode::Leaf { lines: lb }) = (
+                self.a.node(self.na[i] as usize),
+                self.b.node(self.nb[i] as usize),
+            ) {
+                if la.is_empty() || lb.is_empty() {
+                    continue;
+                }
+                for &sa in la {
+                    for &sb in lb {
+                        ia.push(sa);
+                        ib.push(sb);
+                    }
+                }
+                lens.push(la.len() * lb.len());
+            }
+        }
+        if ia.is_empty() {
+            machine.recycle(ia);
+            machine.recycle(ib);
+            return;
+        }
+        let seg = Segments::from_lengths(&lens).expect("retiring pair blocks are non-empty");
+        self.pairs_tested += ia.len() as u64;
+
+        // Exact intersection tests, one elementwise pass over all lanes
+        // of all retiring pairs at once.
+        let (segs_a, segs_b) = (self.segs_a, self.segs_b);
+        let mut hit: Vec<u64> = machine.lease();
+        machine.zip_map_into(
+            &ia,
+            &ib,
+            |x, y| segments_intersect(&segs_a[x as usize], &segs_b[y as usize]) as u64,
+            &mut hit,
+        );
+
+        // Per-pair hit and test counts in one fused two-lane segmented
+        // down-scan: each segment head holds its block's totals.
+        let mut ones: Vec<u64> = machine.lease();
+        ones.resize(hit.len(), 1);
+        let mut counts: Vec<Vec<u64>> = vec![machine.lease(), machine.lease()];
+        machine.scan_lanes_into(
+            &[(&hit, FusedOp::Sum), (&ones, FusedOp::Sum)],
+            &seg,
+            Direction::Down,
+            ScanKind::Inclusive,
+            &mut counts,
+        );
+        machine.note_elementwise();
+        let mut hits_now = 0u64;
+        let mut lanes_now = 0u64;
+        for (i, &start) in seg.flags().iter().enumerate() {
+            if start {
+                hits_now += counts[0][i];
+                lanes_now += counts[1][i];
+            }
+        }
+        debug_assert_eq!(
+            lanes_now as usize,
+            seg.len(),
+            "fused lane counts cover every test"
+        );
+        machine.recycle(ones);
+        for c in counts {
+            machine.recycle(c);
+        }
+
+        // Concentrate the hits (deletion primitive, Figs. 17–18) and
+        // record them.
+        let mut miss: Vec<bool> = machine.lease();
+        machine.map_into(&hit, |h| h == 0, &mut miss);
+        let layout = machine.delete_layout(&seg, &miss);
+        machine.recycle(miss);
+        machine.recycle(hit);
+        let ka = delete_swap(machine, ia, &layout);
+        let kb = delete_swap(machine, ib, &layout);
+        debug_assert_eq!(
+            ka.len() as u64,
+            hits_now,
+            "fused counts agree with compaction"
+        );
+        machine.note_elementwise();
+        self.pairs
+            .extend(ka.iter().copied().zip(kb.iter().copied()));
+        self.pairs_matched += hits_now;
+        machine.recycle(ka);
+        machine.recycle(kb);
+    }
+
+    fn partition(&mut self, machine: &Machine, want: &[bool]) {
+        // 1. Concentrate the frontier: delete retired lanes (Figs. 17–18).
+        let seg = Segments::single(self.na.len());
+        let mut retire: Vec<bool> = machine.lease();
+        machine.map_into(want, |w| !w, &mut retire);
+        let layout = machine.delete_layout(&seg, &retire);
+        machine.recycle(retire);
+        self.na = delete_swap(machine, std::mem::take(&mut self.na), &layout);
+        self.nb = delete_swap(machine, std::mem::take(&mut self.nb), &layout);
+
+        // 2. Fan every ambiguous pair out ×4 (generalized cloning,
+        //    Figs. 13–14): a coarser leaf block is cloned unchanged
+        //    against each child of the finer internal block.
+        let seg = Segments::single(self.na.len());
+        let mut four: Vec<u32> = machine.lease();
+        four.resize(self.na.len(), 4);
+        let fan = machine.fanout_layout(&seg, &four);
+        machine.recycle(four);
+        self.na = fanout_swap(machine, std::mem::take(&mut self.na), &fan);
+        self.nb = fanout_swap(machine, std::mem::take(&mut self.nb), &fan);
+
+        // 3. One elementwise child step: copy rank r names the quadrant;
+        //    an internal side descends to children[r], a leaf side stays
+        //    put (aligned decompositions keep the blocks nested).
+        machine.note_elementwise();
+        for i in 0..self.na.len() {
+            let r = fan.rank[i] as usize;
+            match (
+                self.a.node(self.na[i] as usize),
+                self.b.node(self.nb[i] as usize),
+            ) {
+                (QtNode::Internal { children: ca }, QtNode::Internal { children: cb }) => {
+                    self.na[i] = ca[r] as u32;
+                    self.nb[i] = cb[r] as u32;
+                }
+                (QtNode::Internal { children: ca }, QtNode::Leaf { .. }) => {
+                    self.na[i] = ca[r] as u32;
+                }
+                (QtNode::Leaf { .. }, QtNode::Internal { children: cb }) => {
+                    self.nb[i] = cb[r] as u32;
+                }
+                (QtNode::Leaf { .. }, QtNode::Leaf { .. }) => {
+                    unreachable!("leaf×leaf lanes retire before expansion")
+                }
+            }
+        }
+
+        // 4. Drop dead children, then unshuffle (Figs. 15–16) so
+        //    still-ambiguous pairs pack apart from ready leaf×leaf pairs.
+        machine.note_elementwise();
+        let mut dead: Vec<bool> = machine.lease();
+        let mut ready: Vec<bool> = machine.lease();
+        for i in 0..self.na.len() {
+            let class = self.classify(self.na[i], self.nb[i]);
+            dead.push(class == LaneClass::Dead);
+            ready.push(class == LaneClass::Ready);
+        }
+        let seg = Segments::single(self.na.len());
+        let layout = machine.delete_layout(&seg, &dead);
+        machine.recycle(dead);
+        self.na = delete_swap(machine, std::mem::take(&mut self.na), &layout);
+        self.nb = delete_swap(machine, std::mem::take(&mut self.nb), &layout);
+        let ready = delete_swap(machine, ready, &layout);
+
+        let seg = Segments::single(self.na.len());
+        let layout = machine.unshuffle_layout(&seg, &ready);
+        machine.recycle(ready);
+        self.na = unshuffle_swap(machine, std::mem::take(&mut self.na), &layout);
+        self.nb = unshuffle_swap(machine, std::mem::take(&mut self.nb), &layout);
+
+        self.frontier_peak = self.frontier_peak.max(self.na.len());
+    }
+
+    fn advance(&mut self, _machine: &Machine, split_any: bool) -> RoundAdvance {
+        RoundAdvance {
+            round_completed: split_any,
+            finished: !split_any || self.na.is_empty(),
+        }
+    }
+}
+
+/// The breadth-first, data-parallel frontier join. Produces the same
+/// sorted, deduplicated pair set as [`try_spatial_join`], plus round
+/// telemetry; runs on either machine backend.
+pub fn frontier_join(
+    machine: &Machine,
+    a: &DpQuadtree,
+    segs_a: &[LineSeg],
+    b: &DpQuadtree,
+    segs_b: &[LineSeg],
+) -> Result<JoinOutcome, SpatialError> {
+    if a.world() != b.world() {
+        return Err(SpatialError::WorldMismatch {
+            left: a.world(),
+            right: b.world(),
+        });
+    }
+    let mut policy = JoinPolicy::new(a, segs_a, b, segs_b);
+    let rounds = RoundDriver::run(machine, &mut policy);
+    let JoinPolicy {
+        mut pairs,
+        frontier_peak,
+        pairs_tested,
+        pairs_matched,
+        ..
+    } = policy;
+    pairs.sort_unstable();
+    pairs.dedup();
+    Ok(JoinOutcome {
+        pairs,
+        rounds,
+        frontier_peak,
+        pairs_tested,
+        pairs_matched,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bucket_pmr::build_bucket_pmr;
     use dp_geom::Rect;
-    use scan_model::Machine;
+    use scan_model::{Backend, Machine};
 
     fn world() -> Rect {
         Rect::from_coords(0.0, 0.0, 8.0, 8.0)
+    }
+
+    fn machines() -> Vec<Machine> {
+        vec![
+            Machine::sequential(),
+            Machine::new(Backend::Parallel).with_par_threshold(1),
+        ]
     }
 
     #[test]
@@ -127,12 +569,67 @@ mod tests {
     }
 
     #[test]
+    fn frontier_matches_recursive_and_brute_force() {
+        for m in machines() {
+            let roads = vec![
+                LineSeg::from_coords(1.0, 1.0, 6.0, 6.0),
+                LineSeg::from_coords(0.0, 3.0, 7.0, 3.0),
+                LineSeg::from_coords(5.0, 0.0, 5.0, 7.0),
+            ];
+            let rivers = vec![
+                LineSeg::from_coords(1.0, 6.0, 6.0, 1.0),
+                LineSeg::from_coords(0.0, 0.5, 7.0, 0.5),
+            ];
+            let ta = build_bucket_pmr(&m, world(), &roads, 2, 6);
+            let tb = build_bucket_pmr(&m, world(), &rivers, 2, 6);
+            let out = frontier_join(&m, &ta, &roads, &tb, &rivers).unwrap();
+            assert_eq!(out.pairs, spatial_join(&ta, &roads, &tb, &rivers));
+            assert_eq!(out.pairs, brute_force_join(&roads, &rivers));
+            assert!(out.pairs_matched >= out.pairs.len() as u64);
+            assert!(out.pairs_tested >= out.pairs_matched);
+        }
+    }
+
+    #[test]
     fn join_with_empty_side_is_empty() {
         let m = Machine::sequential();
         let roads = vec![LineSeg::from_coords(1.0, 1.0, 6.0, 6.0)];
         let ta = build_bucket_pmr(&m, world(), &roads, 2, 6);
         let tb = build_bucket_pmr(&m, world(), &[], 2, 6);
         assert!(spatial_join(&ta, &roads, &tb, &[]).is_empty());
+        let out = frontier_join(&m, &ta, &roads, &tb, &[]).unwrap();
+        assert!(out.pairs.is_empty());
+        assert_eq!(out.rounds, 0, "an empty side dies at the root pair");
+        assert_eq!(out.pairs_tested, 0);
+    }
+
+    #[test]
+    fn frontier_rounds_bounded_by_deeper_tree() {
+        for m in machines() {
+            let a: Vec<LineSeg> = (0..40)
+                .map(|k| {
+                    let x = ((k * 13) % 7) as f64;
+                    let y = ((k * 5) % 7) as f64;
+                    LineSeg::from_coords(x, y, x + 0.9, y + 0.7)
+                })
+                .collect();
+            let b: Vec<LineSeg> = (0..30)
+                .map(|k| {
+                    let x = ((k * 11) % 7) as f64;
+                    LineSeg::from_coords(x, 0.0, x + 0.5, 7.5)
+                })
+                .collect();
+            let ta = build_bucket_pmr(&m, world(), &a, 2, 6);
+            let tb = build_bucket_pmr(&m, world(), &b, 2, 6);
+            let out = frontier_join(&m, &ta, &a, &tb, &b).unwrap();
+            let bound = ta.stats().height.max(tb.stats().height) + 1;
+            assert!(
+                out.rounds <= bound,
+                "rounds {} exceed depth bound {bound}",
+                out.rounds
+            );
+            assert_eq!(out.pairs, brute_force_join(&a, &b));
+        }
     }
 
     #[test]
@@ -150,6 +647,12 @@ mod tests {
         let tb = build_bucket_pmr(&m, world(), &b, 1, 5);
         let got = spatial_join(&ta, &sa, &tb, &b);
         assert_eq!(got, brute_force_join(&sa, &b));
+        let out = frontier_join(&m, &ta, &sa, &tb, &b).unwrap();
+        assert_eq!(out.pairs, got);
+        assert!(
+            out.pairs_matched > out.pairs.len() as u64,
+            "spanning pairs hit in several blocks before dedup"
+        );
     }
 
     #[test]
@@ -159,5 +662,34 @@ mod tests {
         let ta = build_bucket_pmr(&m, world(), &[], 2, 6);
         let tb = build_bucket_pmr(&m, Rect::from_coords(0.0, 0.0, 16.0, 16.0), &[], 2, 6);
         spatial_join(&ta, &[], &tb, &[]);
+    }
+
+    #[test]
+    fn mismatched_worlds_are_a_checked_error() {
+        let m = Machine::sequential();
+        let other = Rect::from_coords(0.0, 0.0, 16.0, 16.0);
+        let ta = build_bucket_pmr(&m, world(), &[], 2, 6);
+        let tb = build_bucket_pmr(&m, other, &[], 2, 6);
+        let want = SpatialError::WorldMismatch {
+            left: world(),
+            right: other,
+        };
+        assert_eq!(try_spatial_join(&ta, &[], &tb, &[]), Err(want));
+        assert_eq!(frontier_join(&m, &ta, &[], &tb, &[]).unwrap_err(), want);
+    }
+
+    #[test]
+    fn windowed_brute_force_restricts_to_window() {
+        let a = vec![LineSeg::from_coords(0.0, 4.0, 7.0, 4.0)];
+        let b = vec![
+            LineSeg::from_coords(1.0, 0.0, 1.0, 7.0),
+            LineSeg::from_coords(6.0, 0.0, 6.0, 7.0),
+        ];
+        let all = brute_force_join_in(&a, &b, &world());
+        assert_eq!(all, vec![(0, 0), (0, 1)]);
+        let left = brute_force_join_in(&a, &b, &Rect::from_coords(0.0, 0.0, 3.0, 8.0));
+        assert_eq!(left, vec![(0, 0)]);
+        let miss = brute_force_join_in(&a, &b, &Rect::from_coords(2.0, 0.0, 3.0, 8.0));
+        assert!(miss.is_empty());
     }
 }

@@ -170,7 +170,7 @@ pub fn build_kdtree(machine: &Machine, points: &[Point], leaf_capacity: usize) -
 }
 
 fn axis_at(depth: usize) -> Axis {
-    if depth.is_multiple_of(2) {
+    if depth % 2 == 0 {
         Axis::X
     } else {
         Axis::Y

@@ -24,6 +24,13 @@
 //! operation counts (the paper's complexity currency) are observable via
 //! [`scan_model::Machine::stats`].
 //!
+//! Beyond construction, [`batch::batch_window_query`] answers many window
+//! queries in one lockstep descent, and [`join::frontier_join`] computes
+//! the spatial join of two aligned quadtrees breadth-first over a vector
+//! of candidate block pairs — the join, like the builds, is a policy on
+//! the instrumented [`round_driver::RoundDriver`], which records a
+//! [`scan_model::RoundTrace`] per round.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -45,6 +52,7 @@
 
 pub mod batch;
 pub mod bucket_pmr;
+pub mod error;
 pub mod join;
 pub mod kdtree;
 pub mod lineproc;
@@ -58,6 +66,8 @@ pub mod rtree;
 pub mod shard;
 pub mod split;
 pub mod stats;
+
+pub use error::SpatialError;
 
 /// Identifier of a segment within the caller's segment slice (matches
 /// `seq_spatial::SegId`).

@@ -113,7 +113,7 @@ pub fn build_region_quadtree(
                 continue;
             }
             let parent_pixels = block_pixels * 4;
-            let aligned = codes[i].is_multiple_of(parent_pixels);
+            let aligned = codes[i] % parent_pixels == 0;
             let ok = aligned
                 && (1..4).all(|k| {
                     levels[i + k] == level && codes[i + k] == codes[i] + k as u64 * block_pixels
@@ -275,7 +275,7 @@ impl RegionQuadtree {
             while i < self.blocks.len() {
                 let b = self.blocks[i];
                 let parent_pixels = b.pixels() * 4;
-                let mergeable = b.code.is_multiple_of(parent_pixels)
+                let mergeable = b.code % parent_pixels == 0
                     && i + 3 < self.blocks.len()
                     && (1..4).all(|k| {
                         let s = self.blocks[i + k];

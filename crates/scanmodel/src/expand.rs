@@ -1,0 +1,248 @@
+//! Pair-expansion (fan-out) kernel: the frontier-growth primitive behind
+//! the data-parallel spatial join.
+//!
+//! The paper's *cloning* primitive (Sec. 4.1) inserts one copy next to
+//! each flagged lane; frontier algorithms — the batch query descent and
+//! especially the spatial-join pair frontier — repeatedly need the
+//! generalized form "replicate lane `i` exactly `copies[i]` times",
+//! e.g. fanning a coarser block out against the finer tree's four
+//! children. Composing that from adjacent clonings costs `log₂(max
+//! fan-out)` cloning passes; [`Machine::fanout_layout`] computes the same
+//! layout with the *same mechanics as one cloning* (paper Fig. 14): one
+//! unsegmented exclusive `+`-scan over the copy counts yields each lane's
+//! output offset, one elementwise op turns offsets into output positions,
+//! and one scatter pass materializes the copies, each stamped with its
+//! copy *rank* so downstream elementwise steps can address "the r-th
+//! child" directly.
+//!
+//! The layout is gather-form ([`FanoutLayout::src_lane`]), so applying it
+//! to the several parallel vectors of a frontier costs one permutation
+//! op per vector, exactly like [`crate::primitives::CloneLayout`].
+
+use crate::machine::Machine;
+use crate::ops::Element;
+use crate::ops::Sum;
+use crate::scan::ScanKind;
+use crate::vector::Segments;
+
+/// Result of a fan-out layout computation ([`Machine::fanout_layout`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutLayout {
+    /// For each output lane, the input lane it is a copy of. Copies of a
+    /// lane are adjacent and in rank order (the generalization of the
+    /// original-then-clone adjacency of paper Fig. 14).
+    pub src_lane: Vec<usize>,
+    /// For each output lane, its copy index within its source lane's run
+    /// (`0..copies[src_lane]`).
+    pub rank: Vec<u32>,
+    /// The segment descriptor after expansion: every copy joins its
+    /// source lane's segment. Lanes with zero copies vanish; a segment
+    /// whose lanes all vanish is dropped from the descriptor.
+    pub seg: Segments,
+}
+
+impl FanoutLayout {
+    /// Number of output lanes.
+    pub fn len(&self) -> usize {
+        self.src_lane.len()
+    }
+
+    /// `true` when the layout covers zero lanes.
+    pub fn is_empty(&self) -> bool {
+        self.src_lane.is_empty()
+    }
+}
+
+impl Machine {
+    /// Computes the fan-out layout: lane `i` of the input is replicated
+    /// `copies[i]` times (zero deletes the lane), copies adjacent and in
+    /// rank order.
+    ///
+    /// Mechanics: an unsegmented upward **exclusive** `+`-scan of
+    /// `copies` gives each lane's first output position (`F1`, the
+    /// generalized room-making scan of paper Fig. 14); one elementwise
+    /// pass combines position and rank; one scatter pass writes the
+    /// copies. Counted as one scan, one elementwise op and one
+    /// permutation — the paper-level cost of a single cloning, for any
+    /// fan-out width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies.len() != seg.len()`.
+    pub fn fanout_layout(&self, seg: &Segments, copies: &[u32]) -> FanoutLayout {
+        assert_eq!(
+            copies.len(),
+            seg.len(),
+            "fanout: copy-count length {} does not match segment descriptor length {}",
+            copies.len(),
+            seg.len()
+        );
+        let counts: Vec<u64> = self.map(copies, |c| c as u64);
+        // F1: first output slot of each input lane.
+        let offsets = self.up_scan(&counts, Sum, ScanKind::Exclusive);
+        let out_len = copies.iter().map(|&c| c as usize).sum();
+
+        // The elementwise position/rank derivation and the scatter that
+        // writes every copy, fused into one pass each (the ew + permute
+        // of Fig. 14, generalized).
+        self.count_elementwise();
+        self.count_permute();
+        let mut src_lane = vec![0usize; out_len];
+        let mut rank = vec![0u32; out_len];
+        let mut flags_out = vec![false; out_len];
+        let in_flags = seg.flags();
+        let mut new_segment_pending = false;
+        for i in 0..seg.len() {
+            let base = offsets[i] as usize;
+            // A vanished segment head defers its boundary to the next
+            // surviving lane of a later segment (matching how deletion
+            // drops empty segments).
+            new_segment_pending |= in_flags[i];
+            for r in 0..copies[i] {
+                src_lane[base + r as usize] = i;
+                rank[base + r as usize] = r;
+            }
+            if copies[i] > 0 {
+                flags_out[base] = new_segment_pending;
+                new_segment_pending = false;
+            }
+        }
+        let seg_out = Segments::from_flags(flags_out)
+            .expect("fan-out output either is empty or starts a segment at lane 0");
+        FanoutLayout {
+            src_lane,
+            rank,
+            seg: seg_out,
+        }
+    }
+
+    /// Applies a fan-out layout to one data vector (gather form).
+    pub fn apply_fanout<T: Element>(&self, data: &[T], layout: &FanoutLayout) -> Vec<T> {
+        self.gather(data, &layout.src_lane)
+    }
+
+    /// Applies a fan-out layout into a caller-provided buffer (cleared
+    /// first).
+    pub fn apply_fanout_into<T: Element>(
+        &self,
+        data: &[T],
+        layout: &FanoutLayout,
+        out: &mut Vec<T>,
+    ) {
+        self.gather_into(data, &layout.src_lane, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Backend;
+
+    fn machines() -> Vec<Machine> {
+        vec![
+            Machine::sequential(),
+            Machine::new(Backend::Parallel).with_par_threshold(1),
+        ]
+    }
+
+    #[test]
+    fn uniform_fanout_four() {
+        for m in machines() {
+            let data = vec![10u32, 20, 30];
+            let seg = Segments::single(3);
+            let layout = m.fanout_layout(&seg, &[4, 4, 4]);
+            assert_eq!(layout.len(), 12);
+            let out = m.apply_fanout(&data, &layout);
+            assert_eq!(out, vec![10, 10, 10, 10, 20, 20, 20, 20, 30, 30, 30, 30]);
+            assert_eq!(layout.rank, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+            assert_eq!(layout.seg.num_segments(), 1);
+        }
+    }
+
+    #[test]
+    fn mixed_counts_including_zero() {
+        for m in machines() {
+            let data = vec!['a', 'b', 'c', 'd'];
+            let seg = Segments::single(4);
+            let layout = m.fanout_layout(&seg, &[2, 0, 1, 3]);
+            let out = m.apply_fanout(&data, &layout);
+            assert_eq!(out, vec!['a', 'a', 'c', 'd', 'd', 'd']);
+            assert_eq!(layout.rank, vec![0, 1, 0, 0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn copies_join_source_segment() {
+        for m in machines() {
+            let seg = Segments::from_lengths(&[2, 1]).unwrap();
+            let layout = m.fanout_layout(&seg, &[1, 2, 2]);
+            assert_eq!(layout.seg.lengths(), vec![3, 2]);
+            assert_eq!(layout.src_lane, vec![0, 1, 1, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn vanished_segment_is_dropped() {
+        for m in machines() {
+            let seg = Segments::from_lengths(&[1, 1, 1]).unwrap();
+            let layout = m.fanout_layout(&seg, &[2, 0, 1]);
+            assert_eq!(layout.seg.lengths(), vec![2, 1]);
+        }
+    }
+
+    #[test]
+    fn zero_everything_is_empty() {
+        for m in machines() {
+            let seg = Segments::from_lengths(&[2]).unwrap();
+            let layout = m.fanout_layout(&seg, &[0, 0]);
+            assert!(layout.is_empty());
+            assert_eq!(layout.seg.len(), 0);
+            let out = m.apply_fanout(&[1u8, 2], &layout);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn fanout_one_is_identity() {
+        for m in machines() {
+            let data = vec![7i64, 8, 9];
+            let seg = Segments::from_lengths(&[1, 2]).unwrap();
+            let layout = m.fanout_layout(&seg, &[1, 1, 1]);
+            assert_eq!(m.apply_fanout(&data, &layout), data);
+            assert_eq!(layout.seg, seg);
+            assert_eq!(layout.rank, vec![0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn counts_one_scan_one_ew_one_permute_for_layout() {
+        let m = Machine::sequential();
+        let seg = Segments::single(5);
+        let before = m.stats();
+        let _ = m.fanout_layout(&seg, &[4; 5]);
+        let d = m.stats().since(&before);
+        assert_eq!(d.scans, 1);
+        assert_eq!(d.scan_passes, 1);
+        // One counted layout ew plus the `map` that widens the counts.
+        assert_eq!(d.elementwise, 2);
+        assert_eq!(d.permutes, 1);
+    }
+
+    #[test]
+    fn matches_two_adjacent_clonings() {
+        // A uniform ×4 fan-out reorders lanes exactly like two successive
+        // clone-everything passes.
+        for m in machines() {
+            let data: Vec<u32> = (0..9).collect();
+            let seg = Segments::single(9);
+            let fan = m.apply_fanout(&data, &m.fanout_layout(&seg, &[4; 9]));
+            let all = vec![true; 9];
+            let double = m.clone_layout(&seg, &all);
+            let once = m.apply_clone(&data, &double);
+            let all2 = vec![true; once.len()];
+            let quad = m.clone_layout(&double.seg, &all2);
+            let twice = m.apply_clone(&once, &quad);
+            assert_eq!(fan, twice);
+        }
+    }
+}

@@ -31,6 +31,9 @@
 //! * [`Machine::unshuffle_layout`] — *unshuffling* / *packing* (Sec. 4.2);
 //! * [`Machine::delete_layout`] — *duplicate deletion* / *concentrate*
 //!   (Sec. 4.3);
+//! * [`Machine::fanout_layout`] — the generalized pair-expansion form of
+//!   cloning used by the frontier algorithms (batch query descent,
+//!   spatial join);
 //! * [`Machine::segment_counts`] — the *node capacity check* scan (Sec. 4.4);
 //! * [`Machine::broadcast_first`] / [`Machine::broadcast_last`] — the
 //!   copy-scan broadcast used throughout Section 4;
@@ -53,6 +56,7 @@
 
 pub mod arena;
 pub mod error;
+pub mod expand;
 pub mod fused;
 pub mod machine;
 pub mod ops;
@@ -65,6 +69,7 @@ pub mod vector;
 
 pub use arena::ScratchArena;
 pub use error::ScanModelError;
+pub use expand::FanoutLayout;
 pub use fused::{FusedElement, FusedOp};
 pub use machine::{Backend, Machine, OpStats, RoundTrace, StatsSnapshot, MAX_ROUND_TRACES};
 pub use scan::{Direction, ScanKind};

@@ -6,17 +6,21 @@
 //! load_driver [--workload uniform|clustered|roads|rings|paper]
 //!             [--segments N] [--requests N] [--shards G] [--threads T]
 //!             [--flush N] [--batch N] [--seed S] [--sequential]
-//!             [--self-check]
+//!             [--overlay N] [--self-check]
 //! ```
 //!
 //! The stream is split across `T` driver threads; each thread slices its
 //! share into `--batch`-sized calls to `QueryService::execute_batch`, so
 //! the service sees concurrent mixed batches the way a front end would
-//! deliver them. `--self-check` re-runs a sample of the stream against
-//! brute force after the timed run.
+//! deliver them. `--overlay N` builds a second segment layer of `N`
+//! segments and folds windowed `Join` requests into the stream; the
+//! per-shard frontier-join round table is printed after the run.
+//! `--self-check` re-runs a sample of the stream against brute force
+//! after the timed run.
 
 use dp_geom::Rect;
 use dp_service::{brute_knearest, QueryService, QueryServiceConfig, Response};
+use dp_spatial::join::brute_force_join_in;
 use dp_workloads::{
     clustered_segments, paper_dataset, paper_world, polygon_rings, request_stream, road_network,
     uniform_segments, Dataset, Request, RequestMix,
@@ -34,6 +38,7 @@ struct Args {
     batch: usize,
     seed: u64,
     sequential: bool,
+    overlay: usize,
     self_check: bool,
 }
 
@@ -48,6 +53,7 @@ fn parse_args() -> Args {
         batch: 512,
         seed: 42,
         sequential: false,
+        overlay: 0,
         self_check: false,
     };
     let mut it = std::env::args().skip(1);
@@ -71,12 +77,14 @@ fn parse_args() -> Args {
             "--batch" => args.batch = value("--batch").parse::<usize>().expect("--batch").max(1),
             "--seed" => args.seed = value("--seed").parse().expect("--seed"),
             "--sequential" => args.sequential = true,
+            "--overlay" => args.overlay = value("--overlay").parse().expect("--overlay"),
             "--self-check" => args.self_check = true,
             "--help" | "-h" => {
                 println!(
                     "usage: load_driver [--workload uniform|clustered|roads|rings|paper] \
                      [--segments N] [--requests N] [--shards G] [--threads T] \
-                     [--flush N] [--batch N] [--seed S] [--sequential] [--self-check]"
+                     [--flush N] [--batch N] [--seed S] [--sequential] \
+                     [--overlay N] [--self-check]"
                 );
                 std::process::exit(0);
             }
@@ -122,8 +130,28 @@ fn main() {
         },
         ..QueryServiceConfig::default()
     };
+    // An overlay layer of the same world, for the windowed join family.
+    let overlay_segs = if args.overlay > 0 {
+        let side = (data.world.max.x - data.world.min.x) as u32;
+        let max_len = (side / 64).clamp(2, 16);
+        uniform_segments(args.overlay, side, max_len, args.seed ^ 7).segs
+    } else {
+        Vec::new()
+    };
+    if !overlay_segs.is_empty() {
+        println!(
+            "overlay: {} segments (join family enabled)",
+            overlay_segs.len()
+        );
+    }
+
     let t0 = Instant::now();
-    let service = QueryService::build(config, data.world, data.segs.clone());
+    let service = QueryService::build_with_overlay(
+        config,
+        data.world,
+        data.segs.clone(),
+        overlay_segs.clone(),
+    );
     println!(
         "built {} shards in {:.1} ms",
         service.num_shards(),
@@ -151,12 +179,12 @@ fn main() {
         );
     }
 
-    let stream = request_stream(
-        data.world,
-        args.requests,
-        RequestMix::DEFAULT,
-        args.seed ^ 1,
-    );
+    let mix = if args.overlay > 0 {
+        RequestMix::WITH_JOINS
+    } else {
+        RequestMix::DEFAULT
+    };
+    let stream = request_stream(data.world, args.requests, mix, args.seed ^ 1);
     service.reset_stats();
 
     let t1 = Instant::now();
@@ -201,6 +229,21 @@ fn main() {
             s.shard, s.segments, s.probes, s.batches, s.max_queue_depth
         );
     }
+    if stats.join_requests > 0 {
+        println!(
+            "join requests: {} — per-shard frontier-join trace \
+             (rounds / pairs / tested / peak frontier / scan passes):",
+            stats.join_requests
+        );
+        for s in &stats.shards {
+            let Some(j) = &s.join else { continue };
+            let passes: u64 = j.trace.iter().map(|t| t.scan_passes).sum();
+            println!(
+                "  shard {:>3}: {:>3} / {:>6} / {:>8} / {:>8} / {:>5}",
+                s.shard, j.rounds, j.pairs, j.pairs_tested, j.frontier_peak, passes
+            );
+        }
+    }
 
     if args.self_check {
         let sample: Vec<Request> = stream.iter().step_by(97).copied().collect();
@@ -226,6 +269,13 @@ fn main() {
                 }
                 (Request::KNearest { p, k }, Response::KNearest(found)) => {
                     assert_eq!(*found, brute_knearest(&data.segs, *p, *k));
+                }
+                (Request::Join(q), Response::Join(pairs)) => {
+                    assert_eq!(
+                        *pairs,
+                        brute_force_join_in(&data.segs, &overlay_segs, q),
+                        "join window {q}"
+                    );
                 }
                 other => panic!("response kind mismatch: {other:?}"),
             }

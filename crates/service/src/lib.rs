@@ -6,8 +6,16 @@
 //! tiles ([`dp_spatial::shard::ShardGrid`]), each tile gets its own bucket
 //! PMR quadtree over the segments touching it, and a batch of mixed
 //! requests — window queries, point-in-window probes, k-nearest-neighbour
-//! lookups — is routed to the overlapping shards, executed per shard as
+//! lookups, and (against an optional *overlay* layer) windowed spatial
+//! joins — is routed to the overlapping shards, executed per shard as
 //! lockstep batches on a long-lived [`Machine`], and merged per request.
+//!
+//! A service built with [`QueryService::build_with_overlay`] indexes a
+//! second segment layer per shard; `Join` requests then answer with the
+//! base×overlay pairs intersecting inside their window, computed by the
+//! data-parallel [`frontier_join`] once per shard and filtered per
+//! window (see [`QueryService::stats`] for the per-shard join round
+//! telemetry).
 //!
 //! ## Execution model
 //!
@@ -20,7 +28,7 @@
 //!    [`batch_window_query`] — a lockstep descent costing a constant
 //!    number of scan-model primitives per tree level regardless of the
 //!    chunk size (paper Sec. 4). The shard reuses one [`Machine`] and one
-//!    [`ScratchArena`] across its lifetime.
+//!    [`scan_model::ScratchArena`] across its lifetime.
 //! 3. **Merge.** Per-shard hits are mapped from shard-local to global
 //!    segment ids, concatenated per request in shard order, sorted and
 //!    deduplicated — a segment spanning several tiles is reported once.
@@ -40,12 +48,14 @@
 
 use dp_geom::{LineSeg, Point, Rect};
 use dp_spatial::batch::batch_window_query;
+use dp_spatial::join::{frontier_join, pair_intersects_in};
 use dp_spatial::shard::{build_shard, ShardGrid, ShardIndex};
 use dp_spatial::SegId;
 use dp_workloads::Request;
 use rayon::prelude::*;
 use scan_model::{Backend, Machine, RoundTrace, StatsSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Number of log₂-microsecond latency buckets per shard.
@@ -108,6 +118,10 @@ pub enum Response {
     /// ascending id. Shorter than `k` only when the collection itself
     /// holds fewer segments.
     KNearest(Vec<(SegId, f64)>),
+    /// Sorted, deduplicated `(base_id, overlay_id)` pairs intersecting
+    /// inside the request window. Empty when the service was built
+    /// without an overlay layer.
+    Join(Vec<(SegId, SegId)>),
 }
 
 /// Interior-mutable per-shard counters.
@@ -174,6 +188,26 @@ pub struct ShardStats {
     /// construction time (one [`RoundTrace`] per subdivision round; not
     /// affected by [`QueryService::reset_stats`]).
     pub build_trace: Vec<RoundTrace>,
+    /// Telemetry of the shard's base×overlay frontier join. `None` until
+    /// the first `Join` request touches the shard (the join is computed
+    /// lazily and cached) or when the service has no overlay layer.
+    pub join: Option<ShardJoinStats>,
+}
+
+/// Telemetry of one shard's cached base×overlay frontier join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardJoinStats {
+    /// Intersecting pairs the shard contributes (global ids, pre-window
+    /// filtering).
+    pub pairs: usize,
+    /// Frontier-expansion rounds the join took (≤ max tree height).
+    pub rounds: usize,
+    /// Largest candidate-pair frontier across those rounds.
+    pub frontier_peak: usize,
+    /// Exact segment-pair tests issued in leaf×leaf blocks.
+    pub pairs_tested: u64,
+    /// Per-round [`RoundTrace`] of the join's driver run.
+    pub trace: Vec<RoundTrace>,
 }
 
 /// Aggregated service statistics: per-shard views plus batch-level
@@ -186,6 +220,8 @@ pub struct ServiceStats {
     pub requests: u64,
     /// Expanding-window rounds spent on k-nearest requests.
     pub knn_rounds: u64,
+    /// `Join` requests answered (each may touch several shards).
+    pub join_requests: u64,
 }
 
 impl ServiceStats {
@@ -227,14 +263,31 @@ impl ServiceStats {
     }
 }
 
+/// A shard's cached base×overlay join: pairs in global ids plus the
+/// round telemetry of the frontier run that produced them.
+struct ShardJoin {
+    pairs: Vec<(SegId, SegId)>,
+    rounds: usize,
+    frontier_peak: usize,
+    pairs_tested: u64,
+    trace: Vec<RoundTrace>,
+}
+
 struct Shard {
     index: ShardIndex,
+    /// Overlay-layer index over the same tile (and the same full-world
+    /// tree span, so base and overlay trees are aligned for the frontier
+    /// join). `None` when the service has no overlay.
+    overlay: Option<ShardIndex>,
     machine: Machine,
     counters: ShardCounters,
     /// Round-driver telemetry of this shard's build, drained from the
     /// machine right after construction (so later batch work and stat
     /// resets cannot disturb it).
     build_trace: Vec<RoundTrace>,
+    /// The shard's base×overlay join, computed on first use by
+    /// [`QueryService::shard_join`].
+    join: OnceLock<ShardJoin>,
 }
 
 /// The sharded query service. Cheap to share by reference across threads:
@@ -244,8 +297,12 @@ pub struct QueryService {
     grid: ShardGrid,
     shards: Vec<Shard>,
     segs: Vec<LineSeg>,
+    /// Overlay segment collection (empty without an overlay layer);
+    /// `Response::Join` pairs index `(segs, overlay_segs)`.
+    overlay_segs: Vec<LineSeg>,
     requests: AtomicU64,
     knn_rounds: AtomicU64,
+    join_requests: AtomicU64,
 }
 
 impl QueryService {
@@ -260,8 +317,26 @@ impl QueryService {
     /// the half-open `world` (the build precondition of
     /// [`dp_spatial::bucket_pmr::build_bucket_pmr`]).
     pub fn build(config: QueryServiceConfig, world: Rect, segs: Vec<LineSeg>) -> Self {
+        QueryService::build_with_overlay(config, world, segs, Vec::new())
+    }
+
+    /// [`QueryService::build`] plus a second *overlay* layer of segments,
+    /// indexed per shard exactly like the base layer. `Join` requests
+    /// answer with base×overlay pairs intersecting inside their window;
+    /// with an empty `overlay` every join answer is empty.
+    ///
+    /// Both layers' shard trees span the full world, so each shard's base
+    /// and overlay quadtrees are aligned decompositions — exactly the
+    /// precondition of [`frontier_join`].
+    pub fn build_with_overlay(
+        config: QueryServiceConfig,
+        world: Rect,
+        segs: Vec<LineSeg>,
+        overlay: Vec<LineSeg>,
+    ) -> Self {
         let grid = ShardGrid::new(world, config.shard_grid);
         let assignment = grid.assign_segments(&segs);
+        let overlay_assignment = grid.assign_segments(&overlay);
         let shards: Vec<Shard> = (0..grid.num_shards())
             .into_par_iter()
             .map(|i| {
@@ -279,11 +354,31 @@ impl QueryService {
                     config.max_depth,
                 );
                 let build_trace = machine.take_round_traces();
+                let overlay_index = if overlay.is_empty() {
+                    None
+                } else {
+                    let idx = build_shard(
+                        &machine,
+                        world,
+                        grid.tile_of(i),
+                        &overlay,
+                        &overlay_assignment[i],
+                        config.capacity,
+                        config.max_depth,
+                    );
+                    // The overlay build's traces are not part of the base
+                    // build table; the join's own trace is captured when
+                    // the join first runs.
+                    machine.take_round_traces();
+                    Some(idx)
+                };
                 Shard {
                     index,
+                    overlay: overlay_index,
                     machine,
                     counters: ShardCounters::new(),
                     build_trace,
+                    join: OnceLock::new(),
                 }
             })
             .collect();
@@ -292,8 +387,10 @@ impl QueryService {
             grid,
             shards,
             segs,
+            overlay_segs: overlay,
             requests: AtomicU64::new(0),
             knn_rounds: AtomicU64::new(0),
+            join_requests: AtomicU64::new(0),
         }
     }
 
@@ -317,6 +414,12 @@ impl QueryService {
         &self.segs
     }
 
+    /// The overlay segment collection (empty without an overlay layer);
+    /// the second id of a [`Response::Join`] pair indexes into this.
+    pub fn overlay_segments(&self) -> &[LineSeg] {
+        &self.overlay_segs
+    }
+
     /// Executes a batch of mixed requests; `out[i]` answers
     /// `requests[i]`. Deterministic: identical batches produce identical
     /// responses regardless of backend, shard count or thread schedule.
@@ -331,11 +434,12 @@ impl QueryService {
             match r {
                 Request::Window(q) => probes.push((slot, *q)),
                 Request::PointInWindow(p) => probes.push((slot, Rect::point(*p))),
-                Request::KNearest { .. } => {}
+                Request::KNearest { .. } | Request::Join(_) => {}
             }
         }
         let window_hits = self.run_probes(&probes);
         let knn_answers = self.run_knn(requests);
+        let join_answers = self.run_joins(requests);
 
         let mut window_hits = window_hits.into_iter();
         requests
@@ -353,6 +457,9 @@ impl QueryService {
                         .clone()
                         .expect("k-NN rounds answer every slot"),
                 ),
+                Request::Join(_) => {
+                    Response::Join(join_answers[slot].clone().expect("join per join request"))
+                }
             })
             .collect()
     }
@@ -473,6 +580,110 @@ impl QueryService {
         answers
     }
 
+    /// Answers every `Join` request in `requests`; other request kinds
+    /// get `None`.
+    ///
+    /// Routing mirrors the window path: a join window is routed to every
+    /// shard whose tile it overlaps. Each routed shard contributes its
+    /// cached base×overlay frontier join (computed on first use), and the
+    /// router keeps only the pairs that intersect *inside* the window —
+    /// an exact filter, so a pair spanning several tiles is reported once
+    /// and out-of-window candidates never surface. This is sound and
+    /// complete: an intersection point inside the window lies in some
+    /// overlapping tile, and both segments of the pair are assigned to
+    /// that tile's shard.
+    fn run_joins(&self, requests: &[Request]) -> Vec<Option<Vec<(SegId, SegId)>>> {
+        let mut answers: Vec<Option<Vec<(SegId, SegId)>>> = vec![None; requests.len()];
+        let joins: Vec<(usize, Rect)> = requests
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, r)| match r {
+                Request::Join(q) => Some((slot, *q)),
+                _ => None,
+            })
+            .collect();
+        if joins.is_empty() {
+            return answers;
+        }
+        self.join_requests
+            .fetch_add(joins.len() as u64, Ordering::Relaxed);
+
+        // Warm every needed shard's join cache concurrently, then filter
+        // per request.
+        let mut needed: Vec<usize> = joins
+            .iter()
+            .flat_map(|(_, q)| self.grid.shards_overlapping(q))
+            .collect();
+        needed.sort_unstable();
+        needed.dedup();
+        needed.par_iter().for_each(|&s| {
+            self.shard_join(s);
+        });
+
+        for (slot, q) in joins {
+            let mut pairs: Vec<(SegId, SegId)> = Vec::new();
+            for s in self.grid.shards_overlapping(&q) {
+                pairs.extend(self.shard_join(s).pairs.iter().copied().filter(|&(a, b)| {
+                    pair_intersects_in(&self.segs[a as usize], &self.overlay_segs[b as usize], &q)
+                }));
+            }
+            pairs.sort_unstable();
+            pairs.dedup();
+            answers[slot] = Some(pairs);
+        }
+        answers
+    }
+
+    /// The shard's cached base×overlay join, computing it on first use by
+    /// running [`frontier_join`] on the shard's own machine and mapping
+    /// shard-local ids to global ids.
+    fn shard_join(&self, s: usize) -> &ShardJoin {
+        let shard = &self.shards[s];
+        shard.join.get_or_init(|| {
+            let Some(overlay) = shard.overlay.as_ref() else {
+                return ShardJoin {
+                    pairs: Vec::new(),
+                    rounds: 0,
+                    frontier_peak: 0,
+                    pairs_tested: 0,
+                    trace: Vec::new(),
+                };
+            };
+            // Isolate the join's round trace from any traces buffered by
+            // earlier driver runs on this machine.
+            let resumed = shard.machine.take_round_traces();
+            let outcome = frontier_join(
+                &shard.machine,
+                &shard.index.tree,
+                &shard.index.segs,
+                &overlay.tree,
+                &overlay.segs,
+            )
+            .expect("shard base and overlay trees span the same world");
+            let trace = shard.machine.take_round_traces();
+            for t in resumed {
+                shard.machine.record_round_trace(t);
+            }
+            let pairs: Vec<(SegId, SegId)> = outcome
+                .pairs
+                .iter()
+                .map(|&(a, b)| {
+                    (
+                        shard.index.global_ids[a as usize],
+                        overlay.global_ids[b as usize],
+                    )
+                })
+                .collect();
+            ShardJoin {
+                pairs,
+                rounds: outcome.rounds,
+                frontier_peak: outcome.frontier_peak,
+                pairs_tested: outcome.pairs_tested,
+                trace,
+            }
+        })
+    }
+
     /// A snapshot of the service counters, including every shard
     /// machine's primitive-operation counts.
     pub fn stats(&self) -> ServiceStats {
@@ -495,10 +706,18 @@ impl QueryService {
                     arena_takes: s.machine.arena_stats().0,
                     arena_hits: s.machine.arena_stats().1,
                     build_trace: s.build_trace.clone(),
+                    join: s.join.get().map(|j| ShardJoinStats {
+                        pairs: j.pairs.len(),
+                        rounds: j.rounds,
+                        frontier_peak: j.frontier_peak,
+                        pairs_tested: j.pairs_tested,
+                        trace: j.trace.clone(),
+                    }),
                 })
                 .collect(),
             requests: self.requests.load(Ordering::Relaxed),
             knn_rounds: self.knn_rounds.load(Ordering::Relaxed),
+            join_requests: self.join_requests.load(Ordering::Relaxed),
         }
     }
 
@@ -507,6 +726,7 @@ impl QueryService {
     pub fn reset_stats(&self) {
         self.requests.store(0, Ordering::Relaxed);
         self.knn_rounds.store(0, Ordering::Relaxed);
+        self.join_requests.store(0, Ordering::Relaxed);
         for s in &self.shards {
             s.machine.reset_stats();
             s.counters.probes.store(0, Ordering::Relaxed);
@@ -626,6 +846,68 @@ mod tests {
         assert_eq!(zeroed.requests, 0);
         assert_eq!(zeroed.total_probes(), 0);
         assert_eq!(zeroed.total_primitives(), 0);
+    }
+
+    #[test]
+    fn join_requests_match_windowed_brute_force() {
+        use dp_spatial::join::brute_force_join_in;
+        let base = uniform_segments(200, 64, 8, 21);
+        let overlay = uniform_segments(150, 64, 8, 22);
+        let svc = QueryService::build_with_overlay(
+            QueryServiceConfig::sequential(2),
+            base.world,
+            base.segs.clone(),
+            overlay.segs.clone(),
+        );
+        let windows = [
+            base.world,
+            Rect::from_coords(0.0, 0.0, 20.0, 20.0),
+            Rect::from_coords(30.0, 30.0, 34.0, 34.0),
+            Rect::point(Point::new(32.0, 32.0)),
+        ];
+        let reqs: Vec<Request> = windows.iter().map(|&q| Request::Join(q)).collect();
+        let out = svc.execute_batch(&reqs);
+        for (q, resp) in windows.iter().zip(&out) {
+            let Response::Join(pairs) = resp else {
+                panic!("join request answered with {resp:?}");
+            };
+            assert_eq!(
+                *pairs,
+                brute_force_join_in(&base.segs, &overlay.segs, q),
+                "join window {q}"
+            );
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.join_requests, windows.len() as u64);
+        let joined: Vec<&ShardJoinStats> = stats
+            .shards
+            .iter()
+            .filter_map(|s| s.join.as_ref())
+            .collect();
+        assert!(!joined.is_empty(), "no shard computed a join");
+        for j in joined {
+            assert_eq!(
+                j.trace.iter().filter(|t| t.nodes_split > 0).count(),
+                j.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn join_without_overlay_is_empty() {
+        let data = uniform_segments(100, 64, 8, 4);
+        let svc = QueryService::build(
+            QueryServiceConfig::sequential(2),
+            data.world,
+            data.segs.clone(),
+        );
+        let out = svc.execute_batch(&[Request::Join(data.world)]);
+        assert_eq!(out[0], Response::Join(Vec::new()));
+        assert!(svc.stats().shards.iter().all(|s| s
+            .join
+            .as_ref()
+            .map(|j| j.pairs == 0)
+            .unwrap_or(true)));
     }
 
     #[test]

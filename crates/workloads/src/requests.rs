@@ -34,6 +34,10 @@ pub enum Request {
         /// Number of neighbours requested.
         k: usize,
     },
+    /// All pairs `(base_id, overlay_id)` of a base segment and an overlay
+    /// segment intersecting *inside* the window — the windowed form of
+    /// the spatial join, routed to every shard the window overlaps.
+    Join(Rect),
 }
 
 /// Relative weights of the request kinds in a generated stream.
@@ -45,6 +49,8 @@ pub struct RequestMix {
     pub point: u32,
     /// Weight of [`Request::KNearest`].
     pub knearest: u32,
+    /// Weight of [`Request::Join`].
+    pub join: u32,
 }
 
 impl RequestMix {
@@ -53,18 +59,30 @@ impl RequestMix {
         window: 1,
         point: 0,
         knearest: 0,
+        join: 0,
     };
 
     /// The default service mix: mostly windows, some point probes, a few
-    /// k-nearest requests.
+    /// k-nearest requests. No joins, so streams generated before the
+    /// `Join` family existed replay bit-identically.
     pub const DEFAULT: RequestMix = RequestMix {
         window: 6,
         point: 3,
         knearest: 1,
+        join: 0,
+    };
+
+    /// The default mix with windowed joins folded in, for services built
+    /// with an overlay layer.
+    pub const WITH_JOINS: RequestMix = RequestMix {
+        window: 5,
+        point: 3,
+        knearest: 1,
+        join: 1,
     };
 
     fn total(&self) -> u32 {
-        self.window + self.point + self.knearest
+        self.window + self.point + self.knearest + self.join
     }
 }
 
@@ -121,11 +139,13 @@ pub fn request_stream(world: Rect, n: usize, mix: RequestMix, seed: u64) -> Vec<
                 Request::Window(random_window(&mut rng, &world))
             } else if pick < mix.window + mix.point {
                 Request::PointInWindow(grid_point(&mut rng, &world))
-            } else {
+            } else if pick < mix.window + mix.point + mix.knearest {
                 Request::KNearest {
                     p: grid_point(&mut rng, &world),
                     k: rng.gen_range(1..=8),
                 }
+            } else {
+                Request::Join(random_window(&mut rng, &world))
             }
         })
         .collect()
@@ -200,6 +220,32 @@ mod tests {
     }
 
     #[test]
+    fn join_mix_generates_in_world_join_windows() {
+        let w = square_world(64);
+        let reqs = request_stream(w, 1000, RequestMix::WITH_JOINS, 11);
+        let joins: Vec<Rect> = reqs
+            .iter()
+            .filter_map(|r| match r {
+                Request::Join(q) => Some(*q),
+                _ => None,
+            })
+            .collect();
+        assert!(joins.len() > 50, "joins starved: {}", joins.len());
+        for q in &joins {
+            assert!(w.contains_rect(q), "join window {q} escapes the world");
+        }
+    }
+
+    #[test]
+    fn default_mix_stream_is_unchanged_by_the_join_family() {
+        // DEFAULT keeps a zero join weight, so pre-join streams replay
+        // bit-identically (the differential baselines depend on this).
+        let w = square_world(64);
+        let reqs = request_stream(w, 500, RequestMix::DEFAULT, 7);
+        assert!(reqs.iter().all(|r| !matches!(r, Request::Join(_))));
+    }
+
+    #[test]
     #[should_panic(expected = "positive weight")]
     fn zero_mix_rejected() {
         request_stream(
@@ -209,6 +255,7 @@ mod tests {
                 window: 0,
                 point: 0,
                 knearest: 0,
+                join: 0,
             },
             0,
         );

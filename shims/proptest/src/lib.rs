@@ -398,7 +398,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Admissible length range for [`vec`].
+    /// Admissible length range for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -424,7 +424,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,

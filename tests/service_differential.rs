@@ -67,7 +67,7 @@ fn check_identity(data: &Dataset, config: QueryServiceConfig, seed: u64) {
         .filter_map(|r| match r {
             Request::Window(q) => Some(*q),
             Request::PointInWindow(p) => Some(Rect::point(*p)),
-            Request::KNearest { .. } => None,
+            Request::KNearest { .. } | Request::Join(_) => None,
         })
         .collect();
     let mut unsharded = batch_window_query(
