@@ -11,7 +11,30 @@
 //! their inputs.
 
 use dp_geom::Rect;
+use scan_model::FaultSite;
 use std::fmt;
+
+/// Which malformation a rejected request carries (see
+/// [`SpatialError::MalformedRequest`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MalformedKind {
+    /// A window whose coordinates are NaN or infinite.
+    NonFiniteWindow,
+    /// A query point whose coordinates are NaN or infinite.
+    NonFinitePoint,
+    /// A k-nearest request with `k == 0` (no defined answer set).
+    ZeroK,
+}
+
+impl fmt::Display for MalformedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MalformedKind::NonFiniteWindow => "non-finite window",
+            MalformedKind::NonFinitePoint => "non-finite point",
+            MalformedKind::ZeroK => "k = 0",
+        })
+    }
+}
 
 /// A precondition violation detected by a checked bulk operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +57,50 @@ pub enum SpatialError {
         /// The index's world rectangle.
         world: Rect,
     },
+    /// A request that cannot be answered regardless of index state
+    /// (non-finite coordinates, `k == 0`). Detected by per-request
+    /// validation before any shard is probed.
+    MalformedRequest {
+        /// Position of the offending request in the batch.
+        index: usize,
+        /// Which malformation was detected.
+        kind: MalformedKind,
+    },
+    /// A shard crashed and exhausted its retry and rebuild budget; the
+    /// service marks it degraded and falls back to the sequential oracle.
+    ShardUnavailable {
+        /// Row-major shard slot in the service grid.
+        shard: usize,
+        /// Recovery attempts (retries + rebuilds) spent before giving up.
+        attempts: u32,
+    },
+    /// An injected fault surfaced as an error (the typed form of an
+    /// [`scan_model::InjectedFault`] panic payload caught by a recovery
+    /// layer).
+    FaultInjected {
+        /// The fault site that fired.
+        site: FaultSite,
+        /// Which occurrence at that site fired.
+        occurrence: u64,
+    },
+    /// A response slot was interrogated for the wrong kind (e.g. asking a
+    /// k-NN answer for its window hits) — the service-level replacement
+    /// for `panic!("response kind mismatch")`.
+    ResponseKindMismatch {
+        /// Position of the response in the batch.
+        index: usize,
+    },
+    /// A service configuration that cannot describe a valid shard grid.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A segment endpoint falls outside the world the service was asked
+    /// to index, so shard assignment would silently drop it.
+    SegmentOutsideWorld {
+        /// Position of the offending segment in the input slice.
+        index: usize,
+    },
 }
 
 impl fmt::Display for SpatialError {
@@ -52,6 +119,26 @@ impl fmt::Display for SpatialError {
                 f,
                 "query window {index} ({window}) reaches outside the index world {world}"
             ),
+            SpatialError::MalformedRequest { index, kind } => {
+                write!(f, "request {index} is malformed: {kind}")
+            }
+            SpatialError::ShardUnavailable { shard, attempts } => write!(
+                f,
+                "shard {shard} unavailable after {attempts} recovery attempts; \
+                 degraded to the sequential oracle"
+            ),
+            SpatialError::FaultInjected { site, occurrence } => {
+                write!(f, "injected {site} fault (occurrence {occurrence})")
+            }
+            SpatialError::ResponseKindMismatch { index } => {
+                write!(f, "response {index} holds a different kind than requested")
+            }
+            SpatialError::InvalidConfig { reason } => {
+                write!(f, "invalid service configuration: {reason}")
+            }
+            SpatialError::SegmentOutsideWorld { index } => {
+                write!(f, "segment {index} falls outside the service world")
+            }
         }
     }
 }
@@ -81,5 +168,38 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("window 3"), "{s}");
+    }
+
+    #[test]
+    fn display_names_the_malformation() {
+        let e = SpatialError::MalformedRequest {
+            index: 7,
+            kind: MalformedKind::ZeroK,
+        };
+        let s = e.to_string();
+        assert!(s.contains("request 7") && s.contains("k = 0"), "{s}");
+    }
+
+    #[test]
+    fn display_names_the_degraded_shard() {
+        let e = SpatialError::ShardUnavailable {
+            shard: 2,
+            attempts: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("shard 2") && s.contains("3 recovery"), "{s}");
+    }
+
+    #[test]
+    fn display_names_the_fault_site() {
+        let e = SpatialError::FaultInjected {
+            site: FaultSite::RoundAbort,
+            occurrence: 5,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("round-abort") && s.contains("occurrence 5"),
+            "{s}"
+        );
     }
 }

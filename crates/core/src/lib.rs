@@ -67,7 +67,7 @@ pub mod shard;
 pub mod split;
 pub mod stats;
 
-pub use error::SpatialError;
+pub use error::{MalformedKind, SpatialError};
 
 /// Identifier of a segment within the caller's segment slice (matches
 /// `seq_spatial::SegId`).

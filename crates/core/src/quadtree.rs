@@ -13,7 +13,7 @@ use crate::SegId;
 use dp_geom::{LineSeg, Point, Rect};
 
 /// A node of the assembled quadtree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum QtNode {
     /// Internal node; children in NW, NE, SW, SE order.
     Internal {
@@ -28,7 +28,7 @@ pub enum QtNode {
 }
 
 /// A quadtree assembled from data-parallel build output.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DpQuadtree {
     world: Rect,
     nodes: Vec<QtNode>,

@@ -104,6 +104,12 @@ impl RoundDriver {
     /// its [`RoundTrace`]. Callers must stop once the returned
     /// [`RoundAdvance::finished`] is `true`.
     pub fn step(&mut self, machine: &Machine, policy: &mut dyn SplitPolicy) -> RoundAdvance {
+        // Fault site: a plan can abort the build at the top of any step,
+        // before the policy runs or any lock is taken — the safe panic
+        // point the crash-recovery tests kill builds at. The occurrence
+        // index is the machine-global step number, so "kill at round k"
+        // is `FaultPlan::once_at(FaultSite::RoundAbort, k)`.
+        machine.check_fault(scan_model::FaultSite::RoundAbort);
         let before = machine.stats();
         let started = Instant::now();
         let active_elements = policy.active_elements();

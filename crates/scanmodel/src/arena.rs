@@ -141,6 +141,16 @@ impl ScratchArena {
         self.evict_until(self.cap_bytes);
     }
 
+    /// Simulated memory pressure for fault injection: clamps the cap to
+    /// [`MIN_CAP_BYTES`] and evicts every pooled buffer. The arena stays
+    /// fully functional — subsequent [`ScratchArena::take`] calls simply
+    /// allocate fresh, and the cap regrows through [`ScratchArena::decay`]
+    /// as real demand re-accumulates. Evictions are counted as usual.
+    pub fn inject_pressure(&mut self) {
+        self.cap_bytes = MIN_CAP_BYTES;
+        self.evict_until(0);
+    }
+
     /// Evicts coldest-first until at most `target` retained bytes remain.
     fn evict_until(&mut self, target: usize) {
         while self.retained_bytes > target {
@@ -269,6 +279,29 @@ mod tests {
         assert!(arena.high_water_bytes() >= 8 << 20);
         let (takes, hits) = arena.reuse_stats();
         assert_eq!(takes, hits, "every take after the spike was a pool hit");
+    }
+
+    #[test]
+    fn inject_pressure_evicts_everything_but_stays_usable() {
+        let mut arena = ScratchArena::new();
+        let buf: Vec<u64> = Vec::with_capacity(4096);
+        arena.put(buf);
+        assert_eq!(arena.pooled(), 1);
+
+        arena.inject_pressure();
+        assert_eq!(arena.pooled(), 0);
+        assert_eq!(arena.retained_bytes(), 0);
+        assert_eq!(arena.cap_bytes(), MIN_CAP_BYTES);
+        assert!(arena.evictions() >= 1);
+
+        // Fully functional afterwards: take allocates fresh, put pools
+        // again under the clamped cap, and decay regrows from demand.
+        let mut v: Vec<u64> = arena.take();
+        v.extend(0..1000);
+        arena.put(v);
+        assert_eq!(arena.pooled(), 1);
+        let v2: Vec<u64> = arena.take();
+        assert!(v2.capacity() >= 1000, "pool serves capacity after pressure");
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! Deterministic fault injection for the scan-model stack.
+//!
+//! The paper's pipelines are deterministic compositions of scans,
+//! elementwise operations and permutes, which makes *failures* the one
+//! behaviour a differential test cannot reach without help: a worker
+//! panic, an arena overflow or an aborted build round never occurs
+//! naturally on correct inputs. [`FaultPlan`] makes them reachable on
+//! demand and — crucially — **reproducibly**: every injection decision is
+//! a pure function of `(seed, site, occurrence index)`, derived from the
+//! workspace's deterministic [`rand`] shim with no wall clock anywhere,
+//! so the same plan over the same workload fires the same faults on every
+//! run, every backend, and every thread schedule (occurrence indices are
+//! claimed atomically, so concurrent checkers partition them; use
+//! [`FaultPlan::fork`] to give concurrent components independent,
+//! individually deterministic streams).
+//!
+//! ## Sites
+//!
+//! A plan speaks about named [`FaultSite`]s, each checked by the layer
+//! that owns it:
+//!
+//! * [`FaultSite::WorkerPanic`] — the rayon shim's pool kills a worker
+//!   closure mid-job (installed via [`WorkerFaultGuard`]);
+//! * [`FaultSite::ArenaOverflow`] — the machine clamps its
+//!   [`crate::ScratchArena`] to the minimum cap and evicts everything,
+//!   simulating memory pressure at a round boundary (recoverable by
+//!   design: the arena re-allocates on demand);
+//! * [`FaultSite::RoundAbort`] — the round driver in `dp-spatial` panics
+//!   at the top of a build/join step, killing the build mid-flight;
+//! * [`FaultSite::PoisonedRequest`] — `dp-workloads` replaces requests in
+//!   a stream with malformed ones (non-finite windows, `k = 0`).
+//!
+//! Panicking sites raise [`InjectedFault`] via `std::panic::panic_any`,
+//! so recovery layers can tell an injected fault from a genuine bug by
+//! downcasting the payload.
+
+use crate::machine::Machine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// A named place in the stack where a [`FaultPlan`] can inject a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A worker closure in the rayon shim's persistent pool panics
+    /// before running its job body.
+    WorkerPanic,
+    /// The machine's scratch arena is clamped to its minimum cap and
+    /// fully evicted at a round boundary (simulated memory pressure).
+    ArenaOverflow,
+    /// A round-driver step aborts by panic before doing any work.
+    RoundAbort,
+    /// A request in a workload stream is replaced by a malformed one.
+    PoisonedRequest,
+}
+
+impl FaultSite {
+    /// Every site, in a fixed order (the plan's internal indexing).
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::WorkerPanic,
+        FaultSite::ArenaOverflow,
+        FaultSite::RoundAbort,
+        FaultSite::PoisonedRequest,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::WorkerPanic => 0,
+            FaultSite::ArenaOverflow => 1,
+            FaultSite::RoundAbort => 2,
+            FaultSite::PoisonedRequest => 3,
+        }
+    }
+
+    /// Per-site salt mixed into the seeded decision stream so sites
+    /// checked the same number of times still fire independently.
+    fn salt(self) -> u64 {
+        // Arbitrary odd constants; fixed forever for reproducibility.
+        [
+            0x9e37_79b9_7f4a_7c15,
+            0xbf58_476d_1ce4_e5b9,
+            0x94d0_49bb_1331_11eb,
+            0xd6e8_feb8_6659_fd93,
+        ][self.index()]
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultSite::WorkerPanic => "worker-panic",
+            FaultSite::ArenaOverflow => "arena-overflow",
+            FaultSite::RoundAbort => "round-abort",
+            FaultSite::PoisonedRequest => "poisoned-request",
+        })
+    }
+}
+
+/// The panic payload raised by panicking fault sites. Recovery layers
+/// downcast caught payloads to this type to distinguish injected faults
+/// from genuine bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The site that fired.
+    pub site: FaultSite,
+    /// Which check at that site fired (0-based occurrence index).
+    pub occurrence: u64,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {} fault (occurrence {})",
+            self.site, self.occurrence
+        )
+    }
+}
+
+/// When a site fires, as a function of its occurrence index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultMode {
+    /// Never fires (the default for every site).
+    Never,
+    /// Fires exactly at occurrence `k` (0-based) and never again.
+    OnceAt(u64),
+    /// Fires at every occurrence.
+    Always,
+    /// Fires at each occurrence independently with probability `rate`,
+    /// decided by the plan's seeded stream.
+    Seeded {
+        /// Per-occurrence firing probability in `[0, 1]`.
+        rate: f64,
+    },
+}
+
+/// SplitMix64 — the same mixer the rand shim seeds with; used here to
+/// derive decision seeds and fork salts without correlation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic fault-injection plan: one [`FaultMode`] per
+/// [`FaultSite`], plus atomic occurrence and fired counters.
+///
+/// Cheap to share (`Arc<FaultPlan>`); a [`Machine`] built with
+/// [`Machine::with_fault_plan`] consults it at its fault sites, and the
+/// counters let tests assert *exactly* how many faults were injected
+/// (e.g. "the kill-at-round-k fault fired exactly once").
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    modes: [FaultMode; 4],
+    occurrences: [AtomicU64; 4],
+    fired: [AtomicU64; 4],
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::disabled()
+    }
+}
+
+impl FaultPlan {
+    /// A plan with every site set to [`FaultMode::Never`] and the given
+    /// decision seed (relevant only once a site uses
+    /// [`FaultMode::Seeded`]).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            modes: [FaultMode::Never; 4],
+            occurrences: std::array::from_fn(|_| AtomicU64::new(0)),
+            fired: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// A plan that never fires — the identity plan production code runs
+    /// under.
+    pub fn disabled() -> Self {
+        FaultPlan::new(0)
+    }
+
+    /// A plan where **every** site fires with probability `rate` per
+    /// occurrence, decided by `seed`. Sites only fire where they are
+    /// checked: e.g. [`FaultSite::WorkerPanic`] stays inert unless a
+    /// [`WorkerFaultGuard`] is installed.
+    pub fn seeded(seed: u64, rate: f64) -> Self {
+        let mut plan = FaultPlan::new(seed);
+        for site in FaultSite::ALL {
+            plan.modes[site.index()] = FaultMode::Seeded { rate };
+        }
+        plan
+    }
+
+    /// A plan firing `site` exactly at occurrence `k` (everything else
+    /// disabled).
+    pub fn once_at(site: FaultSite, k: u64) -> Self {
+        FaultPlan::new(0).with(site, FaultMode::OnceAt(k))
+    }
+
+    /// A plan firing `site` at every occurrence (everything else
+    /// disabled).
+    pub fn always(site: FaultSite) -> Self {
+        FaultPlan::new(0).with(site, FaultMode::Always)
+    }
+
+    /// Builder: sets one site's mode.
+    pub fn with(mut self, site: FaultSite, mode: FaultMode) -> Self {
+        self.modes[site.index()] = mode;
+        self
+    }
+
+    /// The plan's decision seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured mode of `site`.
+    pub fn mode(&self, site: FaultSite) -> FaultMode {
+        self.modes[site.index()]
+    }
+
+    /// A child plan with the same modes, the seed mixed with `salt`, and
+    /// fresh counters. Give each concurrent component (e.g. each service
+    /// shard) its own fork: occurrence indices then count per component,
+    /// which keeps decisions independent of cross-component thread
+    /// interleaving.
+    pub fn fork(&self, salt: u64) -> FaultPlan {
+        FaultPlan {
+            seed: splitmix64(self.seed ^ splitmix64(salt)),
+            modes: self.modes,
+            occurrences: std::array::from_fn(|_| AtomicU64::new(0)),
+            fired: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Claims the next occurrence of `site` and decides whether it fires.
+    /// Returns the occurrence index when firing, `None` otherwise. The
+    /// decision is a pure function of `(seed, site, occurrence)` — two
+    /// runs claiming occurrences in a different thread order still fire
+    /// the same *set* of occurrences.
+    pub fn should_fire(&self, site: FaultSite) -> Option<u64> {
+        let i = site.index();
+        let occurrence = self.occurrences[i].fetch_add(1, Ordering::Relaxed);
+        let fire = match self.modes[i] {
+            FaultMode::Never => false,
+            FaultMode::OnceAt(k) => occurrence == k,
+            FaultMode::Always => true,
+            FaultMode::Seeded { rate } => {
+                let mix = splitmix64(self.seed ^ site.salt() ^ splitmix64(occurrence));
+                StdRng::seed_from_u64(mix).gen_bool(rate.clamp(0.0, 1.0))
+            }
+        };
+        if fire {
+            self.fired[i].fetch_add(1, Ordering::Relaxed);
+            Some(occurrence)
+        } else {
+            None
+        }
+    }
+
+    /// How many times `site` has been checked.
+    pub fn occurrences(&self, site: FaultSite) -> u64 {
+        self.occurrences[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// How many times `site` actually fired.
+    pub fn fired(&self, site: FaultSite) -> u64 {
+        self.fired[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults fired across all sites.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().map(|f| f.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Serializes tests that install the process-global worker-fault hook
+/// (the rayon shim has exactly one hook slot per process).
+fn worker_guard_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// RAII installer of the [`FaultSite::WorkerPanic`] hook.
+///
+/// While the guard lives, pool jobs submitted from the installing thread
+/// (and, transitively, jobs those jobs submit) consult `plan` before
+/// running and panic with [`InjectedFault`] when it fires. The guard
+/// holds a process-global lock so concurrent tests cannot fight over the
+/// single hook slot, arms the installing thread, and uninstalls the hook
+/// on drop.
+#[must_use = "dropping the guard uninstalls the worker fault hook"]
+pub struct WorkerFaultGuard {
+    _arm: rayon::FaultArmGuard,
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl WorkerFaultGuard {
+    /// Installs the hook for `plan` and arms the current thread.
+    pub fn install(plan: Arc<FaultPlan>) -> Self {
+        let serial = worker_guard_lock();
+        rayon::set_fault_hook(Some(Arc::new(move || {
+            if let Some(occurrence) = plan.should_fire(FaultSite::WorkerPanic) {
+                std::panic::panic_any(InjectedFault {
+                    site: FaultSite::WorkerPanic,
+                    occurrence,
+                });
+            }
+        })));
+        WorkerFaultGuard {
+            _arm: rayon::arm_fault_hook(),
+            _serial: serial,
+        }
+    }
+}
+
+impl Drop for WorkerFaultGuard {
+    fn drop(&mut self) {
+        rayon::set_fault_hook(None);
+    }
+}
+
+impl Machine {
+    /// Checks `site` against the machine's fault plan (if any) and panics
+    /// with [`InjectedFault`] when it fires. Called by the owning layer of
+    /// each panicking site — e.g. the round driver at the top of every
+    /// step. A machine without a plan (the default) checks nothing.
+    pub fn check_fault(&self, site: FaultSite) {
+        if let Some(plan) = self.fault_plan() {
+            if let Some(occurrence) = plan.should_fire(site) {
+                std::panic::panic_any(InjectedFault { site, occurrence });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let plan = FaultPlan::disabled();
+        for site in FaultSite::ALL {
+            for _ in 0..100 {
+                assert_eq!(plan.should_fire(site), None);
+            }
+            assert_eq!(plan.occurrences(site), 100);
+            assert_eq!(plan.fired(site), 0);
+        }
+        assert_eq!(plan.total_fired(), 0);
+    }
+
+    #[test]
+    fn once_at_fires_exactly_once() {
+        let plan = FaultPlan::once_at(FaultSite::RoundAbort, 3);
+        let fired: Vec<u64> = (0..10)
+            .filter_map(|_| plan.should_fire(FaultSite::RoundAbort))
+            .collect();
+        assert_eq!(fired, vec![3]);
+        assert_eq!(plan.fired(FaultSite::RoundAbort), 1);
+        // Other sites untouched.
+        assert_eq!(plan.should_fire(FaultSite::ArenaOverflow), None);
+    }
+
+    #[test]
+    fn seeded_decisions_are_reproducible_and_seed_sensitive() {
+        let decide = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::seeded(seed, 0.3);
+            (0..200)
+                .map(|_| plan.should_fire(FaultSite::RoundAbort).is_some())
+                .collect()
+        };
+        let a = decide(42);
+        assert_eq!(a, decide(42), "same seed must replay identically");
+        assert_ne!(a, decide(43), "different seeds should differ");
+        let rate = a.iter().filter(|&&f| f).count();
+        assert!((20..=100).contains(&rate), "rate 0.3 fired {rate}/200");
+    }
+
+    #[test]
+    fn sites_fire_independently_under_one_seed() {
+        let fires = |site: FaultSite| -> Vec<bool> {
+            let plan = FaultPlan::seeded(7, 0.5);
+            (0..64).map(|_| plan.should_fire(site).is_some()).collect()
+        };
+        assert_ne!(fires(FaultSite::WorkerPanic), fires(FaultSite::RoundAbort));
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_independent() {
+        let parent = FaultPlan::seeded(99, 0.4);
+        let sample = |plan: &FaultPlan| -> Vec<bool> {
+            (0..64)
+                .map(|_| plan.should_fire(FaultSite::RoundAbort).is_some())
+                .collect()
+        };
+        let a1 = sample(&parent.fork(1));
+        let a2 = sample(&parent.fork(1));
+        let b = sample(&parent.fork(2));
+        assert_eq!(a1, a2, "same fork salt must replay identically");
+        assert_ne!(a1, b, "different fork salts should differ");
+        // Forking leaves the parent's counters untouched.
+        assert_eq!(parent.occurrences(FaultSite::RoundAbort), 0);
+    }
+
+    #[test]
+    fn machine_without_plan_checks_nothing() {
+        let m = Machine::sequential();
+        for _ in 0..10 {
+            m.check_fault(FaultSite::RoundAbort); // must not panic
+        }
+    }
+
+    #[test]
+    fn machine_check_fault_panics_with_typed_payload() {
+        let plan = Arc::new(FaultPlan::once_at(FaultSite::RoundAbort, 1));
+        let m = Machine::sequential().with_fault_plan(plan.clone());
+        m.check_fault(FaultSite::RoundAbort); // occurrence 0: no fire
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.check_fault(FaultSite::RoundAbort)
+        }))
+        .expect_err("occurrence 1 must fire");
+        let fault = caught
+            .downcast_ref::<InjectedFault>()
+            .expect("payload is InjectedFault");
+        assert_eq!(
+            *fault,
+            InjectedFault {
+                site: FaultSite::RoundAbort,
+                occurrence: 1
+            }
+        );
+        assert_eq!(plan.fired(FaultSite::RoundAbort), 1);
+        // The machine stays usable after the unwound check.
+        m.check_fault(FaultSite::RoundAbort);
+        assert_eq!(plan.occurrences(FaultSite::RoundAbort), 3);
+    }
+
+    #[test]
+    fn worker_guard_kills_and_restores() {
+        let plan = Arc::new(FaultPlan::always(FaultSite::WorkerPanic));
+        {
+            let _guard = WorkerFaultGuard::install(plan.clone());
+            let caught = std::panic::catch_unwind(|| {
+                rayon::pool::run_indexed(8, &|_| {});
+            });
+            assert!(caught.is_err(), "armed pool jobs must die");
+        }
+        assert!(plan.fired(FaultSite::WorkerPanic) >= 1);
+        let before = plan.occurrences(FaultSite::WorkerPanic);
+        // Guard dropped: the pool is healthy again and the plan is no
+        // longer consulted.
+        rayon::pool::run_indexed(8, &|_| {});
+        assert_eq!(plan.occurrences(FaultSite::WorkerPanic), before);
+    }
+}

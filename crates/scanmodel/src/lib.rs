@@ -57,6 +57,7 @@
 pub mod arena;
 pub mod error;
 pub mod expand;
+pub mod fault;
 pub mod fused;
 pub mod machine;
 pub mod ops;
@@ -70,6 +71,7 @@ pub mod vector;
 pub use arena::ScratchArena;
 pub use error::ScanModelError;
 pub use expand::FanoutLayout;
+pub use fault::{FaultMode, FaultPlan, FaultSite, InjectedFault, WorkerFaultGuard};
 pub use fused::{FusedElement, FusedOp};
 pub use machine::{Backend, Machine, OpStats, RoundTrace, StatsSnapshot, MAX_ROUND_TRACES};
 pub use scan::{Direction, ScanKind};

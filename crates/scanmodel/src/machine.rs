@@ -14,6 +14,7 @@
 //! than wall-clock time alone.
 
 use crate::arena::ScratchArena;
+use crate::fault::{FaultPlan, FaultSite};
 use crate::fused::{self, FusedElement, FusedOp};
 use crate::ops::{CombineOp, Element};
 use crate::par::{self, PAR_THRESHOLD};
@@ -22,7 +23,7 @@ use crate::scan::{scan_seq_into, Direction, ScanKind};
 use crate::vector::Segments;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Execution backend for primitive operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -152,6 +153,7 @@ pub struct Machine {
     stats: OpStats,
     scratch: Mutex<ScratchArena>,
     traces: Mutex<Vec<RoundTrace>>,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for Machine {
@@ -170,6 +172,7 @@ impl Machine {
             stats: OpStats::default(),
             scratch: Mutex::new(ScratchArena::new()),
             traces: Mutex::new(Vec::new()),
+            fault_plan: None,
         }
     }
 
@@ -188,6 +191,20 @@ impl Machine {
     pub fn with_par_threshold(mut self, threshold: usize) -> Self {
         self.par_threshold = threshold;
         self
+    }
+
+    /// Attaches a [`FaultPlan`] consulted at the machine's fault sites
+    /// (arena pressure at round boundaries via [`Machine::bump_rounds`],
+    /// plus any site checked through [`Machine::check_fault`]). Machines
+    /// without a plan skip all checks.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault_plan.as_ref()
     }
 
     /// The configured backend.
@@ -308,7 +325,17 @@ impl Machine {
     /// round's peak buffers are released within a few subsequent rounds.
     pub fn bump_rounds(&self) {
         self.stats.rounds.fetch_add(1, Ordering::Relaxed);
-        self.scratch.lock().expect("machine arena poisoned").decay();
+        let mut scratch = self.scratch.lock().expect("machine arena poisoned");
+        // The arena-overflow fault site lives at the round boundary: the
+        // plan can clamp the arena to its minimum cap and evict everything,
+        // simulating a pathological round's memory pressure. Recoverable by
+        // construction — subsequent leases just re-allocate.
+        if let Some(plan) = &self.fault_plan {
+            if plan.should_fire(FaultSite::ArenaOverflow).is_some() {
+                scratch.inject_pressure();
+            }
+        }
+        scratch.decay();
     }
 
     /// Records one elementwise operation performed by composite-algorithm

@@ -6,7 +6,7 @@
 //! load_driver [--workload uniform|clustered|roads|rings|paper]
 //!             [--segments N] [--requests N] [--shards G] [--threads T]
 //!             [--flush N] [--batch N] [--seed S] [--sequential]
-//!             [--overlay N] [--self-check]
+//!             [--overlay N] [--fault-seed S] [--fault-rate R] [--self-check]
 //! ```
 //!
 //! The stream is split across `T` driver threads; each thread slices its
@@ -15,17 +15,22 @@
 //! deliver them. `--overlay N` builds a second segment layer of `N`
 //! segments and folds windowed `Join` requests into the stream; the
 //! per-shard frontier-join round table is printed after the run.
+//! `--fault-seed S` attaches a seeded `FaultPlan` (round aborts and
+//! arena overflows at `--fault-rate`, default 0.01) so the run exercises
+//! the recovery ladder; recovery events are printed after the run.
 //! `--self-check` re-runs a sample of the stream against brute force
-//! after the timed run.
+//! after the timed run — it also passes under injected faults, since
+//! recovered and degraded shards answer bit-identically.
 
 use dp_geom::Rect;
-use dp_service::{brute_knearest, QueryService, QueryServiceConfig, Response};
+use dp_service::{brute_knearest, QueryService, QueryServiceConfig};
 use dp_spatial::join::brute_force_join_in;
 use dp_workloads::{
     clustered_segments, paper_dataset, paper_world, polygon_rings, request_stream, road_network,
     uniform_segments, Dataset, Request, RequestMix,
 };
-use scan_model::Backend;
+use scan_model::{Backend, FaultMode, FaultPlan, FaultSite};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Args {
@@ -39,6 +44,8 @@ struct Args {
     seed: u64,
     sequential: bool,
     overlay: usize,
+    fault_seed: Option<u64>,
+    fault_rate: f64,
     self_check: bool,
 }
 
@@ -54,6 +61,8 @@ fn parse_args() -> Args {
         seed: 42,
         sequential: false,
         overlay: 0,
+        fault_seed: None,
+        fault_rate: 0.01,
         self_check: false,
     };
     let mut it = std::env::args().skip(1);
@@ -78,13 +87,19 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value("--seed").parse().expect("--seed"),
             "--sequential" => args.sequential = true,
             "--overlay" => args.overlay = value("--overlay").parse().expect("--overlay"),
+            "--fault-seed" => {
+                args.fault_seed = Some(value("--fault-seed").parse().expect("--fault-seed"))
+            }
+            "--fault-rate" => {
+                args.fault_rate = value("--fault-rate").parse().expect("--fault-rate")
+            }
             "--self-check" => args.self_check = true,
             "--help" | "-h" => {
                 println!(
                     "usage: load_driver [--workload uniform|clustered|roads|rings|paper] \
                      [--segments N] [--requests N] [--shards G] [--threads T] \
                      [--flush N] [--batch N] [--seed S] [--sequential] \
-                     [--overlay N] [--self-check]"
+                     [--overlay N] [--fault-seed S] [--fault-rate R] [--self-check]"
                 );
                 std::process::exit(0);
             }
@@ -145,13 +160,40 @@ fn main() {
         );
     }
 
+    let plan = match args.fault_seed {
+        Some(seed) => {
+            println!(
+                "fault plan: seed {seed}, round-abort + arena-overflow at rate {}",
+                args.fault_rate
+            );
+            Arc::new(
+                FaultPlan::new(seed)
+                    .with(
+                        FaultSite::RoundAbort,
+                        FaultMode::Seeded {
+                            rate: args.fault_rate,
+                        },
+                    )
+                    .with(
+                        FaultSite::ArenaOverflow,
+                        FaultMode::Seeded {
+                            rate: args.fault_rate,
+                        },
+                    ),
+            )
+        }
+        None => Arc::new(FaultPlan::disabled()),
+    };
+
     let t0 = Instant::now();
-    let service = QueryService::build_with_overlay(
+    let service = QueryService::try_build_with_faults(
         config,
         data.world,
         data.segs.clone(),
         overlay_segs.clone(),
-    );
+        plan,
+    )
+    .unwrap_or_else(|e| panic!("service build rejected: {e}"));
     println!(
         "built {} shards in {:.1} ms",
         service.num_shards(),
@@ -222,12 +264,27 @@ fn main() {
             println!("flush latency p{:<4} < {} µs", (q * 100.0) as u32, us);
         }
     }
-    println!("per-shard (segments / probes / batches / max queue):");
+    println!("per-shard (segments / probes / batches / max queue / retries / rebuilds / faults):");
     for s in &stats.shards {
         println!(
-            "  shard {:>3}: {:>7} / {:>7} / {:>5} / {:>6}",
-            s.shard, s.segments, s.probes, s.batches, s.max_queue_depth
+            "  shard {:>3}: {:>7} / {:>7} / {:>5} / {:>6} / {:>4} / {:>4} / {:>4}{}",
+            s.shard,
+            s.segments,
+            s.probes,
+            s.batches,
+            s.max_queue_depth,
+            s.retries,
+            s.rebuilds,
+            s.faults_injected,
+            if s.degraded { "  [degraded]" } else { "" }
         );
+    }
+    let events = service.recovery_events();
+    if !events.is_empty() {
+        println!("recovery events ({}):", events.len());
+        for e in &events {
+            println!("  shard {:>3}: {:?} — {}", e.shard, e.action, e.error);
+        }
     }
     if stats.join_requests > 0 {
         println!(
@@ -248,36 +305,47 @@ fn main() {
     if args.self_check {
         let sample: Vec<Request> = stream.iter().step_by(97).copied().collect();
         let out = service.execute_batch(&sample);
-        for (r, resp) in sample.iter().zip(&out) {
-            match (r, resp) {
-                (Request::Window(q), Response::Window(ids)) => {
+        for (i, (r, resp)) in sample.iter().zip(&out).enumerate() {
+            match r {
+                Request::Window(q) => {
                     let brute: Vec<u32> = (0..data.segs.len() as u32)
                         .filter(|&id| {
                             dp_geom::clip_segment_closed(&data.segs[id as usize], q).is_some()
                         })
                         .collect();
-                    assert_eq!(*ids, brute, "window {q}");
+                    let ids = resp
+                        .try_window(i)
+                        .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
+                    assert_eq!(ids, brute, "window {q}");
                 }
-                (Request::PointInWindow(p), Response::PointInWindow(ids)) => {
+                Request::PointInWindow(p) => {
                     let q = Rect::point(*p);
                     let brute: Vec<u32> = (0..data.segs.len() as u32)
                         .filter(|&id| {
                             dp_geom::clip_segment_closed(&data.segs[id as usize], &q).is_some()
                         })
                         .collect();
-                    assert_eq!(*ids, brute, "point {p:?}");
+                    let ids = resp
+                        .try_point_in_window(i)
+                        .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
+                    assert_eq!(ids, brute, "point {p:?}");
                 }
-                (Request::KNearest { p, k }, Response::KNearest(found)) => {
-                    assert_eq!(*found, brute_knearest(&data.segs, *p, *k));
+                Request::KNearest { p, k } => {
+                    let found = resp
+                        .try_knearest(i)
+                        .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
+                    assert_eq!(found, brute_knearest(&data.segs, *p, *k));
                 }
-                (Request::Join(q), Response::Join(pairs)) => {
+                Request::Join(q) => {
+                    let pairs = resp
+                        .try_join(i)
+                        .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
                     assert_eq!(
-                        *pairs,
+                        pairs,
                         brute_force_join_in(&data.segs, &overlay_segs, q),
                         "join window {q}"
                     );
                 }
-                other => panic!("response kind mismatch: {other:?}"),
             }
         }
         println!("self-check OK over {} sampled requests", sample.len());

@@ -1,4 +1,4 @@
-//! # dp-service — a sharded concurrent query service over the batch engine
+//! # dp-service — a sharded, crash-tolerant query service over the batch engine
 //!
 //! The paper's batch primitives turn *many queries* into one lockstep
 //! data-parallel descent ([`dp_spatial::batch`]). This crate wraps that
@@ -41,25 +41,60 @@
 //! from the centre always intersects the square of half-width `d`, a
 //! k-th best distance `≤ r` proves no unseen segment can do better.
 //!
+//! ## Crash tolerance
+//!
+//! No failure on the request path aborts the process. The service is
+//! typed-fallible end to end:
+//!
+//! * **Validation.** Unanswerable requests (non-finite windows or points,
+//!   `k = 0`) are rejected per slot with
+//!   [`Response::Rejected`]`(`[`SpatialError::MalformedRequest`]`)` —
+//!   neighbouring requests in the batch are unaffected.
+//! * **Isolation.** Every per-shard unit of work (a probe chunk, a join
+//!   computation, a shard build) runs under `catch_unwind`, so a panic —
+//!   injected or genuine — is confined to the shard that raised it.
+//! * **Recovery ladder.** A crashed unit is retried up to
+//!   [`RETRY_LIMIT`] times with a deterministic spin backoff (no wall
+//!   clock); if it keeps crashing, the shard is **rebuilt** from its
+//!   assigned segments on a fresh machine; if even that fails, the shard
+//!   is marked **degraded**: its index is dropped and every probe routed
+//!   to it is answered by the sequential oracle (an exact per-segment
+//!   clip test over the shard's assignment), so answers stay correct —
+//!   and differentially checkable — at reduced speed. Each rung is
+//!   recorded as a [`RecoveryEvent`] and surfaced in [`ShardStats`]
+//!   (`degraded`, `retries`, `rebuilds`, `faults_injected`).
+//! * **Determinism.** Faults are injected only through a seeded
+//!   [`scan_model::FaultPlan`] ([`QueryService::try_build_with_faults`]),
+//!   forked per shard so occurrence indices count per shard and the same
+//!   plan replays the same faults regardless of thread schedule.
+//!
 //! Results are **byte-identical** to running the same requests through a
 //! single unsharded machine — shard outputs are merged in deterministic
-//! shard order before the final sort — which is what the differential
-//! tests in `tests/` assert, per workload family and per backend.
+//! shard order before the final sort, and a recovered or degraded shard
+//! returns exactly what its healthy twin would — which is what the
+//! differential suites in `tests/` (including `tests/fault_injection.rs`)
+//! assert, per workload family, backend and fault site.
 
-use dp_geom::{LineSeg, Point, Rect};
+use dp_geom::{clip_segment_closed, LineSeg, Point, Rect};
 use dp_spatial::batch::batch_window_query;
 use dp_spatial::join::{frontier_join, pair_intersects_in};
 use dp_spatial::shard::{build_shard, ShardGrid, ShardIndex};
-use dp_spatial::SegId;
+use dp_spatial::{MalformedKind, SegId, SpatialError};
 use dp_workloads::Request;
 use rayon::prelude::*;
-use scan_model::{Backend, Machine, RoundTrace, StatsSnapshot};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use scan_model::{Backend, FaultPlan, InjectedFault, Machine, RoundTrace, StatsSnapshot};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Number of log₂-microsecond latency buckets per shard.
 pub const LATENCY_BUCKETS: usize = 32;
+
+/// Crashed shard work is retried this many times (per ladder rung) before
+/// escalating to a rebuild, and again before degrading.
+pub const RETRY_LIMIT: u32 = 2;
 
 /// Configuration of a [`QueryService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +140,20 @@ impl QueryServiceConfig {
             ..QueryServiceConfig::default()
         }
     }
+
+    fn validate(&self) -> Result<(), SpatialError> {
+        if self.shard_grid == 0 || !self.shard_grid.is_power_of_two() {
+            return Err(SpatialError::InvalidConfig {
+                reason: "shard_grid must be a positive power of two",
+            });
+        }
+        if self.capacity == 0 {
+            return Err(SpatialError::InvalidConfig {
+                reason: "bucket capacity must be at least 1",
+            });
+        }
+        Ok(())
+    }
 }
 
 /// One response, aligned with the request at the same batch position.
@@ -122,6 +171,81 @@ pub enum Response {
     /// inside the request window. Empty when the service was built
     /// without an overlay layer.
     Join(Vec<(SegId, SegId)>),
+    /// The request was unanswerable (non-finite geometry, `k = 0`) and
+    /// was rejected by per-slot validation without touching any shard.
+    Rejected(SpatialError),
+}
+
+impl Response {
+    /// The window hits, or the typed error: the rejection that produced
+    /// a [`Response::Rejected`], or
+    /// [`SpatialError::ResponseKindMismatch`] when the slot holds a
+    /// different response kind. `index` is the slot position, echoed
+    /// into the mismatch error.
+    pub fn try_window(&self, index: usize) -> Result<&[SegId], SpatialError> {
+        match self {
+            Response::Window(ids) => Ok(ids),
+            Response::Rejected(e) => Err(*e),
+            _ => Err(SpatialError::ResponseKindMismatch { index }),
+        }
+    }
+
+    /// The point-probe hits (see [`Response::try_window`] for the error
+    /// contract).
+    pub fn try_point_in_window(&self, index: usize) -> Result<&[SegId], SpatialError> {
+        match self {
+            Response::PointInWindow(ids) => Ok(ids),
+            Response::Rejected(e) => Err(*e),
+            _ => Err(SpatialError::ResponseKindMismatch { index }),
+        }
+    }
+
+    /// The k-nearest answer (see [`Response::try_window`] for the error
+    /// contract).
+    pub fn try_knearest(&self, index: usize) -> Result<&[(SegId, f64)], SpatialError> {
+        match self {
+            Response::KNearest(found) => Ok(found),
+            Response::Rejected(e) => Err(*e),
+            _ => Err(SpatialError::ResponseKindMismatch { index }),
+        }
+    }
+
+    /// The join pairs (see [`Response::try_window`] for the error
+    /// contract).
+    pub fn try_join(&self, index: usize) -> Result<&[(SegId, SegId)], SpatialError> {
+        match self {
+            Response::Join(pairs) => Ok(pairs),
+            Response::Rejected(e) => Err(*e),
+            _ => Err(SpatialError::ResponseKindMismatch { index }),
+        }
+    }
+}
+
+/// Which rung of the recovery ladder a [`RecoveryEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// The crashed unit was re-run on the same shard core (the `n`-th
+    /// retry of its ladder rung, 1-based).
+    Retry(u32),
+    /// The shard was rebuilt from its assigned segments on a fresh
+    /// machine.
+    Rebuild,
+    /// The shard gave up: its index was dropped and the sequential
+    /// oracle answers for it from now on.
+    Degrade,
+}
+
+/// One recovery decision taken by the service, in the order observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEvent {
+    /// Row-major shard slot the event concerns.
+    pub shard: usize,
+    /// Which ladder rung was taken.
+    pub action: RecoveryAction,
+    /// Best-effort cause: the typed form of the caught panic for
+    /// retries/rebuilds, [`SpatialError::ShardUnavailable`] for
+    /// degradations.
+    pub error: SpatialError,
 }
 
 /// Interior-mutable per-shard counters.
@@ -186,8 +310,19 @@ pub struct ShardStats {
     pub arena_hits: u64,
     /// Per-round telemetry of the shard's index build, captured at
     /// construction time (one [`RoundTrace`] per subdivision round; not
-    /// affected by [`QueryService::reset_stats`]).
+    /// affected by [`QueryService::reset_stats`]). Empty when the build
+    /// itself degraded.
     pub build_trace: Vec<RoundTrace>,
+    /// The shard gave up on its index and answers via the sequential
+    /// oracle (see the crate docs' recovery ladder).
+    pub degraded: bool,
+    /// Crashed work units re-run on the same core.
+    pub retries: u64,
+    /// Times the shard was rebuilt from segments on a fresh machine.
+    pub rebuilds: u64,
+    /// Faults the shard's [`FaultPlan`] fork has injected, across all
+    /// sites (0 without fault injection).
+    pub faults_injected: u64,
     /// Telemetry of the shard's base×overlay frontier join. `None` until
     /// the first `Join` request touches the shard (the join is computed
     /// lazily and cached) or when the service has no overlay layer.
@@ -216,7 +351,8 @@ pub struct ShardJoinStats {
 pub struct ServiceStats {
     /// One entry per shard.
     pub shards: Vec<ShardStats>,
-    /// Requests accepted by [`QueryService::execute_batch`].
+    /// Requests accepted by [`QueryService::execute_batch`] (rejected
+    /// slots included — they were received, then refused).
     pub requests: u64,
     /// Expanding-window rounds spent on k-nearest requests.
     pub knn_rounds: u64,
@@ -225,16 +361,32 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    /// Total window probes across shards (≥ `requests`: a request fans
-    /// out to every overlapping shard, and k-NN requests probe once per
-    /// round).
+    /// Total window probes across shards (≥ answered window requests: a
+    /// request fans out to every overlapping shard, and k-NN requests
+    /// probe once per round).
     pub fn total_probes(&self) -> u64 {
         self.shards.iter().map(|s| s.probes).sum()
+    }
+
+    /// The busiest shard's probe count — `0` for a service with no
+    /// shards or no traffic (never panics, unlike `max().unwrap()`).
+    pub fn max_shard_probes(&self) -> u64 {
+        self.shards.iter().map(|s| s.probes).max().unwrap_or(0)
     }
 
     /// Total scan-model primitives across all shard machines.
     pub fn total_primitives(&self) -> u64 {
         self.shards.iter().map(|s| s.ops.total_primitives()).sum()
+    }
+
+    /// Shards currently degraded to the sequential oracle.
+    pub fn degraded_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.degraded).count()
+    }
+
+    /// Total faults injected across all shard fault-plan forks.
+    pub fn total_faults_injected(&self) -> u64 {
+        self.shards.iter().map(|s| s.faults_injected).sum()
     }
 
     /// Approximate latency quantile over all per-shard flushes: the upper
@@ -273,21 +425,67 @@ struct ShardJoin {
     trace: Vec<RoundTrace>,
 }
 
+impl ShardJoin {
+    fn empty() -> Self {
+        ShardJoin {
+            pairs: Vec::new(),
+            rounds: 0,
+            frontier_peak: 0,
+            pairs_tested: 0,
+            trace: Vec::new(),
+        }
+    }
+}
+
+/// The swappable heart of a shard. Everything is behind an `Arc` so a
+/// query thread can *snapshot* the core under a brief lock, run the
+/// actual machine work with no lock held (holding a shard lock across
+/// pool work can self-deadlock when the holder help-drains another
+/// batch's job for the same shard), and a recovering thread can swap in
+/// a rebuilt core underneath it.
+#[derive(Clone)]
+struct ShardCore {
+    machine: Arc<Machine>,
+    /// `None` once the shard has degraded to the sequential oracle.
+    index: Option<Arc<ShardIndex>>,
+    overlay: Option<Arc<ShardIndex>>,
+    /// The cached base×overlay join (first computation wins).
+    join: Option<Arc<ShardJoin>>,
+}
+
 struct Shard {
-    index: ShardIndex,
-    /// Overlay-layer index over the same tile (and the same full-world
-    /// tree span, so base and overlay trees are aligned for the frontier
-    /// join). `None` when the service has no overlay.
-    overlay: Option<ShardIndex>,
-    machine: Machine,
+    /// The shard's tile (kept outside the core so stats work when the
+    /// index is gone).
+    tile: Rect,
+    /// Global ids of base segments assigned to this shard — the rebuild
+    /// source and the oracle's scan list.
+    assigned: Vec<SegId>,
+    /// Global ids of overlay segments assigned to this shard.
+    overlay_assigned: Vec<SegId>,
+    /// This shard's fork of the service fault plan (occurrence indices
+    /// count per shard, so injection is schedule-independent).
+    plan: Arc<FaultPlan>,
     counters: ShardCounters,
-    /// Round-driver telemetry of this shard's build, drained from the
-    /// machine right after construction (so later batch work and stat
-    /// resets cannot disturb it).
+    retries: AtomicU64,
+    rebuilds: AtomicU64,
+    degraded: AtomicBool,
+    /// Round-driver telemetry of this shard's (first successful) build,
+    /// drained from the machine right after construction.
     build_trace: Vec<RoundTrace>,
-    /// The shard's base×overlay join, computed on first use by
-    /// [`QueryService::shard_join`].
-    join: OnceLock<ShardJoin>,
+    core: Mutex<ShardCore>,
+}
+
+impl Shard {
+    fn lock_core(&self) -> MutexGuard<'_, ShardCore> {
+        // A panic while the lock was held cannot corrupt the core (it
+        // only holds Arcs swapped atomically under the lock), so poison
+        // is safe to clear.
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn snapshot(&self) -> ShardCore {
+        self.lock_core().clone()
+    }
 }
 
 /// The sharded query service. Cheap to share by reference across threads:
@@ -295,6 +493,7 @@ struct Shard {
 pub struct QueryService {
     config: QueryServiceConfig,
     grid: ShardGrid,
+    world: Rect,
     shards: Vec<Shard>,
     segs: Vec<LineSeg>,
     /// Overlay segment collection (empty without an overlay layer);
@@ -303,6 +502,188 @@ pub struct QueryService {
     requests: AtomicU64,
     knn_rounds: AtomicU64,
     join_requests: AtomicU64,
+    events: Mutex<Vec<RecoveryEvent>>,
+}
+
+/// Maps a caught panic payload to its typed cause: injected faults keep
+/// their site and occurrence; anything else becomes a generic
+/// shard-unavailable cause.
+fn error_from_panic(shard: usize, attempts: u32, payload: &(dyn Any + Send)) -> SpatialError {
+    match payload.downcast_ref::<InjectedFault>() {
+        Some(f) => SpatialError::FaultInjected {
+            site: f.site,
+            occurrence: f.occurrence,
+        },
+        None => SpatialError::ShardUnavailable { shard, attempts },
+    }
+}
+
+/// Deterministic backoff: a bounded spin that grows with the attempt
+/// number. No wall clock, so recovery timing cannot perturb the seeded
+/// fault streams or make replays diverge.
+fn backoff(attempt: u32) {
+    for _ in 0..(1u64 << attempt.min(8)) * 64 {
+        std::hint::spin_loop();
+    }
+}
+
+fn make_machine(config: &QueryServiceConfig, plan: &Arc<FaultPlan>) -> Machine {
+    let machine = match config.par_threshold {
+        Some(t) => Machine::new(config.backend).with_par_threshold(t),
+        None => Machine::new(config.backend),
+    };
+    machine.with_fault_plan(plan.clone())
+}
+
+/// Per-slot request validation: `Some(error)` when the request can never
+/// be answered. Windows reaching outside the world are *not* rejected —
+/// the service clips them naturally via routing plus exact filters.
+fn validate_request(index: usize, r: &Request) -> Option<SpatialError> {
+    // The canonical empty rect (`Rect::empty()`) is deliberately built
+    // from infinities and is a well-defined request that matches nothing;
+    // NaN corners fail `is_empty`'s comparisons, so poisoned rects are
+    // still caught.
+    let malformed_rect = |q: &Rect| {
+        let finite = q.min.x.is_finite()
+            && q.min.y.is_finite()
+            && q.max.x.is_finite()
+            && q.max.y.is_finite();
+        !finite && !q.is_empty()
+    };
+    let finite_point = |p: &Point| p.x.is_finite() && p.y.is_finite();
+    match r {
+        Request::Window(q) | Request::Join(q) if malformed_rect(q) => {
+            Some(SpatialError::MalformedRequest {
+                index,
+                kind: MalformedKind::NonFiniteWindow,
+            })
+        }
+        Request::PointInWindow(p) if !finite_point(p) => Some(SpatialError::MalformedRequest {
+            index,
+            kind: MalformedKind::NonFinitePoint,
+        }),
+        Request::KNearest { k: 0, .. } => Some(SpatialError::MalformedRequest {
+            index,
+            kind: MalformedKind::ZeroK,
+        }),
+        Request::KNearest { p, .. } if !finite_point(p) => Some(SpatialError::MalformedRequest {
+            index,
+            kind: MalformedKind::NonFinitePoint,
+        }),
+        _ => None,
+    }
+}
+
+/// What one shard's fault-tolerant build produced.
+struct ShardBuild {
+    core: ShardCore,
+    build_trace: Vec<RoundTrace>,
+    events: Vec<RecoveryEvent>,
+    retries: u64,
+    degraded: bool,
+}
+
+/// Builds one shard's core, riding the recovery ladder: up to
+/// `1 + RETRY_LIMIT` attempts (each on a fresh machine — the shared plan
+/// keeps its occurrence counters, so a once-at fault does not re-fire),
+/// then degradation (core with no index).
+#[allow(clippy::too_many_arguments)]
+fn build_core_recovering(
+    config: &QueryServiceConfig,
+    world: Rect,
+    segs: &[LineSeg],
+    overlay_segs: &[LineSeg],
+    tile: Rect,
+    assigned: &[SegId],
+    overlay_assigned: &[SegId],
+    plan: &Arc<FaultPlan>,
+    shard_no: usize,
+) -> ShardBuild {
+    let mut events = Vec::new();
+    let mut retries = 0u64;
+    for attempt in 0..=RETRY_LIMIT {
+        let machine = make_machine(config, plan);
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            let index = build_shard(
+                &machine,
+                world,
+                tile,
+                segs,
+                assigned,
+                config.capacity,
+                config.max_depth,
+            );
+            let trace = machine.take_round_traces();
+            let overlay = if overlay_segs.is_empty() {
+                None
+            } else {
+                let idx = build_shard(
+                    &machine,
+                    world,
+                    tile,
+                    overlay_segs,
+                    overlay_assigned,
+                    config.capacity,
+                    config.max_depth,
+                );
+                // The overlay build's traces are not part of the base
+                // build table; the join's own trace is captured when the
+                // join first runs.
+                machine.take_round_traces();
+                Some(Arc::new(idx))
+            };
+            (index, trace, overlay)
+        }));
+        match built {
+            Ok((index, build_trace, overlay)) => {
+                return ShardBuild {
+                    core: ShardCore {
+                        machine: Arc::new(machine),
+                        index: Some(Arc::new(index)),
+                        overlay,
+                        join: None,
+                    },
+                    build_trace,
+                    events,
+                    retries,
+                    degraded: false,
+                };
+            }
+            Err(payload) => {
+                let cause = error_from_panic(shard_no, attempt + 1, payload.as_ref());
+                if attempt < RETRY_LIMIT {
+                    retries += 1;
+                    events.push(RecoveryEvent {
+                        shard: shard_no,
+                        action: RecoveryAction::Retry(attempt + 1),
+                        error: cause,
+                    });
+                    backoff(attempt + 1);
+                } else {
+                    events.push(RecoveryEvent {
+                        shard: shard_no,
+                        action: RecoveryAction::Degrade,
+                        error: SpatialError::ShardUnavailable {
+                            shard: shard_no,
+                            attempts: RETRY_LIMIT + 1,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    ShardBuild {
+        core: ShardCore {
+            machine: Arc::new(make_machine(config, plan)),
+            index: None,
+            overlay: None,
+            join: None,
+        },
+        build_trace: Vec::new(),
+        events,
+        retries,
+        degraded: true,
+    }
 }
 
 impl QueryService {
@@ -312,12 +693,11 @@ impl QueryService {
     ///
     /// # Panics
     ///
-    /// Panics if `config.shard_grid` is not a power of two, if
-    /// `config.capacity` is zero, or if any segment endpoint lies outside
-    /// the half-open `world` (the build precondition of
-    /// [`dp_spatial::bucket_pmr::build_bucket_pmr`]).
+    /// Panics on the validation errors [`QueryService::try_build`]
+    /// reports (invalid shard grid or capacity, segments outside the
+    /// half-open `world`).
     pub fn build(config: QueryServiceConfig, world: Rect, segs: Vec<LineSeg>) -> Self {
-        QueryService::build_with_overlay(config, world, segs, Vec::new())
+        QueryService::try_build(config, world, segs).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// [`QueryService::build`] plus a second *overlay* layer of segments,
@@ -328,70 +708,133 @@ impl QueryService {
     /// Both layers' shard trees span the full world, so each shard's base
     /// and overlay quadtrees are aligned decompositions — exactly the
     /// precondition of [`frontier_join`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the validation errors
+    /// [`QueryService::try_build_with_overlay`] reports.
     pub fn build_with_overlay(
         config: QueryServiceConfig,
         world: Rect,
         segs: Vec<LineSeg>,
         overlay: Vec<LineSeg>,
     ) -> Self {
+        QueryService::try_build_with_overlay(config, world, segs, overlay)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`QueryService::build`]: validates the configuration and
+    /// every segment endpoint before any shard work, returning a typed
+    /// [`SpatialError`] instead of panicking.
+    pub fn try_build(
+        config: QueryServiceConfig,
+        world: Rect,
+        segs: Vec<LineSeg>,
+    ) -> Result<Self, SpatialError> {
+        QueryService::try_build_with_overlay(config, world, segs, Vec::new())
+    }
+
+    /// Fallible [`QueryService::build_with_overlay`].
+    pub fn try_build_with_overlay(
+        config: QueryServiceConfig,
+        world: Rect,
+        segs: Vec<LineSeg>,
+        overlay: Vec<LineSeg>,
+    ) -> Result<Self, SpatialError> {
+        QueryService::try_build_with_faults(
+            config,
+            world,
+            segs,
+            overlay,
+            Arc::new(FaultPlan::disabled()),
+        )
+    }
+
+    /// [`QueryService::try_build_with_overlay`] under a fault plan: each
+    /// shard gets a [`FaultPlan::fork`] of `plan` (salted by its shard
+    /// index) attached to its machine, so round aborts, arena overflows
+    /// and — with an armed worker hook — pool panics are injected
+    /// deterministically per shard. `Err` is returned only for
+    /// validation failures; shards whose *builds* keep crashing degrade
+    /// to the oracle instead of failing construction.
+    pub fn try_build_with_faults(
+        config: QueryServiceConfig,
+        world: Rect,
+        segs: Vec<LineSeg>,
+        overlay: Vec<LineSeg>,
+        plan: Arc<FaultPlan>,
+    ) -> Result<Self, SpatialError> {
+        config.validate()?;
+        for (index, s) in segs.iter().chain(overlay.iter()).enumerate() {
+            if !(world.contains_half_open(s.a) && world.contains_half_open(s.b)) {
+                return Err(SpatialError::SegmentOutsideWorld {
+                    index: index % segs.len().max(1),
+                });
+            }
+        }
         let grid = ShardGrid::new(world, config.shard_grid);
         let assignment = grid.assign_segments(&segs);
         let overlay_assignment = grid.assign_segments(&overlay);
-        let shards: Vec<Shard> = (0..grid.num_shards())
-            .into_par_iter()
-            .map(|i| {
-                let machine = match config.par_threshold {
-                    Some(t) => Machine::new(config.backend).with_par_threshold(t),
-                    None => Machine::new(config.backend),
-                };
-                let index = build_shard(
-                    &machine,
-                    world,
-                    grid.tile_of(i),
-                    &segs,
-                    &assignment[i],
-                    config.capacity,
-                    config.max_depth,
-                );
-                let build_trace = machine.take_round_traces();
-                let overlay_index = if overlay.is_empty() {
-                    None
-                } else {
-                    let idx = build_shard(
-                        &machine,
-                        world,
-                        grid.tile_of(i),
-                        &overlay,
-                        &overlay_assignment[i],
-                        config.capacity,
-                        config.max_depth,
-                    );
-                    // The overlay build's traces are not part of the base
-                    // build table; the join's own trace is captured when
-                    // the join first runs.
-                    machine.take_round_traces();
-                    Some(idx)
-                };
-                Shard {
-                    index,
-                    overlay: overlay_index,
-                    machine,
-                    counters: ShardCounters::new(),
-                    build_trace,
-                    join: OnceLock::new(),
-                }
-            })
-            .collect();
-        QueryService {
+        let build_one = |i: usize| {
+            let shard_plan = Arc::new(plan.fork(i as u64));
+            let built = build_core_recovering(
+                &config,
+                world,
+                &segs,
+                &overlay,
+                grid.tile_of(i),
+                &assignment[i],
+                &overlay_assignment[i],
+                &shard_plan,
+                i,
+            );
+            let shard = Shard {
+                tile: grid.tile_of(i),
+                assigned: assignment[i].clone(),
+                overlay_assigned: overlay_assignment[i].clone(),
+                plan: shard_plan,
+                counters: ShardCounters::new(),
+                retries: AtomicU64::new(built.retries),
+                rebuilds: AtomicU64::new(0),
+                degraded: AtomicBool::new(built.degraded),
+                build_trace: built.build_trace,
+                core: Mutex::new(built.core),
+            };
+            (shard, built.events)
+        };
+        // Concurrent shard builds, with the same pre-body-fault fallback
+        // as the query fan-outs: if a worker fault escapes the fan-out
+        // itself, rebuild every shard on this thread. Partial results
+        // from the crashed fan-out are discarded and each shard's plan
+        // fork is recreated fresh, so the fallback is self-consistent
+        // (worker-fault timing is thread-schedule-dependent by nature —
+        // the seeded sites stay deterministic per shard regardless).
+        let fan_out = || -> Vec<(Shard, Vec<RecoveryEvent>)> {
+            (0..grid.num_shards())
+                .into_par_iter()
+                .map(build_one)
+                .collect()
+        };
+        let builds = catch_unwind(AssertUnwindSafe(fan_out))
+            .unwrap_or_else(|_| (0..grid.num_shards()).map(build_one).collect());
+        let mut shards = Vec::with_capacity(builds.len());
+        let mut events = Vec::new();
+        for (shard, shard_events) in builds {
+            shards.push(shard);
+            events.extend(shard_events);
+        }
+        Ok(QueryService {
             config,
             grid,
+            world,
             shards,
             segs,
             overlay_segs: overlay,
             requests: AtomicU64::new(0),
             knn_rounds: AtomicU64::new(0),
             join_requests: AtomicU64::new(0),
-        }
+            events: Mutex::new(events),
+        })
     }
 
     /// The service configuration.
@@ -420,17 +863,46 @@ impl QueryService {
         &self.overlay_segs
     }
 
+    /// Every recovery decision taken so far, in observation order (build
+    /// events first, then query-time events as they happened).
+    pub fn recovery_events(&self) -> Vec<RecoveryEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn push_event(&self, event: RecoveryEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event);
+    }
+
     /// Executes a batch of mixed requests; `out[i]` answers
     /// `requests[i]`. Deterministic: identical batches produce identical
-    /// responses regardless of backend, shard count or thread schedule.
+    /// responses regardless of backend, shard count or thread schedule —
+    /// including under injected faults, where recovered shards return
+    /// exactly what a healthy run would. Unanswerable requests come back
+    /// as [`Response::Rejected`] without disturbing their neighbours;
+    /// nothing on this path panics.
     pub fn execute_batch(&self, requests: &[Request]) -> Vec<Response> {
         self.requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        let rejections: Vec<Option<SpatialError>> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| validate_request(i, r))
+            .collect();
 
         // Window-like requests become probes immediately; k-NN requests
-        // join the expanding-window rounds afterwards.
+        // join the expanding-window rounds afterwards. Rejected slots
+        // contribute nothing.
         let mut probes: Vec<(usize, Rect)> = Vec::new();
         for (slot, r) in requests.iter().enumerate() {
+            if rejections[slot].is_some() {
+                continue;
+            }
             match r {
                 Request::Window(q) => probes.push((slot, *q)),
                 Request::PointInWindow(p) => probes.push((slot, Rect::point(*p))),
@@ -438,27 +910,28 @@ impl QueryService {
             }
         }
         let window_hits = self.run_probes(&probes);
-        let knn_answers = self.run_knn(requests);
-        let join_answers = self.run_joins(requests);
+        let knn_answers = self.run_knn(requests, &rejections);
+        let join_answers = self.run_joins(requests, &rejections);
 
         let mut window_hits = window_hits.into_iter();
         requests
             .iter()
             .enumerate()
-            .map(|(slot, r)| match r {
-                Request::Window(_) => {
-                    Response::Window(window_hits.next().expect("probe per window"))
+            .map(|(slot, r)| {
+                if let Some(e) = rejections[slot] {
+                    return Response::Rejected(e);
                 }
-                Request::PointInWindow(_) => {
-                    Response::PointInWindow(window_hits.next().expect("probe per point"))
-                }
-                Request::KNearest { .. } => Response::KNearest(
-                    knn_answers[slot]
-                        .clone()
-                        .expect("k-NN rounds answer every slot"),
-                ),
-                Request::Join(_) => {
-                    Response::Join(join_answers[slot].clone().expect("join per join request"))
+                match r {
+                    Request::Window(_) => Response::Window(window_hits.next().unwrap_or_default()),
+                    Request::PointInWindow(_) => {
+                        Response::PointInWindow(window_hits.next().unwrap_or_default())
+                    }
+                    Request::KNearest { .. } => {
+                        Response::KNearest(knn_answers[slot].clone().unwrap_or_default())
+                    }
+                    Request::Join(_) => {
+                        Response::Join(join_answers[slot].clone().unwrap_or_default())
+                    }
                 }
             })
             .collect()
@@ -474,10 +947,23 @@ impl QueryService {
                 per_shard[s].push(pi as u32);
             }
         }
-        let shard_hits: Vec<Vec<(u32, Vec<SegId>)>> = (0..self.shards.len())
-            .into_par_iter()
-            .map(|s| self.run_shard(s, &per_shard[s], probes))
-            .collect();
+        // The per-chunk ladder catches panics raised *inside* shard work,
+        // but an armed worker-fault hook fires before a pool job's body —
+        // ahead of that ladder — and surfaces here, at the fan-out
+        // itself. Fall back to draining the shards on this thread: the
+        // machine-level pool (and its faults) still engages inside each
+        // chunk, where the ladder owns recovery.
+        let run_all = || -> Vec<Vec<(u32, Vec<SegId>)>> {
+            (0..self.shards.len())
+                .into_par_iter()
+                .map(|s| self.run_shard(s, &per_shard[s], probes))
+                .collect()
+        };
+        let shard_hits = catch_unwind(AssertUnwindSafe(run_all)).unwrap_or_else(|_| {
+            (0..self.shards.len())
+                .map(|s| self.run_shard(s, &per_shard[s], probes))
+                .collect()
+        });
 
         let mut results: Vec<Vec<SegId>> = vec![Vec::new(); probes.len()];
         for hits in shard_hits {
@@ -493,8 +979,8 @@ impl QueryService {
     }
 
     /// Executes one shard's probe queue. Returns `(probe index, global
-    /// ids)` pairs; ids are shard-local hits translated through the
-    /// shard's id map, not yet deduplicated across shards.
+    /// ids)` pairs; ids are global hits not yet deduplicated across
+    /// shards.
     fn run_shard(
         &self,
         s: usize,
@@ -505,30 +991,195 @@ impl QueryService {
         shard.counters.record_queue(queue.len());
         let mut out = Vec::with_capacity(queue.len());
         for chunk in queue.chunks(self.config.flush_batch.max(1)) {
-            // The probe-window buffer leases from the shard machine's own
-            // scratch arena — the same pool the batch engine's `_into`
-            // primitives recycle through.
-            let mut rects: Vec<Rect> = shard.machine.lease();
-            rects.extend(chunk.iter().map(|&pi| probes[pi as usize].1));
-            let t0 = Instant::now();
-            let hits =
-                batch_window_query(&shard.machine, &shard.index.tree, &rects, &shard.index.segs);
-            shard.counters.record_flush(t0.elapsed().as_micros() as u64);
-            for (j, locals) in hits.into_iter().enumerate() {
-                let globals: Vec<SegId> = locals
-                    .into_iter()
-                    .map(|l| shard.index.global_ids[l as usize])
-                    .collect();
+            let rects: Vec<Rect> = chunk.iter().map(|&pi| probes[pi as usize].1).collect();
+            let hits = self.probe_chunk_recovering(s, &rects);
+            for (j, globals) in hits.into_iter().enumerate() {
                 out.push((chunk[j], globals));
             }
-            shard.machine.recycle(rects);
         }
         out
     }
 
-    /// Answers every k-NN request in `requests` by batched expanding
-    /// windows; other request kinds get `None`.
-    fn run_knn(&self, requests: &[Request]) -> Vec<Option<Vec<(SegId, f64)>>> {
+    /// One probe chunk through the recovery ladder: run on a core
+    /// snapshot (no lock held across machine work); on a caught panic
+    /// retry up to [`RETRY_LIMIT`] times, then rebuild the shard and
+    /// retry again, then degrade to the oracle. Always answers.
+    fn probe_chunk_recovering(&self, s: usize, rects: &[Rect]) -> Vec<Vec<SegId>> {
+        let shard = &self.shards[s];
+        let mut retries_left = RETRY_LIMIT;
+        let mut rebuilt = false;
+        let mut attempts = 0u32;
+        loop {
+            let core = shard.snapshot();
+            let Some(index) = core.index.clone() else {
+                return self.oracle_probe(s, rects);
+            };
+            let machine = core.machine.clone();
+            attempts += 1;
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                // The probe-window buffer leases from the shard machine's
+                // own scratch arena — the same pool the batch engine's
+                // `_into` primitives recycle through. (Lost, not leaked
+                // back, if this closure unwinds.)
+                let mut buf: Vec<Rect> = machine.lease();
+                buf.extend_from_slice(rects);
+                let t0 = Instant::now();
+                let hits = batch_window_query(&machine, &index.tree, &buf, &index.segs);
+                let micros = t0.elapsed().as_micros() as u64;
+                machine.recycle(buf);
+                (hits, micros)
+            }));
+            match run {
+                Ok((hits, micros)) => {
+                    shard.counters.record_flush(micros);
+                    return hits
+                        .into_iter()
+                        .map(|locals| {
+                            locals
+                                .into_iter()
+                                .map(|l| index.global_ids[l as usize])
+                                .collect()
+                        })
+                        .collect();
+                }
+                Err(payload) => {
+                    let cause = error_from_panic(s, attempts, payload.as_ref());
+                    if retries_left > 0 {
+                        retries_left -= 1;
+                        shard.retries.fetch_add(1, Ordering::Relaxed);
+                        self.push_event(RecoveryEvent {
+                            shard: s,
+                            action: RecoveryAction::Retry(RETRY_LIMIT - retries_left),
+                            error: cause,
+                        });
+                        backoff(RETRY_LIMIT - retries_left);
+                        continue;
+                    }
+                    if !rebuilt {
+                        rebuilt = true;
+                        retries_left = RETRY_LIMIT;
+                        match self.rebuild_shard(s) {
+                            Ok(()) => {
+                                self.push_event(RecoveryEvent {
+                                    shard: s,
+                                    action: RecoveryAction::Rebuild,
+                                    error: cause,
+                                });
+                                continue;
+                            }
+                            Err(_) => {
+                                self.degrade_shard(s, attempts + 1);
+                                return self.oracle_probe(s, rects);
+                            }
+                        }
+                    }
+                    self.degrade_shard(s, attempts);
+                    return self.oracle_probe(s, rects);
+                }
+            }
+        }
+    }
+
+    /// The degraded path: answers window probes by scanning the shard's
+    /// assigned segments with the exact closed-clip test — the same
+    /// predicate the indexed path bottoms out in, so answers are
+    /// bit-identical, just O(probes × assigned) instead of lockstep.
+    /// Pure sequential code: no machine, no pool, nothing to crash.
+    fn oracle_probe(&self, s: usize, rects: &[Rect]) -> Vec<Vec<SegId>> {
+        let shard = &self.shards[s];
+        rects
+            .iter()
+            .map(|q| {
+                shard
+                    .assigned
+                    .iter()
+                    .copied()
+                    .filter(|&id| clip_segment_closed(&self.segs[id as usize], q).is_some())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Rebuilds the shard's machine and indexes from the service's
+    /// segment collections, then swaps the new core in under a brief
+    /// lock. Runs under `catch_unwind` itself: a crashing rebuild
+    /// reports its cause instead of unwinding further. The shard's fault
+    /// plan is reused as-is — its occurrence counters persist, so a
+    /// `once_at` fault that already fired cannot re-fire during
+    /// recovery.
+    fn rebuild_shard(&self, s: usize) -> Result<(), SpatialError> {
+        let shard = &self.shards[s];
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            let machine = make_machine(&self.config, &shard.plan);
+            let index = build_shard(
+                &machine,
+                self.world,
+                shard.tile,
+                &self.segs,
+                &shard.assigned,
+                self.config.capacity,
+                self.config.max_depth,
+            );
+            machine.take_round_traces();
+            let overlay = if self.overlay_segs.is_empty() {
+                None
+            } else {
+                let idx = build_shard(
+                    &machine,
+                    self.world,
+                    shard.tile,
+                    &self.overlay_segs,
+                    &shard.overlay_assigned,
+                    self.config.capacity,
+                    self.config.max_depth,
+                );
+                machine.take_round_traces();
+                Some(Arc::new(idx))
+            };
+            (Arc::new(machine), Arc::new(index), overlay)
+        }));
+        match attempt {
+            Ok((machine, index, overlay)) => {
+                shard.rebuilds.fetch_add(1, Ordering::Relaxed);
+                let mut core = shard.lock_core();
+                core.machine = machine;
+                core.index = Some(index);
+                core.overlay = overlay;
+                // The cached join refers to the old trees; recomputing on
+                // the rebuilt (identical) trees yields identical pairs.
+                core.join = None;
+                Ok(())
+            }
+            Err(payload) => Err(error_from_panic(s, 1, payload.as_ref())),
+        }
+    }
+
+    /// Marks the shard degraded: drops its index so every subsequent
+    /// probe takes the oracle path, and records the final ladder rung.
+    fn degrade_shard(&self, s: usize, attempts: u32) {
+        let shard = &self.shards[s];
+        shard.degraded.store(true, Ordering::Relaxed);
+        {
+            let mut core = shard.lock_core();
+            core.index = None;
+            core.overlay = None;
+            core.join = None;
+        }
+        self.push_event(RecoveryEvent {
+            shard: s,
+            action: RecoveryAction::Degrade,
+            error: SpatialError::ShardUnavailable { shard: s, attempts },
+        });
+    }
+
+    /// Answers every valid k-NN request in `requests` by batched
+    /// expanding windows; other request kinds and rejected slots get
+    /// `None`.
+    fn run_knn(
+        &self,
+        requests: &[Request],
+        rejections: &[Option<SpatialError>],
+    ) -> Vec<Option<Vec<(SegId, f64)>>> {
         let mut answers: Vec<Option<Vec<(SegId, f64)>>> = vec![None; requests.len()];
         let world = self.grid.world();
         // Initial half-width: a quarter tile, so round one stays local.
@@ -537,7 +1188,9 @@ impl QueryService {
             .iter()
             .enumerate()
             .filter_map(|(slot, r)| match r {
-                Request::KNearest { p, k } => Some((slot, *p, *k, r0)),
+                Request::KNearest { p, k } if rejections[slot].is_none() => {
+                    Some((slot, *p, *k, r0))
+                }
                 _ => None,
             })
             .collect();
@@ -562,13 +1215,15 @@ impl QueryService {
                 scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
                 // Every segment at distance ≤ r intersects the window, so
                 // a k-th best ≤ r is provably final; a window covering the
-                // whole world has seen everything.
+                // whole world has seen everything. (`k == 0` never reaches
+                // here — validation rejects it — but the guard keeps the
+                // indexing panic-free regardless.)
                 let world_covered = window.min.x <= world.min.x
                     && window.min.y <= world.min.y
                     && window.max.x >= world.max.x
                     && window.max.y >= world.max.y;
-                let settled = world_covered || (scored.len() >= k && scored[k - 1].1 <= r);
-                if settled {
+                let kth_within = k > 0 && scored.len() >= k && scored[k - 1].1 <= r;
+                if world_covered || kth_within {
                     scored.truncate(k);
                     answers[slot] = Some(scored);
                 } else {
@@ -580,8 +1235,8 @@ impl QueryService {
         answers
     }
 
-    /// Answers every `Join` request in `requests`; other request kinds
-    /// get `None`.
+    /// Answers every valid `Join` request in `requests`; other request
+    /// kinds and rejected slots get `None`.
     ///
     /// Routing mirrors the window path: a join window is routed to every
     /// shard whose tile it overlaps. Each routed shard contributes its
@@ -591,14 +1246,19 @@ impl QueryService {
     /// and out-of-window candidates never surface. This is sound and
     /// complete: an intersection point inside the window lies in some
     /// overlapping tile, and both segments of the pair are assigned to
-    /// that tile's shard.
-    fn run_joins(&self, requests: &[Request]) -> Vec<Option<Vec<(SegId, SegId)>>> {
+    /// that tile's shard. A degraded shard contributes the same pairs by
+    /// brute force over its assignment (the oracle form of the join).
+    fn run_joins(
+        &self,
+        requests: &[Request],
+        rejections: &[Option<SpatialError>],
+    ) -> Vec<Option<Vec<(SegId, SegId)>>> {
         let mut answers: Vec<Option<Vec<(SegId, SegId)>>> = vec![None; requests.len()];
         let joins: Vec<(usize, Rect)> = requests
             .iter()
             .enumerate()
             .filter_map(|(slot, r)| match r {
-                Request::Join(q) => Some((slot, *q)),
+                Request::Join(q) if rejections[slot].is_none() => Some((slot, *q)),
                 _ => None,
             })
             .collect();
@@ -616,16 +1276,49 @@ impl QueryService {
             .collect();
         needed.sort_unstable();
         needed.dedup();
-        needed.par_iter().for_each(|&s| {
-            self.shard_join(s);
-        });
+        // Same fallback as `run_probes`: a pre-body worker fault escapes
+        // the fan-out, not the per-shard ladder — warm sequentially then.
+        let warm = || {
+            needed.par_iter().for_each(|&s| {
+                self.shard_join(s);
+            })
+        };
+        if catch_unwind(AssertUnwindSafe(warm)).is_err() {
+            for &s in &needed {
+                self.shard_join(s);
+            }
+        }
 
         for (slot, q) in joins {
             let mut pairs: Vec<(SegId, SegId)> = Vec::new();
             for s in self.grid.shards_overlapping(&q) {
-                pairs.extend(self.shard_join(s).pairs.iter().copied().filter(|&(a, b)| {
-                    pair_intersects_in(&self.segs[a as usize], &self.overlay_segs[b as usize], &q)
-                }));
+                match self.shard_join(s) {
+                    Some(join) => {
+                        pairs.extend(join.pairs.iter().copied().filter(|&(a, b)| {
+                            pair_intersects_in(
+                                &self.segs[a as usize],
+                                &self.overlay_segs[b as usize],
+                                &q,
+                            )
+                        }));
+                    }
+                    None => {
+                        // Degraded shard: the oracle join — every assigned
+                        // base×overlay pair, exact-filtered by the window.
+                        let shard = &self.shards[s];
+                        for &a in &shard.assigned {
+                            for &b in &shard.overlay_assigned {
+                                if pair_intersects_in(
+                                    &self.segs[a as usize],
+                                    &self.overlay_segs[b as usize],
+                                    &q,
+                                ) {
+                                    pairs.push((a, b));
+                                }
+                            }
+                        }
+                    }
+                }
             }
             pairs.sort_unstable();
             pairs.dedup();
@@ -634,54 +1327,77 @@ impl QueryService {
         answers
     }
 
-    /// The shard's cached base×overlay join, computing it on first use by
-    /// running [`frontier_join`] on the shard's own machine and mapping
-    /// shard-local ids to global ids.
-    fn shard_join(&self, s: usize) -> &ShardJoin {
+    /// The shard's cached base×overlay join, computing it on first use
+    /// through the recovery ladder. `None` means the shard is degraded —
+    /// the caller must fall back to the oracle join. The computation
+    /// runs on a core snapshot with no lock held; the first finished
+    /// computation wins the cache.
+    fn shard_join(&self, s: usize) -> Option<Arc<ShardJoin>> {
         let shard = &self.shards[s];
-        shard.join.get_or_init(|| {
-            let Some(overlay) = shard.overlay.as_ref() else {
-                return ShardJoin {
-                    pairs: Vec::new(),
-                    rounds: 0,
-                    frontier_peak: 0,
-                    pairs_tested: 0,
-                    trace: Vec::new(),
-                };
+        {
+            let core = shard.lock_core();
+            if let Some(join) = &core.join {
+                return Some(join.clone());
+            }
+            core.index.as_ref()?;
+        }
+        let mut retries_left = RETRY_LIMIT;
+        let mut rebuilt = false;
+        let mut attempts = 0u32;
+        loop {
+            let core = shard.snapshot();
+            let index = core.index.clone()?;
+            attempts += 1;
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                compute_shard_join(&core.machine, &index, core.overlay.as_deref())
+            }));
+            let cause = match run {
+                Ok(Ok(join)) => {
+                    let join = Arc::new(join);
+                    let mut locked = shard.lock_core();
+                    if locked.join.is_none() {
+                        locked.join = Some(join);
+                    }
+                    return locked.join.clone();
+                }
+                // A typed join error (world mismatch between base and
+                // overlay trees) rides the same ladder as a panic: a
+                // rebuild reconstructs both trees over the service world.
+                Ok(Err(e)) => e,
+                Err(payload) => error_from_panic(s, attempts, payload.as_ref()),
             };
-            // Isolate the join's round trace from any traces buffered by
-            // earlier driver runs on this machine.
-            let resumed = shard.machine.take_round_traces();
-            let outcome = frontier_join(
-                &shard.machine,
-                &shard.index.tree,
-                &shard.index.segs,
-                &overlay.tree,
-                &overlay.segs,
-            )
-            .expect("shard base and overlay trees span the same world");
-            let trace = shard.machine.take_round_traces();
-            for t in resumed {
-                shard.machine.record_round_trace(t);
+            if retries_left > 0 {
+                retries_left -= 1;
+                shard.retries.fetch_add(1, Ordering::Relaxed);
+                self.push_event(RecoveryEvent {
+                    shard: s,
+                    action: RecoveryAction::Retry(RETRY_LIMIT - retries_left),
+                    error: cause,
+                });
+                backoff(RETRY_LIMIT - retries_left);
+                continue;
             }
-            let pairs: Vec<(SegId, SegId)> = outcome
-                .pairs
-                .iter()
-                .map(|&(a, b)| {
-                    (
-                        shard.index.global_ids[a as usize],
-                        overlay.global_ids[b as usize],
-                    )
-                })
-                .collect();
-            ShardJoin {
-                pairs,
-                rounds: outcome.rounds,
-                frontier_peak: outcome.frontier_peak,
-                pairs_tested: outcome.pairs_tested,
-                trace,
+            if !rebuilt {
+                rebuilt = true;
+                retries_left = RETRY_LIMIT;
+                match self.rebuild_shard(s) {
+                    Ok(()) => {
+                        self.push_event(RecoveryEvent {
+                            shard: s,
+                            action: RecoveryAction::Rebuild,
+                            error: cause,
+                        });
+                        continue;
+                    }
+                    Err(_) => {
+                        self.degrade_shard(s, attempts + 1);
+                        return None;
+                    }
+                }
             }
-        })
+            self.degrade_shard(s, attempts);
+            return None;
+        }
     }
 
     /// A snapshot of the service counters, including every shard
@@ -692,27 +1408,35 @@ impl QueryService {
                 .shards
                 .iter()
                 .enumerate()
-                .map(|(i, s)| ShardStats {
-                    shard: i,
-                    tile: s.index.tile,
-                    segments: s.index.segs.len(),
-                    probes: s.counters.probes.load(Ordering::Relaxed),
-                    batches: s.counters.batches.load(Ordering::Relaxed),
-                    max_queue_depth: s.counters.max_queue_depth.load(Ordering::Relaxed),
-                    latency_histogram: std::array::from_fn(|b| {
-                        s.counters.latency[b].load(Ordering::Relaxed)
-                    }),
-                    ops: s.machine.stats(),
-                    arena_takes: s.machine.arena_stats().0,
-                    arena_hits: s.machine.arena_stats().1,
-                    build_trace: s.build_trace.clone(),
-                    join: s.join.get().map(|j| ShardJoinStats {
-                        pairs: j.pairs.len(),
-                        rounds: j.rounds,
-                        frontier_peak: j.frontier_peak,
-                        pairs_tested: j.pairs_tested,
-                        trace: j.trace.clone(),
-                    }),
+                .map(|(i, s)| {
+                    let core = s.snapshot();
+                    let (arena_takes, arena_hits) = core.machine.arena_stats();
+                    ShardStats {
+                        shard: i,
+                        tile: s.tile,
+                        segments: s.assigned.len(),
+                        probes: s.counters.probes.load(Ordering::Relaxed),
+                        batches: s.counters.batches.load(Ordering::Relaxed),
+                        max_queue_depth: s.counters.max_queue_depth.load(Ordering::Relaxed),
+                        latency_histogram: std::array::from_fn(|b| {
+                            s.counters.latency[b].load(Ordering::Relaxed)
+                        }),
+                        ops: core.machine.stats(),
+                        arena_takes,
+                        arena_hits,
+                        build_trace: s.build_trace.clone(),
+                        degraded: s.degraded.load(Ordering::Relaxed),
+                        retries: s.retries.load(Ordering::Relaxed),
+                        rebuilds: s.rebuilds.load(Ordering::Relaxed),
+                        faults_injected: s.plan.total_fired(),
+                        join: core.join.as_ref().map(|j| ShardJoinStats {
+                            pairs: j.pairs.len(),
+                            rounds: j.rounds,
+                            frontier_peak: j.frontier_peak,
+                            pairs_tested: j.pairs_tested,
+                            trace: j.trace.clone(),
+                        }),
+                    }
                 })
                 .collect(),
             requests: self.requests.load(Ordering::Relaxed),
@@ -721,14 +1445,14 @@ impl QueryService {
         }
     }
 
-    /// Resets every counter (shard machines included). Index structures
-    /// are untouched.
+    /// Resets every counter (shard machines included). Index structures,
+    /// degradation flags and recovery history are untouched.
     pub fn reset_stats(&self) {
         self.requests.store(0, Ordering::Relaxed);
         self.knn_rounds.store(0, Ordering::Relaxed);
         self.join_requests.store(0, Ordering::Relaxed);
         for s in &self.shards {
-            s.machine.reset_stats();
+            s.snapshot().machine.reset_stats();
             s.counters.probes.store(0, Ordering::Relaxed);
             s.counters.batches.store(0, Ordering::Relaxed);
             s.counters.max_queue_depth.store(0, Ordering::Relaxed);
@@ -737,6 +1461,45 @@ impl QueryService {
             }
         }
     }
+}
+
+/// Runs the frontier join for one shard core and maps the pairs to
+/// global ids. Split out of [`QueryService::shard_join`] so the whole
+/// computation sits inside one `catch_unwind`.
+fn compute_shard_join(
+    machine: &Machine,
+    index: &ShardIndex,
+    overlay: Option<&ShardIndex>,
+) -> Result<ShardJoin, SpatialError> {
+    let Some(overlay) = overlay else {
+        return Ok(ShardJoin::empty());
+    };
+    // Isolate the join's round trace from any traces buffered by
+    // earlier driver runs on this machine.
+    let resumed = machine.take_round_traces();
+    let outcome = frontier_join(
+        machine,
+        &index.tree,
+        &index.segs,
+        &overlay.tree,
+        &overlay.segs,
+    )?;
+    let trace = machine.take_round_traces();
+    for t in resumed {
+        machine.record_round_trace(t);
+    }
+    let pairs: Vec<(SegId, SegId)> = outcome
+        .pairs
+        .iter()
+        .map(|&(a, b)| (index.global_ids[a as usize], overlay.global_ids[b as usize]))
+        .collect();
+    Ok(ShardJoin {
+        pairs,
+        rounds: outcome.rounds,
+        frontier_peak: outcome.frontier_peak,
+        pairs_tested: outcome.pairs_tested,
+        trace,
+    })
 }
 
 /// Reference answer for a k-NN request: brute force over all segments,
@@ -756,8 +1519,8 @@ pub fn brute_knearest(segs: &[LineSeg], p: Point, k: usize) -> Vec<(SegId, f64)>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dp_geom::clip_segment_closed;
     use dp_workloads::{request_stream, uniform_segments, RequestMix};
+    use scan_model::FaultSite;
 
     fn assert_sync<T: Sync + Send>() {}
 
@@ -783,20 +1546,45 @@ mod tests {
         let reqs = request_stream(data.world, 150, RequestMix::DEFAULT, 5);
         let out = svc.execute_batch(&reqs);
         assert_eq!(out.len(), reqs.len());
-        for (r, resp) in reqs.iter().zip(&out) {
-            match (r, resp) {
-                (Request::Window(q), Response::Window(ids)) => {
-                    assert_eq!(*ids, brute_window(&data.segs, q), "window {q}");
+        for (i, (r, resp)) in reqs.iter().zip(&out).enumerate() {
+            match r {
+                Request::Window(q) => {
+                    let expected = brute_window(&data.segs, q);
+                    assert_eq!(resp.try_window(i), Ok(expected.as_slice()), "window {q}");
                 }
-                (Request::PointInWindow(p), Response::PointInWindow(ids)) => {
-                    assert_eq!(*ids, brute_window(&data.segs, &Rect::point(*p)));
+                Request::PointInWindow(p) => {
+                    let expected = brute_window(&data.segs, &Rect::point(*p));
+                    assert_eq!(resp.try_point_in_window(i), Ok(expected.as_slice()));
                 }
-                (Request::KNearest { p, k }, Response::KNearest(found)) => {
-                    assert_eq!(*found, brute_knearest(&data.segs, *p, *k));
+                Request::KNearest { p, k } => {
+                    let expected = brute_knearest(&data.segs, *p, *k);
+                    assert_eq!(resp.try_knearest(i), Ok(expected.as_slice()));
                 }
-                other => panic!("response kind mismatch: {other:?}"),
+                Request::Join(q) => {
+                    assert_eq!(resp.try_join(i), Ok([].as_slice()), "join {q}");
+                }
             }
         }
+    }
+
+    #[test]
+    fn response_accessors_type_the_mismatch() {
+        let resp = Response::Window(vec![1, 2]);
+        assert_eq!(
+            resp.try_knearest(4),
+            Err(SpatialError::ResponseKindMismatch { index: 4 })
+        );
+        let rejected = Response::Rejected(SpatialError::MalformedRequest {
+            index: 0,
+            kind: MalformedKind::ZeroK,
+        });
+        assert_eq!(
+            rejected.try_window(0),
+            Err(SpatialError::MalformedRequest {
+                index: 0,
+                kind: MalformedKind::ZeroK,
+            })
+        );
     }
 
     #[test]
@@ -816,6 +1604,135 @@ mod tests {
     }
 
     #[test]
+    fn stats_handle_an_empty_segment_set() {
+        // Regression: the busiest-shard reduction used to be
+        // `max().unwrap()`, which panics the moment no shard has traffic
+        // to compare — the degenerate service shape (no segments, no
+        // probes executed yet) must produce stats, not a crash.
+        let world = Rect::from_coords(0.0, 0.0, 16.0, 16.0);
+        let svc = QueryService::build(QueryServiceConfig::sequential(1), world, Vec::new());
+        let stats = svc.stats();
+        assert_eq!(stats.max_shard_probes(), 0);
+        assert_eq!(stats.total_probes(), 0);
+        assert_eq!(stats.degraded_shards(), 0);
+        assert_eq!(stats.flush_latency_quantile_micros(0.5), None);
+        // And the all-shards-empty service still answers correctly.
+        let out = svc.execute_batch(&[Request::Window(world)]);
+        assert_eq!(out[0], Response::Window(Vec::new()));
+        assert_eq!(svc.stats().max_shard_probes(), 1);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let world = Rect::from_coords(0.0, 0.0, 16.0, 16.0);
+        let mut cfg = QueryServiceConfig::sequential(0);
+        assert!(matches!(
+            QueryService::try_build(cfg, world, Vec::new()),
+            Err(SpatialError::InvalidConfig { .. })
+        ));
+        cfg.shard_grid = 3;
+        assert!(matches!(
+            QueryService::try_build(cfg, world, Vec::new()),
+            Err(SpatialError::InvalidConfig { .. })
+        ));
+        cfg = QueryServiceConfig::sequential(2);
+        cfg.capacity = 0;
+        assert!(matches!(
+            QueryService::try_build(cfg, world, Vec::new()),
+            Err(SpatialError::InvalidConfig { .. })
+        ));
+        let outside = vec![LineSeg::from_coords(1.0, 1.0, 20.0, 20.0)];
+        assert!(
+            QueryService::try_build(QueryServiceConfig::sequential(2), world, outside)
+                .err()
+                .map(|e| e.to_string())
+                .unwrap_or_default()
+                .contains("outside the service world")
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_per_slot() {
+        let data = uniform_segments(80, 64, 8, 2);
+        let svc = QueryService::build(
+            QueryServiceConfig::sequential(2),
+            data.world,
+            data.segs.clone(),
+        );
+        let nan_rect = Rect {
+            min: Point::new(f64::NAN, f64::NAN),
+            max: Point::new(f64::NAN, f64::NAN),
+        };
+        let good = Rect::from_coords(0.0, 0.0, 32.0, 32.0);
+        let out = svc.execute_batch(&[
+            Request::Window(good),
+            Request::Window(nan_rect),
+            Request::KNearest {
+                p: Point::new(3.0, 3.0),
+                k: 0,
+            },
+            Request::PointInWindow(Point::new(f64::INFINITY, 1.0)),
+            Request::Window(good),
+        ]);
+        // Rejections are typed and slot-aligned...
+        assert_eq!(
+            out[1],
+            Response::Rejected(SpatialError::MalformedRequest {
+                index: 1,
+                kind: MalformedKind::NonFiniteWindow,
+            })
+        );
+        assert_eq!(
+            out[2],
+            Response::Rejected(SpatialError::MalformedRequest {
+                index: 2,
+                kind: MalformedKind::ZeroK,
+            })
+        );
+        assert_eq!(
+            out[3],
+            Response::Rejected(SpatialError::MalformedRequest {
+                index: 3,
+                kind: MalformedKind::NonFinitePoint,
+            })
+        );
+        // ...and do not disturb their neighbours.
+        let expected = brute_window(&data.segs, &good);
+        assert_eq!(out[0].try_window(0), Ok(expected.as_slice()));
+        assert_eq!(out[4].try_window(4), Ok(expected.as_slice()));
+    }
+
+    #[test]
+    fn permanently_dead_shards_degrade_to_correct_answers() {
+        let data = uniform_segments(150, 64, 8, 13);
+        let plan = Arc::new(FaultPlan::always(FaultSite::RoundAbort));
+        let svc = QueryService::try_build_with_faults(
+            QueryServiceConfig::sequential(2),
+            data.world,
+            data.segs.clone(),
+            Vec::new(),
+            plan,
+        )
+        .expect("validation passes; builds degrade instead of erroring");
+        let stats = svc.stats();
+        assert_eq!(stats.degraded_shards(), svc.num_shards());
+        assert!(stats.total_faults_injected() > 0);
+        assert!(svc
+            .recovery_events()
+            .iter()
+            .any(|e| e.action == RecoveryAction::Degrade));
+
+        // The oracle answers are bit-identical to a healthy service's.
+        let reqs = request_stream(data.world, 60, RequestMix::DEFAULT, 17);
+        let healthy = QueryService::build(
+            QueryServiceConfig::sequential(2),
+            data.world,
+            data.segs.clone(),
+        );
+        assert_eq!(svc.execute_batch(&reqs), healthy.execute_batch(&reqs));
+    }
+
+    #[test]
     fn stats_track_probes_and_batches() {
         let data = uniform_segments(200, 64, 6, 3);
         let mut cfg = QueryServiceConfig::sequential(2);
@@ -830,17 +1747,21 @@ mod tests {
             "probes {}",
             stats.total_probes()
         );
-        let busiest = stats.shards.iter().map(|s| s.probes).max().unwrap();
-        assert!(busiest > 0);
+        assert!(stats.max_shard_probes() > 0);
         // flush_batch = 16 forces multi-flush queues on busy shards.
         assert!(stats.shards.iter().any(|s| s.batches > 1));
         for s in &stats.shards {
             assert!(s.max_queue_depth as usize <= reqs.len());
             let flushes: u64 = s.latency_histogram.iter().sum();
             assert_eq!(flushes, s.batches);
+            assert!(!s.degraded);
+            assert_eq!(s.retries, 0);
+            assert_eq!(s.rebuilds, 0);
+            assert_eq!(s.faults_injected, 0);
         }
         assert!(stats.total_primitives() > 0);
         assert!(stats.flush_latency_quantile_micros(0.5).is_some());
+        assert!(svc.recovery_events().is_empty());
         svc.reset_stats();
         let zeroed = svc.stats();
         assert_eq!(zeroed.requests, 0);
@@ -867,12 +1788,12 @@ mod tests {
         ];
         let reqs: Vec<Request> = windows.iter().map(|&q| Request::Join(q)).collect();
         let out = svc.execute_batch(&reqs);
-        for (q, resp) in windows.iter().zip(&out) {
-            let Response::Join(pairs) = resp else {
-                panic!("join request answered with {resp:?}");
-            };
+        for (i, (q, resp)) in windows.iter().zip(&out).enumerate() {
+            let pairs = resp
+                .try_join(i)
+                .unwrap_or_else(|e| panic!("join window {q}: {e}"));
             assert_eq!(
-                *pairs,
+                pairs,
                 brute_force_join_in(&base.segs, &overlay.segs, q),
                 "join window {q}"
             );

@@ -15,6 +15,7 @@
 use dp_geom::{Point, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use scan_model::{FaultPlan, FaultSite};
 
 /// One service request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -151,10 +152,46 @@ pub fn request_stream(world: Rect, n: usize, mix: RequestMix, seed: u64) -> Vec<
         .collect()
 }
 
+/// Replaces requests in `stream` with malformed ones wherever `plan`
+/// fires [`FaultSite::PoisonedRequest`] (one occurrence per request, in
+/// order). Each poisoned request keeps its kind but becomes unanswerable:
+/// windows and join windows get NaN coordinates, points go non-finite,
+/// and k-nearest drops to `k = 0`. Returns how many requests were
+/// poisoned.
+///
+/// A recovering service must *reject* these slots with a typed error —
+/// not crash, and not let them disturb the answers of neighbouring
+/// requests.
+pub fn poison_stream(stream: &mut [Request], plan: &FaultPlan) -> usize {
+    let mut poisoned = 0;
+    for req in stream.iter_mut() {
+        if plan.should_fire(FaultSite::PoisonedRequest).is_none() {
+            continue;
+        }
+        poisoned += 1;
+        // `Rect::new` asserts min <= max, which NaN fails — poisoned
+        // rectangles are built from the public fields directly.
+        let nan_rect = Rect {
+            min: Point::new(f64::NAN, f64::NAN),
+            max: Point::new(f64::NAN, f64::NAN),
+        };
+        *req = match *req {
+            Request::Window(_) => Request::Window(nan_rect),
+            Request::Join(_) => Request::Join(nan_rect),
+            Request::PointInWindow(_) => {
+                Request::PointInWindow(Point::new(f64::INFINITY, f64::NAN))
+            }
+            Request::KNearest { p, .. } => Request::KNearest { p, k: 0 },
+        };
+    }
+    poisoned
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generators::square_world;
+    use scan_model::FaultMode;
 
     #[test]
     fn stream_is_deterministic() {
@@ -243,6 +280,65 @@ mod tests {
         let w = square_world(64);
         let reqs = request_stream(w, 500, RequestMix::DEFAULT, 7);
         assert!(reqs.iter().all(|r| !matches!(r, Request::Join(_))));
+    }
+
+    #[test]
+    fn poison_stream_is_deterministic_and_kind_preserving() {
+        let w = square_world(64);
+        let base = request_stream(w, 400, RequestMix::WITH_JOINS, 9);
+
+        let run = |seed: u64| {
+            let mut s = base.clone();
+            let plan = FaultPlan::new(seed)
+                .with(FaultSite::PoisonedRequest, FaultMode::Seeded { rate: 0.1 });
+            let n = poison_stream(&mut s, &plan);
+            (s, n)
+        };
+        let (a, na) = run(5);
+        let (b, nb) = run(5);
+        assert_eq!(na, nb);
+        // NaN != NaN, so compare via the poisoned-slot *positions*.
+        let poisoned_slots = |s: &[Request]| -> Vec<usize> {
+            s.iter()
+                .zip(&base)
+                .enumerate()
+                .filter(|(_, (now, orig))| now != orig)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        assert_eq!(poisoned_slots(&a), poisoned_slots(&b));
+        assert_ne!(poisoned_slots(&a), poisoned_slots(&run(6).0));
+        assert!(na > 0, "rate 0.1 over 400 requests must poison some");
+
+        // Kind is preserved and each poisoned request is unanswerable.
+        for (now, orig) in a.iter().zip(&base) {
+            if now == orig {
+                continue;
+            }
+            match (now, orig) {
+                (Request::Window(q), Request::Window(_)) | (Request::Join(q), Request::Join(_)) => {
+                    assert!(q.min.x.is_nan());
+                }
+                (Request::PointInWindow(p), Request::PointInWindow(_)) => {
+                    assert!(!p.x.is_finite() || !p.y.is_finite());
+                }
+                (Request::KNearest { k, .. }, Request::KNearest { .. }) => {
+                    assert_eq!(*k, 0);
+                }
+                other => panic!("kind changed: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn poison_stream_with_disabled_plan_is_identity() {
+        let w = square_world(32);
+        let mut s = request_stream(w, 100, RequestMix::DEFAULT, 1);
+        let orig = s.clone();
+        let plan = FaultPlan::disabled();
+        assert_eq!(poison_stream(&mut s, &plan), 0);
+        assert_eq!(s, orig);
+        assert_eq!(plan.occurrences(FaultSite::PoisonedRequest), 100);
     }
 
     #[test]

@@ -24,6 +24,8 @@
 
 pub mod pool;
 
+pub use pool::{arm_fault_hook, set_fault_hook, FaultArmGuard};
+
 use std::cmp::Ordering;
 use std::ops::Range;
 use std::sync::OnceLock;

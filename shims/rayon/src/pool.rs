@@ -23,9 +23,11 @@
 //! workspace's `should_panic` tests.
 
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// One indexed unit of work: call `call(ctx, index)`, then open the latch.
 struct Job {
@@ -33,6 +35,82 @@ struct Job {
     ctx: *const (),
     index: usize,
     latch: *const Latch,
+    /// Whether the submitting context was armed for fault injection (see
+    /// [`set_fault_hook`]); inherited by nested submissions made while
+    /// this job runs.
+    armed: bool,
+}
+
+// ----------------------------------------------------------------------
+// Fault-injection hook
+// ----------------------------------------------------------------------
+//
+// Test harnesses above this shim (the scan-model fault plan) need a way to
+// make pool workers die mid-job, deterministically, without the shim
+// depending on any higher crate. The contract: a process-global hook
+// closure, called immediately before each job body, but only for jobs
+// whose submitting context was *armed*. Arming is a thread-local flag that
+// jobs inherit — a worker running an armed job is itself armed for the
+// nested submissions that job makes — so one test can inject faults into
+// its own (possibly deeply nested) parallel work without touching jobs
+// submitted by unrelated threads of the same process.
+
+static HOOK_SET: AtomicBool = AtomicBool::new(false);
+
+type FaultHook = Arc<dyn Fn() + Send + Sync>;
+
+fn hook_slot() -> &'static Mutex<Option<FaultHook>> {
+    static HOOK: OnceLock<Mutex<Option<FaultHook>>> = OnceLock::new();
+    HOOK.get_or_init(|| Mutex::new(None))
+}
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs the process-global fault hook. The hook runs right before
+/// every job body submitted from an armed context (see
+/// [`arm_fault_hook`]); a panic it raises is indistinguishable from the
+/// job itself panicking. Passing `None` uninstalls.
+pub fn set_fault_hook(hook: Option<Arc<dyn Fn() + Send + Sync>>) {
+    let mut slot = hook_slot().lock().expect("fault hook poisoned");
+    HOOK_SET.store(hook.is_some(), Ordering::SeqCst);
+    *slot = hook;
+}
+
+/// Arms the current thread for fault injection until the guard drops.
+/// Jobs submitted while armed (and jobs they submit transitively) run the
+/// installed fault hook before their body.
+pub fn arm_fault_hook() -> FaultArmGuard {
+    let prev = ARMED.with(|a| a.replace(true));
+    FaultArmGuard { prev }
+}
+
+/// RAII guard of [`arm_fault_hook`]; restores the previous arming state.
+#[must_use = "dropping the guard disarms the thread"]
+pub struct FaultArmGuard {
+    prev: bool,
+}
+
+impl Drop for FaultArmGuard {
+    fn drop(&mut self) {
+        ARMED.with(|a| a.set(self.prev));
+    }
+}
+
+fn current_armed() -> bool {
+    ARMED.with(|a| a.get())
+}
+
+/// Runs the installed hook if the current thread is armed. Cheap when no
+/// hook is installed (one relaxed atomic load).
+fn maybe_fire_hook() {
+    if HOOK_SET.load(Ordering::Relaxed) && current_armed() {
+        let hook = hook_slot().lock().expect("fault hook poisoned").clone();
+        if let Some(hook) = hook {
+            hook();
+        }
+    }
 }
 
 // SAFETY: `ctx` points at a `Sync` closure and `latch` at a latch that the
@@ -64,9 +142,16 @@ struct Pool {
 
 impl Pool {
     fn execute(&self, job: Job) {
+        // Inherit the submitter's arming state for the duration of the
+        // job, so nested submissions from its body are stamped correctly.
+        let prev_armed = ARMED.with(|a| a.replace(job.armed));
         let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+            if job.armed {
+                maybe_fire_hook();
+            }
             (job.call)(job.ctx, job.index)
         }));
+        ARMED.with(|a| a.set(prev_armed));
         // SAFETY: the submitter keeps the latch alive until `remaining`
         // hits zero; we hold a not-yet-counted-down reference.
         let latch = unsafe { &*job.latch };
@@ -143,8 +228,12 @@ pub fn run_indexed<F: Fn(usize) + Sync>(jobs: usize, f: &F) {
         return;
     }
     let p = pool();
+    let armed = current_armed();
     if jobs == 1 || p.threads <= 1 {
         for i in 0..jobs {
+            if armed {
+                maybe_fire_hook();
+            }
             f(i);
         }
         return;
@@ -164,6 +253,7 @@ pub fn run_indexed<F: Fn(usize) + Sync>(jobs: usize, f: &F) {
                 ctx: f as *const F as *const (),
                 index,
                 latch: &latch as *const Latch,
+                armed,
             });
         }
         p.cvar.notify_all();
@@ -219,6 +309,75 @@ mod tests {
             });
         }
         assert_eq!(total.load(Ordering::Relaxed), 8000);
+    }
+
+    /// Serializes the tests that install the process-global hook.
+    fn hook_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn fault_hook_fires_only_for_armed_submitters() {
+        let _serial = hook_test_lock();
+        // One installed hook; only the armed submission sees it, and the
+        // arming is scoped to the guard's lifetime.
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = fired.clone();
+        set_fault_hook(Some(Arc::new(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })));
+
+        run_indexed(4, &|_| {});
+        assert_eq!(fired.load(Ordering::Relaxed), 0, "unarmed jobs fired");
+
+        {
+            let _arm = arm_fault_hook();
+            run_indexed(4, &|_| {});
+        }
+        let armed_fires = fired.load(Ordering::Relaxed);
+        assert!(armed_fires >= 1, "armed jobs never fired");
+
+        // Disarmed again after the guard dropped.
+        run_indexed(4, &|_| {});
+        assert_eq!(fired.load(Ordering::Relaxed), armed_fires);
+
+        set_fault_hook(None);
+        {
+            let _arm = arm_fault_hook();
+            run_indexed(4, &|_| {});
+        }
+        assert_eq!(
+            fired.load(Ordering::Relaxed),
+            armed_fires,
+            "uninstalled hook fired"
+        );
+    }
+
+    #[test]
+    fn armed_jobs_inherit_to_nested_submissions() {
+        let _serial = hook_test_lock();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = fired.clone();
+        set_fault_hook(Some(Arc::new(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })));
+        {
+            let _arm = arm_fault_hook();
+            run_indexed(2, &|_| {
+                // Nested submission happens on a pool worker (or the
+                // helping submitter); either way it must stay armed.
+                run_indexed(2, &|_| {});
+            });
+        }
+        set_fault_hook(None);
+        // 2 outer + 2×2 nested = 6 armed jobs minimum (the exact split
+        // between queue and inline paths varies with thread count).
+        assert!(
+            fired.load(Ordering::Relaxed) >= 2,
+            "nested jobs lost the arming"
+        );
     }
 
     #[test]
