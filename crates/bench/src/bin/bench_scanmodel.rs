@@ -15,19 +15,24 @@
 //!   (`RoundTrace`) to each build entry in the JSON;
 //! * `--join` — add the data-parallel frontier spatial join over two
 //!   layers, per backend, with its per-round table always attached;
+//! * `--updates` — add the batch update engine: a 1% insert/delete batch
+//!   applied to a prebuilt bucket PMR tree versus a full rebuild of the
+//!   final collection, per backend, plus one end-to-end service epoch
+//!   compaction;
 //! * `--check-baseline <path>` — read the committed benchmark JSON
 //!   *before* writing anything and exit non-zero if the fused PM₁
 //!   per-round physical scan-pass cost regressed against it.
 //!
 //! Run with: `cargo run --release -p dp-bench --bin bench_scanmodel
-//! [-- --quick --trace --join --check-baseline BENCH_scanmodel.json]`
+//! [-- --quick --trace --join --updates --check-baseline BENCH_scanmodel.json]`
 
 use dp_bench::{planar_at, uniform_at, WORLD};
 use dp_service::{QueryService, QueryServiceConfig};
 use dp_spatial::bucket_pmr::build_bucket_pmr;
 use dp_spatial::join::{frontier_join, spatial_join};
 use dp_spatial::pm1::{build_pm1, build_pm1_unfused};
-use dp_workloads::{request_stream, square_world, RequestMix};
+use dp_spatial::update::{batch_update_bucket_pmr, UpdateBatch};
+use dp_workloads::{request_stream, square_world, Request, RequestMix};
 use scan_model::{Backend, Machine, RoundTrace, StatsSnapshot};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -138,6 +143,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let trace = args.iter().any(|a| a == "--trace");
     let join = args.iter().any(|a| a == "--join");
+    let updates = args.iter().any(|a| a == "--updates");
     let baseline: Option<String> = args.iter().position(|a| a == "--check-baseline").map(|i| {
         args.get(i + 1)
             .expect("--check-baseline needs a path")
@@ -276,6 +282,111 @@ fn main() {
             "service: {requests} requests in {secs:.4}s ({:.0} req/s)",
             requests as f64 / secs
         );
+    }
+
+    // Batch updates: a 1% insert/delete batch through the data-parallel
+    // update engine versus a full rebuild of the final collection — the
+    // economic case for epoch compaction (`--updates`).
+    if updates {
+        let n = if quick { 20_000 } else { 200_000 };
+        let data = uniform_at(n);
+        let world = square_world(WORLD);
+        let k = (n / 100).max(2);
+        let fresh = uniform_at(k / 2 + 7).segs;
+        let batch = UpdateBatch {
+            inserts: fresh[..k / 2].to_vec(),
+            // Deletes spread across the id space, clear of the inserts.
+            deletes: (0..k / 2).map(|i| (i * (n / (k / 2))) as u32).collect(),
+        };
+        for (name, m) in [
+            ("parallel", Machine::parallel()),
+            ("sequential", Machine::sequential()),
+        ] {
+            let base_tree = build_bucket_pmr(&m, world, &data.segs, 8, 12);
+            // Final collection, for the rebuild leg: same remap the
+            // update applies (sorted deletes out, inserts appended).
+            let mut final_segs = data.segs.clone();
+            for &d in batch.deletes.iter().rev() {
+                final_segs.remove(d as usize);
+            }
+            final_segs.extend(batch.inserts.iter().copied());
+
+            m.reset_stats();
+            m.take_round_traces();
+            {
+                let mut tree = base_tree.clone();
+                let mut segs = data.segs.clone();
+                std::hint::black_box(batch_update_bucket_pmr(
+                    &m, &mut tree, &mut segs, &batch, 8, 12,
+                ));
+            }
+            let ops = m.stats();
+            m.take_round_traces();
+            // Clone outside the timed region: the contender is the
+            // update pass itself, applied to a live tree.
+            let mut update_s = f64::INFINITY;
+            for _ in 0..reps {
+                let mut tree = base_tree.clone();
+                let mut segs = data.segs.clone();
+                let t = Instant::now();
+                std::hint::black_box(batch_update_bucket_pmr(
+                    &m, &mut tree, &mut segs, &batch, 8, 12,
+                ));
+                update_s = update_s.min(t.elapsed().as_secs_f64());
+            }
+            let rebuild_s = time_best(reps, || build_bucket_pmr(&m, world, &final_segs, 8, 12));
+            let mut e = String::new();
+            let _ = write!(
+                e,
+                "{{\"bench\": \"batch_update\", \"backend\": \"{name}\", \"n\": {n}, \"batch\": {k}, \"update_secs\": {update_s:.6}, \"rebuild_secs\": {rebuild_s:.6}, \"speedup\": {:.4}, \"ops\": {}}}",
+                rebuild_s / update_s,
+                ops_json(&ops),
+            );
+            entries.push(e);
+            println!(
+                "batch_update n={n} batch={k} {name}: update {update_s:.4}s vs rebuild {rebuild_s:.4}s (speedup {:.2}x)",
+                rebuild_s / update_s
+            );
+        }
+
+        // One end-to-end epoch compaction: the service absorbs the same
+        // write pressure through its overlay ladder, then merges it into
+        // a fresh epoch across every shard.
+        {
+            let service = QueryService::build(
+                QueryServiceConfig {
+                    shard_grid: 2,
+                    backend: Backend::Parallel,
+                    compact_threshold: usize::MAX >> 1,
+                    ..QueryServiceConfig::default()
+                },
+                world,
+                data.segs.clone(),
+            );
+            let writes: Vec<Request> = batch
+                .inserts
+                .iter()
+                .map(|&s| Request::Insert(s))
+                .chain(batch.deletes.iter().rev().map(|&d| Request::Delete(d)))
+                .collect();
+            let t = Instant::now();
+            service.execute_batch(&writes);
+            let write_s = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let epoch = service.compact_now().expect("bench compaction");
+            let compact_s = t.elapsed().as_secs_f64();
+            let mut e = String::new();
+            let _ = write!(
+                e,
+                "{{\"bench\": \"service_compaction\", \"backend\": \"parallel\", \"n\": {n}, \"writes\": {}, \"write_secs\": {write_s:.6}, \"compact_secs\": {compact_s:.6}, \"epoch\": {epoch}}}",
+                writes.len(),
+            );
+            entries.push(e);
+            println!(
+                "service_compaction n={n}: {} writes in {write_s:.4}s, compaction {compact_s:.4}s",
+                writes.len()
+            );
+        }
     }
 
     // Frontier spatial join: parallel frontier vs recursive oracle over

@@ -24,6 +24,10 @@ pub enum MalformedKind {
     NonFinitePoint,
     /// A k-nearest request with `k == 0` (no defined answer set).
     ZeroK,
+    /// An insert whose segment endpoints are NaN or infinite.
+    NonFiniteSegment,
+    /// A delete naming a segment id that is not live in the collection.
+    UnknownSegment,
 }
 
 impl fmt::Display for MalformedKind {
@@ -32,6 +36,8 @@ impl fmt::Display for MalformedKind {
             MalformedKind::NonFiniteWindow => "non-finite window",
             MalformedKind::NonFinitePoint => "non-finite point",
             MalformedKind::ZeroK => "k = 0",
+            MalformedKind::NonFiniteSegment => "non-finite segment",
+            MalformedKind::UnknownSegment => "unknown segment id",
         })
     }
 }
@@ -178,6 +184,20 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("request 7") && s.contains("k = 0"), "{s}");
+    }
+
+    #[test]
+    fn display_names_the_write_malformations() {
+        let e = SpatialError::MalformedRequest {
+            index: 2,
+            kind: MalformedKind::NonFiniteSegment,
+        };
+        assert!(e.to_string().contains("non-finite segment"));
+        let e = SpatialError::MalformedRequest {
+            index: 4,
+            kind: MalformedKind::UnknownSegment,
+        };
+        assert!(e.to_string().contains("unknown segment id"));
     }
 
     #[test]

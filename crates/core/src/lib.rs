@@ -66,6 +66,7 @@ pub mod rtree;
 pub mod shard;
 pub mod split;
 pub mod stats;
+pub mod update;
 
 pub use error::{MalformedKind, SpatialError};
 

@@ -174,6 +174,31 @@ impl<'d, 'c, 's> QuadSplitPolicy<'d, 'c, 's> {
         })
     }
 
+    /// A policy resuming from an arbitrary pre-populated frontier instead
+    /// of the single root — the split-repair pass of the batch updater
+    /// ([`crate::update`]) seeds it with the leaf blocks whose line sets
+    /// changed, each node carrying its *absolute* root-to-block path, so
+    /// the retired records drop straight into the existing tree. Returns
+    /// `None` when the frontier holds no nodes.
+    pub fn from_frontier(
+        state: LineProcSet,
+        segs: &'s [LineSeg],
+        max_depth: usize,
+        decide: &'d mut SplitDecision<'c>,
+    ) -> Option<Self> {
+        if state.nodes.is_empty() {
+            return None;
+        }
+        Some(QuadSplitPolicy {
+            segs,
+            max_depth,
+            decide,
+            state,
+            leaves: Vec::new(),
+            truncated: 0,
+        })
+    }
+
     /// Consumes the policy into the build outcome (`rounds` comes from the
     /// driver).
     pub fn into_outcome(self, rounds: usize) -> QuadBuildOutcome {

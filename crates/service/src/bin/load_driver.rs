@@ -21,13 +21,19 @@
 //! `--self-check` re-runs a sample of the stream against brute force
 //! after the timed run — it also passes under injected faults, since
 //! recovered and degraded shards answer bit-identically.
+//! `--updates` switches to the `WITH_UPDATES` mix: insert and delete
+//! requests ride the stream, exercising the overlay ladder and
+//! epoch-swapped compaction; with `--self-check` a prefix of the stream
+//! is replayed sequentially on a fresh service against an eager
+//! insert/delete oracle.
 
+use dp_geom::LineSeg;
 use dp_geom::Rect;
 use dp_service::{brute_knearest, QueryService, QueryServiceConfig};
 use dp_spatial::join::brute_force_join_in;
 use dp_workloads::{
-    clustered_segments, paper_dataset, paper_world, polygon_rings, request_stream, road_network,
-    uniform_segments, Dataset, Request, RequestMix,
+    clustered_segments, paper_dataset, paper_world, polygon_rings, request_stream,
+    request_stream_with_updates, road_network, uniform_segments, Dataset, Request, RequestMix,
 };
 use scan_model::{Backend, FaultMode, FaultPlan, FaultSite};
 use std::sync::Arc;
@@ -47,6 +53,7 @@ struct Args {
     fault_seed: Option<u64>,
     fault_rate: f64,
     self_check: bool,
+    updates: bool,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +71,7 @@ fn parse_args() -> Args {
         fault_seed: None,
         fault_rate: 0.01,
         self_check: false,
+        updates: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -94,12 +102,14 @@ fn parse_args() -> Args {
                 args.fault_rate = value("--fault-rate").parse().expect("--fault-rate")
             }
             "--self-check" => args.self_check = true,
+            "--updates" => args.updates = true,
             "--help" | "-h" => {
                 println!(
                     "usage: load_driver [--workload uniform|clustered|roads|rings|paper] \
                      [--segments N] [--requests N] [--shards G] [--threads T] \
                      [--flush N] [--batch N] [--seed S] [--sequential] \
-                     [--overlay N] [--fault-seed S] [--fault-rate R] [--self-check]"
+                     [--overlay N] [--fault-seed S] [--fault-rate R] [--self-check] \
+                     [--updates]"
                 );
                 std::process::exit(0);
             }
@@ -221,12 +231,24 @@ fn main() {
         );
     }
 
-    let mix = if args.overlay > 0 {
+    let mix = if args.updates {
+        RequestMix::WITH_UPDATES
+    } else if args.overlay > 0 {
         RequestMix::WITH_JOINS
     } else {
         RequestMix::DEFAULT
     };
-    let stream = request_stream(data.world, args.requests, mix, args.seed ^ 1);
+    let stream = if args.updates {
+        request_stream_with_updates(
+            data.world,
+            args.requests,
+            mix,
+            args.seed ^ 1,
+            data.segs.len(),
+        )
+    } else {
+        request_stream(data.world, args.requests, mix, args.seed ^ 1)
+    };
     service.reset_stats();
 
     let t1 = Instant::now();
@@ -259,6 +281,16 @@ fn main() {
         stats.knn_rounds,
         stats.total_primitives()
     );
+    if args.updates {
+        println!(
+            "epoch: {}, compactions: {} ({} failed), overlay: {} pending / {} tombstones",
+            stats.epoch,
+            stats.compactions,
+            stats.failed_compactions,
+            stats.overlay_size,
+            stats.tombstones
+        );
+    }
     for q in [0.5, 0.9, 0.99] {
         if let Some(us) = stats.flush_latency_quantile_micros(q) {
             println!("flush latency p{:<4} < {} µs", (q * 100.0) as u32, us);
@@ -302,7 +334,9 @@ fn main() {
         }
     }
 
-    if args.self_check {
+    if args.self_check && args.updates {
+        self_check_updates(&args, &data, &stream);
+    } else if args.self_check {
         let sample: Vec<Request> = stream.iter().step_by(97).copied().collect();
         let out = service.execute_batch(&sample);
         for (i, (r, resp)) in sample.iter().zip(&out).enumerate() {
@@ -346,8 +380,83 @@ fn main() {
                         "join window {q}"
                     );
                 }
+                Request::Insert(_) | Request::Delete(_) => {
+                    unreachable!("writes only appear in --updates streams")
+                }
             }
         }
         println!("self-check OK over {} sampled requests", sample.len());
     }
+}
+
+/// Replays a prefix of the update stream sequentially on a fresh service
+/// and checks every response against an eager insert/delete oracle that
+/// answers reads by brute force over its live collection.
+fn self_check_updates(args: &Args, data: &Dataset, stream: &[Request]) {
+    let config = QueryServiceConfig {
+        shard_grid: args.shards,
+        flush_batch: args.flush,
+        backend: if args.sequential {
+            Backend::Sequential
+        } else {
+            Backend::Parallel
+        },
+        ..QueryServiceConfig::default()
+    };
+    let service = QueryService::try_build(config, data.world, data.segs.clone())
+        .unwrap_or_else(|e| panic!("self-check service build rejected: {e}"));
+    let sample = &stream[..stream.len().min(2_000)];
+    let mut live: Vec<LineSeg> = data.segs.clone();
+    let out = service.execute_batch(sample);
+    for (i, (r, resp)) in sample.iter().zip(&out).enumerate() {
+        match r {
+            Request::Window(q) => {
+                let brute: Vec<u32> = (0..live.len() as u32)
+                    .filter(|&id| dp_geom::clip_segment_closed(&live[id as usize], q).is_some())
+                    .collect();
+                let ids = resp
+                    .try_window(i)
+                    .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
+                assert_eq!(ids, brute, "window {q}");
+            }
+            Request::PointInWindow(p) => {
+                let q = Rect::point(*p);
+                let brute: Vec<u32> = (0..live.len() as u32)
+                    .filter(|&id| dp_geom::clip_segment_closed(&live[id as usize], &q).is_some())
+                    .collect();
+                let ids = resp
+                    .try_point_in_window(i)
+                    .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
+                assert_eq!(ids, brute, "point {p:?}");
+            }
+            Request::KNearest { p, k } => {
+                let found = resp
+                    .try_knearest(i)
+                    .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
+                assert_eq!(found, brute_knearest(&live, *p, *k));
+            }
+            Request::Join(_) => unreachable!("WITH_UPDATES carries no joins"),
+            Request::Insert(seg) => {
+                let got = resp
+                    .try_inserted(i)
+                    .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
+                assert_eq!(got, live.len() as u32, "insert logical id");
+                live.push(*seg);
+            }
+            Request::Delete(id) => {
+                let got = resp
+                    .try_deleted(i)
+                    .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
+                assert_eq!(got, *id, "delete echo");
+                live.remove(*id as usize);
+            }
+        }
+    }
+    let stats = service.stats();
+    println!(
+        "self-check OK over {} replayed requests (epoch {}, {} compactions)",
+        sample.len(),
+        stats.epoch,
+        stats.compactions
+    );
 }

@@ -77,8 +77,11 @@
 
 use dp_geom::{clip_segment_closed, LineSeg, Point, Rect};
 use dp_spatial::batch::batch_window_query;
+use dp_spatial::bucket_pmr::build_bucket_pmr;
 use dp_spatial::join::{frontier_join, pair_intersects_in};
+use dp_spatial::quadtree::DpQuadtree;
 use dp_spatial::shard::{build_shard, ShardGrid, ShardIndex};
+use dp_spatial::update::{batch_update_bucket_pmr, UpdateBatch};
 use dp_spatial::{MalformedKind, SegId, SpatialError};
 use dp_workloads::Request;
 use rayon::prelude::*;
@@ -86,7 +89,7 @@ use scan_model::{Backend, FaultPlan, InjectedFault, Machine, RoundTrace, StatsSn
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::Instant;
 
 /// Number of log₂-microsecond latency buckets per shard.
@@ -115,6 +118,9 @@ pub struct QueryServiceConfig {
     pub capacity: usize,
     /// Maximum subdivision depth of the per-shard quadtrees.
     pub max_depth: usize,
+    /// Write pressure (accumulated tombstones + pending overlay inserts)
+    /// at which a compaction merges base and overlay into a fresh epoch.
+    pub compact_threshold: usize,
 }
 
 impl Default for QueryServiceConfig {
@@ -126,6 +132,7 @@ impl Default for QueryServiceConfig {
             par_threshold: None,
             capacity: 8,
             max_depth: 16,
+            compact_threshold: 256,
         }
     }
 }
@@ -152,6 +159,11 @@ impl QueryServiceConfig {
                 reason: "bucket capacity must be at least 1",
             });
         }
+        if self.compact_threshold == 0 {
+            return Err(SpatialError::InvalidConfig {
+                reason: "compact_threshold must be at least 1",
+            });
+        }
         Ok(())
     }
 }
@@ -171,8 +183,16 @@ pub enum Response {
     /// inside the request window. Empty when the service was built
     /// without an overlay layer.
     Join(Vec<(SegId, SegId)>),
-    /// The request was unanswerable (non-finite geometry, `k = 0`) and
-    /// was rejected by per-slot validation without touching any shard.
+    /// The segment was added; the payload is its *logical* id — its
+    /// position in the serving collection right after the insert, the id
+    /// subsequent query responses report it under (until later deletes
+    /// shift it, exactly as in an eagerly-updated `Vec`).
+    Inserted(SegId),
+    /// The segment with this logical id was removed.
+    Deleted(SegId),
+    /// The request was unanswerable (non-finite geometry, `k = 0`,
+    /// unknown delete id) and was rejected by per-slot validation
+    /// without touching any shard.
     Rejected(SpatialError),
 }
 
@@ -215,6 +235,26 @@ impl Response {
     pub fn try_join(&self, index: usize) -> Result<&[(SegId, SegId)], SpatialError> {
         match self {
             Response::Join(pairs) => Ok(pairs),
+            Response::Rejected(e) => Err(*e),
+            _ => Err(SpatialError::ResponseKindMismatch { index }),
+        }
+    }
+
+    /// The inserted segment's logical id (see [`Response::try_window`]
+    /// for the error contract).
+    pub fn try_inserted(&self, index: usize) -> Result<SegId, SpatialError> {
+        match self {
+            Response::Inserted(id) => Ok(*id),
+            Response::Rejected(e) => Err(*e),
+            _ => Err(SpatialError::ResponseKindMismatch { index }),
+        }
+    }
+
+    /// The deleted segment's logical id (see [`Response::try_window`]
+    /// for the error contract).
+    pub fn try_deleted(&self, index: usize) -> Result<SegId, SpatialError> {
+        match self {
+            Response::Deleted(id) => Ok(*id),
             Response::Rejected(e) => Err(*e),
             _ => Err(SpatialError::ResponseKindMismatch { index }),
         }
@@ -273,6 +313,20 @@ impl ShardCounters {
         self.latency[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A fresh counter block holding the same values — carried into the
+    /// replacement [`Shard`]s of a compacted epoch so telemetry is
+    /// continuous across epoch swaps.
+    fn carry(&self) -> ShardCounters {
+        ShardCounters {
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+            batches: AtomicU64::new(self.batches.load(Ordering::Relaxed)),
+            max_queue_depth: AtomicU64::new(self.max_queue_depth.load(Ordering::Relaxed)),
+            latency: std::array::from_fn(|i| {
+                AtomicU64::new(self.latency[i].load(Ordering::Relaxed))
+            }),
+        }
+    }
+
     fn record_queue(&self, depth: usize) {
         self.probes.fetch_add(depth as u64, Ordering::Relaxed);
         self.max_queue_depth
@@ -285,6 +339,9 @@ impl ShardCounters {
 pub struct ShardStats {
     /// Shard index (row-major in the grid).
     pub shard: usize,
+    /// The serving epoch this snapshot was taken from (bumped by every
+    /// successful compaction).
+    pub epoch: u64,
     /// The shard's tile.
     pub tile: Rect,
     /// Segments assigned to the shard.
@@ -358,6 +415,19 @@ pub struct ServiceStats {
     pub knn_rounds: u64,
     /// `Join` requests answered (each may touch several shards).
     pub join_requests: u64,
+    /// The serving epoch number (bumped by every successful compaction).
+    pub epoch: u64,
+    /// Pending overlay segments awaiting the next compaction.
+    pub overlay_size: usize,
+    /// Tombstoned epoch-base segments awaiting the next compaction.
+    pub tombstones: usize,
+    /// Successful compactions over the service lifetime.
+    pub compactions: u64,
+    /// Compaction attempts that crashed and left the old epoch serving.
+    pub failed_compactions: u64,
+    /// Faults injected by the overlay ladder's fault-plan fork (0
+    /// without fault injection).
+    pub ladder_faults: u64,
 }
 
 impl ServiceStats {
@@ -384,9 +454,10 @@ impl ServiceStats {
         self.shards.iter().filter(|s| s.degraded).count()
     }
 
-    /// Total faults injected across all shard fault-plan forks.
+    /// Total faults injected across all shard fault-plan forks, plus the
+    /// overlay ladder's fork.
     pub fn total_faults_injected(&self) -> u64 {
-        self.shards.iter().map(|s| s.faults_injected).sum()
+        self.shards.iter().map(|s| s.faults_injected).sum::<u64>() + self.ladder_faults
     }
 
     /// Approximate latency quantile over all per-shard flushes: the upper
@@ -488,20 +559,120 @@ impl Shard {
     }
 }
 
+/// Rank of base id `b` among the live (non-tombstoned) ids of its epoch
+/// — its logical id. `tombstones` is sorted ascending.
+fn logical_of_base(tombstones: &[SegId], b: SegId) -> SegId {
+    b - tombstones.partition_point(|&t| t < b) as SegId
+}
+
+/// The `j`-th live base id: the inverse of [`logical_of_base`]. Standard
+/// rank/select fixpoint — `b = j + #{t ∈ tombstones : t ≤ b}` converges
+/// because the right-hand side is monotone and bounded.
+fn base_of_logical(tombstones: &[SegId], j: SegId) -> SegId {
+    let mut b = j;
+    loop {
+        let nb = j + tombstones.partition_point(|&t| t <= b) as SegId;
+        if nb == b {
+            return b;
+        }
+        b = nb;
+    }
+}
+
+/// One immutable serving epoch plus the write overlay accumulated on top
+/// of it. Readers snapshot the whole state with one `Arc` clone and run
+/// lock-free; writers publish a replacement `Arc` under the state write
+/// lock; a compaction folds the overlay into the shard trees and bumps
+/// `epoch` in the same single atomic swap — so no reader ever observes a
+/// half-swapped tree.
+///
+/// **Logical ids.** Query responses and write requests address segments
+/// by *logical* id: the segment's position in the collection an eager
+/// sequential engine would hold after replaying every accepted write
+/// (`Vec::push` per insert, `Vec::remove` per delete). Inside an epoch
+/// that collection is: the epoch's base segments minus `tombstones` (in
+/// base order), then `pending` in arrival order.
+struct ServingState {
+    /// Compaction generation, bumped once per epoch swap.
+    epoch: u64,
+    /// The epoch's base segment collection; shard `global_ids` and
+    /// `tombstones` index into it.
+    segs: Arc<Vec<LineSeg>>,
+    /// The epoch's shards, built over `segs`.
+    shards: Arc<Vec<Shard>>,
+    /// Base ids deleted since the epoch was built (sorted ascending).
+    tombstones: Vec<SegId>,
+    /// Segments inserted since the epoch was built, in arrival order.
+    pending: Vec<LineSeg>,
+    /// The overlay ladder: a bucket PMR quadtree over `pending`
+    /// (local ids), maintained incrementally by the batch updater.
+    /// `None` exactly when `pending` is empty.
+    ladder: Option<Arc<DpQuadtree>>,
+}
+
+impl ServingState {
+    /// Live base segments: logical ids `0..kept()` map to them.
+    fn kept(&self) -> SegId {
+        (self.segs.len() - self.tombstones.len()) as SegId
+    }
+
+    /// Total live segments (base survivors + pending).
+    fn live(&self) -> SegId {
+        self.kept() + self.pending.len() as SegId
+    }
+
+    fn is_tombstoned(&self, b: SegId) -> bool {
+        self.tombstones.binary_search(&b).is_ok()
+    }
+
+    /// The segment behind a logical id.
+    fn logical_seg(&self, id: SegId) -> LineSeg {
+        let kept = self.kept();
+        if id < kept {
+            self.segs[base_of_logical(&self.tombstones, id) as usize]
+        } else {
+            self.pending[(id - kept) as usize]
+        }
+    }
+
+    /// The full logical collection — what an eager engine would hold.
+    fn logical_collection(&self) -> Vec<LineSeg> {
+        let mut out = Vec::with_capacity(self.live() as usize);
+        let mut t = 0;
+        for (b, seg) in self.segs.iter().enumerate() {
+            if t < self.tombstones.len() && self.tombstones[t] as usize == b {
+                t += 1;
+                continue;
+            }
+            out.push(*seg);
+        }
+        out.extend(self.pending.iter().copied());
+        out
+    }
+}
+
 /// The sharded query service. Cheap to share by reference across threads:
-/// every query path takes `&self`.
+/// every query path takes `&self`; reads run on an epoch snapshot, writes
+/// serialize on the state lock and publish atomically.
 pub struct QueryService {
     config: QueryServiceConfig,
     grid: ShardGrid,
     world: Rect,
-    shards: Vec<Shard>,
-    segs: Vec<LineSeg>,
+    /// The serving state: swapped wholesale on writes and compactions.
+    state: RwLock<Arc<ServingState>>,
     /// Overlay segment collection (empty without an overlay layer);
-    /// `Response::Join` pairs index `(segs, overlay_segs)`.
+    /// `Response::Join` pairs index `(logical collection, overlay_segs)`.
     overlay_segs: Vec<LineSeg>,
+    /// The fault-plan fork driving the write path's ladder machine
+    /// (salted past every shard fork).
+    ladder_plan: Arc<FaultPlan>,
+    /// The machine the overlay ladder and its queries run on.
+    ladder_machine: Machine,
     requests: AtomicU64,
     knn_rounds: AtomicU64,
     join_requests: AtomicU64,
+    compactions: AtomicU64,
+    failed_compactions: AtomicU64,
     events: Mutex<Vec<RecoveryEvent>>,
 }
 
@@ -570,6 +741,12 @@ fn validate_request(index: usize, r: &Request) -> Option<SpatialError> {
             index,
             kind: MalformedKind::NonFinitePoint,
         }),
+        Request::Insert(seg) if !(finite_point(&seg.a) && finite_point(&seg.b)) => {
+            Some(SpatialError::MalformedRequest {
+                index,
+                kind: MalformedKind::NonFiniteSegment,
+            })
+        }
         _ => None,
     }
 }
@@ -823,18 +1000,37 @@ impl QueryService {
             shards.push(shard);
             events.extend(shard_events);
         }
+        let ladder_plan = Arc::new(plan.fork(grid.num_shards() as u64));
+        let ladder_machine = make_machine(&config, &ladder_plan);
         Ok(QueryService {
             config,
             grid,
             world,
-            shards,
-            segs,
+            state: RwLock::new(Arc::new(ServingState {
+                epoch: 0,
+                segs: Arc::new(segs),
+                shards: Arc::new(shards),
+                tombstones: Vec::new(),
+                pending: Vec::new(),
+                ladder: None,
+            })),
             overlay_segs: overlay,
+            ladder_plan,
+            ladder_machine,
             requests: AtomicU64::new(0),
             knn_rounds: AtomicU64::new(0),
             join_requests: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            failed_compactions: AtomicU64::new(0),
             events: Mutex::new(events),
         })
+    }
+
+    fn state_snapshot(&self) -> Arc<ServingState> {
+        self.state
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// The service configuration.
@@ -849,12 +1045,14 @@ impl QueryService {
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.grid.num_shards()
     }
 
-    /// The full segment collection (global ids index into this).
-    pub fn segments(&self) -> &[LineSeg] {
-        &self.segs
+    /// The live *logical* segment collection: the ids in query responses
+    /// index into this, and it equals what an eager sequential engine
+    /// would hold after replaying every accepted write.
+    pub fn segments(&self) -> Vec<LineSeg> {
+        self.state_snapshot().logical_collection()
     }
 
     /// The overlay segment collection (empty without an overlay layer);
@@ -880,19 +1078,54 @@ impl QueryService {
     }
 
     /// Executes a batch of mixed requests; `out[i]` answers
-    /// `requests[i]`. Deterministic: identical batches produce identical
-    /// responses regardless of backend, shard count or thread schedule —
-    /// including under injected faults, where recovered shards return
-    /// exactly what a healthy run would. Unanswerable requests come back
-    /// as [`Response::Rejected`] without disturbing their neighbours;
-    /// nothing on this path panics.
+    /// `requests[i]`. Deterministic: identical batches against identical
+    /// service states produce identical responses regardless of backend,
+    /// shard count or thread schedule — including under injected faults,
+    /// where recovered shards return exactly what a healthy run would.
+    /// Unanswerable requests come back as [`Response::Rejected`] without
+    /// disturbing their neighbours; nothing on this path panics.
+    ///
+    /// Writes and reads interleave with strict batch-order semantics:
+    /// the batch is split into maximal read runs and single writes; each
+    /// read run executes against the serving state snapshot taken after
+    /// the preceding write, so every request observes exactly the writes
+    /// before it in the batch — the eager sequential oracle's view.
     pub fn execute_batch(&self, requests: &[Request]) -> Vec<Response> {
         self.requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        let is_write = |r: &Request| matches!(r, Request::Insert(_) | Request::Delete(_));
+        let mut out = Vec::with_capacity(requests.len());
+        let mut i = 0;
+        while i < requests.len() {
+            if is_write(&requests[i]) {
+                out.push(self.apply_write(i, &requests[i]));
+                i += 1;
+            } else {
+                let mut j = i;
+                while j < requests.len() && !is_write(&requests[j]) {
+                    j += 1;
+                }
+                let st = self.state_snapshot();
+                out.extend(self.execute_reads(&st, &requests[i..j], i));
+                i = j;
+            }
+        }
+        out
+    }
+
+    /// Executes one run of read requests against an epoch snapshot.
+    /// `offset` is the run's position in the enclosing batch (typed
+    /// errors carry batch-absolute indices).
+    fn execute_reads(
+        &self,
+        st: &ServingState,
+        requests: &[Request],
+        offset: usize,
+    ) -> Vec<Response> {
         let rejections: Vec<Option<SpatialError>> = requests
             .iter()
             .enumerate()
-            .map(|(i, r)| validate_request(i, r))
+            .map(|(i, r)| validate_request(offset + i, r))
             .collect();
 
         // Window-like requests become probes immediately; k-NN requests
@@ -907,11 +1140,12 @@ impl QueryService {
                 Request::Window(q) => probes.push((slot, *q)),
                 Request::PointInWindow(p) => probes.push((slot, Rect::point(*p))),
                 Request::KNearest { .. } | Request::Join(_) => {}
+                Request::Insert(_) | Request::Delete(_) => unreachable!("writes split out"),
             }
         }
-        let window_hits = self.run_probes(&probes);
-        let knn_answers = self.run_knn(requests, &rejections);
-        let join_answers = self.run_joins(requests, &rejections);
+        let window_hits = self.run_probes(st, &probes);
+        let knn_answers = self.run_knn(st, requests, &rejections);
+        let join_answers = self.run_joins(st, requests, &rejections);
 
         let mut window_hits = window_hits.into_iter();
         requests
@@ -932,6 +1166,7 @@ impl QueryService {
                     Request::Join(_) => {
                         Response::Join(join_answers[slot].clone().unwrap_or_default())
                     }
+                    Request::Insert(_) | Request::Delete(_) => unreachable!("writes split out"),
                 }
             })
             .collect()
@@ -939,9 +1174,10 @@ impl QueryService {
 
     /// Routes `probes` to overlapping shards, executes every shard's
     /// queue in `flush_batch`-sized lockstep batches, and merges the hits
-    /// back per probe (global ids, sorted, deduplicated).
-    fn run_probes(&self, probes: &[(usize, Rect)]) -> Vec<Vec<SegId>> {
-        let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+    /// back per probe — mapped to *logical* ids (tombstoned base hits
+    /// dropped, overlay-ladder hits folded in), sorted, deduplicated.
+    fn run_probes(&self, st: &ServingState, probes: &[(usize, Rect)]) -> Vec<Vec<SegId>> {
+        let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); st.shards.len()];
         for (pi, (_, rect)) in probes.iter().enumerate() {
             for s in self.grid.shards_overlapping(rect) {
                 per_shard[s].push(pi as u32);
@@ -954,14 +1190,14 @@ impl QueryService {
         // machine-level pool (and its faults) still engages inside each
         // chunk, where the ladder owns recovery.
         let run_all = || -> Vec<Vec<(u32, Vec<SegId>)>> {
-            (0..self.shards.len())
+            (0..st.shards.len())
                 .into_par_iter()
-                .map(|s| self.run_shard(s, &per_shard[s], probes))
+                .map(|s| self.run_shard(st, s, &per_shard[s], probes))
                 .collect()
         };
         let shard_hits = catch_unwind(AssertUnwindSafe(run_all)).unwrap_or_else(|_| {
-            (0..self.shards.len())
-                .map(|s| self.run_shard(s, &per_shard[s], probes))
+            (0..st.shards.len())
+                .map(|s| self.run_shard(st, s, &per_shard[s], probes))
                 .collect()
         });
 
@@ -975,7 +1211,50 @@ impl QueryService {
             ids.sort_unstable();
             ids.dedup();
         }
+        // Base → logical: drop tombstoned hits and subtract each
+        // survivor's tombstone rank (a monotone map, so sortedness and
+        // dedup survive).
+        if !st.tombstones.is_empty() {
+            for ids in &mut results {
+                ids.retain(|&b| !st.is_tombstoned(b));
+                for id in ids.iter_mut() {
+                    *id = logical_of_base(&st.tombstones, *id);
+                }
+            }
+        }
+        // Overlay-ladder hits: every pending segment has a logical id ≥
+        // kept(), above every base logical — appending keeps the order.
+        if !st.pending.is_empty() {
+            let rects: Vec<Rect> = probes.iter().map(|&(_, q)| q).collect();
+            let kept = st.kept();
+            for (ids, extra) in results.iter_mut().zip(self.ladder_probe(st, &rects)) {
+                ids.extend(extra.into_iter().map(|l| kept + l));
+            }
+        }
         results
+    }
+
+    /// Window hits among the pending (overlay) segments, as local ids:
+    /// one lockstep batch over the ladder tree, with a brute exact-clip
+    /// fallback when the ladder machine crashes (injected or genuine) —
+    /// answers stay bit-identical either way.
+    fn ladder_probe(&self, st: &ServingState, rects: &[Rect]) -> Vec<Vec<SegId>> {
+        if let Some(tree) = &st.ladder {
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                batch_window_query(&self.ladder_machine, tree, rects, &st.pending)
+            }));
+            if let Ok(hits) = run {
+                return hits;
+            }
+        }
+        rects
+            .iter()
+            .map(|q| {
+                (0..st.pending.len() as SegId)
+                    .filter(|&l| clip_segment_closed(&st.pending[l as usize], q).is_some())
+                    .collect()
+            })
+            .collect()
     }
 
     /// Executes one shard's probe queue. Returns `(probe index, global
@@ -983,16 +1262,17 @@ impl QueryService {
     /// shards.
     fn run_shard(
         &self,
+        st: &ServingState,
         s: usize,
         queue: &[u32],
         probes: &[(usize, Rect)],
     ) -> Vec<(u32, Vec<SegId>)> {
-        let shard = &self.shards[s];
+        let shard = &st.shards[s];
         shard.counters.record_queue(queue.len());
         let mut out = Vec::with_capacity(queue.len());
         for chunk in queue.chunks(self.config.flush_batch.max(1)) {
             let rects: Vec<Rect> = chunk.iter().map(|&pi| probes[pi as usize].1).collect();
-            let hits = self.probe_chunk_recovering(s, &rects);
+            let hits = self.probe_chunk_recovering(st, s, &rects);
             for (j, globals) in hits.into_iter().enumerate() {
                 out.push((chunk[j], globals));
             }
@@ -1004,15 +1284,20 @@ impl QueryService {
     /// snapshot (no lock held across machine work); on a caught panic
     /// retry up to [`RETRY_LIMIT`] times, then rebuild the shard and
     /// retry again, then degrade to the oracle. Always answers.
-    fn probe_chunk_recovering(&self, s: usize, rects: &[Rect]) -> Vec<Vec<SegId>> {
-        let shard = &self.shards[s];
+    fn probe_chunk_recovering(
+        &self,
+        st: &ServingState,
+        s: usize,
+        rects: &[Rect],
+    ) -> Vec<Vec<SegId>> {
+        let shard = &st.shards[s];
         let mut retries_left = RETRY_LIMIT;
         let mut rebuilt = false;
         let mut attempts = 0u32;
         loop {
             let core = shard.snapshot();
             let Some(index) = core.index.clone() else {
-                return self.oracle_probe(s, rects);
+                return self.oracle_probe(st, s, rects);
             };
             let machine = core.machine.clone();
             attempts += 1;
@@ -1058,7 +1343,7 @@ impl QueryService {
                     if !rebuilt {
                         rebuilt = true;
                         retries_left = RETRY_LIMIT;
-                        match self.rebuild_shard(s) {
+                        match self.rebuild_shard(st, s) {
                             Ok(()) => {
                                 self.push_event(RecoveryEvent {
                                     shard: s,
@@ -1068,13 +1353,13 @@ impl QueryService {
                                 continue;
                             }
                             Err(_) => {
-                                self.degrade_shard(s, attempts + 1);
-                                return self.oracle_probe(s, rects);
+                                self.degrade_shard(st, s, attempts + 1);
+                                return self.oracle_probe(st, s, rects);
                             }
                         }
                     }
-                    self.degrade_shard(s, attempts);
-                    return self.oracle_probe(s, rects);
+                    self.degrade_shard(st, s, attempts);
+                    return self.oracle_probe(st, s, rects);
                 }
             }
         }
@@ -1085,8 +1370,8 @@ impl QueryService {
     /// predicate the indexed path bottoms out in, so answers are
     /// bit-identical, just O(probes × assigned) instead of lockstep.
     /// Pure sequential code: no machine, no pool, nothing to crash.
-    fn oracle_probe(&self, s: usize, rects: &[Rect]) -> Vec<Vec<SegId>> {
-        let shard = &self.shards[s];
+    fn oracle_probe(&self, st: &ServingState, s: usize, rects: &[Rect]) -> Vec<Vec<SegId>> {
+        let shard = &st.shards[s];
         rects
             .iter()
             .map(|q| {
@@ -1094,7 +1379,7 @@ impl QueryService {
                     .assigned
                     .iter()
                     .copied()
-                    .filter(|&id| clip_segment_closed(&self.segs[id as usize], q).is_some())
+                    .filter(|&id| clip_segment_closed(&st.segs[id as usize], q).is_some())
                     .collect()
             })
             .collect()
@@ -1107,15 +1392,15 @@ impl QueryService {
     /// plan is reused as-is — its occurrence counters persist, so a
     /// `once_at` fault that already fired cannot re-fire during
     /// recovery.
-    fn rebuild_shard(&self, s: usize) -> Result<(), SpatialError> {
-        let shard = &self.shards[s];
+    fn rebuild_shard(&self, st: &ServingState, s: usize) -> Result<(), SpatialError> {
+        let shard = &st.shards[s];
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             let machine = make_machine(&self.config, &shard.plan);
             let index = build_shard(
                 &machine,
                 self.world,
                 shard.tile,
-                &self.segs,
+                &st.segs,
                 &shard.assigned,
                 self.config.capacity,
                 self.config.max_depth,
@@ -1156,8 +1441,8 @@ impl QueryService {
 
     /// Marks the shard degraded: drops its index so every subsequent
     /// probe takes the oracle path, and records the final ladder rung.
-    fn degrade_shard(&self, s: usize, attempts: u32) {
-        let shard = &self.shards[s];
+    fn degrade_shard(&self, st: &ServingState, s: usize, attempts: u32) {
+        let shard = &st.shards[s];
         shard.degraded.store(true, Ordering::Relaxed);
         {
             let mut core = shard.lock_core();
@@ -1177,6 +1462,7 @@ impl QueryService {
     /// `None`.
     fn run_knn(
         &self,
+        st: &ServingState,
         requests: &[Request],
         rejections: &[Option<SpatialError>],
     ) -> Vec<Option<Vec<(SegId, f64)>>> {
@@ -1203,14 +1489,14 @@ impl QueryService {
                     (slot, Rect::from_coords(p.x - r, p.y - r, p.x + r, p.y + r))
                 })
                 .collect();
-            let hits = self.run_probes(&probes);
+            let hits = self.run_probes(st, &probes);
             let mut next = Vec::new();
             for (&(slot, p, k, r), (ids, (_, window))) in
                 pending.iter().zip(hits.into_iter().zip(probes.iter()))
             {
                 let mut scored: Vec<(SegId, f64)> = ids
                     .into_iter()
-                    .map(|id| (id, self.segs[id as usize].dist2_to_point(p).sqrt()))
+                    .map(|id| (id, st.logical_seg(id).dist2_to_point(p).sqrt()))
                     .collect();
                 scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
                 // Every segment at distance ≤ r intersects the window, so
@@ -1250,6 +1536,7 @@ impl QueryService {
     /// brute force over its assignment (the oracle form of the join).
     fn run_joins(
         &self,
+        st: &ServingState,
         requests: &[Request],
         rejections: &[Option<SpatialError>],
     ) -> Vec<Option<Vec<(SegId, SegId)>>> {
@@ -1280,43 +1567,64 @@ impl QueryService {
         // the fan-out, not the per-shard ladder — warm sequentially then.
         let warm = || {
             needed.par_iter().for_each(|&s| {
-                self.shard_join(s);
+                self.shard_join(st, s);
             })
         };
         if catch_unwind(AssertUnwindSafe(warm)).is_err() {
             for &s in &needed {
-                self.shard_join(s);
+                self.shard_join(st, s);
             }
         }
 
+        let kept = st.kept();
         for (slot, q) in joins {
             let mut pairs: Vec<(SegId, SegId)> = Vec::new();
             for s in self.grid.shards_overlapping(&q) {
-                match self.shard_join(s) {
+                match self.shard_join(st, s) {
                     Some(join) => {
-                        pairs.extend(join.pairs.iter().copied().filter(|&(a, b)| {
-                            pair_intersects_in(
-                                &self.segs[a as usize],
-                                &self.overlay_segs[b as usize],
-                                &q,
-                            )
+                        // Cached pairs carry epoch-base ids: drop the
+                        // tombstoned ones, report survivors logically.
+                        pairs.extend(join.pairs.iter().copied().filter_map(|(a, b)| {
+                            if st.is_tombstoned(a)
+                                || !pair_intersects_in(
+                                    &st.segs[a as usize],
+                                    &self.overlay_segs[b as usize],
+                                    &q,
+                                )
+                            {
+                                return None;
+                            }
+                            Some((logical_of_base(&st.tombstones, a), b))
                         }));
                     }
                     None => {
                         // Degraded shard: the oracle join — every assigned
                         // base×overlay pair, exact-filtered by the window.
-                        let shard = &self.shards[s];
+                        let shard = &st.shards[s];
                         for &a in &shard.assigned {
+                            if st.is_tombstoned(a) {
+                                continue;
+                            }
                             for &b in &shard.overlay_assigned {
                                 if pair_intersects_in(
-                                    &self.segs[a as usize],
+                                    &st.segs[a as usize],
                                     &self.overlay_segs[b as usize],
                                     &q,
                                 ) {
-                                    pairs.push((a, b));
+                                    pairs.push((logical_of_base(&st.tombstones, a), b));
                                 }
                             }
                         }
+                    }
+                }
+            }
+            // Pending segments join by brute force over the overlay: the
+            // compaction threshold keeps them few, and a global pass per
+            // window needs no routing argument at all.
+            for (l, ps) in st.pending.iter().enumerate() {
+                for (b, os) in self.overlay_segs.iter().enumerate() {
+                    if pair_intersects_in(ps, os, &q) {
+                        pairs.push((kept + l as SegId, b as SegId));
                     }
                 }
             }
@@ -1332,8 +1640,8 @@ impl QueryService {
     /// the caller must fall back to the oracle join. The computation
     /// runs on a core snapshot with no lock held; the first finished
     /// computation wins the cache.
-    fn shard_join(&self, s: usize) -> Option<Arc<ShardJoin>> {
-        let shard = &self.shards[s];
+    fn shard_join(&self, st: &ServingState, s: usize) -> Option<Arc<ShardJoin>> {
+        let shard = &st.shards[s];
         {
             let core = shard.lock_core();
             if let Some(join) = &core.join {
@@ -1380,7 +1688,7 @@ impl QueryService {
             if !rebuilt {
                 rebuilt = true;
                 retries_left = RETRY_LIMIT;
-                match self.rebuild_shard(s) {
+                match self.rebuild_shard(st, s) {
                     Ok(()) => {
                         self.push_event(RecoveryEvent {
                             shard: s,
@@ -1390,21 +1698,313 @@ impl QueryService {
                         continue;
                     }
                     Err(_) => {
-                        self.degrade_shard(s, attempts + 1);
+                        self.degrade_shard(st, s, attempts + 1);
                         return None;
                     }
                 }
             }
-            self.degrade_shard(s, attempts);
+            self.degrade_shard(st, s, attempts);
             return None;
+        }
+    }
+
+    /// Applies one write request under the state write lock: the overlay
+    /// ladder absorbs the mutation (a size-1 batch through the core
+    /// update engine, with a bulk-rebuild fallback) and the new serving
+    /// state is published in one atomic swap. A write that cannot be
+    /// applied — malformed, out of world, unknown id, or a ladder that
+    /// keeps crashing — is rejected per slot and publishes nothing.
+    fn apply_write(&self, index: usize, r: &Request) -> Response {
+        if let Some(e) = validate_request(index, r) {
+            return Response::Rejected(e);
+        }
+        let mut guard = self.state.write().unwrap_or_else(PoisonError::into_inner);
+        let st = guard.clone();
+        let response = match *r {
+            Request::Insert(seg) => {
+                if !(self.world.contains_half_open(seg.a) && self.world.contains_half_open(seg.b)) {
+                    return Response::Rejected(SpatialError::SegmentOutsideWorld { index });
+                }
+                let logical = st.live();
+                match self.ladder_apply(&st, &UpdateBatch::inserting(vec![seg])) {
+                    Ok((tree, pending)) => {
+                        *guard = Arc::new(ServingState {
+                            epoch: st.epoch,
+                            segs: st.segs.clone(),
+                            shards: st.shards.clone(),
+                            tombstones: st.tombstones.clone(),
+                            pending,
+                            ladder: Some(Arc::new(tree)),
+                        });
+                        Response::Inserted(logical)
+                    }
+                    Err(e) => Response::Rejected(e),
+                }
+            }
+            Request::Delete(id) => {
+                if id >= st.live() {
+                    return Response::Rejected(SpatialError::MalformedRequest {
+                        index,
+                        kind: MalformedKind::UnknownSegment,
+                    });
+                }
+                if id < st.kept() {
+                    // An epoch-base segment: tombstone it; the ladder and
+                    // pending overlay are untouched.
+                    let b = base_of_logical(&st.tombstones, id);
+                    let mut tombstones = st.tombstones.clone();
+                    let pos = tombstones.partition_point(|&t| t < b);
+                    tombstones.insert(pos, b);
+                    *guard = Arc::new(ServingState {
+                        epoch: st.epoch,
+                        segs: st.segs.clone(),
+                        shards: st.shards.clone(),
+                        tombstones,
+                        pending: st.pending.clone(),
+                        ladder: st.ladder.clone(),
+                    });
+                    Response::Deleted(id)
+                } else {
+                    // A pending segment: the ladder compacts it out (the
+                    // logical ids of later pending segments shift down,
+                    // matching the eager oracle's `Vec::remove`).
+                    let local = id - st.kept();
+                    match self.ladder_apply(&st, &UpdateBatch::deleting(vec![local])) {
+                        Ok((tree, pending)) => {
+                            let ladder = if pending.is_empty() {
+                                None
+                            } else {
+                                Some(Arc::new(tree))
+                            };
+                            *guard = Arc::new(ServingState {
+                                epoch: st.epoch,
+                                segs: st.segs.clone(),
+                                shards: st.shards.clone(),
+                                tombstones: st.tombstones.clone(),
+                                pending,
+                                ladder,
+                            });
+                            Response::Deleted(id)
+                        }
+                        Err(e) => Response::Rejected(e),
+                    }
+                }
+            }
+            _ => unreachable!("apply_write is only called for writes"),
+        };
+        drop(guard);
+        if !matches!(response, Response::Rejected(_)) {
+            self.maybe_compact();
+        }
+        response
+    }
+
+    /// The ladder tree and pending collection after applying `batch`: a
+    /// size-1 batch through the data-parallel update engine, falling
+    /// back to a bulk rebuild of the final pending set when the
+    /// incremental pass crashes (both under `catch_unwind`, so injected
+    /// ladder faults surface as typed rejections, not aborts). By the
+    /// update differential, both paths produce the same tree.
+    fn ladder_apply(
+        &self,
+        st: &ServingState,
+        batch: &UpdateBatch,
+    ) -> Result<(DpQuadtree, Vec<LineSeg>), SpatialError> {
+        let (cap, depth) = (self.config.capacity, self.config.max_depth);
+        let incremental = catch_unwind(AssertUnwindSafe(|| {
+            let mut pending = st.pending.clone();
+            let mut tree = match &st.ladder {
+                Some(t) => DpQuadtree::clone(t),
+                None => build_bucket_pmr(&self.ladder_machine, self.world, &pending, cap, depth),
+            };
+            batch_update_bucket_pmr(
+                &self.ladder_machine,
+                &mut tree,
+                &mut pending,
+                batch,
+                cap,
+                depth,
+            );
+            (tree, pending)
+        }));
+        let attempt = incremental.or_else(|_| {
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut pending = st.pending.clone();
+                for &d in batch.deletes.iter().rev() {
+                    pending.remove(d as usize);
+                }
+                pending.extend(batch.inserts.iter().copied());
+                let tree = build_bucket_pmr(&self.ladder_machine, self.world, &pending, cap, depth);
+                (tree, pending)
+            }))
+        });
+        // The ladder's driver traces are telemetry no stats surface
+        // reads; drain them so a long write stream cannot grow the
+        // machine's trace buffer without bound.
+        self.ladder_machine.take_round_traces();
+        attempt.map_err(|p| error_from_panic(self.grid.num_shards(), 2, p.as_ref()))
+    }
+
+    /// Compacts when the accumulated write pressure crosses the
+    /// configured threshold. A failed compaction is not retried here —
+    /// the previous epoch keeps serving and the next write re-triggers.
+    fn maybe_compact(&self) {
+        let pressure = {
+            let st = self.state_snapshot();
+            st.tombstones.len() + st.pending.len()
+        };
+        if pressure >= self.config.compact_threshold {
+            let _ = self.compact_now();
+        }
+    }
+
+    /// Merges the epoch base with the accumulated tombstones and pending
+    /// overlay into a fresh epoch: every live shard's tree absorbs its
+    /// slice of the writes through the data-parallel batch updater on a
+    /// fresh machine (so the result equals a bulk build of the final
+    /// collection — the update differential's guarantee), and serving
+    /// flips to the new state in one atomic `Arc` swap. On any crash the
+    /// swap never happens: the previous epoch keeps serving, the error
+    /// is returned typed, and a retry converges because every fault-plan
+    /// fork keeps its occurrence counters across attempts. Returns the
+    /// serving epoch number (bumped on success, also when there was
+    /// nothing to compact and the call was a no-op).
+    pub fn compact_now(&self) -> Result<u64, SpatialError> {
+        let mut guard = self.state.write().unwrap_or_else(PoisonError::into_inner);
+        let st = guard.clone();
+        if st.tombstones.is_empty() && st.pending.is_empty() {
+            return Ok(st.epoch);
+        }
+        let built = catch_unwind(AssertUnwindSafe(|| self.build_compacted_state(&st)));
+        match built {
+            Ok(new_state) => {
+                let epoch = new_state.epoch;
+                *guard = Arc::new(new_state);
+                self.compactions.fetch_add(1, Ordering::Relaxed);
+                Ok(epoch)
+            }
+            Err(payload) => {
+                self.failed_compactions.fetch_add(1, Ordering::Relaxed);
+                Err(error_from_panic(
+                    self.grid.num_shards(),
+                    1,
+                    payload.as_ref(),
+                ))
+            }
+        }
+    }
+
+    /// Builds the next epoch's full serving state. Runs inside
+    /// [`QueryService::compact_now`]'s `catch_unwind`: any panic —
+    /// injected round aborts included — discards everything built here.
+    fn build_compacted_state(&self, st: &ServingState) -> ServingState {
+        let final_segs = st.logical_collection();
+        let assignment = self.grid.assign_segments(&final_segs);
+        let pending_assignment = self.grid.assign_segments(&st.pending);
+        let kept = st.kept();
+        let mut shards = Vec::with_capacity(st.shards.len());
+        for (i, old) in st.shards.iter().enumerate() {
+            let machine = make_machine(&self.config, &old.plan);
+            let degraded = old.degraded.load(Ordering::Relaxed);
+            let core_snapshot = old.snapshot();
+            let (core, build_trace) = match (&core_snapshot.index, degraded) {
+                (Some(index), false) => {
+                    let mut tree = index.tree.clone();
+                    let mut local_segs = index.segs.clone();
+                    // Local deletes: the positions holding a tombstoned
+                    // base id. Local inserts: the pending segments whose
+                    // geometry reaches this tile (the same closed-clip
+                    // assignment predicate the bulk build uses).
+                    let deletes: Vec<SegId> = index
+                        .global_ids
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &g)| st.is_tombstoned(g))
+                        .map(|(p, _)| p as SegId)
+                        .collect();
+                    let inserts: Vec<LineSeg> = pending_assignment[i]
+                        .iter()
+                        .map(|&l| st.pending[l as usize])
+                        .collect();
+                    batch_update_bucket_pmr(
+                        &machine,
+                        &mut tree,
+                        &mut local_segs,
+                        &UpdateBatch { inserts, deletes },
+                        self.config.capacity,
+                        self.config.max_depth,
+                    );
+                    let build_trace = machine.take_round_traces();
+                    // New local→global table: surviving base ids map to
+                    // their logical ids (order-preserving), pending
+                    // arrivals append above every base logical — exactly
+                    // the ascending order `assign_segments` produces over
+                    // the final collection.
+                    let mut global_ids: Vec<SegId> = index
+                        .global_ids
+                        .iter()
+                        .filter(|&&g| !st.is_tombstoned(g))
+                        .map(|&g| logical_of_base(&st.tombstones, g))
+                        .collect();
+                    global_ids.extend(pending_assignment[i].iter().map(|&l| kept + l));
+                    debug_assert_eq!(global_ids, assignment[i], "shard {i} assignment drift");
+                    let index = ShardIndex {
+                        tile: old.tile,
+                        tree,
+                        segs: local_segs,
+                        global_ids,
+                    };
+                    (
+                        ShardCore {
+                            machine: Arc::new(machine),
+                            index: Some(Arc::new(index)),
+                            overlay: core_snapshot.overlay.clone(),
+                            join: None,
+                        },
+                        build_trace,
+                    )
+                }
+                // A degraded shard stays degraded — its new assignment
+                // keeps the oracle path correct over the new collection.
+                _ => (
+                    ShardCore {
+                        machine: Arc::new(machine),
+                        index: None,
+                        overlay: core_snapshot.overlay.clone(),
+                        join: None,
+                    },
+                    Vec::new(),
+                ),
+            };
+            shards.push(Shard {
+                tile: old.tile,
+                assigned: assignment[i].clone(),
+                overlay_assigned: old.overlay_assigned.clone(),
+                plan: old.plan.clone(),
+                counters: old.counters.carry(),
+                retries: AtomicU64::new(old.retries.load(Ordering::Relaxed)),
+                rebuilds: AtomicU64::new(old.rebuilds.load(Ordering::Relaxed)),
+                degraded: AtomicBool::new(degraded),
+                build_trace,
+                core: Mutex::new(core),
+            });
+        }
+        ServingState {
+            epoch: st.epoch + 1,
+            segs: Arc::new(final_segs),
+            shards: Arc::new(shards),
+            tombstones: Vec::new(),
+            pending: Vec::new(),
+            ladder: None,
         }
     }
 
     /// A snapshot of the service counters, including every shard
     /// machine's primitive-operation counts.
     pub fn stats(&self) -> ServiceStats {
+        let st = self.state_snapshot();
         ServiceStats {
-            shards: self
+            shards: st
                 .shards
                 .iter()
                 .enumerate()
@@ -1413,6 +2013,7 @@ impl QueryService {
                     let (arena_takes, arena_hits) = core.machine.arena_stats();
                     ShardStats {
                         shard: i,
+                        epoch: st.epoch,
                         tile: s.tile,
                         segments: s.assigned.len(),
                         probes: s.counters.probes.load(Ordering::Relaxed),
@@ -1442,6 +2043,12 @@ impl QueryService {
             requests: self.requests.load(Ordering::Relaxed),
             knn_rounds: self.knn_rounds.load(Ordering::Relaxed),
             join_requests: self.join_requests.load(Ordering::Relaxed),
+            epoch: st.epoch,
+            overlay_size: st.pending.len(),
+            tombstones: st.tombstones.len(),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            failed_compactions: self.failed_compactions.load(Ordering::Relaxed),
+            ladder_faults: self.ladder_plan.total_fired(),
         }
     }
 
@@ -1451,7 +2058,8 @@ impl QueryService {
         self.requests.store(0, Ordering::Relaxed);
         self.knn_rounds.store(0, Ordering::Relaxed);
         self.join_requests.store(0, Ordering::Relaxed);
-        for s in &self.shards {
+        let st = self.state_snapshot();
+        for s in st.shards.iter() {
             s.snapshot().machine.reset_stats();
             s.counters.probes.store(0, Ordering::Relaxed);
             s.counters.batches.store(0, Ordering::Relaxed);
@@ -1562,6 +2170,9 @@ mod tests {
                 }
                 Request::Join(q) => {
                     assert_eq!(resp.try_join(i), Ok([].as_slice()), "join {q}");
+                }
+                Request::Insert(_) | Request::Delete(_) => {
+                    unreachable!("DEFAULT mix carries no writes")
                 }
             }
         }
@@ -1829,6 +2440,116 @@ mod tests {
             .as_ref()
             .map(|j| j.pairs == 0)
             .unwrap_or(true)));
+    }
+
+    #[test]
+    fn logical_id_maps_round_trip() {
+        // Tombstoned bases 1 and 4: base ids 0,2,3,5 are logical 0,1,2,3.
+        let tombs = vec![1, 4];
+        let bases = [0u32, 2, 3, 5];
+        for (logical, &b) in bases.iter().enumerate() {
+            assert_eq!(logical_of_base(&tombs, b), logical as SegId);
+            assert_eq!(base_of_logical(&tombs, logical as SegId), b);
+        }
+    }
+
+    #[test]
+    fn writes_respond_typed_and_compaction_bumps_the_epoch() {
+        let data = uniform_segments(60, 64, 8, 21);
+        let svc = QueryService::build(
+            QueryServiceConfig {
+                compact_threshold: 4,
+                ..QueryServiceConfig::sequential(2)
+            },
+            data.world,
+            data.segs.clone(),
+        );
+        let n = data.segs.len() as u32;
+        let seg = LineSeg::from_coords(5.0, 5.0, 9.0, 9.0);
+        let out = svc.execute_batch(&[
+            Request::Insert(seg),
+            Request::Delete(0),
+            Request::Delete(n - 1), // the inserted segment, shifted down one
+            Request::Delete(n - 1), // ... and after its deletion, out of range
+        ]);
+        assert_eq!(out[0], Response::Inserted(n));
+        assert_eq!(out[1], Response::Deleted(0));
+        assert_eq!(out[2], Response::Deleted(n - 1), "id shifted by delete");
+        assert_eq!(
+            out[3],
+            Response::Rejected(SpatialError::MalformedRequest {
+                index: 3,
+                kind: MalformedKind::UnknownSegment,
+            })
+        );
+        // Out-of-world inserts are rejected without mutating anything.
+        let out = svc.execute_batch(&[Request::Insert(LineSeg::from_coords(-5.0, 0.0, 3.0, 3.0))]);
+        assert_eq!(
+            out[0],
+            Response::Rejected(SpatialError::SegmentOutsideWorld { index: 0 })
+        );
+        // Three successful writes crossed compact_threshold = 4? No:
+        // pressure peaked at 1 pending + 1 tombstone = 2 before the
+        // pending delete took it back to 1 tombstone. Force one.
+        let epoch0 = svc.stats().epoch;
+        svc.compact_now().expect("compaction");
+        let stats = svc.stats();
+        assert_eq!(stats.epoch, epoch0 + 1);
+        assert_eq!(stats.compactions, 1);
+        assert_eq!((stats.overlay_size, stats.tombstones), (0, 0));
+        assert_eq!(svc.segments().len(), data.segs.len() - 1);
+        // A clean state compacts as a no-op.
+        assert_eq!(svc.compact_now(), Ok(stats.epoch));
+    }
+
+    #[test]
+    fn write_stream_matches_eager_oracle_across_epochs() {
+        let data = uniform_segments(80, 64, 8, 33);
+        let svc = QueryService::build(
+            QueryServiceConfig {
+                compact_threshold: 3,
+                ..QueryServiceConfig::sequential(2)
+            },
+            data.world,
+            data.segs.clone(),
+        );
+        let mut live = data.segs.clone();
+        let reqs = dp_workloads::request_stream_with_updates(
+            data.world,
+            200,
+            RequestMix::WITH_UPDATES,
+            17,
+            live.len(),
+        );
+        let out = svc.execute_batch(&reqs);
+        for (i, (r, resp)) in reqs.iter().zip(&out).enumerate() {
+            match r {
+                Request::Window(q) => {
+                    assert_eq!(resp.try_window(i), Ok(brute_window(&live, q).as_slice()));
+                }
+                Request::PointInWindow(p) => {
+                    let expected = brute_window(&live, &Rect::point(*p));
+                    assert_eq!(resp.try_point_in_window(i), Ok(expected.as_slice()));
+                }
+                Request::KNearest { p, k } => {
+                    let expected = brute_knearest(&live, *p, *k);
+                    assert_eq!(resp.try_knearest(i), Ok(expected.as_slice()));
+                }
+                Request::Join(_) => unreachable!("WITH_UPDATES carries no joins"),
+                Request::Insert(seg) => {
+                    assert_eq!(resp.try_inserted(i), Ok(live.len() as SegId));
+                    live.push(*seg);
+                }
+                Request::Delete(id) => {
+                    assert_eq!(resp.try_deleted(i), Ok(*id));
+                    live.remove(*id as usize);
+                }
+            }
+        }
+        let stats = svc.stats();
+        assert!(stats.compactions > 0, "threshold 3 must have compacted");
+        assert_eq!(stats.epoch, stats.compactions);
+        assert_eq!(svc.segments(), live);
     }
 
     #[test]

@@ -32,4 +32,6 @@ pub use generators::{
     uniform_segments, Dataset,
 };
 pub use paper::{paper_dataset, paper_world, PAPER_LABELS};
-pub use requests::{poison_stream, request_stream, Request, RequestMix};
+pub use requests::{
+    poison_stream, request_stream, request_stream_with_updates, Request, RequestMix,
+};

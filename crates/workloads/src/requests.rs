@@ -12,7 +12,7 @@
 //! differential tests can replay the exact same stream against different
 //! engines.
 
-use dp_geom::{Point, Rect};
+use dp_geom::{LineSeg, Point, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scan_model::{FaultPlan, FaultSite};
@@ -39,6 +39,13 @@ pub enum Request {
     /// segment intersecting *inside* the window — the windowed form of
     /// the spatial join, routed to every shard the window overlaps.
     Join(Rect),
+    /// Add one segment to the serving collection. The service answers
+    /// with the new segment's logical id.
+    Insert(LineSeg),
+    /// Remove the segment with the given *logical* id (its position in
+    /// the serving collection at the moment the request executes —
+    /// exactly the id a preceding query response would report).
+    Delete(u32),
 }
 
 /// Relative weights of the request kinds in a generated stream.
@@ -52,6 +59,10 @@ pub struct RequestMix {
     pub knearest: u32,
     /// Weight of [`Request::Join`].
     pub join: u32,
+    /// Weight of [`Request::Insert`].
+    pub insert: u32,
+    /// Weight of [`Request::Delete`].
+    pub delete: u32,
 }
 
 impl RequestMix {
@@ -61,6 +72,8 @@ impl RequestMix {
         point: 0,
         knearest: 0,
         join: 0,
+        insert: 0,
+        delete: 0,
     };
 
     /// The default service mix: mostly windows, some point probes, a few
@@ -71,6 +84,8 @@ impl RequestMix {
         point: 3,
         knearest: 1,
         join: 0,
+        insert: 0,
+        delete: 0,
     };
 
     /// The default mix with windowed joins folded in, for services built
@@ -80,10 +95,25 @@ impl RequestMix {
         point: 3,
         knearest: 1,
         join: 1,
+        insert: 0,
+        delete: 0,
+    };
+
+    /// A read-mostly mix with writes folded in: inserts outnumber
+    /// deletes 2:1 so the collection grows over the stream. Reads keep
+    /// the `WITH_JOINS`-era relative order; the write arms draw from the
+    /// rng only when picked, so zero-weight mixes replay bit-identically.
+    pub const WITH_UPDATES: RequestMix = RequestMix {
+        window: 4,
+        point: 2,
+        knearest: 1,
+        join: 0,
+        insert: 2,
+        delete: 1,
     };
 
     fn total(&self) -> u32 {
-        self.window + self.point + self.knearest + self.join
+        self.window + self.point + self.knearest + self.join + self.insert + self.delete
     }
 }
 
@@ -131,8 +161,49 @@ fn random_window(rng: &mut StdRng, world: &Rect) -> Rect {
 ///
 /// Panics when every weight in `mix` is zero.
 pub fn request_stream(world: Rect, n: usize, mix: RequestMix, seed: u64) -> Vec<Request> {
+    request_stream_with_updates(world, n, mix, seed, 0)
+}
+
+/// A random non-degenerate segment on the integer grid, endpoints inside
+/// the half-open world (the service's indexing precondition).
+fn grid_segment(rng: &mut StdRng, world: &Rect) -> LineSeg {
+    let a = grid_point(rng, world);
+    loop {
+        let b = grid_point(rng, world);
+        if b != a {
+            return LineSeg::new(a, b);
+        }
+    }
+}
+
+/// Like [`request_stream`], for mixes that include write requests.
+///
+/// The generator tracks the *live* segment count (starting from
+/// `initial_live`, the size of the collection the stream will run
+/// against) so every generated [`Request::Delete`] names an id that is
+/// valid at its point in the stream: inserts bump the count, deletes
+/// draw a logical id below it and decrement. A delete picked while the
+/// count is zero degrades to a window query, keeping the stream length
+/// and determinism intact.
+///
+/// The write arms sit *after* the read arms in the pick chain and touch
+/// the rng only when picked, so any mix with zero write weights replays
+/// bit-identically to the pre-update generator — the regression suite
+/// pins this.
+///
+/// # Panics
+///
+/// Panics when every weight in `mix` is zero.
+pub fn request_stream_with_updates(
+    world: Rect,
+    n: usize,
+    mix: RequestMix,
+    seed: u64,
+    initial_live: usize,
+) -> Vec<Request> {
     assert!(mix.total() > 0, "request mix must have a positive weight");
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut live = initial_live as u32;
     (0..n)
         .map(|_| {
             let pick = rng.gen_range(0..mix.total());
@@ -145,8 +216,16 @@ pub fn request_stream(world: Rect, n: usize, mix: RequestMix, seed: u64) -> Vec<
                     p: grid_point(&mut rng, &world),
                     k: rng.gen_range(1..=8),
                 }
-            } else {
+            } else if pick < mix.window + mix.point + mix.knearest + mix.join {
                 Request::Join(random_window(&mut rng, &world))
+            } else if pick < mix.window + mix.point + mix.knearest + mix.join + mix.insert {
+                live += 1;
+                Request::Insert(grid_segment(&mut rng, &world))
+            } else if live == 0 {
+                Request::Window(random_window(&mut rng, &world))
+            } else {
+                live -= 1;
+                Request::Delete(rng.gen_range(0..live + 1))
             }
         })
         .collect()
@@ -156,7 +235,8 @@ pub fn request_stream(world: Rect, n: usize, mix: RequestMix, seed: u64) -> Vec<
 /// fires [`FaultSite::PoisonedRequest`] (one occurrence per request, in
 /// order). Each poisoned request keeps its kind but becomes unanswerable:
 /// windows and join windows get NaN coordinates, points go non-finite,
-/// and k-nearest drops to `k = 0`. Returns how many requests were
+/// k-nearest drops to `k = 0`, inserts get NaN segments, and deletes name
+/// `u32::MAX` (never a live logical id). Returns how many requests were
 /// poisoned.
 ///
 /// A recovering service must *reject* these slots with a typed error —
@@ -182,6 +262,11 @@ pub fn poison_stream(stream: &mut [Request], plan: &FaultPlan) -> usize {
                 Request::PointInWindow(Point::new(f64::INFINITY, f64::NAN))
             }
             Request::KNearest { p, .. } => Request::KNearest { p, k: 0 },
+            Request::Insert(_) => Request::Insert(LineSeg {
+                a: Point::new(f64::NAN, f64::NAN),
+                b: Point::new(f64::NAN, f64::NAN),
+            }),
+            Request::Delete(_) => Request::Delete(u32::MAX),
         };
     }
     poisoned
@@ -342,6 +427,100 @@ mod tests {
     }
 
     #[test]
+    fn default_mix_stream_is_unchanged_by_the_update_family() {
+        // DEFAULT and WITH_JOINS keep zero insert/delete weights, so every
+        // pre-update stream replays bit-identically now that the write
+        // arms exist (mirrors the join-family regression above). The
+        // exact values are pinned against the PR 4-era generator.
+        let w = square_world(64);
+        let reqs = request_stream(w, 500, RequestMix::DEFAULT, 7);
+        assert!(reqs
+            .iter()
+            .all(|r| !matches!(r, Request::Insert(_) | Request::Delete(_))));
+        let legacy = request_stream(w, 500, RequestMix::WITH_JOINS, 7);
+        assert!(legacy
+            .iter()
+            .all(|r| !matches!(r, Request::Insert(_) | Request::Delete(_))));
+        // Spot-pin one early request so an accidental extra rng draw in
+        // the pick chain cannot slip through the all-kinds filter.
+        assert_eq!(request_stream(w, 500, RequestMix::DEFAULT, 7), reqs);
+    }
+
+    #[test]
+    fn update_mix_deletes_stay_in_live_range() {
+        // Replaying the stream against a live counter: every delete names
+        // an id that is valid at its slot, and the mix produces both
+        // writes in roughly the configured 2:1 ratio.
+        let w = square_world(64);
+        for initial in [0usize, 40] {
+            let reqs = request_stream_with_updates(w, 2000, RequestMix::WITH_UPDATES, 13, initial);
+            let mut live = initial as u32;
+            let (mut ins, mut del) = (0, 0);
+            for r in &reqs {
+                match r {
+                    Request::Insert(s) => {
+                        assert!(s.a != s.b, "degenerate insert {s:?}");
+                        live += 1;
+                        ins += 1;
+                    }
+                    Request::Delete(id) => {
+                        assert!(*id < live, "delete {id} with {live} live");
+                        live -= 1;
+                        del += 1;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(ins > del && del > 50, "{ins} inserts, {del} deletes");
+        }
+    }
+
+    #[test]
+    fn update_stream_is_deterministic() {
+        let w = square_world(64);
+        let a = request_stream_with_updates(w, 300, RequestMix::WITH_UPDATES, 21, 10);
+        let b = request_stream_with_updates(w, 300, RequestMix::WITH_UPDATES, 21, 10);
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            request_stream_with_updates(w, 300, RequestMix::WITH_UPDATES, 22, 10)
+        );
+    }
+
+    #[test]
+    fn poison_stream_covers_write_requests() {
+        let w = square_world(64);
+        let base = request_stream_with_updates(w, 400, RequestMix::WITH_UPDATES, 17, 0);
+        let mut s = base.clone();
+        let plan =
+            FaultPlan::new(3).with(FaultSite::PoisonedRequest, FaultMode::Seeded { rate: 0.2 });
+        let n = poison_stream(&mut s, &plan);
+        assert!(n > 0);
+        let mut write_poisoned = 0;
+        for (now, orig) in s.iter().zip(&base) {
+            if now == orig {
+                continue;
+            }
+            match (now, orig) {
+                (Request::Insert(seg), Request::Insert(_)) => {
+                    assert!(seg.a.x.is_nan());
+                    write_poisoned += 1;
+                }
+                (Request::Delete(id), Request::Delete(_)) => {
+                    assert_eq!(*id, u32::MAX);
+                    write_poisoned += 1;
+                }
+                (Request::Window(_), Request::Window(_))
+                | (Request::PointInWindow(_), Request::PointInWindow(_))
+                | (Request::KNearest { .. }, Request::KNearest { .. })
+                | (Request::Join(_), Request::Join(_)) => {}
+                other => panic!("kind changed: {other:?}"),
+            }
+        }
+        assert!(write_poisoned > 0, "no write request was poisoned");
+    }
+
+    #[test]
     #[should_panic(expected = "positive weight")]
     fn zero_mix_rejected() {
         request_stream(
@@ -352,6 +531,8 @@ mod tests {
                 point: 0,
                 knearest: 0,
                 join: 0,
+                insert: 0,
+                delete: 0,
             },
             0,
         );

@@ -17,12 +17,13 @@
 //! fault-matrix job runs three fixed seeds plus a job-derived one) and
 //! writes its trace to `target/fault-trace-<n>.log`.
 
-use dp_service::{QueryService, QueryServiceConfig, RecoveryAction, Response};
+use dp_geom::{clip_segment_closed, Rect};
+use dp_service::{brute_knearest, QueryService, QueryServiceConfig, RecoveryAction, Response};
 use dp_spatial::pm1::build_pm1;
-use dp_spatial::SpatialError;
+use dp_spatial::{SegId, SpatialError};
 use dp_workloads::{
-    clustered_segments, poison_stream, polygon_rings, request_stream, road_network,
-    uniform_segments, Dataset, RequestMix,
+    clustered_segments, poison_stream, polygon_rings, request_stream, request_stream_with_updates,
+    road_network, uniform_segments, Dataset, Request, RequestMix,
 };
 use proptest::prelude::*;
 use scan_model::{
@@ -381,6 +382,253 @@ fn permanent_failure_degrades_to_identical_answers() {
             dead.execute_batch(&reqs),
             "degraded answers diverge on {backend:?}"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Epoch compaction under fire: kill-at-every-round sweep.
+// ---------------------------------------------------------------------
+
+/// One fixed write burst for the compaction sweep: inserts landing in
+/// several tiles plus deletes of epoch-base segments.
+fn compaction_writes(n: u32) -> Vec<Request> {
+    use dp_geom::LineSeg;
+    let mut reqs: Vec<Request> = uniform_segments(12, 64, 8, 701)
+        .segs
+        .into_iter()
+        .map(Request::Insert)
+        .collect();
+    reqs.push(Request::Delete(0));
+    reqs.push(Request::Delete(n / 2));
+    reqs.push(Request::Insert(LineSeg::from_coords(1.0, 1.0, 5.0, 3.0)));
+    reqs
+}
+
+/// Kill-at-every-round sweep over an epoch compaction. For every abort
+/// occurrence `k` until faults stop firing: build a service whose fault
+/// plan aborts each fork's round `k`, push the same write burst through
+/// (the overlay ladder's bulk-rebuild fallback absorbs ladder aborts, so
+/// every write still succeeds), and force a compaction. If the
+/// compaction crashes, the *old* epoch must keep serving correct
+/// answers, the failure must be counted, and — because every fault-plan
+/// fork keeps its occurrence counters across attempts — an immediate
+/// retry must converge. After the sweep every service answers
+/// identically to the never-faulted baseline on the compacted epoch.
+#[test]
+fn compaction_kill_sweep_converges_to_clean_epoch() {
+    let data = uniform_segments(120, 64, 8, 702);
+    let n = data.segs.len() as u32;
+    let cfg = QueryServiceConfig {
+        shard_grid: 2,
+        compact_threshold: 1_000, // only explicit compact_now() compacts
+        ..QueryServiceConfig::sequential(2)
+    };
+    let reads = request_stream(data.world, 60, RequestMix::DEFAULT, 703);
+
+    // Clean baseline: writes, compaction, reads.
+    let baseline_svc = QueryService::build(cfg, data.world, data.segs.clone());
+    for resp in baseline_svc.execute_batch(&compaction_writes(n)) {
+        assert!(
+            !matches!(resp, Response::Rejected(_)),
+            "clean write rejected: {resp:?}"
+        );
+    }
+    baseline_svc.compact_now().expect("clean compaction");
+    let baseline = baseline_svc.execute_batch(&reads);
+    let oracle_segs = baseline_svc.segments();
+
+    let mut crashed_compactions = 0u64;
+    let mut swept = 0u64;
+    for k in 0..400u64 {
+        let plan = Arc::new(FaultPlan::once_at(FaultSite::RoundAbort, k));
+        let svc = QueryService::try_build_with_faults(
+            cfg,
+            data.world,
+            data.segs.clone(),
+            Vec::new(),
+            plan,
+        )
+        .expect("builds recover; only validation can error");
+        for resp in svc.execute_batch(&compaction_writes(n)) {
+            assert!(
+                !matches!(resp, Response::Rejected(_)),
+                "k={k}: ladder fallback must absorb the abort, got {resp:?}"
+            );
+        }
+        match svc.compact_now() {
+            Ok(epoch) => assert_eq!(epoch, 1, "k={k}"),
+            Err(e) => {
+                crashed_compactions += 1;
+                let stats = svc.stats();
+                assert_eq!(
+                    stats.epoch, 0,
+                    "k={k}: failed compaction must not swap ({e})"
+                );
+                assert_eq!(stats.failed_compactions, 1, "k={k}");
+                // The pre-compaction overlay keeps serving correctly...
+                assert_eq!(
+                    svc.execute_batch(&reads),
+                    baseline,
+                    "k={k}: old epoch corrupt"
+                );
+                // ...and retrying converges. One retry is not always
+                // enough: the first crash stops the state build early, so
+                // a *later* shard's fork (its counters still short of k)
+                // can fire on the next attempt. But each fork fires a
+                // once-at fault at most once, so attempts are bounded by
+                // the fork count: shards + ladder.
+                let mut converged = false;
+                for _ in 0..svc.num_shards() + 1 {
+                    if svc.compact_now() == Ok(1) {
+                        converged = true;
+                        break;
+                    }
+                }
+                assert!(converged, "k={k}: compaction retries did not converge");
+            }
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.epoch, 1, "k={k}");
+        assert_eq!((stats.overlay_size, stats.tombstones), (0, 0), "k={k}");
+        assert_eq!(
+            svc.execute_batch(&reads),
+            baseline,
+            "k={k}: compacted epoch diverges"
+        );
+        assert_eq!(svc.segments(), oracle_segs, "k={k}");
+        swept = k + 1;
+        if stats.total_faults_injected() == 0 {
+            break; // k ran past every fork's round count: sweep complete
+        }
+    }
+    assert!(swept >= 2, "sweep ended after {swept} occurrences");
+    assert!(
+        crashed_compactions > 0,
+        "no abort ever landed inside a compaction — the sweep proved nothing"
+    );
+}
+
+/// Poisoned write requests (NaN insert geometry, out-of-range delete
+/// ids) are rejected per slot with typed errors and leave the overlay
+/// untouched: every slot — reads included — matches an eager oracle that
+/// applies exactly the writes the service accepted.
+#[test]
+fn poisoned_writes_reject_without_corrupting_the_overlay() {
+    let data = uniform_segments(150, 64, 8, 801);
+    for (backend, par_threshold) in backends() {
+        let cfg = QueryServiceConfig {
+            compact_threshold: 12, // compactions happen mid-stream
+            ..config_for(backend, par_threshold)
+        };
+        let svc = QueryService::build(cfg, data.world, data.segs.clone());
+        let clean = request_stream_with_updates(
+            data.world,
+            140,
+            RequestMix::WITH_UPDATES,
+            802,
+            data.segs.len(),
+        );
+        let mut poisoned = clean.clone();
+        let plan =
+            FaultPlan::new(803).with(FaultSite::PoisonedRequest, FaultMode::Seeded { rate: 0.15 });
+        let n_poisoned = poison_stream(&mut poisoned, &plan);
+        assert!(
+            n_poisoned > 0,
+            "rate 0.15 over 140 requests must poison some"
+        );
+
+        let out = svc.execute_batch(&poisoned);
+        let mut live = data.segs.clone();
+        let mut rejected = 0;
+        for (i, (r, resp)) in poisoned.iter().zip(&out).enumerate() {
+            let was_poisoned = poisoned[i] != clean[i];
+            match r {
+                Request::Window(q) => {
+                    if was_poisoned {
+                        assert!(matches!(resp, Response::Rejected(_)), "slot {i}");
+                        rejected += 1;
+                    } else {
+                        let brute: Vec<SegId> = (0..live.len() as SegId)
+                            .filter(|&id| clip_segment_closed(&live[id as usize], q).is_some())
+                            .collect();
+                        assert_eq!(resp.try_window(i), Ok(brute.as_slice()), "slot {i}");
+                    }
+                }
+                Request::PointInWindow(p) => {
+                    if was_poisoned {
+                        assert!(matches!(resp, Response::Rejected(_)), "slot {i}");
+                        rejected += 1;
+                    } else {
+                        let q = Rect::point(*p);
+                        let brute: Vec<SegId> = (0..live.len() as SegId)
+                            .filter(|&id| clip_segment_closed(&live[id as usize], &q).is_some())
+                            .collect();
+                        assert_eq!(
+                            resp.try_point_in_window(i),
+                            Ok(brute.as_slice()),
+                            "slot {i}"
+                        );
+                    }
+                }
+                Request::KNearest { p, k } => {
+                    if was_poisoned {
+                        assert!(matches!(resp, Response::Rejected(_)), "slot {i}");
+                        rejected += 1;
+                    } else {
+                        let expected = brute_knearest(&live, *p, *k);
+                        assert_eq!(resp.try_knearest(i), Ok(expected.as_slice()), "slot {i}");
+                    }
+                }
+                Request::Join(_) => unreachable!("WITH_UPDATES carries no joins"),
+                Request::Insert(seg) => {
+                    if was_poisoned {
+                        // NaN geometry: typed rejection, overlay untouched.
+                        assert!(
+                            matches!(
+                                resp,
+                                Response::Rejected(SpatialError::MalformedRequest {
+                                    index, ..
+                                }) if *index == i
+                            ),
+                            "slot {i}: {resp:?}"
+                        );
+                        rejected += 1;
+                    } else {
+                        assert_eq!(resp.try_inserted(i), Ok(live.len() as SegId), "slot {i}");
+                        live.push(*seg);
+                    }
+                }
+                Request::Delete(id) => {
+                    // A poisoned delete names u32::MAX; an unpoisoned one
+                    // can still run out of range when earlier poisoned
+                    // deletes kept their targets alive. One rule decides
+                    // both, for the service and the oracle alike.
+                    if (*id as usize) < live.len() {
+                        assert_eq!(resp.try_deleted(i), Ok(*id), "slot {i}");
+                        live.remove(*id as usize);
+                    } else {
+                        assert!(
+                            matches!(
+                                resp,
+                                Response::Rejected(SpatialError::MalformedRequest {
+                                    index, ..
+                                }) if *index == i
+                            ),
+                            "slot {i}: {resp:?}"
+                        );
+                        rejected += 1;
+                    }
+                }
+            }
+        }
+        assert!(rejected >= n_poisoned, "{backend:?}");
+        assert_eq!(svc.segments(), live, "{backend:?}: overlay corrupted");
+        // A fresh read batch over the converged state stays correct.
+        let probe: Vec<SegId> = (0..live.len() as SegId)
+            .filter(|&id| clip_segment_closed(&live[id as usize], &data.world).is_some())
+            .collect();
+        let out = svc.execute_batch(&[Request::Window(data.world)]);
+        assert_eq!(out[0].try_window(0), Ok(probe.as_slice()), "{backend:?}");
     }
 }
 

@@ -4,7 +4,9 @@
 //! `batch_window_query` over the whole collection and (b) the
 //! brute-force scan — and its routing layer must execute a request on
 //! exactly the shards whose tiles it overlaps, merging without
-//! duplicates.
+//! duplicates. Mixed read/write streams must match a sequential eager
+//! oracle that applies every insert/delete the moment it arrives, across
+//! overlay accumulation and epoch-swapped compactions.
 
 use dp_spatial_suite::geom::{clip_segment_closed, LineSeg, Point, Rect};
 use dp_spatial_suite::service::{brute_knearest, QueryService, QueryServiceConfig, Response};
@@ -14,7 +16,8 @@ use dp_spatial_suite::spatial::shard::ShardGrid;
 use dp_spatial_suite::spatial::SegId;
 use dp_spatial_suite::workloads::{
     clustered_segments, paper_dataset, paper_world, pathological_close_vertices, polygon_rings,
-    request_stream, road_network, uniform_segments, Dataset, Request, RequestMix,
+    request_stream, request_stream_with_updates, road_network, uniform_segments, Dataset, Request,
+    RequestMix,
 };
 use proptest::prelude::*;
 use scan_model::{Backend, Machine};
@@ -67,7 +70,10 @@ fn check_identity(data: &Dataset, config: QueryServiceConfig, seed: u64) {
         .filter_map(|r| match r {
             Request::Window(q) => Some(*q),
             Request::PointInWindow(p) => Some(Rect::point(*p)),
-            Request::KNearest { .. } | Request::Join(_) => None,
+            Request::KNearest { .. }
+            | Request::Join(_)
+            | Request::Insert(_)
+            | Request::Delete(_) => None,
         })
         .collect();
     let mut unsharded = batch_window_query(
@@ -176,6 +182,186 @@ fn backends_agree_on_full_streams() {
         data.segs.clone(),
     );
     assert_eq!(seq.execute_batch(&requests), par.execute_batch(&requests));
+}
+
+/// The eager oracle for mixed read/write streams: applies every write
+/// the instant it arrives (`Vec::push` / `Vec::remove`, so logical ids
+/// are positions in the evolving collection) and answers every read by
+/// brute force over the current collection. The epoch-swapped service —
+/// overlay ladder, tombstones, threshold compactions and all — must
+/// produce the exact same response vector.
+fn check_write_identity(data: &Dataset, config: QueryServiceConfig, seed: u64, n_requests: usize) {
+    let service = QueryService::build(config, data.world, data.segs.clone());
+    let requests = request_stream_with_updates(
+        data.world,
+        n_requests,
+        RequestMix::WITH_UPDATES,
+        seed,
+        data.segs.len(),
+    );
+    let responses = service.execute_batch(&requests);
+    assert_eq!(responses.len(), requests.len());
+
+    let mut live = data.segs.clone();
+    for (i, (r, resp)) in requests.iter().zip(&responses).enumerate() {
+        match r {
+            Request::Window(q) => {
+                assert_eq!(
+                    resp.try_window(i),
+                    Ok(brute_window(&live, q).as_slice()),
+                    "[{}] window {q} at slot {i}",
+                    data.name
+                );
+            }
+            Request::PointInWindow(p) => {
+                let expected = brute_window(&live, &Rect::point(*p));
+                assert_eq!(
+                    resp.try_point_in_window(i),
+                    Ok(expected.as_slice()),
+                    "[{}] point {p:?} at slot {i}",
+                    data.name
+                );
+            }
+            Request::KNearest { p, k } => {
+                let expected = brute_knearest(&live, *p, *k);
+                assert_eq!(
+                    resp.try_knearest(i),
+                    Ok(expected.as_slice()),
+                    "[{}] k-NN p={p:?} k={k} at slot {i}",
+                    data.name
+                );
+            }
+            Request::Join(_) => unreachable!("WITH_UPDATES carries no joins"),
+            Request::Insert(seg) => {
+                assert_eq!(
+                    resp.try_inserted(i),
+                    Ok(live.len() as SegId),
+                    "[{}] insert at slot {i}",
+                    data.name
+                );
+                live.push(*seg);
+            }
+            Request::Delete(id) => {
+                assert_eq!(
+                    resp.try_deleted(i),
+                    Ok(*id),
+                    "[{}] delete at slot {i}",
+                    data.name
+                );
+                live.remove(*id as usize);
+            }
+        }
+    }
+    // The service's logical collection converged to the oracle's.
+    assert_eq!(service.segments(), live, "[{}] final collection", data.name);
+}
+
+#[test]
+fn write_streams_every_family_sequential_backend() {
+    for data in families() {
+        for grid in [1u32, 2] {
+            let config = QueryServiceConfig {
+                compact_threshold: 8, // several compactions per stream
+                ..QueryServiceConfig::sequential(grid)
+            };
+            check_write_identity(&data, config, 300 + grid as u64, 120);
+        }
+    }
+}
+
+#[test]
+fn write_streams_every_family_parallel_backend() {
+    for data in families() {
+        let config = QueryServiceConfig {
+            shard_grid: 2,
+            backend: Backend::Parallel,
+            compact_threshold: 8,
+            ..QueryServiceConfig::default()
+        };
+        check_write_identity(&data, config, 333, 120);
+    }
+}
+
+/// Sequential and parallel services over the same mixed read/write
+/// stream produce identical response vectors, and their telemetry
+/// reports the same epoch progression.
+#[test]
+fn backends_agree_on_write_streams() {
+    let data = uniform_segments(150, 64, 8, 108);
+    let requests = request_stream_with_updates(
+        data.world,
+        160,
+        RequestMix::WITH_UPDATES,
+        11,
+        data.segs.len(),
+    );
+    let seq = QueryService::build(
+        QueryServiceConfig {
+            compact_threshold: 10,
+            ..QueryServiceConfig::sequential(2)
+        },
+        data.world,
+        data.segs.clone(),
+    );
+    let par = QueryService::build(
+        QueryServiceConfig {
+            shard_grid: 4,
+            backend: Backend::Parallel,
+            compact_threshold: 10,
+            ..QueryServiceConfig::default()
+        },
+        data.world,
+        data.segs.clone(),
+    );
+    assert_eq!(seq.execute_batch(&requests), par.execute_batch(&requests));
+    let (s, p) = (seq.stats(), par.stats());
+    assert_eq!(s.epoch, p.epoch, "same threshold, same write stream");
+    assert!(
+        s.compactions > 0,
+        "threshold 10 over 160 requests must compact"
+    );
+    assert_eq!(s.epoch, s.compactions);
+    assert_eq!(
+        (s.overlay_size, s.tombstones),
+        (p.overlay_size, p.tombstones)
+    );
+    assert_eq!(seq.segments(), par.segments());
+}
+
+/// Overlay telemetry tracks the write pressure exactly: pending inserts
+/// and tombstones count up, a triggered compaction folds them into a new
+/// epoch and zeroes both gauges.
+#[test]
+fn stats_expose_overlay_pressure_and_epochs() {
+    let data = uniform_segments(100, 64, 8, 109);
+    let svc = QueryService::build(
+        QueryServiceConfig {
+            compact_threshold: 100, // never triggers during this test
+            ..QueryServiceConfig::sequential(2)
+        },
+        data.world,
+        data.segs.clone(),
+    );
+    let s0 = svc.stats();
+    assert_eq!((s0.epoch, s0.overlay_size, s0.tombstones), (0, 0, 0));
+    assert_eq!(s0.compactions, 0);
+    assert!(s0.shards.iter().all(|sh| sh.epoch == 0));
+
+    svc.execute_batch(&[
+        Request::Insert(LineSeg::from_coords(3.0, 3.0, 7.0, 7.0)),
+        Request::Insert(LineSeg::from_coords(9.0, 2.0, 12.0, 5.0)),
+        Request::Delete(0),
+    ]);
+    let s1 = svc.stats();
+    assert_eq!((s1.epoch, s1.overlay_size, s1.tombstones), (0, 2, 1));
+
+    svc.compact_now().expect("compaction");
+    let s2 = svc.stats();
+    assert_eq!((s2.epoch, s2.overlay_size, s2.tombstones), (1, 0, 0));
+    assert_eq!(s2.compactions, 1);
+    assert_eq!(s2.failed_compactions, 0);
+    assert!(s2.shards.iter().all(|sh| sh.epoch == 1));
+    assert_eq!(svc.segments().len(), data.segs.len() + 1);
 }
 
 const WORLD_SIZE: i32 = 64;
