@@ -4,9 +4,15 @@
 //! throughput for the fused + arena PM₁ path versus the unfused
 //! allocating baseline, bucket-PMR build throughput with arena reuse,
 //! sharded-service request throughput, and the machine's operation
-//! counters (scan passes, fused lanes saved, allocations avoided) for
-//! each build. CI runs `--quick` as a smoke check; the full run uses
-//! the n ≥ 100k sizes the acceptance criterion names.
+//! counters (scan passes, fused lanes saved, blocked passes, bytes
+//! moved, in-place reuses) for each build. CI runs `--quick` as a smoke
+//! check; the full run uses the n ≥ 100k sizes the acceptance criterion
+//! names.
+//!
+//! Every benchmark with a sequential counterpart runs both backends and
+//! stamps the parallel row with `par_over_seq` — the parallel backend's
+//! throughput advantage. The blocked kernels exist to keep that ratio
+//! at or above 1.0 on every row.
 //!
 //! Flags:
 //!
@@ -20,8 +26,14 @@
 //!   final collection, per backend, plus one end-to-end service epoch
 //!   compaction;
 //! * `--check-baseline <path>` — read the committed benchmark JSON
-//!   *before* writing anything and exit non-zero if the fused PM₁
-//!   per-round physical scan-pass cost regressed against it.
+//!   *before* writing anything and exit non-zero if (a) the fused PM₁
+//!   per-round physical scan-pass cost regressed, (b) any committed row
+//!   shows the parallel backend losing to the sequential one, (c) the
+//!   committed parallel frontier join at n ≥ 50k does not beat the
+//!   recursive oracle, or (d) the committed blocked bucket-PMR arena
+//!   peak at n = 200k exceeds half the pre-blocking footprint. After
+//!   the run, the freshly measured parallel/sequential ratios must also
+//!   clear a 0.90 noise floor.
 //!
 //! Run with: `cargo run --release -p dp-bench --bin bench_scanmodel
 //! [-- --quick --trace --join --updates --check-baseline BENCH_scanmodel.json]`
@@ -37,6 +49,16 @@ use scan_model::{Backend, Machine, RoundTrace, StatsSnapshot};
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// The arena high-water mark of the blocked bucket-PMR build at
+/// n = 200k before the in-place primitives landed (PR 6). The committed
+/// baseline must stay at or below half of it.
+const PRE_BLOCKING_ARENA_PEAK: u64 = 305_725_952;
+
+/// Freshly measured parallel/sequential ratios may wobble with machine
+/// load; they only fail the baseline check below this floor. The
+/// committed rows are held to the strict 1.0.
+const FRESH_RATIO_FLOOR: f64 = 0.90;
+
 /// Best-of-`reps` wall-clock seconds for `f`.
 fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     let mut best = f64::INFINITY;
@@ -50,8 +72,15 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
 
 fn ops_json(ops: &StatsSnapshot) -> String {
     format!(
-        "{{\"scans\": {}, \"scan_passes\": {}, \"fused_lanes_saved\": {}, \"allocs_avoided\": {}, \"rounds\": {}}}",
-        ops.scans, ops.scan_passes, ops.fused_lanes_saved, ops.allocs_avoided, ops.rounds
+        "{{\"scans\": {}, \"scan_passes\": {}, \"fused_lanes_saved\": {}, \"allocs_avoided\": {}, \"rounds\": {}, \"blocked_passes\": {}, \"bytes_moved\": {}, \"inplace_reuses\": {}}}",
+        ops.scans,
+        ops.scan_passes,
+        ops.fused_lanes_saved,
+        ops.allocs_avoided,
+        ops.rounds,
+        ops.blocked_passes,
+        ops.bytes_moved,
+        ops.inplace_reuses
     )
 }
 
@@ -65,7 +94,8 @@ fn trace_json(trace: &[RoundTrace]) -> String {
                 "{{\"round\": {}, \"active_elements\": {}, \"active_nodes\": {}, \
                  \"nodes_split\": {}, \"scans\": {}, \"scan_passes\": {}, \
                  \"elementwise\": {}, \"permutes\": {}, \"arena_high_water_bytes\": {}, \
-                 \"wall_nanos\": {}}}",
+                 \"wall_nanos\": {}, \"blocked_passes\": {}, \"bytes_moved\": {}, \
+                 \"inplace_reuses\": {}, \"block_bytes\": {}}}",
                 t.round,
                 t.active_elements,
                 t.active_nodes,
@@ -75,37 +105,48 @@ fn trace_json(trace: &[RoundTrace]) -> String {
                 t.elementwise,
                 t.permutes,
                 t.arena_high_water_bytes,
-                t.wall_nanos
+                t.wall_nanos,
+                t.blocked_passes,
+                t.bytes_moved,
+                t.inplace_reuses,
+                t.block_bytes
             )
         })
         .collect();
     format!("[{}]", rows.join(", "))
 }
 
+/// Reads a numeric field out of one result row of the hand-rolled JSON
+/// (the workspace deliberately carries no JSON dependency; the writer
+/// puts one result object per line).
+fn row_field(row: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\": ");
+    let p = row.find(&marker)? + marker.len();
+    let rest = &row[p..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn row_str(row: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\": \"");
+    let p = row.find(&marker)? + marker.len();
+    let rest = &row[p..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
 /// Extracts `(scan_passes, rounds)` of the first PM₁ `fused_ops` object in
-/// a committed `BENCH_scanmodel.json` (hand-rolled like the writer — the
-/// workspace deliberately carries no JSON dependency).
-fn baseline_pm1_profile(path: &str) -> (u64, u64) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+/// a committed `BENCH_scanmodel.json`.
+fn baseline_pm1_profile(text: &str, path: &str) -> (u64, u64) {
     let at = text
         .find("\"fused_ops\"")
-        .expect("baseline has no pm1 fused_ops entry");
+        .unwrap_or_else(|| panic!("baseline {path} has no pm1 fused_ops entry"));
     let start = text[at..].find('{').expect("fused_ops object opens") + at;
     let end = text[start..].find('}').expect("fused_ops object closes") + start;
     let obj = &text[start..end];
     let grab = |key: &str| -> u64 {
-        let marker = format!("\"{key}\": ");
-        let p = obj
-            .find(&marker)
-            .unwrap_or_else(|| panic!("baseline fused_ops lacks {key}"))
-            + marker.len();
-        obj[p..]
-            .chars()
-            .take_while(|c| c.is_ascii_digit())
-            .collect::<String>()
-            .parse()
-            .expect("numeric baseline field")
+        row_field(obj, key).unwrap_or_else(|| panic!("baseline fused_ops lacks {key}")) as u64
     };
     (grab("scan_passes"), grab("rounds"))
 }
@@ -116,8 +157,8 @@ fn baseline_pm1_profile(path: &str) -> (u64, u64) {
 /// pass), and `rounds` depends on n, so the comparison normalizes:
 /// regress iff `(cur_passes - 1) / cur_rounds > (base_passes - 1) /
 /// base_rounds`, evaluated by integer cross-multiplication.
-fn check_baseline(path: &str, cur: &StatsSnapshot) {
-    let (base_passes, base_rounds) = baseline_pm1_profile(path);
+fn check_pm1_passes(path: &str, text: &str, cur: &StatsSnapshot) {
+    let (base_passes, base_rounds) = baseline_pm1_profile(text, path);
     if cur.rounds == 0 || base_rounds == 0 {
         println!("baseline check skipped (zero rounds)");
         return;
@@ -138,6 +179,160 @@ fn check_baseline(path: &str, cur: &StatsSnapshot) {
     );
 }
 
+/// One committed result row, keyed for backend pairing.
+struct CommittedRow {
+    bench: String,
+    backend: String,
+    n: u64,
+    line: String,
+}
+
+fn committed_rows(text: &str) -> Vec<CommittedRow> {
+    text.lines()
+        .filter_map(|l| {
+            let bench = row_str(l, "bench")?;
+            Some(CommittedRow {
+                bench,
+                backend: row_str(l, "backend").unwrap_or_default(),
+                n: row_field(l, "n").unwrap_or(0.0) as u64,
+                line: l.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Hard gates over the *committed* benchmark JSON: the parallel backend
+/// must win (ratio ≥ 1.0) on every row that has a sequential
+/// counterpart, the parallel frontier join must beat the recursive
+/// oracle at n ≥ 50k, and the blocked bucket-PMR arena peak at n = 200k
+/// must sit at or below half the pre-blocking footprint. Any violation
+/// exits 1.
+fn check_committed(path: &str, text: &str) {
+    let rows = committed_rows(text);
+    let find = |bench: &str, backend: &str, n: u64| -> Option<&CommittedRow> {
+        rows.iter()
+            .find(|r| r.bench == bench && r.backend == backend && r.n == n)
+    };
+    let mut failures: Vec<String> = Vec::new();
+    let mut checks = 0usize;
+
+    for r in rows.iter().filter(|r| r.backend == "parallel") {
+        match r.bench.as_str() {
+            "bucket_pmr_build" => {
+                if let Some(seq) = find(&r.bench, "sequential", r.n) {
+                    checks += 1;
+                    let par_eps = row_field(&r.line, "elems_per_sec").unwrap_or(0.0);
+                    let seq_eps = row_field(&seq.line, "elems_per_sec").unwrap_or(f64::INFINITY);
+                    if par_eps < seq_eps {
+                        failures.push(format!(
+                            "bucket_pmr_build n={}: parallel {par_eps:.1} elems/s < sequential {seq_eps:.1}",
+                            r.n
+                        ));
+                    }
+                }
+                if let Some(peak) = row_field(&r.line, "arena_peak_bytes") {
+                    if r.n == 200_000 {
+                        checks += 1;
+                        if peak as u64 > PRE_BLOCKING_ARENA_PEAK / 2 {
+                            failures.push(format!(
+                                "bucket_pmr_build n=200000: arena peak {} bytes exceeds {} (half the pre-blocking {})",
+                                peak as u64,
+                                PRE_BLOCKING_ARENA_PEAK / 2,
+                                PRE_BLOCKING_ARENA_PEAK
+                            ));
+                        }
+                    }
+                }
+            }
+            "batch_update" => {
+                if let Some(seq) = find(&r.bench, "sequential", r.n) {
+                    checks += 1;
+                    let par_s = row_field(&r.line, "update_secs").unwrap_or(f64::INFINITY);
+                    let seq_s = row_field(&seq.line, "update_secs").unwrap_or(0.0);
+                    if par_s > seq_s {
+                        failures.push(format!(
+                            "batch_update n={}: parallel update {par_s:.6}s > sequential {seq_s:.6}s",
+                            r.n
+                        ));
+                    }
+                }
+            }
+            "frontier_join" => {
+                if let Some(seq) = find(&r.bench, "sequential", r.n) {
+                    checks += 1;
+                    let par_s = row_field(&r.line, "secs").unwrap_or(f64::INFINITY);
+                    let seq_s = row_field(&seq.line, "secs").unwrap_or(0.0);
+                    if par_s > seq_s {
+                        failures.push(format!(
+                            "frontier_join n={}: parallel {par_s:.6}s > sequential {seq_s:.6}s",
+                            r.n
+                        ));
+                    }
+                }
+                if r.n >= 50_000 {
+                    checks += 1;
+                    let speedup = row_field(&r.line, "speedup_vs_recursive").unwrap_or(0.0);
+                    if speedup < 1.0 {
+                        failures.push(format!(
+                            "frontier_join n={}: parallel speedup vs recursive {speedup:.4} < 1.0",
+                            r.n
+                        ));
+                    }
+                }
+            }
+            "pm1_build" => {
+                checks += 1;
+                let speedup = row_field(&r.line, "speedup").unwrap_or(0.0);
+                if speedup < 1.0 {
+                    failures.push(format!(
+                        "pm1_build n={}: fused speedup {speedup:.4} < 1.0",
+                        r.n
+                    ));
+                }
+                if let Some(ratio) = row_field(&r.line, "par_over_seq") {
+                    checks += 1;
+                    if ratio < 1.0 {
+                        failures.push(format!(
+                            "pm1_build n={}: parallel/sequential {ratio:.4} < 1.0",
+                            r.n
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("committed baseline violation: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("committed baseline OK: {checks} parallel-vs-sequential gates hold in {path}");
+}
+
+/// Enforces the 0.90 noise floor on this run's freshly measured
+/// parallel/sequential ratios.
+fn check_fresh(fresh: &[(String, f64)]) {
+    let bad: Vec<&(String, f64)> = fresh
+        .iter()
+        .filter(|(_, r)| *r < FRESH_RATIO_FLOOR)
+        .collect();
+    for (label, ratio) in &bad {
+        eprintln!(
+            "fresh parallel/sequential ratio {ratio:.4} below {FRESH_RATIO_FLOOR} floor: {label}"
+        );
+    }
+    if !bad.is_empty() {
+        std::process::exit(1);
+    }
+    println!(
+        "fresh parallel-vs-sequential OK: {} ratios above the {FRESH_RATIO_FLOOR} floor",
+        fresh.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -155,10 +350,24 @@ fn main() {
         (&[100_000, 200_000], 5)
     };
 
+    // The committed-row gates run before any measurement: they hold the
+    // repository's own numbers to the acceptance bar.
+    let baseline_text: Option<String> = baseline.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        check_committed(path, &text);
+        text
+    });
+    // Freshly measured (label, parallel-over-sequential ratio) pairs,
+    // enforced against the noise floor at exit.
+    let mut fresh: Vec<(String, f64)> = Vec::new();
+
     let machine = Machine::parallel();
     let mut entries: Vec<String> = Vec::new();
 
-    // PM₁: fused seven-lane decision + arena vs unfused composed scans.
+    // PM₁: fused seven-lane decision + arena vs unfused composed scans,
+    // plus the same fused build on the sequential backend for the
+    // parallel-over-sequential ratio.
     for &n in sizes {
         let data = planar_at(n);
         let depth = (data.world.width() as u64).ilog2() as usize;
@@ -174,13 +383,15 @@ fn main() {
         std::hint::black_box(build_pm1_unfused(&machine, data.world, &data.segs, depth));
         let unfused_ops = machine.stats();
 
-        if let Some(path) = &baseline {
-            check_baseline(path, &fused_ops);
+        if let (Some(path), Some(text)) = (&baseline, &baseline_text) {
+            check_pm1_passes(path, text, &fused_ops);
         }
 
         // Interleave the timing reps so machine-load drift hits both
         // variants alike; keep each variant's best.
-        let (mut fused_s, mut unfused_s) = (f64::INFINITY, f64::INFINITY);
+        let seq_machine = Machine::sequential();
+        let (mut fused_s, mut unfused_s, mut seq_fused_s) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY);
         for _ in 0..reps {
             fused_s = fused_s.min(time_best(1, || {
                 build_pm1(&machine, data.world, &data.segs, depth)
@@ -188,14 +399,21 @@ fn main() {
             unfused_s = unfused_s.min(time_best(1, || {
                 build_pm1_unfused(&machine, data.world, &data.segs, depth)
             }));
+            seq_fused_s = seq_fused_s.min(time_best(1, || {
+                build_pm1(&seq_machine, data.world, &data.segs, depth)
+            }));
         }
+        let par_over_seq = seq_fused_s / fused_s;
+        fresh.push((format!("pm1_build n={n_real}"), par_over_seq));
 
         let mut e = String::new();
         let _ = write!(
             e,
             "{{\"bench\": \"pm1_build\", \"backend\": \"parallel\", \"n\": {n_real}, \
              \"fused_secs\": {fused_s:.6}, \"unfused_secs\": {unfused_s:.6}, \
-             \"speedup\": {:.4}, \"fused_elems_per_sec\": {:.1}, \
+             \"seq_fused_secs\": {seq_fused_s:.6}, \
+             \"speedup\": {:.4}, \"par_over_seq\": {par_over_seq:.4}, \
+             \"fused_elems_per_sec\": {:.1}, \
              \"fused_ops\": {}, \"unfused_ops\": {}",
             unfused_s / fused_s,
             n_real as f64 / fused_s,
@@ -209,42 +427,77 @@ fn main() {
         entries.push(e);
         println!(
             "pm1 n={n_real}: fused {fused_s:.4}s vs unfused {unfused_s:.4}s (speedup {:.2}x, \
-             passes {} vs {})",
+             par/seq {par_over_seq:.2}x, passes {} vs {})",
             unfused_s / fused_s,
             fused_ops.scan_passes,
             unfused_ops.scan_passes
         );
     }
 
-    // Bucket PMR: arena-backed build throughput per backend.
+    // Bucket PMR: arena-backed build throughput per backend. Both
+    // backends are measured before either row is written so the parallel
+    // row can carry its ratio.
     for &n in sizes {
         let data = uniform_at(n);
         let world = square_world(WORLD);
-        for (name, m) in [
+        let machines = [
             ("parallel", Machine::parallel()),
             ("sequential", Machine::sequential()),
-        ] {
+        ];
+        // name, best secs, ops, trace, arena peak, (takes, hits)
+        type BucketRow<'a> = (
+            &'a str,
+            f64,
+            StatsSnapshot,
+            Vec<RoundTrace>,
+            usize,
+            (u64, u64),
+        );
+        let mut measured: Vec<BucketRow> = Vec::new();
+        for (name, m) in &machines {
             m.reset_stats();
-            std::hint::black_box(build_bucket_pmr(&m, world, &data.segs, 8, 12));
+            std::hint::black_box(build_bucket_pmr(m, world, &data.segs, 8, 12));
             let ops = m.stats();
             let build_trace = m.take_round_traces();
-            let secs = time_best(reps, || build_bucket_pmr(&m, world, &data.segs, 8, 12));
-            let (takes, hits) = m.arena_stats();
+            let arena_peak = m.arena_high_water_bytes();
+            measured.push((name, f64::INFINITY, ops, build_trace, arena_peak, (0, 0)));
+        }
+        // Interleave the backends' timing reps so machine-load drift hits
+        // both alike (same trick as the PM1 leg above).
+        for _ in 0..reps {
+            for (k, (_, m)) in machines.iter().enumerate() {
+                let t = time_best(1, || build_bucket_pmr(m, world, &data.segs, 8, 12));
+                measured[k].1 = measured[k].1.min(t);
+            }
+        }
+        for (k, (_, m)) in machines.iter().enumerate() {
+            measured[k].5 = m.arena_stats();
+        }
+        let seq_secs = measured[1].1;
+        for (name, secs, ops, build_trace, arena_peak, (takes, hits)) in measured {
             let mut e = String::new();
             let _ = write!(
                 e,
                 "{{\"bench\": \"bucket_pmr_build\", \"backend\": \"{name}\", \"n\": {n}, \
                  \"secs\": {secs:.6}, \"elems_per_sec\": {:.1}, \
-                 \"arena_takes\": {takes}, \"arena_hits\": {hits}, \"ops\": {}",
+                 \"arena_takes\": {takes}, \"arena_hits\": {hits}, \
+                 \"arena_peak_bytes\": {arena_peak}, \"ops\": {}",
                 n as f64 / secs,
                 ops_json(&ops),
             );
+            if name == "parallel" {
+                let ratio = seq_secs / secs;
+                let _ = write!(e, ", \"par_over_seq\": {ratio:.4}");
+                fresh.push((format!("bucket_pmr_build n={n}"), ratio));
+            }
             if trace {
                 let _ = write!(e, ", \"round_trace\": {}", trace_json(&build_trace));
             }
             e.push('}');
             entries.push(e);
-            println!("bucket_pmr n={n} {name}: {secs:.4}s (arena hits {hits}/{takes})");
+            println!(
+                "bucket_pmr n={n} {name}: {secs:.4}s (arena hits {hits}/{takes}, peak {arena_peak} bytes)"
+            );
         }
     }
 
@@ -292,56 +545,75 @@ fn main() {
         let data = uniform_at(n);
         let world = square_world(WORLD);
         let k = (n / 100).max(2);
-        let fresh = uniform_at(k / 2 + 7).segs;
+        let fresh_segs = uniform_at(k / 2 + 7).segs;
         let batch = UpdateBatch {
-            inserts: fresh[..k / 2].to_vec(),
+            inserts: fresh_segs[..k / 2].to_vec(),
             // Deletes spread across the id space, clear of the inserts.
             deletes: (0..k / 2).map(|i| (i * (n / (k / 2))) as u32).collect(),
         };
-        for (name, m) in [
+        // Final collection, for the rebuild leg: same remap the update
+        // applies (sorted deletes out, inserts appended).
+        let mut final_segs = data.segs.clone();
+        for &d in batch.deletes.iter().rev() {
+            final_segs.remove(d as usize);
+        }
+        final_segs.extend(batch.inserts.iter().copied());
+
+        let machines = [
             ("parallel", Machine::parallel()),
             ("sequential", Machine::sequential()),
-        ] {
-            let base_tree = build_bucket_pmr(&m, world, &data.segs, 8, 12);
-            // Final collection, for the rebuild leg: same remap the
-            // update applies (sorted deletes out, inserts appended).
-            let mut final_segs = data.segs.clone();
-            for &d in batch.deletes.iter().rev() {
-                final_segs.remove(d as usize);
-            }
-            final_segs.extend(batch.inserts.iter().copied());
-
+        ];
+        let mut measured: Vec<(&str, f64, f64, StatsSnapshot)> = Vec::new();
+        let mut trees = Vec::new();
+        for (name, m) in &machines {
+            let base_tree = build_bucket_pmr(m, world, &data.segs, 8, 12);
             m.reset_stats();
             m.take_round_traces();
             {
                 let mut tree = base_tree.clone();
                 let mut segs = data.segs.clone();
                 std::hint::black_box(batch_update_bucket_pmr(
-                    &m, &mut tree, &mut segs, &batch, 8, 12,
+                    m, &mut tree, &mut segs, &batch, 8, 12,
                 ));
             }
             let ops = m.stats();
             m.take_round_traces();
-            // Clone outside the timed region: the contender is the
-            // update pass itself, applied to a live tree.
-            let mut update_s = f64::INFINITY;
-            for _ in 0..reps {
-                let mut tree = base_tree.clone();
+            measured.push((name, f64::INFINITY, f64::INFINITY, ops));
+            trees.push(base_tree);
+        }
+        // Interleave the backends' timing reps so machine-load drift hits
+        // both alike. Clones stay outside the timed region: the contender
+        // is the update pass itself, applied to a live tree.
+        for _ in 0..reps {
+            for (k, (_, m)) in machines.iter().enumerate() {
+                let mut tree = trees[k].clone();
                 let mut segs = data.segs.clone();
                 let t = Instant::now();
                 std::hint::black_box(batch_update_bucket_pmr(
-                    &m, &mut tree, &mut segs, &batch, 8, 12,
+                    m, &mut tree, &mut segs, &batch, 8, 12,
                 ));
-                update_s = update_s.min(t.elapsed().as_secs_f64());
+                measured[k].1 = measured[k].1.min(t.elapsed().as_secs_f64());
             }
-            let rebuild_s = time_best(reps, || build_bucket_pmr(&m, world, &final_segs, 8, 12));
+            for (k, (_, m)) in machines.iter().enumerate() {
+                let t = time_best(1, || build_bucket_pmr(m, world, &final_segs, 8, 12));
+                measured[k].2 = measured[k].2.min(t);
+            }
+        }
+        let seq_update_s = measured[1].1;
+        for (name, update_s, rebuild_s, ops) in measured {
             let mut e = String::new();
             let _ = write!(
                 e,
-                "{{\"bench\": \"batch_update\", \"backend\": \"{name}\", \"n\": {n}, \"batch\": {k}, \"update_secs\": {update_s:.6}, \"rebuild_secs\": {rebuild_s:.6}, \"speedup\": {:.4}, \"ops\": {}}}",
+                "{{\"bench\": \"batch_update\", \"backend\": \"{name}\", \"n\": {n}, \"batch\": {k}, \"update_secs\": {update_s:.6}, \"rebuild_secs\": {rebuild_s:.6}, \"speedup\": {:.4}, \"ops\": {}",
                 rebuild_s / update_s,
                 ops_json(&ops),
             );
+            if name == "parallel" {
+                let ratio = seq_update_s / update_s;
+                let _ = write!(e, ", \"par_over_seq\": {ratio:.4}");
+                fresh.push((format!("batch_update n={n}"), ratio));
+            }
+            e.push('}');
             entries.push(e);
             println!(
                 "batch_update n={n} batch={k} {name}: update {update_s:.4}s vs rebuild {rebuild_s:.4}s (speedup {:.2}x)",
@@ -399,42 +671,49 @@ fn main() {
         let builder = Machine::sequential();
         let ta = build_bucket_pmr(&builder, base.world, &base.segs, 8, 12);
         let tb = build_bucket_pmr(&builder, overlay.world, &overlay.segs, 8, 12);
-        let recursive_secs = time_best(reps, || {
-            spatial_join(&ta, &base.segs, &tb, &overlay.segs).len()
-        });
-        for (name, m) in [
+        let machines = [
             ("parallel", Machine::parallel()),
             ("sequential", Machine::sequential()),
-        ] {
+        ];
+        let mut measured: Vec<(&str, f64, StatsSnapshot, Vec<RoundTrace>, String)> = Vec::new();
+        let mut outcomes = Vec::new();
+        for (name, m) in &machines {
             m.reset_stats();
             m.take_round_traces();
-            let outcome = frontier_join(&m, &ta, &base.segs, &tb, &overlay.segs)
+            let outcome = frontier_join(m, &ta, &base.segs, &tb, &overlay.segs)
                 .expect("bench layers share one world");
             let ops = m.stats();
             let join_trace = m.take_round_traces();
-            let secs = time_best(reps, || {
-                frontier_join(&m, &ta, &base.segs, &tb, &overlay.segs)
-                    .unwrap()
-                    .pairs
-                    .len()
+            measured.push((name, f64::INFINITY, ops, join_trace, String::new()));
+            outcomes.push(outcome);
+        }
+        // Interleave all three contenders' timing reps so machine-load
+        // drift hits them alike.
+        let mut recursive_secs = f64::INFINITY;
+        for _ in 0..reps {
+            for (k, (_, m)) in machines.iter().enumerate() {
+                let t = time_best(1, || {
+                    frontier_join(m, &ta, &base.segs, &tb, &overlay.segs)
+                        .unwrap()
+                        .pairs
+                        .len()
+                });
+                measured[k].1 = measured[k].1.min(t);
+            }
+            let t = time_best(1, || {
+                spatial_join(&ta, &base.segs, &tb, &overlay.segs).len()
             });
-            let mut e = String::new();
-            let _ = write!(
-                e,
-                "{{\"bench\": \"frontier_join\", \"backend\": \"{name}\", \"n\": {n}, \
-                 \"secs\": {secs:.6}, \"recursive_secs\": {recursive_secs:.6}, \
-                 \"speedup_vs_recursive\": {:.4}, \"pairs\": {}, \"rounds\": {}, \
-                 \"frontier_peak\": {}, \"pairs_tested\": {}, \"ops\": {}, \
-                 \"round_trace\": {}}}",
-                recursive_secs / secs,
+            recursive_secs = recursive_secs.min(t);
+        }
+        for (k, outcome) in outcomes.iter().enumerate() {
+            let (name, secs) = (measured[k].0, measured[k].1);
+            let detail = format!(
+                "\"pairs\": {}, \"rounds\": {}, \"frontier_peak\": {}, \"pairs_tested\": {}",
                 outcome.pairs.len(),
                 outcome.rounds,
                 outcome.frontier_peak,
-                outcome.pairs_tested,
-                ops_json(&ops),
-                trace_json(&join_trace),
+                outcome.pairs_tested
             );
-            entries.push(e);
             println!(
                 "join n={n} {name}: {secs:.4}s vs recursive {recursive_secs:.4}s \
                  ({} pairs, {} rounds, peak frontier {})",
@@ -442,6 +721,30 @@ fn main() {
                 outcome.rounds,
                 outcome.frontier_peak
             );
+            measured[k].4 = detail;
+        }
+        let seq_secs = measured[1].1;
+        for (name, secs, ops, join_trace, detail) in measured {
+            let mut e = String::new();
+            let _ = write!(
+                e,
+                "{{\"bench\": \"frontier_join\", \"backend\": \"{name}\", \"n\": {n}, \
+                 \"secs\": {secs:.6}, \"recursive_secs\": {recursive_secs:.6}, \
+                 \"speedup_vs_recursive\": {:.4}, ",
+                recursive_secs / secs,
+            );
+            if name == "parallel" {
+                let ratio = seq_secs / secs;
+                let _ = write!(e, "\"par_over_seq\": {ratio:.4}, ");
+                fresh.push((format!("frontier_join n={n}"), ratio));
+            }
+            let _ = write!(
+                e,
+                "{detail}, \"ops\": {}, \"round_trace\": {}}}",
+                ops_json(&ops),
+                trace_json(&join_trace),
+            );
+            entries.push(e);
         }
     }
 
@@ -452,4 +755,8 @@ fn main() {
     );
     std::fs::write("BENCH_scanmodel.json", &json).expect("write BENCH_scanmodel.json");
     println!("wrote BENCH_scanmodel.json ({} entries)", entries.len());
+
+    if baseline.is_some() {
+        check_fresh(&fresh);
+    }
 }

@@ -27,22 +27,19 @@ use scan_model::ops::{Element, Sum};
 use scan_model::primitives::{CloneLayout, DeleteLayout};
 use scan_model::{Machine, ScanKind, Segments};
 
-/// Applies a delete layout through a leased buffer and recycles the
-/// superseded source, so per-level frontier compaction stops allocating.
-fn delete_swap<T: Element>(machine: &Machine, src: Vec<T>, layout: &DeleteLayout) -> Vec<T> {
-    let mut out: Vec<T> = machine.lease();
-    machine.apply_delete_into(&src, layout, &mut out);
-    machine.recycle(src);
-    out
+/// Compacts a frontier vector in place (the deletion gather is strictly
+/// increasing, so survivors close ranks within the same buffer).
+fn delete_swap<T: Element>(machine: &Machine, mut src: Vec<T>, layout: &DeleteLayout) -> Vec<T> {
+    machine.apply_delete_in_place(&mut src, layout);
+    src
 }
 
-/// Applies a clone layout through a leased buffer and recycles the
-/// superseded source (the frontier-doubling analogue of [`delete_swap`]).
-fn clone_swap<T: Element>(machine: &Machine, src: Vec<T>, layout: &CloneLayout) -> Vec<T> {
-    let mut out: Vec<T> = machine.lease();
-    machine.apply_clone_into(&src, layout, &mut out);
-    machine.recycle(src);
-    out
+/// Grows a frontier vector in place (the clone gather is monotone, so a
+/// backward sweep expands the buffer without a copy — the
+/// frontier-doubling analogue of [`delete_swap`]).
+fn clone_swap<T: Element>(machine: &Machine, mut src: Vec<T>, layout: &CloneLayout) -> Vec<T> {
+    machine.apply_clone_in_place(&mut src, layout);
+    src
 }
 
 /// Runs all `queries` against `tree` simultaneously; returns, per query,

@@ -17,9 +17,10 @@
 //!   using the paper's own primitives:
 //!
 //!   1. retiring leaf×leaf pairs test their segment cross-products with
-//!      one elementwise pass, count per-pair hits and tests with a single
-//!      **fused two-lane segmented down-scan**, and *concentrate* the
-//!      intersecting pairs with the deletion primitive (Figs. 17–18);
+//!      one elementwise pass writing miss flags, and *concentrate* the
+//!      intersecting pairs in place with the deletion primitive
+//!      (Figs. 17–18) — the match count is the compacted length, so no
+//!      counting scan rides along;
 //!   2. surviving ambiguous pairs fan out ×4 against the finer side's
 //!      children via [`Machine::fanout_layout`] — the generalized
 //!      *cloning* of Figs. 13–14 (a coarser leaf block is cloned
@@ -41,9 +42,7 @@ use crate::quadtree::{DpQuadtree, QtNode};
 use crate::round_driver::{RoundAdvance, RoundDriver, SplitPolicy};
 use crate::SegId;
 use dp_geom::{clip_segment_closed, segments_intersect, LineSeg, Rect};
-use scan_model::ops::Element;
-use scan_model::primitives::{DeleteLayout, UnshuffleLayout};
-use scan_model::{Direction, FanoutLayout, FusedOp, Machine, ScanKind, Segments};
+use scan_model::{Machine, Segments};
 
 /// All intersecting pairs `(id_a, id_b)` between the segment sets indexed
 /// by `a` and `b`, sorted and deduplicated.
@@ -195,16 +194,13 @@ pub struct JoinOutcome {
     pub pairs_matched: u64,
 }
 
-/// How a candidate block pair relates to the next round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LaneClass {
-    /// One side is an empty leaf: no output can come from this pair.
-    Dead,
-    /// Leaf×leaf with segments on both sides: ready for exact tests.
-    Ready,
-    /// At least one internal side: must expand another level.
-    Ambiguous,
-}
+/// How a candidate block pair relates to the next round. Stored as a
+/// `u8` lane so the class computed during expansion is *cached* — the
+/// next round's decide pass reads it linearly instead of re-touching
+/// both tree nodes for every lane.
+const DEAD: u8 = 0;
+const READY: u8 = 1;
+const AMBIG: u8 = 2;
 
 /// The [`SplitPolicy`] of the data-parallel frontier join. "Splitting" a
 /// frontier lane means expanding the block pair one level; "retiring" it
@@ -215,9 +211,11 @@ pub struct JoinPolicy<'t> {
     b: &'t DpQuadtree,
     segs_a: &'t [LineSeg],
     segs_b: &'t [LineSeg],
-    /// Frontier lanes: node index into `a` / `b` per candidate pair.
-    na: Vec<u32>,
-    nb: Vec<u32>,
+    /// Frontier lanes: `(node in a, node in b)` per candidate pair.
+    nab: Vec<(u32, u32)>,
+    /// Cached [`DEAD`]/[`READY`]/[`AMBIG`] class per lane, maintained by
+    /// the expansion child-step.
+    class: Vec<u8>,
     pairs: Vec<(SegId, SegId)>,
     frontier_peak: usize,
     pairs_tested: u64,
@@ -232,227 +230,169 @@ impl<'t> JoinPolicy<'t> {
         b: &'t DpQuadtree,
         segs_b: &'t [LineSeg],
     ) -> Self {
-        JoinPolicy {
+        let mut policy = JoinPolicy {
             a,
             b,
             segs_a,
             segs_b,
-            na: vec![0],
-            nb: vec![0],
+            nab: vec![(0, 0)],
+            class: Vec::new(),
             pairs: Vec::new(),
             frontier_peak: 1,
             pairs_tested: 0,
             pairs_matched: 0,
-        }
+        };
+        let root = policy.classify(0, 0);
+        policy.class.push(root);
+        policy
     }
 
-    fn classify(&self, na: u32, nb: u32) -> LaneClass {
+    fn classify(&self, na: u32, nb: u32) -> u8 {
         match (self.a.node(na as usize), self.b.node(nb as usize)) {
             (QtNode::Leaf { lines: la }, QtNode::Leaf { lines: lb }) => {
                 if la.is_empty() || lb.is_empty() {
-                    LaneClass::Dead
+                    DEAD
                 } else {
-                    LaneClass::Ready
+                    READY
                 }
             }
             (QtNode::Internal { .. }, QtNode::Leaf { lines })
             | (QtNode::Leaf { lines }, QtNode::Internal { .. }) => {
                 if lines.is_empty() {
-                    LaneClass::Dead
+                    DEAD
                 } else {
-                    LaneClass::Ambiguous
+                    AMBIG
                 }
             }
-            (QtNode::Internal { .. }, QtNode::Internal { .. }) => LaneClass::Ambiguous,
+            (QtNode::Internal { .. }, QtNode::Internal { .. }) => AMBIG,
         }
     }
-}
-
-/// Applies a delete layout through a leased buffer and recycles the
-/// superseded source (same idiom as the batch-query descent).
-fn delete_swap<T: Element>(machine: &Machine, src: Vec<T>, layout: &DeleteLayout) -> Vec<T> {
-    let mut out: Vec<T> = machine.lease();
-    machine.apply_delete_into(&src, layout, &mut out);
-    machine.recycle(src);
-    out
-}
-
-/// Applies a fan-out layout through a leased buffer and recycles the
-/// superseded source.
-fn fanout_swap<T: Element>(machine: &Machine, src: Vec<T>, layout: &FanoutLayout) -> Vec<T> {
-    let mut out: Vec<T> = machine.lease();
-    machine.apply_fanout_into(&src, layout, &mut out);
-    machine.recycle(src);
-    out
-}
-
-/// Applies an unshuffle layout through a leased buffer and recycles the
-/// superseded source.
-fn unshuffle_swap<T: Element>(machine: &Machine, src: Vec<T>, layout: &UnshuffleLayout) -> Vec<T> {
-    let mut out: Vec<T> = machine.lease();
-    machine.apply_unshuffle_into(&src, layout, &mut out);
-    machine.recycle(src);
-    out
 }
 
 impl SplitPolicy for JoinPolicy<'_> {
     fn active_elements(&self) -> usize {
-        self.na.len()
+        self.nab.len()
     }
 
     fn active_nodes(&self) -> usize {
-        self.na.len()
+        self.nab.len()
     }
 
     fn decide(&mut self, machine: &Machine) -> Vec<bool> {
-        // One elementwise classification pass over the frontier.
+        // One elementwise pass over the cached class lane (the expansion
+        // step already touched every node — no need to do it again).
         machine.note_elementwise();
-        self.na
-            .iter()
-            .zip(&self.nb)
-            .map(|(&x, &y)| self.classify(x, y) == LaneClass::Ambiguous)
-            .collect()
+        self.class.iter().map(|&c| c == AMBIG).collect()
     }
 
     fn emit(&mut self, machine: &Machine, want: &[bool]) {
         // Lay out the segment cross-product of every retiring leaf×leaf
-        // pair as flat test lanes, one segment per pair block.
+        // pair as flat test lanes, with the exact intersection test AND
+        // the miss-deletion compaction fused into the same sweep: the
+        // outer segment is loaded once per leaf row (exactly the
+        // hoisting the recursive co-traversal enjoys) and only the
+        // surviving lanes are ever written — the delete's "keep where
+        // the flag is clear" applied at lane-creation time, so no miss
+        // lane, no counting scan, no second pass re-gathering segments
+        // by index. Three logical elementwise ops (lay out, test,
+        // compact), one sweep.
         machine.note_elementwise();
-        let mut ia: Vec<SegId> = machine.lease();
-        let mut ib: Vec<SegId> = machine.lease();
-        let mut lens: Vec<usize> = Vec::new();
+        machine.note_elementwise();
+        machine.note_elementwise();
+        let (segs_a, segs_b) = (self.segs_a, self.segs_b);
+        let mut hits: Vec<(SegId, SegId)> = machine.lease();
+        let mut tested = 0u64;
         for (i, &w) in want.iter().enumerate() {
-            if w {
+            if w || self.class[i] != READY {
                 continue;
             }
-            if let (QtNode::Leaf { lines: la }, QtNode::Leaf { lines: lb }) = (
-                self.a.node(self.na[i] as usize),
-                self.b.node(self.nb[i] as usize),
-            ) {
-                if la.is_empty() || lb.is_empty() {
-                    continue;
-                }
+            let (na, nb) = self.nab[i];
+            if let (QtNode::Leaf { lines: la }, QtNode::Leaf { lines: lb }) =
+                (self.a.node(na as usize), self.b.node(nb as usize))
+            {
                 for &sa in la {
+                    let seg_a = &segs_a[sa as usize];
+                    // Hoist the outer direction vector across the row:
+                    // pairs whose inner endpoints sit strictly on one
+                    // side of the outer line cannot intersect (no
+                    // straddle, and a collinear touch needs a zero
+                    // cross product), so two hoisted cross products
+                    // retire most misses before the full exact test.
+                    let (adx, ady) = (seg_a.b.x - seg_a.a.x, seg_a.b.y - seg_a.a.y);
                     for &sb in lb {
-                        ia.push(sa);
-                        ib.push(sb);
+                        let seg_b = &segs_b[sb as usize];
+                        let d3 = adx * (seg_b.a.y - seg_a.a.y) - ady * (seg_b.a.x - seg_a.a.x);
+                        let d4 = adx * (seg_b.b.y - seg_a.a.y) - ady * (seg_b.b.x - seg_a.a.x);
+                        let same_strict_side = (d3 > 0.0 && d4 > 0.0) || (d3 < 0.0 && d4 < 0.0);
+                        if !same_strict_side && segments_intersect(seg_a, seg_b) {
+                            hits.push((sa, sb));
+                        }
                     }
+                    tested += lb.len() as u64;
                 }
-                lens.push(la.len() * lb.len());
             }
         }
-        if ia.is_empty() {
-            machine.recycle(ia);
-            machine.recycle(ib);
-            return;
-        }
-        let seg = Segments::from_lengths(&lens).expect("retiring pair blocks are non-empty");
-        self.pairs_tested += ia.len() as u64;
-
-        // Exact intersection tests, one elementwise pass over all lanes
-        // of all retiring pairs at once.
-        let (segs_a, segs_b) = (self.segs_a, self.segs_b);
-        let mut hit: Vec<u64> = machine.lease();
-        machine.zip_map_into(
-            &ia,
-            &ib,
-            |x, y| segments_intersect(&segs_a[x as usize], &segs_b[y as usize]) as u64,
-            &mut hit,
-        );
-
-        // Per-pair hit and test counts in one fused two-lane segmented
-        // down-scan: each segment head holds its block's totals.
-        let mut ones: Vec<u64> = machine.lease();
-        ones.resize(hit.len(), 1);
-        let mut counts: Vec<Vec<u64>> = vec![machine.lease(), machine.lease()];
-        machine.scan_lanes_into(
-            &[(&hit, FusedOp::Sum), (&ones, FusedOp::Sum)],
-            &seg,
-            Direction::Down,
-            ScanKind::Inclusive,
-            &mut counts,
-        );
-        machine.note_elementwise();
-        let mut hits_now = 0u64;
-        let mut lanes_now = 0u64;
-        for (i, &start) in seg.flags().iter().enumerate() {
-            if start {
-                hits_now += counts[0][i];
-                lanes_now += counts[1][i];
-            }
-        }
-        debug_assert_eq!(
-            lanes_now as usize,
-            seg.len(),
-            "fused lane counts cover every test"
-        );
-        machine.recycle(ones);
-        for c in counts {
-            machine.recycle(c);
-        }
-
-        // Concentrate the hits (deletion primitive, Figs. 17–18) and
-        // record them.
-        let mut miss: Vec<bool> = machine.lease();
-        machine.map_into(&hit, |h| h == 0, &mut miss);
-        let layout = machine.delete_layout(&seg, &miss);
-        machine.recycle(miss);
-        machine.recycle(hit);
-        let ka = delete_swap(machine, ia, &layout);
-        let kb = delete_swap(machine, ib, &layout);
-        debug_assert_eq!(
-            ka.len() as u64,
-            hits_now,
-            "fused counts agree with compaction"
-        );
-        machine.note_elementwise();
-        self.pairs
-            .extend(ka.iter().copied().zip(kb.iter().copied()));
-        self.pairs_matched += hits_now;
-        machine.recycle(ka);
-        machine.recycle(kb);
+        self.pairs_tested += tested;
+        self.pairs.extend_from_slice(&hits);
+        self.pairs_matched += hits.len() as u64;
+        machine.recycle(hits);
     }
 
     fn partition(&mut self, machine: &Machine, want: &[bool]) {
-        // 1. Concentrate the frontier: delete retired lanes (Figs. 17–18).
-        let seg = Segments::single(self.na.len());
+        // 1. Concentrate the frontier: delete retired lanes (Figs. 17–18)
+        //    in place. Every survivor is ambiguous, so the class lane is
+        //    rebuilt wholesale by the child step below.
+        let seg = Segments::single(self.nab.len());
         let mut retire: Vec<bool> = machine.lease();
         machine.map_into(want, |w| !w, &mut retire);
         let layout = machine.delete_layout(&seg, &retire);
         machine.recycle(retire);
-        self.na = delete_swap(machine, std::mem::take(&mut self.na), &layout);
-        self.nb = delete_swap(machine, std::mem::take(&mut self.nb), &layout);
+        machine.apply_delete_in_place(&mut self.nab, &layout);
 
         // 2. Fan every ambiguous pair out ×4 (generalized cloning,
         //    Figs. 13–14): a coarser leaf block is cloned unchanged
         //    against each child of the finer internal block.
-        let seg = Segments::single(self.na.len());
+        let seg = Segments::single(self.nab.len());
         let mut four: Vec<u32> = machine.lease();
-        four.resize(self.na.len(), 4);
+        four.resize(self.nab.len(), 4);
         let fan = machine.fanout_layout(&seg, &four);
         machine.recycle(four);
-        self.na = fanout_swap(machine, std::mem::take(&mut self.na), &fan);
-        self.nb = fanout_swap(machine, std::mem::take(&mut self.nb), &fan);
+        machine.apply_fanout_swap(&mut self.nab, &fan);
 
-        // 3. One elementwise child step: copy rank r names the quadrant;
-        //    an internal side descends to children[r], a leaf side stays
-        //    put (aligned decompositions keep the blocks nested).
+        // 3. One elementwise child-and-classify step. After a uniform ×4
+        //    fanout, lanes 4k..4k+4 share one parent pair, so each
+        //    group's parent nodes are loaded once; copy rank r names the
+        //    quadrant — an internal side descends to children[r], a leaf
+        //    side stays put (aligned decompositions keep blocks nested).
+        //    Classifying here, while the child nodes are warm, is what
+        //    lets the next round's decide skip the tree entirely.
         machine.note_elementwise();
-        for i in 0..self.na.len() {
-            let r = fan.rank[i] as usize;
-            match (
-                self.a.node(self.na[i] as usize),
-                self.b.node(self.nb[i] as usize),
-            ) {
+        self.class.clear();
+        self.class.reserve(self.nab.len());
+        debug_assert_eq!(self.nab.len() % 4, 0, "uniform fanout quadruples");
+        for g in (0..self.nab.len()).step_by(4) {
+            let (pa, pb) = self.nab[g];
+            match (self.a.node(pa as usize), self.b.node(pb as usize)) {
                 (QtNode::Internal { children: ca }, QtNode::Internal { children: cb }) => {
-                    self.na[i] = ca[r] as u32;
-                    self.nb[i] = cb[r] as u32;
+                    for r in 0..4 {
+                        let pair = (ca[r] as u32, cb[r] as u32);
+                        self.nab[g + r] = pair;
+                        self.class.push(self.classify(pair.0, pair.1));
+                    }
                 }
                 (QtNode::Internal { children: ca }, QtNode::Leaf { .. }) => {
-                    self.na[i] = ca[r] as u32;
+                    for (r, &c) in ca.iter().enumerate() {
+                        let pair = (c as u32, pb);
+                        self.nab[g + r] = pair;
+                        self.class.push(self.classify(pair.0, pair.1));
+                    }
                 }
                 (QtNode::Leaf { .. }, QtNode::Internal { children: cb }) => {
-                    self.nb[i] = cb[r] as u32;
+                    for (r, &c) in cb.iter().enumerate() {
+                        let pair = (pa, c as u32);
+                        self.nab[g + r] = pair;
+                        self.class.push(self.classify(pair.0, pair.1));
+                    }
                 }
                 (QtNode::Leaf { .. }, QtNode::Leaf { .. }) => {
                     unreachable!("leaf×leaf lanes retire before expansion")
@@ -461,35 +401,32 @@ impl SplitPolicy for JoinPolicy<'_> {
         }
 
         // 4. Drop dead children, then unshuffle (Figs. 15–16) so
-        //    still-ambiguous pairs pack apart from ready leaf×leaf pairs.
+        //    still-ambiguous pairs pack apart from ready leaf×leaf pairs —
+        //    the class lane rides along through both reorderings.
         machine.note_elementwise();
         let mut dead: Vec<bool> = machine.lease();
-        let mut ready: Vec<bool> = machine.lease();
-        for i in 0..self.na.len() {
-            let class = self.classify(self.na[i], self.nb[i]);
-            dead.push(class == LaneClass::Dead);
-            ready.push(class == LaneClass::Ready);
-        }
-        let seg = Segments::single(self.na.len());
+        machine.map_into(&self.class, |c| c == DEAD, &mut dead);
+        let seg = Segments::single(self.nab.len());
         let layout = machine.delete_layout(&seg, &dead);
         machine.recycle(dead);
-        self.na = delete_swap(machine, std::mem::take(&mut self.na), &layout);
-        self.nb = delete_swap(machine, std::mem::take(&mut self.nb), &layout);
-        let ready = delete_swap(machine, ready, &layout);
+        machine.apply_delete_in_place(&mut self.nab, &layout);
+        machine.apply_delete_in_place(&mut self.class, &layout);
 
-        let seg = Segments::single(self.na.len());
+        let mut ready: Vec<bool> = machine.lease();
+        machine.map_into(&self.class, |c| c == READY, &mut ready);
+        let seg = Segments::single(self.nab.len());
         let layout = machine.unshuffle_layout(&seg, &ready);
         machine.recycle(ready);
-        self.na = unshuffle_swap(machine, std::mem::take(&mut self.na), &layout);
-        self.nb = unshuffle_swap(machine, std::mem::take(&mut self.nb), &layout);
+        machine.apply_unshuffle_swap(&mut self.nab, &layout);
+        machine.apply_unshuffle_swap(&mut self.class, &layout);
 
-        self.frontier_peak = self.frontier_peak.max(self.na.len());
+        self.frontier_peak = self.frontier_peak.max(self.nab.len());
     }
 
     fn advance(&mut self, _machine: &Machine, split_any: bool) -> RoundAdvance {
         RoundAdvance {
             round_completed: split_any,
-            finished: !split_any || self.na.is_empty(),
+            finished: !split_any || self.nab.is_empty(),
         }
     }
 }

@@ -266,10 +266,12 @@ impl SplitPolicy for QuadSplitPolicy<'_, '_, '_> {
             per_lane
         };
         let layout = machine.delete_layout(&self.state.seg, &lane_finished);
-        let mut line: Vec<SegId> = machine.lease();
-        machine.apply_delete_into(&self.state.line, &layout, &mut line);
-        let mut rect: Vec<Rect> = machine.lease();
-        machine.apply_delete_into(&self.state.rect, &layout, &mut rect);
+        // The deletion gather is strictly increasing, so the lane vectors
+        // close ranks in place — no second buffer per vector.
+        let mut line = std::mem::take(&mut self.state.line);
+        machine.apply_delete_in_place(&mut line, &layout);
+        let mut rect = std::mem::take(&mut self.state.rect);
+        machine.apply_delete_in_place(&mut rect, &layout);
         let kept_nodes: Vec<ActiveNode> = self
             .state
             .nodes
@@ -287,10 +289,6 @@ impl SplitPolicy for QuadSplitPolicy<'_, '_, '_> {
         debug_assert_eq!(kept_lengths.len(), kept_nodes.len());
         let seg = Segments::from_lengths(&kept_lengths)
             .expect("splitting nodes always hold at least one lane");
-        // Recycle the superseded lane vectors so the next round's leases
-        // reuse their capacity instead of allocating.
-        machine.recycle(std::mem::take(&mut self.state.line));
-        machine.recycle(std::mem::take(&mut self.state.rect));
         let compacted = LineProcSet {
             line,
             rect,

@@ -139,6 +139,10 @@ impl RoundDriver {
             permutes: delta.permutes,
             arena_high_water_bytes: machine.arena_high_water_bytes(),
             wall_nanos: started.elapsed().as_nanos() as u64,
+            blocked_passes: delta.blocked_passes,
+            bytes_moved: delta.bytes_moved,
+            inplace_reuses: delta.inplace_reuses,
+            block_bytes: machine.block_bytes(),
         });
         self.steps += 1;
         advance

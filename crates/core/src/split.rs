@@ -62,19 +62,21 @@ struct StageOut {
 
 fn split_stage(
     machine: &Machine,
-    line: &[SegId],
-    rect: &[Rect],
+    mut line: Vec<SegId>,
+    mut rect: Vec<Rect>,
     seg: &Segments,
     segs: &[LineSeg],
     halves: fn(&Rect) -> (Rect, Rect),
 ) -> StageOut {
     // Step 1 (elementwise): membership in each half; crossing lanes are
-    // members of both (paper Fig. 24's `clone` flag). All intermediates
-    // live in arena-leased buffers recycled before the stage returns.
+    // members of both (paper Fig. 24's `clone` flag). The two leased
+    // intermediates are recycled before the stage returns; the lane
+    // vectors themselves are reordered in place / through the ping-pong
+    // slab, so the stage's peak footprint is the lanes plus one slab.
     let mut membership: Vec<(bool, bool)> = machine.lease();
     machine.zip_map_into(
-        line,
-        rect,
+        &line,
+        &rect,
         |id, r| {
             let (first, second) = halves(&r);
             let s = &segs[id as usize];
@@ -89,68 +91,73 @@ fn split_stage(
         "every lane must belong to at least one half of its own block"
     );
 
-    // Step 2: clone the crossing lanes (Sec. 4.1).
+    // Step 2: clone the crossing lanes (Sec. 4.1) — the gather is
+    // monotone, so the lane vectors grow in place.
     let layout = machine.clone_layout(seg, &clone_flags);
-    let mut c_line: Vec<SegId> = machine.lease();
-    machine.apply_clone_into(line, &layout, &mut c_line);
-    let mut c_rect: Vec<Rect> = machine.lease();
-    machine.apply_clone_into(rect, &layout, &mut c_rect);
+    machine.apply_clone_in_place(&mut line, &layout);
+    machine.apply_clone_in_place(&mut rect, &layout);
     let mut c_membership: Vec<(bool, bool)> = machine.lease();
     machine.apply_clone_into(&membership, &layout, &mut c_membership);
-    let mut crossing: Vec<bool> = machine.lease();
-    machine.apply_clone_into(&clone_flags, &layout, &mut crossing);
     machine.recycle(membership);
     machine.recycle(clone_flags);
 
     // Step 3: classify each lane (Fig. 25): of a cloned pair the original
     // takes the first half and the clone the second; non-crossing lanes
-    // follow their membership.
+    // follow their membership. A lane crosses exactly when it belongs to
+    // both halves, so the cloned membership pair already carries the
+    // crossing bit.
     machine.note_elementwise();
     let mut class: Vec<bool> = machine.lease();
-    class.extend((0..c_line.len()).map(|i| {
-        if crossing[i] {
-            layout.is_clone[i]
-        } else {
-            c_membership[i].1
-        }
-    }));
-
-    // Unshuffle into [first | second] within each segment (Sec. 4.2).
-    let un = machine.unshuffle_layout(&layout.seg, &class);
-    let mut out_line: Vec<SegId> = machine.lease();
-    machine.apply_unshuffle_into(&c_line, &un, &mut out_line);
-    let mut u_rect: Vec<Rect> = machine.lease();
-    machine.apply_unshuffle_into(&c_rect, &un, &mut u_rect);
-    let mut u_class: Vec<bool> = machine.lease();
-    machine.apply_unshuffle_into(&class, &un, &mut u_class);
-    machine.recycle(c_line);
-    machine.recycle(c_rect);
+    class.extend(
+        c_membership.iter().zip(layout.is_clone.iter()).map(
+            |(&(a, b), &is_clone)| {
+                if a && b {
+                    is_clone
+                } else {
+                    b
+                }
+            },
+        ),
+    );
     machine.recycle(c_membership);
-    machine.recycle(crossing);
+
+    // Unshuffle into [first | second] within each segment (Sec. 4.2),
+    // ping-ponging the lane ids through one leased slab. The other two
+    // lane vectors need no permutation at all:
+    //
+    // * `rect` is segment-constant — every lane of a node carries the
+    //   node's block, and the unshuffle permutes lanes only within
+    //   their segment — so the permutation is the identity on its
+    //   values (and its slab would be the largest buffer of the whole
+    //   build);
+    // * `class` is the unshuffle *key*: after the pack each segment
+    //   reads as `first_count` falses then `second_count` trues, which
+    //   one elementwise pass reconstitutes straight from the layout's
+    //   per-segment counts.
+    let un = machine.unshuffle_layout(&layout.seg, &class);
+    machine.apply_unshuffle_swap(&mut line, &un);
+    machine.note_elementwise();
+    class.clear();
+    for &(n_first, n_second) in &un.counts {
+        class.extend(std::iter::repeat(false).take(n_first));
+        class.extend(std::iter::repeat(true).take(n_second));
+    }
+
+    // Update every lane's block to its half (elementwise in place — each
+    // lane knows its side from the packed class bit).
+    machine.zip_map_in_place(&mut rect, &class, |r, c| {
+        let (first, second) = halves(&r);
+        if c {
+            second
+        } else {
+            first
+        }
+    });
     machine.recycle(class);
 
-    // Update every lane's block to its half (elementwise — each lane
-    // knows its side from the packed class bit).
-    let mut out_rect: Vec<Rect> = machine.lease();
-    machine.zip_map_into(
-        &u_rect,
-        &u_class,
-        |r, c| {
-            let (first, second) = halves(&r);
-            if c {
-                second
-            } else {
-                first
-            }
-        },
-        &mut out_rect,
-    );
-    machine.recycle(u_rect);
-    machine.recycle(u_class);
-
     StageOut {
-        line: out_line,
-        rect: out_rect,
+        line,
+        rect,
         counts: un.counts,
     }
 }
@@ -167,17 +174,16 @@ pub fn split_active_nodes(machine: &Machine, state: LineProcSet, segs: &[LineSeg
     }
 
     // ---- Stage 1: horizontal cut into top / bottom halves. ----
-    // The superseded lane vectors go back to the machine's arena so the
-    // next round's leases reuse their capacity.
+    // The lane vectors are reordered in place (clone, unshuffle) rather
+    // than copied into fresh leases, so the stage's footprint is the
+    // lanes themselves plus one ping-pong slab.
     let LineProcSet {
         line: old_line,
         rect: old_rect,
         seg: old_seg,
         nodes: old_nodes,
     } = state;
-    let stage1 = split_stage(machine, &old_line, &old_rect, &old_seg, segs, halves_y);
-    machine.recycle(old_line);
-    machine.recycle(old_rect);
+    let stage1 = split_stage(machine, old_line, old_rect, &old_seg, segs, halves_y);
     let mut half_nodes: Vec<HalfNode> = Vec::with_capacity(old_nodes.len() * 2);
     let mut half_lengths: Vec<usize> = Vec::with_capacity(old_nodes.len() * 2);
     for (node, &(n_top, n_bottom)) in old_nodes.iter().zip(stage1.counts.iter()) {
@@ -202,16 +208,7 @@ pub fn split_active_nodes(machine: &Machine, state: LineProcSet, segs: &[LineSeg
     let half_seg = Segments::from_lengths(&half_lengths).expect("non-empty halves only");
 
     // ---- Stage 2: vertical cut of each half into left / right. ----
-    let stage2 = split_stage(
-        machine,
-        &stage1.line,
-        &stage1.rect,
-        &half_seg,
-        segs,
-        halves_x,
-    );
-    machine.recycle(stage1.line);
-    machine.recycle(stage1.rect);
+    let stage2 = split_stage(machine, stage1.line, stage1.rect, &half_seg, segs, halves_x);
     let mut nodes: Vec<ActiveNode> = Vec::with_capacity(half_nodes.len() * 2);
     let mut lengths: Vec<usize> = Vec::with_capacity(half_nodes.len() * 2);
     for (half, &(n_left, n_right)) in half_nodes.iter().zip(stage2.counts.iter()) {

@@ -149,9 +149,15 @@ struct MergeSweepPolicy<'a, 'd, 'c, 's> {
     footprint: &'a [LineSeg],
     decide: &'d mut SplitDecision<'c>,
     frontier: Vec<MergeCandidate>,
-    /// Per frontier candidate: the distinct sorted union of its subtree's
-    /// lines, computed by `decide` and consumed by `emit`.
+    /// Per frontier candidate: the distinct union of its subtree's lines,
+    /// computed by `decide` and consumed by `emit`. Unordered: leaf line
+    /// order is never semantic (queries sort before use).
     unions: Vec<Vec<SegId>>,
+    /// Stamped seen-table for the union dedup: `seen[id] == stamp` iff
+    /// `id` was already taken for the current candidate. One O(lines)
+    /// sweep per round instead of a sort per candidate.
+    seen: Vec<u32>,
+    stamp: u32,
     collapsed: usize,
 }
 
@@ -189,20 +195,29 @@ impl SplitPolicy for MergeSweepPolicy<'_, '_, '_, '_> {
         // the candidate block iff it appears in some leaf below it — the
         // q-edge rule).
         machine.note_elementwise();
-        self.unions = self
-            .frontier
-            .iter()
-            .map(|cand| {
-                let mut u: Vec<SegId> = cand
-                    .members
-                    .iter()
-                    .flat_map(|&ri| self.recs[ri].lines.iter().copied())
-                    .collect();
-                u.sort_unstable();
-                u.dedup();
-                u
-            })
-            .collect();
+        if self.seen.len() < self.segs.len() {
+            self.seen.resize(self.segs.len(), 0);
+        }
+        self.unions.clear();
+        for cand in &self.frontier {
+            if self.stamp == u32::MAX {
+                self.seen.iter_mut().for_each(|s| *s = 0);
+                self.stamp = 0;
+            }
+            self.stamp += 1;
+            let stamp = self.stamp;
+            let mut u: Vec<SegId> = Vec::new();
+            for &ri in &cand.members {
+                for &id in &self.recs[ri].lines {
+                    let s = &mut self.seen[id as usize];
+                    if *s != stamp {
+                        *s = stamp;
+                        u.push(id);
+                    }
+                }
+            }
+            self.unions.push(u);
+        }
 
         // One batched decision over the non-empty candidates; an emptied
         // subtree collapses unconditionally (a bulk build leaves an empty
@@ -428,11 +443,11 @@ pub fn batch_update(
             let mut flags: Vec<bool> = machine.lease();
             machine.map_into(&flat, |id| delete_flag[id as usize], &mut flags);
             let layout = machine.delete_layout(&seg, &flags);
-            let mut survivors: Vec<SegId> = machine.lease();
-            machine.apply_delete_into(&flat, &layout, &mut survivors);
-            let remapped: Vec<SegId> = machine.map(&survivors, |id| new_id[id as usize]);
+            // Compact and remap the survivors in the flat buffer itself.
+            let mut remapped = flat;
+            machine.apply_delete_in_place(&mut remapped, &layout);
+            machine.map_in_place(&mut remapped, |id| new_id[id as usize]);
             machine.recycle(flags);
-            machine.recycle(survivors);
             let mut off = 0;
             for (k, &ri) in occupied.iter().enumerate() {
                 let klen = layout.kept_per_segment[k];
@@ -528,6 +543,8 @@ pub fn batch_update(
                 foot: foot_all,
             }],
             unions: Vec::new(),
+            seen: Vec::new(),
+            stamp: 0,
             collapsed: 0,
         };
         merge_rounds = RoundDriver::run(machine, &mut policy);

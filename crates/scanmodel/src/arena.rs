@@ -40,6 +40,7 @@ pub const DEFAULT_CAP_BYTES: usize = 256 << 20; // 256 MiB
 struct Pooled {
     buf: Box<dyn Any + Send>,
     bytes: usize,
+    tname: &'static str,
 }
 
 /// A type-keyed pool of reusable `Vec<T>` scratch buffers with a decaying
@@ -51,7 +52,16 @@ pub struct ScratchArena {
     hits: u64,
     /// Bytes currently pinned by pooled (idle) buffers.
     retained_bytes: usize,
-    /// Lifetime maximum of `retained_bytes`.
+    /// Bytes currently out on lease: capacity handed out by
+    /// [`ScratchArena::take`] pool hits that has not yet come back via
+    /// [`ScratchArena::put`]. Together with `retained_bytes` this is the
+    /// arena's live footprint.
+    leased_bytes: usize,
+    /// Lifetime maximum of the footprint (`retained_bytes` +
+    /// `leased_bytes`). A returned buffer first *covers* outstanding
+    /// leased bytes before it counts as new footprint, so a ping-pong
+    /// slab (take → swap → put of the same-sized buffer) is counted
+    /// once, not twice.
     high_water_bytes: usize,
     /// Bytes of pooled capacity handed back out since the last decay —
     /// the demand signal the cap floors against.
@@ -69,6 +79,7 @@ impl Default for ScratchArena {
             takes: 0,
             hits: 0,
             retained_bytes: 0,
+            leased_bytes: 0,
             high_water_bytes: 0,
             epoch_used_bytes: 0,
             cap_bytes: DEFAULT_CAP_BYTES,
@@ -90,7 +101,10 @@ impl ScratchArena {
         if let Some(pool) = self.pools.get_mut(&TypeId::of::<Vec<T>>()) {
             if let Some(entry) = pool.pop() {
                 self.hits += 1;
+                // The capacity moves from idle to leased; the footprint
+                // (retained + leased) is unchanged.
                 self.retained_bytes -= entry.bytes;
+                self.leased_bytes += entry.bytes;
                 self.epoch_used_bytes += entry.bytes;
                 return *entry
                     .buf
@@ -110,19 +124,47 @@ impl ScratchArena {
     pub fn put<T: Send + 'static>(&mut self, mut buf: Vec<T>) {
         buf.clear();
         let bytes = buf.capacity() * std::mem::size_of::<T>();
+        // An incoming buffer first settles an outstanding lease of the
+        // same size: in the ping-pong idiom (take a slab, swap it with a
+        // caller buffer, put the swapped-out buffer) the returned bytes
+        // are the *same* physical footprint that left on the take, so
+        // counting them as new retained bytes on top of the lease would
+        // double-count the slab in the high-water mark.
+        let covered = bytes.min(self.leased_bytes);
+        self.leased_bytes -= covered;
         if bytes > self.cap_bytes {
             self.evictions += 1;
             return; // dropping `buf` frees it
         }
         self.evict_until(self.cap_bytes - bytes);
         self.retained_bytes += bytes;
-        self.high_water_bytes = self.high_water_bytes.max(self.retained_bytes);
+        let foot = self.retained_bytes + self.leased_bytes;
+        if foot > self.high_water_bytes && std::env::var_os("DP_ARENA_LOG").is_some() {
+            let mut sizes: Vec<(usize, &str)> = self
+                .pools
+                .values()
+                .flat_map(|p| p.iter().map(|e| (e.bytes, e.tname)))
+                .collect();
+            sizes.sort_unstable_by(|a, b| b.cmp(a));
+            eprintln!(
+                "arena hw {} -> {} (retained {} leased {} incoming {} {}) pooled: {:?}",
+                self.high_water_bytes,
+                foot,
+                self.retained_bytes,
+                self.leased_bytes,
+                bytes,
+                std::any::type_name::<T>(),
+                &sizes[..sizes.len().min(12)]
+            );
+        }
+        self.high_water_bytes = self.high_water_bytes.max(foot);
         self.pools
             .entry(TypeId::of::<Vec<T>>())
             .or_default()
             .push(Pooled {
                 buf: Box::new(buf),
                 bytes,
+                tname: std::any::type_name::<T>(),
             });
     }
 
@@ -178,7 +220,15 @@ impl ScratchArena {
         self.retained_bytes
     }
 
-    /// Lifetime maximum of [`ScratchArena::retained_bytes`].
+    /// Bytes currently out on lease (taken from the pool, not yet put
+    /// back).
+    pub fn leased_bytes(&self) -> usize {
+        self.leased_bytes
+    }
+
+    /// Lifetime maximum of the arena footprint: retained (idle pooled)
+    /// plus leased (handed-out) bytes, with ping-pong slab reuse counted
+    /// once (see [`ScratchArena::put`]).
     pub fn high_water_bytes(&self) -> usize {
         self.high_water_bytes
     }
@@ -302,6 +352,55 @@ mod tests {
         assert_eq!(arena.pooled(), 1);
         let v2: Vec<u64> = arena.take();
         assert!(v2.capacity() >= 1000, "pool serves capacity after pressure");
+    }
+
+    #[test]
+    fn ping_pong_swap_does_not_double_count_high_water() {
+        let mut arena = ScratchArena::new();
+        let slab: Vec<u64> = Vec::with_capacity(1 << 16);
+        let bytes = slab.capacity() * std::mem::size_of::<u64>();
+        arena.put(slab);
+        let hw0 = arena.high_water_bytes();
+        assert_eq!(hw0, bytes);
+
+        // Ping-pong: lease the pooled slab, swap it with a same-size
+        // caller-owned buffer, return the swapped-out buffer. One slab's
+        // worth of capacity cycles; the footprint never grows.
+        let mut caller: Vec<u64> = Vec::with_capacity(1 << 16);
+        for _ in 0..32 {
+            let mut tmp: Vec<u64> = arena.take();
+            assert!(tmp.capacity() * std::mem::size_of::<u64>() >= bytes);
+            std::mem::swap(&mut caller, &mut tmp);
+            arena.put(tmp);
+        }
+        assert_eq!(
+            arena.high_water_bytes(),
+            hw0,
+            "a reused ping-pong slab must not double-count"
+        );
+        assert_eq!(arena.leased_bytes(), 0);
+        assert_eq!(arena.retained_bytes(), bytes);
+    }
+
+    #[test]
+    fn leased_bytes_track_outstanding_takes() {
+        let mut arena = ScratchArena::new();
+        let a: Vec<u64> = Vec::with_capacity(512);
+        let b: Vec<u64> = Vec::with_capacity(512);
+        let each = 512 * std::mem::size_of::<u64>();
+        arena.put(a);
+        arena.put(b);
+        let x: Vec<u64> = arena.take();
+        let y: Vec<u64> = arena.take();
+        assert_eq!(arena.leased_bytes(), 2 * each);
+        assert_eq!(arena.retained_bytes(), 0);
+        arena.put(x);
+        assert_eq!(arena.leased_bytes(), each);
+        arena.put(y);
+        assert_eq!(arena.leased_bytes(), 0);
+        // Both returns covered leases — the footprint peak is still the
+        // two original puts, not four buffers.
+        assert_eq!(arena.high_water_bytes(), 2 * each);
     }
 
     #[test]

@@ -131,6 +131,22 @@ impl Machine {
     ) {
         self.gather_into(data, &layout.src_lane, out);
     }
+
+    /// Applies a fan-out layout **through the ping-pong slab**: the gather
+    /// lands in a buffer leased from the machine's arena, which is swapped
+    /// into `data` and the old storage recycled. A general fan-out moves
+    /// lanes both leftward (after a zero-copy lane) and rightward (after a
+    /// multi-copy lane), so unlike deletion or cloning it admits no
+    /// single-direction in-place sweep; the leased slab bounds the
+    /// footprint at one extra buffer regardless of how many vectors the
+    /// frontier expands. Counted as the gather plus one in-place reuse.
+    pub fn apply_fanout_swap<T: Element>(&self, data: &mut Vec<T>, layout: &FanoutLayout) {
+        let mut tmp: Vec<T> = self.lease();
+        self.apply_fanout_into(data, layout, &mut tmp);
+        std::mem::swap(data, &mut tmp);
+        self.recycle(tmp);
+        self.count_inplace_reuse();
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +242,24 @@ mod tests {
         // One counted layout ew plus the `map` that widens the counts.
         assert_eq!(d.elementwise, 2);
         assert_eq!(d.permutes, 1);
+    }
+
+    #[test]
+    fn fanout_swap_matches_gather() {
+        for m in machines() {
+            let data: Vec<u64> = (0..20).collect();
+            let seg = Segments::single(20);
+            let copies: Vec<u32> = (0..20).map(|i| (i % 4) as u32).collect();
+            let layout = m.fanout_layout(&seg, &copies);
+            let expect = m.apply_fanout(&data, &layout);
+            let before = m.stats();
+            let mut in_place = data.clone();
+            m.apply_fanout_swap(&mut in_place, &layout);
+            let d = m.stats().since(&before);
+            assert_eq!(in_place, expect);
+            assert_eq!(d.permutes, 1);
+            assert_eq!(d.inplace_reuses, 1);
+        }
     }
 
     #[test]

@@ -85,14 +85,52 @@ pub const MAX_FUSED_WIDTH: usize = 8;
 /// already-accumulated state sits on the walk side (`state ⊕ d` upward,
 /// `d ⊕ state` downward), which is what preserves `f64` bit-identity.
 #[inline(always)]
-fn combine_dir<T: FusedElement>(op: FusedOp, dir: Direction, state: T, d: T) -> T {
+pub(crate) fn combine_dir<T: FusedElement>(op: FusedOp, dir: Direction, state: T, d: T) -> T {
     match dir {
         Direction::Up => T::fused_combine(op, state, d),
         Direction::Down => T::fused_combine(op, d, state),
     }
 }
 
-fn check_lanes<T: FusedElement>(lanes: &[(&[T], FusedOp)], seg: &Segments, outs: &mut [Vec<T>]) {
+/// Zero-allocation view of the fold-restart structure: segment heads for
+/// upward scans, segment ends for downward scans. Earlier kernels
+/// materialized this as a `Vec<bool>` per call — one full extra pass of
+/// memory traffic per scan; computing it from the flags inside the walk
+/// is free.
+#[derive(Clone, Copy)]
+pub(crate) struct ResetView<'a> {
+    flags: &'a [bool],
+    down: bool,
+}
+
+impl<'a> ResetView<'a> {
+    pub(crate) fn new(seg: &'a Segments, dir: Direction) -> Self {
+        ResetView {
+            flags: seg.flags(),
+            down: matches!(dir, Direction::Down),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the fold restarts at lane `i`.
+    #[inline(always)]
+    pub(crate) fn at(&self, i: usize) -> bool {
+        if self.down {
+            i + 1 == self.flags.len() || self.flags[i + 1]
+        } else {
+            self.flags[i]
+        }
+    }
+}
+
+pub(crate) fn check_lanes<T: FusedElement>(
+    lanes: &[(&[T], FusedOp)],
+    seg: &Segments,
+    outs: &mut [Vec<T>],
+) {
     assert_eq!(
         lanes.len(),
         outs.len(),
@@ -128,6 +166,7 @@ macro_rules! dispatch_width {
         }
     };
 }
+pub(crate) use dispatch_width;
 
 /// Sequential fused segmented scan: runs every `(data, op)` lane in one
 /// walk of the segments, writing lane `k` into `outs[k]` (cleared and
@@ -252,22 +291,17 @@ pub fn scan_lanes_par_into<T: FusedElement>(
         }
         return;
     }
-    // `resets[i]` — the lane where the fold restarts: segment heads for Up
-    // scans, segment ends for Down scans. Shared by every lane chunk.
-    let resets: Vec<bool> = match dir {
-        Direction::Up => seg.flags().to_vec(),
-        Direction::Down => {
-            let flags = seg.flags();
-            (0..n).map(|i| i + 1 == n || flags[i + 1]).collect()
-        }
-    };
+    // The fold-restart structure (segment heads for Up scans, segment
+    // ends for Down) is read straight off the flags inside each walk —
+    // no materialized resets vector. Shared by every lane chunk.
+    let resets = ResetView::new(seg, dir);
     let blk = crate::par::block_len(n, threads);
     let mut at = 0;
     while at < lanes.len() {
         let w = (lanes.len() - at).min(MAX_FUSED_WIDTH);
         let chunk = &lanes[at..at + w];
         let outs_chunk = &mut outs[at..at + w];
-        dispatch_width!(w, par_kernel(chunk, &resets, blk, dir, kind, outs_chunk));
+        dispatch_width!(w, par_kernel(chunk, resets, blk, dir, kind, outs_chunk));
         at += w;
     }
 }
@@ -276,14 +310,14 @@ pub fn scan_lanes_par_into<T: FusedElement>(
 /// unfused kernel's per-lane `Option`: every lane shares the one reset
 /// structure, so all K lanes become valid at the same element.
 #[derive(Clone, Copy)]
-struct LaneState<T, const K: usize> {
-    valid: bool,
-    state: [T; K],
+pub(crate) struct LaneState<T, const K: usize> {
+    pub(crate) valid: bool,
+    pub(crate) state: [T; K],
 }
 
 fn par_kernel<T: FusedElement, const K: usize>(
     lanes: &[(&[T], FusedOp)],
-    resets: &[bool],
+    resets: ResetView<'_>,
     blk: usize,
     dir: Direction,
     kind: ScanKind,
@@ -350,7 +384,7 @@ fn par_kernel<T: FusedElement, const K: usize>(
     (0..nblocks).into_par_iter().for_each(|b| {
         let lo = b * blk;
         let hi = (lo + blk).min(n);
-        match dir {
+        let _carry_out = match dir {
             Direction::Up => block_rescan::<T, K>(
                 lo..hi,
                 carries[b],
@@ -373,16 +407,16 @@ fn par_kernel<T: FusedElement, const K: usize>(
                 kind,
                 &bases,
             ),
-        }
+        };
     });
 }
 
 /// Pass-1 body for one block: the K-lane pair-scan total plus whether the
 /// block contains a reset. Stack state only.
 #[inline(always)]
-fn block_summary<T: FusedElement, const K: usize>(
+pub(crate) fn block_summary<T: FusedElement, const K: usize>(
     walk: impl Iterator<Item = usize>,
-    resets: &[bool],
+    resets: ResetView<'_>,
     datas: &[&[T]; K],
     ops: &[FusedOp; K],
     dir: Direction,
@@ -394,8 +428,8 @@ fn block_summary<T: FusedElement, const K: usize>(
     };
     let mut has_reset = false;
     for i in walk {
-        if resets[i] || !s.valid {
-            has_reset |= resets[i];
+        if resets.at(i) || !s.valid {
+            has_reset |= resets.at(i);
             s.valid = true;
             for (st, d) in s.state.iter_mut().zip(datas.iter()) {
                 *st = d[i];
@@ -410,22 +444,24 @@ fn block_summary<T: FusedElement, const K: usize>(
 }
 
 /// Pass-2 body for one block: re-scan seeded by the block's carries,
-/// writing every lane's output slot through its base pointer.
+/// writing every lane's output slot through its base pointer. Returns
+/// the carry-out state so a single-worker blocked walk can thread it
+/// straight into the next block (see [`crate::blocked`]).
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn block_rescan<T: FusedElement, const K: usize>(
+pub(crate) fn block_rescan<T: FusedElement, const K: usize>(
     walk: impl Iterator<Item = usize>,
     mut seed: LaneState<T, K>,
-    resets: &[bool],
+    resets: ResetView<'_>,
     datas: &[&[T]; K],
     ops: &[FusedOp; K],
     idents: &[T; K],
     dir: Direction,
     kind: ScanKind,
     bases: &[SyncPtr<T>; K],
-) {
+) -> LaneState<T, K> {
     for i in walk {
-        let reset = resets[i];
+        let reset = resets.at(i);
         let fresh = reset || !seed.valid;
         assert!(
             !fresh || reset || !matches!(kind, ScanKind::Exclusive),
@@ -457,6 +493,7 @@ fn block_rescan<T: FusedElement, const K: usize>(
         }
         seed.valid = true;
     }
+    seed
 }
 
 #[cfg(test)]

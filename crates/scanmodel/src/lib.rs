@@ -55,6 +55,7 @@
 //! ```
 
 pub mod arena;
+pub mod blocked;
 pub mod error;
 pub mod expand;
 pub mod fault;

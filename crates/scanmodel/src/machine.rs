@@ -14,6 +14,7 @@
 //! than wall-clock time alone.
 
 use crate::arena::ScratchArena;
+use crate::blocked;
 use crate::fault::{FaultPlan, FaultSite};
 use crate::fused::{self, FusedElement, FusedOp};
 use crate::ops::{CombineOp, Element};
@@ -49,6 +50,9 @@ pub struct OpStats {
     scan_passes: AtomicU64,
     fused_lanes_saved: AtomicU64,
     allocs_avoided: AtomicU64,
+    blocked_passes: AtomicU64,
+    bytes_moved: AtomicU64,
+    inplace_reuses: AtomicU64,
 }
 
 /// A point-in-time copy of [`OpStats`].
@@ -75,6 +79,20 @@ pub struct StatsSnapshot {
     /// `_into`-variant calls served by a buffer whose capacity already
     /// covered the output (no heap allocation took place).
     pub allocs_avoided: u64,
+    /// Scan passes executed by the cache-blocked kernels
+    /// ([`crate::blocked`]). Backend-dependent by construction: the
+    /// sequential reference never blocks, so this stays zero there.
+    pub blocked_passes: u64,
+    /// Output bytes the machine's primitives wrote (scans, maps,
+    /// permutes, gathers, in-place applies) — the memory-traffic side of
+    /// the op counts. Counted pre-dispatch from vector lengths, so
+    /// sequential and parallel machines running the same algorithm
+    /// report the same value.
+    pub bytes_moved: u64,
+    /// In-place / ping-pong primitive applications that reused the input
+    /// buffer (or a single leased slab) instead of allocating a fresh
+    /// output vector.
+    pub inplace_reuses: u64,
 }
 
 impl StatsSnapshot {
@@ -95,7 +113,24 @@ impl StatsSnapshot {
             scan_passes: self.scan_passes - earlier.scan_passes,
             fused_lanes_saved: self.fused_lanes_saved - earlier.fused_lanes_saved,
             allocs_avoided: self.allocs_avoided - earlier.allocs_avoided,
+            blocked_passes: self.blocked_passes - earlier.blocked_passes,
+            bytes_moved: self.bytes_moved - earlier.bytes_moved,
+            inplace_reuses: self.inplace_reuses - earlier.inplace_reuses,
         }
+    }
+}
+
+/// Exact-fit reservation for a reused output buffer: clear it and, if its
+/// capacity falls short of `n`, reserve to exactly `n` slots. The
+/// `*_into` primitives call this before filling so a recycled arena
+/// buffer is never grown by `Vec`'s amortized doubling — without it a
+/// buffer serving `n` lanes can stay pinned at up to `2n` capacity,
+/// which showed up as tens of megabytes of overhang on the bucket-PMR
+/// build's arena peak.
+pub(crate) fn fit_exact<T>(out: &mut Vec<T>, n: usize) {
+    out.clear();
+    if out.capacity() < n {
+        out.reserve_exact(n);
     }
 }
 
@@ -129,10 +164,22 @@ pub struct RoundTrace {
     pub elementwise: u64,
     /// Permutation / gather operations issued during the step.
     pub permutes: u64,
-    /// Arena high-water mark (bytes retained at peak) after the step.
+    /// Arena high-water mark (peak retained + leased bytes) after the
+    /// step.
     pub arena_high_water_bytes: usize,
     /// Wall time of the step in nanoseconds.
     pub wall_nanos: u64,
+    /// Cache-blocked scan passes issued during the step (zero on the
+    /// sequential backend).
+    pub blocked_passes: u64,
+    /// Output bytes written by primitives during the step.
+    pub bytes_moved: u64,
+    /// In-place / ping-pong primitive applications during the step.
+    pub inplace_reuses: u64,
+    /// The machine's block byte budget (constant per machine; see
+    /// [`crate::blocked::tuned_block_bytes`]), logged so a trace records
+    /// which block size produced it.
+    pub block_bytes: usize,
 }
 
 /// Upper bound on buffered [`RoundTrace`] records per machine; steps past
@@ -150,6 +197,10 @@ pub struct Machine {
     /// Worker-pool width, read once at construction so `block_len` does
     /// not re-query it on every parallel primitive.
     threads: usize,
+    /// Block byte budget for the cache-blocked kernels: the process-wide
+    /// tuned value ([`crate::blocked::tuned_block_bytes`]) unless
+    /// overridden via [`Machine::with_block_bytes`].
+    block_bytes: usize,
     stats: OpStats,
     scratch: Mutex<ScratchArena>,
     traces: Mutex<Vec<RoundTrace>>,
@@ -169,6 +220,7 @@ impl Machine {
             backend,
             par_threshold: PAR_THRESHOLD,
             threads: rayon::current_num_threads().max(1),
+            block_bytes: blocked::tuned_block_bytes(),
             stats: OpStats::default(),
             scratch: Mutex::new(ScratchArena::new()),
             traces: Mutex::new(Vec::new()),
@@ -193,6 +245,19 @@ impl Machine {
         self
     }
 
+    /// Overrides the cache-block byte budget (useful to force tiny
+    /// blocks in tests). Defaults to the process-wide tuned value; see
+    /// [`crate::blocked::tuned_block_bytes`] and the `DP_BLOCK` env var.
+    pub fn with_block_bytes(mut self, block_bytes: usize) -> Self {
+        self.block_bytes = block_bytes.max(1);
+        self
+    }
+
+    /// The machine's cache-block byte budget.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
     /// Attaches a [`FaultPlan`] consulted at the machine's fault sites
     /// (arena pressure at round boundaries via [`Machine::bump_rounds`],
     /// plus any site checked through [`Machine::check_fault`]). Machines
@@ -212,7 +277,7 @@ impl Machine {
         self.backend
     }
 
-    fn use_par(&self, n: usize) -> bool {
+    pub(crate) fn use_par(&self, n: usize) -> bool {
         self.backend == Backend::Parallel && n >= self.par_threshold
     }
 
@@ -227,6 +292,9 @@ impl Machine {
             scan_passes: self.stats.scan_passes.load(Ordering::Relaxed),
             fused_lanes_saved: self.stats.fused_lanes_saved.load(Ordering::Relaxed),
             allocs_avoided: self.stats.allocs_avoided.load(Ordering::Relaxed),
+            blocked_passes: self.stats.blocked_passes.load(Ordering::Relaxed),
+            bytes_moved: self.stats.bytes_moved.load(Ordering::Relaxed),
+            inplace_reuses: self.stats.inplace_reuses.load(Ordering::Relaxed),
         }
     }
 
@@ -240,6 +308,9 @@ impl Machine {
         self.stats.scan_passes.store(0, Ordering::Relaxed);
         self.stats.fused_lanes_saved.store(0, Ordering::Relaxed);
         self.stats.allocs_avoided.store(0, Ordering::Relaxed);
+        self.stats.blocked_passes.store(0, Ordering::Relaxed);
+        self.stats.bytes_moved.store(0, Ordering::Relaxed);
+        self.stats.inplace_reuses.store(0, Ordering::Relaxed);
         self.traces.lock().expect("machine traces poisoned").clear();
     }
 
@@ -385,6 +456,31 @@ impl Machine {
         self.stats.sorts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One pass executed by a cache-blocked kernel.
+    pub(crate) fn count_blocked_pass(&self) {
+        self.stats.blocked_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Output bytes a primitive wrote, counted pre-dispatch so both
+    /// backends report the same value for the same algorithm.
+    pub(crate) fn count_bytes_moved(&self, bytes: usize) {
+        self.stats
+            .bytes_moved
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// One primitive application that wrote through its input buffer (or
+    /// a single ping-pong slab) instead of a fresh output vector.
+    pub(crate) fn count_inplace_reuse(&self) {
+        self.stats.inplace_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The block size, in elements of `T`, the blocked kernels use on
+    /// this machine.
+    pub(crate) fn block_elems<T>(&self) -> usize {
+        blocked::block_elems::<T>(self.block_bytes)
+    }
+
     // ------------------------------------------------------------------
     // Scan primitives (paper Sec. 3.2.1)
     // ------------------------------------------------------------------
@@ -432,8 +528,20 @@ impl Machine {
     {
         self.count_scan();
         self.note_alloc_avoided(out.capacity(), data.len());
+        self.count_bytes_moved(std::mem::size_of_val(data));
+        fit_exact(out, data.len());
         if self.use_par(data.len()) {
-            par::scan_par_into(data, seg, op, dir, kind, self.threads, out);
+            self.count_blocked_pass();
+            blocked::scan_blocked_into(
+                data,
+                seg,
+                op,
+                dir,
+                kind,
+                self.block_elems::<T>(),
+                self.threads,
+                out,
+            );
         } else {
             scan_seq_into(data, seg, op, dir, kind, out);
         }
@@ -479,9 +587,20 @@ impl Machine {
         self.count_fused_scan(lanes.len() as u64);
         for out in outs.iter_mut() {
             self.note_alloc_avoided(out.capacity(), seg.len());
+            fit_exact(out, seg.len());
         }
+        self.count_bytes_moved(lanes.len() * seg.len() * std::mem::size_of::<T>());
         if self.use_par(seg.len()) {
-            fused::scan_lanes_par_into(lanes, seg, dir, kind, self.threads, outs);
+            self.count_blocked_pass();
+            blocked::scan_lanes_blocked_into(
+                lanes,
+                seg,
+                dir,
+                kind,
+                self.block_elems::<T>(),
+                self.threads,
+                outs,
+            );
         } else {
             fused::scan_lanes_seq_into(lanes, seg, dir, kind, outs);
         }
@@ -554,6 +673,8 @@ impl Machine {
     {
         self.count_elementwise();
         self.note_alloc_avoided(out.capacity(), data.len());
+        self.count_bytes_moved(data.len() * std::mem::size_of::<U>());
+        fit_exact(out, data.len());
         if self.use_par(data.len()) {
             par::map_par_into(data, f, out);
         } else {
@@ -594,6 +715,8 @@ impl Machine {
     {
         self.count_elementwise();
         self.note_alloc_avoided(out.capacity(), a.len());
+        self.count_bytes_moved(a.len() * std::mem::size_of::<U>());
+        fit_exact(out, a.len());
         if self.use_par(a.len()) {
             par::zip_map_par_into(a, b, f, out);
         } else {
@@ -606,6 +729,81 @@ impl Machine {
             );
             out.clear();
             out.extend(a.iter().zip(b.iter()).map(|(&x, &y)| f(x, y)));
+        }
+    }
+
+    /// Unary elementwise map **in place**: every lane is overwritten with
+    /// `f(lane)`, with no output buffer. On the parallel backend the sweep
+    /// runs over disjoint cache-sized blocks. Counts as one elementwise
+    /// op plus one in-place reuse.
+    pub fn map_in_place<T, F>(&self, data: &mut [T], f: F)
+    where
+        T: Element,
+        F: Fn(T) -> T + Send + Sync,
+    {
+        self.count_elementwise();
+        self.count_bytes_moved(std::mem::size_of_val(data));
+        self.count_inplace_reuse();
+        if self.use_par(data.len()) {
+            let base = crate::scatter::SyncPtr(data.as_mut_ptr());
+            rayon::for_each_block(data.len(), self.block_elems::<T>(), |lo, hi| {
+                for i in lo..hi {
+                    // SAFETY: blocks are disjoint, so each lane is read and
+                    // rewritten by exactly one worker.
+                    unsafe {
+                        let p = base.get().add(i);
+                        p.write(f(p.read()));
+                    }
+                }
+            });
+        } else {
+            for x in data.iter_mut() {
+                *x = f(*x);
+            }
+        }
+    }
+
+    /// Binary elementwise map **in place**: lane `i` of `data` becomes
+    /// `f(data[i], other[i])` — the in-place form of
+    /// [`Machine::zip_map_into`] for steps that fold a second vector into
+    /// an existing one. Counts as one elementwise op plus one in-place
+    /// reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length.
+    pub fn zip_map_in_place<T, B, F>(&self, data: &mut [T], other: &[B], f: F)
+    where
+        T: Element,
+        B: Element,
+        F: Fn(T, B) -> T + Send + Sync,
+    {
+        assert_eq!(
+            data.len(),
+            other.len(),
+            "elementwise: vector lengths {} and {} differ",
+            data.len(),
+            other.len()
+        );
+        self.count_elementwise();
+        self.count_bytes_moved(std::mem::size_of_val(data));
+        self.count_inplace_reuse();
+        if self.use_par(data.len()) {
+            let base = crate::scatter::SyncPtr(data.as_mut_ptr());
+            rayon::for_each_block(data.len(), self.block_elems::<T>(), |lo, hi| {
+                for (k, &y) in other[lo..hi].iter().enumerate() {
+                    // SAFETY: blocks are disjoint, so each lane is read and
+                    // rewritten by exactly one worker.
+                    unsafe {
+                        let p = base.get().add(lo + k);
+                        p.write(f(p.read(), y));
+                    }
+                }
+            });
+        } else {
+            for (x, &y) in data.iter_mut().zip(other.iter()) {
+                *x = f(*x, y);
+            }
         }
     }
 
@@ -625,13 +823,13 @@ impl Machine {
         for out in outs.iter() {
             self.note_alloc_avoided(out.capacity(), n);
         }
+        self.count_bytes_moved(K * n * std::mem::size_of::<T>());
+        for out in outs.iter_mut() {
+            fit_exact(out, n);
+        }
         if self.use_par(n) {
             par::fill_lanes_par_into(n, &f, self.threads, outs);
         } else {
-            for out in outs.iter_mut() {
-                out.clear();
-                out.reserve(n);
-            }
             for i in 0..n {
                 let vals = f(i);
                 for (out, v) in outs.iter_mut().zip(vals) {
@@ -665,6 +863,8 @@ impl Machine {
     pub fn permute_into<T: Element>(&self, data: &[T], index: &[usize], out: &mut Vec<T>) {
         self.count_permute();
         self.note_alloc_avoided(out.capacity(), data.len());
+        self.count_bytes_moved(std::mem::size_of_val(data));
+        fit_exact(out, data.len());
         if self.use_par(data.len()) {
             permute_par_into(data, index, out);
         } else {
@@ -692,6 +892,8 @@ impl Machine {
     pub fn gather_into<T: Element>(&self, data: &[T], order: &[usize], out: &mut Vec<T>) {
         self.count_permute();
         self.note_alloc_avoided(out.capacity(), order.len());
+        self.count_bytes_moved(order.len() * std::mem::size_of::<T>());
+        fit_exact(out, order.len());
         if self.use_par(order.len()) {
             order.par_iter().map(|&i| data[i]).collect_into_vec(out);
         } else {

@@ -97,6 +97,9 @@ impl Machine {
             seg.len()
         );
         let n = seg.len();
+        if self.use_par(n) {
+            return self.clone_layout_blocked(seg, clone_flags);
+        }
         let ones: Vec<u64> = self.map(clone_flags, |f| f as u64);
         // F1: offset each existing lane must move right (Fig. 14
         // `up-scan(CF,+,ex)` — unsegmented: room is made globally).
@@ -140,6 +143,52 @@ impl Machine {
         }
     }
 
+    /// Single-sweep cloning layout for the blocked parallel backend: the
+    /// map, room-making scan, position arithmetic and scatter of Fig. 14
+    /// collapse into one push-based walk (the output position of lane `i`
+    /// is exactly the number of lanes and clones already emitted), so the
+    /// four constituent passes touch memory once. Bit-identical to the
+    /// composed path, and charged the same paper-level operation counts.
+    fn clone_layout_blocked(&self, seg: &Segments, clone_flags: &[bool]) -> CloneLayout {
+        let n = seg.len();
+        // Same paper-level accounting as the composed reference: the
+        // indicator map, the room-making scan (Fig. 14 F1), the position
+        // elementwise (F2) and the scatter — plus the bytes those two
+        // u64 vectors would have carried, kept backend-identical.
+        rayon::fault_checkpoint();
+        self.count_elementwise();
+        self.count_scan();
+        self.count_elementwise();
+        self.count_permute();
+        self.count_blocked_pass();
+        self.count_bytes_moved(2 * n * std::mem::size_of::<u64>());
+        let total_clones = clone_flags.iter().filter(|&&f| f).count();
+        let out_len = n + total_clones;
+        let in_flags = seg.flags();
+        let mut src_lane = Vec::with_capacity(out_len);
+        let mut is_clone = Vec::with_capacity(out_len);
+        let mut flags_out = Vec::with_capacity(out_len);
+        for i in 0..n {
+            src_lane.push(i);
+            is_clone.push(false);
+            flags_out.push(in_flags[i]);
+            if clone_flags[i] {
+                // The clone sits immediately after its original and never
+                // begins a segment.
+                src_lane.push(i);
+                is_clone.push(true);
+                flags_out.push(false);
+            }
+        }
+        let seg_out = Segments::from_flags(flags_out)
+            .expect("clone layout preserves the leading segment flag");
+        CloneLayout {
+            src_lane,
+            is_clone,
+            seg: seg_out,
+        }
+    }
+
     /// Applies a cloning (or any gather-form) layout to one data vector.
     pub fn apply_clone<T: Element>(&self, data: &[T], layout: &CloneLayout) -> Vec<T> {
         self.gather(data, &layout.src_lane)
@@ -149,6 +198,47 @@ impl Machine {
     /// first).
     pub fn apply_clone_into<T: Element>(&self, data: &[T], layout: &CloneLayout, out: &mut Vec<T>) {
         self.gather_into(data, &layout.src_lane, out);
+    }
+
+    /// Applies a cloning layout **in place**, growing `data` from `n` to
+    /// `layout.len()` lanes without a second buffer. The clone gather is
+    /// monotone (`src_lane[j] <= j`, copies only ever pull leftward), so a
+    /// single backward sweep reads every source before it is overwritten.
+    /// Counted as the same permutation as [`Machine::apply_clone_into`]
+    /// plus one in-place reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the input length the layout
+    /// was computed for.
+    pub fn apply_clone_in_place<T: Element>(&self, data: &mut Vec<T>, layout: &CloneLayout) {
+        let n = data.len();
+        let out_len = layout.len();
+        assert!(
+            out_len >= n,
+            "clone in place: layout covers {} lanes but data has {}",
+            out_len,
+            n
+        );
+        if self.use_par(out_len) {
+            rayon::fault_checkpoint();
+        }
+        self.count_permute();
+        self.count_bytes_moved(out_len * std::mem::size_of::<T>());
+        self.count_inplace_reuse();
+        if out_len == 0 {
+            data.clear();
+            return;
+        }
+        // The fill value is irrelevant: every extended slot is rewritten
+        // by the sweep below.
+        let fill = data[n - 1];
+        data.resize(out_len, fill);
+        for j in (0..out_len).rev() {
+            let src = layout.src_lane[j];
+            debug_assert!(src <= j, "clone gather must be monotone");
+            data[j] = data[src];
+        }
     }
 
     // ------------------------------------------------------------------
@@ -179,6 +269,9 @@ impl Machine {
             class.len(),
             seg.len()
         );
+        if self.use_par(seg.len()) {
+            return self.unshuffle_layout_blocked(seg, class);
+        }
         let b_ind: Vec<u64> = self.map(class, |c| c as u64);
         let a_ind: Vec<u64> = self.map(class, |c| (!c) as u64);
         // F1: b's to my left (inclusive scan adds 0 at an `a` lane itself).
@@ -206,6 +299,48 @@ impl Machine {
         UnshuffleLayout { target, counts }
     }
 
+    /// Two-subwalk unshuffle layout for the blocked parallel backend.
+    /// Per segment, one counting walk finds `na` (the `a`-class
+    /// population) and a second walk assigns targets by running class
+    /// ranks: an `a` at rank `ra` goes to `start + ra` (which equals the
+    /// reference's `i - F1[i]`, since `i - start - ra` is exactly the
+    /// `b`s to its left) and a `b` at rank `rb` goes to `start + na + rb`
+    /// (the reference's `i + F2[i]`). The two segmented scans, two
+    /// indicator maps and the position elementwise of Fig. 16 collapse
+    /// into those two walks; bit-identical targets, identical paper-level
+    /// operation counts.
+    fn unshuffle_layout_blocked(&self, seg: &Segments, class: &[bool]) -> UnshuffleLayout {
+        let n = seg.len();
+        rayon::fault_checkpoint();
+        self.count_elementwise();
+        self.count_elementwise();
+        self.count_scan();
+        self.count_scan();
+        self.count_elementwise();
+        self.count_blocked_pass();
+        self.count_bytes_moved(4 * n * std::mem::size_of::<u64>());
+        let mut target = vec![0usize; n];
+        let mut counts = Vec::with_capacity(seg.num_segments());
+        for r in seg.ranges() {
+            let start = r.start;
+            let len = r.len();
+            let na = r.clone().filter(|&i| !class[i]).count();
+            let mut ra = 0usize;
+            let mut rb = 0usize;
+            for i in r {
+                if class[i] {
+                    target[i] = start + na + rb;
+                    rb += 1;
+                } else {
+                    target[i] = start + ra;
+                    ra += 1;
+                }
+            }
+            counts.push((na, len - na));
+        }
+        UnshuffleLayout { target, counts }
+    }
+
     /// Applies an unshuffle layout to one data vector (the permutation step
     /// of paper Fig. 16).
     pub fn apply_unshuffle<T: Element>(&self, data: &[T], layout: &UnshuffleLayout) -> Vec<T> {
@@ -221,6 +356,22 @@ impl Machine {
         out: &mut Vec<T>,
     ) {
         self.permute_into(data, &layout.target, out);
+    }
+
+    /// Applies an unshuffle layout **through the ping-pong slab**: the
+    /// permutation lands in a buffer leased from the machine's arena,
+    /// which is then swapped into `data` and the old storage recycled for
+    /// the next swap. A permutation is a bijection, so it cannot run truly
+    /// in place over a single buffer without cycle-chasing; the leased
+    /// slab bounds the footprint at one extra buffer for any number of
+    /// consecutive reorders. Counted as the permutation plus one in-place
+    /// reuse.
+    pub fn apply_unshuffle_swap<T: Element>(&self, data: &mut Vec<T>, layout: &UnshuffleLayout) {
+        let mut tmp: Vec<T> = self.lease();
+        self.apply_unshuffle_into(data, layout, &mut tmp);
+        std::mem::swap(data, &mut tmp);
+        self.recycle(tmp);
+        self.count_inplace_reuse();
     }
 
     // ------------------------------------------------------------------
@@ -246,6 +397,9 @@ impl Machine {
             delete_flags.len(),
             seg.len()
         );
+        if self.use_par(seg.len()) {
+            return self.delete_layout_blocked(seg, delete_flags);
+        }
         let ones: Vec<u64> = self.map(delete_flags, |f| f as u64);
         let f1 = self.up_scan(&ones, Sum, ScanKind::Exclusive);
         self.count_elementwise();
@@ -267,6 +421,39 @@ impl Machine {
         }
     }
 
+    /// Single-sweep deletion layout for the blocked parallel backend: one
+    /// walk per segment pushes the survivors in order (a survivor's output
+    /// slot is exactly the count of survivors already pushed, which is the
+    /// reference's `i - F1[i]`) and records each segment's kept count as
+    /// it closes. The indicator map, compaction scan, position elementwise
+    /// and gather-index scatter of Fig. 18 collapse into that walk;
+    /// bit-identical to the composed path, identical paper-level counts.
+    fn delete_layout_blocked(&self, seg: &Segments, delete_flags: &[bool]) -> DeleteLayout {
+        let n = seg.len();
+        rayon::fault_checkpoint();
+        self.count_elementwise();
+        self.count_scan();
+        self.count_elementwise();
+        self.count_permute();
+        self.count_blocked_pass();
+        self.count_bytes_moved(2 * n * std::mem::size_of::<u64>());
+        let mut src_lane = Vec::with_capacity(n);
+        let mut kept_per_segment = Vec::with_capacity(seg.num_segments());
+        for r in seg.ranges() {
+            let before = src_lane.len();
+            for i in r {
+                if !delete_flags[i] {
+                    src_lane.push(i);
+                }
+            }
+            kept_per_segment.push(src_lane.len() - before);
+        }
+        DeleteLayout {
+            src_lane,
+            kept_per_segment,
+        }
+    }
+
     /// Applies a deletion layout to one data vector.
     pub fn apply_delete<T: Element>(&self, data: &[T], layout: &DeleteLayout) -> Vec<T> {
         self.gather(data, &layout.src_lane)
@@ -281,6 +468,27 @@ impl Machine {
         out: &mut Vec<T>,
     ) {
         self.gather_into(data, &layout.src_lane, out);
+    }
+
+    /// Applies a deletion layout **in place**: survivors close ranks
+    /// leftward through `data`, which is then truncated to the survivor
+    /// count — no second buffer. The deletion gather is strictly
+    /// increasing (`src_lane[j] >= j`), so a forward sweep never reads a
+    /// slot it has already overwritten. Counted as the same permutation
+    /// as [`Machine::apply_delete_into`] plus one in-place reuse.
+    pub fn apply_delete_in_place<T: Element>(&self, data: &mut Vec<T>, layout: &DeleteLayout) {
+        let kept = layout.src_lane.len();
+        if self.use_par(kept) {
+            rayon::fault_checkpoint();
+        }
+        self.count_permute();
+        self.count_bytes_moved(kept * std::mem::size_of::<T>());
+        self.count_inplace_reuse();
+        for (j, &src) in layout.src_lane.iter().enumerate() {
+            debug_assert!(src >= j, "delete gather must be strictly increasing");
+            data[j] = data[src];
+        }
+        data.truncate(kept);
     }
 
     /// Deletes duplicates from a *sorted* vector of keys: every lane equal
@@ -328,6 +536,7 @@ impl Machine {
     /// Sec. 4.4), issued once per segment structure per round.
     pub fn segment_counts_into(&self, seg: &Segments, out: &mut Vec<u64>) {
         let mut ones: Vec<u64> = self.lease();
+        crate::machine::fit_exact(&mut ones, seg.len());
         ones.resize(seg.len(), 1);
         let mut scanned: Vec<u64> = self.lease();
         self.scan_into(
@@ -615,6 +824,176 @@ mod tests {
             // Stability: the two 3s keep original relative order (lanes 0, 2)
             // and the two 9s keep lanes 4, 6.
             assert_eq!(order, vec![1, 3, 0, 2, 5, 4, 6]);
+        }
+    }
+
+    /// A little deterministic LCG so the equivalence sweeps do not depend
+    /// on external randomness.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    fn random_case(n: usize, seed: u64) -> (Segments, Vec<bool>) {
+        let mut s = seed;
+        let mut lengths = Vec::new();
+        let mut total = 0usize;
+        while total < n {
+            let len = (lcg(&mut s) as usize % 37 + 1).min(n - total);
+            lengths.push(len);
+            total += len;
+        }
+        let seg = Segments::from_lengths(&lengths).unwrap();
+        let flags = (0..n).map(|_| lcg(&mut s) % 3 == 0).collect();
+        (seg, flags)
+    }
+
+    /// The blocked single-sweep layout kernels (parallel backend) must be
+    /// bit-identical to the composed scan/ew/permute reference (sequential
+    /// backend) on irregular segment structures.
+    #[test]
+    fn blocked_layouts_match_reference() {
+        let seq = Machine::sequential();
+        let par = Machine::new(Backend::Parallel).with_par_threshold(1);
+        for n in [1usize, 2, 37, 64, 100, 1000] {
+            for seed in [1u64, 7, 42] {
+                let (seg, flags) = random_case(n, seed);
+                assert_eq!(
+                    seq.clone_layout(&seg, &flags),
+                    par.clone_layout(&seg, &flags),
+                    "clone layout diverged at n={n} seed={seed}"
+                );
+                assert_eq!(
+                    seq.unshuffle_layout(&seg, &flags),
+                    par.unshuffle_layout(&seg, &flags),
+                    "unshuffle layout diverged at n={n} seed={seed}"
+                );
+                assert_eq!(
+                    seq.delete_layout(&seg, &flags),
+                    par.delete_layout(&seg, &flags),
+                    "delete layout diverged at n={n} seed={seed}"
+                );
+            }
+        }
+    }
+
+    /// The fused layout kernels charge the same paper-level operation
+    /// counts and bytes as the composed reference path, so complexity
+    /// accounting stays backend-identical.
+    #[test]
+    fn blocked_layouts_keep_reference_op_counts() {
+        let seq = Machine::sequential();
+        let par = Machine::new(Backend::Parallel).with_par_threshold(1);
+        let (seg, flags) = random_case(200, 3);
+        type LayoutFn = fn(&Machine, &Segments, &[bool]);
+        let cases: [(&str, LayoutFn); 3] = [
+            ("clone", |m, s, f| {
+                m.clone_layout(s, f);
+            }),
+            ("unshuffle", |m, s, f| {
+                m.unshuffle_layout(s, f);
+            }),
+            ("delete", |m, s, f| {
+                m.delete_layout(s, f);
+            }),
+        ];
+        for (name, run) in cases {
+            let b_seq = seq.stats();
+            run(&seq, &seg, &flags);
+            let d_seq = seq.stats().since(&b_seq);
+            let b_par = par.stats();
+            run(&par, &seg, &flags);
+            let d_par = par.stats().since(&b_par);
+            assert_eq!(d_seq.scans, d_par.scans, "{name}: scans diverged");
+            assert_eq!(
+                d_seq.scan_passes, d_par.scan_passes,
+                "{name}: scan passes diverged"
+            );
+            assert_eq!(
+                d_seq.elementwise, d_par.elementwise,
+                "{name}: elementwise diverged"
+            );
+            assert_eq!(d_seq.permutes, d_par.permutes, "{name}: permutes diverged");
+            assert_eq!(
+                d_seq.bytes_moved, d_par.bytes_moved,
+                "{name}: bytes moved diverged"
+            );
+            assert_eq!(d_seq.blocked_passes, 0, "{name}: sequential ran blocked");
+            assert_eq!(d_par.blocked_passes, 1, "{name}: fused kernel is one pass");
+        }
+    }
+
+    #[test]
+    fn delete_in_place_matches_gather() {
+        for m in machines() {
+            for n in [0usize, 1, 5, 100] {
+                let (seg, flags) = random_case(n.max(1), 11);
+                let (seg, flags) = if n == 0 {
+                    (Segments::single(0), Vec::new())
+                } else {
+                    (seg, flags)
+                };
+                let data: Vec<u64> = (0..seg.len() as u64).map(|i| i * 3 + 1).collect();
+                let layout = m.delete_layout(&seg, &flags);
+                let expect = m.apply_delete(&data, &layout);
+                let before = m.stats();
+                let mut in_place = data.clone();
+                m.apply_delete_in_place(&mut in_place, &layout);
+                let d = m.stats().since(&before);
+                assert_eq!(in_place, expect);
+                assert_eq!(d.permutes, 1);
+                assert_eq!(d.inplace_reuses, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn clone_in_place_matches_gather() {
+        for m in machines() {
+            for n in [0usize, 1, 5, 100] {
+                let (seg, flags) = if n == 0 {
+                    (Segments::single(0), Vec::new())
+                } else {
+                    random_case(n, 13)
+                };
+                let data: Vec<i64> = (0..seg.len() as i64).map(|i| -i).collect();
+                let layout = m.clone_layout(&seg, &flags);
+                let expect = m.apply_clone(&data, &layout);
+                let before = m.stats();
+                let mut in_place = data.clone();
+                m.apply_clone_in_place(&mut in_place, &layout);
+                let d = m.stats().since(&before);
+                assert_eq!(in_place, expect);
+                assert_eq!(d.permutes, 1);
+                assert_eq!(d.inplace_reuses, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn unshuffle_swap_matches_permute_and_recycles() {
+        for m in machines() {
+            let (seg, class) = random_case(64, 17);
+            let data: Vec<u32> = (0..64u32).collect();
+            let layout = m.unshuffle_layout(&seg, &class);
+            let expect = m.apply_unshuffle(&data, &layout);
+            let before = m.stats();
+            let mut in_place = data.clone();
+            m.apply_unshuffle_swap(&mut in_place, &layout);
+            let d = m.stats().since(&before);
+            assert_eq!(in_place, expect);
+            assert_eq!(d.permutes, 1);
+            assert_eq!(d.inplace_reuses, 1);
+            // The displaced storage went back to the arena: the next lease
+            // finds a warm slab instead of allocating.
+            let leased: Vec<u32> = m.lease();
+            assert!(
+                leased.capacity() >= data.len(),
+                "displaced storage was not recycled"
+            );
+            m.recycle(leased);
         }
     }
 

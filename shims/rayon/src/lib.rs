@@ -24,7 +24,7 @@
 
 pub mod pool;
 
-pub use pool::{arm_fault_hook, set_fault_hook, FaultArmGuard};
+pub use pool::{arm_fault_hook, fault_checkpoint, set_fault_hook, FaultArmGuard};
 
 use std::cmp::Ordering;
 use std::ops::Range;
@@ -105,6 +105,48 @@ where
         let lo = t * blk;
         let hi = ((t + 1) * blk).min(n);
         body(lo, hi);
+    });
+}
+
+/// Walks `0..n` in fixed-size cache blocks of `block` elements, calling
+/// `body(lo, hi)` once per block. Blocks are dealt to workers as
+/// contiguous *ranges of blocks* so each worker touches a contiguous
+/// span of the data across the reduce and apply phases of a blocked
+/// scan — work stays thread-local instead of round-robining blocks.
+///
+/// With one worker (or one block) the whole walk runs inline on the
+/// caller, block by block, with no pool round-trip.
+pub fn for_each_block<F>(n: usize, block: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let block = block.max(1);
+    let nblocks = n.div_ceil(block);
+    let nt = current_num_threads().min(nblocks).max(1);
+    if nt == 1 {
+        // Same fault-injection semantics as the pooled path: one hook
+        // consultation for the (single) worker's range.
+        pool::fault_checkpoint();
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + block).min(n);
+            body(lo, hi);
+            lo = hi;
+        }
+        return;
+    }
+    let per = nblocks.div_ceil(nt);
+    pool::run_indexed(nt, &|t| {
+        let first = t * per;
+        let last = ((t + 1) * per).min(nblocks);
+        for b in first..last {
+            let lo = b * block;
+            let hi = (lo + block).min(n);
+            body(lo, hi);
+        }
     });
 }
 

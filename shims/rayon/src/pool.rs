@@ -102,6 +102,14 @@ fn current_armed() -> bool {
     ARMED.with(|a| a.get())
 }
 
+/// Consults the installed fault hook exactly as a pool job entry would:
+/// no-op unless a hook is installed and the current thread is armed.
+/// Kernels whose single-worker fast path runs inline (no pool job) call
+/// this at entry so fault-injection coverage matches the pooled path.
+pub fn fault_checkpoint() {
+    maybe_fire_hook();
+}
+
 /// Runs the installed hook if the current thread is armed. Cheap when no
 /// hook is installed (one relaxed atomic load).
 fn maybe_fire_hook() {

@@ -160,10 +160,13 @@ fn batch_descent_is_height_rounds_constant_scans() {
     // per level is fixed, so 64× more queries must not change any
     // primitive counter at all. (`allocs_avoided` is excluded: whether a
     // recycled buffer's capacity covers a lease depends on the lane
-    // counts, which do scale with batch width.)
+    // counts, which do scale with batch width. `bytes_moved` is excluded
+    // for the same reason: it measures data volume, which is exactly what
+    // grows with the batch.)
     let ops_only = |s: &scan_model::StatsSnapshot| {
         let mut s = *s;
         s.allocs_avoided = 0;
+        s.bytes_moved = 0;
         s
     };
     assert_eq!(
