@@ -101,6 +101,15 @@ pub enum SpatialError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// The admission layer shed this request because its lane's bounded
+    /// queue was full — the load-shedding arm of the same typed
+    /// `Rejected` path that carries crash-ladder failures.
+    Overloaded {
+        /// Admission lane whose queue was full.
+        lane: usize,
+        /// Queue depth observed at the shed decision (the lane bound).
+        depth: usize,
+    },
     /// A segment endpoint falls outside the world the service was asked
     /// to index, so shard assignment would silently drop it.
     SegmentOutsideWorld {
@@ -145,6 +154,10 @@ impl fmt::Display for SpatialError {
             SpatialError::SegmentOutsideWorld { index } => {
                 write!(f, "segment {index} falls outside the service world")
             }
+            SpatialError::Overloaded { lane, depth } => write!(
+                f,
+                "admission lane {lane} shed the request at queue depth {depth}"
+            ),
         }
     }
 }

@@ -149,6 +149,24 @@ impl ShardGrid {
         out
     }
 
+    /// The lowest-index shard whose tile (closed-)intersects `query` —
+    /// `shards_overlapping(query).first()` without the allocation. The
+    /// admission router calls this once per arriving request, so the
+    /// `Vec` the full enumeration builds would be pure routing overhead.
+    pub fn first_shard_overlapping(&self, query: &Rect) -> Option<usize> {
+        let (tw, th) = self.tile_size();
+        let (x0, x1) = self.axis_candidates(query.min.x, query.max.x, self.world.min.x, tw)?;
+        let (y0, y1) = self.axis_candidates(query.min.y, query.max.y, self.world.min.y, th)?;
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                if self.tile(ix, iy).intersects(query) {
+                    return Some((iy * self.grid + ix) as usize);
+                }
+            }
+        }
+        None
+    }
+
     /// The shard whose half-open tile contains `p`, or `None` when `p`
     /// lies outside the half-open world. Exactly one shard owns any
     /// in-world point (tiles partition the world under half-open
@@ -297,6 +315,11 @@ mod tests {
                 assert_eq!(
                     g.shards_overlapping(q),
                     brute_overlap(&g, q),
+                    "grid {grid} query {q}"
+                );
+                assert_eq!(
+                    g.first_shard_overlapping(q),
+                    g.shards_overlapping(q).first().copied(),
                     "grid {grid} query {q}"
                 );
             }

@@ -1,0 +1,437 @@
+//! Hot-window result cache with write-versioned invalidation.
+//!
+//! Read-heavy serving traffic repeats windows: dashboards poll the same
+//! viewport, retries re-ask the question, popular regions stay popular.
+//! The cache stores the *merged, logical-id* answer of a window (or
+//! point) probe keyed on the canonical bit pattern of its rectangle, so
+//! a hit skips routing, every shard descent and the merge entirely.
+//!
+//! ## Invalidation (why this is correct)
+//!
+//! Responses are phrased in *logical* ids — positions in the eager
+//! collection (`Vec::push` per insert, `Vec::remove` per delete; see
+//! `ServingState` in the crate root). Three events can change a cached
+//! answer, and each is handled at its own precision:
+//!
+//! * **Insert.** An insert appends at the end: no existing logical id
+//!   moves. The only answers it can change are windows the new segment
+//!   intersects, and a segment intersecting a window implies its
+//!   bounding box intersects the window rectangle — so evicting every
+//!   entry whose rect intersects the new segment's bbox (a conservative
+//!   overlap test) covers all of them. Non-overlapping entries remain
+//!   exactly correct.
+//! * **Delete.** Removing logical id `j` shifts every id `> j` down by
+//!   one, so even answers whose geometry is untouched become stale.
+//!   There is no cheap precise test — a delete flushes the whole cache.
+//! * **Epoch swap (compaction).** The logical collection is unchanged
+//!   by construction, but the swap is the natural coarse barrier the
+//!   issue's epoch-based scheme rides: the cache is cleared so no entry
+//!   ever outlives the state generation it was computed against.
+//!
+//! ## The insertion race
+//!
+//! A reader may snapshot the serving state, compute an answer, and try
+//! to cache it *after* a write has already invalidated — caching then
+//! would resurrect a stale answer. Every mutation therefore bumps a
+//! *write version* under the cache lock, a miss hands the reader the
+//! version it missed at, and [`WindowCache::admit`] drops the insertion
+//! unless the version is still current. Since writers bump the version
+//! only **after** publishing the new serving state (both while holding
+//! the service's state write lock), a reader whose admit succeeds at
+//! version `v` provably computed its answer from the newest state of
+//! version `v` — see DESIGN §13 for the full argument.
+
+use dp_geom::Rect;
+use dp_spatial::SegId;
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Which probe family a cached answer belongs to. `Window` and
+/// `PointInWindow` answers differ in response kind, so they never share
+/// an entry even when a window degenerates to a point's rect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// A `Request::Window` answer.
+    Window,
+    /// A `Request::PointInWindow` answer.
+    PointInWindow,
+}
+
+/// Canonical cache key: the probe kind plus the exact bit pattern of
+/// the window rectangle (`f64::to_bits` per corner — bit-identical
+/// windows hit, anything else misses; no tolerance, no hashing of
+/// floats by value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    kind: CacheKind,
+    bits: [u64; 4],
+}
+
+impl CacheKey {
+    fn new(kind: CacheKind, rect: &Rect) -> Self {
+        CacheKey {
+            kind,
+            bits: [
+                rect.min.x.to_bits(),
+                rect.min.y.to_bits(),
+                rect.max.x.to_bits(),
+                rect.max.y.to_bits(),
+            ],
+        }
+    }
+}
+
+struct CacheEntry {
+    /// The window rectangle, kept for the insert-time overlap test.
+    rect: Rect,
+    ids: Arc<Vec<SegId>>,
+    /// Hit since admission (or since its last reprieve) — the
+    /// second-chance bit that keeps hot entries resident while one-shot
+    /// probes churn through capacity.
+    referenced: bool,
+}
+
+struct CacheInner {
+    /// Bumped under the lock by every invalidation; [`WindowCache::admit`]
+    /// refuses insertions carrying an older version.
+    version: u64,
+    map: HashMap<CacheKey, CacheEntry>,
+    /// Admission order for second-chance (CLOCK) eviction: the victim is
+    /// the oldest entry *not* hit since it was admitted or last spared.
+    order: VecDeque<CacheKey>,
+    hits: u64,
+    misses: u64,
+    admitted: u64,
+    invalidations: u64,
+}
+
+/// Outcome of a cache probe: the answer, or a miss token carrying the
+/// version to present back to [`WindowCache::admit`].
+pub enum CacheLookup {
+    /// The cached, still-valid answer.
+    Hit(Arc<Vec<SegId>>),
+    /// No valid entry; the payload is the current write version.
+    Miss(u64),
+}
+
+/// Point-in-time cache counters (see [`WindowCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no valid entry.
+    pub misses: u64,
+    /// Answers accepted by [`WindowCache::admit`] (stale-version
+    /// insertions are dropped and not counted).
+    pub admitted: u64,
+    /// Write-version bumps (inserts, deletes, epoch swaps).
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// The hot-window result cache. All methods take `&self`; a single
+/// internal mutex covers the map and the write version so invalidation
+/// and admission are mutually atomic. A `capacity` of 0 disables the
+/// cache (every lookup misses, every admit drops).
+pub struct WindowCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl WindowCache {
+    /// A cache holding at most `capacity` window answers.
+    pub fn new(capacity: usize) -> Self {
+        WindowCache {
+            capacity,
+            inner: Mutex::new(CacheInner {
+                version: 0,
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+                admitted: 0,
+                invalidations: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        // The lock only ever guards plain map/counter updates — nothing
+        // inside can panic halfway through an invariant, so poison (from
+        // a panicking *test* thread, say) is safe to clear.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up the answer for `(kind, rect)`. A miss returns the
+    /// current write version; pass it back to [`WindowCache::admit`]
+    /// with the computed answer.
+    pub fn lookup(&self, kind: CacheKind, rect: &Rect) -> CacheLookup {
+        let mut inner = self.lock();
+        match inner.map.get_mut(&CacheKey::new(kind, rect)) {
+            Some(entry) => {
+                entry.referenced = true;
+                let ids = entry.ids.clone();
+                inner.hits += 1;
+                CacheLookup::Hit(ids)
+            }
+            None => {
+                inner.misses += 1;
+                CacheLookup::Miss(inner.version)
+            }
+        }
+    }
+
+    /// Offers a computed answer for caching. Dropped silently when
+    /// `version` is no longer current — a write landed between the miss
+    /// and this call, so the answer may describe a superseded state.
+    pub fn admit(&self, kind: CacheKind, rect: &Rect, version: u64, ids: Arc<Vec<SegId>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.version != version {
+            return;
+        }
+        let key = CacheKey::new(kind, rect);
+        match inner.map.entry(key) {
+            MapEntry::Occupied(_) => {}
+            MapEntry::Vacant(slot) => {
+                slot.insert(CacheEntry {
+                    rect: *rect,
+                    ids,
+                    referenced: false,
+                });
+                inner.order.push_back(key);
+                inner.admitted += 1;
+                while inner.map.len() > self.capacity {
+                    // Second chance: an entry hit since admission gets
+                    // its bit cleared and goes to the back instead of
+                    // dying, so one-shot probes churning through
+                    // capacity cannot evict the hot set. Terminates:
+                    // every iteration evicts, drops a stale key, or
+                    // clears one referenced bit (bits are finite). Keys
+                    // whose entries were invalidated away fall through.
+                    match inner.order.pop_front() {
+                        Some(old) => match inner.map.get_mut(&old) {
+                            Some(e) if e.referenced => {
+                                e.referenced = false;
+                                inner.order.push_back(old);
+                            }
+                            Some(_) => {
+                                inner.map.remove(&old);
+                            }
+                            None => {}
+                        },
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invalidation for an accepted insert: evicts every entry whose
+    /// window intersects `bbox` (the inserted segment's bounding box —
+    /// a segment can only change answers of windows its bbox touches)
+    /// and bumps the write version so in-flight answers from before the
+    /// insert cannot be admitted.
+    pub fn note_insert(&self, bbox: &Rect) {
+        let mut inner = self.lock();
+        inner.version += 1;
+        inner.invalidations += 1;
+        inner.map.retain(|_, entry| !entry.rect.intersects(bbox));
+    }
+
+    /// Invalidation for an accepted delete: a delete shifts every
+    /// logical id above the removed one, so *all* cached answers may be
+    /// stale — the cache is flushed wholesale.
+    pub fn note_delete(&self) {
+        self.flush();
+    }
+
+    /// Invalidation for an epoch swap: the logical collection is
+    /// unchanged by compaction, but no entry outlives its epoch — the
+    /// coarse barrier that keeps the invalidation argument (DESIGN §13)
+    /// independent of compaction internals.
+    pub fn note_epoch_swap(&self) {
+        self.flush();
+    }
+
+    fn flush(&self) {
+        let mut inner = self.lock();
+        inner.version += 1;
+        inner.invalidations += 1;
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// Current counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            admitted: inner.admitted,
+            invalidations: inner.invalidations,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::from_coords(x0, y0, x1, y1)
+    }
+
+    fn miss_version(cache: &WindowCache, kind: CacheKind, r: &Rect) -> u64 {
+        match cache.lookup(kind, r) {
+            CacheLookup::Miss(v) => v,
+            CacheLookup::Hit(_) => panic!("expected a miss"),
+        }
+    }
+
+    #[test]
+    fn admit_then_hit_round_trips() {
+        let cache = WindowCache::new(8);
+        let q = rect(0.0, 0.0, 4.0, 4.0);
+        let v = miss_version(&cache, CacheKind::Window, &q);
+        cache.admit(CacheKind::Window, &q, v, Arc::new(vec![1, 2, 3]));
+        match cache.lookup(CacheKind::Window, &q) {
+            CacheLookup::Hit(ids) => assert_eq!(*ids, vec![1, 2, 3]),
+            CacheLookup::Miss(_) => panic!("expected a hit"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn kinds_do_not_share_entries() {
+        let cache = WindowCache::new(8);
+        let q = rect(1.0, 1.0, 1.0, 1.0);
+        let v = miss_version(&cache, CacheKind::Window, &q);
+        cache.admit(CacheKind::Window, &q, v, Arc::new(vec![7]));
+        assert!(matches!(
+            cache.lookup(CacheKind::PointInWindow, &q),
+            CacheLookup::Miss(_)
+        ));
+    }
+
+    #[test]
+    fn overlapping_insert_evicts_disjoint_insert_does_not() {
+        let cache = WindowCache::new(8);
+        let near = rect(0.0, 0.0, 4.0, 4.0);
+        let far = rect(10.0, 10.0, 12.0, 12.0);
+        for q in [&near, &far] {
+            let v = miss_version(&cache, CacheKind::Window, q);
+            cache.admit(CacheKind::Window, q, v, Arc::new(Vec::new()));
+        }
+        // A segment bbox overlapping `near` only.
+        cache.note_insert(&rect(3.0, 3.0, 5.0, 5.0));
+        assert!(matches!(
+            cache.lookup(CacheKind::Window, &near),
+            CacheLookup::Miss(_)
+        ));
+        assert!(matches!(
+            cache.lookup(CacheKind::Window, &far),
+            CacheLookup::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn delete_flushes_everything() {
+        let cache = WindowCache::new(8);
+        let q = rect(20.0, 20.0, 24.0, 24.0);
+        let v = miss_version(&cache, CacheKind::Window, &q);
+        cache.admit(CacheKind::Window, &q, v, Arc::new(vec![5]));
+        cache.note_delete();
+        assert!(matches!(
+            cache.lookup(CacheKind::Window, &q),
+            CacheLookup::Miss(_)
+        ));
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn stale_version_admissions_are_dropped() {
+        let cache = WindowCache::new(8);
+        let q = rect(0.0, 0.0, 4.0, 4.0);
+        let v = miss_version(&cache, CacheKind::Window, &q);
+        // A write lands between the miss and the admit.
+        cache.note_insert(&rect(1.0, 1.0, 2.0, 2.0));
+        cache.admit(CacheKind::Window, &q, v, Arc::new(vec![9]));
+        assert!(matches!(
+            cache.lookup(CacheKind::Window, &q),
+            CacheLookup::Miss(_)
+        ));
+        assert_eq!(cache.stats().admitted, 0);
+    }
+
+    #[test]
+    fn capacity_evicts_in_admission_order() {
+        let cache = WindowCache::new(2);
+        let windows = [
+            rect(0.0, 0.0, 1.0, 1.0),
+            rect(2.0, 0.0, 3.0, 1.0),
+            rect(4.0, 0.0, 5.0, 1.0),
+        ];
+        for q in &windows {
+            let v = miss_version(&cache, CacheKind::Window, q);
+            cache.admit(CacheKind::Window, q, v, Arc::new(Vec::new()));
+        }
+        // Oldest evicted, newest two resident.
+        assert!(matches!(
+            cache.lookup(CacheKind::Window, &windows[0]),
+            CacheLookup::Miss(_)
+        ));
+        assert!(matches!(
+            cache.lookup(CacheKind::Window, &windows[1]),
+            CacheLookup::Hit(_)
+        ));
+        assert!(matches!(
+            cache.lookup(CacheKind::Window, &windows[2]),
+            CacheLookup::Hit(_)
+        ));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn hit_entries_survive_one_shot_churn() {
+        // Second chance: a hot entry that keeps getting hits outlives a
+        // stream of one-shot admissions larger than capacity.
+        let cache = WindowCache::new(4);
+        let hot = rect(0.0, 0.0, 2.0, 2.0);
+        let v = miss_version(&cache, CacheKind::Window, &hot);
+        cache.admit(CacheKind::Window, &hot, v, Arc::new(vec![42]));
+        for i in 0..32 {
+            // Touch the hot window, then admit a cold one-shot probe.
+            assert!(matches!(
+                cache.lookup(CacheKind::Window, &hot),
+                CacheLookup::Hit(_)
+            ));
+            let cold = rect(10.0 + i as f64, 0.0, 10.5 + i as f64, 0.5);
+            let v = miss_version(&cache, CacheKind::PointInWindow, &cold);
+            cache.admit(CacheKind::PointInWindow, &cold, v, Arc::new(Vec::new()));
+        }
+        match cache.lookup(CacheKind::Window, &hot) {
+            CacheLookup::Hit(ids) => assert_eq!(*ids, vec![42]),
+            CacheLookup::Miss(_) => panic!("hot entry churned out"),
+        }
+        assert!(cache.stats().entries <= 4);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = WindowCache::new(0);
+        let q = rect(0.0, 0.0, 1.0, 1.0);
+        let v = miss_version(&cache, CacheKind::Window, &q);
+        cache.admit(CacheKind::Window, &q, v, Arc::new(vec![1]));
+        assert!(matches!(
+            cache.lookup(CacheKind::Window, &q),
+            CacheLookup::Miss(_)
+        ));
+    }
+}

@@ -74,6 +74,28 @@
 //! returns exactly what its healthy twin would — which is what the
 //! differential suites in `tests/` (including `tests/fault_injection.rs`)
 //! assert, per workload family, backend and fault site.
+//!
+//! ## Admission (serving under sustained load)
+//!
+//! `execute_batch` welds arrival to execution: the caller blocks for the
+//! whole batch. For sustained serving, wrap the service in a
+//! [`ServicePipeline`] (module [`admission`]): bounded per-lane queues
+//! decouple arrival from round execution, workers coalesce arrivals into
+//! micro-batches ([`coalesce`]), full lanes apply backpressure or typed
+//! load shedding ([`shed`]), hot windows answer from a write-versioned
+//! result cache ([`cache`]), and epoch compaction moves to a background
+//! thread. The lockstep execution core underneath is unchanged — the
+//! differential suites run the same streams through both paths.
+
+pub mod admission;
+pub mod cache;
+pub mod coalesce;
+pub mod shed;
+
+pub use admission::{BatchTicket, ServicePipeline, Ticket};
+pub use cache::{CacheKind, CacheLookup, CacheStats, WindowCache};
+pub use coalesce::{Coalescer, FlushDecision, LatencyHistogram, HISTOGRAM_BUCKETS};
+pub use shed::{Admission, AdmissionPolicy};
 
 use dp_geom::{clip_segment_closed, LineSeg, Point, Rect};
 use dp_spatial::batch::batch_window_query;
@@ -121,6 +143,17 @@ pub struct QueryServiceConfig {
     /// Write pressure (accumulated tombstones + pending overlay inserts)
     /// at which a compaction merges base and overlay into a fresh epoch.
     pub compact_threshold: usize,
+    /// Admission-lane coalescing deadline: the oldest request buffered
+    /// by a [`ServicePipeline`] lane waits at most this long before its
+    /// micro-batch is flushed, full or not.
+    pub coalesce_deadline_micros: u64,
+    /// Bound of each admission lane's queue; a full lane applies the
+    /// pipeline's [`AdmissionPolicy`] (backpressure or shedding). Must
+    /// be at least `flush_batch` so one full micro-batch fits.
+    pub queue_bound: usize,
+    /// Capacity of the hot-window result cache consulted on the
+    /// admission path (`0` disables caching).
+    pub cache_capacity: usize,
 }
 
 impl Default for QueryServiceConfig {
@@ -133,6 +166,9 @@ impl Default for QueryServiceConfig {
             capacity: 8,
             max_depth: 16,
             compact_threshold: 256,
+            coalesce_deadline_micros: 200,
+            queue_bound: 4096,
+            cache_capacity: 1024,
         }
     }
 }
@@ -162,6 +198,16 @@ impl QueryServiceConfig {
         if self.compact_threshold == 0 {
             return Err(SpatialError::InvalidConfig {
                 reason: "compact_threshold must be at least 1",
+            });
+        }
+        if self.flush_batch == 0 {
+            return Err(SpatialError::InvalidConfig {
+                reason: "flush_batch must be at least 1",
+            });
+        }
+        if self.queue_bound < self.flush_batch {
+            return Err(SpatialError::InvalidConfig {
+                reason: "queue_bound must hold at least one full flush_batch",
             });
         }
         Ok(())
@@ -294,6 +340,11 @@ struct ShardCounters {
     probes: AtomicU64,
     batches: AtomicU64,
     max_queue_depth: AtomicU64,
+    admitted: AtomicU64,
+    coalesced_batches: AtomicU64,
+    shed: AtomicU64,
+    cache_hits: AtomicU64,
+    queue_wait_micros: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -303,6 +354,11 @@ impl ShardCounters {
             probes: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            coalesced_batches: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            queue_wait_micros: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -315,12 +371,21 @@ impl ShardCounters {
 
     /// A fresh counter block holding the same values — carried into the
     /// replacement [`Shard`]s of a compacted epoch so telemetry is
-    /// continuous across epoch swaps.
+    /// continuous across epoch swaps. `max_queue_depth` is the one
+    /// exception: it is a *gauge* (steady-state admission-queue
+    /// high-water mark), not a monotone counter, and the new epoch's
+    /// queues start empty — carrying an old peak would make the value
+    /// unfalsifiable, so epoch swaps reset it.
     fn carry(&self) -> ShardCounters {
         ShardCounters {
             probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
             batches: AtomicU64::new(self.batches.load(Ordering::Relaxed)),
-            max_queue_depth: AtomicU64::new(self.max_queue_depth.load(Ordering::Relaxed)),
+            max_queue_depth: AtomicU64::new(0),
+            admitted: AtomicU64::new(self.admitted.load(Ordering::Relaxed)),
+            coalesced_batches: AtomicU64::new(self.coalesced_batches.load(Ordering::Relaxed)),
+            shed: AtomicU64::new(self.shed.load(Ordering::Relaxed)),
+            cache_hits: AtomicU64::new(self.cache_hits.load(Ordering::Relaxed)),
+            queue_wait_micros: AtomicU64::new(self.queue_wait_micros.load(Ordering::Relaxed)),
             latency: std::array::from_fn(|i| {
                 AtomicU64::new(self.latency[i].load(Ordering::Relaxed))
             }),
@@ -329,8 +394,26 @@ impl ShardCounters {
 
     fn record_queue(&self, depth: usize) {
         self.probes.fetch_add(depth as u64, Ordering::Relaxed);
+        // On the direct `execute_batch` path the handed queue *is* the
+        // instantaneous depth: everything arrives at once. The admission
+        // path records the steady-state lane depth instead (see
+        // `QueryService::note_admitted_batch`).
         self.max_queue_depth
             .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.probes.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.max_queue_depth.store(0, Ordering::Relaxed);
+        self.admitted.store(0, Ordering::Relaxed);
+        self.coalesced_batches.store(0, Ordering::Relaxed);
+        self.shed.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.queue_wait_micros.store(0, Ordering::Relaxed);
+        for b in &self.latency {
+            b.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -350,9 +433,28 @@ pub struct ShardStats {
     pub probes: u64,
     /// Lockstep batches the shard has executed.
     pub batches: u64,
-    /// Largest probe queue handed to the shard by a single
-    /// [`QueryService::execute_batch`] call.
+    /// High-water mark of the shard's *request queue depth*: on the
+    /// admission path, the steady-state depth of the shard's lane
+    /// (sampled at every enqueue); on the direct
+    /// [`QueryService::execute_batch`] path, the probe queue handed per
+    /// call. A gauge, not a counter — reset by epoch swaps (the new
+    /// epoch's queues start empty) and by
+    /// [`QueryService::reset_stats`].
     pub max_queue_depth: u64,
+    /// Requests admitted to this shard's lane(s) through a
+    /// [`ServicePipeline`] (0 on the direct path).
+    pub admitted: u64,
+    /// Coalesced micro-batches flushed by this shard's lane worker(s).
+    pub coalesced_batches: u64,
+    /// Requests shed by this shard's lane(s) under
+    /// [`AdmissionPolicy::Shed`].
+    pub shed: u64,
+    /// Admission-path probes answered from the hot-window cache.
+    pub cache_hits: u64,
+    /// Total microseconds admitted requests spent queued in this
+    /// shard's lane(s) before their micro-batch was handed to the
+    /// engine.
+    pub queue_wait_micros: u64,
     /// Per-flush latency histogram: bucket `i` counts flushes that took
     /// `[2^(i-1), 2^i)` microseconds (bucket 0: sub-microsecond).
     pub latency_histogram: [u64; LATENCY_BUCKETS],
@@ -452,6 +554,30 @@ impl ServiceStats {
     /// Shards currently degraded to the sequential oracle.
     pub fn degraded_shards(&self) -> usize {
         self.shards.iter().filter(|s| s.degraded).count()
+    }
+
+    /// Requests admitted through the pipeline, across all lanes.
+    pub fn total_admitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.admitted).sum()
+    }
+
+    /// Requests shed by full lanes, across all lanes.
+    pub fn total_shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed).sum()
+    }
+
+    /// Admission-path probes answered from the hot-window cache.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_hits).sum()
+    }
+
+    /// Mean admission-queue wait per admitted request, in microseconds
+    /// (`None` before any pipelined request).
+    pub fn mean_queue_wait_micros(&self) -> Option<f64> {
+        let admitted = self.total_admitted();
+        (admitted > 0).then(|| {
+            self.shards.iter().map(|s| s.queue_wait_micros).sum::<u64>() as f64 / admitted as f64
+        })
     }
 
     /// Total faults injected across all shard fault-plan forks, plus the
@@ -674,6 +800,14 @@ pub struct QueryService {
     compactions: AtomicU64,
     failed_compactions: AtomicU64,
     events: Mutex<Vec<RecoveryEvent>>,
+    /// Hot-window result cache, consulted only on the admission path
+    /// (see [`QueryService::execute_admitted`]); the write path always
+    /// invalidates it, so direct and pipelined callers can mix freely.
+    cache: WindowCache,
+    /// When set (a [`ServicePipeline`] is attached), accepted writes do
+    /// not compact inline — lane workers signal the pipeline's
+    /// background compactor instead.
+    defer_compaction: AtomicBool,
 }
 
 /// Maps a caught panic payload to its typed cause: injected faults keep
@@ -1023,6 +1157,8 @@ impl QueryService {
             compactions: AtomicU64::new(0),
             failed_compactions: AtomicU64::new(0),
             events: Mutex::new(events),
+            cache: WindowCache::new(config.cache_capacity),
+            defer_compaction: AtomicBool::new(false),
         })
     }
 
@@ -1091,6 +1227,27 @@ impl QueryService {
     /// the preceding write, so every request observes exactly the writes
     /// before it in the batch — the eager sequential oracle's view.
     pub fn execute_batch(&self, requests: &[Request]) -> Vec<Response> {
+        self.execute_inner(requests, None)
+    }
+
+    /// The admission path's executor: [`execute_batch`] semantics, plus
+    /// the hot-window cache (hits skip routing and descent entirely) and
+    /// per-shard admission telemetry attributed to `cache_shard`. Only
+    /// [`ServicePipeline`] lane workers call this — the direct path
+    /// never consults the cache, so its probe-count invariants (one
+    /// probe per overlapping shard, pinned by the differential suite)
+    /// hold unconditionally.
+    ///
+    /// [`execute_batch`]: QueryService::execute_batch
+    pub(crate) fn execute_admitted(
+        &self,
+        requests: &[Request],
+        cache_shard: usize,
+    ) -> Vec<Response> {
+        self.execute_inner(requests, Some(cache_shard))
+    }
+
+    fn execute_inner(&self, requests: &[Request], cache_shard: Option<usize>) -> Vec<Response> {
         self.requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
         let is_write = |r: &Request| matches!(r, Request::Insert(_) | Request::Delete(_));
@@ -1106,7 +1263,7 @@ impl QueryService {
                     j += 1;
                 }
                 let st = self.state_snapshot();
-                out.extend(self.execute_reads(&st, &requests[i..j], i));
+                out.extend(self.execute_reads(&st, &requests[i..j], i, cache_shard));
                 i = j;
             }
         }
@@ -1115,12 +1272,17 @@ impl QueryService {
 
     /// Executes one run of read requests against an epoch snapshot.
     /// `offset` is the run's position in the enclosing batch (typed
-    /// errors carry batch-absolute indices).
+    /// errors carry batch-absolute indices). With `cache_shard` set
+    /// (the admission path), window/point probes consult the
+    /// hot-window cache first: hits skip routing and descent, misses
+    /// execute normally and offer their answers back under the
+    /// write-version protocol (see [`cache`]).
     fn execute_reads(
         &self,
         st: &ServingState,
         requests: &[Request],
         offset: usize,
+        cache_shard: Option<usize>,
     ) -> Vec<Response> {
         let rejections: Vec<Option<SpatialError>> = requests
             .iter()
@@ -1131,23 +1293,51 @@ impl QueryService {
         // Window-like requests become probes immediately; k-NN requests
         // join the expanding-window rounds afterwards. Rejected slots
         // contribute nothing.
+        let mut probe_answers: Vec<Option<Vec<SegId>>> = vec![None; requests.len()];
         let mut probes: Vec<(usize, Rect)> = Vec::new();
+        // Cache misses awaiting their computed answer: (slot, kind,
+        // rect, version-at-miss).
+        let mut pending_admits: Vec<(usize, CacheKind, Rect, u64)> = Vec::new();
         for (slot, r) in requests.iter().enumerate() {
             if rejections[slot].is_some() {
                 continue;
             }
-            match r {
-                Request::Window(q) => probes.push((slot, *q)),
-                Request::PointInWindow(p) => probes.push((slot, Rect::point(*p))),
-                Request::KNearest { .. } | Request::Join(_) => {}
+            let (kind, rect) = match r {
+                Request::Window(q) => (CacheKind::Window, *q),
+                Request::PointInWindow(p) => (CacheKind::PointInWindow, Rect::point(*p)),
+                Request::KNearest { .. } | Request::Join(_) => continue,
                 Request::Insert(_) | Request::Delete(_) => unreachable!("writes split out"),
+            };
+            if let Some(shard) = cache_shard {
+                match self.cache.lookup(kind, &rect) {
+                    CacheLookup::Hit(ids) => {
+                        st.shards[shard % st.shards.len().max(1)]
+                            .counters
+                            .cache_hits
+                            .fetch_add(1, Ordering::Relaxed);
+                        probe_answers[slot] = Some((*ids).clone());
+                        continue;
+                    }
+                    CacheLookup::Miss(version) => {
+                        pending_admits.push((slot, kind, rect, version));
+                    }
+                }
             }
+            probes.push((slot, rect));
         }
         let window_hits = self.run_probes(st, &probes);
+        for ((slot, _), ids) in probes.iter().zip(window_hits) {
+            probe_answers[*slot] = Some(ids);
+        }
+        for (slot, kind, rect, version) in pending_admits {
+            if let Some(ids) = &probe_answers[slot] {
+                self.cache
+                    .admit(kind, &rect, version, Arc::new(ids.clone()));
+            }
+        }
         let knn_answers = self.run_knn(st, requests, &rejections);
         let join_answers = self.run_joins(st, requests, &rejections);
 
-        let mut window_hits = window_hits.into_iter();
         requests
             .iter()
             .enumerate()
@@ -1156,9 +1346,11 @@ impl QueryService {
                     return Response::Rejected(e);
                 }
                 match r {
-                    Request::Window(_) => Response::Window(window_hits.next().unwrap_or_default()),
+                    Request::Window(_) => {
+                        Response::Window(probe_answers[slot].take().unwrap_or_default())
+                    }
                     Request::PointInWindow(_) => {
-                        Response::PointInWindow(window_hits.next().unwrap_or_default())
+                        Response::PointInWindow(probe_answers[slot].take().unwrap_or_default())
                     }
                     Request::KNearest { .. } => {
                         Response::KNearest(knn_answers[slot].clone().unwrap_or_default())
@@ -1270,7 +1462,9 @@ impl QueryService {
         let shard = &st.shards[s];
         shard.counters.record_queue(queue.len());
         let mut out = Vec::with_capacity(queue.len());
-        for chunk in queue.chunks(self.config.flush_batch.max(1)) {
+        // `flush_batch >= 1` is a construction-time invariant
+        // (`QueryServiceConfig::validate`), so chunking cannot panic.
+        for chunk in queue.chunks(self.config.flush_batch) {
             let rects: Vec<Rect> = chunk.iter().map(|&pi| probes[pi as usize].1).collect();
             let hits = self.probe_chunk_recovering(st, s, &rects);
             for (j, globals) in hits.into_iter().enumerate() {
@@ -1736,6 +1930,12 @@ impl QueryService {
                             pending,
                             ladder: Some(Arc::new(tree)),
                         });
+                        // Invalidate *after* publishing, still under the
+                        // write lock: any reader that missed the cache at
+                        // the pre-bump version either snapshotted the old
+                        // state (its admit is refused by the bump) or
+                        // blocks here and snapshots the new one.
+                        self.cache.note_insert(&Rect::from_corners(seg.a, seg.b));
                         Response::Inserted(logical)
                     }
                     Err(e) => Response::Rejected(e),
@@ -1763,6 +1963,8 @@ impl QueryService {
                         pending: st.pending.clone(),
                         ladder: st.ladder.clone(),
                     });
+                    // Deletes shift logical ids: flush the whole cache.
+                    self.cache.note_delete();
                     Response::Deleted(id)
                 } else {
                     // A pending segment: the ladder compacts it out (the
@@ -1784,6 +1986,7 @@ impl QueryService {
                                 pending,
                                 ladder,
                             });
+                            self.cache.note_delete();
                             Response::Deleted(id)
                         }
                         Err(e) => Response::Rejected(e),
@@ -1793,7 +1996,12 @@ impl QueryService {
             _ => unreachable!("apply_write is only called for writes"),
         };
         drop(guard);
-        if !matches!(response, Response::Rejected(_)) {
+        // With a pipeline attached, compaction moves off-thread: the lane
+        // workers signal the compactor after handing replies back, so a
+        // write never pays the rebuild inline.
+        if !matches!(response, Response::Rejected(_))
+            && !self.defer_compaction.load(Ordering::Relaxed)
+        {
             self.maybe_compact();
         }
         response
@@ -1870,6 +2078,46 @@ impl QueryService {
     /// serving epoch number (bumped on success, also when there was
     /// nothing to compact and the call was a no-op).
     pub fn compact_now(&self) -> Result<u64, SpatialError> {
+        // Optimistic path: build the next epoch from a lock-free snapshot
+        // so readers (and writers) keep flowing during the rebuild. The
+        // swap only happens if the serving state is still the exact Arc
+        // we snapshotted — a write that lands mid-build fails the
+        // `ptr_eq` check and we rebuild from the fresher state. After a
+        // few lost races, fall back to building under the write lock,
+        // which cannot lose.
+        const OPTIMISTIC_ATTEMPTS: usize = 3;
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            let st = self.state_snapshot();
+            if st.tombstones.is_empty() && st.pending.is_empty() {
+                return Ok(st.epoch);
+            }
+            let built = catch_unwind(AssertUnwindSafe(|| self.build_compacted_state(&st)));
+            let new_state = match built {
+                Ok(s) => s,
+                Err(payload) => {
+                    self.failed_compactions.fetch_add(1, Ordering::Relaxed);
+                    return Err(error_from_panic(
+                        self.grid.num_shards(),
+                        1,
+                        payload.as_ref(),
+                    ));
+                }
+            };
+            let mut guard = self.state.write().unwrap_or_else(PoisonError::into_inner);
+            if Arc::ptr_eq(&*guard, &st) {
+                let epoch = new_state.epoch;
+                *guard = Arc::new(new_state);
+                // Flush the hot-window cache under the same write lock
+                // that publishes the epoch: no reader can admit an
+                // answer computed against the old state at the
+                // post-swap cache version.
+                self.cache.note_epoch_swap();
+                self.compactions.fetch_add(1, Ordering::Relaxed);
+                return Ok(epoch);
+            }
+        }
+        // Pessimistic fallback: hold the write lock across the build so
+        // no concurrent write can invalidate the snapshot.
         let mut guard = self.state.write().unwrap_or_else(PoisonError::into_inner);
         let st = guard.clone();
         if st.tombstones.is_empty() && st.pending.is_empty() {
@@ -1880,6 +2128,7 @@ impl QueryService {
             Ok(new_state) => {
                 let epoch = new_state.epoch;
                 *guard = Arc::new(new_state);
+                self.cache.note_epoch_swap();
                 self.compactions.fetch_add(1, Ordering::Relaxed);
                 Ok(epoch)
             }
@@ -2019,6 +2268,11 @@ impl QueryService {
                         probes: s.counters.probes.load(Ordering::Relaxed),
                         batches: s.counters.batches.load(Ordering::Relaxed),
                         max_queue_depth: s.counters.max_queue_depth.load(Ordering::Relaxed),
+                        admitted: s.counters.admitted.load(Ordering::Relaxed),
+                        coalesced_batches: s.counters.coalesced_batches.load(Ordering::Relaxed),
+                        shed: s.counters.shed.load(Ordering::Relaxed),
+                        cache_hits: s.counters.cache_hits.load(Ordering::Relaxed),
+                        queue_wait_micros: s.counters.queue_wait_micros.load(Ordering::Relaxed),
                         latency_histogram: std::array::from_fn(|b| {
                             s.counters.latency[b].load(Ordering::Relaxed)
                         }),
@@ -2061,12 +2315,62 @@ impl QueryService {
         let st = self.state_snapshot();
         for s in st.shards.iter() {
             s.snapshot().machine.reset_stats();
-            s.counters.probes.store(0, Ordering::Relaxed);
-            s.counters.batches.store(0, Ordering::Relaxed);
-            s.counters.max_queue_depth.store(0, Ordering::Relaxed);
-            for b in &s.counters.latency {
-                b.store(0, Ordering::Relaxed);
-            }
+            s.counters.reset();
+        }
+    }
+
+    /// A snapshot of the hot-window cache counters (hits, misses,
+    /// admissions, invalidations).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Routes compaction off the writer's thread: while a
+    /// [`ServicePipeline`] is attached, `apply_write` skips its inline
+    /// [`QueryService::maybe_compact`] and the pipeline's compactor
+    /// thread runs it instead, so writes never pay a rebuild inline.
+    pub(crate) fn set_deferred_compaction(&self, on: bool) {
+        self.defer_compaction.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether accumulated write pressure has crossed the compaction
+    /// threshold — the signal a pipeline lane worker checks after each
+    /// batch to wake the background compactor.
+    pub(crate) fn wants_compaction(&self) -> bool {
+        let st = self.state_snapshot();
+        st.tombstones.len() + st.pending.len() >= self.config.compact_threshold
+    }
+
+    /// Records one shed request against the shard a lane is attributed
+    /// to (admission happens before any shard executes, so the lane's
+    /// slot stands in for the shard that would have served it).
+    pub(crate) fn note_shed(&self, shard: usize) {
+        let st = self.state_snapshot();
+        if let Some(s) = st.shards.get(shard % st.shards.len().max(1)) {
+            s.counters.shed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds one coalesced batch's admission telemetry into the shard
+    /// counters: how many requests it carried, their summed queue wait,
+    /// and the lane's high-water queue depth since the last batch.
+    pub(crate) fn note_admitted_batch(
+        &self,
+        shard: usize,
+        admitted: u64,
+        queue_wait_micros: u64,
+        depth_high: u64,
+    ) {
+        let st = self.state_snapshot();
+        if let Some(s) = st.shards.get(shard % st.shards.len().max(1)) {
+            s.counters.admitted.fetch_add(admitted, Ordering::Relaxed);
+            s.counters.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+            s.counters
+                .queue_wait_micros
+                .fetch_add(queue_wait_micros, Ordering::Relaxed);
+            s.counters
+                .max_queue_depth
+                .fetch_max(depth_high, Ordering::Relaxed);
         }
     }
 }
@@ -2252,6 +2556,29 @@ mod tests {
             QueryService::try_build(cfg, world, Vec::new()),
             Err(SpatialError::InvalidConfig { .. })
         ));
+        cfg = QueryServiceConfig::sequential(2);
+        cfg.compact_threshold = 0;
+        assert!(matches!(
+            QueryService::try_build(cfg, world, Vec::new()),
+            Err(SpatialError::InvalidConfig { .. })
+        ));
+        // Admission parameters are validated at construction, not
+        // silently clamped: a zero flush_batch and a queue bound too
+        // small to hold one flush are both typed errors.
+        cfg = QueryServiceConfig::sequential(2);
+        cfg.flush_batch = 0;
+        assert!(matches!(
+            QueryService::try_build(cfg, world, Vec::new()),
+            Err(SpatialError::InvalidConfig { .. })
+        ));
+        cfg = QueryServiceConfig::sequential(2);
+        cfg.flush_batch = 64;
+        cfg.queue_bound = 63;
+        let err = QueryService::try_build(cfg, world, Vec::new())
+            .err()
+            .expect("undersized queue_bound must not build");
+        assert!(matches!(err, SpatialError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("queue_bound"), "{err}");
         let outside = vec![LineSeg::from_coords(1.0, 1.0, 20.0, 20.0)];
         assert!(
             QueryService::try_build(QueryServiceConfig::sequential(2), world, outside)

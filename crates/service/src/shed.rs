@@ -1,0 +1,98 @@
+//! Admission control: what happens when a lane's bounded queue is full.
+//!
+//! The admission layer gives every lane a bounded queue; the bound is
+//! what turns overload into a *decision* instead of unbounded memory
+//! growth. Two policies exist, and both are expressed through the same
+//! typed response surface as the crash ladder — an overloaded service
+//! and a crashed shard look the same to a client: a
+//! [`Response::Rejected`](crate::Response::Rejected) carrying a typed
+//! [`SpatialError`]:
+//!
+//! * [`AdmissionPolicy::Block`] — *backpressure*: the submitting thread
+//!   waits for queue space, so offered load is throttled to service
+//!   throughput and nothing is ever lost. Right for internal callers
+//!   that can afford to stall (the closed-loop driver, batch jobs).
+//! * [`AdmissionPolicy::Shed`] — *load shedding*: a full lane rejects
+//!   immediately with [`SpatialError::Overloaded`], bounding the latency
+//!   of every request that *is* admitted. Right for open-loop traffic
+//!   where arrival does not slow down when the service does.
+//!
+//! The decision itself ([`AdmissionPolicy::admit`]) is a pure function
+//! of queue depth and bound, unit-tested below; the blocking/waking
+//! mechanics live in [`crate::admission`].
+
+use dp_spatial::SpatialError;
+
+/// What a full lane does with a new arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Backpressure: block the submitter until the lane has space.
+    #[default]
+    Block,
+    /// Load shedding: reject immediately with
+    /// [`SpatialError::Overloaded`] when the lane is full.
+    Shed,
+}
+
+/// The outcome of an admission decision for one arriving request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// The lane has space: enqueue now.
+    Enqueue,
+    /// The lane is full and the policy is backpressure: wait for space,
+    /// then re-decide.
+    Block,
+    /// The lane is full and the policy is shedding: reject with this
+    /// typed error (already carrying the lane and the observed depth).
+    Shed(SpatialError),
+}
+
+impl AdmissionPolicy {
+    /// Decides what to do with an arrival at a lane currently holding
+    /// `depth` requests against a bound of `bound`.
+    pub fn admit(self, lane: usize, depth: usize, bound: usize) -> Admission {
+        if depth < bound {
+            return Admission::Enqueue;
+        }
+        match self {
+            AdmissionPolicy::Block => Admission::Block,
+            AdmissionPolicy::Shed => Admission::Shed(SpatialError::Overloaded { lane, depth }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_bound_always_enqueues() {
+        for policy in [AdmissionPolicy::Block, AdmissionPolicy::Shed] {
+            assert_eq!(policy.admit(0, 0, 1), Admission::Enqueue);
+            assert_eq!(policy.admit(3, 7, 8), Admission::Enqueue);
+        }
+    }
+
+    #[test]
+    fn full_lane_blocks_under_backpressure() {
+        assert_eq!(AdmissionPolicy::Block.admit(2, 8, 8), Admission::Block);
+        assert_eq!(AdmissionPolicy::Block.admit(2, 9, 8), Admission::Block);
+    }
+
+    #[test]
+    fn full_lane_sheds_with_a_typed_error() {
+        match AdmissionPolicy::Shed.admit(5, 16, 16) {
+            Admission::Shed(SpatialError::Overloaded { lane, depth }) => {
+                assert_eq!((lane, depth), (5, 16));
+            }
+            other => panic!("expected a typed shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overloaded_error_displays_the_lane() {
+        let e = SpatialError::Overloaded { lane: 3, depth: 64 };
+        let s = e.to_string();
+        assert!(s.contains("lane 3") && s.contains("64"), "{s}");
+    }
+}

@@ -33,5 +33,6 @@ pub use generators::{
 };
 pub use paper::{paper_dataset, paper_world, PAPER_LABELS};
 pub use requests::{
-    poison_stream, request_stream, request_stream_with_updates, Request, RequestMix,
+    open_loop_schedule, poison_stream, request_stream, request_stream_with_updates,
+    skew_hot_windows, Arrival, OpenLoopSchedule, Request, RequestMix,
 };

@@ -231,6 +231,144 @@ pub fn request_stream_with_updates(
         .collect()
 }
 
+/// One open-loop arrival: a request stamped with its virtual arrival
+/// time (microseconds since the start of the run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Virtual arrival offset in microseconds from the schedule start.
+    pub at_micros: u64,
+    /// The request that arrives at that instant.
+    pub request: Request,
+}
+
+/// A deterministic open-loop arrival schedule: requests stamped with
+/// Poisson (exponential inter-arrival) virtual-clock offsets.
+///
+/// *Open loop* means arrival times are fixed before the run starts —
+/// they do not slow down when the service does, which is what exposes
+/// queueing delay and forces the admission layer to shed or absorb
+/// bursts. The driver replays the schedule against the real clock,
+/// submitting each request when its offset comes due.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopSchedule {
+    /// Offered load the schedule was generated for, in requests/second.
+    pub rate_per_sec: f64,
+    /// The arrivals, in nondecreasing `at_micros` order.
+    pub arrivals: Vec<Arrival>,
+}
+
+impl OpenLoopSchedule {
+    /// Total virtual duration of the schedule in microseconds (the last
+    /// arrival's offset; 0 when empty).
+    pub fn span_micros(&self) -> u64 {
+        self.arrivals.last().map_or(0, |a| a.at_micros)
+    }
+}
+
+/// A deterministic open-loop schedule of `n` mixed requests over `world`
+/// at `rate_per_sec` offered load.
+///
+/// Request *contents* come from [`request_stream_with_updates`] with
+/// `seed`, so a schedule carries exactly the same request sequence as
+/// the closed-loop stream for that seed — differential runs compare the
+/// two directly. Arrival *times* draw from a second rng derived from the
+/// same seed, with exponential (Poisson-process) inter-arrival gaps of
+/// mean `1/rate_per_sec`; the virtual clock makes the schedule
+/// replay-identical on every machine regardless of wall-clock speed.
+///
+/// # Panics
+///
+/// Panics when `rate_per_sec` is not finite and positive, or when every
+/// weight in `mix` is zero.
+pub fn open_loop_schedule(
+    world: Rect,
+    n: usize,
+    mix: RequestMix,
+    rate_per_sec: f64,
+    seed: u64,
+    initial_live: usize,
+) -> OpenLoopSchedule {
+    assert!(
+        rate_per_sec.is_finite() && rate_per_sec > 0.0,
+        "open-loop rate must be finite and positive, got {rate_per_sec}"
+    );
+    let requests = request_stream_with_updates(world, n, mix, seed, initial_live);
+    // A distinct stream for the clock: content and timing stay
+    // independently reproducible (changing the mix cannot shift the
+    // arrival times and vice versa).
+    let mut clock_rng = StdRng::seed_from_u64(seed ^ 0x000A_8817_1EE0_5EED);
+    let mut at = 0f64; // virtual clock, seconds
+    let arrivals = requests
+        .into_iter()
+        .map(|request| {
+            // Inverse-CDF exponential sample; 1 - u in (0, 1] keeps ln
+            // finite.
+            let u = 1.0 - clock_rng.gen_range(0.0f64..1.0);
+            at += -u.ln() / rate_per_sec;
+            Arrival {
+                at_micros: (at * 1e6) as u64,
+                request,
+            }
+        })
+        .collect();
+    OpenLoopSchedule {
+        rate_per_sec,
+        arrivals,
+    }
+}
+
+/// Skews the cacheable probes of `stream` toward a small hot set: each
+/// [`Request::Window`] (resp. [`Request::PointInWindow`]) is remapped
+/// with probability `hot_fraction` to one of `hot_count` fixed windows
+/// (resp. points) drawn once from the generator's distributions.
+/// Deterministic given `seed`; other request kinds are untouched.
+/// Returns how many requests were remapped.
+///
+/// Real front-end traffic is Zipf-like — a few map viewports and
+/// points of interest dominate — and this is what the service's
+/// hot-window result cache exists for. The uniform streams above almost
+/// never repeat a probe, so without this skew a cache benchmark
+/// measures only its miss path.
+///
+/// # Panics
+///
+/// Panics when `hot_fraction` is outside `[0, 1]` or `hot_count` is 0.
+pub fn skew_hot_windows(
+    stream: &mut [Request],
+    world: &Rect,
+    hot_fraction: f64,
+    hot_count: usize,
+    seed: u64,
+) -> usize {
+    assert!(
+        (0.0..=1.0).contains(&hot_fraction),
+        "hot_fraction must be in [0, 1], got {hot_fraction}"
+    );
+    assert!(hot_count > 0, "hot_count must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x407_5E7);
+    let hot_windows: Vec<Rect> = (0..hot_count)
+        .map(|_| random_window(&mut rng, world))
+        .collect();
+    let hot_points: Vec<Point> = (0..hot_count)
+        .map(|_| grid_point(&mut rng, world))
+        .collect();
+    let mut remapped = 0;
+    for req in stream.iter_mut() {
+        match req {
+            Request::Window(q) if rng.gen_bool(hot_fraction) => {
+                *q = hot_windows[rng.gen_range(0..hot_count)];
+                remapped += 1;
+            }
+            Request::PointInWindow(p) if rng.gen_bool(hot_fraction) => {
+                *p = hot_points[rng.gen_range(0..hot_count)];
+                remapped += 1;
+            }
+            _ => {}
+        }
+    }
+    remapped
+}
+
 /// Replaces requests in `stream` with malformed ones wherever `plan`
 /// fires [`FaultSite::PoisonedRequest`] (one occurrence per request, in
 /// order). Each poisoned request keeps its kind but becomes unanswerable:
@@ -518,6 +656,109 @@ mod tests {
             }
         }
         assert!(write_poisoned > 0, "no write request was poisoned");
+    }
+
+    #[test]
+    fn open_loop_schedule_is_replay_identical() {
+        let w = square_world(64);
+        let a = open_loop_schedule(w, 500, RequestMix::WITH_UPDATES, 10_000.0, 21, 0);
+        let b = open_loop_schedule(w, 500, RequestMix::WITH_UPDATES, 10_000.0, 21, 0);
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            open_loop_schedule(w, 500, RequestMix::WITH_UPDATES, 10_000.0, 22, 0)
+        );
+    }
+
+    #[test]
+    fn open_loop_schedule_carries_the_closed_loop_stream() {
+        // Same seed → exactly the closed-loop request sequence, just
+        // stamped with arrival times.
+        let w = square_world(64);
+        let sched = open_loop_schedule(w, 300, RequestMix::WITH_UPDATES, 5_000.0, 13, 7);
+        let closed = request_stream_with_updates(w, 300, RequestMix::WITH_UPDATES, 13, 7);
+        let carried: Vec<Request> = sched.arrivals.iter().map(|a| a.request).collect();
+        assert_eq!(carried, closed);
+    }
+
+    #[test]
+    fn open_loop_arrival_times_match_the_offered_rate() {
+        let w = square_world(64);
+        let rate = 20_000.0; // 20k req/s → mean gap 50µs
+        let sched = open_loop_schedule(w, 4_000, RequestMix::DEFAULT, rate, 5, 0);
+        assert_eq!(sched.arrivals.len(), 4_000);
+        let mut prev = 0;
+        for a in &sched.arrivals {
+            assert!(a.at_micros >= prev, "arrivals must be nondecreasing");
+            prev = a.at_micros;
+        }
+        // Realised rate within 10% of offered (law of large numbers at
+        // n = 4000 makes this deterministic slack, not flake).
+        let span_secs = sched.span_micros() as f64 / 1e6;
+        let realised = sched.arrivals.len() as f64 / span_secs;
+        assert!(
+            (realised - rate).abs() / rate < 0.1,
+            "offered {rate} realised {realised}"
+        );
+    }
+
+    #[test]
+    fn hot_window_skew_is_deterministic_and_bounded() {
+        let w = square_world(64);
+        let base = request_stream(w, 2_000, RequestMix::DEFAULT, 3);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let na = skew_hot_windows(&mut a, &w, 0.9, 8, 7);
+        let nb = skew_hot_windows(&mut b, &w, 0.9, 8, 7);
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        assert!(
+            na > 1_400,
+            "90% of ~1800 cacheable probes should remap, got {na}"
+        );
+
+        // Only cacheable probes (windows and point probes) move, and the
+        // moved ones collapse onto at most the 8 hot values per kind.
+        let mut changed_windows: Vec<Rect> = Vec::new();
+        let mut changed_points: Vec<Point> = Vec::new();
+        for (now, orig) in a.iter().zip(&base) {
+            match (now, orig) {
+                (Request::Window(q), Request::Window(o)) if q != o => {
+                    if !changed_windows.contains(q) {
+                        changed_windows.push(*q);
+                    }
+                }
+                (Request::PointInWindow(p), Request::PointInWindow(o)) if p != o => {
+                    if !changed_points.contains(p) {
+                        changed_points.push(*p);
+                    }
+                }
+                (Request::Window(_), Request::Window(_))
+                | (Request::PointInWindow(_), Request::PointInWindow(_)) => {}
+                _ => assert_eq!(now, orig, "non-cacheable request changed"),
+            }
+        }
+        assert!(
+            changed_windows.len() <= 8,
+            "{} distinct hot windows",
+            changed_windows.len()
+        );
+        assert!(
+            changed_points.len() <= 8,
+            "{} distinct hot points",
+            changed_points.len()
+        );
+
+        // Zero fraction is the identity.
+        let mut c = base.clone();
+        assert_eq!(skew_hot_windows(&mut c, &w, 0.0, 8, 7), 0);
+        assert_eq!(c, base);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn open_loop_rejects_a_zero_rate() {
+        open_loop_schedule(square_world(32), 1, RequestMix::DEFAULT, 0.0, 1, 0);
     }
 
     #[test]

@@ -508,6 +508,138 @@ fn compaction_kill_sweep_converges_to_clean_epoch() {
     );
 }
 
+/// Kill-at-every-occurrence sweep over the *background* compactor.
+/// Writes admitted through a pipelined lane defer compaction to the
+/// off-thread compactor; a seeded fault plan aborts compaction round
+/// `k` there. The guarantees under fire: every admitted write still
+/// succeeds (the recovery ladder absorbs aborts), reads served through
+/// the pipeline while the compactor crashes off-thread match the eager
+/// baseline (the old epoch keeps serving — readers never block on a
+/// doomed rebuild), the crash is counted, and foreground retries after
+/// the pipeline drains converge to a clean compacted epoch identical to
+/// the never-faulted one.
+#[test]
+fn kill_during_background_compaction_keeps_readers_serving() {
+    use dp_service::{AdmissionPolicy, ServicePipeline};
+    use std::time::{Duration, Instant};
+
+    let data = uniform_segments(120, 64, 8, 702);
+    let n = data.segs.len() as u32;
+    // One admission lane: per-lane FIFO makes the pipelined write order
+    // exactly the eager order (logical delete ids shift on delete, so
+    // write order is semantics, not scheduling).
+    let cfg = QueryServiceConfig {
+        shard_grid: 2,
+        compact_threshold: 4, // the write burst trips the compactor
+        ..QueryServiceConfig::sequential(2)
+    };
+    let reads = request_stream(data.world, 40, RequestMix::DEFAULT, 703);
+
+    // Clean eager baseline: same writes, explicit compaction, reads.
+    let baseline_svc = QueryService::build(
+        QueryServiceConfig {
+            compact_threshold: 1_000,
+            ..cfg
+        },
+        data.world,
+        data.segs.clone(),
+    );
+    for resp in baseline_svc.execute_batch(&compaction_writes(n)) {
+        assert!(
+            !matches!(resp, Response::Rejected(_)),
+            "clean write: {resp:?}"
+        );
+    }
+    baseline_svc.compact_now().expect("clean compaction");
+    let baseline = baseline_svc.execute_batch(&reads);
+    let oracle_segs = baseline_svc.segments();
+
+    let mut crashed_background = 0u64;
+    let mut swept = 0u64;
+    for k in 0..400u64 {
+        let plan = Arc::new(FaultPlan::once_at(FaultSite::RoundAbort, k));
+        let svc = Arc::new(
+            QueryService::try_build_with_faults(
+                cfg,
+                data.world,
+                data.segs.clone(),
+                Vec::new(),
+                plan,
+            )
+            .expect("builds recover; only validation can error"),
+        );
+        {
+            let pipeline = ServicePipeline::new(svc.clone(), 1, AdmissionPolicy::Block).unwrap();
+            for resp in pipeline.submit_all(&compaction_writes(n)) {
+                assert!(
+                    !matches!(resp, Response::Rejected(_)),
+                    "k={k}: ladder fallback must absorb the abort, got {resp:?}"
+                );
+            }
+            // The compactor was signalled (threshold 4 against ~15
+            // writes); wait until it attempted at least once so the
+            // read probe below really races a background outcome.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let s = svc.stats();
+                if s.compactions + s.failed_compactions > 0 {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "k={k}: background compactor never attempted"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // Whatever the compactor did off-thread — swapped a clean
+            // epoch or crashed and left the old one — pipelined readers
+            // see exactly the eager answers.
+            assert_eq!(
+                pipeline.submit_all(&reads),
+                baseline,
+                "k={k}: reads diverged during background compaction"
+            );
+        } // drop joins the lane worker and the compactor
+        let stats = svc.stats();
+        if stats.failed_compactions > 0 {
+            crashed_background += 1;
+            // A crashed background compaction must not have swapped.
+            assert_eq!(
+                svc.execute_batch(&reads),
+                baseline,
+                "k={k}: old epoch corrupt after background crash"
+            );
+        }
+        // Foreground retries converge (each fault-plan fork fires its
+        // once-at fault at most once, so attempts are bounded by the
+        // fork count: shards + ladder).
+        let mut attempts = 0;
+        while svc.stats().overlay_size + svc.stats().tombstones > 0 || svc.stats().epoch == 0 {
+            attempts += 1;
+            assert!(
+                attempts <= svc.num_shards() + 2,
+                "k={k}: compaction retries did not converge"
+            );
+            let _ = svc.compact_now();
+        }
+        assert_eq!(
+            svc.execute_batch(&reads),
+            baseline,
+            "k={k}: compacted epoch diverges"
+        );
+        assert_eq!(svc.segments(), oracle_segs, "k={k}");
+        swept = k + 1;
+        if svc.stats().total_faults_injected() == 0 {
+            break; // k ran past every fork's round count: sweep complete
+        }
+    }
+    assert!(swept >= 2, "sweep ended after {swept} occurrences");
+    assert!(
+        crashed_background > 0,
+        "no abort ever landed inside a background compaction — the sweep proved nothing"
+    );
+}
+
 /// Poisoned write requests (NaN insert geometry, out-of-range delete
 /// ids) are rejected per slot with typed errors and leave the overlay
 /// untouched: every slot — reads included — matches an eager oracle that

@@ -9,11 +9,13 @@
 //! overlay accumulation and epoch-swapped compactions.
 
 use dp_spatial_suite::geom::{clip_segment_closed, LineSeg, Point, Rect};
-use dp_spatial_suite::service::{brute_knearest, QueryService, QueryServiceConfig, Response};
+use dp_spatial_suite::service::{
+    brute_knearest, AdmissionPolicy, QueryService, QueryServiceConfig, Response, ServicePipeline,
+};
 use dp_spatial_suite::spatial::batch::batch_window_query;
 use dp_spatial_suite::spatial::bucket_pmr::build_bucket_pmr;
 use dp_spatial_suite::spatial::shard::ShardGrid;
-use dp_spatial_suite::spatial::SegId;
+use dp_spatial_suite::spatial::{SegId, SpatialError};
 use dp_spatial_suite::workloads::{
     clustered_segments, paper_dataset, paper_world, pathological_close_vertices, polygon_rings,
     request_stream, request_stream_with_updates, road_network, uniform_segments, Dataset, Request,
@@ -364,6 +366,128 @@ fn stats_expose_overlay_pressure_and_epochs() {
     assert_eq!(svc.segments().len(), data.segs.len() + 1);
 }
 
+// ---------------------------------------------------------------------
+// Pipelined serving differentials: coalesced / cached / shed admission
+// against the eager sequential oracle.
+// ---------------------------------------------------------------------
+
+/// A one-lane pipeline is strictly FIFO, so coalesced micro-batches and
+/// the hot-window cache must be semantically invisible: every workload
+/// family's mixed read/write stream answers byte-identically to the
+/// eager `execute_batch` oracle, across overlay accumulation and
+/// background epoch compactions.
+#[test]
+fn pipelined_serving_matches_eager_oracle_on_mixed_streams() {
+    for data in families() {
+        let config = QueryServiceConfig {
+            compact_threshold: 8, // several background compactions
+            flush_batch: 16,      // several coalesced flushes per stream
+            coalesce_deadline_micros: 200,
+            ..QueryServiceConfig::sequential(2)
+        };
+        let svc = std::sync::Arc::new(QueryService::build(config, data.world, data.segs.clone()));
+        let oracle = QueryService::build(config, data.world, data.segs.clone());
+        let requests = request_stream_with_updates(
+            data.world,
+            120,
+            RequestMix::WITH_UPDATES,
+            17,
+            data.segs.len(),
+        );
+        let pipeline = ServicePipeline::new(svc.clone(), 1, AdmissionPolicy::Block).unwrap();
+        assert_eq!(
+            pipeline.submit_all(&requests),
+            oracle.execute_batch(&requests),
+            "[{}] pipelined stream diverged from eager oracle",
+            data.name
+        );
+        drop(pipeline); // join workers and the background compactor
+        assert_eq!(svc.segments(), oracle.segments(), "[{}]", data.name);
+
+        // Absorb any write pressure the background compactor had not
+        // reached before the join, so no epoch swap (which flushes the
+        // cache) can land inside the replay below.
+        if svc.stats().overlay_size + svc.stats().tombstones > 0 {
+            svc.compact_now().expect("clean compaction");
+        }
+
+        // Replay the read-only portion twice through a fresh pipeline:
+        // with no writes pending, the second pass serves warm cache
+        // hits, and those hits must still equal the eager answers.
+        let reads: Vec<Request> = requests
+            .iter()
+            .filter(|r| !matches!(r, Request::Insert(_) | Request::Delete(_)))
+            .copied()
+            .collect();
+        let expected = oracle.execute_batch(&reads);
+        let pipeline = ServicePipeline::new(svc.clone(), 1, AdmissionPolicy::Block).unwrap();
+        assert_eq!(
+            pipeline.submit_all(&reads),
+            expected,
+            "[{}] cold replay",
+            data.name
+        );
+        assert_eq!(
+            pipeline.submit_all(&reads),
+            expected,
+            "[{}] warm replay",
+            data.name
+        );
+        drop(pipeline);
+        assert!(
+            svc.cache_stats().hits > 0,
+            "[{}] warm replay never hit the cache — the differential proved nothing",
+            data.name
+        );
+    }
+}
+
+/// Under `AdmissionPolicy::Shed`, a served stream must equal an eager
+/// oracle that replays exactly the non-shed requests: shed writes are
+/// never applied, shed reads answer `Overloaded`, and everything that
+/// was admitted answers as if the shed requests never existed.
+#[test]
+fn shed_serving_matches_oracle_on_admitted_subsequence() {
+    let data = uniform_segments(150, 64, 8, 119);
+    let config = QueryServiceConfig {
+        flush_batch: 8,
+        queue_bound: 8,
+        coalesce_deadline_micros: 50_000, // park the worker: force sheds
+        compact_threshold: 16,
+        ..QueryServiceConfig::sequential(2)
+    };
+    let svc = std::sync::Arc::new(QueryService::build(config, data.world, data.segs.clone()));
+    let requests = request_stream_with_updates(
+        data.world,
+        400,
+        RequestMix::WITH_UPDATES,
+        23,
+        data.segs.len(),
+    );
+    let pipeline = ServicePipeline::new(svc.clone(), 1, AdmissionPolicy::Shed).unwrap();
+    let responses = pipeline.submit_all(&requests);
+    let shed_total = pipeline.shed();
+    drop(pipeline);
+
+    // Replay only the admitted subsequence through an eager oracle.
+    let oracle = QueryService::build(config, data.world, data.segs.clone());
+    let mut shed_seen = 0u64;
+    for (i, (req, resp)) in requests.iter().zip(&responses).enumerate() {
+        if matches!(resp, Response::Rejected(SpatialError::Overloaded { .. })) {
+            shed_seen += 1;
+            continue; // never applied, nothing to compare
+        }
+        let expect = oracle.execute_batch(std::slice::from_ref(req));
+        assert_eq!(resp, &expect[0], "slot {i} diverged from replay oracle");
+    }
+    assert_eq!(shed_seen, shed_total);
+    assert!(
+        shed_seen > 0,
+        "bound 8 against a 400-burst never shed — the differential proved nothing"
+    );
+    assert_eq!(svc.segments(), oracle.segments());
+}
+
 const WORLD_SIZE: i32 = 64;
 
 /// Windows across the shape spectrum, degenerate and boundary-aligned
@@ -411,6 +535,68 @@ proptest! {
                 prop_assert!(routed.windows(2).all(|w| w[0] < w[1]));
             }
         }
+    }
+
+    /// Read-after-write through the pipeline: a window answer served
+    /// from the hot-window cache must be invalidated by any overlapping
+    /// write before the next read — the re-read always equals the brute
+    /// force over the post-write collection, never the stale cached ids.
+    #[test]
+    fn cache_hits_invalidated_by_overlapping_writes(
+        q in windows(),
+        writes in prop::collection::vec(
+            (0..WORLD_SIZE - 8, 0..WORLD_SIZE - 8, 1..8i32, 1..8i32),
+            1..6,
+        ),
+    ) {
+        let data = uniform_segments(80, 64, 8, 113);
+        let config = QueryServiceConfig {
+            flush_batch: 4,
+            coalesce_deadline_micros: 100,
+            compact_threshold: 1_000, // writes stay in the overlay
+            ..QueryServiceConfig::sequential(2)
+        };
+        let svc = std::sync::Arc::new(
+            QueryService::build(config, data.world, data.segs.clone()),
+        );
+        let pipeline =
+            ServicePipeline::new(svc.clone(), 1, AdmissionPolicy::Block).unwrap();
+        let mut live = data.segs.clone();
+
+        // Prime the cache with the window (and once more: a hit).
+        let primed = pipeline.submit_all(&[Request::Window(q), Request::Window(q)]);
+        prop_assert_eq!(&primed[0], &Response::Window(brute_window(&live, &q)));
+        prop_assert_eq!(&primed[1], &primed[0]);
+
+        for (x, y, w, h) in writes {
+            let seg = LineSeg::from_coords(
+                x as f64,
+                y as f64,
+                (x + w) as f64,
+                (y + h) as f64,
+            );
+            // Insert (sometimes crossing q, sometimes not), then
+            // re-read the same window through the admission path.
+            let out = pipeline.submit_all(&[Request::Insert(seg), Request::Window(q)]);
+            prop_assert!(matches!(out[0], Response::Inserted(_)));
+            live.push(seg);
+            prop_assert_eq!(
+                &out[1],
+                &Response::Window(brute_window(&live, &q)),
+                "stale cache after insert {} against window {}", seg, q
+            );
+        }
+
+        // Deletes shift logical ids, which flushes the cache wholesale:
+        // the re-read reflects the removal too.
+        let out = pipeline.submit_all(&[Request::Delete(0), Request::Window(q)]);
+        prop_assert!(matches!(out[0], Response::Deleted(0)));
+        live.remove(0);
+        prop_assert_eq!(
+            &out[1],
+            &Response::Window(brute_window(&live, &q)),
+            "stale cache after delete against window {}", q
+        );
     }
 
     /// A batch of window requests is executed on exactly the overlapping
