@@ -34,7 +34,9 @@
 //!   peak at n = 200k exceeds half the pre-blocking footprint, or (e)
 //!   the committed pipelined-serving row falls below 5× the
 //!   pre-admission closed-loop baseline or below the same-run
-//!   pipelined/closed floor. After the run, the freshly measured
+//!   pipelined/closed floor, or (f) the committed snapshot warm-restart
+//!   row at n = 200k restores less than 10× faster than the cold build
+//!   it replaces. After the run, the freshly measured
 //!   parallel/sequential ratios must also clear a 0.90 noise floor.
 //!
 //! Run with: `cargo run --release -p dp-bench --bin bench_scanmodel
@@ -47,7 +49,7 @@ use dp_spatial::join::{frontier_join, spatial_join};
 use dp_spatial::pm1::{build_pm1, build_pm1_unfused};
 use dp_spatial::update::{batch_update_bucket_pmr, UpdateBatch};
 use dp_workloads::{request_stream, skew_hot_windows, square_world, Request, RequestMix};
-use scan_model::{Backend, Machine, RoundTrace, StatsSnapshot};
+use scan_model::{Backend, FaultPlan, Machine, RoundTrace, StatsSnapshot};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -73,6 +75,12 @@ const CLOSED_LOOP_BASELINE_RPS: f64 = 5_600.0;
 /// identical hot stream (the same-run sanity companion of the absolute
 /// [`CLOSED_LOOP_BASELINE_RPS`] gate).
 const SERVING_MIN_RATIO: f64 = 3.0;
+
+/// Committed `snapshot_restart` rows at n = 200k must show the warm
+/// restore path (decode + validate + reattach) at least this many times
+/// faster than the cold shard-tree build it replaces — the economic
+/// case for carrying the snapshot format at all.
+const WARM_RESTART_MIN_RATIO: f64 = 10.0;
 
 /// Best-of-`reps` wall-clock seconds for `f`.
 fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -330,6 +338,17 @@ fn check_committed(path: &str, text: &str) {
                             r.n
                         ));
                     }
+                }
+            }
+            "snapshot_restart" if r.n == 200_000 => {
+                checks += 1;
+                let ratio = row_field(&r.line, "warm_over_cold").unwrap_or(0.0);
+                if ratio < WARM_RESTART_MIN_RATIO {
+                    failures.push(format!(
+                        "snapshot_restart n={}: warm restore only {ratio:.2}x faster \
+                         than cold build (< {WARM_RESTART_MIN_RATIO})",
+                        r.n
+                    ));
                 }
             }
             _ => {}
@@ -630,6 +649,57 @@ fn main() {
             "serving: {requests} hot requests pipelined at {served_rps:.0} req/s \
              vs {closed_rps:.0} closed ({ratio:.2}x, {} cache hits)",
             cache.hits
+        );
+    }
+
+    // Snapshot persistence: cold shard-tree build versus warm restore
+    // from an on-disk snapshot (`dp_service::snapshot`). The committed
+    // row at n = 200k must show the warm path clearing
+    // [`WARM_RESTART_MIN_RATIO`].
+    for &n in sizes {
+        let data = uniform_at(n);
+        let world = square_world(WORLD);
+        let config = QueryServiceConfig {
+            shard_grid: 2,
+            backend: Backend::Parallel,
+            ..QueryServiceConfig::default()
+        };
+        let cold_s = time_best(reps, || {
+            QueryService::build(config, world, data.segs.clone())
+        });
+        let service = QueryService::build(config, world, data.segs.clone());
+        let snap_path =
+            std::env::temp_dir().join(format!("bench_snapshot_{n}_{}.snap", std::process::id()));
+        service
+            .save_snapshot(&snap_path)
+            .expect("bench snapshot save");
+        let snapshot_bytes = std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
+        let warm_s = time_best(reps, || {
+            let (restored, warm) = QueryService::try_restore_or_build(
+                config,
+                world,
+                data.segs.clone(),
+                Vec::new(),
+                Arc::new(FaultPlan::disabled()),
+                &snap_path,
+            )
+            .expect("bench snapshot restore");
+            assert!(warm, "bench snapshot restore fell through to a cold build");
+            restored
+        });
+        let _ = std::fs::remove_file(&snap_path);
+        let ratio = cold_s / warm_s;
+        let mut e = String::new();
+        let _ = write!(
+            e,
+            "{{\"bench\": \"snapshot_restart\", \"backend\": \"parallel\", \"n\": {n}, \
+             \"cold_build_secs\": {cold_s:.6}, \"warm_restore_secs\": {warm_s:.6}, \
+             \"warm_over_cold\": {ratio:.4}, \"snapshot_bytes\": {snapshot_bytes}}}"
+        );
+        entries.push(e);
+        println!(
+            "snapshot_restart n={n}: warm restore {warm_s:.4}s vs cold build {cold_s:.4}s \
+             ({ratio:.2}x, {snapshot_bytes} bytes)"
         );
     }
 

@@ -116,6 +116,30 @@ pub enum SpatialError {
         /// Position of the offending segment in the input slice.
         index: usize,
     },
+    /// A snapshot file carries a format version this reader does not
+    /// speak. A version bump must reject old fixtures cleanly through
+    /// this variant, never panic.
+    SnapshotVersionMismatch {
+        /// Version found in the snapshot header.
+        found: u32,
+        /// Version this reader expects.
+        expected: u32,
+    },
+    /// A snapshot section failed its CRC or bounds check — torn write,
+    /// bit rot, or truncation. The service falls through to a cold
+    /// rebuild from segments.
+    SnapshotCorrupt {
+        /// Zero-based index of the offending section (`u32::MAX` when
+        /// the whole-file header itself is damaged).
+        section: u32,
+    },
+    /// A snapshot decoded cleanly at the byte level but describes a
+    /// state inconsistent with the requesting service (wrong family,
+    /// wrong world, mismatched counts).
+    SnapshotMalformed {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for SpatialError {
@@ -158,6 +182,20 @@ impl fmt::Display for SpatialError {
                 f,
                 "admission lane {lane} shed the request at queue depth {depth}"
             ),
+            SpatialError::SnapshotVersionMismatch { found, expected } => write!(
+                f,
+                "snapshot format version {found} is not the expected version {expected}"
+            ),
+            SpatialError::SnapshotCorrupt { section } => {
+                if *section == u32::MAX {
+                    write!(f, "snapshot header is corrupt (bad magic, size, or CRC)")
+                } else {
+                    write!(f, "snapshot section {section} is corrupt (CRC or bounds)")
+                }
+            }
+            SpatialError::SnapshotMalformed { reason } => {
+                write!(f, "snapshot is malformed: {reason}")
+            }
         }
     }
 }
@@ -221,6 +259,24 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("shard 2") && s.contains("3 recovery"), "{s}");
+    }
+
+    #[test]
+    fn display_names_the_snapshot_failures() {
+        let e = SpatialError::SnapshotVersionMismatch {
+            found: 2,
+            expected: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("version 2") && s.contains("version 1"), "{s}");
+        let e = SpatialError::SnapshotCorrupt { section: 4 };
+        assert!(e.to_string().contains("section 4"));
+        let e = SpatialError::SnapshotCorrupt { section: u32::MAX };
+        assert!(e.to_string().contains("header"));
+        let e = SpatialError::SnapshotMalformed {
+            reason: "shard count",
+        };
+        assert!(e.to_string().contains("shard count"));
     }
 
     #[test]

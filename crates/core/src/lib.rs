@@ -64,6 +64,7 @@ pub mod round_driver;
 pub mod rsplit;
 pub mod rtree;
 pub mod shard;
+pub mod snapshot;
 pub mod split;
 pub mod stats;
 pub mod update;

@@ -134,6 +134,30 @@ impl DpQuadtree {
         &self.nodes[i]
     }
 
+    /// Total node count (internal + leaves).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Reassembles a tree from raw parts — the snapshot codec's decode
+    /// path. The caller (same crate) is responsible for structural
+    /// validity; queries on a malformed node vector may panic on an
+    /// out-of-range child index, which is why the codec bounds-checks
+    /// child indexes before calling this.
+    pub(crate) fn from_raw_parts(
+        world: Rect,
+        nodes: Vec<QtNode>,
+        rounds: usize,
+        truncated: usize,
+    ) -> Self {
+        DpQuadtree {
+            world,
+            nodes,
+            rounds,
+            truncated,
+        }
+    }
+
     /// Ids stored in leaves intersecting `query`, deduplicated and
     /// sorted; no exact-geometry filter.
     pub fn window_candidates(&self, query: &Rect) -> Vec<SegId> {

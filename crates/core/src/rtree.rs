@@ -31,8 +31,18 @@ use dp_geom::{LineSeg, Point, Rect};
 use scan_model::ops::{Max, Min};
 use scan_model::{Machine, ScanKind, Segments};
 
+/// What [`DpRTree::raw_parts`] hands the snapshot codec: `(lane_line,
+/// lane_bbox, per-level group lengths, node_mbrs, rounds)`.
+pub(crate) type RtreeRawParts<'a> = (
+    &'a [SegId],
+    &'a [Rect],
+    Vec<Vec<usize>>,
+    &'a [Vec<Rect>],
+    usize,
+);
+
 /// A data-parallel R-tree of order `(m, M)` over a borrowed segment slice.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DpRTree {
     m: usize,
     max: usize,
@@ -402,6 +412,41 @@ impl DpRTree {
     /// Indexed ids, grouped by leaf, in linear processor order.
     pub fn lanes(&self) -> (&[SegId], &Segments) {
         (&self.lane_line, &self.groups[0])
+    }
+
+    /// Raw parts for the snapshot codec: `(lane_line, lane_bbox,
+    /// per-level group lengths, node_mbrs, rounds)`.
+    pub(crate) fn raw_parts(&self) -> RtreeRawParts<'_> {
+        (
+            &self.lane_line,
+            &self.lane_bbox,
+            self.groups.iter().map(|g| g.lengths()).collect(),
+            &self.node_mbrs,
+            self.rounds,
+        )
+    }
+
+    /// Reassembles a tree from decoded parts — the snapshot codec's
+    /// decode path. Structural consistency (lane lengths vs `groups[0]`,
+    /// level fanouts, MBR counts) is the codec's responsibility.
+    pub(crate) fn from_raw_parts(
+        m: usize,
+        max: usize,
+        lane_line: Vec<SegId>,
+        lane_bbox: Vec<Rect>,
+        groups: Vec<Segments>,
+        node_mbrs: Vec<Vec<Rect>>,
+        rounds: usize,
+    ) -> Self {
+        DpRTree {
+            m,
+            max,
+            lane_line,
+            lane_bbox,
+            groups,
+            node_mbrs,
+            rounds,
+        }
     }
 
     /// Structure statistics.

@@ -28,7 +28,12 @@
 //! * [`FaultSite::RoundAbort`] — the round driver in `dp-spatial` panics
 //!   at the top of a build/join step, killing the build mid-flight;
 //! * [`FaultSite::PoisonedRequest`] — `dp-workloads` replaces requests in
-//!   a stream with malformed ones (non-finite windows, `k = 0`).
+//!   a stream with malformed ones (non-finite windows, `k = 0`);
+//! * [`FaultSite::SnapshotTorn`] — the snapshot writer in `dp-spatial`
+//!   corrupts the bytes it is about to persist (a seeded single-bit flip
+//!   or truncation inside one section), simulating a torn write; the
+//!   reader's checksums must catch it and the service must fall through
+//!   to a cold rebuild.
 //!
 //! Panicking sites raise [`InjectedFault`] via `std::panic::panic_any`,
 //! so recovery layers can tell an injected fault from a genuine bug by
@@ -54,15 +59,20 @@ pub enum FaultSite {
     RoundAbort,
     /// A request in a workload stream is replaced by a malformed one.
     PoisonedRequest,
+    /// The snapshot writer corrupts a section it is persisting (seeded
+    /// bit flip or truncation), simulating a torn write. Non-panicking:
+    /// the damage is silent and must be caught by the reader's checksums.
+    SnapshotTorn,
 }
 
 impl FaultSite {
     /// Every site, in a fixed order (the plan's internal indexing).
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 5] = [
         FaultSite::WorkerPanic,
         FaultSite::ArenaOverflow,
         FaultSite::RoundAbort,
         FaultSite::PoisonedRequest,
+        FaultSite::SnapshotTorn,
     ];
 
     fn index(self) -> usize {
@@ -71,6 +81,7 @@ impl FaultSite {
             FaultSite::ArenaOverflow => 1,
             FaultSite::RoundAbort => 2,
             FaultSite::PoisonedRequest => 3,
+            FaultSite::SnapshotTorn => 4,
         }
     }
 
@@ -83,6 +94,7 @@ impl FaultSite {
             0xbf58_476d_1ce4_e5b9,
             0x94d0_49bb_1331_11eb,
             0xd6e8_feb8_6659_fd93,
+            0xa076_1d64_78bd_642f,
         ][self.index()]
     }
 }
@@ -94,6 +106,7 @@ impl fmt::Display for FaultSite {
             FaultSite::ArenaOverflow => "arena-overflow",
             FaultSite::RoundAbort => "round-abort",
             FaultSite::PoisonedRequest => "poisoned-request",
+            FaultSite::SnapshotTorn => "snapshot-torn",
         })
     }
 }
@@ -156,9 +169,9 @@ fn splitmix64(mut x: u64) -> u64 {
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
-    modes: [FaultMode; 4],
-    occurrences: [AtomicU64; 4],
-    fired: [AtomicU64; 4],
+    modes: [FaultMode; 5],
+    occurrences: [AtomicU64; 5],
+    fired: [AtomicU64; 5],
 }
 
 impl Default for FaultPlan {
@@ -174,7 +187,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             seed,
-            modes: [FaultMode::Never; 4],
+            modes: [FaultMode::Never; 5],
             occurrences: std::array::from_fn(|_| AtomicU64::new(0)),
             fired: std::array::from_fn(|_| AtomicU64::new(0)),
         }

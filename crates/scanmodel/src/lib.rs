@@ -67,6 +67,7 @@ pub mod permute;
 pub mod primitives;
 pub mod scan;
 pub mod scatter;
+pub mod soa;
 pub mod vector;
 
 pub use arena::ScratchArena;

@@ -1,0 +1,166 @@
+//! Byte-level accessors for the flat SoA lanes the scan model operates
+//! on, used by the snapshot codec in `dp-spatial` for zero-copy section
+//! writes.
+//!
+//! The machine's vectors are plain `Vec<f64>` / `Vec<u32>` lanes. On a
+//! little-endian target (every platform this workspace runs on) their
+//! in-memory representation *is* the on-disk little-endian layout, so
+//! encoding a lane is a reinterpret-cast, not a copy. The helpers here
+//! return [`Cow`] so the big-endian fallback still compiles and stays
+//! correct — it byte-swaps into an owned buffer — while the common case
+//! borrows.
+//!
+//! Decoding is always checked: lengths must be exact multiples of the
+//! element size, and the output is built element-by-element from
+//! little-endian bytes (alignment of the input buffer is never assumed).
+
+use std::borrow::Cow;
+
+/// Little-endian byte view of an `f64` lane. Zero-copy on little-endian
+/// targets, an owned byte-swapped buffer otherwise.
+pub fn f64_lane_bytes(lane: &[f64]) -> Cow<'_, [u8]> {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: f64 has no padding and u8 has alignment 1; the length
+        // in bytes is exactly `lane.len() * 8`.
+        Cow::Borrowed(unsafe {
+            std::slice::from_raw_parts(lane.as_ptr() as *const u8, std::mem::size_of_val(lane))
+        })
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let mut out = Vec::with_capacity(lane.len() * 8);
+        for v in lane {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Cow::Owned(out)
+    }
+}
+
+/// Little-endian byte view of a `u32` lane (segment ids, child indexes).
+pub fn u32_lane_bytes(lane: &[u32]) -> Cow<'_, [u8]> {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: u32 has no padding and u8 has alignment 1.
+        Cow::Borrowed(unsafe {
+            std::slice::from_raw_parts(lane.as_ptr() as *const u8, std::mem::size_of_val(lane))
+        })
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let mut out = Vec::with_capacity(lane.len() * 4);
+        for v in lane {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Cow::Owned(out)
+    }
+}
+
+/// Little-endian byte view of a `u64` lane (lengths, counters).
+pub fn u64_lane_bytes(lane: &[u64]) -> Cow<'_, [u8]> {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: u64 has no padding and u8 has alignment 1.
+        Cow::Borrowed(unsafe {
+            std::slice::from_raw_parts(lane.as_ptr() as *const u8, std::mem::size_of_val(lane))
+        })
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let mut out = Vec::with_capacity(lane.len() * 8);
+        for v in lane {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Cow::Owned(out)
+    }
+}
+
+/// Decodes a little-endian `f64` lane. `None` when the byte length is
+/// not a multiple of 8.
+pub fn f64_lane_from_bytes(bytes: &[u8]) -> Option<Vec<f64>> {
+    if bytes.len() % 8 != 0 {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect(),
+    )
+}
+
+/// Decodes a little-endian `u32` lane. `None` when the byte length is
+/// not a multiple of 4.
+pub fn u32_lane_from_bytes(bytes: &[u8]) -> Option<Vec<u32>> {
+    if bytes.len() % 4 != 0 {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
+            .collect(),
+    )
+}
+
+/// Decodes a little-endian `u64` lane. `None` when the byte length is
+/// not a multiple of 8.
+pub fn u64_lane_from_bytes(bytes: &[u8]) -> Option<Vec<u64>> {
+    if bytes.len() % 8 != 0 {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip() {
+        let lane = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 1e300];
+        let bytes = f64_lane_bytes(&lane);
+        assert_eq!(bytes.len(), lane.len() * 8);
+        assert_eq!(f64_lane_from_bytes(&bytes).unwrap(), lane);
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let lane = vec![0u32, 1, u32::MAX, 0xdead_beef];
+        let bytes = u32_lane_bytes(&lane);
+        assert_eq!(bytes.len(), lane.len() * 4);
+        assert_eq!(u32_lane_from_bytes(&bytes).unwrap(), lane);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let lane = vec![0u64, u64::MAX, 0x0123_4567_89ab_cdef];
+        let bytes = u64_lane_bytes(&lane);
+        assert_eq!(bytes.len(), lane.len() * 8);
+        assert_eq!(u64_lane_from_bytes(&bytes).unwrap(), lane);
+    }
+
+    #[test]
+    fn byte_view_is_the_le_encoding() {
+        // The borrowed view must equal the portable per-element encoding.
+        let lane = [1.0f64, 2.5, -3.25];
+        let mut expect = Vec::new();
+        for v in lane {
+            expect.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(f64_lane_bytes(&lane).as_ref(), expect.as_slice());
+    }
+
+    #[test]
+    fn ragged_lengths_are_rejected() {
+        assert_eq!(f64_lane_from_bytes(&[0u8; 7]), None);
+        assert_eq!(u32_lane_from_bytes(&[0u8; 6]), None);
+        assert_eq!(u64_lane_from_bytes(&[0u8; 12]), None);
+        assert_eq!(f64_lane_from_bytes(&[]), Some(Vec::new()));
+    }
+}

@@ -27,6 +27,17 @@
 //! is replayed sequentially on a fresh service against an eager
 //! insert/delete oracle.
 //!
+//! `--snapshot-dir DIR` persists the service's serving state to
+//! `DIR/service.snap` after the (closed-loop) run, and `--warm-restart`
+//! builds the service *from* that snapshot instead of rebuilding the
+//! trees — printing the warm-vs-cold construction timing and falling
+//! back to a cold build (with the typed reason) whenever the snapshot
+//! is missing, corrupt, or inconsistent with the requested
+//! configuration. Together the two flags script a restart: run once
+//! with `--snapshot-dir`, run again adding `--warm-restart`, and
+//! `--self-check` on the second run verifies the restored service
+//! bit-for-bit against brute force over its own restored collection.
+//!
 //! `--rate R` switches the driver to *open loop*: requests arrive on a
 //! pre-generated Poisson schedule at `R` req/s and flow through the
 //! pipelined admission layer (`ServicePipeline`) instead of direct
@@ -46,8 +57,8 @@
 use dp_geom::LineSeg;
 use dp_geom::Rect;
 use dp_service::{
-    brute_knearest, AdmissionPolicy, LatencyHistogram, QueryService, QueryServiceConfig, Response,
-    ServicePipeline,
+    brute_knearest, AdmissionPolicy, LatencyHistogram, QueryService, QueryServiceConfig,
+    RecoveryAction, Response, ServicePipeline,
 };
 use dp_spatial::join::brute_force_join_in;
 use dp_spatial::SpatialError;
@@ -83,6 +94,8 @@ struct Args {
     hot: f64,
     hot_count: usize,
     queue: Option<usize>,
+    snapshot_dir: Option<String>,
+    warm_restart: bool,
 }
 
 fn parse_args() -> Args {
@@ -109,6 +122,8 @@ fn parse_args() -> Args {
         hot: 0.0,
         hot_count: 64,
         queue: None,
+        snapshot_dir: None,
+        warm_restart: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -152,6 +167,8 @@ fn parse_args() -> Args {
             "--slo-p999" => args.slo_p999 = Some(value("--slo-p999").parse().expect("--slo-p999")),
             "--sweep" => args.sweep = true,
             "--queue" => args.queue = Some(value("--queue").parse().expect("--queue")),
+            "--snapshot-dir" => args.snapshot_dir = Some(value("--snapshot-dir")),
+            "--warm-restart" => args.warm_restart = true,
             "--hot" => args.hot = value("--hot").parse().expect("--hot"),
             "--hot-count" => {
                 args.hot_count = value("--hot-count")
@@ -166,7 +183,8 @@ fn parse_args() -> Args {
                      [--flush N] [--batch N] [--seed S] [--sequential] \
                      [--overlay N] [--fault-seed S] [--fault-rate R] [--self-check] \
                      [--updates] [--rate R] [--lanes N] [--policy block|shed] \
-                     [--slo-p999 MICROS] [--sweep] [--hot F] [--hot-count N] [--queue N]"
+                     [--slo-p999 MICROS] [--sweep] [--hot F] [--hot-count N] [--queue N] \
+                     [--snapshot-dir DIR] [--warm-restart]"
                 );
                 std::process::exit(0);
             }
@@ -261,15 +279,65 @@ fn main() {
         None => Arc::new(FaultPlan::disabled()),
     };
 
+    let snap_path = args
+        .snapshot_dir
+        .as_ref()
+        .map(|d| std::path::Path::new(d).join("service.snap"));
+
     let t0 = Instant::now();
-    let service = QueryService::try_build_with_faults(
-        config,
-        data.world,
-        data.segs.clone(),
-        overlay_segs.clone(),
-        plan,
-    )
-    .unwrap_or_else(|e| panic!("service build rejected: {e}"));
+    let service = if let (Some(path), true) = (&snap_path, args.warm_restart) {
+        let t_warm = Instant::now();
+        let (service, warm) = QueryService::try_restore_or_build(
+            config,
+            data.world,
+            data.segs.clone(),
+            overlay_segs.clone(),
+            plan,
+            path,
+        )
+        .unwrap_or_else(|e| panic!("service build rejected: {e}"));
+        let restore_ms = t_warm.elapsed().as_secs_f64() * 1e3;
+        if warm {
+            // A reference cold build of the same request, so the run
+            // reports the restart speedup it actually bought.
+            let t_cold = Instant::now();
+            let cold = QueryService::try_build_with_overlay(
+                config,
+                data.world,
+                data.segs.clone(),
+                overlay_segs.clone(),
+            )
+            .unwrap_or_else(|e| panic!("service build rejected: {e}"));
+            let cold_ms = t_cold.elapsed().as_secs_f64() * 1e3;
+            drop(cold);
+            println!(
+                "warm restart: served from snapshot in {:.2} ms \
+                 (cold build {:.2} ms, {:.1}x faster)",
+                restore_ms,
+                cold_ms,
+                cold_ms / restore_ms.max(1e-9)
+            );
+        } else {
+            let cause = service
+                .recovery_events()
+                .into_iter()
+                .rev()
+                .find(|e| e.action == RecoveryAction::ColdRestart)
+                .map(|e| e.error.to_string())
+                .unwrap_or_else(|| "unknown cause".to_string());
+            println!("warm restart: cold fallback in {restore_ms:.2} ms — {cause}");
+        }
+        service
+    } else {
+        QueryService::try_build_with_faults(
+            config,
+            data.world,
+            data.segs.clone(),
+            overlay_segs.clone(),
+            plan,
+        )
+        .unwrap_or_else(|e| panic!("service build rejected: {e}"))
+    };
     println!(
         "built {} shards in {:.1} ms",
         service.num_shards(),
@@ -411,17 +479,35 @@ fn main() {
         }
     }
 
+    if let Some(path) = &snap_path {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("--snapshot-dir: {e}"));
+        }
+        match service.save_snapshot(path) {
+            Ok(()) => {
+                let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                println!("snapshot saved: {} ({bytes} bytes)", path.display());
+            }
+            Err(e) => println!("snapshot not saved: {e}"),
+        }
+    }
+
     if args.self_check && args.updates {
         self_check_updates(&args, &data, &stream);
     } else if args.self_check {
+        // Brute force runs over the service's own logical collection:
+        // identical to the dataset for a fresh build, and the restored
+        // state (pending inserts, tombstones included) after a warm
+        // restart from a post-writes snapshot.
+        let oracle = service.segments();
         let sample: Vec<Request> = stream.iter().step_by(97).copied().collect();
         let out = service.execute_batch(&sample);
         for (i, (r, resp)) in sample.iter().zip(&out).enumerate() {
             match r {
                 Request::Window(q) => {
-                    let brute: Vec<u32> = (0..data.segs.len() as u32)
+                    let brute: Vec<u32> = (0..oracle.len() as u32)
                         .filter(|&id| {
-                            dp_geom::clip_segment_closed(&data.segs[id as usize], q).is_some()
+                            dp_geom::clip_segment_closed(&oracle[id as usize], q).is_some()
                         })
                         .collect();
                     let ids = resp
@@ -431,9 +517,9 @@ fn main() {
                 }
                 Request::PointInWindow(p) => {
                     let q = Rect::point(*p);
-                    let brute: Vec<u32> = (0..data.segs.len() as u32)
+                    let brute: Vec<u32> = (0..oracle.len() as u32)
                         .filter(|&id| {
-                            dp_geom::clip_segment_closed(&data.segs[id as usize], &q).is_some()
+                            dp_geom::clip_segment_closed(&oracle[id as usize], &q).is_some()
                         })
                         .collect();
                     let ids = resp
@@ -445,7 +531,7 @@ fn main() {
                     let found = resp
                         .try_knearest(i)
                         .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
-                    assert_eq!(found, brute_knearest(&data.segs, *p, *k));
+                    assert_eq!(found, brute_knearest(&oracle, *p, *k));
                 }
                 Request::Join(q) => {
                     let pairs = resp
@@ -453,7 +539,7 @@ fn main() {
                         .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
                     assert_eq!(
                         pairs,
-                        brute_force_join_in(&data.segs, &overlay_segs, q),
+                        brute_force_join_in(&oracle, &overlay_segs, q),
                         "join window {q}"
                     );
                 }

@@ -91,6 +91,7 @@ pub mod admission;
 pub mod cache;
 pub mod coalesce;
 pub mod shed;
+pub mod snapshot;
 
 pub use admission::{BatchTicket, ServicePipeline, Ticket};
 pub use cache::{CacheKind, CacheLookup, CacheStats, WindowCache};
@@ -218,9 +219,13 @@ impl QueryServiceConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Sorted, deduplicated ids of segments intersecting the window.
-    Window(Vec<SegId>),
-    /// Sorted, deduplicated ids of segments passing through the point.
-    PointInWindow(Vec<SegId>),
+    /// The payload is shared (`Arc`) so a hot-window cache hit hands the
+    /// cached answer out without copying the id vector; equality still
+    /// compares the ids themselves.
+    Window(Arc<Vec<SegId>>),
+    /// Sorted, deduplicated ids of segments passing through the point
+    /// (shared like [`Response::Window`]).
+    PointInWindow(Arc<Vec<SegId>>),
     /// Up to `k` `(id, distance)` pairs, nearest first, ties broken by
     /// ascending id. Shorter than `k` only when the collection itself
     /// holds fewer segments.
@@ -319,6 +324,13 @@ pub enum RecoveryAction {
     /// The shard gave up: its index was dropped and the sequential
     /// oracle answers for it from now on.
     Degrade,
+    /// A warm restart from an on-disk snapshot was attempted but the
+    /// snapshot could not be used (missing, corrupt, wrong version, or
+    /// inconsistent with the requested build); the service fell through
+    /// to a cold rebuild from segments. `shard` is the grid size (one
+    /// event per restart, not per shard) and `error` carries the typed
+    /// cause.
+    ColdRestart,
 }
 
 /// One recovery decision taken by the service, in the order observed.
@@ -1293,7 +1305,7 @@ impl QueryService {
         // Window-like requests become probes immediately; k-NN requests
         // join the expanding-window rounds afterwards. Rejected slots
         // contribute nothing.
-        let mut probe_answers: Vec<Option<Vec<SegId>>> = vec![None; requests.len()];
+        let mut probe_answers: Vec<Option<Arc<Vec<SegId>>>> = vec![None; requests.len()];
         let mut probes: Vec<(usize, Rect)> = Vec::new();
         // Cache misses awaiting their computed answer: (slot, kind,
         // rect, version-at-miss).
@@ -1315,7 +1327,7 @@ impl QueryService {
                             .counters
                             .cache_hits
                             .fetch_add(1, Ordering::Relaxed);
-                        probe_answers[slot] = Some((*ids).clone());
+                        probe_answers[slot] = Some(ids);
                         continue;
                     }
                     CacheLookup::Miss(version) => {
@@ -1327,12 +1339,13 @@ impl QueryService {
         }
         let window_hits = self.run_probes(st, &probes);
         for ((slot, _), ids) in probes.iter().zip(window_hits) {
-            probe_answers[*slot] = Some(ids);
+            probe_answers[*slot] = Some(Arc::new(ids));
         }
         for (slot, kind, rect, version) in pending_admits {
             if let Some(ids) = &probe_answers[slot] {
-                self.cache
-                    .admit(kind, &rect, version, Arc::new(ids.clone()));
+                // One allocation shared by the cache entry and the
+                // response: hits hand the same `Arc` back out.
+                self.cache.admit(kind, &rect, version, ids.clone());
             }
         }
         let knn_answers = self.run_knn(st, requests, &rejections);
@@ -2484,7 +2497,7 @@ mod tests {
 
     #[test]
     fn response_accessors_type_the_mismatch() {
-        let resp = Response::Window(vec![1, 2]);
+        let resp = Response::Window(Arc::new(vec![1, 2]));
         assert_eq!(
             resp.try_knearest(4),
             Err(SpatialError::ResponseKindMismatch { index: 4 })
@@ -2503,6 +2516,38 @@ mod tests {
     }
 
     #[test]
+    fn cache_hits_share_the_response_allocation() {
+        // Regression: cache hits used to clone the cached id vector into
+        // every response. The payload is an `Arc` now — a hit hands out
+        // the cache's own allocation, observable as pointer equality
+        // across hits.
+        let data = uniform_segments(120, 64, 8, 31);
+        let config = QueryServiceConfig {
+            compact_threshold: 1_000,
+            ..QueryServiceConfig::sequential(2)
+        };
+        let svc = Arc::new(QueryService::build(config, data.world, data.segs.clone()));
+        let pipeline = ServicePipeline::new(svc.clone(), 1, AdmissionPolicy::Block).unwrap();
+        let q = Rect::from_coords(4.0, 4.0, 40.0, 40.0);
+        let payload = |r: &Response| match r {
+            Response::Window(ids) => ids.clone(),
+            other => panic!("expected a window answer, got {other:?}"),
+        };
+        // Miss + admit, then two hits.
+        let miss = payload(&pipeline.submit_all(&[Request::Window(q)])[0]);
+        let hit1 = payload(&pipeline.submit_all(&[Request::Window(q)])[0]);
+        let hit2 = payload(&pipeline.submit_all(&[Request::Window(q)])[0]);
+        assert_eq!(*miss, *hit1);
+        assert!(
+            Arc::ptr_eq(&hit1, &hit2),
+            "cache hits must share one allocation, not clone per hit"
+        );
+        let stats = svc.cache_stats();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
     fn empty_collection_and_empty_batch() {
         let world = Rect::from_coords(0.0, 0.0, 16.0, 16.0);
         let svc = QueryService::build(QueryServiceConfig::sequential(2), world, Vec::new());
@@ -2514,7 +2559,7 @@ mod tests {
                 k: 3,
             },
         ]);
-        assert_eq!(out[0], Response::Window(Vec::new()));
+        assert_eq!(out[0], Response::Window(Arc::new(Vec::new())));
         assert_eq!(out[1], Response::KNearest(Vec::new()));
     }
 
@@ -2533,7 +2578,7 @@ mod tests {
         assert_eq!(stats.flush_latency_quantile_micros(0.5), None);
         // And the all-shards-empty service still answers correctly.
         let out = svc.execute_batch(&[Request::Window(world)]);
-        assert_eq!(out[0], Response::Window(Vec::new()));
+        assert_eq!(out[0], Response::Window(Arc::new(Vec::new())));
         assert_eq!(svc.stats().max_shard_probes(), 1);
     }
 

@@ -34,5 +34,6 @@ pub use generators::{
 pub use paper::{paper_dataset, paper_world, PAPER_LABELS};
 pub use requests::{
     open_loop_schedule, poison_stream, request_stream, request_stream_with_updates,
-    skew_hot_windows, Arrival, OpenLoopSchedule, Request, RequestMix,
+    restart_scenario, skew_hot_windows, Arrival, OpenLoopSchedule, Request, RequestMix,
+    RestartScenario,
 };

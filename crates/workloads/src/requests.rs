@@ -231,6 +231,50 @@ pub fn request_stream_with_updates(
         .collect()
 }
 
+/// A deterministic two-phase restart scenario for snapshot testing.
+///
+/// Phase one (`before`) runs against a freshly built service and leaves
+/// it with a non-trivial serving state; phase two (`after`) runs against
+/// *two* services — one warm-restarted from a snapshot saved between the
+/// phases, one rebuilt cold from the same state — and must produce
+/// bit-identical responses on both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartScenario {
+    /// Mixed reads and writes applied before the snapshot is taken:
+    /// inserts and deletes accumulate pending overlay segments and
+    /// tombstones, so the persisted state exercises every snapshot
+    /// section, not just the shard trees.
+    pub before: Vec<Request>,
+    /// Read-only probes replayed after the restart on the warm and cold
+    /// services alike.
+    pub after: Vec<Request>,
+}
+
+/// A deterministic restart scenario: `writes` mixed read/write requests
+/// before the snapshot (mix [`RequestMix::WITH_UPDATES`], so the saved
+/// state carries pending inserts and tombstones), then `probes`
+/// read-only requests after it. Both phases derive from `seed` alone;
+/// `initial_live` is the size of the collection the scenario starts
+/// against, exactly as in [`request_stream_with_updates`].
+pub fn restart_scenario(
+    world: Rect,
+    writes: usize,
+    probes: usize,
+    seed: u64,
+    initial_live: usize,
+) -> RestartScenario {
+    RestartScenario {
+        before: request_stream_with_updates(
+            world,
+            writes,
+            RequestMix::WITH_UPDATES,
+            seed,
+            initial_live,
+        ),
+        after: request_stream(world, probes, RequestMix::DEFAULT, seed ^ 0x5eed_cafe),
+    }
+}
+
 /// One open-loop arrival: a request stamped with its virtual arrival
 /// time (microseconds since the start of the run).
 #[derive(Debug, Clone, Copy, PartialEq)]

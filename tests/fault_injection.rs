@@ -932,3 +932,189 @@ fn seeded_matrix_from_env() {
     assert_eq!(seq_resp, par_resp, "seed {seed}: backends diverge");
     assert_eq!(seq_stats, par_stats, "seed {seed}: stats diverge");
 }
+
+// ---------------------------------------------------------------------
+// Snapshot tears: kill-at-every-section sweep + seeded matrix leg.
+// ---------------------------------------------------------------------
+
+/// Shared scaffolding for the snapshot-tear legs: a sequential-backend
+/// service over a seed-derived world, its clean snapshot on disk, and
+/// the bit-exact answers a warm restore from that snapshot produces.
+/// Honors `FAULT_SEED` like [`seeded_matrix_from_env`], so the CI
+/// fault-matrix job sweeps tears under every seed in its matrix.
+struct SnapshotTearRig {
+    config: QueryServiceConfig,
+    data: Dataset,
+    probes: Vec<Request>,
+    clean_path: std::path::PathBuf,
+    sections: usize,
+    expected: Vec<Response>,
+}
+
+impl SnapshotTearRig {
+    fn new(seed: u64) -> SnapshotTearRig {
+        let data = uniform_segments(400, 64, 8, seed ^ 0x51a9);
+        let config = QueryServiceConfig {
+            shard_grid: 2,
+            flush_batch: 64,
+            backend: Backend::Sequential,
+            ..QueryServiceConfig::default()
+        };
+        let service = QueryService::build(config, data.world, data.segs.clone());
+        let probes = request_stream(data.world, 60, RequestMix::default(), seed ^ 0x9e37);
+        let clean_path = std::env::temp_dir().join(format!(
+            "fault_snap_clean_{}_{seed}.snap",
+            std::process::id()
+        ));
+        service.save_snapshot(&clean_path).expect("clean save");
+        let bytes = std::fs::read(&clean_path).expect("read clean snapshot");
+        let sections = dp_spatial::snapshot::SnapshotReader::parse(&bytes)
+            .expect("clean snapshot parses")
+            .num_sections();
+        let (warm_svc, warm) = QueryService::try_restore_or_build(
+            config,
+            data.world,
+            data.segs.clone(),
+            Vec::new(),
+            Arc::new(FaultPlan::disabled()),
+            &clean_path,
+        )
+        .expect("clean restore");
+        assert!(warm, "clean snapshot must restore warm");
+        let expected = warm_svc.execute_batch(&probes);
+        SnapshotTearRig {
+            config,
+            data,
+            probes,
+            clean_path,
+            sections,
+            expected,
+        }
+    }
+
+    /// The original service the clean snapshot was taken from (rebuilt;
+    /// the build is deterministic).
+    fn service(&self) -> QueryService {
+        QueryService::build(self.config, self.data.world, self.data.segs.clone())
+    }
+
+    /// Restores from `path` with faults disabled; returns the service
+    /// and whether the snapshot served warm.
+    fn restore(&self, path: &std::path::Path) -> (QueryService, bool) {
+        QueryService::try_restore_or_build(
+            self.config,
+            self.data.world,
+            self.data.segs.clone(),
+            Vec::new(),
+            Arc::new(FaultPlan::disabled()),
+            path,
+        )
+        .expect("a damaged snapshot degrades to a cold rebuild, never an error")
+    }
+}
+
+impl Drop for SnapshotTearRig {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.clean_path);
+    }
+}
+
+/// Tears the snapshot write at *every* section in turn (even
+/// occurrences flip a bit inside the section, odd occurrences truncate
+/// inside it — the sweep exercises both damage shapes), then restores.
+/// Every tear must: fire exactly once, be caught by the reader (never
+/// restore warm), surface one `ColdRestart` event with a typed snapshot
+/// cause, and leave the cold-fallback service answering bit-identically
+/// to the warm restore of the undamaged snapshot.
+#[test]
+fn snapshot_torn_at_every_section_falls_through_cold() {
+    let seed: u64 = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(101);
+    let rig = SnapshotTearRig::new(seed);
+    // META, WORLD, BASE_SEGS, TOMBSTONES, PENDING + (ids, tree) per
+    // shard on a 2x2 grid; no overlay writes, so no LADDER section.
+    assert_eq!(rig.sections, 13, "unexpected section count for the sweep");
+    let service = rig.service();
+
+    for k in 0..rig.sections as u64 {
+        let plan = Arc::new(FaultPlan::once_at(FaultSite::SnapshotTorn, k));
+        let torn_path = std::env::temp_dir().join(format!(
+            "fault_snap_torn_{}_{seed}_{k}.snap",
+            std::process::id()
+        ));
+        service
+            .save_snapshot_with_faults(&torn_path, Some(plan.clone()))
+            .expect("a torn save still writes bytes; the damage is silent");
+        assert_eq!(
+            plan.fired(FaultSite::SnapshotTorn),
+            1,
+            "tear at section {k} must fire exactly once"
+        );
+        let (svc, warm) = rig.restore(&torn_path);
+        let _ = std::fs::remove_file(&torn_path);
+        assert!(!warm, "tear at section {k} must not restore warm");
+        let cold_restarts: Vec<_> = svc
+            .recovery_events()
+            .into_iter()
+            .filter(|e| e.action == RecoveryAction::ColdRestart)
+            .collect();
+        assert_eq!(
+            cold_restarts.len(),
+            1,
+            "tear at section {k}: exactly one ColdRestart event"
+        );
+        assert!(
+            matches!(
+                cold_restarts[0].error,
+                SpatialError::SnapshotCorrupt { .. } | SpatialError::SnapshotMalformed { .. }
+            ),
+            "tear at section {k}: cause must be a typed snapshot error, got {}",
+            cold_restarts[0].error
+        );
+        assert_eq!(
+            svc.execute_batch(&rig.probes),
+            rig.expected,
+            "tear at section {k}: cold fallback diverges from the clean restore"
+        );
+    }
+}
+
+/// The seeded companion: a rate-armed `FaultPlan` tears a random subset
+/// of sections (possibly none). Whatever it does, serving is never
+/// silently wrong — an untouched file restores warm, a damaged one is
+/// rejected and rebuilt cold, and both answer bit-identically to the
+/// clean restore.
+#[test]
+fn seeded_snapshot_tears_never_serve_silently_wrong() {
+    let seed: u64 = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(101);
+    let rig = SnapshotTearRig::new(seed);
+    let service = rig.service();
+    for round in 0..4u64 {
+        let plan = Arc::new(FaultPlan::seeded(seed ^ (round << 8), 0.35));
+        let path = std::env::temp_dir().join(format!(
+            "fault_snap_seeded_{}_{seed}_{round}.snap",
+            std::process::id()
+        ));
+        service
+            .save_snapshot_with_faults(&path, Some(plan.clone()))
+            .expect("seeded save writes");
+        let tears = plan.fired(FaultSite::SnapshotTorn);
+        let (svc, warm) = rig.restore(&path);
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            warm,
+            tears == 0,
+            "round {round}: {tears} tears fired, warm={warm}"
+        );
+        assert_eq!(
+            svc.execute_batch(&rig.probes),
+            rig.expected,
+            "round {round}: serving diverged after {tears} tears"
+        );
+    }
+}

@@ -90,20 +90,20 @@ fn check_identity(data: &Dataset, config: QueryServiceConfig, seed: u64) {
         match (r, resp) {
             (Request::Window(q), Response::Window(ids)) => {
                 let single = unsharded.next().unwrap();
-                assert_eq!(ids, &single, "[{}] vs unsharded, window {q}", data.name);
+                assert_eq!(**ids, single, "[{}] vs unsharded, window {q}", data.name);
                 assert_eq!(
-                    ids,
-                    &brute_window(&data.segs, q),
+                    **ids,
+                    brute_window(&data.segs, q),
                     "[{}] vs brute force, window {q}",
                     data.name
                 );
             }
             (Request::PointInWindow(p), Response::PointInWindow(ids)) => {
                 let single = unsharded.next().unwrap();
-                assert_eq!(ids, &single, "[{}] vs unsharded, point {p:?}", data.name);
+                assert_eq!(**ids, single, "[{}] vs unsharded, point {p:?}", data.name);
                 assert_eq!(
-                    ids,
-                    &brute_window(&data.segs, &Rect::point(*p)),
+                    **ids,
+                    brute_window(&data.segs, &Rect::point(*p)),
                     "[{}] vs brute force, point {p:?}",
                     data.name
                 );
@@ -565,7 +565,10 @@ proptest! {
 
         // Prime the cache with the window (and once more: a hit).
         let primed = pipeline.submit_all(&[Request::Window(q), Request::Window(q)]);
-        prop_assert_eq!(&primed[0], &Response::Window(brute_window(&live, &q)));
+        prop_assert_eq!(
+            &primed[0],
+            &Response::Window(std::sync::Arc::new(brute_window(&live, &q)))
+        );
         prop_assert_eq!(&primed[1], &primed[0]);
 
         for (x, y, w, h) in writes {
@@ -582,7 +585,7 @@ proptest! {
             live.push(seg);
             prop_assert_eq!(
                 &out[1],
-                &Response::Window(brute_window(&live, &q)),
+                &Response::Window(std::sync::Arc::new(brute_window(&live, &q))),
                 "stale cache after insert {} against window {}", seg, q
             );
         }
@@ -594,7 +597,7 @@ proptest! {
         live.remove(0);
         prop_assert_eq!(
             &out[1],
-            &Response::Window(brute_window(&live, &q)),
+            &Response::Window(std::sync::Arc::new(brute_window(&live, &q))),
             "stale cache after delete against window {}", q
         );
     }
@@ -638,7 +641,7 @@ proptest! {
         for (q, resp) in qs.iter().zip(&responses) {
             let Response::Window(ids) = resp else { panic!("kind") };
             prop_assert!(ids.windows(2).all(|w| w[0] < w[1]), "duplicate ids for {}", q);
-            prop_assert_eq!(ids, &brute_window(&data.segs, q), "window {}", q);
+            prop_assert_eq!(&**ids, &brute_window(&data.segs, q), "window {}", q);
         }
     }
 }
