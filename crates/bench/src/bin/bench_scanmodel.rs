@@ -25,6 +25,9 @@
 //!   applied to a prebuilt bucket PMR tree versus a full rebuild of the
 //!   final collection, per backend, plus one end-to-end service epoch
 //!   compaction;
+//! * `--dominance` — add the skyline + dominance-aggregation pipelines
+//!   (sort + segmented max-scan on the generalized flat-map kernel)
+//!   over the segments' midpoints, per backend;
 //! * `--check-baseline <path>` — read the committed benchmark JSON
 //!   *before* writing anything and exit non-zero if (a) the fused PM₁
 //!   per-round physical scan-pass cost regressed, (b) any committed row
@@ -40,11 +43,13 @@
 //!   parallel/sequential ratios must also clear a 0.90 noise floor.
 //!
 //! Run with: `cargo run --release -p dp-bench --bin bench_scanmodel
-//! [-- --quick --trace --join --updates --check-baseline BENCH_scanmodel.json]`
+//! [-- --quick --trace --join --updates --dominance
+//! --check-baseline BENCH_scanmodel.json]`
 
 use dp_bench::{planar_at, uniform_at, WORLD};
 use dp_service::{AdmissionPolicy, QueryService, QueryServiceConfig, ServicePipeline};
 use dp_spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial::dominance::{dominance_agg, dominance_weight, skyline, DomPoint};
 use dp_spatial::join::{frontier_join, spatial_join};
 use dp_spatial::pm1::{build_pm1, build_pm1_unfused};
 use dp_spatial::update::{batch_update_bucket_pmr, UpdateBatch};
@@ -303,6 +308,19 @@ fn check_committed(path: &str, text: &str) {
                     }
                 }
             }
+            "dominance" => {
+                if let Some(seq) = find(&r.bench, "sequential", r.n) {
+                    checks += 1;
+                    let par_s = row_field(&r.line, "total_secs").unwrap_or(f64::INFINITY);
+                    let seq_s = row_field(&seq.line, "total_secs").unwrap_or(0.0);
+                    if par_s > seq_s {
+                        failures.push(format!(
+                            "dominance n={}: parallel {par_s:.6}s > sequential {seq_s:.6}s",
+                            r.n
+                        ));
+                    }
+                }
+            }
             "service_serving" => {
                 checks += 1;
                 let served = row_field(&r.line, "served_per_sec").unwrap_or(0.0);
@@ -391,6 +409,7 @@ fn main() {
     let trace = args.iter().any(|a| a == "--trace");
     let join = args.iter().any(|a| a == "--join");
     let updates = args.iter().any(|a| a == "--updates");
+    let dominance = args.iter().any(|a| a == "--dominance");
     let baseline: Option<String> = args.iter().position(|a| a == "--check-baseline").map(|i| {
         args.get(i + 1)
             .expect("--check-baseline needs a path")
@@ -824,6 +843,96 @@ fn main() {
                 "service_compaction n={n}: {} writes in {write_s:.4}s, compaction {compact_s:.4}s",
                 writes.len()
             );
+        }
+    }
+
+    // Skyline + dominance aggregation over the segments' midpoints: the
+    // sort + segmented-scan pipelines riding the generalized flat-map
+    // kernel, per backend (`--dominance`). One run per backend for op
+    // counters, interleaved timing reps, and a combined
+    // parallel-over-sequential ratio on the committed parallel row.
+    if dominance {
+        for &n in sizes {
+            let data = uniform_at(n);
+            let points: Vec<DomPoint> = data
+                .segs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let m = s.midpoint();
+                    DomPoint {
+                        id: i as u32,
+                        x: m.x,
+                        y: m.y,
+                        w: dominance_weight(s),
+                    }
+                })
+                .collect();
+            // A deterministic spread of aggregation queries across the
+            // world (LCG; no RNG dependency in the bench binary).
+            let world = square_world(WORLD);
+            let n_queries = 256usize;
+            let mut lcg = 0x9e37_79b9_7f4a_7c15u64 ^ n as u64;
+            let mut queries = Vec::with_capacity(n_queries);
+            for _ in 0..n_queries {
+                let mut next = || {
+                    lcg = lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (lcg >> 11) as f64 / (1u64 << 53) as f64
+                };
+                let qx = world.min.x + next() * (world.max.x - world.min.x);
+                let qy = world.min.y + next() * (world.max.y - world.min.y);
+                queries.push((qx, qy));
+            }
+            let machines = [
+                ("parallel", Machine::parallel()),
+                ("sequential", Machine::sequential()),
+            ];
+            // name, skyline secs, agg secs, ops, skyline size
+            let mut measured: Vec<(&str, f64, f64, StatsSnapshot, usize)> = Vec::new();
+            for (name, m) in &machines {
+                m.reset_stats();
+                let sky = std::hint::black_box(skyline(m, &points));
+                std::hint::black_box(dominance_agg(m, &points, &queries));
+                let ops = m.stats();
+                m.take_round_traces();
+                measured.push((name, f64::INFINITY, f64::INFINITY, ops, sky.len()));
+            }
+            // Interleave the backends' timing reps so machine-load drift
+            // hits both alike.
+            for _ in 0..reps {
+                for (k, (_, m)) in machines.iter().enumerate() {
+                    let t = time_best(1, || skyline(m, &points).len());
+                    measured[k].1 = measured[k].1.min(t);
+                    let t = time_best(1, || dominance_agg(m, &points, &queries).len());
+                    measured[k].2 = measured[k].2.min(t);
+                }
+            }
+            let seq_total = measured[1].1 + measured[1].2;
+            for (name, sky_s, agg_s, ops, sky_len) in measured {
+                let total = sky_s + agg_s;
+                let mut e = String::new();
+                let _ = write!(
+                    e,
+                    "{{\"bench\": \"dominance\", \"backend\": \"{name}\", \"n\": {n}, \
+                     \"queries\": {n_queries}, \"skyline_secs\": {sky_s:.6}, \
+                     \"agg_secs\": {agg_s:.6}, \"total_secs\": {total:.6}, \
+                     \"skyline_size\": {sky_len}, \"ops\": {}",
+                    ops_json(&ops),
+                );
+                if name == "parallel" {
+                    let ratio = seq_total / total;
+                    let _ = write!(e, ", \"par_over_seq\": {ratio:.4}");
+                    fresh.push((format!("dominance n={n}"), ratio));
+                }
+                e.push('}');
+                entries.push(e);
+                println!(
+                    "dominance n={n} {name}: skyline {sky_s:.4}s ({sky_len} maxima) + \
+                     {n_queries} aggs {agg_s:.4}s"
+                );
+            }
         }
     }
 

@@ -52,6 +52,7 @@
 
 pub mod batch;
 pub mod bucket_pmr;
+pub mod dominance;
 pub mod error;
 pub mod join;
 pub mod kdtree;

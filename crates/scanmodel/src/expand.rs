@@ -21,8 +21,6 @@
 
 use crate::machine::Machine;
 use crate::ops::Element;
-use crate::ops::Sum;
-use crate::scan::ScanKind;
 use crate::vector::Segments;
 
 /// Result of a fan-out layout computation ([`Machine::fanout_layout`]).
@@ -66,54 +64,16 @@ impl Machine {
     /// permutation — the paper-level cost of a single cloning, for any
     /// fan-out width.
     ///
+    /// The fan-out is the counts-lane half of the general flat-map
+    /// primitive, and since the latter landed this is a thin alias for
+    /// [`Machine::flat_map_layout`] (same layout, same counts, blocked
+    /// materialization on the parallel backend).
+    ///
     /// # Panics
     ///
     /// Panics if `copies.len() != seg.len()`.
     pub fn fanout_layout(&self, seg: &Segments, copies: &[u32]) -> FanoutLayout {
-        assert_eq!(
-            copies.len(),
-            seg.len(),
-            "fanout: copy-count length {} does not match segment descriptor length {}",
-            copies.len(),
-            seg.len()
-        );
-        let counts: Vec<u64> = self.map(copies, |c| c as u64);
-        // F1: first output slot of each input lane.
-        let offsets = self.up_scan(&counts, Sum, ScanKind::Exclusive);
-        let out_len = copies.iter().map(|&c| c as usize).sum();
-
-        // The elementwise position/rank derivation and the scatter that
-        // writes every copy, fused into one pass each (the ew + permute
-        // of Fig. 14, generalized).
-        self.count_elementwise();
-        self.count_permute();
-        let mut src_lane = vec![0usize; out_len];
-        let mut rank = vec![0u32; out_len];
-        let mut flags_out = vec![false; out_len];
-        let in_flags = seg.flags();
-        let mut new_segment_pending = false;
-        for i in 0..seg.len() {
-            let base = offsets[i] as usize;
-            // A vanished segment head defers its boundary to the next
-            // surviving lane of a later segment (matching how deletion
-            // drops empty segments).
-            new_segment_pending |= in_flags[i];
-            for r in 0..copies[i] {
-                src_lane[base + r as usize] = i;
-                rank[base + r as usize] = r;
-            }
-            if copies[i] > 0 {
-                flags_out[base] = new_segment_pending;
-                new_segment_pending = false;
-            }
-        }
-        let seg_out = Segments::from_flags(flags_out)
-            .expect("fan-out output either is empty or starts a segment at lane 0");
-        FanoutLayout {
-            src_lane,
-            rank,
-            seg: seg_out,
-        }
+        self.flat_map_layout(seg, copies)
     }
 
     /// Applies a fan-out layout to one data vector (gather form).

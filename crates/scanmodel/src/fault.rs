@@ -33,7 +33,11 @@
 //!   corrupts the bytes it is about to persist (a seeded single-bit flip
 //!   or truncation inside one section), simulating a torn write; the
 //!   reader's checksums must catch it and the service must fall through
-//!   to a cold rebuild.
+//!   to a cold rebuild;
+//! * [`FaultSite::SkylineAbort`] — the dominance/skyline aggregation
+//!   pipeline in `dp-spatial` panics at a merge-round boundary, killing
+//!   the staircase build mid-flight (the service retries, then falls
+//!   back to its brute oracle).
 //!
 //! Panicking sites raise [`InjectedFault`] via `std::panic::panic_any`,
 //! so recovery layers can tell an injected fault from a genuine bug by
@@ -63,16 +67,20 @@ pub enum FaultSite {
     /// bit flip or truncation), simulating a torn write. Non-panicking:
     /// the damage is silent and must be caught by the reader's checksums.
     SnapshotTorn,
+    /// A skyline/dominance aggregation round aborts by panic at a round
+    /// boundary, killing the staircase build mid-flight.
+    SkylineAbort,
 }
 
 impl FaultSite {
     /// Every site, in a fixed order (the plan's internal indexing).
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::WorkerPanic,
         FaultSite::ArenaOverflow,
         FaultSite::RoundAbort,
         FaultSite::PoisonedRequest,
         FaultSite::SnapshotTorn,
+        FaultSite::SkylineAbort,
     ];
 
     fn index(self) -> usize {
@@ -82,6 +90,7 @@ impl FaultSite {
             FaultSite::RoundAbort => 2,
             FaultSite::PoisonedRequest => 3,
             FaultSite::SnapshotTorn => 4,
+            FaultSite::SkylineAbort => 5,
         }
     }
 
@@ -95,6 +104,7 @@ impl FaultSite {
             0x94d0_49bb_1331_11eb,
             0xd6e8_feb8_6659_fd93,
             0xa076_1d64_78bd_642f,
+            0xe703_7ed1_b185_33db,
         ][self.index()]
     }
 }
@@ -107,6 +117,7 @@ impl fmt::Display for FaultSite {
             FaultSite::RoundAbort => "round-abort",
             FaultSite::PoisonedRequest => "poisoned-request",
             FaultSite::SnapshotTorn => "snapshot-torn",
+            FaultSite::SkylineAbort => "skyline-abort",
         })
     }
 }
@@ -169,9 +180,9 @@ fn splitmix64(mut x: u64) -> u64 {
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
-    modes: [FaultMode; 5],
-    occurrences: [AtomicU64; 5],
-    fired: [AtomicU64; 5],
+    modes: [FaultMode; 6],
+    occurrences: [AtomicU64; 6],
+    fired: [AtomicU64; 6],
 }
 
 impl Default for FaultPlan {
@@ -187,7 +198,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             seed,
-            modes: [FaultMode::Never; 5],
+            modes: [FaultMode::Never; 6],
             occurrences: std::array::from_fn(|_| AtomicU64::new(0)),
             fired: std::array::from_fn(|_| AtomicU64::new(0)),
         }

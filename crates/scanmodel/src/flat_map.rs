@@ -1,0 +1,559 @@
+//! Variable-arity flat-map: the generalized cloning/fan-out kernel.
+//!
+//! [`Machine::fanout_layout`] (see [`crate::expand`]) already generalizes
+//! the paper's cloning primitive (Sec. 4.1) from "one copy next to each
+//! flagged lane" to "replicate lane `i` exactly `copies[i]` times". The
+//! flat-map primitive completes the generalization in two directions:
+//!
+//! * **apply function** — [`Machine::apply_flat_map`] materializes
+//!   `f(value, rank)` for every copy in a *single fused sweep* (the
+//!   gather by source lane and the downstream elementwise op touch each
+//!   output lane once), instead of a gather pass followed by a map pass.
+//!   This is the shape dominance/skyline aggregation needs (Sroka &
+//!   Tyszkiewicz): emit a variable number of derived elements per input
+//!   lane, e.g. "keep this lane's id iff it survived the skyline test".
+//! * **blocked layout** — [`Machine::flat_map_layout`] materializes the
+//!   layout itself (source lanes, ranks, output segment flags) with the
+//!   same block-reduce → carry → block-apply structure as the other
+//!   layout kernels ([`crate::blocked`]): each input block owns the
+//!   disjoint output span `offsets[lo]..offsets[hi]`, and the
+//!   vanished-segment-head pending flag is carried across blocks exactly
+//!   like a scan carry. With one worker the phases collapse into a
+//!   single sweep that reproduces the sequential reference bit-for-bit.
+//!
+//! Paper-level accounting is unchanged from a single cloning: one scan
+//! (the room-making offset scan), two elementwise ops (the count
+//! widening and the position/rank derivation) and one permutation (the
+//! scatter), for any fan-out width — [`Machine::fanout_layout`] now
+//! delegates here and keeps its pinned operation counts. The fused
+//! apply is one permutation plus one elementwise op per output vector.
+
+use crate::expand::FanoutLayout;
+use crate::machine::Machine;
+use crate::ops::{Element, Sum};
+use crate::scan::ScanKind;
+use crate::scatter::SyncPtr;
+use crate::vector::Segments;
+
+/// Per-block summary of the pending segment-head carry (phase 1 of the
+/// blocked layout): whether the block emitted any output lane, and the
+/// OR of input segment flags after its last surviving lane (all of its
+/// flags when nothing survived).
+#[derive(Clone, Copy, Default)]
+struct PendingSummary {
+    has_survivor: bool,
+    trailing_or: bool,
+}
+
+impl Machine {
+    /// Computes a variable-arity flat-map layout: lane `i` of the input
+    /// is replicated `counts[i]` times (zero deletes the lane), copies
+    /// adjacent and in rank order, copies joining their source lane's
+    /// segment (a segment whose lanes all vanish is dropped).
+    ///
+    /// Identical semantics and paper-level operation counts to
+    /// [`Machine::fanout_layout`] (which delegates here): one scan, two
+    /// elementwise ops, one permutation. On the parallel backend the
+    /// layout materialization runs blocked — input blocks write their
+    /// disjoint output spans, with the vanished-segment-head pending
+    /// flag carried block-to-block — and is bit-identical to the
+    /// sequential reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != seg.len()`.
+    pub fn flat_map_layout(&self, seg: &Segments, counts: &[u32]) -> FanoutLayout {
+        assert_eq!(
+            counts.len(),
+            seg.len(),
+            "flat-map: count length {} does not match segment descriptor length {}",
+            counts.len(),
+            seg.len()
+        );
+        let widened: Vec<u64> = self.map(counts, |c| c as u64);
+        // F1: first output slot of each input lane (the room-making scan
+        // of paper Fig. 14, generalized to arbitrary arity).
+        let offsets = self.up_scan(&widened, Sum, ScanKind::Exclusive);
+        let out_len: usize = counts.iter().map(|&c| c as usize).sum();
+
+        // The elementwise position/rank derivation and the scatter that
+        // writes every copy, fused into one kernel (the ew + permute of
+        // Fig. 14).
+        self.count_elementwise();
+        self.count_permute();
+        let (src_lane, rank, flags_out) = if self.use_par(out_len.max(seg.len())) {
+            self.count_blocked_pass();
+            layout_blocked(
+                seg,
+                counts,
+                &offsets,
+                out_len,
+                self.block_elems::<u64>(),
+                self.threads(),
+            )
+        } else {
+            layout_seq(seg, counts, &offsets, out_len)
+        };
+        let seg_out = Segments::from_flags(flags_out)
+            .expect("flat-map output either is empty or starts a segment at lane 0");
+        FanoutLayout {
+            src_lane,
+            rank,
+            seg: seg_out,
+        }
+    }
+
+    /// Applies a flat-map layout with a per-copy function: output lane
+    /// `j` is `f(data[src_lane[j]], rank[j])` — the gather and the
+    /// downstream elementwise op fused into one sweep over the output.
+    /// Counted as one permutation plus one elementwise operation.
+    pub fn apply_flat_map<T, U, F>(&self, data: &[T], layout: &FanoutLayout, f: F) -> Vec<U>
+    where
+        T: Element,
+        U: Element,
+        F: Fn(T, u32) -> U + Send + Sync,
+    {
+        let mut out = Vec::new();
+        self.apply_flat_map_into(data, layout, f, &mut out);
+        out
+    }
+
+    /// [`Machine::apply_flat_map`] into a caller-provided buffer
+    /// (cleared first). Lease the buffer from [`Machine::lease`] and the
+    /// steady-state call is allocation-free.
+    pub fn apply_flat_map_into<T, U, F>(
+        &self,
+        data: &[T],
+        layout: &FanoutLayout,
+        f: F,
+        out: &mut Vec<U>,
+    ) where
+        T: Element,
+        U: Element,
+        F: Fn(T, u32) -> U + Send + Sync,
+    {
+        let n = layout.len();
+        self.count_permute();
+        self.count_elementwise();
+        self.note_alloc_avoided(out.capacity(), n);
+        self.count_bytes_moved(n * std::mem::size_of::<U>());
+        crate::machine::fit_exact(out, n);
+        if self.use_par(n) {
+            self.count_blocked_pass();
+            rayon::fault_checkpoint();
+            let base = SyncPtr(out.as_mut_ptr());
+            let src = &layout.src_lane;
+            let rank = &layout.rank;
+            rayon::for_each_block(n, self.block_elems::<U>(), |lo, hi| {
+                for j in lo..hi {
+                    // SAFETY: blocks are disjoint, so slot j is written by
+                    // exactly one worker; fit_exact reserved capacity >= n
+                    // and j < n, so the write lands in owned spare capacity.
+                    unsafe { base.get().add(j).write(f(data[src[j]], rank[j])) };
+                }
+            });
+            // SAFETY: the disjoint blocks cover 0..n exactly, so every
+            // slot below n is initialized.
+            unsafe { out.set_len(n) };
+        } else {
+            out.extend(
+                layout
+                    .src_lane
+                    .iter()
+                    .zip(layout.rank.iter())
+                    .map(|(&s, &r)| f(data[s], r)),
+            );
+        }
+    }
+
+    /// One-call flat-map: computes the layout for `counts` and applies
+    /// `f(value, rank)` to `data` through it. Returns the output vector
+    /// and the layout (for reordering further parallel vectors and for
+    /// the expanded segment descriptor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != seg.len()` or `data.len() != seg.len()`.
+    pub fn flat_map<T, U, F>(
+        &self,
+        seg: &Segments,
+        data: &[T],
+        counts: &[u32],
+        f: F,
+    ) -> (Vec<U>, FanoutLayout)
+    where
+        T: Element,
+        U: Element,
+        F: Fn(T, u32) -> U + Send + Sync,
+    {
+        let mut out = Vec::new();
+        let layout = self.flat_map_into(seg, data, counts, f, &mut out);
+        (out, layout)
+    }
+
+    /// [`Machine::flat_map`] into a caller-provided buffer (cleared
+    /// first) — the arena-backed variant: lease `out` from the machine's
+    /// arena and the apply pass allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != seg.len()` or `data.len() != seg.len()`.
+    pub fn flat_map_into<T, U, F>(
+        &self,
+        seg: &Segments,
+        data: &[T],
+        counts: &[u32],
+        f: F,
+        out: &mut Vec<U>,
+    ) -> FanoutLayout
+    where
+        T: Element,
+        U: Element,
+        F: Fn(T, u32) -> U + Send + Sync,
+    {
+        assert_eq!(
+            data.len(),
+            seg.len(),
+            "flat-map: data length {} does not match segment descriptor length {}",
+            data.len(),
+            seg.len()
+        );
+        let layout = self.flat_map_layout(seg, counts);
+        if layout.is_empty() {
+            out.clear();
+        } else {
+            self.apply_flat_map_into(data, &layout, f, out);
+        }
+        layout
+    }
+}
+
+/// Sequential reference layout materialization: one walk over the input
+/// lanes, writing every copy's source lane and rank, with the
+/// vanished-segment-head pending flag threaded lane to lane.
+fn layout_seq(
+    seg: &Segments,
+    counts: &[u32],
+    offsets: &[u64],
+    out_len: usize,
+) -> (Vec<usize>, Vec<u32>, Vec<bool>) {
+    let mut src_lane = vec![0usize; out_len];
+    let mut rank = vec![0u32; out_len];
+    let mut flags_out = vec![false; out_len];
+    let in_flags = seg.flags();
+    let mut pending = false;
+    for i in 0..seg.len() {
+        let base = offsets[i] as usize;
+        // A vanished segment head defers its boundary to the next
+        // surviving lane of a later segment (matching how deletion drops
+        // empty segments).
+        pending |= in_flags[i];
+        for r in 0..counts[i] {
+            src_lane[base + r as usize] = i;
+            rank[base + r as usize] = r;
+        }
+        if counts[i] > 0 {
+            flags_out[base] = pending;
+            pending = false;
+        }
+    }
+    (src_lane, rank, flags_out)
+}
+
+/// Blocked layout materialization: input blocks own the disjoint output
+/// spans `offsets[lo]..offsets[hi]`, so the copy writes parallelize
+/// freely; the pending segment-head flag is the one cross-block
+/// dependency and is carried with the same reduce → combine → apply
+/// structure as a blocked scan. With one worker the phases collapse into
+/// a single sweep identical to [`layout_seq`].
+fn layout_blocked(
+    seg: &Segments,
+    counts: &[u32],
+    offsets: &[u64],
+    out_len: usize,
+    block: usize,
+    threads: usize,
+) -> (Vec<usize>, Vec<u32>, Vec<bool>) {
+    let n = seg.len();
+    rayon::fault_checkpoint();
+    let mut src_lane = vec![0usize; out_len];
+    let mut rank = vec![0u32; out_len];
+    let mut flags_out = vec![false; out_len];
+    if n == 0 {
+        return (src_lane, rank, flags_out);
+    }
+    let in_flags = seg.flags();
+    let block = block.max(1);
+    let nblocks = n.div_ceil(block);
+    let nt = threads.min(nblocks).max(1);
+    let src_base = SyncPtr(src_lane.as_mut_ptr());
+    let rank_base = SyncPtr(rank.as_mut_ptr());
+    let flag_base = SyncPtr(flags_out.as_mut_ptr());
+
+    // The apply body for one block: the reference walk seeded with the
+    // incoming pending flag, writing through the base pointers. Returns
+    // the carry-out so the single-worker path can thread it onward.
+    let apply = |lo: usize, hi: usize, mut pending: bool| -> bool {
+        for i in lo..hi {
+            let base = offsets[i] as usize;
+            pending |= in_flags[i];
+            for r in 0..counts[i] {
+                // SAFETY: input blocks are disjoint and output spans
+                // `offsets[lo]..offsets[hi]` are disjoint too (offsets is
+                // a monotone prefix sum of counts), so each output slot
+                // is written by exactly one worker; base + r < out_len.
+                unsafe {
+                    src_base.get().add(base + r as usize).write(i);
+                    rank_base.get().add(base + r as usize).write(r);
+                }
+            }
+            if counts[i] > 0 {
+                // SAFETY: as above; `base` lies inside this block's span.
+                unsafe { flag_base.get().add(base).write(pending) };
+                pending = false;
+            }
+        }
+        pending
+    };
+
+    if nt == 1 {
+        // Single fused sweep: the pending carry threads straight through
+        // the apply body block-to-block, touching each lane once.
+        let mut pending = false;
+        for b in 0..nblocks {
+            let lo = b * block;
+            let hi = (lo + block).min(n);
+            pending = apply(lo, hi, pending);
+        }
+        return (src_lane, rank, flags_out);
+    }
+
+    // Phase 1 (block-reduce): per-block pending summaries.
+    let mut summaries: Vec<PendingSummary> = vec![PendingSummary::default(); nblocks];
+    {
+        let sptr = SyncPtr(summaries.as_mut_ptr());
+        rayon::for_each_block(n, block, |lo, hi| {
+            let mut s = PendingSummary::default();
+            for i in lo..hi {
+                s.trailing_or |= in_flags[i];
+                if counts[i] > 0 {
+                    s.has_survivor = true;
+                    s.trailing_or = false;
+                }
+            }
+            // SAFETY: `lo / block` is a unique block index per call and
+            // the summaries vec was sized to `nblocks`.
+            unsafe { sptr.get().add(lo / block).write(s) };
+        });
+    }
+
+    // Phase 2 (carry): exclusive combine of the pending flag across
+    // blocks, sequential over the (few) blocks.
+    let mut seeds: Vec<bool> = vec![false; nblocks];
+    let mut carry = false;
+    for (b, s) in summaries.iter().enumerate() {
+        seeds[b] = carry;
+        carry = if s.has_survivor {
+            s.trailing_or
+        } else {
+            carry || s.trailing_or
+        };
+    }
+
+    // Phase 3 (block-apply): the reference walk per block, seeded with
+    // its carried-in pending flag, over the same worker-local ranges.
+    rayon::for_each_block(n, block, |lo, hi| {
+        let _ = apply(lo, hi, seeds[lo / block]);
+    });
+    (src_lane, rank, flags_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Backend;
+
+    fn machines() -> Vec<Machine> {
+        vec![
+            Machine::sequential(),
+            Machine::new(Backend::Parallel).with_par_threshold(1),
+        ]
+    }
+
+    /// A little deterministic LCG so the sweeps need no external
+    /// randomness.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    fn random_case(n: usize, seed: u64) -> (Segments, Vec<u32>) {
+        if n == 0 {
+            return (Segments::single(0), Vec::new());
+        }
+        let mut s = seed;
+        let mut lengths = Vec::new();
+        let mut total = 0usize;
+        while total < n {
+            let len = (lcg(&mut s) as usize % 13 + 1).min(n - total);
+            lengths.push(len);
+            total += len;
+        }
+        let seg = Segments::from_lengths(&lengths).unwrap();
+        let counts = (0..n).map(|_| (lcg(&mut s) % 5) as u32).collect();
+        (seg, counts)
+    }
+
+    #[test]
+    fn flat_map_layout_matches_fanout_layout() {
+        for m in machines() {
+            for n in [0usize, 1, 7, 64, 200, 1000] {
+                let (seg, counts) = random_case(n, 0xF1A7 ^ n as u64);
+                assert_eq!(
+                    m.flat_map_layout(&seg, &counts),
+                    m.fanout_layout(&seg, &counts),
+                    "n={n}"
+                );
+            }
+        }
+    }
+
+    /// The blocked layout path (parallel backend) is bit-identical to
+    /// the sequential reference, including at block-boundary sizes and
+    /// with vanished segments spanning whole blocks.
+    #[test]
+    fn blocked_layout_matches_reference_at_block_boundaries() {
+        let seq = Machine::sequential();
+        for block_elems in [1usize, 8, 64] {
+            let block_bytes = block_elems * std::mem::size_of::<u64>();
+            let par = Machine::new(Backend::Parallel)
+                .with_par_threshold(1)
+                .with_block_bytes(block_bytes);
+            for n in [
+                block_elems.saturating_sub(1),
+                block_elems,
+                block_elems + 1,
+                3 * block_elems,
+                3 * block_elems + 1,
+            ] {
+                for seed in [1u64, 9, 77] {
+                    let (seg, counts) = random_case(n, seed);
+                    assert_eq!(
+                        seq.flat_map_layout(&seg, &counts),
+                        par.flat_map_layout(&seg, &counts),
+                        "n={n} block={block_elems} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whole blocks of zero counts exercise the pending carry across
+    /// invalid blocks (no survivor to absorb the flag).
+    #[test]
+    fn pending_flag_carries_across_empty_blocks() {
+        let seq = Machine::sequential();
+        let par = Machine::new(Backend::Parallel)
+            .with_par_threshold(1)
+            .with_block_bytes(4 * std::mem::size_of::<u64>());
+        // Segments of length 3; lanes 4..=19 all vanish, so several
+        // 4-lane blocks in the middle emit nothing and must forward
+        // their segment-head flags.
+        let n = 24;
+        let seg = Segments::from_lengths(&[3; 8]).unwrap();
+        let counts: Vec<u32> = (0..n).map(|i| u32::from(!(4..20).contains(&i))).collect();
+        let a = seq.flat_map_layout(&seg, &counts);
+        let b = par.flat_map_layout(&seg, &counts);
+        assert_eq!(a, b);
+        // All the vanished segments' boundaries collapse onto the next
+        // survivor: lane 3 (head of segment 1) sits alone, lane 20
+        // absorbs the five vanished heads in 4..20, and lane 21 starts
+        // the last full segment.
+        assert_eq!(a.seg.lengths(), vec![3, 1, 1, 3]);
+    }
+
+    #[test]
+    fn apply_flat_map_matches_gather_then_map() {
+        for m in machines() {
+            let (seg, counts) = random_case(300, 42);
+            let data: Vec<u64> = (0..300u64).map(|i| i * 3 + 1).collect();
+            let layout = m.flat_map_layout(&seg, &counts);
+            let gathered = m.apply_fanout(&data, &layout);
+            let want: Vec<u64> = gathered
+                .iter()
+                .zip(layout.rank.iter())
+                .map(|(&v, &r)| v * 10 + r as u64)
+                .collect();
+            let before = m.stats();
+            let got = m.apply_flat_map(&data, &layout, |v, r| v * 10 + r as u64);
+            let d = m.stats().since(&before);
+            assert_eq!(got, want);
+            // The fused apply is one permutation plus one elementwise op.
+            assert_eq!(d.permutes, 1);
+            assert_eq!(d.elementwise, 1);
+            assert_eq!(d.scans, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_one_call_matches_composition() {
+        for m in machines() {
+            let (seg, counts) = random_case(100, 7);
+            let data: Vec<u32> = (0..100u32).collect();
+            let (out, layout) = m.flat_map(&seg, &data, &counts, |v, r| v + r);
+            let want: Vec<u32> = layout
+                .src_lane
+                .iter()
+                .zip(layout.rank.iter())
+                .map(|(&s, &r)| data[s] + r)
+                .collect();
+            assert_eq!(out, want);
+        }
+    }
+
+    #[test]
+    fn flat_map_empty_output() {
+        for m in machines() {
+            let seg = Segments::from_lengths(&[2]).unwrap();
+            let (out, layout) = m.flat_map(&seg, &[5u8, 6], &[0, 0], |v, _| v);
+            assert!(out.is_empty());
+            assert!(layout.is_empty());
+        }
+    }
+
+    /// The layout keeps the pinned paper-level operation counts of a
+    /// single cloning: one scan, two elementwise ops, one permutation —
+    /// for any fan-out width, on both backends.
+    #[test]
+    fn layout_op_counts_are_one_cloning() {
+        for m in machines() {
+            let (seg, counts) = random_case(500, 3);
+            let before = m.stats();
+            let _ = m.flat_map_layout(&seg, &counts);
+            let d = m.stats().since(&before);
+            assert_eq!(d.scans, 1);
+            assert_eq!(d.scan_passes, 1);
+            assert_eq!(d.elementwise, 2);
+            assert_eq!(d.permutes, 1);
+            assert_eq!(d.sorts, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_into_reuses_warm_buffers() {
+        let m = Machine::sequential();
+        let (seg, counts) = random_case(64, 11);
+        let data: Vec<u64> = (0..64).collect();
+        let mut out: Vec<u64> = m.lease();
+        let _ = m.flat_map_into(&seg, &data, &counts, |v, r| v + r as u64, &mut out);
+        let cap = out.capacity();
+        let before = m.stats();
+        let _ = m.flat_map_into(&seg, &data, &counts, |v, r| v + r as u64, &mut out);
+        let d = m.stats().since(&before);
+        assert!(out.capacity() >= cap);
+        assert!(d.allocs_avoided >= 1, "warm apply buffer was not reused");
+        m.recycle(out);
+    }
+}

@@ -34,6 +34,10 @@
 //! * [`Machine::fanout_layout`] — the generalized pair-expansion form of
 //!   cloning used by the frontier algorithms (batch query descent,
 //!   spatial join);
+//! * [`Machine::flat_map`] — the variable-arity flat-map (counts lane →
+//!   segmented layout → fused clone/apply), the full generalization of
+//!   cloning that the dominance/skyline pipelines compact and expand
+//!   with;
 //! * [`Machine::segment_counts`] — the *node capacity check* scan (Sec. 4.4);
 //! * [`Machine::broadcast_first`] / [`Machine::broadcast_last`] — the
 //!   copy-scan broadcast used throughout Section 4;
@@ -59,6 +63,7 @@ pub mod blocked;
 pub mod error;
 pub mod expand;
 pub mod fault;
+pub mod flat_map;
 pub mod fused;
 pub mod machine;
 pub mod ops;

@@ -281,6 +281,11 @@ impl Machine {
         self.backend == Backend::Parallel && n >= self.par_threshold
     }
 
+    /// Cached worker-pool width (see the `threads` field).
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Current counter values.
     pub fn stats(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -384,7 +389,7 @@ impl Machine {
     /// centrally from the output buffer's pre-call capacity, *before*
     /// backend dispatch, so sequential and parallel machines running the
     /// same algorithm report identical snapshots.
-    fn note_alloc_avoided(&self, capacity: usize, needed: usize) {
+    pub(crate) fn note_alloc_avoided(&self, capacity: usize, needed: usize) {
         if needed > 0 && capacity >= needed {
             self.stats.allocs_avoided.fetch_add(1, Ordering::Relaxed);
         }

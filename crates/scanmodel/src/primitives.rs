@@ -612,21 +612,47 @@ impl Machine {
             seg.len()
         );
         self.count_sort();
-        let mut order: Vec<usize> = (0..seg.len()).collect();
-        let seg_ids = seg.segment_ids();
-        let comparator = |&x: &usize, &y: &usize| {
-            seg_ids[x]
-                .cmp(&seg_ids[y])
-                .then_with(|| cmp(&keys[x], &keys[y]))
-                .then_with(|| x.cmp(&y))
-        };
-        if self.backend() == crate::machine::Backend::Parallel
-            && seg.len() >= crate::par::PAR_THRESHOLD
-        {
-            use rayon::prelude::*;
-            order.par_sort_unstable_by(comparator);
+        let n = seg.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        if self.backend() == crate::machine::Backend::Parallel {
+            // Segment-local path: segments are contiguous index ranges,
+            // so the global (segment, key, lane) sort below is exactly
+            // the concatenation of per-range (key, lane) sorts. Each run
+            // sorts without the segment-id indirection the global
+            // comparator pays per comparison, and independent runs sort
+            // in parallel. The per-range tie-break on the lane index
+            // reproduces the reference order bit-for-bit.
+            let range_cmp =
+                |&x: &usize, &y: &usize| cmp(&keys[x], &keys[y]).then_with(|| x.cmp(&y));
+            let ranges: Vec<std::ops::Range<usize>> = seg.ranges().collect();
+            if self.use_par(n) && ranges.len() >= 2 {
+                use rayon::prelude::*;
+                rayon::fault_checkpoint();
+                let base = crate::scatter::SyncPtr(order.as_mut_ptr());
+                (0..ranges.len()).into_par_iter().for_each(|s| {
+                    let r = ranges[s].clone();
+                    // SAFETY: segment ranges are disjoint and within
+                    // 0..n, so each job sorts its own subslice.
+                    let run =
+                        unsafe { std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()) };
+                    run.sort_unstable_by(range_cmp);
+                });
+            } else {
+                for r in ranges {
+                    order[r].sort_unstable_by(range_cmp);
+                }
+            }
         } else {
-            order.sort_unstable_by(comparator);
+            // Reference path: one global sort keyed by (segment, key,
+            // lane) — the specification the segment-local path above
+            // must match bit-for-bit.
+            let seg_ids = seg.segment_ids();
+            order.sort_unstable_by(|&x: &usize, &y: &usize| {
+                seg_ids[x]
+                    .cmp(&seg_ids[y])
+                    .then_with(|| cmp(&keys[x], &keys[y]))
+                    .then_with(|| x.cmp(&y))
+            });
         }
         order
     }

@@ -1,0 +1,96 @@
+//! Brute-force dominance/skyline oracle for differential tests.
+//!
+//! Same closed max-dominance semantics as `dp_spatial::dominance`
+//! (point `q` dominates `p` iff `q.x >= p.x && q.y >= p.y`, strict in at
+//! least one coordinate; the dominated set of a query is the closed
+//! lower-left quadrant), implemented as the obvious O(n²) / O(n·q)
+//! loops over parallel SoA slices so no scan-model machinery is shared
+//! with the code under test.
+
+use crate::SegId;
+
+/// `true` iff `(ax, ay)` dominates `(bx, by)` under closed
+/// max-dominance.
+pub fn dominates(ax: f64, ay: f64, bx: f64, by: f64) -> bool {
+    ax >= bx && ay >= by && (ax > bx || ay > by)
+}
+
+/// Brute-force skyline: ids of the points not dominated by any other
+/// input point, returned sorted ascending (the canonical set order).
+/// Coordinate duplicates dominate each other in neither direction, so
+/// all copies survive together.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn skyline_brute(ids: &[SegId], xs: &[f64], ys: &[f64]) -> Vec<SegId> {
+    assert_eq!(ids.len(), xs.len());
+    assert_eq!(ids.len(), ys.len());
+    let n = ids.len();
+    let mut out: Vec<SegId> = (0..n)
+        .filter(|&i| (0..n).all(|j| j == i || !dominates(xs[j], ys[j], xs[i], ys[i])))
+        .map(|i| ids[i])
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Brute-force dominated-set aggregation for one query: `(count, sum,
+/// max)` over the weights of all points in the closed lower-left
+/// quadrant of `(qx, qy)` (max is 0 when the set is empty).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn dominance_agg_brute(
+    xs: &[f64],
+    ys: &[f64],
+    ws: &[u64],
+    qx: f64,
+    qy: f64,
+) -> (u64, u64, u64) {
+    assert_eq!(xs.len(), ys.len());
+    assert_eq!(xs.len(), ws.len());
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    let mut max = 0u64;
+    for i in 0..xs.len() {
+        if xs[i] <= qx && ys[i] <= qy {
+            count += 1;
+            sum += ws[i];
+            max = max.max(ws[i]);
+        }
+    }
+    (count, sum, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominates_is_strict_somewhere() {
+        assert!(dominates(2.0, 2.0, 1.0, 1.0));
+        assert!(dominates(2.0, 1.0, 1.0, 1.0));
+        assert!(!dominates(1.0, 1.0, 1.0, 1.0));
+        assert!(!dominates(2.0, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn skyline_keeps_duplicates_and_staircase() {
+        let ids = [0, 1, 2, 3, 4];
+        let xs = [0.0, 1.0, 2.0, 0.5, 1.0];
+        let ys = [3.0, 2.0, 1.0, 0.5, 2.0];
+        // Points 1 and 4 coincide; the interior point 3 is dominated.
+        assert_eq!(skyline_brute(&ids, &xs, &ys), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn agg_is_closed() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 1.0, 2.0];
+        let ws = [5, 7, 11];
+        assert_eq!(dominance_agg_brute(&xs, &ys, &ws, 1.0, 1.0), (2, 12, 7));
+        assert_eq!(dominance_agg_brute(&xs, &ys, &ws, -1.0, 0.0), (0, 0, 0));
+    }
+}

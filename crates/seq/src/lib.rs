@@ -25,6 +25,7 @@
 //! structure.
 
 pub mod bucket_pmr;
+pub mod dominance;
 pub mod pm1;
 pub mod pm23;
 pub mod pmr;

@@ -444,8 +444,10 @@ impl ServicePipeline {
     pub fn lane_of(&self, r: &Request) -> usize {
         let grid = self.service.grid();
         let shard = match r {
-            Request::Window(q) | Request::Join(q) => grid.first_shard_overlapping(q).unwrap_or(0),
-            Request::PointInWindow(p) | Request::KNearest { p, .. } => {
+            Request::Window(q) | Request::Join(q) | Request::Skyline(q) => {
+                grid.first_shard_overlapping(q).unwrap_or(0)
+            }
+            Request::PointInWindow(p) | Request::KNearest { p, .. } | Request::DominanceAgg(p) => {
                 grid.first_shard_overlapping(&Rect::point(*p)).unwrap_or(0)
             }
             Request::Insert(seg) => grid

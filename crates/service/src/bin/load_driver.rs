@@ -86,6 +86,7 @@ struct Args {
     fault_rate: f64,
     self_check: bool,
     updates: bool,
+    dominance: bool,
     rate: Option<f64>,
     lanes: Option<usize>,
     policy: AdmissionPolicy,
@@ -114,6 +115,7 @@ fn parse_args() -> Args {
         fault_rate: 0.01,
         self_check: false,
         updates: false,
+        dominance: false,
         rate: None,
         lanes: None,
         policy: AdmissionPolicy::Shed,
@@ -155,6 +157,7 @@ fn parse_args() -> Args {
             }
             "--self-check" => args.self_check = true,
             "--updates" => args.updates = true,
+            "--dominance" => args.dominance = true,
             "--rate" => args.rate = Some(value("--rate").parse().expect("--rate")),
             "--lanes" => args.lanes = Some(value("--lanes").parse().expect("--lanes")),
             "--policy" => {
@@ -182,7 +185,7 @@ fn parse_args() -> Args {
                      [--segments N] [--requests N] [--shards G] [--threads T] \
                      [--flush N] [--batch N] [--seed S] [--sequential] \
                      [--overlay N] [--fault-seed S] [--fault-rate R] [--self-check] \
-                     [--updates] [--rate R] [--lanes N] [--policy block|shed] \
+                     [--updates] [--dominance] [--rate R] [--lanes N] [--policy block|shed] \
                      [--slo-p999 MICROS] [--sweep] [--hot F] [--hot-count N] [--queue N] \
                      [--snapshot-dir DIR] [--warm-restart]"
                 );
@@ -365,14 +368,18 @@ fn main() {
         );
     }
 
-    let mix = if args.updates {
+    let mix = if args.dominance {
+        RequestMix::WITH_DOMINANCE
+    } else if args.updates {
         RequestMix::WITH_UPDATES
     } else if args.overlay > 0 {
         RequestMix::WITH_JOINS
     } else {
         RequestMix::DEFAULT
     };
-    let mut stream = if args.updates {
+    // WITH_DOMINANCE carries writes too, so it rides the update-aware
+    // stream generator.
+    let mut stream = if args.updates || args.dominance {
         request_stream_with_updates(
             data.world,
             args.requests,
@@ -492,7 +499,7 @@ fn main() {
         }
     }
 
-    if args.self_check && args.updates {
+    if args.self_check && (args.updates || args.dominance) {
         self_check_updates(&args, &data, &stream);
     } else if args.self_check {
         // Brute force runs over the service's own logical collection:
@@ -543,8 +550,20 @@ fn main() {
                         "join window {q}"
                     );
                 }
+                Request::Skyline(q) => {
+                    let ids = resp
+                        .try_skyline(i)
+                        .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
+                    assert_eq!(ids, brute_skyline_in(&oracle, q), "skyline {q}");
+                }
+                Request::DominanceAgg(p) => {
+                    let got = resp
+                        .try_dominance_agg(i)
+                        .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
+                    assert_eq!(got, brute_dominance_agg(&oracle, *p), "dominance {p:?}");
+                }
                 Request::Insert(_) | Request::Delete(_) => {
-                    unreachable!("writes only appear in --updates streams")
+                    unreachable!("writes only appear in --updates/--dominance streams")
                 }
             }
         }
@@ -598,7 +617,19 @@ fn self_check_updates(args: &Args, data: &Dataset, stream: &[Request]) {
                     .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
                 assert_eq!(found, brute_knearest(&live, *p, *k));
             }
-            Request::Join(_) => unreachable!("WITH_UPDATES carries no joins"),
+            Request::Join(_) => unreachable!("the update-family mixes carry no joins"),
+            Request::Skyline(q) => {
+                let ids = resp
+                    .try_skyline(i)
+                    .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
+                assert_eq!(ids, brute_skyline_in(&live, q), "skyline {q}");
+            }
+            Request::DominanceAgg(p) => {
+                let got = resp
+                    .try_dominance_agg(i)
+                    .unwrap_or_else(|e| panic!("sampled request {i}: {e}"));
+                assert_eq!(got, brute_dominance_agg(&live, *p), "dominance {p:?}");
+            }
             Request::Insert(seg) => {
                 let got = resp
                     .try_inserted(i)
@@ -669,7 +700,9 @@ fn open_loop_run(args: &Args, data: &Dataset, rate: f64) {
         t0.elapsed().as_secs_f64() * 1e3
     );
 
-    let mix = if args.updates {
+    let mix = if args.dominance {
+        RequestMix::WITH_DOMINANCE
+    } else if args.updates {
         RequestMix::WITH_UPDATES
     } else {
         RequestMix::DEFAULT
@@ -731,7 +764,9 @@ fn open_loop_run(args: &Args, data: &Dataset, rate: f64) {
     // Sampled responses are retained for the post-run brute-force check;
     // the read-only mixes never mutate state, so every sample can be
     // verified against the initial segment set after the timed run.
-    let sample_reads = args.self_check && !args.updates;
+    // Update and dominance streams mutate state as they drain, so their
+    // sampled replies can't be checked against a static oracle.
+    let sample_reads = args.self_check && !args.updates && !args.dominance;
     let mut samples: Vec<(Request, Response)> = Vec::new();
     for (i, t) in tickets.into_iter().enumerate() {
         let submitted = t.submitted_at();
@@ -863,7 +898,9 @@ fn open_loop_run(args: &Args, data: &Dataset, rate: f64) {
 /// the submitter can go, so the table shows how serving rate scales with
 /// the two pool widths.
 fn sweep(args: &Args, data: &Dataset) {
-    let mix = if args.updates {
+    let mix = if args.dominance {
+        RequestMix::WITH_DOMINANCE
+    } else if args.updates {
         RequestMix::WITH_UPDATES
     } else {
         RequestMix::DEFAULT
@@ -925,4 +962,45 @@ fn sweep(args: &Args, data: &Dataset) {
             );
         }
     }
+}
+
+/// Self-check oracle for `Request::Skyline`: among the segments
+/// intersecting the window (closed clip, matching the probe path), the
+/// ids whose midpoints no other candidate midpoint dominates under
+/// closed max-dominance, sorted ascending.
+fn brute_skyline_in(live: &[LineSeg], q: &Rect) -> Vec<u32> {
+    let cands: Vec<(u32, f64, f64)> = (0..live.len() as u32)
+        .filter(|&id| dp_geom::clip_segment_closed(&live[id as usize], q).is_some())
+        .map(|id| {
+            let m = live[id as usize].midpoint();
+            (id, m.x, m.y)
+        })
+        .collect();
+    let dominates = |a: &(u32, f64, f64), b: &(u32, f64, f64)| {
+        a.1 >= b.1 && a.2 >= b.2 && (a.1 > b.1 || a.2 > b.2)
+    };
+    let mut out: Vec<u32> = cands
+        .iter()
+        .filter(|p| !cands.iter().any(|c| dominates(c, p)))
+        .map(|p| p.0)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Self-check oracle for `Request::DominanceAgg`: `(count, sum, max)`
+/// of the quantized-length weights over every live segment whose
+/// midpoint lies in the closed lower-left quadrant of the query point
+/// (in-world midpoints make the world clip a no-op, so the plain filter
+/// matches the service's probe-then-filter exactly).
+fn brute_dominance_agg(live: &[LineSeg], p: dp_geom::Point) -> (u64, u64, u64) {
+    let mut agg = (0u64, 0u64, 0u64);
+    for seg in live {
+        let m = seg.midpoint();
+        if m.x <= p.x && m.y <= p.y {
+            let w = dp_spatial::dominance::dominance_weight(seg);
+            agg = (agg.0 + 1, agg.1 + w, agg.2.max(w));
+        }
+    }
+    agg
 }

@@ -56,6 +56,17 @@ pub enum CacheKind {
     Window,
     /// A `Request::PointInWindow` answer.
     PointInWindow,
+    /// A `Request::Skyline` answer, keyed by its window; the payload is
+    /// the final skyline id set, not the window candidates. Inserts
+    /// invalidate by the same bbox-overlap test: a segment can only
+    /// change a window's skyline if it intersects the window.
+    Skyline,
+    /// A `Request::DominanceAgg` answer, keyed by the query's dominated
+    /// rectangle (world min corner to the query point); the payload is
+    /// the aggregate triple encoded as six `u32` words. A write can
+    /// only change the aggregate if the segment intersects that
+    /// rectangle, so bbox-overlap invalidation stays conservative.
+    DominanceAgg,
 }
 
 /// Canonical cache key: the probe kind plus the exact bit pattern of

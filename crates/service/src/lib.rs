@@ -101,6 +101,7 @@ pub use shed::{Admission, AdmissionPolicy};
 use dp_geom::{clip_segment_closed, LineSeg, Point, Rect};
 use dp_spatial::batch::batch_window_query;
 use dp_spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial::dominance::{dominance_agg, dominance_weight, skyline, DomPoint};
 use dp_spatial::join::{frontier_join, pair_intersects_in};
 use dp_spatial::quadtree::DpQuadtree;
 use dp_spatial::shard::{build_shard, ShardGrid, ShardIndex};
@@ -241,6 +242,26 @@ pub enum Response {
     Inserted(SegId),
     /// The segment with this logical id was removed.
     Deleted(SegId),
+    /// Sorted ascending logical ids of the *skyline* segments of the
+    /// window: among the midpoints of the segments intersecting the
+    /// request window, the points dominated by no other candidate under
+    /// closed max-dominance (see [`dp_spatial::dominance`]). Shared like
+    /// [`Response::Window`] so cache hits hand out one allocation.
+    Skyline(Arc<Vec<SegId>>),
+    /// Dominated-set aggregate of a query point: over every live segment
+    /// whose midpoint lies in the closed lower-left quadrant of the
+    /// query (and intersects that quadrant's world clip), the count, the
+    /// sum and the max of the quantized-length weights
+    /// ([`dp_spatial::dominance::dominance_weight`]). `max` is 0 when
+    /// the dominated set is empty.
+    DominanceAgg {
+        /// Number of dominated segments.
+        count: u64,
+        /// Sum of their weights.
+        sum: u64,
+        /// Maximum weight (0 for an empty set).
+        max: u64,
+    },
     /// The request was unanswerable (non-finite geometry, `k = 0`,
     /// unknown delete id) and was rejected by per-slot validation
     /// without touching any shard.
@@ -296,6 +317,26 @@ impl Response {
     pub fn try_inserted(&self, index: usize) -> Result<SegId, SpatialError> {
         match self {
             Response::Inserted(id) => Ok(*id),
+            Response::Rejected(e) => Err(*e),
+            _ => Err(SpatialError::ResponseKindMismatch { index }),
+        }
+    }
+
+    /// The skyline ids (see [`Response::try_window`] for the error
+    /// contract).
+    pub fn try_skyline(&self, index: usize) -> Result<&[SegId], SpatialError> {
+        match self {
+            Response::Skyline(ids) => Ok(ids),
+            Response::Rejected(e) => Err(*e),
+            _ => Err(SpatialError::ResponseKindMismatch { index }),
+        }
+    }
+
+    /// The dominance aggregate as `(count, sum, max)` (see
+    /// [`Response::try_window`] for the error contract).
+    pub fn try_dominance_agg(&self, index: usize) -> Result<(u64, u64, u64), SpatialError> {
+        match self {
+            Response::DominanceAgg { count, sum, max } => Ok((*count, *sum, *max)),
             Response::Rejected(e) => Err(*e),
             _ => Err(SpatialError::ResponseKindMismatch { index }),
         }
@@ -869,16 +910,18 @@ fn validate_request(index: usize, r: &Request) -> Option<SpatialError> {
     };
     let finite_point = |p: &Point| p.x.is_finite() && p.y.is_finite();
     match r {
-        Request::Window(q) | Request::Join(q) if malformed_rect(q) => {
+        Request::Window(q) | Request::Join(q) | Request::Skyline(q) if malformed_rect(q) => {
             Some(SpatialError::MalformedRequest {
                 index,
                 kind: MalformedKind::NonFiniteWindow,
             })
         }
-        Request::PointInWindow(p) if !finite_point(p) => Some(SpatialError::MalformedRequest {
-            index,
-            kind: MalformedKind::NonFinitePoint,
-        }),
+        Request::PointInWindow(p) | Request::DominanceAgg(p) if !finite_point(p) => {
+            Some(SpatialError::MalformedRequest {
+                index,
+                kind: MalformedKind::NonFinitePoint,
+            })
+        }
         Request::KNearest { k: 0, .. } => Some(SpatialError::MalformedRequest {
             index,
             kind: MalformedKind::ZeroK,
@@ -895,6 +938,42 @@ fn validate_request(index: usize, r: &Request) -> Option<SpatialError> {
         }
         _ => None,
     }
+}
+
+/// Packs a dominance aggregate triple into six `u32` words (hi/lo per
+/// value) so the answer can ride the cache's `Arc<Vec<SegId>>` payload
+/// unchanged.
+fn encode_agg((count, sum, max): (u64, u64, u64)) -> Vec<SegId> {
+    let mut out = Vec::with_capacity(6);
+    for v in [count, sum, max] {
+        out.push((v >> 32) as SegId);
+        out.push(v as SegId);
+    }
+    out
+}
+
+/// Inverse of [`encode_agg`]; a malformed payload decodes to the empty
+/// aggregate rather than panicking on the serving path.
+fn decode_agg(words: &[SegId]) -> (u64, u64, u64) {
+    if words.len() != 6 {
+        return (0, 0, 0);
+    }
+    let v = |i: usize| ((words[i] as u64) << 32) | words[i + 1] as u64;
+    (v(0), v(2), v(4))
+}
+
+/// Brute closed max-dominance skyline over dominance points — the
+/// degraded rung when the ladder machine crashes mid-pipeline. O(n²)
+/// but exact; restates the `seq_spatial` oracle locally because that
+/// crate is a dev-dependency only.
+fn brute_skyline(points: &[DomPoint]) -> Vec<SegId> {
+    let dominates =
+        |a: &DomPoint, b: &DomPoint| a.x >= b.x && a.y >= b.y && (a.x > b.x || a.y > b.y);
+    points
+        .iter()
+        .filter(|p| !points.iter().any(|q| dominates(q, p)))
+        .map(|p| p.id)
+        .collect()
 }
 
 /// What one shard's fault-tolerant build produced.
@@ -1317,6 +1396,8 @@ impl QueryService {
             let (kind, rect) = match r {
                 Request::Window(q) => (CacheKind::Window, *q),
                 Request::PointInWindow(p) => (CacheKind::PointInWindow, Rect::point(*p)),
+                Request::Skyline(q) => (CacheKind::Skyline, *q),
+                Request::DominanceAgg(p) => (CacheKind::DominanceAgg, self.dominated_rect(p)),
                 Request::KNearest { .. } | Request::Join(_) => continue,
                 Request::Insert(_) | Request::Delete(_) => unreachable!("writes split out"),
             };
@@ -1339,7 +1420,16 @@ impl QueryService {
         }
         let window_hits = self.run_probes(st, &probes);
         for ((slot, _), ids) in probes.iter().zip(window_hits) {
-            probe_answers[*slot] = Some(Arc::new(ids));
+            // Dominance-family probes produce *candidates* (the logical
+            // ids intersecting the rect); reduce them to the final
+            // answer here so the cache admit below and the response
+            // share one allocation holding the finished result.
+            let answer = match &requests[*slot] {
+                Request::Skyline(_) => self.compute_skyline(st, &ids),
+                Request::DominanceAgg(p) => encode_agg(self.compute_dominance_agg(st, &ids, p)),
+                _ => ids,
+            };
+            probe_answers[*slot] = Some(Arc::new(answer));
         }
         for (slot, kind, rect, version) in pending_admits {
             if let Some(ids) = &probe_answers[slot] {
@@ -1370,6 +1460,14 @@ impl QueryService {
                     }
                     Request::Join(_) => {
                         Response::Join(join_answers[slot].clone().unwrap_or_default())
+                    }
+                    Request::Skyline(_) => {
+                        Response::Skyline(probe_answers[slot].take().unwrap_or_default())
+                    }
+                    Request::DominanceAgg(_) => {
+                        let enc = probe_answers[slot].take().unwrap_or_default();
+                        let (count, sum, max) = decode_agg(&enc);
+                        Response::DominanceAgg { count, sum, max }
                     }
                     Request::Insert(_) | Request::Delete(_) => unreachable!("writes split out"),
                 }
@@ -1460,6 +1558,77 @@ impl QueryService {
                     .collect()
             })
             .collect()
+    }
+
+    /// The query's dominated rectangle — world min corner to the query
+    /// point (clamped so the rect stays well-formed when the point lies
+    /// below the world). No segment outside it can contribute to the
+    /// dominated set, and its bit pattern is the canonical
+    /// [`CacheKind::DominanceAgg`] cache key.
+    fn dominated_rect(&self, p: &Point) -> Rect {
+        Rect::from_coords(
+            self.world.min.x.min(p.x),
+            self.world.min.y.min(p.y),
+            p.x,
+            p.y,
+        )
+    }
+
+    /// Midpoint of a logical segment lifted to a dominance point with
+    /// its quantized-length weight.
+    fn dom_point(st: &ServingState, id: SegId) -> DomPoint {
+        let seg = st.logical_seg(id);
+        let mid = seg.midpoint();
+        DomPoint {
+            id,
+            x: mid.x,
+            y: mid.y,
+            w: dominance_weight(&seg),
+        }
+    }
+
+    /// Skyline of the candidates' midpoints via the data-parallel
+    /// sort + segmented-scan pipeline on the ladder machine, with a
+    /// brute closed-dominance fallback when the machine crashes
+    /// (injected [`scan_model::FaultSite::SkylineAbort`] or genuine) —
+    /// ids come back sorted ascending either way.
+    fn compute_skyline(&self, st: &ServingState, cands: &[SegId]) -> Vec<SegId> {
+        let points: Vec<DomPoint> = cands.iter().map(|&id| Self::dom_point(st, id)).collect();
+        let run = catch_unwind(AssertUnwindSafe(|| skyline(&self.ladder_machine, &points)));
+        let mut ids = run.unwrap_or_else(|_| brute_skyline(&points));
+        ids.sort_unstable();
+        ids
+    }
+
+    /// `(count, sum, max)` over the candidates whose midpoint lies in
+    /// the closed lower-left quadrant of `p`. The dominated set is
+    /// resolved by the filter; the scan-model [`dominance_agg`] pipeline
+    /// then aggregates it (every retained point is dominated by `p`, so
+    /// the single-query aggregate covers the whole set), with a direct
+    /// fold as the crash fallback.
+    fn compute_dominance_agg(
+        &self,
+        st: &ServingState,
+        cands: &[SegId],
+        p: &Point,
+    ) -> (u64, u64, u64) {
+        let points: Vec<DomPoint> = cands
+            .iter()
+            .map(|&id| Self::dom_point(st, id))
+            .filter(|d| d.x <= p.x && d.y <= p.y)
+            .collect();
+        if points.is_empty() {
+            return (0, 0, 0);
+        }
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            dominance_agg(&self.ladder_machine, &points, &[(p.x, p.y)])
+        }));
+        match run {
+            Ok(aggs) => (aggs[0].count, aggs[0].sum, aggs[0].max),
+            Err(_) => points
+                .iter()
+                .fold((0, 0, 0), |(c, s, m), d| (c + 1, s + d.w, m.max(d.w))),
+        }
     }
 
     /// Executes one shard's probe queue. Returns `(probe index, global
@@ -2488,8 +2657,11 @@ mod tests {
                 Request::Join(q) => {
                     assert_eq!(resp.try_join(i), Ok([].as_slice()), "join {q}");
                 }
-                Request::Insert(_) | Request::Delete(_) => {
-                    unreachable!("DEFAULT mix carries no writes")
+                Request::Insert(_)
+                | Request::Delete(_)
+                | Request::Skyline(_)
+                | Request::DominanceAgg(_) => {
+                    unreachable!("DEFAULT mix carries no writes or dominance requests")
                 }
             }
         }
@@ -2907,7 +3079,9 @@ mod tests {
                     let expected = brute_knearest(&live, *p, *k);
                     assert_eq!(resp.try_knearest(i), Ok(expected.as_slice()));
                 }
-                Request::Join(_) => unreachable!("WITH_UPDATES carries no joins"),
+                Request::Join(_) | Request::Skyline(_) | Request::DominanceAgg(_) => {
+                    unreachable!("WITH_UPDATES carries no joins or dominance requests")
+                }
                 Request::Insert(seg) => {
                     assert_eq!(resp.try_inserted(i), Ok(live.len() as SegId));
                     live.push(*seg);

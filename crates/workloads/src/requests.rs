@@ -46,6 +46,14 @@ pub enum Request {
     /// the serving collection at the moment the request executes —
     /// exactly the id a preceding query response would report).
     Delete(u32),
+    /// The skyline (maximal points under closed dominance) of the
+    /// midpoints of all segments intersecting the window; the service
+    /// answers with the surviving segment ids.
+    Skyline(Rect),
+    /// Count / weight-sum / weight-max over the segments whose midpoint
+    /// lies in the closed lower-left quadrant of the point (dominated-set
+    /// aggregation; weights are fixed-point segment lengths).
+    DominanceAgg(Point),
 }
 
 /// Relative weights of the request kinds in a generated stream.
@@ -63,6 +71,10 @@ pub struct RequestMix {
     pub insert: u32,
     /// Weight of [`Request::Delete`].
     pub delete: u32,
+    /// Weight of [`Request::Skyline`].
+    pub skyline: u32,
+    /// Weight of [`Request::DominanceAgg`].
+    pub dominance: u32,
 }
 
 impl RequestMix {
@@ -74,6 +86,8 @@ impl RequestMix {
         join: 0,
         insert: 0,
         delete: 0,
+        skyline: 0,
+        dominance: 0,
     };
 
     /// The default service mix: mostly windows, some point probes, a few
@@ -86,6 +100,8 @@ impl RequestMix {
         join: 0,
         insert: 0,
         delete: 0,
+        skyline: 0,
+        dominance: 0,
     };
 
     /// The default mix with windowed joins folded in, for services built
@@ -97,6 +113,8 @@ impl RequestMix {
         join: 1,
         insert: 0,
         delete: 0,
+        skyline: 0,
+        dominance: 0,
     };
 
     /// A read-mostly mix with writes folded in: inserts outnumber
@@ -110,10 +128,35 @@ impl RequestMix {
         join: 0,
         insert: 2,
         delete: 1,
+        skyline: 0,
+        dominance: 0,
+    };
+
+    /// The update mix with dominance reads folded in: skyline and
+    /// dominated-set aggregation requests ride alongside windows, probes
+    /// and writes. The new arms sit after every existing arm in the pick
+    /// chain and draw from the rng only when picked, so zero-weight
+    /// mixes replay bit-identically (the regression suite pins this).
+    pub const WITH_DOMINANCE: RequestMix = RequestMix {
+        window: 4,
+        point: 2,
+        knearest: 1,
+        join: 0,
+        insert: 2,
+        delete: 1,
+        skyline: 2,
+        dominance: 2,
     };
 
     fn total(&self) -> u32 {
-        self.window + self.point + self.knearest + self.join + self.insert + self.delete
+        self.window
+            + self.point
+            + self.knearest
+            + self.join
+            + self.insert
+            + self.delete
+            + self.skyline
+            + self.dominance
     }
 }
 
@@ -221,11 +264,30 @@ pub fn request_stream_with_updates(
             } else if pick < mix.window + mix.point + mix.knearest + mix.join + mix.insert {
                 live += 1;
                 Request::Insert(grid_segment(&mut rng, &world))
-            } else if live == 0 {
-                Request::Window(random_window(&mut rng, &world))
+            } else if pick
+                < mix.window + mix.point + mix.knearest + mix.join + mix.insert + mix.delete
+            {
+                // The delete arm keeps its exact pre-dominance rng draws
+                // (including the degenerate-to-window fallback), so old
+                // mixes replay bit-identically.
+                if live == 0 {
+                    Request::Window(random_window(&mut rng, &world))
+                } else {
+                    live -= 1;
+                    Request::Delete(rng.gen_range(0..live + 1))
+                }
+            } else if pick
+                < mix.window
+                    + mix.point
+                    + mix.knearest
+                    + mix.join
+                    + mix.insert
+                    + mix.delete
+                    + mix.skyline
+            {
+                Request::Skyline(random_window(&mut rng, &world))
             } else {
-                live -= 1;
-                Request::Delete(rng.gen_range(0..live + 1))
+                Request::DominanceAgg(grid_point(&mut rng, &world))
             }
         })
         .collect()
@@ -449,6 +511,10 @@ pub fn poison_stream(stream: &mut [Request], plan: &FaultPlan) -> usize {
                 b: Point::new(f64::NAN, f64::NAN),
             }),
             Request::Delete(_) => Request::Delete(u32::MAX),
+            Request::Skyline(_) => Request::Skyline(nan_rect),
+            Request::DominanceAgg(_) => {
+                Request::DominanceAgg(Point::new(f64::NAN, f64::NEG_INFINITY))
+            }
         };
     }
     poisoned
@@ -703,6 +769,88 @@ mod tests {
     }
 
     #[test]
+    fn update_mix_stream_is_unchanged_by_the_dominance_family() {
+        // Every pre-dominance mix keeps zero skyline/dominance weights,
+        // so their streams replay bit-identically now that the new arms
+        // exist — including the delete arm's fallback draws (mirrors the
+        // join- and update-family regressions above).
+        let w = square_world(64);
+        for (mix, initial) in [
+            (RequestMix::DEFAULT, 0usize),
+            (RequestMix::WITH_JOINS, 0),
+            (RequestMix::WITH_UPDATES, 25),
+        ] {
+            let reqs = request_stream_with_updates(w, 500, mix, 7, initial);
+            assert!(reqs
+                .iter()
+                .all(|r| !matches!(r, Request::Skyline(_) | Request::DominanceAgg(_))));
+            assert_eq!(request_stream_with_updates(w, 500, mix, 7, initial), reqs);
+        }
+    }
+
+    #[test]
+    fn dominance_mix_generates_in_world_dominance_requests() {
+        let w = square_world(64);
+        let reqs = request_stream_with_updates(w, 2000, RequestMix::WITH_DOMINANCE, 19, 0);
+        let mut skylines = 0;
+        let mut doms = 0;
+        let mut live: u32 = 0;
+        for r in &reqs {
+            match r {
+                Request::Skyline(q) => {
+                    assert!(w.contains_rect(q), "skyline window {q} escapes the world");
+                    skylines += 1;
+                }
+                Request::DominanceAgg(p) => {
+                    assert!(w.contains(*p), "dominance point {p:?} escapes the world");
+                    doms += 1;
+                }
+                Request::Insert(_) => live += 1,
+                Request::Delete(id) => {
+                    assert!(*id < live, "delete {id} with {live} live");
+                    live -= 1;
+                }
+                _ => {}
+            }
+        }
+        // 2:2 weights out of 14 → about 285 each; generous slack.
+        assert!(skylines > 150, "skylines starved: {skylines}");
+        assert!(doms > 150, "dominance aggs starved: {doms}");
+    }
+
+    #[test]
+    fn poison_stream_covers_dominance_requests() {
+        let w = square_world(64);
+        let base = request_stream_with_updates(w, 600, RequestMix::WITH_DOMINANCE, 23, 0);
+        let mut s = base.clone();
+        let plan =
+            FaultPlan::new(11).with(FaultSite::PoisonedRequest, FaultMode::Seeded { rate: 0.2 });
+        assert!(poison_stream(&mut s, &plan) > 0);
+        let mut dom_poisoned = 0;
+        for (now, orig) in s.iter().zip(&base) {
+            if now == orig {
+                continue;
+            }
+            match (now, orig) {
+                (Request::Skyline(q), Request::Skyline(_)) => {
+                    assert!(q.min.x.is_nan());
+                    dom_poisoned += 1;
+                }
+                (Request::DominanceAgg(p), Request::DominanceAgg(_)) => {
+                    assert!(!p.x.is_finite() || !p.y.is_finite());
+                    dom_poisoned += 1;
+                }
+                (a, b) => assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "kind changed: {a:?} vs {b:?}"
+                ),
+            }
+        }
+        assert!(dom_poisoned > 0, "no dominance request was poisoned");
+    }
+
+    #[test]
     fn open_loop_schedule_is_replay_identical() {
         let w = square_world(64);
         let a = open_loop_schedule(w, 500, RequestMix::WITH_UPDATES, 10_000.0, 21, 0);
@@ -818,6 +966,8 @@ mod tests {
                 join: 0,
                 insert: 0,
                 delete: 0,
+                skyline: 0,
+                dominance: 0,
             },
             0,
         );

@@ -711,7 +711,9 @@ fn poisoned_writes_reject_without_corrupting_the_overlay() {
                         assert_eq!(resp.try_knearest(i), Ok(expected.as_slice()), "slot {i}");
                     }
                 }
-                Request::Join(_) => unreachable!("WITH_UPDATES carries no joins"),
+                Request::Join(_) | Request::Skyline(_) | Request::DominanceAgg(_) => {
+                    unreachable!("WITH_UPDATES carries no joins or dominance requests")
+                }
                 Request::Insert(seg) => {
                     if was_poisoned {
                         // NaN geometry: typed rejection, overlay untouched.
@@ -931,6 +933,155 @@ fn seeded_matrix_from_env() {
 
     assert_eq!(seq_resp, par_resp, "seed {seed}: backends diverge");
     assert_eq!(seq_stats, par_stats, "seed {seed}: stats diverge");
+}
+
+// ---------------------------------------------------------------------
+// Kill-during-skyline-build: kernel sweep + seeded service matrix leg.
+// ---------------------------------------------------------------------
+
+/// Aborts the skyline / dominance-aggregation pipelines at every
+/// `SkylineAbort` decision point in turn (the skyline entry check plus
+/// every CDQ merge round), then recomputes on the very same machine: the
+/// recomputed answers must equal the never-faulted ones bit-for-bit, and
+/// each injected fault must fire exactly once and never re-fire during
+/// recovery — on both backends.
+#[test]
+fn kill_at_every_skyline_round_recomputes_identically() {
+    use dp_spatial::dominance::{dominance_agg, skyline, DomPoint};
+    let pts: Vec<DomPoint> = (0..2000)
+        .map(|i| DomPoint {
+            id: i as SegId,
+            x: ((i * 131) % 997) as f64,
+            y: ((i * 577) % 991) as f64,
+            w: (i % 97) as u64,
+        })
+        .collect();
+    let queries: Vec<(f64, f64)> = (0..16)
+        .map(|i| (i as f64 * 60.0, 960.0 - i as f64 * 60.0))
+        .collect();
+    for (backend, par_threshold) in backends() {
+        let make = |plan: Arc<FaultPlan>| {
+            let m = match par_threshold {
+                Some(t) => Machine::new(backend).with_par_threshold(t),
+                None => Machine::new(backend),
+            };
+            m.with_fault_plan(plan)
+        };
+
+        // Fault-free baseline; the disabled plan still counts the
+        // skyline-abort decision points, which is the sweep width.
+        let counting = Arc::new(FaultPlan::disabled());
+        let baseline_machine = make(counting.clone());
+        let base_sky = skyline(&baseline_machine, &pts);
+        let base_agg = dominance_agg(&baseline_machine, &pts, &queries);
+        let sites = counting.occurrences(FaultSite::SkylineAbort);
+        assert!(
+            sites > 2,
+            "sweep needs entry + multiple merge rounds, got {sites}"
+        );
+
+        for k in 0..sites {
+            let plan = Arc::new(FaultPlan::once_at(FaultSite::SkylineAbort, k));
+            let machine = make(plan.clone());
+            let crash = catch_unwind(AssertUnwindSafe(|| {
+                let s = skyline(&machine, &pts);
+                (s, dominance_agg(&machine, &pts, &queries))
+            }));
+            let err = crash.expect_err("armed skyline abort must kill the build");
+            let fault = err
+                .downcast_ref::<InjectedFault>()
+                .expect("abort payload is the typed InjectedFault");
+            assert_eq!(fault.site, FaultSite::SkylineAbort, "site at k={k}");
+            assert_eq!(plan.fired(FaultSite::SkylineAbort), 1, "k={k}");
+
+            // Recovery: recompute on the same machine, bit-identically.
+            assert_eq!(skyline(&machine, &pts), base_sky, "skyline after k={k}");
+            assert_eq!(
+                dominance_agg(&machine, &pts, &queries),
+                base_agg,
+                "aggregates after k={k}"
+            );
+            assert_eq!(
+                plan.fired(FaultSite::SkylineAbort),
+                1,
+                "once-at fault re-fired during recovery at k={k}"
+            );
+        }
+    }
+}
+
+/// Seeded skyline kills during service dominance builds are invisible:
+/// the query ladder catches the abort and falls back to the brute path,
+/// so a faulted service answers a mixed `WITH_DOMINANCE` stream
+/// byte-identically to a never-faulted one. Swept under four seeds
+/// derived from `FAULT_SEED`, so the CI fault-matrix job widens the
+/// sweep with every matrix entry.
+#[test]
+fn kill_during_skyline_build_is_invisible_under_seeded_matrix() {
+    let base_seed: u64 = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(101);
+    let data = uniform_segments(220, 64, 8, 601);
+    let overlay = uniform_segments(120, 64, 8, 602);
+    for (backend, par_threshold) in backends() {
+        let cfg = config_for(backend, par_threshold);
+        let clean = QueryService::try_build_with_faults(
+            cfg,
+            data.world,
+            data.segs.clone(),
+            overlay.segs.clone(),
+            Arc::new(FaultPlan::disabled()),
+        )
+        .expect("disabled plan builds cleanly");
+        let requests = request_stream_with_updates(
+            data.world,
+            100,
+            RequestMix::WITH_DOMINANCE,
+            base_seed ^ 0xd0b,
+            data.segs.len(),
+        );
+        let expected = clean.execute_batch(&requests);
+
+        let mut total_fired = 0;
+        for seed in [
+            base_seed,
+            base_seed ^ 0x9e37_79b9_7f4a_7c15,
+            base_seed.rotate_left(17) | 1,
+            base_seed ^ 0xdead_beef,
+        ] {
+            let plan = Arc::new(
+                FaultPlan::new(seed)
+                    .with(FaultSite::SkylineAbort, FaultMode::Seeded { rate: 0.35 }),
+            );
+            let svc = QueryService::try_build_with_faults(
+                cfg,
+                data.world,
+                data.segs.clone(),
+                overlay.segs.clone(),
+                plan.clone(),
+            )
+            .expect("skyline faults never block service construction");
+            assert_eq!(
+                svc.execute_batch(&requests),
+                expected,
+                "seed {seed} on {backend:?}: a skyline kill leaked into the answers"
+            );
+            assert_eq!(
+                svc.segments(),
+                clean.segments(),
+                "seed {seed} on {backend:?}: collections diverged"
+            );
+            // The service forks the plan per component; the ladder fork
+            // owns the skyline site, so read the aggregated stats rather
+            // than the parent plan's counters (which never move).
+            total_fired += svc.stats().total_faults_injected();
+        }
+        assert!(
+            total_fired > 0,
+            "rate 0.35 across four seeds never fired on {backend:?} — the sweep proved nothing"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------

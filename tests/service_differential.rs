@@ -9,11 +9,13 @@
 //! overlay accumulation and epoch-swapped compactions.
 
 use dp_spatial_suite::geom::{clip_segment_closed, LineSeg, Point, Rect};
+use dp_spatial_suite::seq::dominance::skyline_brute;
 use dp_spatial_suite::service::{
     brute_knearest, AdmissionPolicy, QueryService, QueryServiceConfig, Response, ServicePipeline,
 };
 use dp_spatial_suite::spatial::batch::batch_window_query;
 use dp_spatial_suite::spatial::bucket_pmr::build_bucket_pmr;
+use dp_spatial_suite::spatial::dominance::dominance_weight;
 use dp_spatial_suite::spatial::shard::ShardGrid;
 use dp_spatial_suite::spatial::{SegId, SpatialError};
 use dp_spatial_suite::workloads::{
@@ -75,7 +77,9 @@ fn check_identity(data: &Dataset, config: QueryServiceConfig, seed: u64) {
             Request::KNearest { .. }
             | Request::Join(_)
             | Request::Insert(_)
-            | Request::Delete(_) => None,
+            | Request::Delete(_)
+            | Request::Skyline(_)
+            | Request::DominanceAgg(_) => None,
         })
         .collect();
     let mut unsharded = batch_window_query(
@@ -233,7 +237,9 @@ fn check_write_identity(data: &Dataset, config: QueryServiceConfig, seed: u64, n
                     data.name
                 );
             }
-            Request::Join(_) => unreachable!("WITH_UPDATES carries no joins"),
+            Request::Join(_) | Request::Skyline(_) | Request::DominanceAgg(_) => {
+                unreachable!("WITH_UPDATES carries no joins or dominance requests")
+            }
             Request::Insert(seg) => {
                 assert_eq!(
                     resp.try_inserted(i),
@@ -488,6 +494,121 @@ fn shed_serving_matches_oracle_on_admitted_subsequence() {
     assert_eq!(svc.segments(), oracle.segments());
 }
 
+// ---------------------------------------------------------------------
+// Dominance-family serving: pipelined streams against the eager oracle.
+// ---------------------------------------------------------------------
+
+/// Brute-force `Request::Skyline` oracle: the skyline of the midpoints
+/// of the live segments intersecting `q` (closed clip), ids ascending.
+fn brute_skyline_in(live: &[LineSeg], q: &Rect) -> Vec<SegId> {
+    let cands: Vec<(SegId, f64, f64)> = live
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| clip_segment_closed(s, q).is_some())
+        .map(|(id, s)| {
+            let m = s.midpoint();
+            (id as SegId, m.x, m.y)
+        })
+        .collect();
+    let ids: Vec<SegId> = cands.iter().map(|c| c.0).collect();
+    let xs: Vec<f64> = cands.iter().map(|c| c.1).collect();
+    let ys: Vec<f64> = cands.iter().map(|c| c.2).collect();
+    skyline_brute(&ids, &xs, &ys)
+}
+
+/// Brute-force `Request::DominanceAgg` oracle: (count, sum, max) of
+/// [`dominance_weight`] over live segments whose midpoint lies in the
+/// closed lower-left quadrant of `p`.
+fn brute_dominance_agg(live: &[LineSeg], p: Point) -> (u64, u64, u64) {
+    let (mut count, mut sum, mut max) = (0u64, 0u64, 0u64);
+    for s in live {
+        let m = s.midpoint();
+        if m.x <= p.x && m.y <= p.y {
+            let w = dominance_weight(s);
+            count += 1;
+            sum += w;
+            max = max.max(w);
+        }
+    }
+    (count, sum, max)
+}
+
+/// Mixed dominance streams (`WITH_DOMINANCE`: windows, points, k-NN,
+/// skylines, aggregates, inserts and deletes) served through the
+/// pipelined admission layer answer byte-identically to the eager
+/// `execute_batch` oracle, and every dominance answer equals the brute
+/// force over the evolving collection — on both backends.
+#[test]
+fn pipelined_dominance_streams_match_eager_oracle() {
+    for (backend, grid) in [(Backend::Sequential, 2u32), (Backend::Parallel, 4)] {
+        for data in families() {
+            let config = QueryServiceConfig {
+                shard_grid: grid,
+                backend,
+                compact_threshold: 8, // several background compactions
+                flush_batch: 16,
+                coalesce_deadline_micros: 200,
+                ..QueryServiceConfig::default()
+            };
+            let svc =
+                std::sync::Arc::new(QueryService::build(config, data.world, data.segs.clone()));
+            let oracle = QueryService::build(config, data.world, data.segs.clone());
+            let requests = request_stream_with_updates(
+                data.world,
+                120,
+                RequestMix::WITH_DOMINANCE,
+                29,
+                data.segs.len(),
+            );
+            assert!(
+                requests
+                    .iter()
+                    .any(|r| matches!(r, Request::Skyline(_) | Request::DominanceAgg(_))),
+                "WITH_DOMINANCE stream carried no dominance requests"
+            );
+            let pipeline = ServicePipeline::new(svc.clone(), 1, AdmissionPolicy::Block).unwrap();
+            let responses = pipeline.submit_all(&requests);
+            drop(pipeline);
+            assert_eq!(
+                responses,
+                oracle.execute_batch(&requests),
+                "[{}] pipelined dominance stream diverged from eager oracle",
+                data.name
+            );
+
+            // Every dominance answer equals brute force over the live
+            // collection at its stream position.
+            let mut live = data.segs.clone();
+            for (i, (r, resp)) in requests.iter().zip(&responses).enumerate() {
+                match r {
+                    Request::Skyline(q) => {
+                        assert_eq!(
+                            resp.try_skyline(i),
+                            Ok(brute_skyline_in(&live, q).as_slice()),
+                            "[{}] skyline {q} at slot {i}",
+                            data.name
+                        );
+                    }
+                    Request::DominanceAgg(p) => {
+                        assert_eq!(
+                            resp.try_dominance_agg(i),
+                            Ok(brute_dominance_agg(&live, *p)),
+                            "[{}] dominance agg {p:?} at slot {i}",
+                            data.name
+                        );
+                    }
+                    Request::Insert(seg) => live.push(*seg),
+                    Request::Delete(id) => {
+                        live.remove(*id as usize);
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(svc.segments(), live, "[{}] final collection", data.name);
+        }
+    }
+}
+
 const WORLD_SIZE: i32 = 64;
 
 /// Windows across the shape spectrum, degenerate and boundary-aligned
@@ -599,6 +720,96 @@ proptest! {
             &out[1],
             &Response::Window(std::sync::Arc::new(brute_window(&live, &q))),
             "stale cache after delete against window {}", q
+        );
+    }
+
+    /// Read-after-write for the dominance family: cached skyline and
+    /// dominance-aggregate answers must be invalidated by overlapping
+    /// writes — every re-read equals the brute force over the post-write
+    /// collection, never a stale cached result.
+    #[test]
+    fn dominance_cache_invalidated_by_overlapping_writes(
+        q in windows(),
+        writes in prop::collection::vec(
+            (0..WORLD_SIZE - 8, 0..WORLD_SIZE - 8, 1..8i32, 1..8i32),
+            1..6,
+        ),
+    ) {
+        let data = uniform_segments(80, 64, 8, 127);
+        let config = QueryServiceConfig {
+            flush_batch: 4,
+            coalesce_deadline_micros: 100,
+            compact_threshold: 1_000, // writes stay in the overlay
+            ..QueryServiceConfig::sequential(2)
+        };
+        let svc = std::sync::Arc::new(
+            QueryService::build(config, data.world, data.segs.clone()),
+        );
+        let pipeline =
+            ServicePipeline::new(svc.clone(), 1, AdmissionPolicy::Block).unwrap();
+        let mut live = data.segs.clone();
+        // The aggregate probe sits at the window's far corner, so the
+        // inserted segments regularly land inside its quadrant.
+        let p = if q.is_empty() { Point::new(32.0, 32.0) } else { q.max };
+
+        // Prime both dominance kinds (and once more: warm hits).
+        let primed = pipeline.submit_all(&[
+            Request::Skyline(q),
+            Request::DominanceAgg(p),
+            Request::Skyline(q),
+            Request::DominanceAgg(p),
+        ]);
+        prop_assert_eq!(primed[0].try_skyline(0), Ok(brute_skyline_in(&live, &q).as_slice()));
+        prop_assert_eq!(primed[1].try_dominance_agg(1), Ok(brute_dominance_agg(&live, p)));
+        prop_assert_eq!(&primed[2], &primed[0]);
+        prop_assert_eq!(&primed[3], &primed[1]);
+
+        for (x, y, w, h) in writes {
+            let seg = LineSeg::from_coords(
+                x as f64,
+                y as f64,
+                (x + w) as f64,
+                (y + h) as f64,
+            );
+            // Insert (sometimes overlapping the window / quadrant,
+            // sometimes not), then re-read both dominance kinds through
+            // the admission path.
+            let out = pipeline.submit_all(&[
+                Request::Insert(seg),
+                Request::Skyline(q),
+                Request::DominanceAgg(p),
+            ]);
+            prop_assert!(matches!(out[0], Response::Inserted(_)));
+            live.push(seg);
+            prop_assert_eq!(
+                out[1].try_skyline(1),
+                Ok(brute_skyline_in(&live, &q).as_slice()),
+                "stale skyline cache after insert {} against window {}", seg, q
+            );
+            prop_assert_eq!(
+                out[2].try_dominance_agg(2),
+                Ok(brute_dominance_agg(&live, p)),
+                "stale aggregate cache after insert {} against probe {:?}", seg, p
+            );
+        }
+
+        // Deletes shift logical ids, which flushes the cache wholesale.
+        let out = pipeline.submit_all(&[
+            Request::Delete(0),
+            Request::Skyline(q),
+            Request::DominanceAgg(p),
+        ]);
+        prop_assert!(matches!(out[0], Response::Deleted(0)));
+        live.remove(0);
+        prop_assert_eq!(
+            out[1].try_skyline(1),
+            Ok(brute_skyline_in(&live, &q).as_slice()),
+            "stale skyline cache after delete against window {}", q
+        );
+        prop_assert_eq!(
+            out[2].try_dominance_agg(2),
+            Ok(brute_dominance_agg(&live, p)),
+            "stale aggregate cache after delete against probe {:?}", p
         );
     }
 
